@@ -1,0 +1,68 @@
+// Ablation: concurrent hash table probing policy (linear vs quadratic, the
+// paper's "linear (or quadratic) probing") and load factor sensitivity, on
+// the exact workload the swap kernel generates: bulk TestAndSet of packed
+// edge keys followed by a mixed hit/miss probe stream.
+
+#include <benchmark/benchmark.h>
+
+#include "ds/concurrent_hash_set.hpp"
+#include "ds/edge.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+std::vector<std::uint64_t> edge_keys(std::size_t count, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<std::uint64_t> keys(count);
+  for (auto& key : keys) {
+    const VertexId u = static_cast<VertexId>(rng.bounded(1u << 24));
+    const VertexId v = static_cast<VertexId>(rng.bounded(1u << 24));
+    key = Edge{u, v == u ? v + 1 : v}.key();
+  }
+  return keys;
+}
+
+void bm_bulk_insert(benchmark::State& state, Probing probing) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const auto keys = edge_keys(count, 7);
+  for (auto _ : state) {
+    ConcurrentHashSet set(count, probing);
+    std::size_t fresh = 0;
+#pragma omp parallel for reduction(+ : fresh) schedule(static)
+    for (std::size_t i = 0; i < count; ++i)
+      if (!set.test_and_set(keys[i])) ++fresh;
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+void bm_mixed_probe(benchmark::State& state, Probing probing) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const auto existing = edge_keys(count, 7);
+  const auto probes = edge_keys(count, 8);  // ~all misses
+  ConcurrentHashSet set(2 * count, probing);
+  for (const auto key : existing) set.test_and_set(key);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+#pragma omp parallel for reduction(+ : hits) schedule(static)
+    for (std::size_t i = 0; i < count; ++i) {
+      if (set.contains(existing[i])) ++hits;   // hot hits
+      if (set.contains(probes[i])) ++hits;     // cold misses
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * count);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_bulk_insert, linear, Probing::kLinear)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_bulk_insert, quadratic, Probing::kQuadratic)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_mixed_probe, linear, Probing::kLinear)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_mixed_probe, quadratic, Probing::kQuadratic)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);

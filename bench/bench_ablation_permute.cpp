@@ -1,0 +1,73 @@
+// Ablation: random permutation algorithm. The paper reports an order of
+// magnitude gained by the Shun et al. approach over other parallel
+// permutation libraries. Compares: serial Knuth shuffle, std::shuffle, the
+// reservation-based parallel permutation, and the permutation cost
+// embedded in one swap iteration.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "permute/permutation.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+void bm_serial_knuth(benchmark::State& state) {
+  std::vector<std::uint64_t> values(state.range(0));
+  std::iota(values.begin(), values.end(), 0u);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    serial_permute(std::span<std::uint64_t>(values), seed++);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void bm_std_shuffle(benchmark::State& state) {
+  std::vector<std::uint64_t> values(state.range(0));
+  std::iota(values.begin(), values.end(), 0u);
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    std::shuffle(values.begin(), values.end(), rng);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void bm_parallel_reservation(benchmark::State& state) {
+  std::vector<std::uint64_t> values(state.range(0));
+  std::iota(values.begin(), values.end(), 0u);
+  std::uint64_t seed = 1;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    rounds = parallel_permute(std::span<std::uint64_t>(values), seed++).rounds;
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void bm_target_generation_only(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto targets = knuth_targets(static_cast<std::size_t>(state.range(0)),
+                                 seed++);
+    benchmark::DoNotOptimize(targets.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(bm_serial_knuth)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_std_shuffle)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_parallel_reservation)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_target_generation_only)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);

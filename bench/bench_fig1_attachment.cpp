@@ -1,0 +1,51 @@
+// Figure 1: attachment probabilities between the LARGEST degree vertex and
+// every other vertex degree, for a null model on the as20 (AS-733-like)
+// degree distribution. Two series, as in the paper:
+//   * Chung-Lu:        the closed-form w_i w_j / 2m (uncapped -> exceeds 1)
+//   * Uniform Random:  empirical probabilities over 100 uniformly random
+//                      simple graphs (Havel-Hakimi + heavy double-edge
+//                      swapping)
+// The paper's point: the closed form "fails dramatically", exceeding 1 for
+// most pairings with the hub.
+
+#include <cstdio>
+
+#include "analysis/attachment.hpp"
+#include "core/double_edge_swap.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+
+int main() {
+  using namespace nullgraph;
+  const DegreeDistribution dist = as20_like();
+  const std::size_t nc = dist.num_classes();
+  const double two_m = static_cast<double>(dist.num_stubs());
+  const double dmax = static_cast<double>(dist.max_degree());
+
+  const int samples = 100;
+  AttachmentAccumulator acc(dist);
+  for (int s = 0; s < samples; ++s) {
+    EdgeList edges = havel_hakimi(dist);
+    swap_edges(edges, {.iterations = 16,
+                       .seed = 100 + static_cast<std::uint64_t>(s)});
+    acc.add(edges);
+  }
+  const ProbabilityMatrix empirical = acc.average();
+
+  std::printf("Figure 1: attachment probability of the d_max=%llu vertex vs "
+              "other degrees (as20-like, %d uniform samples)\n",
+              static_cast<unsigned long long>(dist.max_degree()), samples);
+  std::printf("%-10s %16s %16s\n", "degree", "Chung-Lu", "UniformRandom");
+  int exceeding_one = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    const double d = static_cast<double>(dist.degree_of_class(c));
+    const double chung_lu = dmax * d / two_m;  // uncapped, as in Fig. 1
+    if (chung_lu > 1.0) ++exceeding_one;
+    std::printf("%-10.0f %16.4f %16.4f\n", d, chung_lu,
+                empirical.at(nc - 1, c));
+  }
+  std::printf("\nChung-Lu probability exceeds 1 for %d of %zu degree "
+              "classes (the paper's headline failure)\n",
+              exceeding_one, nc);
+  return 0;
+}

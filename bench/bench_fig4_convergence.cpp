@@ -1,0 +1,102 @@
+// Figure 4: error in pairwise attachment probabilities relative to a
+// uniformly random sample, as a function of double-edge swap iterations.
+// Series, as in the paper: the O(m) model (swaps double as simplification),
+// the erased O(m) model, the O(n^2)-edgeskip model, and ours. Error is the
+// L1 norm of P_gen - P_base, with P_base from Havel-Hakimi + 128 swap
+// iterations (the paper's baseline).
+//
+// Expected shape: O(m) starts worst (multi-edges waste early swaps) but
+// converges; all simple methods drop fast, under ~1% of the initial error
+// within a handful of iterations; ours converges slightly slower than the
+// other simple generators but from a better-matched distribution.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/attachment.hpp"
+#include "core/double_edge_swap.hpp"
+#include "core/null_model.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+
+int main() {
+  using namespace nullgraph;
+  const DegreeDistribution dist = as20_like();
+  const int samples = 16;
+  const std::vector<std::size_t> iteration_grid{0, 1, 2, 4, 8, 16, 24, 32};
+
+  // Baseline: the paper's Havel-Hakimi + 128 full swap iterations. A
+  // second, independent uniform ensemble measures the sampling-noise FLOOR
+  // of the metric: a perfectly mixed generator can converge to the floor,
+  // not to zero, at finite sample counts.
+  auto uniform_ensemble = [&](std::uint64_t seed_base) {
+    AttachmentAccumulator acc(dist);
+    for (int s = 0; s < samples; ++s) {
+      EdgeList edges = havel_hakimi(dist);
+      swap_edges(edges, {.iterations = 128,
+                         .seed = seed_base + static_cast<std::uint64_t>(s)});
+      acc.add(edges);
+    }
+    return acc.average();
+  };
+  const ProbabilityMatrix base = uniform_ensemble(9000);
+  const ProbabilityMatrix floor_probe = uniform_ensemble(77000);
+
+  enum Method { kOm, kOmSimple, kEdgeskip, kOurs, kNumMethods };
+  const char* names[kNumMethods] = {"O(m)", "O(m) simple", "O(n^2) edgeskip",
+                                    "ours"};
+
+  auto starting_edges = [&](Method method, std::uint64_t seed) {
+    switch (method) {
+      case kOm:
+        return chung_lu_multigraph(dist, {.seed = seed});
+      case kOmSimple:
+        return erased_chung_lu(dist, {.seed = seed});
+      case kEdgeskip:
+        return bernoulli_chung_lu(dist, seed);
+      case kOurs: {
+        GenerateConfig config;
+        config.seed = seed;
+        config.swap_iterations = 0;  // swaps applied explicitly below
+        return generate_null_graph(dist, config).edges;
+      }
+      default:
+        return EdgeList{};
+    }
+  };
+
+  // Error metric: pair-count-weighted L1 (the L1 difference in expected
+  // edges between attachment structures), normalized by m. The raw
+  // entry-wise L1 is dominated by sampling noise from singleton degree
+  // classes and never converges at feasible sample counts.
+  const double m = static_cast<double>(dist.num_edges());
+  std::printf("Figure 4: error in pairwise attachment probabilities vs swap "
+              "iterations\n(as20-like, %d samples per point, pair-weighted "
+              "L1 / m)\n", samples);
+  std::printf("%-6s %14s %14s %16s %14s\n", "iters", names[0], names[1],
+              names[2], names[3]);
+  for (const std::size_t iters : iteration_grid) {
+    double errors[kNumMethods];
+    for (int method = 0; method < kNumMethods; ++method) {
+      AttachmentAccumulator acc(dist);
+      for (int s = 0; s < samples; ++s) {
+        const std::uint64_t seed = 300 + static_cast<std::uint64_t>(s) * 13;
+        EdgeList edges = starting_edges(static_cast<Method>(method), seed);
+        if (iters > 0)
+          swap_edges(edges, {.iterations = iters, .seed = seed ^ 0xabcdu});
+        acc.add(edges);
+      }
+      errors[method] = ProbabilityMatrix::weighted_l1_distance(
+                           acc.average(), base, dist) / m;
+    }
+    std::printf("%-6zu %14.4f %14.4f %16.4f %14.4f\n", iters, errors[0],
+                errors[1], errors[2], errors[3]);
+  }
+  const double floor_error =
+      ProbabilityMatrix::weighted_l1_distance(floor_probe, base, dist) / m;
+  std::printf("\nsampling-noise floor (independent uniform ensemble vs "
+              "baseline): %.4f\n", floor_error);
+  std::printf("a generator has mixed once its curve reaches the floor\n");
+  return 0;
+}

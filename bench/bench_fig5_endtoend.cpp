@@ -1,0 +1,85 @@
+// Figure 5: shared-memory end-to-end generation time from a degree
+// distribution, per dataset per method, with ONE double-edge swap iteration
+// (the paper's protocol — mixing time is graph-dependent).
+//
+// Expected shape: methods comparable at small scale; at large scale the
+// edge-skipping generators beat the O(m) generators, whose weighted
+// sampling pays a binary search per endpoint draw (paper: ~2x).
+//
+// Instances build at their default laptop down-scales; set
+// NULLGRAPH_BENCH_SCALE to rescale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/null_model.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/datasets.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+enum class Method { kOm, kOmSimple, kEdgeskip, kOurs };
+
+void run_end_to_end(benchmark::State& state, const DatasetSpec& spec,
+                    Method method) {
+  const DegreeDistribution dist = build_dataset(spec);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EdgeList edges;
+    switch (method) {
+      case Method::kOm:
+        edges = chung_lu_multigraph(dist, {.seed = seed});
+        swap_edges(edges, {.iterations = 1, .seed = seed});
+        break;
+      case Method::kOmSimple:
+        edges = erased_chung_lu(dist, {.seed = seed});
+        swap_edges(edges, {.iterations = 1, .seed = seed});
+        break;
+      case Method::kEdgeskip:
+        edges = bernoulli_chung_lu(dist, seed);
+        swap_edges(edges, {.iterations = 1, .seed = seed});
+        break;
+      case Method::kOurs: {
+        GenerateConfig config;
+        config.seed = seed;
+        config.swap_iterations = 1;
+        edges = generate_null_graph(dist, config).edges;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(edges.data());
+    ++seed;
+    state.counters["edges"] =
+        benchmark::Counter(static_cast<double>(edges.size()));
+    state.counters["edges/s"] = benchmark::Counter(
+        static_cast<double>(edges.size()), benchmark::Counter::kIsRate);
+  }
+}
+
+const struct {
+  const char* label;
+  Method method;
+} kMethods[] = {
+    {"O(m)", Method::kOm},
+    {"O(m)_simple", Method::kOmSimple},
+    {"O(n2)_edgeskip", Method::kEdgeskip},
+    {"ours", Method::kOurs},
+};
+
+const int registered = [] {
+  for (const DatasetSpec& spec : paper_datasets()) {
+    for (const auto& m : kMethods) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig5/") + spec.name + "/" + m.label).c_str(),
+          [spec, method = m.method](benchmark::State& state) {
+            run_end_to_end(state, spec, method);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  return 0;
+}();
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Thread-scaling of the three parallel kernels (the paper's scalability
+// story, Figure 5/6 context): double-edge swapping, edge-skipping
+// generation and the reservation-based permutation, swept over OpenMP
+// thread counts up to the hardware limit. On a single-core host this
+// documents overheads rather than speedups; on a multi-core host it
+// reproduces the paper's scaling claims.
+
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include "core/double_edge_swap.hpp"
+#include "core/null_model.hpp"
+#include "gen/datasets.hpp"
+#include "permute/permutation.hpp"
+#include "prob/heuristics.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+const DegreeDistribution& instance() {
+  static const DegreeDistribution dist =
+      build_dataset(*find_dataset("WikiTalk"), 0.1);
+  return dist;
+}
+
+void bm_swap_threads(benchmark::State& state) {
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+  GenerateConfig config;
+  config.swap_iterations = 0;
+  EdgeList base = generate_null_graph(instance(), config).edges;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EdgeList edges = base;
+    swap_edges(edges, {.iterations = 1, .seed = seed++});
+    benchmark::DoNotOptimize(edges.data());
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(base.size()));
+}
+
+void bm_edge_skip_threads(benchmark::State& state) {
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+  const ProbabilityMatrix P = greedy_probabilities(instance());
+  std::uint64_t seed = 1;
+  std::size_t edges_out = 0;
+  for (auto _ : state) {
+    EdgeList edges = edge_skip_generate(P, instance(), {.seed = seed++});
+    edges_out = edges.size();
+    benchmark::DoNotOptimize(edges.data());
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges_out));
+}
+
+void bm_permute_threads(benchmark::State& state) {
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+  std::vector<std::uint64_t> values(1 << 21);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = i;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    parallel_permute(std::span<std::uint64_t>(values), seed++);
+    benchmark::DoNotOptimize(values.data());
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+
+void thread_args(benchmark::internal::Benchmark* bench) {
+  const int max_threads = omp_get_num_procs();
+  for (int t = 1; t <= max_threads; t *= 2) bench->Arg(t);
+  if ((max_threads & (max_threads - 1)) != 0) bench->Arg(max_threads);
+}
+
+}  // namespace
+
+BENCHMARK(bm_swap_threads)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(bm_edge_skip_threads)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(bm_permute_threads)->Apply(thread_args)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);

@@ -1,0 +1,57 @@
+// assortativity_null: Newman-style analysis — is a graph's degree
+// assortativity meaningful, or just what its degree sequence forces?
+// Measures r on the observed graph, then on a null ensemble with the same
+// degrees; the intro's point is that such baselines NEED uniformly random
+// simple graphs, not Chung-Lu approximations.
+//
+//   ./assortativity_null [edge_list.txt] [ensemble_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "analysis/motifs.hpp"
+#include "core/null_model.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "io/graph_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nullgraph;
+  EdgeList observed;
+  std::string label;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    observed = read_edge_list_file(argv[1]);
+    label = argv[1];
+  } else {
+    // Demo: Havel-Hakimi graphs are strongly assortative by construction
+    // (hubs connect to hubs first), a perfect subject for the null test.
+    observed = havel_hakimi(as20_like());
+    label = "Havel-Hakimi(as20-like)";
+  }
+  const int ensemble = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  const double observed_r = degree_assortativity(observed);
+  std::printf("%s: %zu edges, assortativity r = %+.4f\n", label.c_str(),
+              observed.size(), observed_r);
+
+  const std::size_t n = vertex_count(observed);
+  const auto degrees = degrees_of(observed, n);
+  EnsembleStats stats;
+  for (int s = 0; s < ensemble; ++s) {
+    GenerateConfig config;
+    config.seed = 31415 + static_cast<std::uint64_t>(s);
+    config.swap_iterations = 8;
+    const GenerateResult null_graph = generate_for_sequence(
+        std::vector<std::uint64_t>(degrees.begin(), degrees.end()), config);
+    stats.add(degree_assortativity(null_graph.edges));
+  }
+  std::printf("null ensemble (%d samples): r = %+.4f +- %.4f\n", ensemble,
+              stats.mean(), stats.stddev());
+  const double z = z_score(observed_r, stats.mean(), stats.stddev());
+  std::printf("z-score: %+.2f -> the observed mixing pattern is %s\n", z,
+              std::abs(z) > 3 ? "NOT explained by the degree sequence alone"
+                              : "consistent with the degree sequence");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// bipartite_ecology: the ecology community's classic use of degree-
+// preserving null models. A species-site presence matrix is a bipartite
+// graph; the "checkerboard" question asks whether species co-occur less
+// often than their prevalences predict (competition) — answered against a
+// fixed-degree bipartite null model (here: our checkerboard swaps).
+//
+//   ./bipartite_ecology [species] [sites] [ensemble]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "analysis/motifs.hpp"
+#include "bipartite/bipartite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+/// C-score: mean number of "checkerboard units" over species pairs —
+/// (d_a - shared)(d_b - shared), the classic Stone & Roberts statistic.
+double c_score(const ArcList& edges, std::size_t num_species,
+               std::size_t num_sites) {
+  // Species-major bitsets of site membership.
+  std::vector<std::vector<std::uint64_t>> rows(
+      num_species, std::vector<std::uint64_t>((num_sites + 63) / 64, 0));
+  std::vector<std::uint64_t> degree(num_species, 0);
+  for (const Arc& e : edges) {
+    rows[e.from][e.to / 64] |= 1ULL << (e.to % 64);
+    ++degree[e.from];
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < num_species; ++a) {
+    for (std::size_t b = a + 1; b < num_species; ++b) {
+      std::uint64_t shared = 0;
+      for (std::size_t w = 0; w < rows[a].size(); ++w)
+        shared += static_cast<std::uint64_t>(
+            __builtin_popcountll(rows[a][w] & rows[b][w]));
+      total += static_cast<double>((degree[a] - shared) *
+                                   (degree[b] - shared));
+      ++pairs;
+    }
+  }
+  return pairs ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nullgraph;
+  const std::size_t species =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60;
+  const std::size_t sites =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 120;
+  const int ensemble = argc > 3 ? std::atoi(argv[3]) : 100;
+
+  // Synthetic observation with PLANTED segregation: two species guilds
+  // preferring disjoint halves of the sites.
+  Xoshiro256ss rng(7);
+  ArcList observed;
+  for (VertexId s = 0; s < species; ++s) {
+    const bool guild_a = s < species / 2;
+    for (VertexId t = 0; t < sites; ++t) {
+      const bool home_half = guild_a == (t < sites / 2);
+      const double p = home_half ? 0.35 : 0.05;
+      if (rng.uniform() < p) observed.push_back({s, t});
+    }
+  }
+  const double observed_score = c_score(observed, species, sites);
+  std::printf("observed species-site matrix: %zu x %zu, %zu presences, "
+              "C-score %.3f\n",
+              species, sites, observed.size(), observed_score);
+
+  // Null ensemble: checkerboard swaps preserve every species' prevalence
+  // and every site's richness exactly.
+  EnsembleStats stats;
+  for (int s = 0; s < ensemble; ++s) {
+    ArcList shuffled = observed;
+    bipartite_swap(shuffled, species, 10,
+                   1000 + static_cast<std::uint64_t>(s));
+    stats.add(c_score(shuffled, species, sites));
+  }
+  std::printf("null ensemble (%d samples): C-score %.3f +- %.3f\n", ensemble,
+              stats.mean(), stats.stddev());
+  const double z = z_score(observed_score, stats.mean(), stats.stddev());
+  std::printf("z-score %+.2f -> %s\n", z,
+              z > 3 ? "SEGREGATED: co-occurrence is lower than degrees "
+                      "predict (planted guild structure detected)"
+                    : "no significant segregation");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// directed_null: the directed extension (paper Section I, refs [14],[15]).
+// Builds a skewed joint (in, out) degree distribution, generates a simple
+// digraph null model, and verifies both marginals plus reciprocity against
+// a Kleitman-Wang exact realization.
+//
+//   ./directed_null [n_scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "directed/directed_generators.hpp"
+#include "directed/directed_swap.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+/// Fraction of arcs whose reverse also exists (a directed-only statistic
+/// null models calibrate for motif analysis, cf. Durak et al.).
+double reciprocity(const ArcList& arcs) {
+  if (arcs.empty()) return 0.0;
+  std::unordered_set<EdgeKey> present;
+  present.reserve(arcs.size() * 2);
+  for (const Arc& a : arcs) present.insert(a.key());
+  std::size_t mutual = 0;
+  for (const Arc& a : arcs)
+    if (present.contains(Arc{a.to, a.from}.key())) ++mutual;
+  return static_cast<double>(mutual) / static_cast<double>(arcs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nullgraph;
+  const std::uint64_t scale =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  const DirectedDegreeDistribution dist({
+      {1, 1, 5000 * scale},
+      {2, 1, 2000 * scale},
+      {1, 2, 2000 * scale},
+      {12, 5, 150 * scale},
+      {5, 12, 150 * scale},
+      {200, 200, 3 * scale},
+  });
+  std::printf("target: n=%llu arcs=%llu classes=%zu\n",
+              static_cast<unsigned long long>(dist.num_vertices()),
+              static_cast<unsigned long long>(dist.num_arcs()),
+              dist.num_classes());
+
+  const ArcList arcs = generate_directed_null_graph(dist, 1, 5);
+  std::printf("generated: %zu arcs, simple=%s\n", arcs.size(),
+              is_simple(arcs) ? "yes" : "NO");
+
+  // Marginal check per class.
+  const auto in_realized = in_degrees_of(arcs, dist.num_vertices());
+  const auto out_realized = out_degrees_of(arcs, dist.num_vertices());
+  std::printf("%-18s %10s %10s %10s %10s\n", "class(in,out,n)", "in_tgt",
+              "in_avg", "out_tgt", "out_avg");
+  for (std::size_t c = 0; c < dist.num_classes(); ++c) {
+    const auto& cls = dist.class_at(c);
+    double in_sum = 0, out_sum = 0;
+    for (std::uint64_t v = dist.class_offset(c);
+         v < dist.class_offset(c) + cls.count; ++v) {
+      in_sum += static_cast<double>(in_realized[v]);
+      out_sum += static_cast<double>(out_realized[v]);
+    }
+    const double count = static_cast<double>(cls.count);
+    std::printf("(%3llu,%3llu)x%-7llu %10llu %10.2f %10llu %10.2f\n",
+                static_cast<unsigned long long>(cls.in_degree),
+                static_cast<unsigned long long>(cls.out_degree),
+                static_cast<unsigned long long>(cls.count),
+                static_cast<unsigned long long>(cls.in_degree),
+                in_sum / count,
+                static_cast<unsigned long long>(cls.out_degree),
+                out_sum / count);
+  }
+
+  // Exact baseline for comparison: same degrees, maximally structured.
+  const ArcList exact = kleitman_wang(dist.in_sequence(), dist.out_sequence());
+  std::printf("Kleitman-Wang exact realization: %zu arcs, simple=%s\n",
+              exact.size(), is_simple(exact) ? "yes" : "NO");
+  std::printf("reciprocity: null model %.4f vs greedy construction %.4f\n",
+              reciprocity(arcs), reciprocity(exact));
+  return 0;
+}

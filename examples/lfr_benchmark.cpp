@@ -1,0 +1,51 @@
+// lfr_benchmark: Section VI — generate LFR-like community-detection
+// benchmark graphs across a sweep of mixing parameters and verify that the
+// layered null-model construction hits the requested mixing while keeping
+// the degree distribution.
+//
+//   ./lfr_benchmark [n] [output_prefix]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/gini.hpp"
+#include "ds/edge_list.hpp"
+#include "io/graph_io.hpp"
+#include "lfr/lfr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nullgraph;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const std::string prefix = argc > 2 ? argv[2] : "";
+
+  std::printf("%-6s %12s %12s %10s %12s %8s\n", "mu", "edges",
+              "communities", "mu_out", "avg_degree", "simple");
+  for (const double mu : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    LfrParams params;
+    params.n = n;
+    params.degree_exponent = 2.5;
+    params.dmin = 5;
+    params.dmax = 100;
+    params.community_exponent = 1.5;
+    params.cmin = 50;
+    params.cmax = 800;
+    params.mu = mu;
+    params.seed = 7;
+    const LfrGraph graph = generate_lfr(params);
+    const double avg_degree =
+        2.0 * static_cast<double>(graph.edges.size()) / static_cast<double>(n);
+    std::printf("%-6.2f %12zu %12zu %10.4f %12.2f %8s\n", mu,
+                graph.edges.size(), graph.num_communities, graph.achieved_mu,
+                avg_degree, is_simple(graph.edges) ? "yes" : "NO");
+    if (!prefix.empty()) {
+      const std::string path =
+          prefix + "_mu" + std::to_string(mu).substr(0, 4) + ".txt";
+      write_edge_list_file(path, graph.edges);
+    }
+  }
+  if (!prefix.empty()) std::printf("edge lists written to %s_mu*.txt\n",
+                                   prefix.c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// motif_significance: the introduction's motivating application (Milo et
+// al.). Take an observed graph, build an ensemble of null models with the
+// same degree sequence, and report the triangle-count z-score: a motif is
+// "significant" when the observed count is far outside the null ensemble.
+//
+//   ./motif_significance [edge_list.txt] [ensemble_size]
+//
+// Without a file, a demo graph with planted clustering (an LFR-like
+// community graph) is used — communities create triangles that a degree-
+// preserving null model cannot explain.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/motifs.hpp"
+#include "core/null_model.hpp"
+#include "ds/csr_graph.hpp"
+#include "io/graph_io.hpp"
+#include "lfr/lfr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nullgraph;
+  EdgeList observed;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    observed = read_edge_list_file(argv[1]);
+  } else {
+    LfrParams params;
+    params.n = 4000;
+    params.mu = 0.15;  // strong communities -> many triangles
+    params.dmin = 4;
+    params.dmax = 80;
+    params.cmin = 30;
+    params.cmax = 200;
+    observed = generate_lfr(params).edges;
+    std::printf("demo graph: LFR-like with mu=%.2f\n", params.mu);
+  }
+  const int ensemble = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  const std::size_t n = vertex_count(observed);
+  const CsrGraph graph(observed, n);
+  const auto observed_triangles =
+      static_cast<double>(count_triangles(graph));
+  std::printf("observed: %zu vertices, %zu edges, %.0f triangles, "
+              "clustering %.4f\n",
+              graph.num_vertices(), observed.size(), observed_triangles,
+              global_clustering(graph));
+
+  // Null ensemble: same degree sequence, uniformly random topology.
+  const auto degrees = degrees_of(observed, n);
+  std::vector<std::uint64_t> degree_targets(degrees.begin(), degrees.end());
+  EnsembleStats triangle_stats, clustering_stats;
+  for (int s = 0; s < ensemble; ++s) {
+    GenerateConfig config;
+    config.seed = 4242 + static_cast<std::uint64_t>(s);
+    config.swap_iterations = 8;
+    const GenerateResult null_graph =
+        generate_for_sequence(degree_targets, config);
+    const CsrGraph null_csr(null_graph.edges, n);
+    triangle_stats.add(static_cast<double>(count_triangles(null_csr)));
+    clustering_stats.add(global_clustering(null_csr));
+  }
+
+  std::printf("null model (%d samples): triangles %.1f +- %.1f, clustering "
+              "%.4f\n",
+              ensemble, triangle_stats.mean(), triangle_stats.stddev(),
+              clustering_stats.mean());
+  const double z = z_score(observed_triangles, triangle_stats.mean(),
+                           triangle_stats.stddev());
+  std::printf("triangle z-score: %+.2f  -> %s\n", z,
+              z > 3 ? "SIGNIFICANT motif (graph is more clustered than "
+                      "its degrees explain)"
+                    : "not significant at 3 sigma");
+  return 0;
+}

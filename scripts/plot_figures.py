@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench binaries' text output.
+
+Usage:
+    build/bench/bench_fig3_quality     > out/fig3.txt
+    build/bench/bench_fig4_convergence > out/fig4.txt
+    build/bench/bench_lfr              > out/lfr.txt
+    python3 scripts/plot_figures.py out/
+
+Produces fig3.png (grouped error bars), fig4.png (convergence curves) and
+lfr.png (NMI vs mu) next to the inputs. Requires matplotlib; degrades to a
+message when it is missing.
+"""
+
+import os
+import re
+import sys
+
+
+def parse_fig3(path):
+    sections = {}
+    current = None
+    for line in open(path):
+        m = re.match(r"% error in (.+)", line)
+        if m:
+            current = m.group(1).strip()
+            sections[current] = {}
+            continue
+        fields = line.split()
+        if current and len(fields) == 5 and fields[0] != "dataset":
+            try:
+                sections[current][fields[0]] = [float(x) for x in fields[1:]]
+            except ValueError:
+                pass
+    return sections
+
+
+def parse_fig4(path):
+    rows = []
+    for line in open(path):
+        fields = line.split()
+        if len(fields) == 5:
+            try:
+                rows.append([float(x) for x in fields])
+            except ValueError:
+                pass
+    floor = None
+    for line in open(path):
+        m = re.search(r"floor.*: ([0-9.]+)", line)
+        if m:
+            floor = float(m.group(1))
+    return rows, floor
+
+
+def parse_lfr(path):
+    rows = []
+    for line in open(path):
+        fields = line.split()
+        if len(fields) == 9 and fields[0] != "mu":
+            try:
+                rows.append([float(x) for x in fields])
+            except ValueError:
+                pass
+    return rows
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "out"
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing parsed tables instead")
+        plt = None
+
+    methods = ["O(m)", "O(m) simple", "O(n^2) edgeskip", "ours"]
+
+    fig3_path = os.path.join(out_dir, "fig3.txt")
+    if os.path.exists(fig3_path):
+        sections = parse_fig3(fig3_path)
+        if plt:
+            fig, axes = plt.subplots(len(sections), 1, figsize=(7, 9))
+            for ax, (metric, data) in zip(axes, sections.items()):
+                datasets = list(data)
+                for k, method in enumerate(methods):
+                    ax.bar([i + 0.2 * k for i in range(len(datasets))],
+                           [data[d][k] for d in datasets], width=0.18,
+                           label=method)
+                ax.set_xticks([i + 0.3 for i in range(len(datasets))])
+                ax.set_xticklabels(datasets)
+                ax.set_ylabel(f"% error in {metric}")
+                ax.set_yscale("log")
+                ax.legend(fontsize=7)
+            fig.tight_layout()
+            fig.savefig(os.path.join(out_dir, "fig3.png"), dpi=150)
+            print("wrote fig3.png")
+        else:
+            print(sections)
+
+    fig4_path = os.path.join(out_dir, "fig4.txt")
+    if os.path.exists(fig4_path):
+        rows, floor = parse_fig4(fig4_path)
+        if plt and rows:
+            fig, ax = plt.subplots(figsize=(7, 4.5))
+            iters = [r[0] for r in rows]
+            for k, method in enumerate(methods):
+                ax.plot(iters, [r[k + 1] for r in rows], marker="o",
+                        label=method)
+            if floor:
+                ax.axhline(floor, linestyle="--", color="gray",
+                           label="sampling floor")
+            ax.set_xlabel("swap iterations")
+            ax.set_ylabel("attachment error (weighted L1 / m)")
+            ax.legend(fontsize=8)
+            fig.tight_layout()
+            fig.savefig(os.path.join(out_dir, "fig4.png"), dpi=150)
+            print("wrote fig4.png")
+
+    lfr_path = os.path.join(out_dir, "lfr.txt")
+    if os.path.exists(lfr_path):
+        rows = parse_lfr(lfr_path)
+        if plt and rows:
+            fig, ax = plt.subplots(figsize=(6, 4))
+            ax.plot([r[0] for r in rows], [r[7] for r in rows], marker="o",
+                    label="label propagation NMI")
+            ax.plot([r[0] for r in rows], [r[8] for r in rows], marker="s",
+                    label="modularity of detected partition")
+            ax.set_xlabel("mixing parameter mu")
+            ax.set_ylabel("recovery")
+            ax.legend()
+            fig.tight_layout()
+            fig.savefig(os.path.join(out_dir, "lfr.png"), dpi=150)
+            print("wrote lfr.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#include "analysis/attachment.hpp"
+
+#include <atomic>
+
+namespace nullgraph {
+
+AttachmentAccumulator::AttachmentAccumulator(
+    const DegreeDistribution& reference)
+    : reference_(reference),
+      pair_counts_(reference.num_classes() * (reference.num_classes() + 1) /
+                       2,
+                   0) {}
+
+void AttachmentAccumulator::add(const EdgeList& edges) {
+  ++samples_;
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    std::size_t ci = reference_.class_of_vertex(edges[k].u);
+    std::size_t cj = reference_.class_of_vertex(edges[k].v);
+    if (ci < cj) std::swap(ci, cj);
+    const std::size_t index = ci * (ci + 1) / 2 + cj;
+#pragma omp atomic
+    pair_counts_[index]++;
+  }
+}
+
+ProbabilityMatrix AttachmentAccumulator::average() const {
+  const std::size_t nc = reference_.num_classes();
+  ProbabilityMatrix matrix(nc);
+  if (samples_ == 0) return matrix;
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double ni = static_cast<double>(reference_.count_of_class(i));
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double nj = static_cast<double>(reference_.count_of_class(j));
+      const double pairs = i == j ? ni * (ni - 1.0) / 2.0 : ni * nj;
+      if (pairs <= 0.0) continue;
+      const double count =
+          static_cast<double>(pair_counts_[i * (i + 1) / 2 + j]);
+      matrix.set(i, j, count / (static_cast<double>(samples_) * pairs));
+    }
+  }
+  return matrix;
+}
+
+ProbabilityMatrix empirical_attachment(const EdgeList& edges,
+                                       const DegreeDistribution& reference) {
+  AttachmentAccumulator accumulator(reference);
+  accumulator.add(edges);
+  return accumulator.average();
+}
+
+std::vector<double> max_degree_attachment_row(const ProbabilityMatrix& P) {
+  const std::size_t nc = P.num_classes();
+  std::vector<double> row(nc, 0.0);
+  for (std::size_t j = 0; j < nc; ++j) row[j] = P.at(nc - 1, j);
+  return row;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,49 @@
+#pragma once
+// Empirical pairwise attachment probabilities — the measurement behind
+// Figures 1 and 4. For a reference degree distribution, the attachment
+// probability between degree classes i and j is the fraction of candidate
+// pairs realized as edges, averaged over an ensemble of sample graphs.
+// Vertices map to classes by the library's id convention (class-contiguous
+// ids), so matrices from different generators share dimensions and compare
+// entrywise via ProbabilityMatrix::l1_distance.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+
+namespace nullgraph {
+
+/// Accumulates edge counts per class pair over an ensemble, then averages
+/// into per-pair probabilities.
+class AttachmentAccumulator {
+ public:
+  explicit AttachmentAccumulator(const DegreeDistribution& reference);
+
+  /// Adds one sample graph (ids must follow the reference's convention).
+  void add(const EdgeList& edges);
+
+  std::size_t num_samples() const noexcept { return samples_; }
+
+  /// Average probability matrix over the samples added so far:
+  /// counts / (samples * |pair space|).
+  ProbabilityMatrix average() const;
+
+ private:
+  const DegreeDistribution& reference_;
+  std::vector<std::uint64_t> pair_counts_;  // packed lower triangle
+  std::size_t samples_ = 0;
+};
+
+/// One-shot convenience: attachment probabilities of a single graph.
+ProbabilityMatrix empirical_attachment(const EdgeList& edges,
+                                       const DegreeDistribution& reference);
+
+/// Figure 1's curve: attachment probabilities between the LARGEST degree
+/// class and every class, one entry per reference class.
+std::vector<double> max_degree_attachment_row(const ProbabilityMatrix& P);
+
+}  // namespace nullgraph

@@ -1,0 +1,130 @@
+#include "analysis/community.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+double modularity(const EdgeList& edges,
+                  const std::vector<std::uint32_t>& community) {
+  if (edges.empty()) return 0.0;
+  std::uint32_t num_communities = 0;
+  for (const std::uint32_t c : community)
+    num_communities = std::max(num_communities, c + 1);
+  std::vector<double> internal(num_communities, 0.0);
+  std::vector<double> degree_mass(num_communities, 0.0);
+  for (const Edge& e : edges) {
+    const std::uint32_t cu = community[e.u];
+    const std::uint32_t cv = community[e.v];
+    if (cu == cv) internal[cu] += 1.0;
+    degree_mass[cu] += 1.0;
+    degree_mass[cv] += 1.0;
+  }
+  const double m = static_cast<double>(edges.size());
+  double q = 0.0;
+  for (std::uint32_t c = 0; c < num_communities; ++c) {
+    const double fraction = degree_mass[c] / (2.0 * m);
+    q += internal[c] / m - fraction * fraction;
+  }
+  return q;
+}
+
+std::vector<std::uint32_t> label_propagation(
+    const CsrGraph& graph, const LabelPropagationConfig& config) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0u);
+  if (n == 0) return label;
+
+  Xoshiro256ss rng(config.seed);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Scratch: frequency of each candidate label among a vertex's neighbours.
+  std::unordered_map<std::uint32_t, std::uint32_t> frequency;
+  std::vector<std::uint32_t> best_labels;
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    // Random visit order each round (asynchronous LPA).
+    for (std::size_t i = n; i-- > 1;) {
+      std::swap(order[i], order[rng.bounded(i + 1)]);
+    }
+    bool changed = false;
+    for (const VertexId v : order) {
+      const auto neighbors = graph.neighbors(v);
+      if (neighbors.empty()) continue;
+      frequency.clear();
+      std::uint32_t best_count = 0;
+      for (const VertexId u : neighbors) {
+        const std::uint32_t count = ++frequency[label[u]];
+        best_count = std::max(best_count, count);
+      }
+      best_labels.clear();
+      for (const auto& [candidate, count] : frequency)
+        if (count == best_count) best_labels.push_back(candidate);
+      const std::uint32_t chosen =
+          best_labels[rng.bounded(best_labels.size())];
+      if (chosen != label[v]) {
+        label[v] = chosen;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return compact_labels(std::move(label));
+}
+
+double normalized_mutual_information(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b) {
+  const std::size_t n = a.size();
+  if (n == 0 || b.size() != n) return 0.0;
+  const std::vector<std::uint32_t> ca = compact_labels(a);
+  const std::vector<std::uint32_t> cb = compact_labels(b);
+  std::uint32_t ka = 0, kb = 0;
+  for (std::uint32_t label : ca) ka = std::max(ka, label + 1);
+  for (std::uint32_t label : cb) kb = std::max(kb, label + 1);
+
+  std::vector<double> pa(ka, 0.0), pb(kb, 0.0);
+  std::unordered_map<std::uint64_t, double> joint;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    pa[ca[v]] += inv_n;
+    pb[cb[v]] += inv_n;
+    joint[(static_cast<std::uint64_t>(ca[v]) << 32) | cb[v]] += inv_n;
+  }
+  auto entropy = [](const std::vector<double>& p) {
+    double h = 0.0;
+    for (double value : p)
+      if (value > 0.0) h -= value * std::log(value);
+    return h;
+  };
+  const double ha = entropy(pa);
+  const double hb = entropy(pb);
+  double mutual = 0.0;
+  for (const auto& [key, pab] : joint) {
+    const double marginal =
+        pa[static_cast<std::uint32_t>(key >> 32)] *
+        pb[static_cast<std::uint32_t>(key & 0xffffffffu)];
+    if (pab > 0.0 && marginal > 0.0)
+      mutual += pab * std::log(pab / marginal);
+  }
+  if (ha <= 0.0 && hb <= 0.0) return 1.0;  // both trivial and equal
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  return mutual / std::sqrt(ha * hb);
+}
+
+std::vector<std::uint32_t> compact_labels(std::vector<std::uint32_t> labels) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(labels.size() / 4 + 1);
+  for (std::uint32_t& label : labels) {
+    const auto [it, inserted] =
+        remap.try_emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  return labels;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,65 @@
+#include "analysis/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace nullgraph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::uint32_t UnionFind::find(std::uint32_t v) noexcept {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+ComponentSummary connected_components(const EdgeList& edges, std::size_t n) {
+  if (n == 0) n = vertex_count(edges);
+  ComponentSummary summary;
+  UnionFind sets(n);
+  for (const Edge& e : edges) sets.unite(e.u, e.v);
+  summary.num_components = sets.num_sets();
+  summary.component.resize(n);
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(sets.num_sets());
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t root = sets.find(static_cast<std::uint32_t>(v));
+    const auto [it, inserted] =
+        remap.try_emplace(root, static_cast<std::uint32_t>(remap.size()));
+    summary.component[v] = it->second;
+    summary.largest_size =
+        std::max(summary.largest_size,
+                 sets.size_of(static_cast<std::uint32_t>(v)));
+  }
+  return summary;
+}
+
+bool is_connected(const EdgeList& edges, std::size_t n) {
+  if (n == 0) n = vertex_count(edges);
+  if (n == 0) return false;
+  UnionFind sets(n);
+  for (const Edge& e : edges) {
+    sets.unite(e.u, e.v);
+    if (sets.num_sets() == 1) return true;
+  }
+  return sets.num_sets() == 1;
+}
+
+}  // namespace nullgraph

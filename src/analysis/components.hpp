@@ -1,0 +1,47 @@
+#pragma once
+// Connected components via union-find. Null-model practice often needs to
+// know (or condition on) connectivity: double-edge swaps do NOT preserve
+// connectedness, so pipelines that require a connected null sample
+// regenerate until this reports one component.
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Weighted quick-union with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of v's set (with path compression).
+  std::uint32_t find(std::uint32_t v) noexcept;
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept;
+
+  std::size_t num_sets() const noexcept { return num_sets_; }
+  std::size_t size_of(std::uint32_t v) noexcept { return size_[find(v)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_ = 0;
+};
+
+struct ComponentSummary {
+  std::size_t num_components = 0;       // over n vertices (isolated count)
+  std::size_t largest_size = 0;
+  std::vector<std::uint32_t> component; // per-vertex component id (dense)
+};
+
+/// Components of the graph on `n` vertices (0 = infer from edges).
+ComponentSummary connected_components(const EdgeList& edges,
+                                      std::size_t n = 0);
+
+/// True when all n vertices lie in one component (false for n = 0).
+bool is_connected(const EdgeList& edges, std::size_t n = 0);
+
+}  // namespace nullgraph

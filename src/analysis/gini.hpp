@@ -1,0 +1,20 @@
+#pragma once
+// Gini coefficient of a degree sequence — the skew measure of Figure 3
+// (Ceriani & Verme [9]). 0 = perfectly even degrees, ->1 = all degree mass
+// on a few hubs.
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+
+namespace nullgraph {
+
+/// Gini of an arbitrary non-negative sequence; O(n log n) (sorts a copy).
+double gini_coefficient(std::vector<std::uint64_t> values);
+
+/// Gini straight from a degree distribution, O(|D|) using the grouped form
+/// of the sorted-sequence formula.
+double gini_coefficient(const DegreeDistribution& dist);
+
+}  // namespace nullgraph

@@ -1,0 +1,95 @@
+#include "analysis/metrics.hpp"
+
+#include <cmath>
+
+#include "analysis/gini.hpp"
+
+namespace nullgraph {
+
+QualityErrors quality_errors(const DegreeDistribution& target,
+                             const EdgeList& generated) {
+  QualityErrors errors;
+  const std::uint64_t n = target.num_vertices();
+  const std::vector<std::uint64_t> degrees = degrees_of(generated, n);
+
+  const double m_target = static_cast<double>(target.num_edges());
+  const double m_out = static_cast<double>(generated.size());
+  errors.edge_count = m_target > 0 ? std::abs(m_out - m_target) / m_target : 0;
+
+  std::uint64_t dmax_out = 0;
+#pragma omp parallel for reduction(max : dmax_out) schedule(static)
+  for (std::size_t v = 0; v < degrees.size(); ++v)
+    if (degrees[v] > dmax_out) dmax_out = degrees[v];
+  const double dmax_target = static_cast<double>(target.max_degree());
+  errors.max_degree =
+      dmax_target > 0
+          ? std::abs(static_cast<double>(dmax_out) - dmax_target) /
+                dmax_target
+          : 0;
+
+  const double gini_target = gini_coefficient(target);
+  const double gini_out = gini_coefficient(degrees);
+  errors.gini =
+      gini_target > 0 ? std::abs(gini_out - gini_target) / gini_target : 0;
+  return errors;
+}
+
+std::vector<double> per_degree_errors(const DegreeDistribution& target,
+                                      const EdgeList& generated) {
+  const std::uint64_t n = target.num_vertices();
+  const std::vector<std::uint64_t> degrees = degrees_of(generated, n);
+  const std::uint64_t dmax = target.max_degree();
+  std::vector<std::uint64_t> histogram(dmax + 2, 0);
+  for (std::uint64_t d : degrees) {
+    // Degrees above the target max all land in the overflow bucket; they
+    // count as "not matching any target class".
+    ++histogram[d <= dmax ? d : dmax + 1];
+  }
+  std::vector<double> errors(target.num_classes(), 0.0);
+  for (std::size_t c = 0; c < target.num_classes(); ++c) {
+    const double want = static_cast<double>(target.count_of_class(c));
+    const double got =
+        static_cast<double>(histogram[target.degree_of_class(c)]);
+    errors[c] = want > 0 ? std::abs(got - want) / want : 0.0;
+  }
+  return errors;
+}
+
+double degree_assortativity(const EdgeList& edges) {
+  if (edges.empty()) return 0.0;
+  const std::vector<std::uint64_t> degrees = degrees_of(edges);
+  // Newman's Pearson correlation over edge endpoint degree pairs.
+  double sum_jk = 0.0, sum_half = 0.0, sum_sq = 0.0;
+#pragma omp parallel for reduction(+ : sum_jk, sum_half, sum_sq) \
+    schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const double j = static_cast<double>(degrees[edges[i].u]);
+    const double k = static_cast<double>(degrees[edges[i].v]);
+    sum_jk += j * k;
+    sum_half += 0.5 * (j + k);
+    sum_sq += 0.5 * (j * j + k * k);
+  }
+  const double inv_m = 1.0 / static_cast<double>(edges.size());
+  const double mean = inv_m * sum_half;
+  const double numerator = inv_m * sum_jk - mean * mean;
+  const double denominator = inv_m * sum_sq - mean * mean;
+  if (std::abs(denominator) < 1e-15) return 0.0;
+  return numerator / denominator;
+}
+
+QualityErrors average(const std::vector<QualityErrors>& samples) {
+  QualityErrors mean;
+  if (samples.empty()) return mean;
+  for (const QualityErrors& s : samples) {
+    mean.edge_count += s.edge_count;
+    mean.max_degree += s.max_degree;
+    mean.gini += s.gini;
+  }
+  const double k = static_cast<double>(samples.size());
+  mean.edge_count /= k;
+  mean.max_degree /= k;
+  mean.gini /= k;
+  return mean;
+}
+
+}  // namespace nullgraph

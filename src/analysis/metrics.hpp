@@ -1,0 +1,36 @@
+#pragma once
+// Output-quality metrics: how closely a generated graph matches its target
+// degree distribution (Figures 2 and 3) plus degree assortativity.
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// The three Figure 3 error measures, as relative (fractional) errors.
+struct QualityErrors {
+  double edge_count = 0.0;  // | m_out - m_target | / m_target
+  double max_degree = 0.0;  // | dmax_out - dmax_target | / dmax_target
+  double gini = 0.0;        // | G_out - G_target | / G_target
+};
+
+QualityErrors quality_errors(const DegreeDistribution& target,
+                             const EdgeList& generated);
+
+/// Per-degree relative error of the output degree histogram vs the target
+/// (Figure 2). Entry k corresponds to target class k:
+///   | n_out(d_k) - n_target(d_k) | / n_target(d_k).
+std::vector<double> per_degree_errors(const DegreeDistribution& target,
+                                      const EdgeList& generated);
+
+/// Pearson degree assortativity over edges (Newman [26]); NaN-free: returns
+/// 0 for degenerate (constant-degree or empty) graphs.
+double degree_assortativity(const EdgeList& edges);
+
+/// Average of QualityErrors over several trials (helper for Figure 3).
+QualityErrors average(const std::vector<QualityErrors>& samples);
+
+}  // namespace nullgraph

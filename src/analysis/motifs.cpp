@@ -1,0 +1,76 @@
+#include "analysis/motifs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nullgraph {
+
+std::uint64_t count_triangles(const CsrGraph& graph) {
+  const std::size_t n = graph.num_vertices();
+  std::uint64_t triangles = 0;
+  // For every ordered neighbour pair u < v, intersect N(u) and N(v) above
+  // v: counts each triangle once per its smallest vertex.
+#pragma omp parallel for reduction(+ : triangles) schedule(dynamic, 64)
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto nu = graph.neighbors(static_cast<VertexId>(u));
+    for (const VertexId v : nu) {
+      if (v <= u) continue;
+      const auto nv = graph.neighbors(v);
+      // two-pointer intersection of the > v suffixes
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::uint64_t count_wedges(const CsrGraph& graph) {
+  const std::size_t n = graph.num_vertices();
+  std::uint64_t wedges = 0;
+#pragma omp parallel for reduction(+ : wedges) schedule(static)
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t d = graph.degree(static_cast<VertexId>(v));
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double global_clustering(const CsrGraph& graph) {
+  const std::uint64_t wedges = count_wedges(graph);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(count_triangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+double z_score(double observed, double mean, double stddev) {
+  if (stddev <= 0.0) return 0.0;
+  return (observed - mean) / stddev;
+}
+
+void EnsembleStats::add(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double EnsembleStats::variance() const noexcept {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double EnsembleStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,44 @@
+#pragma once
+// Small-motif counting — the intro's motivating application (Milo et al.
+// [23]): a motif is significant when its count in the observed graph is
+// extreme against the null-model ensemble. Triangles and wedges are the
+// canonical probes and give the global clustering coefficient.
+
+#include <cstdint>
+
+#include "ds/csr_graph.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Exact triangle count via sorted-neighbourhood intersection on each edge
+/// (u < v to count each triangle three times, divided out). O(sum over
+/// edges of d_u + d_v). Requires a sorted-row CSR.
+std::uint64_t count_triangles(const CsrGraph& graph);
+
+/// Number of wedges (paths of length 2) = sum_v C(d_v, 2).
+std::uint64_t count_wedges(const CsrGraph& graph);
+
+/// Global clustering coefficient: 3 * triangles / wedges (0 if no wedges).
+double global_clustering(const CsrGraph& graph);
+
+/// Z-score of `observed` against an ensemble with the given sample mean
+/// and (population) standard deviation; 0 when the deviation vanishes.
+double z_score(double observed, double mean, double stddev);
+
+/// Running mean/variance accumulator (Welford) for ensemble statistics.
+class EnsembleStats {
+ public:
+  void add(double value) noexcept;
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace nullgraph

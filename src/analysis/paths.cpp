@@ -1,0 +1,73 @@
+#include "analysis/paths.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& graph,
+                                         VertexId source) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::uint32_t> distance(n, kUnreachable);
+  std::vector<VertexId> frontier{source};
+  distance[source] = 0;
+  std::uint32_t depth = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const VertexId v : frontier) {
+      for (const VertexId u : graph.neighbors(v)) {
+        if (distance[u] == kUnreachable) {
+          distance[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return distance;
+}
+
+PathStats sampled_path_stats(const CsrGraph& graph, std::size_t samples,
+                             std::uint64_t seed) {
+  PathStats stats;
+  const std::size_t n = graph.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<VertexId> sources;
+  if (samples >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), 0u);
+  } else {
+    Xoshiro256ss rng(seed);
+    sources.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s)
+      sources.push_back(static_cast<VertexId>(rng.bounded(n)));
+  }
+
+  long double distance_sum = 0.0L;
+  std::size_t pairs = 0;
+  std::uint32_t max_distance = 0;
+#pragma omp parallel for schedule(dynamic, 1) \
+    reduction(+ : distance_sum, pairs) reduction(max : max_distance)
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const auto distance = bfs_distances(graph, sources[s]);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == sources[s] || distance[v] == kUnreachable) continue;
+      distance_sum += distance[v];
+      ++pairs;
+      max_distance = std::max(max_distance, distance[v]);
+    }
+  }
+  stats.sampled_sources = sources.size();
+  stats.reachable_pairs = pairs;
+  stats.max_distance = max_distance;
+  stats.average_distance =
+      pairs ? static_cast<double>(distance_sum / pairs) : 0.0;
+  return stats;
+}
+
+}  // namespace nullgraph

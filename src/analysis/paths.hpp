@@ -1,0 +1,31 @@
+#pragma once
+// Shortest-path statistics: BFS distances, sampled average path length and
+// a pseudo-diameter. The third classic null-model comparison (after motifs
+// and mixing): is a network's "small world" distance profile explained by
+// its degree sequence?
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/csr_graph.hpp"
+
+namespace nullgraph {
+
+/// BFS hop distances from `source`; unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = ~0u;
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& graph,
+                                         VertexId source);
+
+struct PathStats {
+  double average_distance = 0.0;  // over reachable sampled pairs
+  std::uint32_t max_distance = 0; // pseudo-diameter over the samples
+  std::size_t reachable_pairs = 0;
+  std::size_t sampled_sources = 0;
+};
+
+/// Average distance / pseudo-diameter from `samples` random BFS sources
+/// (exact when samples >= n: every vertex becomes a source once).
+PathStats sampled_path_stats(const CsrGraph& graph, std::size_t samples,
+                             std::uint64_t seed = 1);
+
+}  // namespace nullgraph

@@ -1,0 +1,210 @@
+#include "bipartite/bipartite.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "directed/directed_generators.hpp"
+#include "directed/directed_swap.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+std::vector<DegreeClass> normalize_classes(std::vector<DegreeClass> classes) {
+  std::sort(classes.begin(), classes.end(),
+            [](const DegreeClass& a, const DegreeClass& b) {
+              return a.degree < b.degree;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].count == 0) continue;
+    if (out > 0 && classes[out - 1].degree == classes[i].degree) {
+      classes[out - 1].count += classes[i].count;
+    } else {
+      classes[out++] = classes[i];
+    }
+  }
+  classes.resize(out);
+  return classes;
+}
+
+std::vector<std::uint64_t> expand(const std::vector<DegreeClass>& classes) {
+  std::vector<std::uint64_t> sequence;
+  for (const DegreeClass& c : classes)
+    sequence.insert(sequence.end(), c.count, c.degree);
+  return sequence;
+}
+
+}  // namespace
+
+BipartiteDistribution::BipartiteDistribution(std::vector<DegreeClass> left,
+                                             std::vector<DegreeClass> right)
+    : left_(normalize_classes(std::move(left))),
+      right_(normalize_classes(std::move(right))) {
+  std::uint64_t left_stubs = 0, right_stubs = 0;
+  for (const DegreeClass& c : left_) {
+    num_left_ += c.count;
+    left_stubs += c.degree * c.count;
+  }
+  for (const DegreeClass& c : right_) {
+    num_right_ += c.count;
+    right_stubs += c.degree * c.count;
+  }
+  if (left_stubs != right_stubs) {
+    throw std::invalid_argument(
+        "BipartiteDistribution: left and right stub totals differ");
+  }
+  num_edges_ = left_stubs;
+}
+
+BipartiteDistribution BipartiteDistribution::from_sequences(
+    const std::vector<std::uint64_t>& left_degrees,
+    const std::vector<std::uint64_t>& right_degrees) {
+  auto to_classes = [](const std::vector<std::uint64_t>& degrees) {
+    std::vector<DegreeClass> classes;
+    classes.reserve(degrees.size());
+    for (std::uint64_t d : degrees) classes.push_back({d, 1});
+    return classes;
+  };
+  return BipartiteDistribution(to_classes(left_degrees),
+                               to_classes(right_degrees));
+}
+
+std::vector<std::uint64_t> BipartiteDistribution::left_sequence() const {
+  return expand(left_);
+}
+
+std::vector<std::uint64_t> BipartiteDistribution::right_sequence() const {
+  return expand(right_);
+}
+
+DirectedDegreeDistribution BipartiteDistribution::as_directed() const {
+  std::vector<DirectedDegreeClass> classes;
+  classes.reserve(left_.size() + right_.size());
+  for (const DegreeClass& c : left_) classes.push_back({0, c.degree, c.count});
+  for (const DegreeClass& c : right_) classes.push_back({c.degree, 0, c.count});
+  return DirectedDegreeDistribution(std::move(classes));
+}
+
+bool is_bigraphical(const std::vector<std::uint64_t>& left_degrees,
+                    const std::vector<std::uint64_t>& right_degrees) {
+  std::uint64_t left_total =
+      std::accumulate(left_degrees.begin(), left_degrees.end(), 0ULL);
+  std::uint64_t right_total =
+      std::accumulate(right_degrees.begin(), right_degrees.end(), 0ULL);
+  if (left_total != right_total) return false;
+  // Gale-Ryser: with left sorted descending,
+  //   for all k:  sum_{i<=k} a_i  <=  sum_j min(b_j, k).
+  // Only k values where the sorted a strictly drops need checking.
+  std::vector<std::uint64_t> a = left_degrees;
+  std::vector<std::uint64_t> b = right_degrees;
+  std::sort(a.rbegin(), a.rend());
+  std::sort(b.rbegin(), b.rend());  // descending: b_1 >= b_2 >= ...
+  // Prefix sums of b for the min() split: for threshold k, entries with
+  // b_j > k contribute k each, the rest contribute b_j.
+  std::vector<std::uint64_t> b_prefix(b.size() + 1, 0);
+  for (std::size_t j = 0; j < b.size(); ++j)
+    b_prefix[j + 1] = b_prefix[j] + b[j];
+  unsigned long long lhs = 0;
+  for (std::size_t k = 1; k <= a.size(); ++k) {
+    lhs += a[k - 1];
+    if (k < a.size() && a[k] == a[k - 1]) continue;  // not a drop point
+    // Number of b entries strictly greater than k (b is descending).
+    const auto split = std::lower_bound(
+        b.begin(), b.end(), static_cast<std::uint64_t>(k),
+        [](std::uint64_t value, std::uint64_t key) { return value > key; });
+    const std::size_t greater = static_cast<std::size_t>(split - b.begin());
+    const unsigned long long rhs =
+        static_cast<unsigned long long>(greater) * k +
+        (b_prefix[b.size()] - b_prefix[greater]);
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Directed encoding over raw per-vertex sequences: left vertex v keeps id
+/// v (out-stubs only), right vertex r becomes id num_left + r (in-stubs
+/// only).
+void raw_sequences(const std::vector<std::uint64_t>& left,
+                   const std::vector<std::uint64_t>& right,
+                   std::vector<std::uint64_t>& in_seq,
+                   std::vector<std::uint64_t>& out_seq) {
+  const std::size_t n = left.size() + right.size();
+  in_seq.assign(n, 0);
+  out_seq.assign(n, 0);
+  for (std::size_t v = 0; v < left.size(); ++v) out_seq[v] = left[v];
+  for (std::size_t r = 0; r < right.size(); ++r)
+    in_seq[left.size() + r] = right[r];
+}
+
+}  // namespace
+
+ArcList gale_ryser_realization(
+    const std::vector<std::uint64_t>& left_degrees,
+    const std::vector<std::uint64_t>& right_degrees) {
+  std::vector<std::uint64_t> in_seq, out_seq;
+  raw_sequences(left_degrees, right_degrees, in_seq, out_seq);
+  ArcList arcs = kleitman_wang(in_seq, out_seq);
+  const VertexId offset = static_cast<VertexId>(left_degrees.size());
+  for (Arc& arc : arcs) arc.to -= offset;
+  return arcs;
+}
+
+ArcList bipartite_null_graph(const BipartiteDistribution& dist,
+                             std::uint64_t seed,
+                             std::size_t swap_iterations) {
+  // Directed classes sort by (out, in) ascending: all right classes (out=0)
+  // first, in-degree ascending, then the left classes, out-degree
+  // ascending. Both match the bipartite id convention (ascending degree
+  // per side), so the id mapping is a pair of offsets — except that a
+  // degree-0 left class and a degree-0 right class would merge into one
+  // (0,0) directed class. Zero-degree vertices touch no edges, so we strip
+  // them for generation and the mapping below accounts for the gap.
+  std::vector<DegreeClass> left = dist.left_classes();
+  std::vector<DegreeClass> right = dist.right_classes();
+  std::uint64_t left_zero = 0, right_zero = 0;
+  if (!left.empty() && left.front().degree == 0) {
+    left_zero = left.front().count;
+    left.erase(left.begin());
+  }
+  if (!right.empty() && right.front().degree == 0) {
+    right_zero = right.front().count;
+    right.erase(right.begin());
+  }
+  std::vector<DirectedDegreeClass> classes;
+  for (const DegreeClass& c : left) classes.push_back({0, c.degree, c.count});
+  for (const DegreeClass& c : right)
+    classes.push_back({c.degree, 0, c.count});
+  const DirectedDegreeDistribution directed(std::move(classes));
+
+  ArcList arcs = generate_directed_null_graph(directed, seed, swap_iterations);
+
+  std::uint64_t nonzero_right = 0;
+  for (const DegreeClass& c : right) nonzero_right += c.count;
+  const VertexId left_base = static_cast<VertexId>(nonzero_right);
+  for (Arc& arc : arcs) {
+    // from: left side, directed ids [nonzero_right, ...) in ascending
+    // left-degree order -> bipartite left ids start after the zero block.
+    arc.from = static_cast<VertexId>(arc.from - left_base + left_zero);
+    // to: right side, directed ids [0, nonzero_right).
+    arc.to = static_cast<VertexId>(arc.to + right_zero);
+  }
+  return arcs;
+}
+
+std::size_t bipartite_swap(ArcList& edges, std::uint64_t num_left,
+                           std::size_t iterations, std::uint64_t seed) {
+  const VertexId offset = static_cast<VertexId>(num_left);
+  for (Arc& arc : edges) arc.to += offset;
+  DirectedSwapConfig config;
+  config.iterations = iterations;
+  config.seed = seed;
+  const DirectedSwapStats stats = directed_swap_arcs(edges, config);
+  for (Arc& arc : edges) arc.to -= offset;
+  return stats.total_swapped();
+}
+
+}  // namespace nullgraph

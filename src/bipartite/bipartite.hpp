@@ -1,0 +1,90 @@
+#pragma once
+// Bipartite null models: uniformly random simple bipartite graphs with
+// prescribed left and right degree sequences — the null space behind
+// ecology's species-site matrices, recommender user-item graphs, and
+// affiliation networks (Section VI's overlapping-community models reduce
+// to this space too).
+//
+// Implementation note: a simple bipartite graph IS a simple digraph whose
+// out-stubs all live on the left side and in-stubs on the right, so the
+// whole pipeline — probability solver, edge-skipping, degree-preserving
+// swaps (the "checkerboard swaps" of the ecology literature), exact
+// realization — is the directed machinery behind a left/right facade.
+// Gale-Ryser gets a direct O(|classes|^2) implementation as well.
+//
+// Edges are Arc{left_id, right_id}; both sides number from 0
+// independently, grouped ascending by degree class (same convention as
+// DegreeDistribution).
+
+#include <cstdint>
+#include <vector>
+
+#include "directed/directed_distribution.hpp"
+#include "ds/degree_distribution.hpp"
+
+namespace nullgraph {
+
+class BipartiteDistribution {
+ public:
+  BipartiteDistribution() = default;
+
+  /// Left and right (degree, count) classes; throws std::invalid_argument
+  /// when the two sides' stub totals differ (no bipartite graph exists).
+  BipartiteDistribution(std::vector<DegreeClass> left,
+                        std::vector<DegreeClass> right);
+
+  static BipartiteDistribution from_sequences(
+      const std::vector<std::uint64_t>& left_degrees,
+      const std::vector<std::uint64_t>& right_degrees);
+
+  std::uint64_t num_left() const noexcept { return num_left_; }
+  std::uint64_t num_right() const noexcept { return num_right_; }
+  std::uint64_t num_edges() const noexcept { return num_edges_; }
+  const std::vector<DegreeClass>& left_classes() const noexcept {
+    return left_;
+  }
+  const std::vector<DegreeClass>& right_classes() const noexcept {
+    return right_;
+  }
+
+  /// Per-vertex target degrees in id order.
+  std::vector<std::uint64_t> left_sequence() const;
+  std::vector<std::uint64_t> right_sequence() const;
+
+  /// The equivalent directed distribution: left classes become (in=0,
+  /// out=degree), right classes (in=degree, out=0). Note the directed
+  /// class ordering puts the right side first; bipartite_null_graph owns
+  /// the id mapping, use it rather than decoding ids by hand.
+  DirectedDegreeDistribution as_directed() const;
+
+ private:
+  std::vector<DegreeClass> left_, right_;  // ascending by degree
+  std::uint64_t num_left_ = 0, num_right_ = 0, num_edges_ = 0;
+};
+
+/// Gale-Ryser: does a simple bipartite graph with these degree sequences
+/// exist? Direct class-based test, O(|left classes| * |right classes|).
+bool is_bigraphical(const std::vector<std::uint64_t>& left_degrees,
+                    const std::vector<std::uint64_t>& right_degrees);
+
+/// Exact realization (via the Kleitman-Wang construction on the directed
+/// encoding). Throws std::invalid_argument when not bigraphical. Edges
+/// come back in (left, right) ids.
+ArcList gale_ryser_realization(
+    const std::vector<std::uint64_t>& left_degrees,
+    const std::vector<std::uint64_t>& right_degrees);
+
+/// Uniformly random simple bipartite graph matching `dist` in expectation
+/// (probability solver -> edge-skipping -> checkerboard swaps).
+ArcList bipartite_null_graph(const BipartiteDistribution& dist,
+                             std::uint64_t seed = 1,
+                             std::size_t swap_iterations = 10);
+
+/// Degree-preserving bipartite ("checkerboard") swaps on an existing
+/// bipartite edge list; both sides' degrees are invariant, simplicity is
+/// preserved. Returns the number of committed swaps.
+std::size_t bipartite_swap(ArcList& edges, std::uint64_t num_left,
+                           std::size_t iterations = 10,
+                           std::uint64_t seed = 1);
+
+}  // namespace nullgraph

@@ -1,0 +1,183 @@
+#include "core/double_edge_swap.hpp"
+
+#include <unordered_map>
+
+#include "ds/concurrent_hash_set.hpp"
+#include "permute/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+/// Stateless fair coin for (seed, pair): selects the swap partnering.
+bool pair_coin(std::uint64_t seed, std::uint64_t pair) {
+  std::uint64_t state = seed ^ (pair * 0x9e3779b97f4a7c15ULL);
+  return (splitmix64_next(state) >> 63) != 0;
+}
+
+/// The two candidate partnerings of Algorithm III.1 lines 11-16.
+void propose(const Edge& e, const Edge& f, bool coin, Edge& g, Edge& h) {
+  if (coin) {
+    g = {e.u, f.u};  // {u, x}
+    h = {e.v, f.v};  // {v, y}
+  } else {
+    g = {e.u, f.v};  // {u, y}
+    h = {e.v, f.u};  // {v, x}
+  }
+}
+
+}  // namespace
+
+SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
+  SwapStats stats;
+  stats.iterations.resize(config.iterations);
+  const std::size_t m = edges.size();
+  if (m < 2) return stats;
+
+  ConcurrentHashSet table(m);
+  std::vector<std::uint8_t> ever_swapped;
+  if (config.track_swapped_edges) ever_swapped.assign(m, 0);
+
+  std::uint64_t seed_chain = config.seed;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    SwapIterationStats& it_stats = stats.iterations[iter];
+    const std::uint64_t permute_seed = splitmix64_next(seed_chain);
+    const std::uint64_t coin_seed = splitmix64_next(seed_chain);
+
+    // 1. T <- all current edges (multi-edge copies collapse to one key;
+    //    self-loop keys are harmless placeholders).
+    if (iter > 0) table.clear();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) table.test_and_set(edges[i].key());
+
+    // 2. Permute(E) — and the swap flags travel with their edges.
+    const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
+    const std::span<const std::uint64_t> target_span(targets.data(),
+                                                     targets.size());
+    apply_targets_parallel(std::span<Edge>(edges), target_span);
+    if (config.track_swapped_edges) {
+      apply_targets_parallel(std::span<std::uint8_t>(ever_swapped),
+                             target_span);
+    }
+
+    // 3. Attempt one swap per adjacent pair.
+    const std::size_t pairs = m / 2;
+    std::size_t swapped = 0, rejected_existing = 0, rejected_loop = 0;
+#pragma omp parallel for schedule(static) \
+    reduction(+ : swapped, rejected_existing, rejected_loop)
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const Edge e = edges[2 * k];
+      const Edge f = edges[2 * k + 1];
+      Edge g, h;
+      propose(e, f, pair_coin(coin_seed, k), g, h);
+      if (g.is_loop() || h.is_loop()) {
+        ++rejected_loop;
+        continue;
+      }
+      // TestAndSet returns true when the key already exists -> reject.
+      // A failed second insertion leaves g in T: a conservative
+      // over-approximation, exactly as in the paper (no deletions).
+      if (table.test_and_set(g.key()) || table.test_and_set(h.key())) {
+        ++rejected_existing;
+        continue;
+      }
+      edges[2 * k] = g;
+      edges[2 * k + 1] = h;
+      ++swapped;
+      if (config.track_swapped_edges) {
+        ever_swapped[2 * k] = 1;
+        ever_swapped[2 * k + 1] = 1;
+      }
+    }
+    it_stats.attempted = pairs;
+    it_stats.swapped = swapped;
+    it_stats.rejected_existing = rejected_existing;
+    it_stats.rejected_loop = rejected_loop;
+  }
+
+  if (config.track_swapped_edges) {
+    std::size_t count = 0;
+#pragma omp parallel for reduction(+ : count) schedule(static)
+    for (std::size_t i = 0; i < m; ++i) count += ever_swapped[i];
+    stats.edges_ever_swapped = count;
+  }
+  return stats;
+}
+
+SwapStats swap_edges_serial(EdgeList& edges, const SwapConfig& config) {
+  // Reference MCMC with an EXACT edge table: replaced edges are removed, so
+  // (unlike the parallel variant) no conservative rejections occur within
+  // an iteration. Multi-edge inputs use per-key multiplicity counts.
+  SwapStats stats;
+  stats.iterations.resize(config.iterations);
+  const std::size_t m = edges.size();
+  if (m < 2) return stats;
+
+  std::unordered_map<EdgeKey, std::uint32_t> table;
+  table.reserve(m * 2);
+  for (const Edge& e : edges) ++table[e.key()];
+  auto remove_key = [&table](EdgeKey key) {
+    const auto it = table.find(key);
+    if (it->second == 1)
+      table.erase(it);
+    else
+      --it->second;
+  };
+
+  std::vector<std::uint8_t> ever_swapped;
+  if (config.track_swapped_edges) ever_swapped.assign(m, 0);
+
+  std::uint64_t seed_chain = config.seed;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    SwapIterationStats& it_stats = stats.iterations[iter];
+    const std::uint64_t permute_seed = splitmix64_next(seed_chain);
+    const std::uint64_t coin_seed = splitmix64_next(seed_chain);
+    const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
+    const std::span<const std::uint64_t> target_span(targets.data(),
+                                                     targets.size());
+    apply_targets_serial(std::span<Edge>(edges), target_span);
+    if (config.track_swapped_edges) {
+      apply_targets_serial(std::span<std::uint8_t>(ever_swapped),
+                           target_span);
+    }
+
+    const std::size_t pairs = m / 2;
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const Edge e = edges[2 * k];
+      const Edge f = edges[2 * k + 1];
+      Edge g, h;
+      propose(e, f, pair_coin(coin_seed, k), g, h);
+      if (g.is_loop() || h.is_loop()) {
+        ++it_stats.rejected_loop;
+        continue;
+      }
+      if (g.key() == h.key() || table.contains(g.key()) ||
+          table.contains(h.key())) {
+        ++it_stats.rejected_existing;
+        continue;
+      }
+      remove_key(e.key());
+      remove_key(f.key());
+      ++table[g.key()];
+      ++table[h.key()];
+      edges[2 * k] = g;
+      edges[2 * k + 1] = h;
+      ++it_stats.swapped;
+      if (config.track_swapped_edges) {
+        ever_swapped[2 * k] = 1;
+        ever_swapped[2 * k + 1] = 1;
+      }
+    }
+    it_stats.attempted = pairs;
+  }
+
+  if (config.track_swapped_edges) {
+    std::size_t count = 0;
+    for (std::uint8_t flag : ever_swapped) count += flag;
+    stats.edges_ever_swapped = count;
+  }
+  return stats;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,115 @@
+#include "core/mixing.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed,
+                                std::size_t max_iterations) {
+  const std::size_t m = edges.size();
+  if (m == 0) return 0;
+  // The tracked "ever swapped" flags live inside one swap_edges call (they
+  // travel with the edges through each permutation), so probe whole
+  // horizons: double the iteration budget until coverage saturates, then
+  // binary-search the smallest sufficient horizon. Same seed -> the chain
+  // replays identically, so the probes are consistent.
+  const EdgeList working = std::move(edges);
+  std::size_t covered = 0;
+  std::size_t horizon = 1;
+  while (horizon <= max_iterations) {
+    EdgeList copy = working;
+    SwapConfig config;
+    config.iterations = horizon;
+    config.seed = seed;
+    config.track_swapped_edges = true;
+    const SwapStats stats = swap_edges(copy, config);
+    covered = stats.edges_ever_swapped;
+    if (covered == m) {
+      // Binary-search the smallest sufficient horizon in [horizon/2+1, horizon].
+      std::size_t lo = horizon / 2 + 1, hi = horizon;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        EdgeList probe = working;
+        SwapConfig probe_config;
+        probe_config.iterations = mid;
+        probe_config.seed = seed;
+        probe_config.track_swapped_edges = true;
+        if (swap_edges(probe, probe_config).edges_ever_swapped == m)
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      return lo;
+    }
+    horizon *= 2;
+  }
+  return max_iterations + 1;
+}
+
+std::vector<double> acceptance_profile(EdgeList edges,
+                                       std::size_t iterations,
+                                       std::uint64_t seed) {
+  SwapConfig config;
+  config.iterations = iterations;
+  config.seed = seed;
+  const SwapStats stats = swap_edges(edges, config);
+  std::vector<double> rates;
+  rates.reserve(stats.iterations.size());
+  for (const SwapIterationStats& it : stats.iterations) {
+    rates.push_back(it.attempted == 0
+                        ? 0.0
+                        : static_cast<double>(it.swapped) /
+                              static_cast<double>(it.attempted));
+  }
+  return rates;
+}
+
+std::vector<double> statistic_trace(
+    EdgeList edges, std::size_t iterations,
+    const std::function<double(const EdgeList&)>& statistic,
+    std::uint64_t seed) {
+  std::vector<double> trace;
+  trace.reserve(iterations + 1);
+  trace.push_back(statistic(edges));
+  std::uint64_t seed_chain = seed;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    SwapConfig config;
+    config.iterations = 1;
+    config.seed = splitmix64_next(seed_chain);
+    swap_edges(edges, config);
+    trace.push_back(statistic(edges));
+  }
+  return trace;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& trace,
+                                    std::size_t max_lag) {
+  const std::size_t n = trace.size();
+  std::vector<double> result(max_lag + 1, 0.0);
+  if (n < 2) return result;
+  double mean = 0.0;
+  for (double value : trace) mean += value;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double value : trace) variance += (value - mean) * (value - mean);
+  if (variance <= 1e-30) return result;  // constant trace
+  for (std::size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t + lag < n; ++t)
+      sum += (trace[t] - mean) * (trace[t + lag] - mean);
+    result[lag] = sum / variance;
+  }
+  return result;
+}
+
+std::size_t decorrelation_lag(const std::vector<double>& trace,
+                              std::size_t max_lag, double threshold) {
+  const std::vector<double> acf = autocorrelation(trace, max_lag);
+  for (std::size_t lag = 1; lag <= max_lag && lag < acf.size(); ++lag)
+    if (std::abs(acf[lag]) < threshold) return lag;
+  return max_lag + 1;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,55 @@
+#pragma once
+// Mixing-time diagnostics — the "more formal validation of uniform
+// randomness per mixing time" the paper's Section IX calls for. Three
+// measurable proxies:
+//
+//  * coverage_iterations: iterations until every edge has participated in
+//    a committed swap (the paper's empirical mixing criterion).
+//  * StatisticTrace / autocorrelation: run the chain, record a scalar
+//    graph statistic per iteration, and estimate the lag at which its
+//    autocorrelation decays — an MCMC practitioner's integrated
+//    autocorrelation-style heuristic.
+//  * acceptance_profile: per-iteration swap acceptance rates; the paper
+//    conjectures required iterations track the chance of an unsuccessful
+//    swap (density/skew), which this exposes directly.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/double_edge_swap.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Runs swap iterations until every edge has swapped at least once (or
+/// `max_iterations`); returns the iteration count (max_iterations + 1 when
+/// the budget ran out).
+std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed = 1,
+                                std::size_t max_iterations = 256);
+
+/// Per-iteration acceptance rates for `iterations` swaps of a copy of
+/// `edges`.
+std::vector<double> acceptance_profile(EdgeList edges,
+                                       std::size_t iterations,
+                                       std::uint64_t seed = 1);
+
+/// Records statistic(edges) after every swap iteration (index 0 = before
+/// any swaps).
+std::vector<double> statistic_trace(
+    EdgeList edges, std::size_t iterations,
+    const std::function<double(const EdgeList&)>& statistic,
+    std::uint64_t seed = 1);
+
+/// Lag-k autocorrelations (k = 0..max_lag) of a scalar trace; values[0] is
+/// always 1 for non-constant traces, 0 for constant ones.
+std::vector<double> autocorrelation(const std::vector<double>& trace,
+                                    std::size_t max_lag);
+
+/// Smallest lag at which |autocorrelation| drops below `threshold`
+/// (max_lag + 1 when it never does): a decorrelation-time estimate for the
+/// chain, in swap iterations.
+std::size_t decorrelation_lag(const std::vector<double>& trace,
+                              std::size_t max_lag, double threshold = 0.1);
+
+}  // namespace nullgraph

@@ -1,0 +1,114 @@
+#include "core/null_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/components.hpp"
+#include "prob/heuristics.hpp"
+#include "skip/edge_skip.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
+                                         ProbabilityMethod method,
+                                         int refine_iterations) {
+  ProbabilityMatrix matrix;
+  switch (method) {
+    case ProbabilityMethod::kGreedyAllocation:
+      matrix = greedy_probabilities(dist);
+      break;
+    case ProbabilityMethod::kPaperStubMatching:
+      matrix = stub_matching_probabilities(dist);
+      break;
+    case ProbabilityMethod::kChungLu:
+      matrix = chung_lu_probabilities(dist);
+      break;
+  }
+  if (refine_iterations > 0)
+    refine_probabilities(matrix, dist, refine_iterations);
+  return matrix;
+}
+
+GenerateResult generate_null_graph(const DegreeDistribution& dist,
+                                   const GenerateConfig& config) {
+  GenerateResult result;
+  std::uint64_t seed_chain = config.seed;
+
+  result.timing.start("probabilities");
+  const ProbabilityMatrix P = generate_probabilities(
+      dist, config.probability_method, config.refine_iterations);
+  result.timing.stop();
+  result.probability_diagnostics = diagnose(P, dist);
+
+  result.timing.start("edge generation");
+  EdgeSkipConfig skip_config;
+  skip_config.seed = splitmix64_next(seed_chain);
+  result.edges = edge_skip_generate(P, dist, skip_config);
+  result.timing.stop();
+
+  result.timing.start("swaps");
+  SwapConfig swap_config;
+  swap_config.iterations = config.swap_iterations;
+  swap_config.seed = splitmix64_next(seed_chain);
+  swap_config.track_swapped_edges = config.track_swapped_edges;
+  result.swap_stats = swap_edges(result.edges, swap_config);
+  result.timing.stop();
+  return result;
+}
+
+GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
+  GenerateResult result;
+  result.edges = std::move(edges);
+  result.timing.start("swaps");
+  SwapConfig swap_config;
+  swap_config.iterations = config.swap_iterations;
+  swap_config.seed = config.seed;
+  swap_config.track_swapped_edges = config.track_swapped_edges;
+  result.swap_stats = swap_edges(result.edges, swap_config);
+  result.timing.stop();
+  return result;
+}
+
+ConnectedGenerateResult generate_connected_null_graph(
+    const DegreeDistribution& dist, const GenerateConfig& config,
+    std::size_t max_attempts) {
+  ConnectedGenerateResult outcome;
+  std::uint64_t seed_chain = config.seed ^ 0x2545f4914f6cdd1dULL;
+  for (outcome.attempts_used = 1; outcome.attempts_used <= max_attempts;
+       ++outcome.attempts_used) {
+    GenerateConfig attempt = config;
+    attempt.seed = splitmix64_next(seed_chain);
+    outcome.result = generate_null_graph(dist, attempt);
+    if (is_connected(outcome.result.edges, dist.num_vertices())) {
+      outcome.connected = true;
+      return outcome;
+    }
+  }
+  outcome.attempts_used = max_attempts;
+  return outcome;
+}
+
+GenerateResult generate_for_sequence(const std::vector<std::uint64_t>& degrees,
+                                     const GenerateConfig& config) {
+  const DegreeDistribution dist =
+      DegreeDistribution::from_degree_sequence(degrees);
+  GenerateResult result = generate_null_graph(dist, config);
+  // The generator numbers vertices by ascending degree class; map id k back
+  // to the k-th caller vertex in ascending-degree order (stable, so the
+  // mapping is deterministic).
+  std::vector<VertexId> by_degree(degrees.size());
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return degrees[a] < degrees[b];
+                   });
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < result.edges.size(); ++i) {
+    Edge& e = result.edges[i];
+    e = {by_degree[e.u], by_degree[e.v]};
+  }
+  return result;
+}
+
+}  // namespace nullgraph

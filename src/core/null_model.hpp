@@ -1,0 +1,85 @@
+#pragma once
+// End-to-end null-model generation — Algorithm IV.1 and the public face of
+// the library.
+//
+//   problem 1: shuffle_graph()        existing edge list -> uniform sample
+//   problem 2: generate_null_graph()  degree distribution -> uniform sample
+//
+// generate_null_graph runs the paper's three phases: probability heuristic
+// (Section IV-A), parallel edge-skipping (Algorithm IV.2), parallel
+// double-edge swaps (Algorithm III.1), and reports per-phase wall times —
+// the breakdown behind Figure 6.
+
+#include <cstdint>
+
+#include "core/double_edge_swap.hpp"
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+#include "util/timer.hpp"
+
+namespace nullgraph {
+
+enum class ProbabilityMethod {
+  kGreedyAllocation,   // default: exact stub accounting (DESIGN.md §6)
+  kPaperStubMatching,  // Section IV-A as published
+  kChungLu,            // capped Chung-Lu (the O(n^2)-edgeskip baseline)
+};
+
+struct GenerateConfig {
+  std::uint64_t seed = 1;
+  std::size_t swap_iterations = 10;
+  ProbabilityMethod probability_method = ProbabilityMethod::kGreedyAllocation;
+  /// Extra fixed-point refinement sweeps on the probability matrix
+  /// (0 = off; the paper's future-work correction).
+  int refine_iterations = 0;
+  bool track_swapped_edges = false;
+};
+
+struct GenerateResult {
+  EdgeList edges;
+  PhaseTimer timing;  // phases: "probabilities", "edge generation", "swaps"
+  SwapStats swap_stats;
+  ProbabilityDiagnostics probability_diagnostics;
+};
+
+/// Phase 1 on its own: probabilities for `dist` by the chosen method.
+ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
+                                         ProbabilityMethod method,
+                                         int refine_iterations = 0);
+
+/// Problem 2 (Algorithm IV.1): uniformly random simple graph matching
+/// `dist` in expectation. Vertex ids follow the DegreeDistribution
+/// convention (ascending degree classes, contiguous ids).
+GenerateResult generate_null_graph(const DegreeDistribution& dist,
+                                   const GenerateConfig& config = {});
+
+/// Problem 1: uniformly randomize an existing edge list while preserving
+/// its exact degree sequence and simplicity (pure swap phase).
+GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config = {});
+
+/// Connectivity-conditioned variant: resamples (new seeds derived from
+/// config.seed) until the generated graph is connected over all
+/// dist.num_vertices() vertices, at most `max_attempts` times. Returns the
+/// last attempt regardless; `attempts_used` and `connected` report the
+/// outcome. Note the sample is uniform over the CONNECTED subspace only in
+/// the rejection-sampling sense (standard practice; swaps do not preserve
+/// connectivity, so conditioning happens at whole-graph granularity).
+struct ConnectedGenerateResult {
+  GenerateResult result;
+  std::size_t attempts_used = 0;
+  bool connected = false;
+};
+ConnectedGenerateResult generate_connected_null_graph(
+    const DegreeDistribution& dist, const GenerateConfig& config = {},
+    std::size_t max_attempts = 32);
+
+/// generate_null_graph for an explicit per-vertex target degree sequence:
+/// output edges are relabeled so vertex i aims at degrees[i]. Within a
+/// degree class vertices are exchangeable, so any consistent relabeling
+/// yields the same distribution over graphs; used by the LFR layers.
+GenerateResult generate_for_sequence(
+    const std::vector<std::uint64_t>& degrees,
+    const GenerateConfig& config = {});
+
+}  // namespace nullgraph

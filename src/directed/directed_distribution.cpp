@@ -1,0 +1,165 @@
+#include "directed/directed_distribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ds/concurrent_hash_set.hpp"
+
+namespace nullgraph {
+
+DirectedDegreeDistribution::DirectedDegreeDistribution(
+    std::vector<DirectedDegreeClass> classes)
+    : classes_(std::move(classes)) {
+  std::sort(classes_.begin(), classes_.end(),
+            [](const DirectedDegreeClass& a, const DirectedDegreeClass& b) {
+              if (a.out_degree != b.out_degree)
+                return a.out_degree < b.out_degree;
+              return a.in_degree < b.in_degree;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].count == 0) continue;
+    if (out > 0 && classes_[out - 1].in_degree == classes_[i].in_degree &&
+        classes_[out - 1].out_degree == classes_[i].out_degree) {
+      classes_[out - 1].count += classes_[i].count;
+    } else {
+      classes_[out++] = classes_[i];
+    }
+  }
+  classes_.resize(out);
+
+  offsets_.assign(classes_.size() + 1, 0);
+  total_vertices_ = 0;
+  std::uint64_t total_in = 0, total_out = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    offsets_[c] = total_vertices_;
+    total_vertices_ += classes_[c].count;
+    total_in += classes_[c].in_degree * classes_[c].count;
+    total_out += classes_[c].out_degree * classes_[c].count;
+  }
+  offsets_[classes_.size()] = total_vertices_;
+  if (total_in != total_out) {
+    throw std::invalid_argument(
+        "DirectedDegreeDistribution: total in-degree != total out-degree");
+  }
+  total_arcs_ = total_in;
+}
+
+DirectedDegreeDistribution DirectedDegreeDistribution::from_sequences(
+    const std::vector<std::uint64_t>& in_degrees,
+    const std::vector<std::uint64_t>& out_degrees) {
+  if (in_degrees.size() != out_degrees.size())
+    throw std::invalid_argument(
+        "from_sequences: in/out sequences differ in length");
+  std::vector<DirectedDegreeClass> classes;
+  classes.reserve(in_degrees.size());
+  for (std::size_t v = 0; v < in_degrees.size(); ++v)
+    classes.push_back({in_degrees[v], out_degrees[v], 1});
+  return DirectedDegreeDistribution(std::move(classes));
+}
+
+DirectedDegreeDistribution DirectedDegreeDistribution::from_arcs(
+    const ArcList& arcs, std::size_t n) {
+  if (n == 0) n = vertex_count(arcs);
+  return from_sequences(in_degrees_of(arcs, n), out_degrees_of(arcs, n));
+}
+
+std::uint64_t DirectedDegreeDistribution::max_in_degree() const noexcept {
+  std::uint64_t best = 0;
+  for (const DirectedDegreeClass& c : classes_)
+    best = std::max(best, c.in_degree);
+  return best;
+}
+
+std::uint64_t DirectedDegreeDistribution::max_out_degree() const noexcept {
+  return classes_.empty() ? 0 : classes_.back().out_degree;
+}
+
+std::size_t DirectedDegreeDistribution::class_of_vertex(std::uint64_t v)
+    const noexcept {
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), v);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+std::vector<std::uint64_t> DirectedDegreeDistribution::in_sequence() const {
+  std::vector<std::uint64_t> sequence(total_vertices_);
+  for (std::size_t c = 0; c < classes_.size(); ++c)
+    for (std::uint64_t v = offsets_[c]; v < offsets_[c + 1]; ++v)
+      sequence[v] = classes_[c].in_degree;
+  return sequence;
+}
+
+std::vector<std::uint64_t> DirectedDegreeDistribution::out_sequence() const {
+  std::vector<std::uint64_t> sequence(total_vertices_);
+  for (std::size_t c = 0; c < classes_.size(); ++c)
+    for (std::uint64_t v = offsets_[c]; v < offsets_[c + 1]; ++v)
+      sequence[v] = classes_[c].out_degree;
+  return sequence;
+}
+
+std::size_t vertex_count(const ArcList& arcs) {
+  VertexId max_id = 0;
+#pragma omp parallel for reduction(max : max_id) schedule(static)
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const VertexId hi =
+        arcs[i].from > arcs[i].to ? arcs[i].from : arcs[i].to;
+    if (hi > max_id) max_id = hi;
+  }
+  return arcs.empty() ? 0 : static_cast<std::size_t>(max_id) + 1;
+}
+
+std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs, std::size_t n) {
+  if (n == 0) n = vertex_count(arcs);
+  std::vector<std::uint64_t> degree(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+#pragma omp atomic
+    degree[arcs[i].to]++;
+  }
+  return degree;
+}
+
+std::vector<std::uint64_t> out_degrees_of(const ArcList& arcs,
+                                          std::size_t n) {
+  if (n == 0) n = vertex_count(arcs);
+  std::vector<std::uint64_t> degree(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+#pragma omp atomic
+    degree[arcs[i].from]++;
+  }
+  return degree;
+}
+
+ArcCensus census(const ArcList& arcs) {
+  ArcCensus result;
+  ConcurrentHashSet seen(arcs.size());
+  std::size_t loops = 0, dups = 0;
+#pragma omp parallel for reduction(+ : loops, dups) schedule(static)
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].is_loop()) {
+      ++loops;
+      continue;
+    }
+    if (seen.test_and_set(arcs[i].key())) ++dups;
+  }
+  result.self_loops = loops;
+  result.duplicate_arcs = dups;
+  return result;
+}
+
+bool is_simple(const ArcList& arcs) { return census(arcs).simple(); }
+
+bool same_arc_multiset(const ArcList& a, const ArcList& b) {
+  if (a.size() != b.size()) return false;
+  auto keys = [](const ArcList& arcs) {
+    std::vector<EdgeKey> out(arcs.size());
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < arcs.size(); ++i) out[i] = arcs[i].key();
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return keys(a) == keys(b);
+}
+
+}  // namespace nullgraph

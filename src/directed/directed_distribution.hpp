@@ -1,0 +1,120 @@
+#pragma once
+// Directed extension (Section I: "our results can be extrapolated to
+// directed graphs with certain considerations [14], [15]").
+//
+// A directed degree distribution is a list of (in-degree, out-degree)
+// joint classes with vertex counts. The same id convention as the
+// undirected DegreeDistribution applies: classes are sorted (by out-degree
+// then in-degree) and vertices are numbered contiguously per class.
+//
+// Arcs are ordered pairs; a simple directed graph has no self-loops and no
+// duplicate arcs (antiparallel arcs u->v and v->u are both allowed, as in
+// Durak et al. [14]).
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge.hpp"
+
+namespace nullgraph {
+
+/// A directed arc u -> v. Same 8-byte footprint as Edge; the key is the
+/// ORDERED packing, so {u,v} and {v,u} are distinct arcs.
+struct Arc {
+  VertexId from = 0;
+  VertexId to = 0;
+
+  friend constexpr bool operator==(const Arc&, const Arc&) noexcept = default;
+
+  constexpr bool is_loop() const noexcept { return from == to; }
+
+  constexpr EdgeKey key() const noexcept {
+    return (static_cast<EdgeKey>(from) << 32) | static_cast<EdgeKey>(to);
+  }
+};
+
+using ArcList = std::vector<Arc>;
+
+struct DirectedDegreeClass {
+  std::uint64_t in_degree = 0;
+  std::uint64_t out_degree = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const DirectedDegreeClass&,
+                         const DirectedDegreeClass&) = default;
+};
+
+class DirectedDegreeDistribution {
+ public:
+  DirectedDegreeDistribution() = default;
+
+  /// Merges duplicate (in, out) classes; throws std::invalid_argument when
+  /// total in-degree != total out-degree (no digraph realizes it).
+  explicit DirectedDegreeDistribution(
+      std::vector<DirectedDegreeClass> classes);
+
+  /// From per-vertex (in, out) sequences (same length).
+  static DirectedDegreeDistribution from_sequences(
+      const std::vector<std::uint64_t>& in_degrees,
+      const std::vector<std::uint64_t>& out_degrees);
+
+  /// Observed distribution of an arc list.
+  static DirectedDegreeDistribution from_arcs(const ArcList& arcs,
+                                              std::size_t n = 0);
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  const std::vector<DirectedDegreeClass>& classes() const noexcept {
+    return classes_;
+  }
+  std::uint64_t num_vertices() const noexcept { return total_vertices_; }
+  /// Total arcs m = sum of in-degrees = sum of out-degrees.
+  std::uint64_t num_arcs() const noexcept { return total_arcs_; }
+  std::uint64_t max_in_degree() const noexcept;
+  std::uint64_t max_out_degree() const noexcept;
+
+  std::uint64_t class_offset(std::size_t c) const noexcept {
+    return offsets_[c];
+  }
+  std::size_t class_of_vertex(std::uint64_t v) const noexcept;
+  const DirectedDegreeClass& class_at(std::size_t c) const noexcept {
+    return classes_[c];
+  }
+
+  /// Per-vertex target sequences in id order.
+  std::vector<std::uint64_t> in_sequence() const;
+  std::vector<std::uint64_t> out_sequence() const;
+
+  friend bool operator==(const DirectedDegreeDistribution&,
+                         const DirectedDegreeDistribution&) = default;
+
+ private:
+  std::vector<DirectedDegreeClass> classes_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t total_vertices_ = 0;
+  std::uint64_t total_arcs_ = 0;
+};
+
+/// Per-vertex in/out degrees of an arc list.
+std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs,
+                                         std::size_t n = 0);
+std::vector<std::uint64_t> out_degrees_of(const ArcList& arcs,
+                                          std::size_t n = 0);
+
+/// Number of vertices implied by the largest endpoint.
+std::size_t vertex_count(const ArcList& arcs);
+
+/// Self-loop / duplicate-arc census (duplicates = extra copies).
+struct ArcCensus {
+  std::size_t self_loops = 0;
+  std::size_t duplicate_arcs = 0;
+  bool simple() const noexcept {
+    return self_loops == 0 && duplicate_arcs == 0;
+  }
+};
+ArcCensus census(const ArcList& arcs);
+bool is_simple(const ArcList& arcs);
+
+/// True when both lists hold the same multiset of arcs.
+bool same_arc_multiset(const ArcList& a, const ArcList& b);
+
+}  // namespace nullgraph

@@ -1,0 +1,352 @@
+#include "directed/directed_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "directed/directed_swap.hpp"
+#include "ds/concurrent_hash_set.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+double DirectedProbabilityMatrix::max_value() const noexcept {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+double DirectedProbabilityMatrix::expected_out_degree(
+    std::size_t i, const DirectedDegreeDistribution& dist) const {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < num_classes_; ++j)
+    sum += static_cast<double>(dist.class_at(j).count) * at(i, j);
+  return sum - at(i, i);
+}
+
+double DirectedProbabilityMatrix::expected_in_degree(
+    std::size_t j, const DirectedDegreeDistribution& dist) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_classes_; ++i)
+    sum += static_cast<double>(dist.class_at(i).count) * at(i, j);
+  return sum - at(j, j);
+}
+
+double DirectedProbabilityMatrix::expected_arcs(
+    const DirectedDegreeDistribution& dist) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_classes_; ++i) {
+    const double ni = static_cast<double>(dist.class_at(i).count);
+    for (std::size_t j = 0; j < num_classes_; ++j) {
+      const double nj = static_cast<double>(dist.class_at(j).count);
+      const double space = i == j ? ni * (ni - 1.0) : ni * nj;
+      sum += at(i, j) * space;
+    }
+  }
+  return sum;
+}
+
+DirectedProbabilityMatrix directed_greedy_probabilities(
+    const DirectedDegreeDistribution& dist, int rounds) {
+  const std::size_t nc = dist.num_classes();
+  DirectedProbabilityMatrix P(nc);
+  if (nc == 0) return P;
+  std::vector<double> out_stubs(nc), in_stubs(nc), counts(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const DirectedDegreeClass& cls = dist.class_at(c);
+    counts[c] = static_cast<double>(cls.count);
+    out_stubs[c] = static_cast<double>(cls.out_degree) * counts[c];
+    in_stubs[c] = static_cast<double>(cls.in_degree) * counts[c];
+  }
+  constexpr double kEps = 1e-9;
+  // Classes ascend by out-degree; allocate the heaviest out-classes first
+  // so the hubs' arcs are never crowded out by space caps.
+  for (std::size_t step = 0; step < nc; ++step) {
+    const std::size_t i = nc - 1 - step;
+    for (int round = 0; round < rounds && out_stubs[i] > kEps; ++round) {
+      double weight = 0.0;
+      for (std::size_t j = 0; j < nc; ++j)
+        if (in_stubs[j] > kEps && P.at(i, j) < 1.0) weight += in_stubs[j];
+      if (weight <= kEps) break;
+      const double budget = out_stubs[i];
+      double allocated = 0.0;
+      for (std::size_t j = 0; j < nc; ++j) {
+        if (in_stubs[j] <= kEps) continue;
+        const double space =
+            i == j ? counts[i] * (counts[i] - 1.0) : counts[i] * counts[j];
+        const double cap = (1.0 - P.at(i, j)) * space;
+        if (cap <= kEps) continue;
+        const double arcs =
+            std::min({budget * in_stubs[j] / weight, cap, in_stubs[j]});
+        if (arcs <= 0.0) continue;
+        P.add(i, j, arcs / space);
+        in_stubs[j] -= arcs;
+        allocated += arcs;
+      }
+      out_stubs[i] = std::max(0.0, out_stubs[i] - allocated);
+      if (allocated <= kEps * budget) break;  // caps everywhere
+    }
+  }
+  return P;
+}
+
+DirectedProbabilityMatrix directed_chung_lu_probabilities(
+    const DirectedDegreeDistribution& dist) {
+  const std::size_t nc = dist.num_classes();
+  DirectedProbabilityMatrix P(nc);
+  const double m = static_cast<double>(dist.num_arcs());
+  if (m == 0) return P;
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double out_i = static_cast<double>(dist.class_at(i).out_degree);
+    for (std::size_t j = 0; j < nc; ++j) {
+      const double in_j = static_cast<double>(dist.class_at(j).in_degree);
+      P.set(i, j, std::min(1.0, out_i * in_j / m));
+    }
+  }
+  return P;
+}
+
+namespace {
+
+std::uint64_t task_seed(std::uint64_t seed, std::uint64_t pair,
+                        std::uint64_t chunk) {
+  std::uint64_t state = seed ^ (pair * 0x9e3779b97f4a7c15ULL) ^
+                        (chunk * 0xbf58476d1ce4e5b9ULL);
+  splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
+/// Ordered-pair space between from-class (n_from vertices at from_offset)
+/// and to-class; the diagonal space skips self-pairs.
+struct ArcSpace {
+  std::uint64_t size = 0;
+  std::uint64_t to_count = 0;
+  std::uint64_t from_offset = 0;
+  std::uint64_t to_offset = 0;
+  bool diagonal = false;
+
+  Arc decode(std::uint64_t t) const noexcept {
+    if (!diagonal) {
+      return {static_cast<VertexId>(from_offset + t / to_count),
+              static_cast<VertexId>(to_offset + t % to_count)};
+    }
+    // n(n-1) ordered non-diagonal pairs: row u holds n-1 targets, with the
+    // slot for v == u skipped.
+    const std::uint64_t u = t / (to_count - 1);
+    const std::uint64_t r = t % (to_count - 1);
+    const std::uint64_t v = r + (r >= u ? 1 : 0);
+    return {static_cast<VertexId>(from_offset + u),
+            static_cast<VertexId>(to_offset + v)};
+  }
+};
+
+template <typename EmitFn>
+void traverse(double p, std::uint64_t begin, std::uint64_t end,
+              Xoshiro256ss& rng, EmitFn&& emit) {
+  if (p <= 0.0 || begin >= end) return;
+  if (p >= 1.0) {
+    for (std::uint64_t t = begin; t < end; ++t) emit(t);
+    return;
+  }
+  const double log_1mp = std::log1p(-p);
+  std::uint64_t t = begin;
+  while (true) {
+    const double skip = std::floor(std::log(rng.uniform_open()) / log_1mp);
+    if (skip >= static_cast<double>(end - t)) return;
+    t += static_cast<std::uint64_t>(skip);
+    if (t >= end) return;
+    emit(t);
+    if (++t >= end) return;
+  }
+}
+
+}  // namespace
+
+ArcList directed_edge_skip(const DirectedProbabilityMatrix& P,
+                           const DirectedDegreeDistribution& dist,
+                           std::uint64_t seed, std::uint64_t arcs_per_task) {
+  const std::size_t nc = dist.num_classes();
+  const std::uint64_t num_pairs = nc * nc;
+  const int nthreads = max_threads();
+  std::vector<ArcList> buffers(static_cast<std::size_t>(nthreads));
+#pragma omp parallel num_threads(nthreads)
+  {
+    ArcList& mine = buffers[static_cast<std::size_t>(thread_id())];
+#pragma omp for schedule(dynamic, 64)
+    for (std::uint64_t pair = 0; pair < num_pairs; ++pair) {
+      const std::size_t i = static_cast<std::size_t>(pair / nc);
+      const std::size_t j = static_cast<std::size_t>(pair % nc);
+      const double p = P.at(i, j);
+      if (p <= 0.0) continue;
+      ArcSpace space;
+      const std::uint64_t ni = dist.class_at(i).count;
+      const std::uint64_t nj = dist.class_at(j).count;
+      space.to_count = nj;
+      space.from_offset = dist.class_offset(i);
+      space.to_offset = dist.class_offset(j);
+      space.diagonal = i == j;
+      space.size = space.diagonal ? ni * (ni - 1) : ni * nj;
+      if (space.diagonal && ni < 2) continue;
+      // Large spaces are split into chunks with independent stateless
+      // seeds; chunking depends only on the data.
+      const double expected = p * static_cast<double>(space.size);
+      const std::uint64_t chunks =
+          expected > static_cast<double>(arcs_per_task)
+              ? static_cast<std::uint64_t>(
+                    expected / static_cast<double>(arcs_per_task)) + 1
+              : 1;
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = block_range(
+            static_cast<int>(c), static_cast<int>(chunks), space.size);
+        Xoshiro256ss rng(task_seed(seed, pair, c));
+        traverse(p, begin, end, rng,
+                 [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
+      }
+    }
+  }
+  return concat_buffers(buffers);
+}
+
+ArcList directed_chung_lu_multigraph(const DirectedDegreeDistribution& dist,
+                                     std::uint64_t seed) {
+  const std::uint64_t m = dist.num_arcs();
+  ArcList arcs(m);
+  if (m == 0) return arcs;
+  const std::size_t nc = dist.num_classes();
+  // Cumulative stub tables per class; a uniform stub index maps to the
+  // vertex owning it (out-stubs for sources, in-stubs for targets).
+  std::vector<std::uint64_t> out_cum(nc + 1, 0), in_cum(nc + 1, 0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    out_cum[c + 1] =
+        out_cum[c] + dist.class_at(c).out_degree * dist.class_at(c).count;
+    in_cum[c + 1] =
+        in_cum[c] + dist.class_at(c).in_degree * dist.class_at(c).count;
+  }
+  auto draw = [&](const std::vector<std::uint64_t>& cum, bool out,
+                  Xoshiro256ss& rng) {
+    const std::uint64_t s = rng.bounded(cum.back());
+    const std::size_t c = static_cast<std::size_t>(
+        std::upper_bound(cum.begin(), cum.end(), s) - cum.begin() - 1);
+    const std::uint64_t d = out ? dist.class_at(c).out_degree
+                                : dist.class_at(c).in_degree;
+    return static_cast<VertexId>(dist.class_offset(c) + (s - cum[c]) / d);
+  };
+  constexpr std::uint64_t kBlock = 1u << 14;
+  const std::uint64_t blocks = (m + kBlock - 1) / kBlock;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    Xoshiro256ss rng(task_seed(seed, b, 0));
+    const std::uint64_t begin = b * kBlock;
+    const std::uint64_t end = std::min(m, begin + kBlock);
+    for (std::uint64_t a = begin; a < end; ++a)
+      arcs[a] = {draw(out_cum, true, rng), draw(in_cum, false, rng)};
+  }
+  return arcs;
+}
+
+ArcList erased_directed_chung_lu(const DirectedDegreeDistribution& dist,
+                                 std::uint64_t seed) {
+  const ArcList arcs = directed_chung_lu_multigraph(dist, seed);
+  ConcurrentHashSet seen(arcs.size());
+  const int nthreads = max_threads();
+  std::vector<ArcList> kept(static_cast<std::size_t>(nthreads));
+#pragma omp parallel num_threads(nthreads)
+  {
+    ArcList& mine = kept[static_cast<std::size_t>(thread_id())];
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (!arcs[i].is_loop() && !seen.test_and_set(arcs[i].key()))
+        mine.push_back(arcs[i]);
+    }
+  }
+  return concat_buffers(kept);
+}
+
+ArcList kleitman_wang(const std::vector<std::uint64_t>& in_degrees,
+                      const std::vector<std::uint64_t>& out_degrees) {
+  const std::size_t n = in_degrees.size();
+  if (out_degrees.size() != n)
+    throw std::invalid_argument("kleitman_wang: sequence length mismatch");
+  std::uint64_t total_in = 0, total_out = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total_in += in_degrees[v];
+    total_out += out_degrees[v];
+  }
+  if (total_in != total_out)
+    throw std::invalid_argument("kleitman_wang: in/out totals differ");
+
+  std::vector<std::uint64_t> residual_in = in_degrees;
+  std::vector<std::uint64_t> residual_out = out_degrees;
+  ArcList arcs;
+  arcs.reserve(total_out);
+  // Process sources in descending out-degree (any order is valid for the
+  // Kleitman-Wang theorem as long as targets are the largest residual
+  // in-degrees excluding the source).
+  std::vector<VertexId> sources(n);
+  std::iota(sources.begin(), sources.end(), 0u);
+  std::stable_sort(sources.begin(), sources.end(),
+                   [&](VertexId a, VertexId b) {
+                     return out_degrees[a] > out_degrees[b];
+                   });
+  std::vector<VertexId> candidates;
+  candidates.reserve(n);
+  for (const VertexId source : sources) {
+    const std::uint64_t want = out_degrees[source];
+    if (want == 0) break;
+    candidates.clear();
+    for (VertexId v = 0; v < n; ++v)
+      if (v != source && residual_in[v] > 0) candidates.push_back(v);
+    if (candidates.size() < want)
+      throw std::invalid_argument("kleitman_wang: not digraphical");
+    // Kleitman-Wang ordering: largest residual in-degree first, ties by
+    // larger remaining out-degree (the lexicographic (in, out) order the
+    // theorem requires), then id for determinism. Breaking in-degree ties
+    // toward exhausted-out vertices can strand in-stubs on the source.
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(want),
+                     candidates.end(), [&](VertexId a, VertexId b) {
+                       if (residual_in[a] != residual_in[b])
+                         return residual_in[a] > residual_in[b];
+                       if (residual_out[a] != residual_out[b])
+                         return residual_out[a] > residual_out[b];
+                       return a < b;
+                     });
+    for (std::uint64_t k = 0; k < want; ++k) {
+      const VertexId target = candidates[k];
+      arcs.push_back({source, target});
+      --residual_in[target];
+    }
+    residual_out[source] = 0;
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (residual_in[v] != 0)
+      throw std::invalid_argument("kleitman_wang: not digraphical");
+  return arcs;
+}
+
+bool is_digraphical(const std::vector<std::uint64_t>& in_degrees,
+                    const std::vector<std::uint64_t>& out_degrees) {
+  try {
+    kleitman_wang(in_degrees, out_degrees);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+ArcList generate_directed_null_graph(const DirectedDegreeDistribution& dist,
+                                     std::uint64_t seed,
+                                     std::size_t swap_iterations) {
+  std::uint64_t seed_chain = seed;
+  const DirectedProbabilityMatrix P = directed_greedy_probabilities(dist);
+  ArcList arcs = directed_edge_skip(P, dist, splitmix64_next(seed_chain));
+  DirectedSwapConfig config;
+  config.iterations = swap_iterations;
+  config.seed = splitmix64_next(seed_chain);
+  directed_swap_arcs(arcs, config);
+  return arcs;
+}
+
+}  // namespace nullgraph

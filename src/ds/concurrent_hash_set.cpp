@@ -1,0 +1,70 @@
+#include "ds/concurrent_hash_set.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace nullgraph {
+
+namespace {
+std::size_t table_capacity(std::size_t expected_keys) {
+  const std::size_t wanted = expected_keys < 8 ? 16 : 2 * expected_keys;
+  return std::bit_ceil(wanted);
+}
+}  // namespace
+
+ConcurrentHashSet::ConcurrentHashSet(std::size_t expected_keys,
+                                     Probing probing)
+    : capacity_(table_capacity(expected_keys)),
+      mask_(capacity_ - 1),
+      probing_(probing),
+      slots_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity_)) {
+  clear();
+}
+
+bool ConcurrentHashSet::test_and_set(std::uint64_t key) noexcept {
+  assert(key != kEmpty && "sentinel key is reserved");
+  const std::size_t start = static_cast<std::size_t>(hash(key)) & mask_;
+  for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
+    std::atomic<std::uint64_t>& slot = slots_[probe(start, attempt)];
+    std::uint64_t observed = slot.load(std::memory_order_relaxed);
+    if (observed == key) return true;
+    if (observed == kEmpty) {
+      if (slot.compare_exchange_strong(observed, key,
+                                       std::memory_order_relaxed)) {
+        return false;  // we inserted it
+      }
+      // Raced: `observed` now holds the winner's key.
+      if (observed == key) return true;
+      // A different key claimed this slot; keep probing.
+    }
+  }
+  assert(false && "hash table full: load factor invariant violated");
+  return true;
+}
+
+bool ConcurrentHashSet::contains(std::uint64_t key) const noexcept {
+  const std::size_t start = static_cast<std::size_t>(hash(key)) & mask_;
+  for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
+    const std::uint64_t observed =
+        slots_[probe(start, attempt)].load(std::memory_order_relaxed);
+    if (observed == key) return true;
+    if (observed == kEmpty) return false;
+  }
+  return false;
+}
+
+void ConcurrentHashSet::clear() noexcept {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < capacity_; ++i)
+    slots_[i].store(kEmpty, std::memory_order_relaxed);
+}
+
+std::size_t ConcurrentHashSet::size() const noexcept {
+  std::size_t count = 0;
+#pragma omp parallel for reduction(+ : count) schedule(static)
+  for (std::size_t i = 0; i < capacity_; ++i)
+    if (slots_[i].load(std::memory_order_relaxed) != kEmpty) ++count;
+  return count;
+}
+
+}  // namespace nullgraph

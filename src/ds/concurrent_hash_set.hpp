@@ -1,0 +1,71 @@
+#pragma once
+// ConcurrentHashSet: the paper's thread-safe edge table (Section III-A,
+// adapted from Slota et al. [33]). Open addressing over a flat array of
+// atomic 64-bit keys; test_and_set needs one atomic CAS on the common path
+// and blocks only when two threads race for the same slot. Linear probing
+// by default, quadratic as a build-time policy for the ablation benchmark.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace nullgraph {
+
+enum class Probing { kLinear, kQuadratic };
+
+class ConcurrentHashSet {
+ public:
+  /// Reserved sentinel; inserting it is undefined (asserted in debug).
+  /// Canonical simple-graph edge keys can never take this value: it would
+  /// decode to the self-loop {0xffffffff, 0xffffffff}.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  /// Table sized for `expected_keys` at a load factor <= 0.5 (capacity is
+  /// the next power of two >= 2 * expected_keys, minimum 16).
+  explicit ConcurrentHashSet(std::size_t expected_keys,
+                             Probing probing = Probing::kLinear);
+
+  ConcurrentHashSet(const ConcurrentHashSet&) = delete;
+  ConcurrentHashSet& operator=(const ConcurrentHashSet&) = delete;
+
+  /// Inserts `key` if absent. Returns true when the key was ALREADY present
+  /// (the paper's TestAndSet convention: true = reject the new edge).
+  /// Thread-safe; lock-free.
+  bool test_and_set(std::uint64_t key) noexcept;
+
+  /// True when `key` is in the table. Thread-safe against concurrent
+  /// inserts (may miss keys being inserted concurrently).
+  bool contains(std::uint64_t key) const noexcept;
+
+  /// Empties the table in parallel. NOT safe against concurrent access.
+  void clear() noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of keys inserted since construction/clear(). O(capacity).
+  std::size_t size() const noexcept;
+
+ private:
+  std::size_t probe(std::size_t index, std::size_t attempt) const noexcept {
+    // Quadratic probing with (i + k(k+1)/2) visits every slot of a
+    // power-of-two table exactly once (triangular-number probing).
+    const std::size_t step =
+        probing_ == Probing::kLinear ? attempt : attempt * (attempt + 1) / 2;
+    return (index + step) & mask_;
+  }
+  static std::uint64_t hash(std::uint64_t key) noexcept {
+    // splitmix64 finalizer: full-avalanche, cheap, good for packed keys
+    // whose low bits (the second endpoint) vary fastest.
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return key ^ (key >> 31);
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  Probing probing_ = Probing::kLinear;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+};
+
+}  // namespace nullgraph

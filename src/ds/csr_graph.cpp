@@ -1,0 +1,49 @@
+#include "ds/csr_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/prefix_sum.hpp"
+
+namespace nullgraph {
+
+CsrGraph::CsrGraph(const EdgeList& edges, std::size_t n, bool sort_rows) {
+  if (n == 0) n = vertex_count(edges);
+  std::vector<std::uint64_t> counts(n + 1, 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+#pragma omp atomic
+    counts[edges[i].u]++;
+#pragma omp atomic
+    counts[edges[i].v]++;
+  }
+  exclusive_prefix_sum(counts);
+  offsets_ = counts;  // offsets_[v] = start of row v; counts reused as cursor
+  adjacency_.resize(offsets_[n]);
+  std::vector<std::atomic<std::uint64_t>> cursor(n);
+#pragma omp parallel for schedule(static)
+  for (std::size_t v = 0; v < n; ++v)
+    cursor[v].store(offsets_[v], std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge e = edges[i];
+    adjacency_[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] = e.v;
+    adjacency_[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] = e.u;
+  }
+  if (sort_rows) {
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t v = 0; v < n; ++v) {
+      std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+                adjacency_.begin() +
+                    static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+    }
+    rows_sorted_ = true;
+  }
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const noexcept {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,47 @@
+#pragma once
+// CsrGraph: compressed sparse row adjacency built in parallel from an edge
+// list. Used by the analysis module (triangles, assortativity) and by
+// examples; the generators themselves work on flat edge lists.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+class CsrGraph {
+ public:
+  /// Builds the undirected adjacency (each edge appears in both endpoint
+  /// rows; self-loops appear twice in their row). `n` extends beyond the
+  /// largest endpoint; pass 0 to infer. If `sort_rows`, each row is sorted
+  /// ascending, enabling O(d_u + d_v) neighbourhood intersections.
+  explicit CsrGraph(const EdgeList& edges, std::size_t n = 0,
+                    bool sort_rows = true);
+
+  std::size_t num_vertices() const noexcept { return offsets_.size() - 1; }
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::uint64_t degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  bool rows_sorted() const noexcept { return rows_sorted_; }
+
+  /// O(log d) membership test; requires sorted rows.
+  bool has_edge(VertexId u, VertexId v) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+  bool rows_sorted_ = false;
+};
+
+}  // namespace nullgraph

@@ -1,0 +1,146 @@
+#include "ds/degree_distribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+DegreeDistribution::DegreeDistribution(std::vector<DegreeClass> classes)
+    : classes_(std::move(classes)) {
+  std::sort(classes_.begin(), classes_.end(),
+            [](const DegreeClass& a, const DegreeClass& b) {
+              return a.degree < b.degree;
+            });
+  // Merge duplicate degrees, drop empty classes.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].count == 0) continue;
+    if (out > 0 && classes_[out - 1].degree == classes_[i].degree) {
+      classes_[out - 1].count += classes_[i].count;
+    } else {
+      classes_[out++] = classes_[i];
+    }
+  }
+  classes_.resize(out);
+  rebuild();
+  if (total_stubs_ % 2 != 0) {
+    throw std::invalid_argument(
+        "DegreeDistribution: total degree is odd; no graph realizes it");
+  }
+}
+
+void DegreeDistribution::rebuild() {
+  offsets_.assign(classes_.size() + 1, 0);
+  total_vertices_ = 0;
+  total_stubs_ = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    offsets_[c] = total_vertices_;
+    total_vertices_ += classes_[c].count;
+    total_stubs_ += classes_[c].degree * classes_[c].count;
+  }
+  offsets_[classes_.size()] = total_vertices_;
+}
+
+DegreeDistribution DegreeDistribution::from_degree_sequence(
+    const std::vector<std::uint64_t>& degrees) {
+  std::vector<std::uint64_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<DegreeClass> classes;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    classes.push_back({sorted[i], j - i});
+    i = j;
+  }
+  return DegreeDistribution(std::move(classes));
+}
+
+DegreeDistribution DegreeDistribution::from_edges(
+    const std::vector<Edge>& edges) {
+  return from_degree_sequence(degrees_of(edges));
+}
+
+std::uint64_t DegreeDistribution::max_degree() const noexcept {
+  return classes_.empty() ? 0 : classes_.back().degree;
+}
+
+std::uint64_t DegreeDistribution::min_degree() const noexcept {
+  return classes_.empty() ? 0 : classes_.front().degree;
+}
+
+double DegreeDistribution::average_degree() const noexcept {
+  return total_vertices_ == 0 ? 0.0
+                              : static_cast<double>(total_stubs_) /
+                                    static_cast<double>(total_vertices_);
+}
+
+std::size_t DegreeDistribution::class_of_vertex(std::uint64_t v) const
+    noexcept {
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), v);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+std::size_t DegreeDistribution::class_of_degree(std::uint64_t degree) const
+    noexcept {
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), degree,
+      [](const DegreeClass& c, std::uint64_t d) { return c.degree < d; });
+  if (it == classes_.end() || it->degree != degree) return classes_.size();
+  return static_cast<std::size_t>(it - classes_.begin());
+}
+
+std::vector<std::uint64_t> DegreeDistribution::to_degree_sequence() const {
+  std::vector<std::uint64_t> sequence(total_vertices_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (std::uint64_t v = offsets_[c]; v < offsets_[c + 1]; ++v)
+      sequence[v] = classes_[c].degree;
+  }
+  return sequence;
+}
+
+bool DegreeDistribution::is_graphical() const {
+  if (classes_.empty()) return true;
+  if (total_stubs_ % 2 != 0) return false;
+  const std::size_t nc = classes_.size();
+  // Work over DESCENDING classes: index r = 0 is the largest degree.
+  // desc_count[r] / desc_stubs[r] are prefix sums over the first r+1
+  // descending classes.
+  std::vector<std::uint64_t> degree_desc(nc), count_desc(nc);
+  for (std::size_t r = 0; r < nc; ++r) {
+    degree_desc[r] = classes_[nc - 1 - r].degree;
+    count_desc[r] = classes_[nc - 1 - r].count;
+  }
+  std::vector<std::uint64_t> cum_count(nc + 1, 0), cum_stubs(nc + 1, 0);
+  for (std::size_t r = 0; r < nc; ++r) {
+    cum_count[r + 1] = cum_count[r] + count_desc[r];
+    cum_stubs[r + 1] = cum_stubs[r] + degree_desc[r] * count_desc[r];
+  }
+  // Erdős–Gallai only needs checking at k values where the sorted degree
+  // strictly decreases, i.e. at class boundaries k = cum_count[r+1].
+  for (std::size_t r = 0; r < nc; ++r) {
+    const unsigned __int128 k = cum_count[r + 1];
+    const unsigned __int128 lhs = cum_stubs[r + 1];
+    // RHS = k(k-1) + sum over remaining classes of count * min(degree, k).
+    // Remaining classes r+1..nc-1 have strictly smaller degrees; find the
+    // first with degree <= k (degrees descend, so binary search works).
+    const auto split = std::lower_bound(
+        degree_desc.begin() + static_cast<std::ptrdiff_t>(r + 1),
+        degree_desc.end(), static_cast<std::uint64_t>(k),
+        [](std::uint64_t d, std::uint64_t kk) { return d > kk; });
+    const std::size_t s =
+        static_cast<std::size_t>(split - degree_desc.begin());
+    // Classes in (r, s): degree > k, contribute count * k.
+    const unsigned __int128 big =
+        static_cast<unsigned __int128>(cum_count[s] - cum_count[r + 1]) * k;
+    // Classes in [s, nc): degree <= k, contribute their full stub count.
+    const unsigned __int128 small = cum_stubs[nc] - cum_stubs[s];
+    const unsigned __int128 rhs = k * (k - 1) + big + small;
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace nullgraph

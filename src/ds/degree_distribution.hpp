@@ -1,0 +1,92 @@
+#pragma once
+// DegreeDistribution: the {D, N} input of Algorithm IV.1 — unique degrees D
+// with vertex counts N. Also fixes the library-wide vertex-id convention:
+// classes are sorted by ascending degree and vertices are numbered
+// contiguously per class, so class c owns ids [class_offset(c),
+// class_offset(c) + count(c)). Algorithm IV.2 recovers global ids from
+// in-class offsets through exactly these prefix sums.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nullgraph {
+
+struct DegreeClass {
+  std::uint64_t degree = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const DegreeClass&, const DegreeClass&) = default;
+};
+
+class DegreeDistribution {
+ public:
+  DegreeDistribution() = default;
+
+  /// From (degree, count) pairs in any order; merges duplicate degrees and
+  /// drops zero-count entries. Throws std::invalid_argument if the total
+  /// stub count is odd (no graph, simple or not, can realize it).
+  explicit DegreeDistribution(std::vector<DegreeClass> classes);
+
+  /// From a per-vertex degree sequence.
+  static DegreeDistribution from_degree_sequence(
+      const std::vector<std::uint64_t>& degrees);
+
+  /// Observed distribution of an edge list (isolated vertices beyond the
+  /// largest endpoint are not representable and therefore not counted).
+  static DegreeDistribution from_edges(const std::vector<struct Edge>& edges);
+
+  // --- Shape queries -----------------------------------------------------
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  const std::vector<DegreeClass>& classes() const noexcept { return classes_; }
+  std::uint64_t num_vertices() const noexcept { return total_vertices_; }
+  /// Sum of all degrees (2m of the paper).
+  std::uint64_t num_stubs() const noexcept { return total_stubs_; }
+  std::uint64_t num_edges() const noexcept { return total_stubs_ / 2; }
+  std::uint64_t max_degree() const noexcept;
+  std::uint64_t min_degree() const noexcept;
+  double average_degree() const noexcept;
+
+  bool empty() const noexcept { return classes_.empty(); }
+
+  // --- Class/vertex id mapping -------------------------------------------
+  /// First vertex id of class c (classes ascending by degree). The implied
+  /// I array of Algorithm IV.2; class_offset(num_classes()) == n.
+  std::uint64_t class_offset(std::size_t c) const noexcept {
+    return offsets_[c];
+  }
+  std::uint64_t degree_of_class(std::size_t c) const noexcept {
+    return classes_[c].degree;
+  }
+  std::uint64_t count_of_class(std::size_t c) const noexcept {
+    return classes_[c].count;
+  }
+  /// Class index of a vertex id (binary search over offsets).
+  std::size_t class_of_vertex(std::uint64_t v) const noexcept;
+  std::uint64_t degree_of_vertex(std::uint64_t v) const noexcept {
+    return classes_[class_of_vertex(v)].degree;
+  }
+  /// Index of an exact degree value, or num_classes() when absent.
+  std::size_t class_of_degree(std::uint64_t degree) const noexcept;
+
+  /// Materializes the per-vertex target degree sequence in id order.
+  std::vector<std::uint64_t> to_degree_sequence() const;
+
+  /// Erdős–Gallai test: can any SIMPLE graph realize this distribution?
+  /// O(|D| log |D|) via class-boundary checks (the inequality only needs
+  /// testing at indices where the sorted degree strictly drops).
+  bool is_graphical() const;
+
+  friend bool operator==(const DegreeDistribution&,
+                         const DegreeDistribution&) = default;
+
+ private:
+  void rebuild();
+
+  std::vector<DegreeClass> classes_;        // ascending by degree
+  std::vector<std::uint64_t> offsets_;      // size |D|+1, prefix sums of N
+  std::uint64_t total_vertices_ = 0;
+  std::uint64_t total_stubs_ = 0;
+};
+
+}  // namespace nullgraph

@@ -1,0 +1,58 @@
+#pragma once
+// Edge: an undirected vertex pair, 8 bytes. Vertex ids are 32-bit, which
+// covers every instance in the paper (largest is Friendster, n = 40M) while
+// letting an edge pack into a single 64-bit hash key.
+
+#include <cstdint>
+#include <functional>
+
+namespace nullgraph {
+
+using VertexId = std::uint32_t;
+using EdgeKey = std::uint64_t;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) noexcept =
+      default;
+
+  /// True when both endpoints coincide.
+  constexpr bool is_loop() const noexcept { return u == v; }
+
+  /// Endpoint-ordered copy (u <= v); undirected edges compare via this.
+  constexpr Edge canonical() const noexcept {
+    return u <= v ? Edge{u, v} : Edge{v, u};
+  }
+
+  /// Packs the canonical pair into one 64-bit key: min in the high word.
+  /// Key uniqueness over canonical edges makes the hash table collision
+  /// checks exact (no false "already present" answers).
+  constexpr EdgeKey key() const noexcept {
+    const Edge c = canonical();
+    return (static_cast<EdgeKey>(c.u) << 32) | static_cast<EdgeKey>(c.v);
+  }
+
+  static constexpr Edge from_key(EdgeKey key) noexcept {
+    return Edge{static_cast<VertexId>(key >> 32),
+                static_cast<VertexId>(key & 0xffffffffULL)};
+  }
+};
+
+static_assert(sizeof(Edge) == 8, "Edge must stay 8 bytes (Per.16)");
+
+/// Strict weak order on canonical form; ties broken consistently so sorting
+/// an edge list groups parallel edges together.
+constexpr bool canonical_less(const Edge& a, const Edge& b) noexcept {
+  return a.key() < b.key();
+}
+
+}  // namespace nullgraph
+
+template <>
+struct std::hash<nullgraph::Edge> {
+  std::size_t operator()(const nullgraph::Edge& e) const noexcept {
+    return std::hash<nullgraph::EdgeKey>{}(e.key());
+  }
+};

@@ -1,0 +1,85 @@
+#include "ds/edge_list.hpp"
+
+#include <algorithm>
+
+#include "ds/concurrent_hash_set.hpp"
+#include "util/parallel.hpp"
+
+namespace nullgraph {
+
+std::size_t vertex_count(const EdgeList& edges) {
+  VertexId max_id = 0;
+  bool any = false;
+#pragma omp parallel for reduction(max : max_id) schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const VertexId hi = edges[i].u > edges[i].v ? edges[i].u : edges[i].v;
+    if (hi > max_id) max_id = hi;
+  }
+  any = !edges.empty();
+  return any ? static_cast<std::size_t>(max_id) + 1 : 0;
+}
+
+std::vector<std::uint64_t> degrees_of(const EdgeList& edges, std::size_t n) {
+  if (n == 0) n = vertex_count(edges);
+  std::vector<std::uint64_t> degree(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge e = edges[i];
+#pragma omp atomic
+    degree[e.u]++;
+#pragma omp atomic
+    degree[e.v]++;
+  }
+  return degree;
+}
+
+SimplicityCensus census(const EdgeList& edges) {
+  SimplicityCensus result;
+  ConcurrentHashSet seen(edges.size());
+  std::size_t loops = 0;
+  std::size_t dups = 0;
+#pragma omp parallel for reduction(+ : loops, dups) schedule(static)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge e = edges[i];
+    if (e.is_loop()) {
+      ++loops;
+      continue;
+    }
+    if (seen.test_and_set(e.key())) ++dups;
+  }
+  result.self_loops = loops;
+  result.multi_edges = dups;
+  return result;
+}
+
+bool is_simple(const EdgeList& edges) { return census(edges).simple(); }
+
+EdgeList erase_nonsimple(const EdgeList& edges) {
+  ConcurrentHashSet seen(edges.size());
+  const int nthreads = max_threads();
+  std::vector<EdgeList> kept(static_cast<std::size_t>(nthreads));
+#pragma omp parallel num_threads(nthreads)
+  {
+    EdgeList& mine = kept[static_cast<std::size_t>(thread_id())];
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const Edge e = edges[i];
+      if (!e.is_loop() && !seen.test_and_set(e.key())) mine.push_back(e);
+    }
+  }
+  return concat_buffers(kept);
+}
+
+bool same_edge_multiset(const EdgeList& a, const EdgeList& b) {
+  if (a.size() != b.size()) return false;
+  auto keys = [](const EdgeList& edges) {
+    std::vector<EdgeKey> out(edges.size());
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].key();
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return keys(a) == keys(b);
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,168 @@
+#include "gen/chung_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "prob/heuristics.hpp"
+#include "skip/edge_skip.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+/// Weighted endpoint sampler: draws vertex ids proportionally to degree.
+/// Each strategy maps a uniform stub index s in [0, 2m) to the vertex that
+/// owns stub s, so all three are exactly equivalent in distribution.
+class EndpointSampler {
+ public:
+  EndpointSampler(const DegreeDistribution& dist, ClSampler kind)
+      : dist_(dist), kind_(kind) {
+    const std::size_t nc = dist.num_classes();
+    class_stub_offset_.assign(nc + 1, 0);
+    for (std::size_t c = 0; c < nc; ++c) {
+      class_stub_offset_[c + 1] =
+          class_stub_offset_[c] +
+          dist.degree_of_class(c) * dist.count_of_class(c);
+    }
+    if (kind_ == ClSampler::kBinarySearchVertex) {
+      // Faithful baseline: per-vertex cumulative weights, O(log n) search.
+      vertex_cum_.assign(dist.num_vertices() + 1, 0);
+#pragma omp parallel for schedule(static)
+      for (std::size_t c = 0; c < nc; ++c) {
+        const std::uint64_t d = dist.degree_of_class(c);
+        std::uint64_t cum = class_stub_offset_[c];
+        for (std::uint64_t v = dist.class_offset(c);
+             v < dist.class_offset(c + 1); ++v) {
+          vertex_cum_[v] = cum;
+          cum += d;
+        }
+      }
+      vertex_cum_.back() = class_stub_offset_.back();
+    } else if (kind_ == ClSampler::kAlias) {
+      build_alias();
+    }
+  }
+
+  std::uint64_t total_stubs() const noexcept {
+    return class_stub_offset_.back();
+  }
+
+  VertexId draw(Xoshiro256ss& rng) const {
+    switch (kind_) {
+      case ClSampler::kBinarySearchVertex: {
+        const std::uint64_t s = rng.bounded(total_stubs());
+        const auto it = std::upper_bound(vertex_cum_.begin(),
+                                         vertex_cum_.end(), s);
+        return static_cast<VertexId>(it - vertex_cum_.begin() - 1);
+      }
+      case ClSampler::kBinarySearchClass: {
+        const std::uint64_t s = rng.bounded(total_stubs());
+        const auto it = std::upper_bound(class_stub_offset_.begin(),
+                                         class_stub_offset_.end(), s);
+        const std::size_t c =
+            static_cast<std::size_t>(it - class_stub_offset_.begin()) - 1;
+        const std::uint64_t within = s - class_stub_offset_[c];
+        return static_cast<VertexId>(dist_.class_offset(c) +
+                                     within / dist_.degree_of_class(c));
+      }
+      case ClSampler::kAlias: {
+        // Walker alias over classes (uniform column, biased coin), then a
+        // uniform vertex within the winning class.
+        const std::size_t nc = dist_.num_classes();
+        const std::uint64_t col = rng.bounded(nc);
+        const std::size_t c =
+            rng.uniform() < alias_prob_[col] ? col : alias_other_[col];
+        return static_cast<VertexId>(dist_.class_offset(c) +
+                                     rng.bounded(dist_.count_of_class(c)));
+      }
+    }
+    return 0;  // unreachable
+  }
+
+ private:
+  void build_alias() {
+    // Vose's method over class stub weights.
+    const std::size_t nc = dist_.num_classes();
+    alias_prob_.assign(nc, 1.0);
+    alias_other_.assign(nc, 0);
+    const double mean =
+        static_cast<double>(total_stubs()) / static_cast<double>(nc);
+    std::vector<double> scaled(nc);
+    std::vector<std::size_t> small, large;
+    for (std::size_t c = 0; c < nc; ++c) {
+      scaled[c] = static_cast<double>(dist_.degree_of_class(c) *
+                                      dist_.count_of_class(c)) /
+                  mean;
+      (scaled[c] < 1.0 ? small : large).push_back(c);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      const std::size_t l = large.back();
+      small.pop_back();
+      alias_prob_[s] = scaled[s];
+      alias_other_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (std::size_t c : large) alias_prob_[c] = 1.0;
+    for (std::size_t c : small) alias_prob_[c] = 1.0;
+  }
+
+  const DegreeDistribution& dist_;
+  ClSampler kind_;
+  std::vector<std::uint64_t> class_stub_offset_;
+  std::vector<std::uint64_t> vertex_cum_;
+  std::vector<double> alias_prob_;
+  std::vector<std::size_t> alias_other_;
+};
+
+}  // namespace
+
+EdgeList chung_lu_multigraph(const DegreeDistribution& dist,
+                             const ChungLuConfig& config) {
+  const std::uint64_t m = dist.num_edges();
+  EdgeList edges(m);
+  if (m == 0) return edges;
+  const EndpointSampler sampler(dist, config.sampler);
+  if (sampler.total_stubs() == 0)
+    throw std::invalid_argument("chung_lu_multigraph: no stubs");
+  // Fixed-size blocks with stateless per-block seeds keep the output
+  // reproducible for any thread count.
+  constexpr std::uint64_t kBlock = 1u << 14;
+  const std::uint64_t blocks = (m + kBlock - 1) / kBlock;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::uint64_t state = config.seed ^ (b * 0x9e3779b97f4a7c15ULL);
+    splitmix64_next(state);
+    Xoshiro256ss rng(splitmix64_next(state));
+    const std::uint64_t begin = b * kBlock;
+    const std::uint64_t end = std::min(m, begin + kBlock);
+    for (std::uint64_t e = begin; e < end; ++e) {
+      edges[e] = {sampler.draw(rng), sampler.draw(rng)};
+    }
+  }
+  return edges;
+}
+
+EdgeList erased_chung_lu(const DegreeDistribution& dist,
+                         const ChungLuConfig& config) {
+  EdgeList edges = chung_lu_multigraph(dist, config);
+  return erase_nonsimple(edges);
+}
+
+EdgeList bernoulli_chung_lu(const DegreeDistribution& dist,
+                            std::uint64_t seed) {
+  const ProbabilityMatrix P = chung_lu_probabilities(dist);
+  EdgeSkipConfig config;
+  config.seed = seed;
+  return edge_skip_generate(P, dist, config);
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,47 @@
+#pragma once
+// Chung-Lu generators — the baselines of Section VIII.
+//
+//  * chung_lu_multigraph:   the O(m) model. 2m biased endpoint draws with
+//                           replacement; consecutive draws pair into edges.
+//                           Produces self-loops and multi-edges.
+//  * erased_chung_lu:       the "O(m) simple" model — O(m) draws, then
+//                           self-loops and duplicate edges discarded (at a
+//                           cost in output-degree accuracy; Figure 2).
+//  * bernoulli_chung_lu:    the "O(n^2) edgeskip" model — capped Chung-Lu
+//                           pair probabilities fed through edge-skipping.
+//                           Simple by construction, O(m) expected work.
+//
+// Endpoint sampling strategies (the paper uses a binary search over a
+// weighted list, O(log n) per draw; we add two cheaper ablations):
+//  * kBinarySearchVertex: search the per-vertex cumulative weight array.
+//  * kBinarySearchClass:  search the per-class cumulative stub array
+//                         (O(log |D|)), then index into the class.
+//  * kAlias:              Walker alias table over vertices, O(1) per draw.
+
+#include <cstdint>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+enum class ClSampler { kBinarySearchVertex, kBinarySearchClass, kAlias };
+
+struct ChungLuConfig {
+  std::uint64_t seed = 1;
+  ClSampler sampler = ClSampler::kBinarySearchVertex;
+};
+
+/// O(m) Chung-Lu: m edges from 2m weighted draws (loopy multigraph).
+EdgeList chung_lu_multigraph(const DegreeDistribution& dist,
+                             const ChungLuConfig& config = {});
+
+/// O(m) simple: chung_lu_multigraph with loops and duplicates erased.
+EdgeList erased_chung_lu(const DegreeDistribution& dist,
+                         const ChungLuConfig& config = {});
+
+/// O(n^2)-edgeskip: Bernoulli Chung-Lu via edge skipping (always simple).
+EdgeList bernoulli_chung_lu(const DegreeDistribution& dist,
+                            std::uint64_t seed = 1);
+
+}  // namespace nullgraph

@@ -1,0 +1,43 @@
+#pragma once
+// Synthetic stand-ins for the paper's Table I test graphs. We do not ship
+// SNAP/WebGraph data; each entry records the published (n, m, d_max) and a
+// default down-scale for this machine, and build_dataset() fits a discrete
+// power law to those targets (see DESIGN.md, substitutions). The first four
+// are the skewed "quality" instances, the last four the scalability ones.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+
+namespace nullgraph {
+
+struct DatasetSpec {
+  std::string name;
+  std::uint64_t n = 0;      // published vertex count
+  std::uint64_t m = 0;      // published edge count
+  std::uint64_t dmax = 0;   // published (or best-known) max degree
+  double default_scale = 1.0;  // down-scale applied by default on laptops
+  std::uint64_t dmin = 1;
+};
+
+/// The eight Table I instances, in paper order.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// The four skewed quality-comparison instances (Meso..DBPedia).
+std::vector<DatasetSpec> quality_datasets();
+
+std::optional<DatasetSpec> find_dataset(const std::string& name);
+
+/// Power-law stand-in scaled by `scale` (<= 0 means the spec's default,
+/// further multiplied by the NULLGRAPH_BENCH_SCALE environment variable
+/// when set). Guaranteed graphical and even-stubbed.
+DegreeDistribution build_dataset(const DatasetSpec& spec, double scale = 0.0);
+
+/// A fixed AS-733-like (as20) distribution at full published scale; the
+/// instance behind Figures 1 and 2.
+DegreeDistribution as20_like();
+
+}  // namespace nullgraph

@@ -1,0 +1,124 @@
+#include "gen/havel_hakimi.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nullgraph {
+
+namespace {
+
+/// Core worker. `order` holds vertex ids sorted by descending degree and is
+/// never reordered; `residual[pos]` is the remaining degree of order[pos].
+/// Degrees are decremented only on suffixes of equal-degree blocks, which
+/// keeps `residual` sorted descending without moving data.
+EdgeList run_havel_hakimi(const std::vector<VertexId>& order,
+                          std::vector<std::uint64_t> residual,
+                          std::uint64_t total_stubs) {
+  const std::size_t n = order.size();
+  EdgeList edges;
+  edges.reserve(total_stubs / 2);
+  if (n == 0) return edges;
+
+  const std::uint64_t dmax = residual.empty() ? 0 : residual.front();
+  // last_of[d] = last position whose residual equals d. Valid only while
+  // some active position holds degree d; sortedness guarantees at most one
+  // contiguous block per degree value.
+  std::vector<std::size_t> last_of(dmax + 1, 0);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    last_of[residual[pos]] = pos;
+
+  for (std::size_t head = 0; head < n; ++head) {
+    const std::uint64_t want = residual[head];
+    if (want == 0) break;  // sorted: everything after is 0 too
+    if (head + want > n - 1)
+      throw std::invalid_argument("havel_hakimi: sequence not graphical");
+    const VertexId v = order[head];
+    residual[head] = 0;
+    const std::size_t range_end = head + static_cast<std::size_t>(want);
+    std::size_t i = head + 1;
+    while (i <= range_end) {
+      const std::uint64_t d = residual[i];
+      if (d == 0)
+        throw std::invalid_argument("havel_hakimi: sequence not graphical");
+      const std::size_t block_end = last_of[d];
+      if (block_end <= range_end) {
+        // The tail of this degree block is consumed ([i..block_end]; the
+        // block can extend LEFT of i when earlier decrements in this same
+        // step merged a fresh degree-d run into it).
+        for (std::size_t j = i; j <= block_end; ++j) {
+          edges.push_back({v, order[j]});
+          residual[j] = d - 1;
+        }
+        if (i > 0 && residual[i - 1] == d) {
+          last_of[d] = i - 1;  // leftover left part keeps degree d
+        }
+        if (d >= 2 &&
+            !(block_end + 1 < n && residual[block_end + 1] == d - 1)) {
+          last_of[d - 1] = block_end;
+        }
+        i = block_end + 1;
+      } else {
+        // Partial cover: take the LAST c vertices of the block (same
+        // degree, so any choice is a valid Havel-Hakimi step) to keep the
+        // residual array sorted.
+        const std::size_t c = range_end - i + 1;
+        const std::size_t take_begin = block_end - c + 1;
+        for (std::size_t j = take_begin; j <= block_end; ++j) {
+          edges.push_back({v, order[j]});
+          residual[j] = d - 1;
+        }
+        last_of[d] = take_begin - 1;
+        if (d >= 2 &&
+            !(block_end + 1 < n && residual[block_end + 1] == d - 1)) {
+          last_of[d - 1] = block_end;
+        }
+        i = range_end + 1;
+      }
+    }
+  }
+  if (edges.size() * 2 != total_stubs)
+    throw std::invalid_argument("havel_hakimi: sequence not graphical");
+  return edges;
+}
+
+}  // namespace
+
+EdgeList havel_hakimi(const DegreeDistribution& dist) {
+  const std::size_t n = dist.num_vertices();
+  std::vector<VertexId> order(n);
+  std::vector<std::uint64_t> residual(n);
+  // Classes ascend by degree; walk them backwards for a descending order.
+  std::size_t pos = 0;
+  for (std::size_t step = 0; step < dist.num_classes(); ++step) {
+    const std::size_t c = dist.num_classes() - 1 - step;
+    for (std::uint64_t v = dist.class_offset(c);
+         v < dist.class_offset(c + 1); ++v) {
+      order[pos] = static_cast<VertexId>(v);
+      residual[pos] = dist.degree_of_class(c);
+      ++pos;
+    }
+  }
+  return run_havel_hakimi(order, std::move(residual), dist.num_stubs());
+}
+
+EdgeList havel_hakimi_sequence(const std::vector<std::uint64_t>& degrees) {
+  const std::size_t n = degrees.size();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     return degrees[a] > degrees[b];
+                   });
+  std::vector<std::uint64_t> residual(n);
+  std::uint64_t total = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    residual[pos] = degrees[order[pos]];
+    total += residual[pos];
+  }
+  if (total % 2 != 0)
+    throw std::invalid_argument("havel_hakimi: odd degree total");
+  return run_havel_hakimi(order, std::move(residual), total);
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,28 @@
+#pragma once
+// Havel–Hakimi construction: realizes a graphical degree distribution as a
+// concrete simple graph. The paper uses "Havel–Hakimi generation and 128
+// full iterations of double-edge swaps" as its uniformly-random ground
+// truth (Section VIII); we follow suit for Figures 1 and 4.
+//
+// The implementation is the block/run-length variant: vertices sorted by
+// descending degree never move; connecting the current maximum to the next
+// d largest only shifts degree-block boundaries, giving O(m + n + B) total
+// work where B is the number of block boundary updates (B = O(m)).
+
+#include <cstdint>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Builds a simple graph exactly realizing `dist` (vertex ids follow the
+/// DegreeDistribution convention). Throws std::invalid_argument when the
+/// distribution is not graphical.
+EdgeList havel_hakimi(const DegreeDistribution& dist);
+
+/// Same, for an explicit per-vertex degree sequence; the output edge uses
+/// the caller's vertex indices.
+EdgeList havel_hakimi_sequence(const std::vector<std::uint64_t>& degrees);
+
+}  // namespace nullgraph

@@ -1,0 +1,160 @@
+#include "gen/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+std::vector<double> degree_weights(std::uint64_t dmin, std::uint64_t dmax,
+                                   double gamma) {
+  std::vector<double> weights(dmax - dmin + 1);
+  for (std::uint64_t d = dmin; d <= dmax; ++d)
+    weights[d - dmin] = std::pow(static_cast<double>(d), -gamma);
+  return weights;
+}
+
+}  // namespace
+
+DegreeDistribution powerlaw_distribution(const PowerlawParams& params) {
+  if (params.dmin == 0 || params.dmin > params.dmax || params.n == 0)
+    throw std::invalid_argument("powerlaw_distribution: bad parameters");
+  const std::vector<double> weights =
+      degree_weights(params.dmin, params.dmax, params.gamma);
+  const double total_weight =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  const std::uint64_t reserved = params.force_dmax ? 1 : 0;
+  const std::uint64_t to_place = params.n - std::min(params.n, reserved);
+  // Largest-remainder apportionment of to_place vertices over the degrees.
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(weights.size());
+  std::uint64_t placed = 0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    const double share =
+        static_cast<double>(to_place) * weights[k] / total_weight;
+    counts[k] = static_cast<std::uint64_t>(share);
+    placed += counts[k];
+    remainders.emplace_back(share - std::floor(share), k);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t r = 0; placed < to_place && r < remainders.size(); ++r) {
+    ++counts[remainders[r].second];
+    ++placed;
+  }
+  if (params.force_dmax) ++counts.back();
+
+  // Even stub total: shift one vertex up a degree (or down, at the edges).
+  std::uint64_t stubs = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k)
+    stubs += counts[k] * (params.dmin + k);
+  if (stubs % 2 != 0) {
+    bool fixed = false;
+    for (std::size_t k = 0; k + 1 < counts.size() && !fixed; ++k) {
+      if (counts[k] > 0) {
+        --counts[k];
+        ++counts[k + 1];
+        fixed = true;
+      }
+    }
+    if (!fixed) {
+      // Single-degree-class corner: move one vertex down instead.
+      for (std::size_t k = counts.size(); k-- > 1 && !fixed;) {
+        if (counts[k] > 0) {
+          --counts[k];
+          ++counts[k - 1];
+          fixed = true;
+        }
+      }
+    }
+    if (!fixed)
+      throw std::invalid_argument(
+          "powerlaw_distribution: cannot even the stub total");
+  }
+
+  auto build = [&]() {
+    std::vector<DegreeClass> classes;
+    for (std::size_t k = 0; k < counts.size(); ++k)
+      if (counts[k] > 0) classes.push_back({params.dmin + k, counts[k]});
+    return DegreeDistribution(std::move(classes));
+  };
+
+  DegreeDistribution dist = build();
+  if (params.make_graphical) {
+    // Heavy tails can fail Erdős–Gallai; demote top-degree vertices two
+    // steps at a time (parity preserved) until the sequence is graphical.
+    int guard = 1 << 20;
+    while (!dist.is_graphical() && guard-- > 0) {
+      std::size_t top = counts.size();
+      while (top-- > 0 && counts[top] == 0) {
+      }
+      if (top == static_cast<std::size_t>(-1) || top < 2) break;
+      --counts[top];
+      ++counts[top - 2];
+      dist = build();
+    }
+  }
+  return dist;
+}
+
+double fit_powerlaw_gamma(std::uint64_t n, double target_avg_degree,
+                          std::uint64_t dmin, std::uint64_t dmax) {
+  (void)n;  // the continuous average is n-independent
+  auto average = [&](double gamma) {
+    double num = 0.0, den = 0.0;
+    for (std::uint64_t d = dmin; d <= dmax; ++d) {
+      const double w = std::pow(static_cast<double>(d), -gamma);
+      num += static_cast<double>(d) * w;
+      den += w;
+    }
+    return num / den;
+  };
+  double lo = 1.01, hi = 6.0;
+  if (target_avg_degree >= average(lo)) return lo;
+  if (target_avg_degree <= average(hi)) return hi;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (average(mid) > target_avg_degree)
+      lo = mid;  // average decreases with gamma
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<std::uint64_t> sample_powerlaw_sequence(std::uint64_t n,
+                                                    double gamma,
+                                                    std::uint64_t dmin,
+                                                    std::uint64_t dmax,
+                                                    std::uint64_t seed) {
+  const std::vector<double> weights = degree_weights(dmin, dmax, gamma);
+  std::vector<double> cumulative(weights.size());
+  std::partial_sum(weights.begin(), weights.end(), cumulative.begin());
+  const double total = cumulative.back();
+  std::vector<std::uint64_t> degrees(n);
+  Xoshiro256ss rng(seed);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double u = rng.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    degrees[i] = dmin + static_cast<std::uint64_t>(it - cumulative.begin());
+    sum += degrees[i];
+  }
+  if (sum % 2 != 0 && n > 0) {
+    if (degrees[0] < dmax)
+      ++degrees[0];
+    else
+      --degrees[0];
+  }
+  return degrees;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,45 @@
+#pragma once
+// Discrete power-law degree distributions — the synthetic stand-ins for the
+// paper's SNAP/WebGraph datasets (see DESIGN.md, substitutions). Counts
+// follow n_d proportional to d^-gamma on [dmin, dmax], apportioned to
+// exactly n vertices by largest remainder, nudged to an even stub total,
+// and (optionally) trimmed until graphical.
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+
+namespace nullgraph {
+
+struct PowerlawParams {
+  std::uint64_t n = 1000;
+  double gamma = 2.5;
+  std::uint64_t dmin = 1;
+  std::uint64_t dmax = 100;
+  /// Guarantee at least one vertex at dmax (real datasets report their
+  /// observed maximum, so the stand-ins should hit theirs too).
+  bool force_dmax = true;
+  /// Shave the top classes until Erdős–Gallai passes (needed only for
+  /// extremely heavy tails).
+  bool make_graphical = true;
+};
+
+/// Deterministic apportionment: same params, same distribution.
+DegreeDistribution powerlaw_distribution(const PowerlawParams& params);
+
+/// Finds gamma such that powerlaw_distribution hits `target_avg_degree`
+/// (monotone in gamma; plain bisection on [1.01, 6]).
+double fit_powerlaw_gamma(std::uint64_t n, double target_avg_degree,
+                          std::uint64_t dmin, std::uint64_t dmax);
+
+/// I.i.d. random power-law degree sequence (inverse-CDF sampling); used by
+/// the LFR generator where each community needs its own random draw. The
+/// sum is nudged by +-1 on one element to be even.
+std::vector<std::uint64_t> sample_powerlaw_sequence(std::uint64_t n,
+                                                    double gamma,
+                                                    std::uint64_t dmin,
+                                                    std::uint64_t dmax,
+                                                    std::uint64_t seed);
+
+}  // namespace nullgraph

@@ -1,0 +1,92 @@
+#include "io/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nullgraph {
+
+namespace {
+
+bool skip_line(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (skip_line(line)) continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v))
+      throw std::runtime_error("malformed edge line: " + line);
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return edges;
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& edges) {
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const EdgeList& edges) {
+  auto out = open_output(path);
+  write_edge_list(out, edges);
+}
+
+DegreeDistribution read_degree_distribution(std::istream& in) {
+  std::vector<DegreeClass> classes;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (skip_line(line)) continue;
+    std::istringstream fields(line);
+    std::uint64_t degree = 0, count = 0;
+    if (!(fields >> degree >> count))
+      throw std::runtime_error("malformed distribution line: " + line);
+    classes.push_back({degree, count});
+  }
+  return DegreeDistribution(std::move(classes));
+}
+
+DegreeDistribution read_degree_distribution_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_degree_distribution(in);
+}
+
+void write_degree_distribution(std::ostream& out,
+                               const DegreeDistribution& dist) {
+  for (const DegreeClass& c : dist.classes())
+    out << c.degree << ' ' << c.count << '\n';
+}
+
+void write_degree_distribution_file(const std::string& path,
+                                    const DegreeDistribution& dist) {
+  auto out = open_output(path);
+  write_degree_distribution(out, dist);
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text I/O: edge lists ("u v" per line) and degree distributions
+// ("degree count" per line). Lines starting with '#' or '%' are comments,
+// compatible with SNAP-style downloads.
+
+#include <iosfwd>
+#include <string>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+EdgeList read_edge_list(std::istream& in);
+EdgeList read_edge_list_file(const std::string& path);
+void write_edge_list(std::ostream& out, const EdgeList& edges);
+void write_edge_list_file(const std::string& path, const EdgeList& edges);
+
+DegreeDistribution read_degree_distribution(std::istream& in);
+DegreeDistribution read_degree_distribution_file(const std::string& path);
+void write_degree_distribution(std::ostream& out,
+                               const DegreeDistribution& dist);
+void write_degree_distribution_file(const std::string& path,
+                                    const DegreeDistribution& dist);
+
+}  // namespace nullgraph

@@ -1,0 +1,78 @@
+#include "lfr/hierarchical.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/null_model.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+HierarchicalGraph generate_hierarchical(
+    const std::vector<std::uint64_t>& degrees,
+    const std::vector<HierarchyLevel>& levels,
+    const HierarchicalConfig& config) {
+  const std::size_t n = degrees.size();
+  // Validate the lambda shares: per vertex they must sum to 1.
+  std::vector<double> lambda_sum(n, 0.0);
+  for (const HierarchyLevel& level : levels) {
+    for (const SubgraphSpec& subgraph : level) {
+      if (subgraph.lambda < 0.0)
+        throw std::invalid_argument("generate_hierarchical: lambda < 0");
+      for (const VertexId v : subgraph.members) {
+        if (v >= n)
+          throw std::invalid_argument(
+              "generate_hierarchical: member id out of range");
+        lambda_sum[v] += subgraph.lambda;
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degrees[v] > 0 &&
+        std::abs(lambda_sum[v] - 1.0) > config.lambda_tolerance)
+      throw std::invalid_argument(
+          "generate_hierarchical: lambda shares of a vertex do not sum to 1");
+  }
+
+  HierarchicalGraph result;
+  std::uint64_t seed_chain = config.seed;
+  GenerateConfig layer_config;
+  layer_config.swap_iterations = config.swap_iterations;
+
+  EdgeList merged;
+  for (const HierarchyLevel& level : levels) {
+    for (const SubgraphSpec& subgraph : level) {
+      if (subgraph.members.size() < 2 || subgraph.lambda == 0.0) continue;
+      std::vector<std::uint64_t> layer_degrees(subgraph.members.size());
+      std::uint64_t sum = 0;
+      for (std::size_t k = 0; k < subgraph.members.size(); ++k) {
+        layer_degrees[k] = static_cast<std::uint64_t>(std::llround(
+            subgraph.lambda *
+            static_cast<double>(degrees[subgraph.members[k]])));
+        sum += layer_degrees[k];
+      }
+      if (sum % 2 != 0) {
+        // Parity nudge on the first positive entry.
+        for (std::uint64_t& d : layer_degrees) {
+          if (d > 0) {
+            --d;
+            break;
+          }
+        }
+      }
+      layer_config.seed = splitmix64_next(seed_chain);
+      GenerateResult layer =
+          generate_for_sequence(layer_degrees, layer_config);
+      for (const Edge& e : layer.edges)
+        merged.push_back(
+            {subgraph.members[e.u], subgraph.members[e.v]});
+      ++result.layers_generated;
+    }
+  }
+  const std::size_t before = merged.size();
+  result.edges = erase_nonsimple(merged);
+  result.merged_duplicates = before - result.edges.size();
+  return result;
+}
+
+}  // namespace nullgraph

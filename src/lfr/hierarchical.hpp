@@ -1,0 +1,46 @@
+#pragma once
+// Generalized hierarchical / overlapping network generation (Section VI,
+// last paragraph). A hierarchy is a list of LEVELS; each level is a list of
+// subgraphs, and each subgraph assigns a share lambda of the degree of
+// every member vertex. For every vertex, the lambdas of the subgraphs that
+// contain it (across all levels) must sum to 1, so the union of all layer
+// graphs retains the global degree distribution in expectation. Each layer
+// is generated with generate_for_sequence, i.e. the full Algorithm IV.1
+// pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+struct SubgraphSpec {
+  std::vector<VertexId> members;
+  double lambda = 1.0;  // share of each member's degree spent in this layer
+};
+
+using HierarchyLevel = std::vector<SubgraphSpec>;
+
+struct HierarchicalConfig {
+  std::uint64_t seed = 1;
+  std::size_t swap_iterations = 5;
+  /// Maximum allowed deviation of any vertex's lambda sum from 1.
+  double lambda_tolerance = 1e-6;
+};
+
+struct HierarchicalGraph {
+  EdgeList edges;
+  std::size_t layers_generated = 0;
+  std::size_t merged_duplicates = 0;
+};
+
+/// Generates the union of all subgraph layers. Throws
+/// std::invalid_argument when lambda shares do not sum to 1 per vertex,
+/// when a subgraph has out-of-range members, or when lambda < 0.
+HierarchicalGraph generate_hierarchical(
+    const std::vector<std::uint64_t>& degrees,
+    const std::vector<HierarchyLevel>& levels,
+    const HierarchicalConfig& config = {});
+
+}  // namespace nullgraph

@@ -1,0 +1,50 @@
+#pragma once
+// LFR-like hierarchical benchmark graphs (Section VI; Lancichinetti,
+// Fortunato & Radicchi [19] via the layered approach of Slota & Garbus
+// [34]). Vertex degrees follow one power law, community sizes another;
+// each vertex splits its degree into an internal part (within its
+// community) and an external part by the mixing parameter mu. Every layer
+// — one null model per community plus one global external graph — is
+// generated with this library's generate_for_sequence, so small skewed
+// communities keep accurate degree distributions where plain Chung-Lu
+// methods fail (the paper's observation).
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+struct LfrParams {
+  std::uint64_t n = 10'000;
+  double degree_exponent = 2.5;     // tau1
+  std::uint64_t dmin = 4;
+  std::uint64_t dmax = 100;
+  double community_exponent = 1.8;  // tau2
+  std::uint64_t cmin = 32;          // community size bounds
+  std::uint64_t cmax = 512;
+  double mu = 0.3;                  // target external/total degree ratio
+  std::uint64_t seed = 1;
+  std::size_t swap_iterations = 5;  // per layer
+};
+
+struct LfrGraph {
+  EdgeList edges;
+  std::vector<std::uint32_t> community;  // per-vertex community id
+  std::size_t num_communities = 0;
+  double achieved_mu = 0.0;              // external / total edge endpoints
+  /// duplicate internal/external edges removed while merging layers
+  std::size_t merged_duplicates = 0;
+};
+
+/// Generates an LFR-like graph. Throws std::invalid_argument on infeasible
+/// parameters (e.g. cmax too small for the internal degrees).
+LfrGraph generate_lfr(const LfrParams& params);
+
+/// Recomputes the realized mixing parameter of a partitioned graph:
+/// fraction of edge endpoints whose edge crosses communities.
+double measured_mu(const EdgeList& edges,
+                   const std::vector<std::uint32_t>& community);
+
+}  // namespace nullgraph

@@ -1,0 +1,169 @@
+#include "prob/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nullgraph {
+
+ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist) {
+  const std::size_t nc = dist.num_classes();
+  ProbabilityMatrix matrix(nc);
+  const double two_m = static_cast<double>(dist.num_stubs());
+  if (two_m == 0) return matrix;
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double di = static_cast<double>(dist.degree_of_class(i));
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double dj = static_cast<double>(dist.degree_of_class(j));
+      matrix.set(i, j, std::min(1.0, di * dj / two_m));
+    }
+  }
+  return matrix;
+}
+
+ProbabilityMatrix stub_matching_probabilities(
+    const DegreeDistribution& dist) {
+  // Faithful rendering of Section IV-A. Classes are processed in descending
+  // expected-degree order; FE starts at TWICE the stub counts and each
+  // allocation contributes the half-probability p_ij = e_ij / (2 n_i n_j),
+  // so the symmetric accumulation P = p_ij + p_ji lands at full strength.
+  // The paper leaves the stub-removal bookkeeping implicit; we remove
+  // exactly the e_ij stubs its own e_ij formula allocates (linear
+  // accounting), which reproduces its claimed behaviour on power-law
+  // inputs (see tests/test_prob_heuristics and bench_ablation_prob).
+  const std::size_t nc = dist.num_classes();
+  ProbabilityMatrix matrix(nc);
+  if (nc == 0) return matrix;
+  std::vector<double> free_stubs(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    free_stubs[c] = 2.0 * static_cast<double>(dist.degree_of_class(c)) *
+                    static_cast<double>(dist.count_of_class(c));
+  }
+  // Our classes are stored ascending; iterate descending (largest first).
+  for (std::size_t step = 0; step < nc; ++step) {
+    const std::size_t i = nc - 1 - step;
+    double total = 0.0;
+    for (double fe : free_stubs) total += fe;
+    const double denom = total - free_stubs[i];
+    const double ni = static_cast<double>(dist.count_of_class(i));
+    double handed_out = 0.0;
+    for (std::size_t jstep = 0; jstep < nc; ++jstep) {
+      const std::size_t j = nc - 1 - jstep;
+      const double nj = static_cast<double>(dist.count_of_class(j));
+      double naive = 0.0;
+      if (denom > 0.0 && free_stubs[i] > 0.0)
+        naive = free_stubs[i] * free_stubs[j] / denom;
+      const double pair_cap = i == j ? ni * (ni - 1.0) : ni * nj;
+      const double edges =
+          std::max(0.0, std::min({naive, pair_cap, free_stubs[j]}));
+      if (edges <= 0.0) continue;
+      const double p = edges / (2.0 * ni * nj);
+      matrix.add(i, j, p);
+      free_stubs[j] -= edges;
+      handed_out += edges;
+    }
+    free_stubs[i] = std::max(0.0, free_stubs[i] - handed_out);
+  }
+  matrix.clamp();
+  return matrix;
+}
+
+ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
+                                       int rounds) {
+  // Descending single-pass allocator with exact stub accounting. When class
+  // c is processed, ALL of its remaining stubs are distributed (fractional
+  // expected-edge allocations) across itself and the not-yet-processed
+  // classes, proportionally to their remaining stubs and capped so that no
+  // pair probability exceeds 1 and no class is overdrawn. Because each
+  // allocation of e expected edges between classes a and b raises a's
+  // expected degree by exactly e / n_a, exhausting the stub array makes the
+  // expected output degree of every class equal its target.
+  const std::size_t nc = dist.num_classes();
+  ProbabilityMatrix matrix(nc);
+  if (nc == 0) return matrix;
+  std::vector<double> stubs(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    stubs[c] = static_cast<double>(dist.degree_of_class(c)) *
+               static_cast<double>(dist.count_of_class(c));
+  }
+  constexpr double kEps = 1e-9;
+  for (std::size_t step = 0; step < nc; ++step) {
+    const std::size_t c = nc - 1 - step;  // descending degree
+    const double n_c = static_cast<double>(dist.count_of_class(c));
+    const double self_pairs = n_c * (n_c - 1.0) / 2.0;
+    // Uniform-matching share of internal edges first: S_c^2 / (2T), capped
+    // by the simple-graph space and by the stubs themselves.
+    double total = 0.0;
+    for (std::size_t k = 0; k <= c; ++k) total += stubs[k];
+    if (total > 0.0 && stubs[c] > 0.0 && self_pairs > 0.0) {
+      const double want = stubs[c] * stubs[c] / (2.0 * total);
+      const double internal =
+          std::min({want, self_pairs * (1.0 - matrix.at(c, c)),
+                    stubs[c] / 2.0});
+      if (internal > 0.0) {
+        matrix.add(c, c, internal / self_pairs);
+        stubs[c] -= 2.0 * internal;
+      }
+    }
+    // Water-filling across the remaining classes; repeated rounds absorb
+    // residue when a space cap or a small class's stub pool binds.
+    for (int round = 0; round < rounds && stubs[c] > kEps; ++round) {
+      double weight = 0.0;
+      for (std::size_t j = 0; j < c; ++j)
+        if (stubs[j] > kEps && matrix.at(c, j) < 1.0) weight += stubs[j];
+      if (weight <= kEps) break;
+      const double budget = stubs[c];
+      double allocated = 0.0;
+      for (std::size_t j = 0; j < c; ++j) {
+        if (stubs[j] <= kEps) continue;
+        const double n_j = static_cast<double>(dist.count_of_class(j));
+        const double cap = (1.0 - matrix.at(c, j)) * n_c * n_j;
+        if (cap <= kEps) continue;
+        const double e =
+            std::min({budget * stubs[j] / weight, cap, stubs[j]});
+        if (e <= 0.0) continue;
+        matrix.add(c, j, e / (n_c * n_j));
+        stubs[j] -= e;
+        allocated += e;
+      }
+      stubs[c] = std::max(0.0, stubs[c] - allocated);
+      if (allocated <= kEps * budget) {
+        // Caps everywhere; push what's left into the self space if any
+        // room remains, then give up (tiny residual, reported by
+        // diagnose()).
+        if (self_pairs > 0.0 && matrix.at(c, c) < 1.0) {
+          const double room = (1.0 - matrix.at(c, c)) * self_pairs;
+          const double internal = std::min(room, stubs[c] / 2.0);
+          matrix.add(c, c, internal / self_pairs);
+          stubs[c] -= 2.0 * internal;
+        }
+        break;
+      }
+    }
+  }
+  matrix.clamp();
+  return matrix;
+}
+
+void refine_probabilities(ProbabilityMatrix& matrix,
+                          const DegreeDistribution& dist, int iterations) {
+  const std::size_t nc = dist.num_classes();
+  std::vector<double> scale(nc, 1.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double expected = matrix.expected_degree(c, dist);
+      const double target = static_cast<double>(dist.degree_of_class(c));
+      scale[c] = expected > 1e-12 ? target / expected : 1.0;
+    }
+#pragma omp parallel for schedule(dynamic, 16)
+    for (std::size_t i = 0; i < nc; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double factor = std::sqrt(scale[i] * scale[j]);
+        matrix.set(i, j, std::clamp(matrix.at(i, j) * factor, 0.0, 1.0));
+      }
+    }
+  }
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,52 @@
+#pragma once
+// Probability-generation heuristics (Section IV-A). Given a degree
+// distribution, produce pairwise class probabilities P such that a
+// Bernoulli edge-skipping generator reproduces the distribution in
+// expectation — the step for which "no closed-form solution exists".
+//
+// Three generators are provided:
+//  * chung_lu_probabilities     — the classical (capped) w_i w_j / 2m,
+//                                 the O(n^2)-edgeskip baseline of Fig. 3.
+//  * stub_matching_probabilities— the paper's heuristic: ordered classes,
+//                                 doubled free-stub array, half-probability
+//                                 accumulation p_ij + p_ji.
+//  * greedy_probabilities       — a descending single-pass stub allocator
+//                                 with exact per-class stub accounting
+//                                 (water-filling against simplicity caps);
+//                                 matches d_max and m by construction and
+//                                 is the library default.
+//
+// All run in O(|D|^2) work / O(|D|) parallel depth, matching Section V.
+
+#include <cstddef>
+
+#include "ds/degree_distribution.hpp"
+#include "prob/probability_matrix.hpp"
+
+namespace nullgraph {
+
+/// Capped Chung-Lu probabilities: P(i,j) = min(1, d_i d_j / 2m).
+ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist);
+
+/// The paper's Section IV-A heuristic, implemented as published: classes
+/// ordered by degree, free-stub array FE initialized to twice the stub
+/// counts, e_ij = Min(FE_i FE_j / (sum FE - FE_i), n_i n_j, FE_j),
+/// p_ij = e_ij / (2 n_i n_j), accumulated symmetrically.
+ProbabilityMatrix stub_matching_probabilities(const DegreeDistribution& dist);
+
+/// Greedy descending allocator: process classes from d_max down, allocating
+/// each class's remaining stubs across the not-yet-processed classes
+/// proportionally to their remaining stubs, capped by space sizes (keeps
+/// every P <= 1) and by the receiving class's remaining stubs. Fractional
+/// allocations; `rounds` water-filling passes absorb cap-bound residue.
+ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
+                                       int rounds = 32);
+
+/// Optional fixed-point refinement (the paper's "future work" correction):
+/// multiplicative per-class scaling toward the expected-degree system,
+/// clamped to [0, 1]. Improves the low-degree fit Chung-Lu style matrices
+/// get wrong; used by the probability ablation benchmark.
+void refine_probabilities(ProbabilityMatrix& matrix,
+                          const DegreeDistribution& dist, int iterations = 16);
+
+}  // namespace nullgraph

@@ -1,0 +1,91 @@
+#include "prob/probability_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nullgraph {
+
+void ProbabilityMatrix::clamp() {
+#pragma omp parallel for schedule(static)
+  for (std::size_t k = 0; k < values_.size(); ++k)
+    values_[k] = std::clamp(values_[k], 0.0, 1.0);
+}
+
+double ProbabilityMatrix::max_value() const noexcept {
+  double result = 0.0;
+#pragma omp parallel for reduction(max : result) schedule(static)
+  for (std::size_t k = 0; k < values_.size(); ++k)
+    if (values_[k] > result) result = values_[k];
+  return result;
+}
+
+double ProbabilityMatrix::expected_degree(
+    std::size_t c, const DegreeDistribution& dist) const {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < num_classes_; ++j)
+    sum += static_cast<double>(dist.count_of_class(j)) * at(c, j);
+  return sum - at(c, c);
+}
+
+double ProbabilityMatrix::expected_edges(
+    const DegreeDistribution& dist) const {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(dynamic, 16)
+  for (std::size_t i = 0; i < num_classes_; ++i) {
+    const double ni = static_cast<double>(dist.count_of_class(i));
+    for (std::size_t j = 0; j < i; ++j)
+      sum += at(i, j) * ni * static_cast<double>(dist.count_of_class(j));
+    sum += at(i, i) * ni * (ni - 1.0) / 2.0;
+  }
+  return sum;
+}
+
+double ProbabilityMatrix::l1_distance(const ProbabilityMatrix& a,
+                                      const ProbabilityMatrix& b) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+  for (std::size_t k = 0; k < a.values_.size(); ++k)
+    sum += std::abs(a.values_[k] - b.values_[k]);
+  return sum;
+}
+
+double ProbabilityMatrix::weighted_l1_distance(
+    const ProbabilityMatrix& a, const ProbabilityMatrix& b,
+    const DegreeDistribution& dist) {
+  double sum = 0.0;
+  const std::size_t nc = a.num_classes_;
+#pragma omp parallel for reduction(+ : sum) schedule(dynamic, 16)
+  for (std::size_t i = 0; i < nc; ++i) {
+    const double ni = static_cast<double>(dist.count_of_class(i));
+    for (std::size_t j = 0; j < i; ++j) {
+      const double pairs = ni * static_cast<double>(dist.count_of_class(j));
+      sum += std::abs(a.at(i, j) - b.at(i, j)) * pairs;
+    }
+    sum += std::abs(a.at(i, i) - b.at(i, i)) * ni * (ni - 1.0) / 2.0;
+  }
+  return sum;
+}
+
+ProbabilityDiagnostics diagnose(const ProbabilityMatrix& matrix,
+                                const DegreeDistribution& dist) {
+  ProbabilityDiagnostics diag;
+  double weighted_error = 0.0;
+  for (std::size_t c = 0; c < dist.num_classes(); ++c) {
+    const double target = static_cast<double>(dist.degree_of_class(c));
+    const double expected = matrix.expected_degree(c, dist);
+    const double rel = target > 0 ? std::abs(expected - target) / target : 0;
+    diag.max_relative_degree_error =
+        std::max(diag.max_relative_degree_error, rel);
+    weighted_error += std::abs(expected - target) *
+                      static_cast<double>(dist.count_of_class(c));
+  }
+  const double stubs = static_cast<double>(dist.num_stubs());
+  diag.total_relative_stub_error = stubs > 0 ? weighted_error / stubs : 0.0;
+  const double m = static_cast<double>(dist.num_edges());
+  diag.relative_edge_error =
+      m > 0 ? std::abs(matrix.expected_edges(dist) - m) / m : 0.0;
+  diag.max_probability = matrix.max_value();
+  return diag;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,90 @@
+#pragma once
+// ProbabilityMatrix: symmetric |D| x |D| pairwise edge probabilities between
+// degree classes — the P of Algorithms IV.1/IV.2. Stored as the packed
+// lower triangle (|D|(|D|+1)/2 doubles), honouring the paper's O(|D|^2)
+// space bound at half the naive constant.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+
+namespace nullgraph {
+
+class ProbabilityMatrix {
+ public:
+  ProbabilityMatrix() = default;
+  explicit ProbabilityMatrix(std::size_t num_classes)
+      : num_classes_(num_classes),
+        values_(num_classes * (num_classes + 1) / 2, 0.0) {}
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  double at(std::size_t i, std::size_t j) const noexcept {
+    return values_[index(i, j)];
+  }
+  void set(std::size_t i, std::size_t j, double p) noexcept {
+    values_[index(i, j)] = p;
+  }
+  void add(std::size_t i, std::size_t j, double p) noexcept {
+    values_[index(i, j)] += p;
+  }
+
+  /// Clamps every entry into [0, 1].
+  void clamp();
+
+  double max_value() const noexcept;
+
+  /// Expected degree of a vertex in class c under a Bernoulli generator:
+  ///   sum_j count(j) * P(c, j)  -  P(c, c)
+  /// (the LHS of the paper's system of equations; the subtraction accounts
+  /// for a vertex not pairing with itself).
+  double expected_degree(std::size_t c, const DegreeDistribution& dist) const;
+
+  /// Expected number of edges over all pair spaces:
+  ///   sum_{i<j} P(i,j) n_i n_j + sum_i P(i,i) C(n_i, 2).
+  double expected_edges(const DegreeDistribution& dist) const;
+
+  /// Entry-wise L1 distance over the packed triangle (off-diagonal entries
+  /// counted once; the convention used for Figure 4's error curves).
+  static double l1_distance(const ProbabilityMatrix& a,
+                            const ProbabilityMatrix& b);
+
+  /// Pair-count-weighted L1 distance: sum over class pairs of
+  /// |a - b| * (number of vertex pairs in that space). Equals the L1
+  /// difference in EXPECTED EDGES between the two attachment structures,
+  /// so sampling noise from tiny classes (a single hub vs a single hub)
+  /// does not swamp the signal the way it does in the raw entry-wise L1.
+  static double weighted_l1_distance(const ProbabilityMatrix& a,
+                                     const ProbabilityMatrix& b,
+                                     const DegreeDistribution& dist);
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j) const noexcept {
+    if (i < j) std::swap(i, j);
+    return i * (i + 1) / 2 + j;
+  }
+
+  std::size_t num_classes_ = 0;
+  std::vector<double> values_;
+};
+
+/// Per-class diagnostics of how well a probability matrix realizes its
+/// target distribution (the paper's "error is small for non-contrived
+/// networks" claim, made measurable).
+struct ProbabilityDiagnostics {
+  /// max over classes of |expected_degree(c) - degree(c)| / degree(c)
+  double max_relative_degree_error = 0.0;
+  /// total expected degree error weighted by class counts, relative to 2m
+  double total_relative_stub_error = 0.0;
+  /// expected edges vs target m, relative
+  double relative_edge_error = 0.0;
+  /// largest matrix entry (must stay <= 1 for a Bernoulli generator)
+  double max_probability = 0.0;
+};
+
+ProbabilityDiagnostics diagnose(const ProbabilityMatrix& matrix,
+                                const DegreeDistribution& dist);
+
+}  // namespace nullgraph

@@ -1,0 +1,183 @@
+#include "skip/edge_skip.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+/// Stateless task seed: decorrelates (seed, pair, chunk) triples.
+std::uint64_t task_seed(std::uint64_t seed, std::uint64_t pair,
+                        std::uint64_t chunk) {
+  std::uint64_t state = seed ^ (pair * 0x9e3779b97f4a7c15ULL) ^
+                        (chunk * 0xbf58476d1ce4e5b9ULL);
+  splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
+/// Pair space between two distinct classes (hi class index > lo class
+/// index) or within one class (hi == lo).
+struct PairSpace {
+  std::uint64_t size = 0;      // number of candidate pairs
+  std::uint64_t lo_count = 0;  // N(j): row stride for the decode
+  std::uint64_t hi_offset = 0; // first vertex id of the hi class
+  std::uint64_t lo_offset = 0; // first vertex id of the lo class
+  bool diagonal = false;
+
+  /// Decodes pair index t (0-based) into a concrete edge.
+  Edge decode(std::uint64_t t) const noexcept {
+    if (!diagonal) {
+      const std::uint64_t u = t / lo_count;
+      const std::uint64_t v = t % lo_count;
+      return {static_cast<VertexId>(hi_offset + u),
+              static_cast<VertexId>(lo_offset + v)};
+    }
+    // Triangular decode: t = u(u-1)/2 + v with 0 <= v < u. The float sqrt
+    // gets us within one of the right row; integer correction makes the
+    // decode exact for any t < 2^63.
+    std::uint64_t u = static_cast<std::uint64_t>(
+        (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(t))) / 2.0);
+    while (u >= 1 && u * (u - 1) / 2 > t) --u;
+    while ((u + 1) * u / 2 <= t) ++u;
+    const std::uint64_t v = t - u * (u - 1) / 2;
+    return {static_cast<VertexId>(hi_offset + u),
+            static_cast<VertexId>(lo_offset + v)};
+  }
+};
+
+PairSpace make_space(const DegreeDistribution& dist, std::size_t hi,
+                     std::size_t lo) {
+  PairSpace space;
+  const std::uint64_t n_hi = dist.count_of_class(hi);
+  const std::uint64_t n_lo = dist.count_of_class(lo);
+  space.lo_count = n_lo;
+  space.hi_offset = dist.class_offset(hi);
+  space.lo_offset = dist.class_offset(lo);
+  space.diagonal = hi == lo;
+  space.size = space.diagonal ? n_hi * (n_hi - 1) / 2 : n_hi * n_lo;
+  return space;
+}
+
+/// Geometric-skip traversal of [begin, end) with per-pair probability p;
+/// calls emit(t) for each selected index. The heart of Algorithm IV.2.
+template <typename EmitFn>
+void traverse(double p, std::uint64_t begin, std::uint64_t end,
+              Xoshiro256ss& rng, EmitFn&& emit) {
+  if (p <= 0.0 || begin >= end) return;
+  if (p >= 1.0) {
+    for (std::uint64_t t = begin; t < end; ++t) emit(t);
+    return;
+  }
+  const double log_1mp = std::log1p(-p);
+  std::uint64_t t = begin;
+  while (true) {
+    const double r = rng.uniform_open();
+    const double skip = std::floor(std::log(r) / log_1mp);
+    if (skip >= static_cast<double>(end - t)) return;
+    t += static_cast<std::uint64_t>(skip);
+    if (t >= end) return;
+    emit(t);
+    if (++t >= end) return;
+  }
+}
+
+struct Task {
+  std::uint64_t pair_index = 0;
+  std::uint64_t chunk = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  double p = 0.0;
+  PairSpace space;
+};
+
+}  // namespace
+
+EdgeList edge_skip_generate(const ProbabilityMatrix& P,
+                            const DegreeDistribution& dist,
+                            const EdgeSkipConfig& config) {
+  const std::size_t nc = dist.num_classes();
+  const std::uint64_t num_pairs = nc * (nc + 1) / 2;
+  // Spaces whose expected yield exceeds edges_per_task become explicit
+  // chunked tasks (few: bounded by m / edges_per_task); everything else is
+  // handled inline by the pair loop. Chunking depends only on the data, so
+  // the output is thread-count independent for a fixed seed.
+  std::vector<Task> big_tasks;
+  for (std::uint64_t k = 0, pair = 0; k < nc; ++k) {
+    for (std::uint64_t j = 0; j <= k; ++j, ++pair) {
+      const double p = P.at(k, j);
+      if (p <= 0.0) continue;
+      const PairSpace space = make_space(dist, k, j);
+      const double expected = p * static_cast<double>(space.size);
+      if (expected <= static_cast<double>(config.edges_per_task)) continue;
+      const std::uint64_t chunks = static_cast<std::uint64_t>(
+          expected / static_cast<double>(config.edges_per_task)) + 1;
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] =
+            block_range(static_cast<int>(c), static_cast<int>(chunks),
+                        space.size);
+        big_tasks.push_back({pair, c, begin, end, p, space});
+      }
+    }
+  }
+
+  const int nthreads = max_threads();
+  std::vector<EdgeList> buffers(static_cast<std::size_t>(nthreads));
+#pragma omp parallel num_threads(nthreads)
+  {
+    EdgeList& mine = buffers[static_cast<std::size_t>(thread_id())];
+    // Small spaces: one task per class pair.
+#pragma omp for schedule(dynamic, 64) nowait
+    for (std::uint64_t pair = 0; pair < num_pairs; ++pair) {
+      // Invert pair -> (k, j), k >= j, pair = k(k+1)/2 + j.
+      std::uint64_t k = static_cast<std::uint64_t>(
+          (std::sqrt(8.0 * static_cast<double>(pair) + 1.0) - 1.0) / 2.0);
+      while (k * (k + 1) / 2 > pair) --k;
+      while ((k + 1) * (k + 2) / 2 <= pair) ++k;
+      const std::uint64_t j = pair - k * (k + 1) / 2;
+      const double p = P.at(k, j);
+      if (p <= 0.0) continue;
+      const PairSpace space = make_space(dist, k, j);
+      if (p * static_cast<double>(space.size) >
+          static_cast<double>(config.edges_per_task))
+        continue;  // handled by the big-task loop
+      Xoshiro256ss rng(task_seed(config.seed, pair, 0));
+      traverse(p, 0, space.size, rng,
+               [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
+    }
+    // Large spaces: chunked.
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t i = 0; i < big_tasks.size(); ++i) {
+      const Task& task = big_tasks[i];
+      Xoshiro256ss rng(task_seed(config.seed, task.pair_index, task.chunk));
+      traverse(task.p, task.begin, task.end, rng, [&](std::uint64_t t) {
+        mine.push_back(task.space.decode(t));
+      });
+    }
+  }
+  return concat_buffers(buffers);
+}
+
+EdgeList edge_skip_generate_serial(const ProbabilityMatrix& P,
+                                   const DegreeDistribution& dist,
+                                   std::uint64_t seed) {
+  EdgeList edges;
+  const std::size_t nc = dist.num_classes();
+  for (std::uint64_t k = 0, pair = 0; k < nc; ++k) {
+    for (std::uint64_t j = 0; j <= k; ++j, ++pair) {
+      const double p = P.at(k, j);
+      if (p <= 0.0) continue;
+      const PairSpace space = make_space(dist, k, j);
+      Xoshiro256ss rng(task_seed(seed, pair, 0));
+      traverse(p, 0, space.size, rng,
+               [&](std::uint64_t t) { edges.push_back(space.decode(t)); });
+    }
+  }
+  return edges;
+}
+
+}  // namespace nullgraph

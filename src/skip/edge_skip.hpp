@@ -1,0 +1,46 @@
+#pragma once
+// Parallel edge-skipping (Algorithm IV.2, after Batagelj & Brandes [4],
+// Miller & Hagberg [21], Slota et al. [33]).
+//
+// Every unordered vertex pair between degree classes i and j forms an
+// ordered "space"; instead of flipping a coin per pair (Bernoulli,
+// O(n^2)), we jump through each space with geometric skip lengths
+//   l = floor(log(r) / log(1 - p)),  r ~ U(0,1),
+// touching only the selected pairs — O(m) expected work. Spaces whose
+// expected yield is large are split into independently-seeded chunks, so
+// parallelism is available both across and within class pairs; splitting a
+// Bernoulli process at an index boundary leaves it a Bernoulli process,
+// so the output distribution is exactly that of the O(n^2) model.
+//
+// Output is always simple: each pair is considered at most once.
+
+#include <cstdint>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+
+namespace nullgraph {
+
+struct EdgeSkipConfig {
+  std::uint64_t seed = 1;
+  /// Target expected edges per parallel task; spaces expecting more are
+  /// split. Chunking is data-dependent only, so output is reproducible for
+  /// a fixed seed regardless of thread count.
+  std::uint64_t edges_per_task = 1u << 16;
+};
+
+/// Generates a simple edge list whose degree distribution matches `dist` in
+/// expectation when `P` solves the Section IV-A system. Vertex ids follow
+/// the DegreeDistribution convention (classes ascending, contiguous ids).
+EdgeList edge_skip_generate(const ProbabilityMatrix& P,
+                            const DegreeDistribution& dist,
+                            const EdgeSkipConfig& config = {});
+
+/// Serial reference implementation (single space traversal per class pair,
+/// exactly Algorithm IV.2's inner loop); used for validation.
+EdgeList edge_skip_generate_serial(const ProbabilityMatrix& P,
+                                   const DegreeDistribution& dist,
+                                   std::uint64_t seed = 1);
+
+}  // namespace nullgraph

@@ -1,0 +1,23 @@
+#include "skip/erdos_renyi.hpp"
+
+#include "ds/degree_distribution.hpp"
+#include "prob/probability_matrix.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace nullgraph {
+
+EdgeList erdos_renyi(std::uint64_t n, double p, std::uint64_t seed,
+                     std::uint64_t edges_per_task) {
+  if (n == 0) return {};
+  // One degree class holding all n vertices; degree value is irrelevant to
+  // the space decode (picked even so the stub total is valid).
+  DegreeDistribution dist({{2, n}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, p);
+  EdgeSkipConfig config;
+  config.seed = seed;
+  config.edges_per_task = edges_per_task;
+  return edge_skip_generate(P, dist, config);
+}
+
+}  // namespace nullgraph

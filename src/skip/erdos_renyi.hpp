@@ -1,0 +1,16 @@
+#pragma once
+// Erdős–Rényi G(n, p) via edge-skipping: the single-space special case of
+// Algorithm IV.2. Useful on its own and as the simplest correctness probe
+// of the skip machinery (expected edge count p * C(n,2)).
+
+#include <cstdint>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Simple G(n, p) sample; O(p n^2) expected work, parallel across chunks.
+EdgeList erdos_renyi(std::uint64_t n, double p, std::uint64_t seed = 1,
+                     std::uint64_t edges_per_task = 1u << 16);
+
+}  // namespace nullgraph

@@ -1,0 +1,4 @@
+#include "util/parallel.hpp"
+
+// parallel.hpp is header-only; this translation unit anchors the library
+// and verifies the header is self-contained.

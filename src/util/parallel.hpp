@@ -1,0 +1,52 @@
+#pragma once
+// Thin OpenMP helpers: thread introspection, block partitioning, and the
+// per-thread-buffer concatenation pattern used by every parallel generator.
+
+#include <omp.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/prefix_sum.hpp"
+
+namespace nullgraph {
+
+/// Number of threads an upcoming parallel region will use.
+inline int max_threads() noexcept { return omp_get_max_threads(); }
+
+/// Calling thread's index inside a parallel region (0 outside).
+inline int thread_id() noexcept { return omp_get_thread_num(); }
+
+/// Contiguous [begin, end) block of `n` items owned by block `tid` of
+/// `nblocks`. Remainder items are spread over the leading blocks, so block
+/// sizes differ by at most one.
+inline std::pair<std::size_t, std::size_t> block_range(
+    int tid, int nblocks, std::size_t n) noexcept {
+  const std::size_t t = static_cast<std::size_t>(tid);
+  const std::size_t b = static_cast<std::size_t>(nblocks);
+  const std::size_t base = n / b;
+  const std::size_t extra = n % b;
+  const std::size_t begin = t * base + (t < extra ? t : extra);
+  const std::size_t size = base + (t < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// Concatenates per-thread output buffers into one vector with a parallel
+/// copy. The usual tail of "each thread appended to its own vector" code.
+template <typename T>
+std::vector<T> concat_buffers(std::vector<std::vector<T>>& buffers) {
+  const int nb = static_cast<int>(buffers.size());
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(nb) + 1, 0);
+  for (int b = 0; b < nb; ++b)
+    offsets[b + 1] = offsets[b] + buffers[b].size();
+  std::vector<T> out(offsets[nb]);
+#pragma omp parallel for schedule(static)
+  for (int b = 0; b < nb; ++b) {
+    std::size_t pos = offsets[b];
+    for (const T& item : buffers[b]) out[pos++] = item;
+  }
+  return out;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <omp.h>
+
+namespace nullgraph {
+
+void Xoshiro256ss::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t jump : kLongJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump & (1ULL << bit)) {
+        for (std::size_t w = 0; w < acc.size(); ++w) acc[w] ^= state_[w];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+RngPool::RngPool(std::uint64_t seed, int streams) {
+  if (streams <= 0) streams = omp_get_max_threads();
+  streams_.reserve(static_cast<std::size_t>(streams));
+  Xoshiro256ss base(seed);
+  for (int s = 0; s < streams; ++s) {
+    streams_.push_back(base);
+    base.long_jump();
+  }
+}
+
+Xoshiro256ss& RngPool::local() noexcept {
+  return streams_[static_cast<std::size_t>(omp_get_thread_num()) %
+                  streams_.size()];
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,106 @@
+#pragma once
+// Pseudo-random number generation for nullgraph.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, plus a pool of
+// decorrelated per-thread streams. All generators in the library are seeded
+// explicitly so runs are reproducible for a fixed seed and thread count.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nullgraph {
+
+/// Advance a splitmix64 state and return the next output. Used both as a
+/// tiny standalone generator and as the seed expander for xoshiro256**.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit generator with 2^256-1 period.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 so any 64-bit seed works.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of resolution.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1); never returns 0, safe as a log() argument.
+  double uniform_open() noexcept {
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire multiply-shift; the modulo bias
+  /// is bound/2^64 which is negligible for any graph-sized bound.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Fair coin flip.
+  bool flip() noexcept { return (next() >> 63) != 0; }
+
+  /// Equivalent to 2^128 calls of next(); used to split one seed into
+  /// provably non-overlapping parallel streams.
+  void long_jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A pool of decorrelated generators, one per OpenMP thread. Streams are
+/// derived by repeated long_jump() from a single seeded generator, so the
+/// pool is reproducible for a fixed (seed, size) pair.
+class RngPool {
+ public:
+  /// Builds `streams` generators (defaults to omp_get_max_threads()).
+  explicit RngPool(std::uint64_t seed, int streams = 0);
+
+  /// Generator for the calling OpenMP thread (by omp_get_thread_num()).
+  Xoshiro256ss& local() noexcept;
+
+  /// Generator for an explicit stream index.
+  Xoshiro256ss& stream(int index) noexcept { return streams_[index]; }
+  const Xoshiro256ss& stream(int index) const noexcept {
+    return streams_[index];
+  }
+
+  int size() const noexcept { return static_cast<int>(streams_.size()); }
+
+ private:
+  std::vector<Xoshiro256ss> streams_;
+};
+
+}  // namespace nullgraph

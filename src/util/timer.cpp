@@ -1,0 +1,31 @@
+#include "util/timer.hpp"
+
+namespace nullgraph {
+
+void PhaseTimer::stop() {
+  if (current_.empty()) return;
+  const double elapsed = watch_.seconds();
+  for (auto& [name, seconds] : phases_) {
+    if (name == current_) {
+      seconds += elapsed;
+      current_.clear();
+      return;
+    }
+  }
+  phases_.emplace_back(current_, elapsed);
+  current_.clear();
+}
+
+double PhaseTimer::seconds(const std::string& phase) const noexcept {
+  for (const auto& [name, seconds] : phases_)
+    if (name == phase) return seconds;
+  return 0.0;
+}
+
+double PhaseTimer::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& [name, seconds] : phases_) total += seconds;
+  return total;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,54 @@
+#pragma once
+// Wall-clock timing for phase breakdowns (Figure 6 of the paper).
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nullgraph {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+  void reset() noexcept { start_ = Clock::now(); }
+  /// Seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations, e.g. {"probabilities", "edges",
+/// "swaps"}; repeated phases accumulate.
+class PhaseTimer {
+ public:
+  void start(std::string phase) {
+    current_ = std::move(phase);
+    watch_.reset();
+  }
+
+  /// Closes the currently open phase (no-op when none is open).
+  void stop();
+
+  /// Total accumulated seconds for `phase` (0 when never recorded).
+  double seconds(const std::string& phase) const noexcept;
+
+  /// Sum over all phases.
+  double total_seconds() const noexcept;
+
+  const std::vector<std::pair<std::string, double>>& phases() const noexcept {
+    return phases_;
+  }
+
+ private:
+  Stopwatch watch_;
+  std::string current_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace nullgraph

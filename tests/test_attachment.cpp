@@ -1,0 +1,65 @@
+#include "analysis/attachment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(EmpiricalAttachment, CompleteGraphSaturates) {
+  const DegreeDistribution dist({{4, 5}});  // K5
+  const EdgeList edges = havel_hakimi(dist);
+  const ProbabilityMatrix P = empirical_attachment(edges, dist);
+  EXPECT_NEAR(P.at(0, 0), 1.0, 1e-12);
+}
+
+TEST(EmpiricalAttachment, CrossClassCounting) {
+  // Star: hub class {4,1}, leaf class {1,4}; our convention numbers leaves
+  // 0..3 and the hub 4. All 4 edges are cross-class.
+  const DegreeDistribution dist({{1, 4}, {4, 1}});
+  const EdgeList star{{4, 0}, {4, 1}, {4, 2}, {4, 3}};
+  const ProbabilityMatrix P = empirical_attachment(star, dist);
+  EXPECT_NEAR(P.at(1, 0), 1.0, 1e-12);  // all hub-leaf pairs realized
+  EXPECT_NEAR(P.at(0, 0), 0.0, 1e-12);  // no leaf-leaf edges
+}
+
+TEST(AttachmentAccumulator, AveragesOverSamples) {
+  const DegreeDistribution dist({{1, 2}});
+  AttachmentAccumulator acc(dist);
+  acc.add({{0, 1}});  // edge present
+  acc.add({});        // edge absent
+  EXPECT_EQ(acc.num_samples(), 2u);
+  EXPECT_NEAR(acc.average().at(0, 0), 0.5, 1e-12);
+}
+
+TEST(AttachmentAccumulator, EmptyAverageIsZero) {
+  const DegreeDistribution dist({{1, 2}});
+  const AttachmentAccumulator acc(dist);
+  EXPECT_EQ(acc.num_samples(), 0u);
+  EXPECT_DOUBLE_EQ(acc.average().at(0, 0), 0.0);
+}
+
+TEST(EmpiricalAttachment, ErdosRenyiRecoversP) {
+  // Uniform p over a single class: the measured attachment probability is
+  // a consistent estimator of p.
+  const DegreeDistribution dist({{2, 2000}});
+  AttachmentAccumulator acc(dist);
+  const double p = 0.002;
+  for (int s = 0; s < 10; ++s)
+    acc.add(erdos_renyi(2000, p, 100 + s));
+  EXPECT_NEAR(acc.average().at(0, 0), p, 0.0002);
+}
+
+TEST(MaxDegreeAttachmentRow, ExtractsLastRow) {
+  ProbabilityMatrix P(3);
+  P.set(2, 0, 0.1);
+  P.set(2, 1, 0.2);
+  P.set(2, 2, 0.3);
+  const std::vector<double> row = max_degree_attachment_row(P);
+  EXPECT_EQ(row, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+}  // namespace
+}  // namespace nullgraph

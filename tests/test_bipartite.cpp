@@ -1,0 +1,234 @@
+#include "bipartite/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+std::vector<std::uint64_t> left_degrees_of(const ArcList& edges,
+                                           std::size_t n_left) {
+  std::vector<std::uint64_t> degrees(n_left, 0);
+  for (const Arc& e : edges) ++degrees[e.from];
+  return degrees;
+}
+
+std::vector<std::uint64_t> right_degrees_of(const ArcList& edges,
+                                            std::size_t n_right) {
+  std::vector<std::uint64_t> degrees(n_right, 0);
+  for (const Arc& e : edges) ++degrees[e.to];
+  return degrees;
+}
+
+// --- distribution ------------------------------------------------------------
+
+TEST(BipartiteDistribution, Totals) {
+  const BipartiteDistribution dist({{2, 3}}, {{3, 2}});
+  EXPECT_EQ(dist.num_left(), 3u);
+  EXPECT_EQ(dist.num_right(), 2u);
+  EXPECT_EQ(dist.num_edges(), 6u);
+}
+
+TEST(BipartiteDistribution, ThrowsOnMismatchedTotals) {
+  EXPECT_THROW(BipartiteDistribution({{2, 3}}, {{3, 1}}),
+               std::invalid_argument);
+}
+
+TEST(BipartiteDistribution, FromSequencesAndBack) {
+  const auto dist =
+      BipartiteDistribution::from_sequences({3, 1, 2}, {2, 2, 2});
+  EXPECT_EQ(dist.num_edges(), 6u);
+  EXPECT_EQ(dist.left_sequence(),
+            (std::vector<std::uint64_t>{1, 2, 3}));  // ascending by class
+  EXPECT_EQ(dist.right_sequence(), (std::vector<std::uint64_t>{2, 2, 2}));
+}
+
+TEST(BipartiteDistribution, AsDirectedBalances) {
+  const BipartiteDistribution dist({{2, 5}}, {{5, 2}});
+  const DirectedDegreeDistribution directed = dist.as_directed();
+  EXPECT_EQ(directed.num_arcs(), 10u);
+  EXPECT_EQ(directed.num_vertices(), 7u);
+}
+
+// --- Gale-Ryser ---------------------------------------------------------------
+
+TEST(GaleRyser, CompleteBipartite) {
+  // K_{3,4}: left all 4, right all 3.
+  EXPECT_TRUE(is_bigraphical({4, 4, 4}, {3, 3, 3, 3}));
+  const ArcList edges = gale_ryser_realization({4, 4, 4}, {3, 3, 3, 3});
+  EXPECT_EQ(edges.size(), 12u);
+  std::set<EdgeKey> keys;
+  for (const Arc& e : edges) keys.insert(e.key());
+  EXPECT_EQ(keys.size(), 12u);  // all distinct: simple
+}
+
+TEST(GaleRyser, StarIsBigraphical) {
+  EXPECT_TRUE(is_bigraphical({3}, {1, 1, 1}));  // K_{1,3}
+}
+
+TEST(GaleRyser, RejectsOverfullRow) {
+  // Left vertex wants 3 neighbours among only 2 right vertices.
+  EXPECT_FALSE(is_bigraphical({3, 0}, {2, 1}));
+  // Single right vertex cannot take two edges from the same left vertex.
+  EXPECT_FALSE(is_bigraphical({2, 2}, {4}));
+}
+
+TEST(GaleRyser, RejectsMismatchedTotals) {
+  EXPECT_FALSE(is_bigraphical({2}, {1}));
+}
+
+TEST(GaleRyser, RealizationMatchesSequencesExactly) {
+  Xoshiro256ss rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Degrees harvested from a random bipartite graph: bigraphical by
+    // construction.
+    const std::size_t nl = 12, nr = 15;
+    ArcList sample;
+    for (VertexId l = 0; l < nl; ++l)
+      for (VertexId r = 0; r < nr; ++r)
+        if (rng.uniform() < 0.3) sample.push_back({l, r});
+    const auto a = left_degrees_of(sample, nl);
+    const auto b = right_degrees_of(sample, nr);
+    EXPECT_TRUE(is_bigraphical(a, b));
+    const ArcList rebuilt = gale_ryser_realization(a, b);
+    EXPECT_EQ(left_degrees_of(rebuilt, nl), a);
+    EXPECT_EQ(right_degrees_of(rebuilt, nr), b);
+    std::set<EdgeKey> keys;
+    for (const Arc& e : rebuilt) keys.insert(e.key());
+    EXPECT_EQ(keys.size(), rebuilt.size());
+  }
+}
+
+TEST(GaleRyser, OracleAgreementSmall) {
+  // Exhaustive 2x2 bipartite adjacency matrices as oracle.
+  std::set<std::array<std::uint64_t, 4>> realizable;
+  for (int mask = 0; mask < 16; ++mask) {
+    std::array<std::uint64_t, 4> profile{};  // a0,a1,b0,b1
+    for (int bit = 0; bit < 4; ++bit) {
+      if (mask & (1 << bit)) {
+        ++profile[bit / 2];       // left degree
+        ++profile[2 + bit % 2];   // right degree
+      }
+    }
+    realizable.insert(profile);
+  }
+  for (std::uint64_t a0 = 0; a0 <= 2; ++a0)
+    for (std::uint64_t a1 = 0; a1 <= 2; ++a1)
+      for (std::uint64_t b0 = 0; b0 <= 2; ++b0)
+        for (std::uint64_t b1 = 0; b1 <= 2; ++b1) {
+          if (a0 + a1 != b0 + b1) continue;
+          EXPECT_EQ(is_bigraphical({a0, a1}, {b0, b1}),
+                    realizable.contains({a0, a1, b0, b1}))
+              << a0 << a1 << "/" << b0 << b1;
+        }
+}
+
+// --- null graph -----------------------------------------------------------------
+
+TEST(BipartiteNullGraph, SimpleAndInRange) {
+  const BipartiteDistribution dist({{1, 300}, {4, 50}, {20, 5}},
+                                   {{2, 200}, {10, 20}});
+  const ArcList edges = bipartite_null_graph(dist, 1, 3);
+  std::set<EdgeKey> keys;
+  for (const Arc& e : edges) {
+    EXPECT_LT(e.from, dist.num_left());
+    EXPECT_LT(e.to, dist.num_right());
+    keys.insert(e.key());
+  }
+  EXPECT_EQ(keys.size(), edges.size());  // simple
+  const double m = static_cast<double>(dist.num_edges());
+  EXPECT_NEAR(static_cast<double>(edges.size()), m, 0.08 * m);
+}
+
+TEST(BipartiteNullGraph, MarginalsMatchInExpectation) {
+  const BipartiteDistribution dist({{2, 100}, {30, 5}}, {{1, 250}, {20, 5}});
+  std::vector<double> left_mean(dist.num_left(), 0.0);
+  std::vector<double> right_mean(dist.num_right(), 0.0);
+  const int samples = 25;
+  for (int s = 0; s < samples; ++s) {
+    const ArcList edges =
+        bipartite_null_graph(dist, 100 + static_cast<std::uint64_t>(s), 2);
+    const auto l = left_degrees_of(edges, dist.num_left());
+    const auto r = right_degrees_of(edges, dist.num_right());
+    for (std::size_t v = 0; v < l.size(); ++v)
+      left_mean[v] += static_cast<double>(l[v]) / samples;
+    for (std::size_t v = 0; v < r.size(); ++v)
+      right_mean[v] += static_cast<double>(r[v]) / samples;
+  }
+  // Per-vertex means are Poisson-noisy (hundreds of 3-sigma chances), so
+  // assert at class level: the average over a class's vertices is tight.
+  const auto left_target = dist.left_sequence();
+  const auto right_target = dist.right_sequence();
+  auto class_check = [](const std::vector<double>& mean,
+                        const std::vector<std::uint64_t>& target,
+                        const char* side) {
+    std::map<std::uint64_t, std::pair<double, std::size_t>> by_class;
+    for (std::size_t v = 0; v < target.size(); ++v) {
+      by_class[target[v]].first += mean[v];
+      by_class[target[v]].second += 1;
+    }
+    for (const auto& [degree, sum_count] : by_class) {
+      const double class_mean =
+          sum_count.first / static_cast<double>(sum_count.second);
+      EXPECT_NEAR(class_mean, static_cast<double>(degree),
+                  std::max(0.25, 0.08 * static_cast<double>(degree)))
+          << side << " class degree " << degree;
+    }
+  };
+  class_check(left_mean, left_target, "left");
+  class_check(right_mean, right_target, "right");
+}
+
+TEST(BipartiteNullGraph, HandlesZeroDegreeClasses) {
+  const BipartiteDistribution dist({{0, 10}, {2, 50}}, {{0, 7}, {4, 25}});
+  const ArcList edges = bipartite_null_graph(dist, 2, 2);
+  const auto l = left_degrees_of(edges, dist.num_left());
+  const auto r = right_degrees_of(edges, dist.num_right());
+  // Zero-degree blocks occupy the low ids and must stay empty.
+  for (std::size_t v = 0; v < 10; ++v) EXPECT_EQ(l[v], 0u) << v;
+  for (std::size_t v = 0; v < 7; ++v) EXPECT_EQ(r[v], 0u) << v;
+  EXPECT_GT(edges.size(), 0u);
+}
+
+// --- checkerboard swaps --------------------------------------------------------
+
+TEST(BipartiteSwap, PreservesBothMarginals) {
+  ArcList edges = gale_ryser_realization({3, 3, 2, 2, 2}, {4, 4, 2, 2});
+  const auto l_before = left_degrees_of(edges, 5);
+  const auto r_before = right_degrees_of(edges, 4);
+  const std::size_t swapped = bipartite_swap(edges, 5, 20, 3);
+  EXPECT_GT(swapped, 0u);
+  EXPECT_EQ(left_degrees_of(edges, 5), l_before);
+  EXPECT_EQ(right_degrees_of(edges, 4), r_before);
+  std::set<EdgeKey> keys;
+  for (const Arc& e : edges) {
+    EXPECT_LT(e.from, 5u);
+    EXPECT_LT(e.to, 4u);
+    keys.insert(e.key());
+  }
+  EXPECT_EQ(keys.size(), edges.size());
+}
+
+TEST(BipartiteSwap, LargeRandomInstance) {
+  Xoshiro256ss rng(23);
+  ArcList edges;
+  const std::size_t nl = 500, nr = 400;
+  for (VertexId l = 0; l < nl; ++l)
+    for (VertexId r = 0; r < nr; ++r)
+      if (rng.uniform() < 0.01) edges.push_back({l, r});
+  const auto l_before = left_degrees_of(edges, nl);
+  const auto r_before = right_degrees_of(edges, nr);
+  bipartite_swap(edges, nl, 5, 4);
+  EXPECT_EQ(left_degrees_of(edges, nl), l_before);
+  EXPECT_EQ(right_degrees_of(edges, nr), r_before);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,138 @@
+#include "gen/chung_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datasets.hpp"
+
+namespace nullgraph {
+namespace {
+
+DegreeDistribution small_dist() {
+  return DegreeDistribution({{1, 400}, {2, 200}, {8, 50}, {40, 5}});
+}
+
+TEST(ChungLuMultigraph, ExactEdgeCount) {
+  const DegreeDistribution dist = small_dist();
+  const EdgeList edges = chung_lu_multigraph(dist);
+  EXPECT_EQ(edges.size(), dist.num_edges());
+}
+
+TEST(ChungLuMultigraph, EndpointsInRange) {
+  const DegreeDistribution dist = small_dist();
+  const EdgeList edges = chung_lu_multigraph(dist);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, dist.num_vertices());
+    EXPECT_LT(e.v, dist.num_vertices());
+  }
+}
+
+TEST(ChungLuMultigraph, DeterministicPerSeed) {
+  const DegreeDistribution dist = small_dist();
+  ChungLuConfig config;
+  config.seed = 4;
+  const EdgeList a = chung_lu_multigraph(dist, config);
+  const EdgeList b = chung_lu_multigraph(dist, config);
+  EXPECT_TRUE(same_edge_multiset(a, b));
+}
+
+TEST(ChungLuMultigraph, ExpectedDegreesMatchTargets) {
+  // Average over several graphs: the O(m) model matches in expectation.
+  const DegreeDistribution dist = small_dist();
+  std::vector<double> mean(dist.num_vertices(), 0.0);
+  const int samples = 40;
+  for (int s = 0; s < samples; ++s) {
+    ChungLuConfig config;
+    config.seed = 1000 + s;
+    const auto degrees =
+        degrees_of(chung_lu_multigraph(dist, config), dist.num_vertices());
+    for (std::size_t v = 0; v < mean.size(); ++v)
+      mean[v] += static_cast<double>(degrees[v]);
+  }
+  // Check the hub class (target degree 40) and the bulk (degree 1).
+  const auto sequence = dist.to_degree_sequence();
+  double hub_mean = 0.0;
+  int hubs = 0;
+  double leaf_mean = 0.0;
+  int leaves = 0;
+  for (std::size_t v = 0; v < mean.size(); ++v) {
+    mean[v] /= samples;
+    if (sequence[v] == 40) {
+      hub_mean += mean[v];
+      ++hubs;
+    } else if (sequence[v] == 1) {
+      leaf_mean += mean[v];
+      ++leaves;
+    }
+  }
+  EXPECT_NEAR(hub_mean / hubs, 40.0, 2.5);
+  EXPECT_NEAR(leaf_mean / leaves, 1.0, 0.1);
+}
+
+class SamplerSweep : public ::testing::TestWithParam<ClSampler> {};
+
+TEST_P(SamplerSweep, DegreeBiasMatchesWeights) {
+  // Each sampler draws endpoints proportional to degree: the total stub
+  // mass landing on the hub class must be close to its weight share.
+  const DegreeDistribution dist({{1, 1000}, {50, 10}});
+  ChungLuConfig config;
+  config.sampler = GetParam();
+  config.seed = 99;
+  const EdgeList edges = chung_lu_multigraph(dist, config);
+  std::uint64_t hub_endpoints = 0;
+  for (const Edge& e : edges) {
+    if (e.u >= 1000) ++hub_endpoints;
+    if (e.v >= 1000) ++hub_endpoints;
+  }
+  const double share = 500.0 / 1500.0;  // hub stubs / total stubs
+  const double draws = 2.0 * static_cast<double>(edges.size());
+  const double sigma = std::sqrt(draws * share * (1 - share));
+  EXPECT_NEAR(static_cast<double>(hub_endpoints), draws * share,
+              5 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerSweep,
+                         ::testing::Values(ClSampler::kBinarySearchVertex,
+                                           ClSampler::kBinarySearchClass,
+                                           ClSampler::kAlias));
+
+TEST(ErasedChungLu, OutputIsSimple) {
+  const DegreeDistribution dist = small_dist();
+  const EdgeList edges = erased_chung_lu(dist);
+  EXPECT_TRUE(is_simple(edges));
+  EXPECT_LE(edges.size(), dist.num_edges());
+}
+
+TEST(ErasedChungLu, LosesEdgesOnSkewedInput) {
+  // The Figure 2 failure mode: erasure visibly undershoots m.
+  const DegreeDistribution dist = as20_like();
+  const EdgeList edges = erased_chung_lu(dist);
+  EXPECT_LT(edges.size(), dist.num_edges());
+}
+
+TEST(BernoulliChungLu, SimpleByConstruction) {
+  const DegreeDistribution dist = small_dist();
+  const EdgeList edges = bernoulli_chung_lu(dist);
+  EXPECT_TRUE(is_simple(edges));
+}
+
+TEST(BernoulliChungLu, EdgeCountNearTargetOnMildInput) {
+  // Without cap saturation the Bernoulli CL expected edge count equals m
+  // up to the diagonal correction.
+  const DegreeDistribution dist({{4, 2000}});
+  const EdgeList edges = bernoulli_chung_lu(dist, 3);
+  const double m = static_cast<double>(dist.num_edges());
+  EXPECT_NEAR(static_cast<double>(edges.size()), m, 5 * std::sqrt(m));
+}
+
+TEST(BernoulliChungLu, UndershootsOnSkewedInput) {
+  // Cap saturation loses edge mass: the documented O(n^2)-edgeskip bias.
+  const DegreeDistribution dist = as20_like();
+  const EdgeList edges = bernoulli_chung_lu(dist, 3);
+  EXPECT_LT(static_cast<double>(edges.size()),
+            static_cast<double>(dist.num_edges()));
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,149 @@
+#include "analysis/community.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfr/lfr.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+// --- modularity ------------------------------------------------------------
+
+TEST(Modularity, TwoCliquesOneBridge) {
+  // Two triangles joined by one edge; the natural partition.
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3},
+                       {2, 3}};
+  const std::vector<std::uint32_t> split{0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint32_t> lumped{0, 0, 0, 0, 0, 0};
+  // m=7; split: internal 3+3, degree mass 7 and 7 -> Q = 6/7 - 2*(0.5)^2.
+  EXPECT_NEAR(modularity(edges, split), 6.0 / 7.0 - 0.5, 1e-12);
+  // Single community always has Q = 0 (e = m, degree fraction 1).
+  EXPECT_NEAR(modularity(edges, lumped), 0.0, 1e-12);
+  EXPECT_GT(modularity(edges, split), modularity(edges, lumped));
+}
+
+TEST(Modularity, SingletonPartitionIsNegative) {
+  const EdgeList edges{{0, 1}, {1, 2}};
+  const std::vector<std::uint32_t> singletons{0, 1, 2};
+  EXPECT_LT(modularity(edges, singletons), 0.0);
+}
+
+TEST(Modularity, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(modularity({}, {}), 0.0);
+}
+
+TEST(Modularity, RandomGraphAnyPartitionNearZero) {
+  const EdgeList edges = erdos_renyi(2000, 0.005, 3);
+  std::vector<std::uint32_t> halves(2000);
+  for (std::size_t v = 0; v < 2000; ++v) halves[v] = v < 1000 ? 0 : 1;
+  EXPECT_NEAR(modularity(edges, halves), 0.0, 0.05);
+}
+
+// --- compact_labels ----------------------------------------------------------
+
+TEST(CompactLabels, FirstSeenOrder) {
+  EXPECT_EQ(compact_labels({7, 7, 3, 7, 9}),
+            (std::vector<std::uint32_t>{0, 0, 1, 0, 2}));
+  EXPECT_EQ(compact_labels({}), (std::vector<std::uint32_t>{}));
+}
+
+// --- NMI ----------------------------------------------------------------------
+
+TEST(Nmi, IdenticalPartitions) {
+  const std::vector<std::uint32_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+  // Label names don't matter.
+  const std::vector<std::uint32_t> renamed{5, 5, 9, 9, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, renamed), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  // Orthogonal split: a = halves, b = parity.
+  std::vector<std::uint32_t> a(1000), b(1000);
+  for (std::size_t v = 0; v < 1000; ++v) {
+    a[v] = v < 500 ? 0 : 1;
+    b[v] = static_cast<std::uint32_t>(v % 2);
+  }
+  EXPECT_NEAR(normalized_mutual_information(a, b), 0.0, 0.01);
+}
+
+TEST(Nmi, PartialAgreementBetweenZeroAndOne) {
+  std::vector<std::uint32_t> a(100), b(100);
+  for (std::size_t v = 0; v < 100; ++v) {
+    a[v] = v < 50 ? 0 : 1;
+    b[v] = v < 40 ? 0 : 1;  // shifted boundary
+  }
+  const double nmi = normalized_mutual_information(a, b);
+  EXPECT_GT(nmi, 0.2);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(Nmi, MismatchedSizesReturnZero) {
+  EXPECT_DOUBLE_EQ(normalized_mutual_information({0, 1}, {0}), 0.0);
+}
+
+// --- label propagation -----------------------------------------------------------
+
+TEST(LabelPropagation, FindsTwoCliques) {
+  // Two K5s joined by a single bridge edge.
+  EdgeList edges;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  for (VertexId u = 5; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  edges.push_back({4, 5});
+  const CsrGraph graph(edges);
+  const auto labels = label_propagation(graph, {.seed = 3});
+  // All of 0..4 share a label; all of 5..9 share a label.
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(labels[v], labels[0]);
+  for (VertexId v = 6; v < 10; ++v) EXPECT_EQ(labels[v], labels[5]);
+}
+
+TEST(LabelPropagation, IsolatedVerticesKeepOwnLabels) {
+  const CsrGraph graph(EdgeList{{0, 1}}, 4);
+  const auto labels = label_propagation(graph);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[2], labels[3]);
+}
+
+TEST(LabelPropagation, RecoversLfrCommunitiesAtLowMixing) {
+  LfrParams params;
+  params.n = 2000;
+  params.mu = 0.1;  // strong communities
+  params.dmin = 8;
+  params.dmax = 40;
+  params.cmin = 60;
+  params.cmax = 300;
+  params.seed = 5;
+  const LfrGraph planted = generate_lfr(params);
+  const CsrGraph graph(planted.edges, params.n);
+  const auto detected = label_propagation(graph, {.seed = 9});
+  const double nmi =
+      normalized_mutual_information(detected, planted.community);
+  EXPECT_GT(nmi, 0.85);
+}
+
+TEST(LabelPropagation, DegradesAtHighMixing) {
+  LfrParams params;
+  params.n = 2000;
+  params.dmin = 8;
+  params.dmax = 40;
+  params.cmin = 60;
+  params.cmax = 300;
+  params.seed = 5;
+  params.mu = 0.1;
+  const LfrGraph easy = generate_lfr(params);
+  params.mu = 0.7;
+  const LfrGraph hard = generate_lfr(params);
+  const double nmi_easy = normalized_mutual_information(
+      label_propagation(CsrGraph(easy.edges, params.n), {.seed = 2}),
+      easy.community);
+  const double nmi_hard = normalized_mutual_information(
+      label_propagation(CsrGraph(hard.edges, params.n), {.seed = 2}),
+      hard.community);
+  EXPECT_GT(nmi_easy, nmi_hard);
+}
+
+}  // namespace
+}  // namespace nullgraph

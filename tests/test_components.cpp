@@ -1,0 +1,77 @@
+#include "analysis/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/double_edge_swap.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind sets(5);
+  EXPECT_EQ(sets.num_sets(), 5u);
+  EXPECT_TRUE(sets.unite(0, 1));
+  EXPECT_FALSE(sets.unite(1, 0));  // already merged
+  EXPECT_TRUE(sets.unite(2, 3));
+  EXPECT_EQ(sets.num_sets(), 3u);
+  EXPECT_EQ(sets.find(0), sets.find(1));
+  EXPECT_NE(sets.find(0), sets.find(2));
+  EXPECT_EQ(sets.size_of(0), 2u);
+  EXPECT_EQ(sets.size_of(4), 1u);
+}
+
+TEST(UnionFind, ChainMerge) {
+  UnionFind sets(100);
+  for (std::uint32_t v = 0; v + 1 < 100; ++v) sets.unite(v, v + 1);
+  EXPECT_EQ(sets.num_sets(), 1u);
+  EXPECT_EQ(sets.size_of(50), 100u);
+}
+
+TEST(ConnectedComponents, TwoTrianglesAndIsolated) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  const ComponentSummary summary = connected_components(edges, 7);
+  EXPECT_EQ(summary.num_components, 3u);  // two triangles + vertex 6
+  EXPECT_EQ(summary.largest_size, 3u);
+  EXPECT_EQ(summary.component[0], summary.component[2]);
+  EXPECT_NE(summary.component[0], summary.component[3]);
+  EXPECT_NE(summary.component[6], summary.component[0]);
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const ComponentSummary summary = connected_components({}, 0);
+  EXPECT_EQ(summary.num_components, 0u);
+  EXPECT_TRUE(summary.component.empty());
+}
+
+TEST(IsConnected, PathAndBrokenPath) {
+  EXPECT_TRUE(is_connected({{0, 1}, {1, 2}, {2, 3}}, 4));
+  EXPECT_FALSE(is_connected({{0, 1}, {2, 3}}, 4));
+  EXPECT_FALSE(is_connected({}, 0));
+  EXPECT_FALSE(is_connected({{0, 1}}, 3));  // isolated vertex 2
+}
+
+TEST(IsConnected, DenseErdosRenyiIsConnected) {
+  // p well above the ln(n)/n threshold.
+  EXPECT_TRUE(is_connected(erdos_renyi(2000, 0.01, 4), 2000));
+}
+
+TEST(ConnectedComponents, SwapsCanDisconnectButPreserveCounts) {
+  // Start from a connected HH realization; swaps may split it (the reason
+  // connectivity-conditioned pipelines resample), but component vertex
+  // counts always total n.
+  const DegreeDistribution dist({{2, 100}});  // one big cycle under HH
+  EdgeList edges = havel_hakimi(dist);
+  swap_edges(edges, {.iterations = 5, .seed = 8});
+  const ComponentSummary summary = connected_components(edges, 100);
+  std::vector<std::size_t> sizes(summary.num_components, 0);
+  for (std::uint32_t c : summary.component) ++sizes[c];
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  EXPECT_EQ(total, 100u);
+  EXPECT_GE(summary.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,121 @@
+#include "ds/concurrent_hash_set.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(ConcurrentHashSet, InsertReportsPriorPresence) {
+  ConcurrentHashSet set(10);
+  EXPECT_FALSE(set.test_and_set(42));  // new
+  EXPECT_TRUE(set.test_and_set(42));   // already there
+  EXPECT_FALSE(set.test_and_set(43));
+}
+
+TEST(ConcurrentHashSet, ContainsAfterInsert) {
+  ConcurrentHashSet set(10);
+  EXPECT_FALSE(set.contains(7));
+  set.test_and_set(7);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+}
+
+TEST(ConcurrentHashSet, CapacityIsPowerOfTwoWithHeadroom) {
+  for (std::size_t keys : {0ul, 1ul, 7ul, 8ul, 100ul, 4096ul, 100000ul}) {
+    ConcurrentHashSet set(keys);
+    EXPECT_TRUE(std::has_single_bit(set.capacity()));
+    EXPECT_GE(set.capacity(), std::max<std::size_t>(16, 2 * keys));
+  }
+}
+
+TEST(ConcurrentHashSet, SizeTracksDistinctKeys) {
+  ConcurrentHashSet set(100);
+  for (std::uint64_t k = 0; k < 50; ++k) set.test_and_set(k * 977 + 1);
+  for (std::uint64_t k = 0; k < 50; ++k) set.test_and_set(k * 977 + 1);
+  EXPECT_EQ(set.size(), 50u);
+}
+
+TEST(ConcurrentHashSet, ClearEmptiesTable) {
+  ConcurrentHashSet set(100);
+  for (std::uint64_t k = 1; k <= 60; ++k) set.test_and_set(k);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  for (std::uint64_t k = 1; k <= 60; ++k) EXPECT_FALSE(set.contains(k));
+  EXPECT_FALSE(set.test_and_set(5));
+}
+
+TEST(ConcurrentHashSet, SurvivesFullLoadFactor) {
+  // expected_keys keys must fit without the full-table assertion firing.
+  const std::size_t keys = 10000;
+  ConcurrentHashSet set(keys);
+  Xoshiro256ss rng(7);
+  std::set<std::uint64_t> oracle;
+  while (oracle.size() < keys) oracle.insert(rng.next() | 1);
+  for (std::uint64_t k : oracle) EXPECT_FALSE(set.test_and_set(k));
+  EXPECT_EQ(set.size(), keys);
+}
+
+class ProbingSweep : public ::testing::TestWithParam<Probing> {};
+
+TEST_P(ProbingSweep, MatchesStdSetOracle) {
+  ConcurrentHashSet set(5000, GetParam());
+  std::set<std::uint64_t> oracle;
+  Xoshiro256ss rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.bounded(8000) + 1;  // forces collisions
+    const bool was_present = !oracle.insert(key).second;
+    EXPECT_EQ(set.test_and_set(key), was_present) << "key " << key;
+  }
+  EXPECT_EQ(set.size(), oracle.size());
+  for (std::uint64_t k : oracle) EXPECT_TRUE(set.contains(k));
+}
+
+TEST_P(ProbingSweep, AdversarialSameBucketKeys) {
+  // Many keys, tiny table: long probe chains on both policies.
+  ConcurrentHashSet set(32, GetParam());
+  for (std::uint64_t k = 1; k <= 32; ++k) EXPECT_FALSE(set.test_and_set(k));
+  for (std::uint64_t k = 1; k <= 32; ++k) EXPECT_TRUE(set.test_and_set(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ProbingSweep,
+                         ::testing::Values(Probing::kLinear,
+                                           Probing::kQuadratic));
+
+TEST(ConcurrentHashSet, ParallelInsertExactlyOneWinnerPerKey) {
+  const std::size_t keys = 50000;
+  ConcurrentHashSet set(keys);
+  std::size_t winners = 0;
+  // Every key inserted twice from a parallel loop: exactly one call per key
+  // may report "new".
+#pragma omp parallel for reduction(+ : winners) schedule(dynamic, 64)
+  for (std::size_t i = 0; i < 2 * keys; ++i) {
+    const std::uint64_t key = static_cast<std::uint64_t>(i % keys) + 1;
+    if (!set.test_and_set(key)) ++winners;
+  }
+  EXPECT_EQ(winners, keys);
+  EXPECT_EQ(set.size(), keys);
+}
+
+TEST(ConcurrentHashSet, ParallelMixedContention) {
+  const std::size_t distinct = 997;  // prime, heavy contention
+  ConcurrentHashSet set(distinct);
+  std::size_t winners = 0;
+#pragma omp parallel for reduction(+ : winners) schedule(static)
+  for (std::size_t i = 0; i < 100000; ++i) {
+    std::uint64_t state = i;
+    const std::uint64_t key = splitmix64_next(state) % distinct + 1;
+    if (!set.test_and_set(key)) ++winners;
+  }
+  EXPECT_EQ(winners, set.size());
+  EXPECT_LE(set.size(), distinct);
+}
+
+}  // namespace
+}  // namespace nullgraph

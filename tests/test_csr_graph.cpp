@@ -1,0 +1,86 @@
+#include "ds/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(CsrGraph, TriangleAdjacency) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  const CsrGraph graph(edges);
+  EXPECT_EQ(graph.num_vertices(), 3u);
+  EXPECT_EQ(graph.num_edges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(graph.degree(v), 2u);
+  const auto n0 = graph.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrGraph, RowsSortedByDefault) {
+  const EdgeList edges{{0, 3}, {0, 1}, {0, 2}};
+  const CsrGraph graph(edges);
+  const auto row = graph.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  EXPECT_TRUE(graph.rows_sorted());
+}
+
+TEST(CsrGraph, UnsortedOptionSkipsSort) {
+  const EdgeList edges{{0, 3}, {0, 1}};
+  const CsrGraph graph(edges, 0, /*sort_rows=*/false);
+  EXPECT_FALSE(graph.rows_sorted());
+  EXPECT_EQ(graph.degree(0), 2u);
+}
+
+TEST(CsrGraph, HasEdgeBothDirections) {
+  const EdgeList edges{{0, 1}, {2, 1}};
+  const CsrGraph graph(edges);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_TRUE(graph.has_edge(1, 2));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(CsrGraph, SelfLoopAppearsTwiceInRow) {
+  const EdgeList edges{{0, 0}};
+  const CsrGraph graph(edges);
+  EXPECT_EQ(graph.degree(0), 2u);
+  const auto row = graph.neighbors(0);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[1], 0u);
+}
+
+TEST(CsrGraph, ExplicitVertexCountAddsIsolated) {
+  const EdgeList edges{{0, 1}};
+  const CsrGraph graph(edges, 10);
+  EXPECT_EQ(graph.num_vertices(), 10u);
+  EXPECT_EQ(graph.degree(9), 0u);
+  EXPECT_TRUE(graph.neighbors(9).empty());
+}
+
+TEST(CsrGraph, EmptyEdgeList) {
+  const CsrGraph graph(EdgeList{}, 4);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(CsrGraph, RandomGraphDegreesMatchEdgeList) {
+  Xoshiro256ss rng(2024);
+  EdgeList edges;
+  const std::size_t n = 500;
+  for (int i = 0; i < 20000; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.bounded(n)),
+                     static_cast<VertexId>(rng.bounded(n))});
+  }
+  const CsrGraph graph(edges, n);
+  const auto degrees = degrees_of(edges, n);
+  for (std::size_t v = 0; v < n; ++v)
+    EXPECT_EQ(graph.degree(static_cast<VertexId>(v)), degrees[v]);
+  EXPECT_EQ(graph.num_edges(), edges.size());
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,75 @@
+#include "gen/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace nullgraph {
+namespace {
+
+TEST(Datasets, RegistryHasTheEightPaperInstances) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "Meso");
+  EXPECT_EQ(specs[1].name, "as20");
+  EXPECT_EQ(specs[7].name, "uk-2005");
+}
+
+TEST(Datasets, QualitySubsetIsFirstFour) {
+  const auto quality = quality_datasets();
+  ASSERT_EQ(quality.size(), 4u);
+  EXPECT_EQ(quality[3].name, "DBPedia");
+}
+
+TEST(Datasets, FindByName) {
+  EXPECT_TRUE(find_dataset("Twitter").has_value());
+  EXPECT_FALSE(find_dataset("nope").has_value());
+}
+
+TEST(Datasets, BuildMatchesTargetsAtFullScale) {
+  const DegreeDistribution dist = build_dataset(*find_dataset("as20"), 1.0);
+  const auto spec = *find_dataset("as20");
+  EXPECT_NEAR(static_cast<double>(dist.num_vertices()),
+              static_cast<double>(spec.n), 0.01 * spec.n);
+  EXPECT_NEAR(static_cast<double>(dist.num_edges()),
+              static_cast<double>(spec.m), 0.15 * spec.m);
+  EXPECT_TRUE(dist.is_graphical());
+}
+
+TEST(Datasets, ScaleShrinksInstance) {
+  const auto spec = *find_dataset("WikiTalk");
+  const DegreeDistribution small = build_dataset(spec, 0.01);
+  EXPECT_LT(small.num_vertices(), spec.n / 50);
+  EXPECT_TRUE(small.is_graphical());
+  EXPECT_EQ(small.num_stubs() % 2, 0u);
+}
+
+TEST(Datasets, As20LikeIsSkewed) {
+  const DegreeDistribution dist = as20_like();
+  EXPECT_GT(dist.max_degree(), 100u);
+  EXPECT_LT(dist.average_degree(), 10.0);
+  EXPECT_GT(dist.num_classes(), 10u);
+}
+
+TEST(Datasets, EnvScaleMultiplies) {
+  const auto spec = *find_dataset("Meso");
+  setenv("NULLGRAPH_BENCH_SCALE", "0.5", 1);
+  const DegreeDistribution scaled = build_dataset(spec);
+  unsetenv("NULLGRAPH_BENCH_SCALE");
+  const DegreeDistribution normal = build_dataset(spec);
+  EXPECT_LT(scaled.num_vertices(), normal.num_vertices());
+}
+
+TEST(Datasets, AllDefaultsBuildGraphical) {
+  for (const DatasetSpec& spec : paper_datasets()) {
+    // Cap work: build at most ~50k vertices per instance.
+    const double scale =
+        std::min(spec.default_scale, 50000.0 / static_cast<double>(spec.n));
+    const DegreeDistribution dist = build_dataset(spec, scale);
+    EXPECT_TRUE(dist.is_graphical()) << spec.name;
+    EXPECT_GT(dist.num_edges(), 0u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace nullgraph

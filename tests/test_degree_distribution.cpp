@@ -1,0 +1,161 @@
+#include "ds/degree_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "ds/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(DegreeDistribution, SortsAndMergesClasses) {
+  const DegreeDistribution dist({{3, 1}, {1, 3}, {3, 2}, {2, 0}});
+  ASSERT_EQ(dist.num_classes(), 2u);
+  EXPECT_EQ(dist.classes()[0], (DegreeClass{1, 3}));
+  EXPECT_EQ(dist.classes()[1], (DegreeClass{3, 3}));
+}
+
+TEST(DegreeDistribution, ThrowsOnOddStubTotal) {
+  EXPECT_THROW(DegreeDistribution({{3, 1}}), std::invalid_argument);
+  EXPECT_NO_THROW(DegreeDistribution({{3, 2}}));
+}
+
+TEST(DegreeDistribution, BasicMoments) {
+  const DegreeDistribution dist({{1, 4}, {2, 3}, {5, 2}});
+  EXPECT_EQ(dist.num_vertices(), 9u);
+  EXPECT_EQ(dist.num_stubs(), 20u);
+  EXPECT_EQ(dist.num_edges(), 10u);
+  EXPECT_EQ(dist.max_degree(), 5u);
+  EXPECT_EQ(dist.min_degree(), 1u);
+  EXPECT_DOUBLE_EQ(dist.average_degree(), 20.0 / 9.0);
+}
+
+TEST(DegreeDistribution, EmptyDistribution) {
+  const DegreeDistribution dist;
+  EXPECT_TRUE(dist.empty());
+  EXPECT_EQ(dist.num_vertices(), 0u);
+  EXPECT_EQ(dist.max_degree(), 0u);
+  EXPECT_TRUE(dist.is_graphical());
+}
+
+TEST(DegreeDistribution, ClassOffsetsArePrefixSums) {
+  const DegreeDistribution dist({{1, 4}, {2, 3}, {5, 2}});
+  EXPECT_EQ(dist.class_offset(0), 0u);
+  EXPECT_EQ(dist.class_offset(1), 4u);
+  EXPECT_EQ(dist.class_offset(2), 7u);
+  EXPECT_EQ(dist.class_offset(3), 9u);
+}
+
+TEST(DegreeDistribution, ClassOfVertexInverseOfOffsets) {
+  const DegreeDistribution dist({{1, 4}, {2, 3}, {5, 2}});
+  for (std::uint64_t v = 0; v < dist.num_vertices(); ++v) {
+    const std::size_t c = dist.class_of_vertex(v);
+    EXPECT_GE(v, dist.class_offset(c));
+    EXPECT_LT(v, dist.class_offset(c + 1));
+  }
+  EXPECT_EQ(dist.degree_of_vertex(0), 1u);
+  EXPECT_EQ(dist.degree_of_vertex(4), 2u);
+  EXPECT_EQ(dist.degree_of_vertex(8), 5u);
+}
+
+TEST(DegreeDistribution, ClassOfDegreeFindsExactOrEnd) {
+  const DegreeDistribution dist({{1, 4}, {2, 3}, {5, 2}});
+  EXPECT_EQ(dist.class_of_degree(1), 0u);
+  EXPECT_EQ(dist.class_of_degree(5), 2u);
+  EXPECT_EQ(dist.class_of_degree(3), dist.num_classes());
+  EXPECT_EQ(dist.class_of_degree(99), dist.num_classes());
+}
+
+TEST(DegreeDistribution, SequenceRoundTrip) {
+  const std::vector<std::uint64_t> degrees{3, 1, 4, 1, 5, 4, 4, 2};
+  const auto dist = DegreeDistribution::from_degree_sequence(degrees);
+  auto sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(dist.to_degree_sequence(), sorted);
+}
+
+TEST(DegreeDistribution, FromEdges) {
+  const EdgeList edges{{0, 1}, {1, 2}, {1, 3}};
+  const auto dist = DegreeDistribution::from_edges(edges);
+  // degrees: 1,3,1,1
+  ASSERT_EQ(dist.num_classes(), 2u);
+  EXPECT_EQ(dist.classes()[0], (DegreeClass{1, 3}));
+  EXPECT_EQ(dist.classes()[1], (DegreeClass{3, 1}));
+}
+
+// --- Erdős–Gallai ---------------------------------------------------------
+
+/// Textbook O(n^2) Erdős–Gallai on a raw sequence, as the oracle.
+bool erdos_gallai_naive(std::vector<std::uint64_t> degrees) {
+  std::sort(degrees.rbegin(), degrees.rend());
+  const std::size_t n = degrees.size();
+  std::uint64_t total = std::accumulate(degrees.begin(), degrees.end(), 0ULL);
+  if (total % 2 != 0) return false;
+  for (std::size_t k = 1; k <= n; ++k) {
+    unsigned long long lhs = 0;
+    for (std::size_t i = 0; i < k; ++i) lhs += degrees[i];
+    unsigned long long rhs = static_cast<unsigned long long>(k) * (k - 1);
+    for (std::size_t i = k; i < n; ++i)
+      rhs += std::min<std::uint64_t>(degrees[i], k);
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+TEST(ErdosGallai, KnownGraphicalSequences) {
+  EXPECT_TRUE(DegreeDistribution({{2, 3}}).is_graphical());      // triangle
+  EXPECT_TRUE(DegreeDistribution({{1, 2}}).is_graphical());      // one edge
+  EXPECT_TRUE(DegreeDistribution({{3, 4}}).is_graphical());      // K4
+  EXPECT_TRUE(DegreeDistribution({{1, 3}, {3, 1}}).is_graphical());  // star
+}
+
+TEST(ErdosGallai, KnownNonGraphicalSequences) {
+  // Two vertices of degree 3 with only two degree-1 partners: impossible.
+  EXPECT_FALSE(DegreeDistribution({{3, 2}, {1, 2}, {0, 1}}).is_graphical());
+  // n-1 = 3 < 4: single vertex of degree 4 with 4 degree-1 partners is
+  // fine, but degree 4 with only 2 partners is not.
+  EXPECT_FALSE(DegreeDistribution({{4, 1}, {1, 2}, {0, 2}}).is_graphical());
+}
+
+class ErdosGallaiSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ErdosGallaiSweep, MatchesNaiveOracleOnRandomSequences) {
+  Xoshiro256ss rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng.bounded(12);
+    std::vector<std::uint64_t> degrees(n);
+    for (auto& d : degrees) d = rng.bounded(n + 2);  // may exceed n-1
+    // Make the stub total even so the distribution constructor accepts it.
+    const std::uint64_t total =
+        std::accumulate(degrees.begin(), degrees.end(), 0ULL);
+    if (total % 2 != 0) {
+      if (degrees[0] > 0)
+        --degrees[0];
+      else
+        ++degrees[0];
+    }
+    const auto dist = DegreeDistribution::from_degree_sequence(degrees);
+    EXPECT_EQ(dist.is_graphical(), erdos_gallai_naive(degrees))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErdosGallaiSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 999));
+
+TEST(ErdosGallai, LargeRegularIsGraphical) {
+  EXPECT_TRUE(DegreeDistribution({{10, 100000}}).is_graphical());
+}
+
+TEST(ErdosGallai, HubHeavierThanGraphFails) {
+  // A vertex of degree 2000 in a 1001-vertex graph.
+  EXPECT_FALSE(
+      DegreeDistribution({{2000, 1}, {2, 1000}}).is_graphical());
+}
+
+}  // namespace
+}  // namespace nullgraph

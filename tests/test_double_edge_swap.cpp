@@ -1,0 +1,176 @@
+#include "core/double_edge_swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/chung_lu.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+std::vector<std::uint64_t> sorted_degrees(const EdgeList& edges,
+                                          std::size_t n) {
+  auto degrees = degrees_of(edges, n);
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+TEST(SwapEdges, PreservesDegreeSequenceExactly) {
+  EdgeList edges = erdos_renyi(500, 0.02, 1);
+  const auto before = sorted_degrees(edges, 500);
+  swap_edges(edges, {.iterations = 5, .seed = 2});
+  EXPECT_EQ(sorted_degrees(edges, 500), before);
+}
+
+TEST(SwapEdges, PreservesSimplicity) {
+  EdgeList edges = erdos_renyi(500, 0.02, 3);
+  ASSERT_TRUE(is_simple(edges));
+  swap_edges(edges, {.iterations = 8, .seed = 4});
+  EXPECT_TRUE(is_simple(edges));
+}
+
+TEST(SwapEdges, PreservesEdgeCount) {
+  EdgeList edges = erdos_renyi(300, 0.05, 5);
+  const std::size_t m = edges.size();
+  swap_edges(edges, {.iterations = 3, .seed = 6});
+  EXPECT_EQ(edges.size(), m);
+}
+
+TEST(SwapEdges, ActuallyRewires) {
+  EdgeList edges = erdos_renyi(500, 0.02, 7);
+  const EdgeList original = edges;
+  const SwapStats stats = swap_edges(edges, {.iterations = 1, .seed = 8});
+  EXPECT_FALSE(same_edge_multiset(edges, original));
+  EXPECT_GT(stats.total_swapped(), 0u);
+}
+
+TEST(SwapEdges, StatsAreConsistent) {
+  EdgeList edges = erdos_renyi(400, 0.03, 9);
+  const std::size_t m = edges.size();
+  const SwapStats stats = swap_edges(edges, {.iterations = 4, .seed = 10});
+  ASSERT_EQ(stats.iterations.size(), 4u);
+  for (const SwapIterationStats& it : stats.iterations) {
+    EXPECT_EQ(it.attempted, m / 2);
+    EXPECT_EQ(it.attempted,
+              it.swapped + it.rejected_existing + it.rejected_loop);
+  }
+}
+
+TEST(SwapEdges, HighSuccessRateOnSparseGraphs) {
+  // Sparse ER: candidate collisions are rare, most swaps commit — the
+  // premise behind the paper's "one iteration swaps 99.9% of edges".
+  EdgeList edges = erdos_renyi(20000, 0.0005, 11);
+  const SwapStats stats = swap_edges(edges, {.iterations = 1, .seed = 12});
+  const double rate = static_cast<double>(stats.iterations[0].swapped) /
+                      static_cast<double>(stats.iterations[0].attempted);
+  EXPECT_GT(rate, 0.95);
+}
+
+TEST(SwapEdges, TracksSwappedEdgesFraction) {
+  EdgeList edges = erdos_renyi(10000, 0.001, 13);
+  const std::size_t m = edges.size();
+  SwapConfig config;
+  config.iterations = 6;
+  config.seed = 14;
+  config.track_swapped_edges = true;
+  const SwapStats stats = swap_edges(edges, config);
+  EXPECT_GT(stats.edges_ever_swapped, (m * 95) / 100);
+  EXPECT_LE(stats.edges_ever_swapped, m);
+}
+
+TEST(SwapEdges, EliminatesMultiEdgesFromChungLu) {
+  // O(m) Chung-Lu output starts non-simple; iterating swaps simplifies it
+  // (Section VIII-A: "about two dozen or so swap iterations").
+  const DegreeDistribution dist = as20_like();
+  EdgeList edges = chung_lu_multigraph(dist, {.seed = 15});
+  const SimplicityCensus before = census(edges);
+  ASSERT_GT(before.multi_edges + before.self_loops, 0u);
+  swap_edges(edges, {.iterations = 100, .seed = 16});
+  const SimplicityCensus after = census(edges);
+  EXPECT_EQ(after.multi_edges, 0u);
+  EXPECT_EQ(after.self_loops, 0u);
+}
+
+TEST(SwapEdges, NoOpOnTinyInputs) {
+  EdgeList empty;
+  EXPECT_EQ(swap_edges(empty, {.iterations = 2}).total_swapped(), 0u);
+  EdgeList one{{0, 1}};
+  swap_edges(one, {.iterations = 2});
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(SwapEdgesSerial, PreservesInvariants) {
+  EdgeList edges = erdos_renyi(300, 0.03, 17);
+  const auto before = sorted_degrees(edges, 300);
+  const SwapStats stats =
+      swap_edges_serial(edges, {.iterations = 3, .seed = 18});
+  EXPECT_EQ(sorted_degrees(edges, 300), before);
+  EXPECT_TRUE(is_simple(edges));
+  EXPECT_GT(stats.total_swapped(), 0u);
+}
+
+TEST(SwapEdgesSerial, AcceptanceRatesAgreeOnSparseInput) {
+  // The parallel table over-approximates the live edge set, so individual
+  // decisions can differ from the exact serial table, but on a sparse graph
+  // both should accept nearly everything and land within a whisker.
+  EdgeList parallel_edges = erdos_renyi(2000, 0.01, 19);
+  EdgeList serial_edges = parallel_edges;
+  const SwapConfig config{.iterations = 1, .seed = 20};
+  const SwapStats par = swap_edges(parallel_edges, config);
+  const SwapStats ser = swap_edges_serial(serial_edges, config);
+  const double pairs = static_cast<double>(par.iterations[0].attempted);
+  const double par_rate = static_cast<double>(par.iterations[0].swapped) / pairs;
+  const double ser_rate = static_cast<double>(ser.iterations[0].swapped) / pairs;
+  EXPECT_GT(par_rate, 0.9);
+  EXPECT_GT(ser_rate, 0.9);
+  EXPECT_NEAR(par_rate, ser_rate, 0.02);
+}
+
+TEST(SwapEdgesSerial, IdenticalProposalsSameCoinSeeds) {
+  // Serial and parallel share permutation targets and coins, so on a graph
+  // where no rejections occur the outputs match exactly.
+  EdgeList a{{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  EdgeList b = a;
+  const SwapConfig config{.iterations = 1, .seed = 21};
+  swap_edges(a, config);
+  swap_edges_serial(b, config);
+  EXPECT_TRUE(same_edge_multiset(a, b));
+}
+
+class SwapInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(SwapInvariantSweep, DegreeAndSimplicityInvariants) {
+  const auto [seed, iterations] = GetParam();
+  EdgeList edges = erdos_renyi(800, 0.01, seed);
+  const auto before = sorted_degrees(edges, 800);
+  swap_edges(edges, {.iterations = iterations, .seed = seed * 31 + 7});
+  EXPECT_EQ(sorted_degrees(edges, 800), before);
+  EXPECT_TRUE(is_simple(edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndIterations, SwapInvariantSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 42u),
+                       ::testing::Values(1u, 2u, 10u)));
+
+TEST(SwapEdges, HavelHakimiOutputStaysRealizing) {
+  // The full quality pipeline: HH construct then mix; degrees must match
+  // the distribution exactly at every step.
+  const DegreeDistribution dist = as20_like();
+  EdgeList edges = havel_hakimi(dist);
+  swap_edges(edges, {.iterations = 5, .seed = 77});
+  EXPECT_TRUE(is_simple(edges));
+  const auto degrees = degrees_of(edges, dist.num_vertices());
+  const auto target = dist.to_degree_sequence();
+  for (std::size_t v = 0; v < target.size(); ++v)
+    ASSERT_EQ(degrees[v], target[v]) << "vertex " << v;
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,64 @@
+#include "ds/edge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace nullgraph {
+namespace {
+
+TEST(Edge, CanonicalOrdersEndpoints) {
+  EXPECT_EQ((Edge{5, 3}.canonical()), (Edge{3, 5}));
+  EXPECT_EQ((Edge{3, 5}.canonical()), (Edge{3, 5}));
+  EXPECT_EQ((Edge{4, 4}.canonical()), (Edge{4, 4}));
+}
+
+TEST(Edge, LoopDetection) {
+  EXPECT_TRUE((Edge{7, 7}.is_loop()));
+  EXPECT_FALSE((Edge{7, 8}.is_loop()));
+  EXPECT_TRUE((Edge{0, 0}.is_loop()));
+}
+
+TEST(Edge, KeyIsOrientationInvariant) {
+  EXPECT_EQ((Edge{1, 2}.key()), (Edge{2, 1}.key()));
+  EXPECT_NE((Edge{1, 2}.key()), (Edge{1, 3}.key()));
+}
+
+TEST(Edge, KeyRoundTrips) {
+  const Edge e{123456, 654321};
+  EXPECT_EQ(Edge::from_key(e.key()), e.canonical());
+}
+
+TEST(Edge, KeyPacksMinHigh) {
+  const Edge e{2, 1};
+  EXPECT_EQ(e.key(), (static_cast<EdgeKey>(1) << 32) | 2u);
+}
+
+TEST(Edge, ExtremeVertexIds) {
+  const VertexId big = 0xfffffffeu;
+  const Edge e{big, 0};
+  EXPECT_EQ(Edge::from_key(e.key()), (Edge{0, big}));
+}
+
+TEST(Edge, KeyInjectiveOnCanonicalPairs) {
+  std::unordered_set<EdgeKey> keys;
+  for (VertexId u = 0; u < 40; ++u)
+    for (VertexId v = u; v < 40; ++v) keys.insert(Edge{u, v}.key());
+  EXPECT_EQ(keys.size(), 40u * 41u / 2u);
+}
+
+TEST(Edge, CanonicalLessIsStrictWeakOrder) {
+  const Edge a{1, 2}, b{2, 1}, c{1, 3};
+  EXPECT_FALSE(canonical_less(a, b));
+  EXPECT_FALSE(canonical_less(b, a));
+  EXPECT_TRUE(canonical_less(a, c));
+  EXPECT_FALSE(canonical_less(c, a));
+}
+
+TEST(Edge, StdHashUsesCanonicalForm) {
+  const std::hash<Edge> hasher;
+  EXPECT_EQ(hasher(Edge{9, 4}), hasher(Edge{4, 9}));
+}
+
+}  // namespace
+}  // namespace nullgraph

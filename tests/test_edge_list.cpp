@@ -1,0 +1,91 @@
+#include "ds/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(VertexCount, EmptyList) { EXPECT_EQ(vertex_count({}), 0u); }
+
+TEST(VertexCount, LargestEndpointPlusOne) {
+  EXPECT_EQ(vertex_count({{0, 5}, {2, 3}}), 6u);
+}
+
+TEST(DegreesOf, SimplePath) {
+  const EdgeList edges{{0, 1}, {1, 2}};
+  const auto degrees = degrees_of(edges);
+  EXPECT_EQ(degrees, (std::vector<std::uint64_t>{1, 2, 1}));
+}
+
+TEST(DegreesOf, SelfLoopCountsTwice) {
+  const EdgeList edges{{0, 0}};
+  EXPECT_EQ(degrees_of(edges)[0], 2u);
+}
+
+TEST(DegreesOf, ExplicitVertexCountExtends) {
+  const EdgeList edges{{0, 1}};
+  const auto degrees = degrees_of(edges, 5);
+  ASSERT_EQ(degrees.size(), 5u);
+  EXPECT_EQ(degrees[4], 0u);
+}
+
+TEST(Census, CleanGraph) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  const SimplicityCensus result = census(edges);
+  EXPECT_EQ(result.self_loops, 0u);
+  EXPECT_EQ(result.multi_edges, 0u);
+  EXPECT_TRUE(result.simple());
+}
+
+TEST(Census, CountsLoopsAndDuplicates) {
+  const EdgeList edges{{0, 1}, {1, 0}, {2, 2}, {0, 1}, {3, 3}};
+  const SimplicityCensus result = census(edges);
+  EXPECT_EQ(result.self_loops, 2u);
+  EXPECT_EQ(result.multi_edges, 2u);  // two extra copies of {0,1}
+  EXPECT_FALSE(result.simple());
+}
+
+TEST(IsSimple, DetectsReversedDuplicate) {
+  EXPECT_FALSE(is_simple({{0, 1}, {1, 0}}));
+  EXPECT_TRUE(is_simple({{0, 1}, {1, 2}}));
+}
+
+TEST(EraseNonsimple, RemovesLoopsAndDuplicates) {
+  const EdgeList edges{{0, 1}, {1, 0}, {2, 2}, {1, 2}};
+  const EdgeList cleaned = erase_nonsimple(edges);
+  EXPECT_EQ(cleaned.size(), 2u);
+  EXPECT_TRUE(is_simple(cleaned));
+}
+
+TEST(EraseNonsimple, KeepsSimpleGraphIntact) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(same_edge_multiset(erase_nonsimple(edges), edges));
+}
+
+TEST(SameEdgeMultiset, OrientationAndOrderInsensitive) {
+  EXPECT_TRUE(same_edge_multiset({{0, 1}, {2, 3}}, {{3, 2}, {1, 0}}));
+  EXPECT_FALSE(same_edge_multiset({{0, 1}}, {{0, 2}}));
+  EXPECT_FALSE(same_edge_multiset({{0, 1}}, {{0, 1}, {0, 1}}));
+}
+
+TEST(EraseNonsimple, LargeRandomStaysConsistent) {
+  Xoshiro256ss rng(404);
+  EdgeList edges;
+  for (int i = 0; i < 50000; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.bounded(300)),
+                     static_cast<VertexId>(rng.bounded(300))});
+  }
+  const EdgeList cleaned = erase_nonsimple(edges);
+  EXPECT_TRUE(is_simple(cleaned));
+  // Census agrees: originals = kept + loops + duplicates.
+  const SimplicityCensus result = census(edges);
+  EXPECT_EQ(cleaned.size() + result.self_loops + result.multi_edges,
+            edges.size());
+}
+
+}  // namespace
+}  // namespace nullgraph

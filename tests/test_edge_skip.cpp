@@ -1,0 +1,171 @@
+#include "skip/edge_skip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(EdgeSkip, ProbabilityOneYieldsEveryPair) {
+  // Single class of 6 vertices, p = 1: expect all C(6,2) = 15 pairs once.
+  const DegreeDistribution dist({{5, 6}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, 1.0);
+  const EdgeList edges = edge_skip_generate(P, dist);
+  EXPECT_EQ(edges.size(), 15u);
+  std::set<EdgeKey> keys;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, 6u);
+    EXPECT_LT(e.v, 6u);
+    keys.insert(e.key());
+  }
+  EXPECT_EQ(keys.size(), 15u);
+}
+
+TEST(EdgeSkip, ProbabilityZeroYieldsNothing) {
+  const DegreeDistribution dist({{2, 100}});
+  ProbabilityMatrix P(1);
+  EXPECT_TRUE(edge_skip_generate(P, dist).empty());
+}
+
+TEST(EdgeSkip, OffDiagonalFullSpace) {
+  // Two classes (4 and 4 vertices); cross probability 1, rest 0: expect
+  // exactly the 16 cross pairs, each connecting one vertex per class.
+  const DegreeDistribution dist({{1, 4}, {3, 4}});  // ids 0..3 then 4..7
+  ProbabilityMatrix P(2);
+  P.set(1, 0, 1.0);
+  const EdgeList edges = edge_skip_generate(P, dist);
+  EXPECT_EQ(edges.size(), 16u);
+  for (const Edge& e : edges) {
+    const Edge c = e.canonical();
+    EXPECT_LT(c.u, 4u);   // low class
+    EXPECT_GE(c.v, 4u);   // high class
+    EXPECT_LT(c.v, 8u);
+  }
+  std::set<EdgeKey> keys;
+  for (const Edge& e : edges) keys.insert(e.key());
+  EXPECT_EQ(keys.size(), 16u);
+}
+
+TEST(EdgeSkip, OutputIsAlwaysSimple) {
+  const DegreeDistribution dist({{1, 300}, {5, 100}, {20, 10}});
+  ProbabilityMatrix P(3);
+  P.set(0, 0, 0.01);
+  P.set(1, 0, 0.02);
+  P.set(1, 1, 0.05);
+  P.set(2, 0, 0.3);
+  P.set(2, 1, 0.2);
+  P.set(2, 2, 0.9);
+  const EdgeList edges = edge_skip_generate(P, dist, {.seed = 9});
+  EXPECT_TRUE(is_simple(edges));
+}
+
+TEST(EdgeSkip, SerialMatchesUnchunkedParallel) {
+  const DegreeDistribution dist({{1, 500}, {4, 200}, {30, 20}});
+  ProbabilityMatrix P(3);
+  P.set(0, 0, 0.002);
+  P.set(1, 0, 0.004);
+  P.set(1, 1, 0.01);
+  P.set(2, 0, 0.05);
+  P.set(2, 1, 0.08);
+  P.set(2, 2, 0.5);
+  EdgeSkipConfig config;
+  config.seed = 31337;
+  config.edges_per_task = ~0ULL;  // disable splitting
+  const EdgeList parallel_edges = edge_skip_generate(P, dist, config);
+  const EdgeList serial_edges = edge_skip_generate_serial(P, dist, 31337);
+  EXPECT_TRUE(same_edge_multiset(parallel_edges, serial_edges));
+}
+
+TEST(EdgeSkip, ChunkingPreservesExpectedCount) {
+  // Same space sampled with and without chunk splitting: counts must agree
+  // within binomial noise.
+  const DegreeDistribution dist({{2, 3000}});
+  ProbabilityMatrix P(1);
+  const double p = 0.001;
+  P.set(0, 0, p);
+  const double space = 3000.0 * 2999.0 / 2.0;
+  const double expect = p * space;
+  const double sigma = std::sqrt(expect * (1 - p));
+  EdgeSkipConfig fine;
+  fine.seed = 5;
+  fine.edges_per_task = 64;  // many chunks
+  const double fine_count =
+      static_cast<double>(edge_skip_generate(P, dist, fine).size());
+  EXPECT_NEAR(fine_count, expect, 5 * sigma);
+  EdgeSkipConfig coarse;
+  coarse.seed = 5;
+  coarse.edges_per_task = ~0ULL;
+  const double coarse_count =
+      static_cast<double>(edge_skip_generate(P, dist, coarse).size());
+  EXPECT_NEAR(coarse_count, expect, 5 * sigma);
+}
+
+TEST(EdgeSkip, DeterministicForSeed) {
+  const DegreeDistribution dist({{2, 1000}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, 0.01);
+  const EdgeList a = edge_skip_generate(P, dist, {.seed = 77});
+  const EdgeList b = edge_skip_generate(P, dist, {.seed = 77});
+  EXPECT_TRUE(same_edge_multiset(a, b));
+  const EdgeList c = edge_skip_generate(P, dist, {.seed = 78});
+  EXPECT_FALSE(same_edge_multiset(a, c));
+}
+
+TEST(EdgeSkip, DiagonalDecodeCoversTriangleExactly) {
+  // p = 1 on a diagonal space: decoded pairs must be exactly the
+  // lower-triangle enumeration (u > v), no duplicates, no misses.
+  const DegreeDistribution dist({{9, 10}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, 1.0);
+  const EdgeList edges = edge_skip_generate_serial(P, dist, 1);
+  ASSERT_EQ(edges.size(), 45u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_GT(e.u, e.v);  // decode emits (hi offset + u, lo offset + v)
+    seen.insert({e.u, e.v});
+  }
+  EXPECT_EQ(seen.size(), 45u);
+}
+
+class ErdosRenyiSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ErdosRenyiSweep, EdgeCountWithinBinomialBounds) {
+  const auto [n, p] = GetParam();
+  const EdgeList edges = erdos_renyi(n, p, 12345);
+  const double space = static_cast<double>(n) * (n - 1) / 2.0;
+  const double expect = p * space;
+  const double sigma = std::sqrt(expect * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(edges.size()), expect,
+              5.0 * sigma + 1.0);
+  EXPECT_TRUE(is_simple(edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ErdosRenyiSweep,
+    ::testing::Combine(::testing::Values(100u, 1000u, 5000u),
+                       ::testing::Values(0.0005, 0.01, 0.2)));
+
+TEST(ErdosRenyi, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(erdos_renyi(0, 0.5).empty());
+  EXPECT_TRUE(erdos_renyi(1, 0.5).empty());
+  const EdgeList pair = erdos_renyi(2, 1.0);
+  ASSERT_EQ(pair.size(), 1u);
+}
+
+TEST(ErdosRenyi, VertexIdsInRange) {
+  const EdgeList edges = erdos_renyi(50, 0.3, 2);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 50u);
+    EXPECT_LT(e.v, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace nullgraph

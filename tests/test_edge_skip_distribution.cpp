@@ -1,0 +1,141 @@
+// Distributional property tests for edge-skipping: beyond matching the
+// expected COUNT, the skip process must make each candidate pair an
+// independent Bernoulli(p) — per-index inclusion frequencies and simple
+// pairwise-independence probes across many seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+#include "prob/probability_matrix.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(EdgeSkipDistribution, PerPairInclusionIsUniform) {
+  // Single class of 30 vertices, p = 0.2: each of the 435 pairs must be
+  // selected with frequency ~ p across R independent graphs.
+  const DegreeDistribution dist({{2, 30}});
+  ProbabilityMatrix P(1);
+  const double p = 0.2;
+  P.set(0, 0, p);
+  const int runs = 4000;
+  std::map<EdgeKey, int> counts;
+  for (int r = 0; r < runs; ++r) {
+    for (const Edge& e :
+         edge_skip_generate_serial(P, dist, 1000 + static_cast<std::uint64_t>(r)))
+      ++counts[e.key()];
+  }
+  EXPECT_EQ(counts.size(), 435u);  // every pair appears at least once
+  const double sigma = std::sqrt(p * (1 - p) / runs);
+  int outliers = 0;
+  for (const auto& [key, count] : counts) {
+    const double freq = static_cast<double>(count) / runs;
+    if (std::abs(freq - p) > 4 * sigma) ++outliers;
+  }
+  // 4-sigma outliers among 435 pairs: expected ~0.03; allow a couple.
+  EXPECT_LE(outliers, 2);
+}
+
+TEST(EdgeSkipDistribution, ChiSquareOverPairFrequencies) {
+  const DegreeDistribution dist({{2, 20}});  // 190 pairs
+  ProbabilityMatrix P(1);
+  const double p = 0.1;
+  P.set(0, 0, p);
+  const int runs = 3000;
+  std::map<EdgeKey, int> counts;
+  for (int r = 0; r < runs; ++r) {
+    for (const Edge& e :
+         edge_skip_generate_serial(P, dist, 77 + static_cast<std::uint64_t>(r)))
+      ++counts[e.key()];
+  }
+  // Chi-square against Binomial(runs, p) mean with normal approximation:
+  // sum over pairs of (count - runs*p)^2 / (runs*p*(1-p)) ~ chi2(190).
+  const double expected = runs * p;
+  const double variance = runs * p * (1 - p);
+  double stat = 0.0;
+  std::size_t cells = 190;
+  for (const auto& [key, count] : counts) {
+    const double diff = count - expected;
+    stat += diff * diff / variance;
+  }
+  stat += (expected * expected / variance) *
+          static_cast<double>(cells - counts.size());
+  // chi2(190) at alpha ~ 1e-4 is about 266.
+  EXPECT_LT(stat, 266.0);
+}
+
+TEST(EdgeSkipDistribution, AdjacentIndicesUncorrelated) {
+  // Geometric skipping touches indices sequentially; verify no induced
+  // correlation between adjacent space indices: P(both of a fixed adjacent
+  // index pair selected) ~ p^2.
+  const DegreeDistribution dist({{2, 40}});
+  ProbabilityMatrix P(1);
+  const double p = 0.15;
+  P.set(0, 0, p);
+  const int runs = 6000;
+  // Track two fixed adjacent candidate pairs in the triangular space:
+  // index 0 -> (u=1,v=0), index 1 -> (u=2,v=0).
+  const EdgeKey first = Edge{1, 0}.key();
+  const EdgeKey second = Edge{2, 0}.key();
+  int both = 0, first_only = 0, second_only = 0;
+  for (int r = 0; r < runs; ++r) {
+    bool saw_first = false, saw_second = false;
+    for (const Edge& e :
+         edge_skip_generate_serial(P, dist, 5000 + static_cast<std::uint64_t>(r))) {
+      if (e.key() == first) saw_first = true;
+      if (e.key() == second) saw_second = true;
+    }
+    both += saw_first && saw_second;
+    first_only += saw_first;
+    second_only += saw_second;
+  }
+  const double p1 = static_cast<double>(first_only) / runs;
+  const double p2 = static_cast<double>(second_only) / runs;
+  const double p12 = static_cast<double>(both) / runs;
+  const double sigma =
+      std::sqrt(p * p * (1 - p * p) / runs);  // for the joint frequency
+  EXPECT_NEAR(p1, p, 5 * std::sqrt(p * (1 - p) / runs));
+  EXPECT_NEAR(p2, p, 5 * std::sqrt(p * (1 - p) / runs));
+  EXPECT_NEAR(p12, p * p, 6 * sigma);
+}
+
+TEST(EdgeSkipDistribution, CrossSpaceCountsIndependentlyCorrect) {
+  // Two classes with different probabilities: each space's count matches
+  // its own p within binomial bounds, simultaneously.
+  const DegreeDistribution dist({{1, 100}, {3, 50}});
+  ProbabilityMatrix P(2);
+  P.set(0, 0, 0.02);
+  P.set(1, 0, 0.10);
+  P.set(1, 1, 0.30);
+  double count_00 = 0, count_10 = 0, count_11 = 0;
+  const int runs = 300;
+  for (int r = 0; r < runs; ++r) {
+    for (const Edge& e :
+         edge_skip_generate(P, dist, {.seed = 42 + static_cast<std::uint64_t>(r)})) {
+      const Edge c = e.canonical();
+      const bool u_low = c.u < 100, v_low = c.v < 100;
+      if (u_low && v_low)
+        ++count_00;
+      else if (!u_low && !v_low)
+        ++count_11;
+      else
+        ++count_10;
+    }
+  }
+  auto check = [&](double total, double p, double space) {
+    const double expected = p * space;
+    const double sigma = std::sqrt(p * (1 - p) * space / runs);
+    EXPECT_NEAR(total / runs, expected, 5 * sigma + 0.5);
+  };
+  check(count_00, 0.02, 100.0 * 99.0 / 2.0);
+  check(count_10, 0.10, 100.0 * 50.0);
+  check(count_11, 0.30, 50.0 * 49.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace nullgraph

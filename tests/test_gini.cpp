@@ -1,0 +1,71 @@
+#include "analysis/gini.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(Gini, UniformValuesAreZero) {
+  EXPECT_NEAR(gini_coefficient(std::vector<std::uint64_t>(100, 7)), 0.0,
+              1e-12);
+}
+
+TEST(Gini, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(gini_coefficient(std::vector<std::uint64_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient(std::vector<std::uint64_t>(5, 0)), 0.0);
+}
+
+TEST(Gini, SingleHubApproachesOne) {
+  std::vector<std::uint64_t> values(1000, 0);
+  values[0] = 1000;
+  EXPECT_GT(gini_coefficient(values), 0.99);
+}
+
+TEST(Gini, KnownSmallExample) {
+  // x = {1, 3}: G = mean abs diff / (2 * mean) = 2 / (2*2) = 0.5... per the
+  // population formula: sum|xi-xj| = 2*|1-3| = 4; 2 n^2 mu = 2*4*2 = 16;
+  // G = 4/16 = 0.25.
+  EXPECT_NEAR(gini_coefficient(std::vector<std::uint64_t>{1, 3}), 0.25,
+              1e-12);
+}
+
+TEST(Gini, OrderInsensitive) {
+  EXPECT_DOUBLE_EQ(gini_coefficient(std::vector<std::uint64_t>{5, 1, 3}),
+                   gini_coefficient(std::vector<std::uint64_t>{3, 5, 1}));
+}
+
+TEST(Gini, DistributionFormMatchesSequenceForm) {
+  PowerlawParams params;
+  params.n = 20000;
+  params.gamma = 2.2;
+  params.dmax = 300;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  const double from_dist = gini_coefficient(dist);
+  const double from_sequence = gini_coefficient(dist.to_degree_sequence());
+  EXPECT_NEAR(from_dist, from_sequence, 1e-9);
+}
+
+TEST(Gini, SkewedBeatsFlat) {
+  PowerlawParams flat;
+  flat.n = 5000;
+  flat.gamma = 4.0;
+  flat.dmax = 20;
+  PowerlawParams skewed;
+  skewed.n = 5000;
+  skewed.gamma = 1.8;
+  skewed.dmax = 500;
+  EXPECT_GT(gini_coefficient(powerlaw_distribution(skewed)),
+            gini_coefficient(powerlaw_distribution(flat)));
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<std::uint64_t> base{1, 2, 3, 4, 10};
+  std::vector<std::uint64_t> scaled;
+  for (std::uint64_t v : base) scaled.push_back(v * 7);
+  EXPECT_NEAR(gini_coefficient(base), gini_coefficient(scaled), 1e-12);
+}
+
+}  // namespace
+}  // namespace nullgraph

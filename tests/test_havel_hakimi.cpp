@@ -1,0 +1,100 @@
+#include "gen/havel_hakimi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "gen/powerlaw.hpp"
+#include "skip/erdos_renyi.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+void expect_realizes(const DegreeDistribution& dist) {
+  const EdgeList edges = havel_hakimi(dist);
+  EXPECT_TRUE(is_simple(edges));
+  const auto degrees = degrees_of(edges, dist.num_vertices());
+  const auto target = dist.to_degree_sequence();
+  ASSERT_EQ(degrees.size(), target.size());
+  for (std::size_t v = 0; v < degrees.size(); ++v)
+    EXPECT_EQ(degrees[v], target[v]) << "vertex " << v;
+}
+
+TEST(HavelHakimi, Triangle) { expect_realizes(DegreeDistribution({{2, 3}})); }
+
+TEST(HavelHakimi, CompleteGraphK5) {
+  expect_realizes(DegreeDistribution({{4, 5}}));
+}
+
+TEST(HavelHakimi, Star) {
+  expect_realizes(DegreeDistribution({{1, 7}, {7, 1}}));
+}
+
+TEST(HavelHakimi, SingleEdgePlusIsolated) {
+  expect_realizes(DegreeDistribution({{0, 5}, {1, 2}}));
+}
+
+TEST(HavelHakimi, RegularGraphs) {
+  for (std::uint64_t d : {1ULL, 2ULL, 3ULL, 4ULL, 7ULL}) {
+    expect_realizes(DegreeDistribution({{d, 8}}));
+  }
+}
+
+TEST(HavelHakimi, EmptyDistribution) {
+  EXPECT_TRUE(havel_hakimi(DegreeDistribution{}).empty());
+}
+
+TEST(HavelHakimi, ThrowsOnNonGraphical) {
+  EXPECT_THROW(havel_hakimi(DegreeDistribution({{3, 2}, {1, 2}, {0, 1}})),
+               std::invalid_argument);
+  EXPECT_THROW(havel_hakimi(DegreeDistribution({{2000, 1}, {2, 1000}})),
+               std::invalid_argument);
+}
+
+TEST(HavelHakimi, PowerlawDistribution) {
+  PowerlawParams params;
+  params.n = 5000;
+  params.gamma = 2.3;
+  params.dmin = 1;
+  params.dmax = 300;
+  expect_realizes(powerlaw_distribution(params));
+}
+
+TEST(HavelHakimiSequence, RealizesCallerOrder) {
+  const std::vector<std::uint64_t> degrees{3, 1, 2, 1, 1, 2};
+  const EdgeList edges = havel_hakimi_sequence(degrees);
+  EXPECT_TRUE(is_simple(edges));
+  const auto realized = degrees_of(edges, degrees.size());
+  for (std::size_t v = 0; v < degrees.size(); ++v)
+    EXPECT_EQ(realized[v], degrees[v]);
+}
+
+TEST(HavelHakimiSequence, ThrowsOnOddSum) {
+  EXPECT_THROW(havel_hakimi_sequence({1, 1, 1}), std::invalid_argument);
+}
+
+class HavelHakimiRandomSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HavelHakimiRandomSweep, RealizesDegreesOfRandomGraphs) {
+  // Degrees harvested from an actual graph are graphical by construction.
+  const EdgeList sample = erdos_renyi(400, 0.02, GetParam());
+  const auto degrees = degrees_of(sample, 400);
+  const EdgeList rebuilt = havel_hakimi_sequence(degrees);
+  EXPECT_TRUE(is_simple(rebuilt));
+  const auto realized = degrees_of(rebuilt, 400);
+  for (std::size_t v = 0; v < 400; ++v) EXPECT_EQ(realized[v], degrees[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HavelHakimiRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+TEST(HavelHakimi, ManyEqualBlocksStress) {
+  // Long runs of equal degrees exercise the partial-block bookkeeping.
+  expect_realizes(DegreeDistribution({{2, 1000}, {3, 1000}, {10, 100}}));
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,115 @@
+#include "lfr/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+namespace {
+
+std::vector<VertexId> iota_members(VertexId begin, VertexId end) {
+  std::vector<VertexId> members(end - begin);
+  std::iota(members.begin(), members.end(), begin);
+  return members;
+}
+
+TEST(GenerateHierarchical, SingleFullLayerBehavesLikeNullModel) {
+  const std::vector<std::uint64_t> degrees(200, 4);
+  const HierarchyLevel level{{iota_members(0, 200), 1.0}};
+  const HierarchicalGraph graph = generate_hierarchical(degrees, {level});
+  EXPECT_TRUE(is_simple(graph.edges));
+  EXPECT_EQ(graph.layers_generated, 1u);
+  EXPECT_NEAR(static_cast<double>(graph.edges.size()), 400.0, 60.0);
+}
+
+TEST(GenerateHierarchical, TwoLevelSplitPreservesTotalDegree) {
+  // Level 1: two halves at lambda 0.5; level 2: global layer at 0.5.
+  const std::size_t n = 400;
+  const std::vector<std::uint64_t> degrees(n, 8);
+  const HierarchyLevel communities{
+      {iota_members(0, 200), 0.5},
+      {iota_members(200, 400), 0.5},
+  };
+  const HierarchyLevel global{{iota_members(0, 400), 0.5}};
+  const HierarchicalGraph graph =
+      generate_hierarchical(degrees, {communities, global});
+  EXPECT_EQ(graph.layers_generated, 3u);
+  EXPECT_TRUE(is_simple(graph.edges));
+  const auto realized = degrees_of(graph.edges, n);
+  double mean = 0.0;
+  for (std::uint64_t d : realized) mean += static_cast<double>(d);
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 8.0, 0.8);
+}
+
+TEST(GenerateHierarchical, OverlappingSubgraphsAllowed) {
+  // One vertex block participates in two level-1 subgraphs at 0.25 each
+  // plus the global 0.5 layer: shares sum to 1.
+  const std::size_t n = 300;
+  const std::vector<std::uint64_t> degrees(n, 8);
+  const HierarchyLevel level1{
+      {iota_members(0, 200), 0.25},
+      {iota_members(100, 300), 0.25},
+  };
+  // Vertices 0..99 and 200..299 are in ONE level-1 subgraph (0.25), the
+  // middle 100..199 in two (0.5). Give the outer blocks an extra layer.
+  const HierarchyLevel level2{
+      {iota_members(0, 100), 0.25},
+      {iota_members(200, 300), 0.25},
+  };
+  const HierarchyLevel global{{iota_members(0, 300), 0.5}};
+  const HierarchicalGraph graph =
+      generate_hierarchical(degrees, {level1, level2, global});
+  EXPECT_TRUE(is_simple(graph.edges));
+  EXPECT_EQ(graph.layers_generated, 5u);
+}
+
+TEST(GenerateHierarchical, RejectsBadLambdaSums) {
+  const std::vector<std::uint64_t> degrees(100, 4);
+  const HierarchyLevel level{{iota_members(0, 100), 0.7}};  // sums to 0.7
+  EXPECT_THROW(generate_hierarchical(degrees, {level}),
+               std::invalid_argument);
+}
+
+TEST(GenerateHierarchical, RejectsNegativeLambda) {
+  const std::vector<std::uint64_t> degrees(10, 2);
+  const HierarchyLevel level{{iota_members(0, 10), -1.0}};
+  EXPECT_THROW(generate_hierarchical(degrees, {level}),
+               std::invalid_argument);
+}
+
+TEST(GenerateHierarchical, RejectsOutOfRangeMembers) {
+  const std::vector<std::uint64_t> degrees(10, 2);
+  const HierarchyLevel level{{{5, 20}, 1.0}};
+  EXPECT_THROW(generate_hierarchical(degrees, {level}),
+               std::invalid_argument);
+}
+
+TEST(GenerateHierarchical, ZeroDegreeVerticesNeedNoShares) {
+  std::vector<std::uint64_t> degrees(50, 2);
+  degrees[49] = 0;
+  const HierarchyLevel level{{iota_members(0, 49), 1.0}};
+  EXPECT_NO_THROW(generate_hierarchical(degrees, {level}));
+}
+
+TEST(GenerateHierarchical, DeterministicPerSeed) {
+  // The swap phase resolves rare candidate collisions by atomic race, so
+  // strict determinism is a single-thread contract (see README); pin it.
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const std::vector<std::uint64_t> degrees(100, 6);
+  const HierarchyLevel level{{iota_members(0, 100), 1.0}};
+  HierarchicalConfig config;
+  config.seed = 5;
+  const HierarchicalGraph a = generate_hierarchical(degrees, {level}, config);
+  const HierarchicalGraph b = generate_hierarchical(degrees, {level}, config);
+  EXPECT_TRUE(same_edge_multiset(a.edges, b.edges));
+  omp_set_num_threads(saved_threads);
+}
+
+}  // namespace
+}  // namespace nullgraph

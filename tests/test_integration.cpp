@@ -1,0 +1,144 @@
+// Cross-module integration tests: the statistical claims of Section VIII at
+// test-suite scale. Each test exercises the full pipeline (probabilities ->
+// edge-skipping -> swaps -> analysis) the way the benchmark harness does.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/attachment.hpp"
+#include "analysis/metrics.hpp"
+#include "core/double_edge_swap.hpp"
+#include "core/null_model.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace nullgraph {
+namespace {
+
+DegreeDistribution test_instance() {
+  PowerlawParams params;
+  params.n = 1500;
+  params.gamma = 2.3;
+  params.dmax = 120;
+  return powerlaw_distribution(params);
+}
+
+/// Baseline attachment matrix: Havel-Hakimi + heavy swapping, averaged
+/// (the paper's "uniform random" reference).
+ProbabilityMatrix baseline_attachment(const DegreeDistribution& dist,
+                                      int samples, std::size_t iterations) {
+  AttachmentAccumulator acc(dist);
+  for (int s = 0; s < samples; ++s) {
+    EdgeList edges = havel_hakimi(dist);
+    swap_edges(edges, {.iterations = iterations,
+                       .seed = 900 + static_cast<std::uint64_t>(s)});
+    acc.add(edges);
+  }
+  return acc.average();
+}
+
+TEST(Integration, SwappingConvergesAttachmentProbabilities) {
+  // Figure 4's shape: our generator's attachment error against the uniform
+  // baseline shrinks as swap iterations increase.
+  const DegreeDistribution dist = test_instance();
+  const ProbabilityMatrix base = baseline_attachment(dist, 6, 32);
+
+  auto error_at = [&](std::size_t iterations) {
+    AttachmentAccumulator acc(dist);
+    for (int s = 0; s < 6; ++s) {
+      GenerateConfig config;
+      config.seed = 100 + static_cast<std::uint64_t>(s) * 17;
+      config.swap_iterations = iterations;
+      acc.add(generate_null_graph(dist, config).edges);
+    }
+    return ProbabilityMatrix::l1_distance(acc.average(), base);
+  };
+
+  const double no_swaps = error_at(0);
+  const double some_swaps = error_at(4);
+  const double many_swaps = error_at(16);
+  EXPECT_LT(many_swaps, no_swaps);
+  EXPECT_LE(many_swaps, some_swaps * 1.5);  // monotone up to noise
+}
+
+TEST(Integration, OurMethodBeatsBernoulliChungLuOnMaxDegree) {
+  // Figure 3's headline: the probability solver fixes the d_max error that
+  // capped Chung-Lu probabilities cause.
+  const DegreeDistribution dist = as20_like();
+  std::vector<QualityErrors> ours, bernoulli;
+  for (int s = 0; s < 5; ++s) {
+    GenerateConfig config;
+    config.seed = 40 + static_cast<std::uint64_t>(s);
+    config.swap_iterations = 1;
+    ours.push_back(quality_errors(dist, generate_null_graph(dist, config).edges));
+    bernoulli.push_back(quality_errors(
+        dist, bernoulli_chung_lu(dist, 40 + static_cast<std::uint64_t>(s))));
+  }
+  EXPECT_LT(average(ours).max_degree, average(bernoulli).max_degree);
+  EXPECT_LT(average(ours).edge_count, average(bernoulli).edge_count);
+}
+
+TEST(Integration, ErasedModelUndershootsOurMethodMatches) {
+  const DegreeDistribution dist = as20_like();
+  const EdgeList erased = erased_chung_lu(dist, {.seed = 3});
+  GenerateConfig config;
+  config.swap_iterations = 1;
+  config.seed = 3;
+  const EdgeList ours = generate_null_graph(dist, config).edges;
+  const double m = static_cast<double>(dist.num_edges());
+  const double erased_err =
+      std::abs(static_cast<double>(erased.size()) - m) / m;
+  const double ours_err = std::abs(static_cast<double>(ours.size()) - m) / m;
+  EXPECT_LT(ours_err, erased_err);
+}
+
+TEST(Integration, OmModelSimplifiesUnderSwaps) {
+  // Section VIII-A: "about two dozen or so swap iterations is sufficient to
+  // eliminate all multi-edges with the O(m) approach".
+  const DegreeDistribution dist = as20_like();
+  EdgeList edges = chung_lu_multigraph(dist, {.seed = 9});
+  std::size_t previous = census(edges).multi_edges + census(edges).self_loops;
+  ASSERT_GT(previous, 0u);
+  for (int round = 0; round < 20; ++round) {
+    swap_edges(edges, {.iterations = 5,
+                       .seed = 70 + static_cast<std::uint64_t>(round)});
+    const SimplicityCensus c = census(edges);
+    const std::size_t current = c.multi_edges + c.self_loops;
+    EXPECT_LE(current, previous);
+    previous = current;
+    if (current == 0) break;
+  }
+  EXPECT_EQ(previous, 0u);
+}
+
+TEST(Integration, MixingDiagnosticNearlyAllEdgesSwapOnce) {
+  // Section VIII-C: one iteration swaps ~99.9% of edges on sparse graphs;
+  // after a few iterations essentially every edge has swapped.
+  const DegreeDistribution dist = test_instance();
+  GenerateConfig config;
+  config.swap_iterations = 5;
+  config.track_swapped_edges = true;
+  const GenerateResult result = generate_null_graph(dist, config);
+  const double fraction =
+      static_cast<double>(result.swap_stats.edges_ever_swapped) /
+      static_cast<double>(result.edges.size());
+  EXPECT_GT(fraction, 0.98);
+}
+
+TEST(Integration, EndToEndPhasesDominatedBySwaps) {
+  // Figure 6's shape: for skewed inputs with several iterations, swapping
+  // dominates probability generation (|D| << m).
+  const DegreeDistribution dist = build_dataset(*find_dataset("WikiTalk"),
+                                                0.02);
+  GenerateConfig config;
+  config.swap_iterations = 10;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_GT(result.timing.seconds("swaps"),
+            result.timing.seconds("probabilities"));
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,69 @@
+#include "io/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nullgraph {
+namespace {
+
+TEST(EdgeListIo, RoundTrip) {
+  const EdgeList edges{{0, 1}, {5, 2}, {3, 3}};
+  std::stringstream stream;
+  write_edge_list(stream, edges);
+  EXPECT_EQ(read_edge_list(stream), edges);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlanks) {
+  std::stringstream stream(
+      "# SNAP style header\n% matrix market style\n\n  \t\n0 1\n2 3\n");
+  const EdgeList edges = read_edge_list(stream);
+  EXPECT_EQ(edges, (EdgeList{{0, 1}, {2, 3}}));
+}
+
+TEST(EdgeListIo, ThrowsOnMalformedLine) {
+  std::stringstream stream("0 1\nbroken\n");
+  EXPECT_THROW(read_edge_list(stream), std::runtime_error);
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nullgraph_edges.txt";
+  const EdgeList edges{{10, 20}, {30, 40}};
+  write_edge_list_file(path, edges);
+  EXPECT_EQ(read_edge_list_file(path), edges);
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+TEST(DegreeDistributionIo, RoundTrip) {
+  const DegreeDistribution dist({{1, 10}, {3, 4}, {7, 2}});
+  std::stringstream stream;
+  write_degree_distribution(stream, dist);
+  EXPECT_EQ(read_degree_distribution(stream), dist);
+}
+
+TEST(DegreeDistributionIo, CommentsAndValidation) {
+  std::stringstream stream("# degree count\n2 5\n4 1\n");
+  const DegreeDistribution dist = read_degree_distribution(stream);
+  EXPECT_EQ(dist.num_vertices(), 6u);
+  EXPECT_EQ(dist.num_stubs(), 14u);
+}
+
+TEST(DegreeDistributionIo, OddTotalRejectedByConstructor) {
+  std::stringstream stream("3 1\n");
+  EXPECT_THROW(read_degree_distribution(stream), std::invalid_argument);
+}
+
+TEST(DegreeDistributionIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nullgraph_dist.txt";
+  const DegreeDistribution dist({{2, 7}, {5, 2}});
+  write_degree_distribution_file(path, dist);
+  EXPECT_EQ(read_degree_distribution_file(path), dist);
+}
+
+}  // namespace
+}  // namespace nullgraph

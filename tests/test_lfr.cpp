@@ -1,0 +1,124 @@
+#include "lfr/lfr.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+namespace {
+
+LfrParams small_params() {
+  LfrParams params;
+  params.n = 3000;
+  params.degree_exponent = 2.5;
+  params.dmin = 4;
+  params.dmax = 60;
+  params.community_exponent = 1.5;
+  params.cmin = 40;
+  params.cmax = 300;
+  params.mu = 0.3;
+  params.seed = 11;
+  params.swap_iterations = 2;
+  return params;
+}
+
+TEST(GenerateLfr, BasicShape) {
+  const LfrGraph graph = generate_lfr(small_params());
+  EXPECT_TRUE(is_simple(graph.edges));
+  EXPECT_EQ(graph.community.size(), 3000u);
+  EXPECT_GT(graph.num_communities, 5u);
+  EXPECT_GT(graph.edges.size(), 3000u);  // avg degree >= dmin = 4
+}
+
+TEST(GenerateLfr, EveryVertexHasValidCommunity) {
+  const LfrGraph graph = generate_lfr(small_params());
+  for (const std::uint32_t c : graph.community)
+    EXPECT_LT(c, graph.num_communities);
+}
+
+TEST(GenerateLfr, AchievedMuNearTarget) {
+  LfrParams params = small_params();
+  const LfrGraph graph = generate_lfr(params);
+  EXPECT_NEAR(graph.achieved_mu, params.mu, 0.08);
+}
+
+class MuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MuSweep, MixingTracksParameter) {
+  LfrParams params = small_params();
+  params.mu = GetParam();
+  const LfrGraph graph = generate_lfr(params);
+  EXPECT_NEAR(graph.achieved_mu, params.mu, 0.10);
+  EXPECT_TRUE(is_simple(graph.edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(MixingLevels, MuSweep,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6));
+
+TEST(GenerateLfr, CommunitySizesWithinBounds) {
+  const LfrGraph graph = generate_lfr(small_params());
+  std::vector<std::uint64_t> sizes(graph.num_communities, 0);
+  for (const std::uint32_t c : graph.community) ++sizes[c];
+  std::uint64_t total = 0;
+  for (std::uint64_t s : sizes) total += s;
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(GenerateLfr, DegreesRoughlyMatchPowerlawRange) {
+  LfrParams params = small_params();
+  const LfrGraph graph = generate_lfr(params);
+  const auto degrees = degrees_of(graph.edges, params.n);
+  std::uint64_t dmax = 0;
+  double sum = 0.0;
+  for (std::uint64_t d : degrees) {
+    dmax = std::max(dmax, d);
+    sum += static_cast<double>(d);
+  }
+  EXPECT_LE(dmax, params.dmax + params.dmax / 2);
+  EXPECT_GT(sum / static_cast<double>(params.n),
+            0.7 * static_cast<double>(params.dmin));
+}
+
+TEST(GenerateLfr, RejectsBadParameters) {
+  LfrParams params = small_params();
+  params.mu = 1.5;
+  EXPECT_THROW(generate_lfr(params), std::invalid_argument);
+  params = small_params();
+  params.cmin = 1;
+  EXPECT_THROW(generate_lfr(params), std::invalid_argument);
+  params = small_params();
+  // Internal degree (1-mu)*dmax larger than any community can host.
+  params.mu = 0.0;
+  params.dmax = 1000;
+  params.cmax = 100;
+  EXPECT_THROW(generate_lfr(params), std::invalid_argument);
+}
+
+TEST(GenerateLfr, DeterministicPerSeed) {
+  // The swap phase resolves rare candidate collisions by atomic race, so
+  // strict determinism is a single-thread contract (see README); pin it.
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const LfrGraph a = generate_lfr(small_params());
+  const LfrGraph b = generate_lfr(small_params());
+  EXPECT_TRUE(same_edge_multiset(a.edges, b.edges));
+  EXPECT_EQ(a.community, b.community);
+  omp_set_num_threads(saved_threads);
+}
+
+TEST(MeasuredMu, HandComputedPartition) {
+  const EdgeList edges{{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  const std::vector<std::uint32_t> community{0, 0, 1, 1};
+  // 2 of 4 edges cross.
+  EXPECT_DOUBLE_EQ(measured_mu(edges, community), 0.5);
+}
+
+TEST(MeasuredMu, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(measured_mu({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace nullgraph

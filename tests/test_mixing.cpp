@@ -1,0 +1,115 @@
+#include "core/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/metrics.hpp"
+#include "gen/datasets.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(CoverageIterations, SparseGraphCoversQuickly) {
+  const EdgeList edges = erdos_renyi(20000, 0.0005, 1);
+  const std::size_t iterations = coverage_iterations(edges, 2, 64);
+  EXPECT_GE(iterations, 1u);
+  EXPECT_LE(iterations, 8u);
+}
+
+TEST(CoverageIterations, SkewedGraphNeedsMore) {
+  const EdgeList sparse = erdos_renyi(20000, 0.0005, 1);
+  const EdgeList skewed = havel_hakimi(as20_like());
+  const std::size_t sparse_iters = coverage_iterations(sparse, 2, 128);
+  const std::size_t skewed_iters = coverage_iterations(skewed, 2, 128);
+  EXPECT_GT(skewed_iters, sparse_iters);
+  EXPECT_LE(skewed_iters, 128u);
+}
+
+TEST(CoverageIterations, EmptyGraphIsZero) {
+  EXPECT_EQ(coverage_iterations({}, 1, 8), 0u);
+}
+
+TEST(AcceptanceProfile, RatesInUnitIntervalAndStable) {
+  const EdgeList edges = erdos_renyi(5000, 0.002, 4);
+  const auto rates = acceptance_profile(edges, 6, 5);
+  ASSERT_EQ(rates.size(), 6u);
+  for (double rate : rates) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  // Sparse ER: high and steady.
+  EXPECT_GT(rates.front(), 0.9);
+  EXPECT_NEAR(rates.front(), rates.back(), 0.05);
+}
+
+TEST(StatisticTrace, RecordsInitialAndPerIteration) {
+  const EdgeList edges = erdos_renyi(1000, 0.01, 6);
+  const auto trace = statistic_trace(
+      edges, 5, [](const EdgeList& e) { return degree_assortativity(e); },
+      7);
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_NEAR(trace[0], degree_assortativity(edges), 1e-12);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecaysImmediately) {
+  std::vector<double> noise;
+  std::uint64_t state = 42;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    noise.push_back(static_cast<double>(state >> 11) * 0x1.0p-53);
+  }
+  const auto acf = autocorrelation(noise, 10);
+  EXPECT_NEAR(acf[0], 1.0, 1e-9);
+  for (std::size_t lag = 1; lag <= 10; ++lag)
+    EXPECT_LT(std::abs(acf[lag]), 0.1) << "lag " << lag;
+}
+
+TEST(Autocorrelation, PersistentSignalStaysHigh) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 200; ++i) ramp.push_back(static_cast<double>(i));
+  const auto acf = autocorrelation(ramp, 5);
+  EXPECT_GT(acf[1], 0.9);
+}
+
+TEST(Autocorrelation, ConstantTraceIsZero) {
+  const std::vector<double> constant(100, 3.0);
+  const auto acf = autocorrelation(constant, 5);
+  for (double value : acf) EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(DecorrelationLag, WhiteNoiseIsOne) {
+  std::vector<double> noise;
+  std::uint64_t state = 7;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    noise.push_back(static_cast<double>(state >> 11) * 0x1.0p-53);
+  }
+  EXPECT_EQ(decorrelation_lag(noise, 10), 1u);
+}
+
+TEST(DecorrelationLag, RampNeverDecorrelates) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) ramp.push_back(static_cast<double>(i));
+  EXPECT_EQ(decorrelation_lag(ramp, 5), 6u);
+}
+
+TEST(MixingEndToEnd, SwapChainDecorrelatesAssortativity) {
+  // Start from the maximally structured Havel-Hakimi realization: the
+  // assortativity trace must decorrelate within a modest number of
+  // iterations (the paper's empirical-mixing claim, quantified).
+  const EdgeList edges = havel_hakimi(as20_like());
+  const auto trace = statistic_trace(
+      edges, 40, [](const EdgeList& e) { return degree_assortativity(e); },
+      11);
+  // The chain leaves the structured start quickly...
+  EXPECT_GT(std::abs(trace.front() - trace.back()), 1e-4);
+  // ...and the steady-state tail looks decorrelated at small lags.
+  const std::vector<double> tail(trace.begin() + 10, trace.end());
+  EXPECT_LE(decorrelation_lag(tail, 8, 0.5), 8u);
+}
+
+}  // namespace
+}  // namespace nullgraph

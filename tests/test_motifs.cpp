@@ -1,0 +1,91 @@
+#include "analysis/motifs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(Triangles, SingleTriangle) {
+  const CsrGraph graph(EdgeList{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(count_triangles(graph), 1u);
+}
+
+TEST(Triangles, TreeHasNone) {
+  const CsrGraph graph(EdgeList{{0, 1}, {1, 2}, {1, 3}, {3, 4}});
+  EXPECT_EQ(count_triangles(graph), 0u);
+}
+
+TEST(Triangles, CompleteGraphCount) {
+  // K6 has C(6,3) = 20 triangles.
+  const DegreeDistribution dist({{5, 6}});
+  const CsrGraph graph(havel_hakimi(dist));
+  EXPECT_EQ(count_triangles(graph), 20u);
+}
+
+TEST(Triangles, TwoSharedEdgeTriangles) {
+  const CsrGraph graph(EdgeList{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}});
+  EXPECT_EQ(count_triangles(graph), 2u);
+}
+
+TEST(Wedges, PathAndStar) {
+  // Path 0-1-2: one wedge at vertex 1.
+  EXPECT_EQ(count_wedges(CsrGraph(EdgeList{{0, 1}, {1, 2}})), 1u);
+  // Star with 4 leaves: C(4,2) = 6 wedges.
+  EXPECT_EQ(
+      count_wedges(CsrGraph(EdgeList{{0, 1}, {0, 2}, {0, 3}, {0, 4}})), 6u);
+}
+
+TEST(GlobalClustering, TriangleIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering(CsrGraph(EdgeList{{0, 1}, {1, 2}, {2, 0}})),
+                   1.0);
+}
+
+TEST(GlobalClustering, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering(CsrGraph(EdgeList{{0, 1}, {1, 2}})), 0.0);
+}
+
+TEST(GlobalClustering, ErdosRenyiApproachesP) {
+  // In G(n, p), expected clustering ~ p.
+  const double p = 0.02;
+  const CsrGraph graph(erdos_renyi(1500, p, 7));
+  EXPECT_NEAR(global_clustering(graph), p, 0.006);
+}
+
+TEST(ZScore, BasicBehaviour) {
+  EXPECT_DOUBLE_EQ(z_score(12.0, 10.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(z_score(8.0, 10.0, 2.0), -1.0);
+  EXPECT_DOUBLE_EQ(z_score(5.0, 5.0, 0.0), 0.0);  // degenerate ensemble
+}
+
+TEST(EnsembleStats, WelfordMatchesDirectComputation) {
+  EnsembleStats stats;
+  const std::vector<double> values{1, 2, 3, 4, 100};
+  double mean = 0;
+  for (double v : values) {
+    stats.add(v);
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  double variance = 0;
+  for (double v : values) variance += (v - mean) * (v - mean);
+  variance /= static_cast<double>(values.size());
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), variance, 1e-9);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(variance), 1e-9);
+}
+
+TEST(EnsembleStats, EmptyIsZero) {
+  const EnsembleStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,190 @@
+#include "core/null_model.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/metrics.hpp"
+#include "gen/datasets.hpp"
+#include "gen/powerlaw.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(GenerateNullGraph, OutputIsSimple) {
+  const DegreeDistribution dist = as20_like();
+  const GenerateResult result = generate_null_graph(dist);
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(GenerateNullGraph, EdgeCountCloseToTarget) {
+  const DegreeDistribution dist = as20_like();
+  const GenerateResult result = generate_null_graph(dist);
+  const double m = static_cast<double>(dist.num_edges());
+  EXPECT_NEAR(static_cast<double>(result.edges.size()), m, 0.03 * m);
+}
+
+TEST(GenerateNullGraph, MaxDegreeCloseToTarget) {
+  const DegreeDistribution dist = as20_like();
+  const GenerateResult result = generate_null_graph(dist);
+  const QualityErrors errors = quality_errors(dist, result.edges);
+  EXPECT_LT(errors.max_degree, 0.05);
+}
+
+TEST(GenerateNullGraph, RecordsAllThreePhases) {
+  const DegreeDistribution dist({{2, 500}, {6, 100}});
+  const GenerateResult result = generate_null_graph(dist);
+  ASSERT_EQ(result.timing.phases().size(), 3u);
+  EXPECT_EQ(result.timing.phases()[0].first, "probabilities");
+  EXPECT_EQ(result.timing.phases()[1].first, "edge generation");
+  EXPECT_EQ(result.timing.phases()[2].first, "swaps");
+}
+
+TEST(GenerateNullGraph, SwapStatsMatchIterations) {
+  const DegreeDistribution dist({{2, 500}, {6, 100}});
+  GenerateConfig config;
+  config.swap_iterations = 7;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_EQ(result.swap_stats.iterations.size(), 7u);
+}
+
+TEST(GenerateNullGraph, DeterministicPerSeed) {
+  // The swap phase resolves rare candidate collisions by atomic race, so
+  // strict determinism is a single-thread contract (see README); pin it.
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const DegreeDistribution dist({{2, 500}, {6, 100}});
+  GenerateConfig config;
+  config.seed = 31;
+  const GenerateResult a = generate_null_graph(dist, config);
+  const GenerateResult b = generate_null_graph(dist, config);
+  EXPECT_TRUE(same_edge_multiset(a.edges, b.edges));
+  omp_set_num_threads(saved_threads);
+}
+
+TEST(GenerateNullGraph, ProbabilityDiagnosticsExposed) {
+  const DegreeDistribution dist = as20_like();
+  const GenerateResult result = generate_null_graph(dist);
+  EXPECT_LT(result.probability_diagnostics.relative_edge_error, 0.02);
+  EXPECT_LE(result.probability_diagnostics.max_probability, 1.0 + 1e-12);
+}
+
+class MethodSweep : public ::testing::TestWithParam<ProbabilityMethod> {};
+
+TEST_P(MethodSweep, AllProbabilityMethodsProduceSimpleGraphs) {
+  const DegreeDistribution dist = as20_like();
+  GenerateConfig config;
+  config.probability_method = GetParam();
+  config.swap_iterations = 2;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_TRUE(is_simple(result.edges));
+  EXPECT_GT(result.edges.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodSweep,
+                         ::testing::Values(
+                             ProbabilityMethod::kGreedyAllocation,
+                             ProbabilityMethod::kPaperStubMatching,
+                             ProbabilityMethod::kChungLu));
+
+TEST(ShuffleGraph, PreservesDegreesExactly) {
+  EdgeList original = erdos_renyi(1000, 0.01, 5);
+  auto degrees_before = degrees_of(original, 1000);
+  const GenerateResult result = shuffle_graph(original);
+  EXPECT_TRUE(is_simple(result.edges));
+  EXPECT_EQ(degrees_of(result.edges, 1000), degrees_before);
+}
+
+TEST(ShuffleGraph, RewiresTopology) {
+  EdgeList original = erdos_renyi(1000, 0.01, 6);
+  const EdgeList copy = original;
+  const GenerateResult result = shuffle_graph(std::move(original));
+  EXPECT_FALSE(same_edge_multiset(result.edges, copy));
+}
+
+TEST(GenerateForSequence, TargetsCallerIndexing) {
+  // Vertex 0 is the hub; after relabeling its expected degree must be the
+  // largest. Use a deterministic skew to make the check crisp.
+  std::vector<std::uint64_t> degrees{50, 1, 1, 1, 1, 1};
+  degrees.resize(56, 1);  // 50 stubs for the hub + 55 leaves, even total
+  // total = 50 + 55 = 105, odd: bump one leaf to 2.
+  degrees[1] = 2;
+  GenerateConfig config;
+  config.swap_iterations = 2;
+  const GenerateResult result = generate_for_sequence(degrees, config);
+  const auto realized = degrees_of(result.edges, degrees.size());
+  std::uint64_t best = 0;
+  for (std::uint64_t d : realized) best = std::max(best, d);
+  EXPECT_EQ(realized[0], best);  // the hub kept its identity
+  EXPECT_GT(realized[0], 30u);
+}
+
+TEST(GenerateForSequence, AverageDegreesConvergeToTargets) {
+  const std::vector<std::uint64_t> degrees{8, 4, 4, 2, 2, 2, 1, 1, 1, 1,
+                                           1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<double> mean(degrees.size(), 0.0);
+  const int samples = 60;
+  for (int s = 0; s < samples; ++s) {
+    GenerateConfig config;
+    config.seed = 100 + s;
+    config.swap_iterations = 2;
+    const GenerateResult result = generate_for_sequence(degrees, config);
+    const auto realized = degrees_of(result.edges, degrees.size());
+    for (std::size_t v = 0; v < mean.size(); ++v)
+      mean[v] += static_cast<double>(realized[v]);
+  }
+  for (std::size_t v = 0; v < mean.size(); ++v) {
+    mean[v] /= samples;
+    EXPECT_NEAR(mean[v], static_cast<double>(degrees[v]),
+                std::max(1.0, 0.35 * static_cast<double>(degrees[v])))
+        << "vertex " << v;
+  }
+}
+
+TEST(GenerateNullGraph, LargePowerlawEndToEnd) {
+  PowerlawParams params;
+  params.n = 50000;
+  params.gamma = 2.4;
+  params.dmax = 500;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  GenerateConfig config;
+  config.swap_iterations = 3;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_TRUE(is_simple(result.edges));
+  const QualityErrors errors = quality_errors(dist, result.edges);
+  EXPECT_LT(errors.edge_count, 0.02);
+  EXPECT_LT(errors.max_degree, 0.05);
+  // Gini has an inherent floor: every expectation-matching Bernoulli
+  // generator Poisson-smears the low degrees (target degree-1 vertices
+  // realize degree 0 ~37% of the time), inflating inequality — the
+  // low-degree error the paper's discussion concedes for all Chung-Lu
+  // style generators. Assert it stays within that known regime.
+  EXPECT_LT(errors.gini, 0.5);
+}
+
+
+TEST(GenerateNullGraph, RefinementPathRuns) {
+  // Chung-Lu probabilities + fixed-point refinement through the public
+  // config: output must be simple and edge count repaired vs raw CL.
+  const DegreeDistribution dist = as20_like();
+  GenerateConfig config;
+  config.probability_method = ProbabilityMethod::kChungLu;
+  config.refine_iterations = 16;
+  config.swap_iterations = 1;
+  const GenerateResult refined = generate_null_graph(dist, config);
+  config.refine_iterations = 0;
+  const GenerateResult raw = generate_null_graph(dist, config);
+  EXPECT_TRUE(is_simple(refined.edges));
+  const double m = static_cast<double>(dist.num_edges());
+  const double refined_err =
+      std::abs(static_cast<double>(refined.edges.size()) - m) / m;
+  const double raw_err =
+      std::abs(static_cast<double>(raw.edges.size()) - m) / m;
+  EXPECT_LT(refined_err, raw_err);
+}
+
+}  // namespace
+}  // namespace nullgraph

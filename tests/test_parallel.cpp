@@ -1,0 +1,82 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace nullgraph {
+namespace {
+
+TEST(BlockRange, CoversEverythingOnce) {
+  const std::size_t n = 103;
+  const int blocks = 7;
+  std::vector<int> hits(n, 0);
+  std::size_t expected_begin = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const auto [begin, end] = block_range(b, blocks, n);
+    EXPECT_EQ(begin, expected_begin);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, n);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const std::size_t n = 1000;
+  const int blocks = 7;
+  std::size_t min_size = n, max_size = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const auto [begin, end] = block_range(b, blocks, n);
+    min_size = std::min(min_size, end - begin);
+    max_size = std::max(max_size, end - begin);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(BlockRange, MoreBlocksThanItems) {
+  const std::size_t n = 3;
+  const int blocks = 8;
+  std::size_t total = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const auto [begin, end] = block_range(b, blocks, n);
+    total += end - begin;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(BlockRange, EmptyInput) {
+  const auto [begin, end] = block_range(0, 4, 0);
+  EXPECT_EQ(begin, end);
+}
+
+TEST(ConcatBuffers, MergesInOrder) {
+  std::vector<std::vector<int>> buffers{{1, 2}, {}, {3}, {4, 5, 6}};
+  const std::vector<int> merged = concat_buffers(buffers);
+  EXPECT_EQ(merged, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ConcatBuffers, AllEmpty) {
+  std::vector<std::vector<int>> buffers(5);
+  EXPECT_TRUE(concat_buffers(buffers).empty());
+}
+
+TEST(ConcatBuffers, LargeRoundTrip) {
+  const int nb = 9;
+  std::vector<std::vector<std::uint64_t>> buffers(nb);
+  std::uint64_t next = 0;
+  for (int b = 0; b < nb; ++b)
+    for (int k = 0; k < 1000 + b; ++k) buffers[b].push_back(next++);
+  const auto merged = concat_buffers(buffers);
+  ASSERT_EQ(merged.size(), next);
+  for (std::uint64_t i = 0; i < next; ++i) EXPECT_EQ(merged[i], i);
+}
+
+TEST(Threads, MaxThreadsPositive) { EXPECT_GE(max_threads(), 1); }
+
+TEST(Threads, ThreadIdZeroOutsideParallel) { EXPECT_EQ(thread_id(), 0); }
+
+}  // namespace
+}  // namespace nullgraph

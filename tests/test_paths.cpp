@@ -1,0 +1,76 @@
+#include "analysis/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/havel_hakimi.hpp"
+#include "skip/erdos_renyi.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const CsrGraph graph(EdgeList{{0, 1}, {1, 2}, {2, 3}});
+  const auto distance = bfs_distances(graph, 0);
+  EXPECT_EQ(distance, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsDistances, UnreachableComponent) {
+  const CsrGraph graph(EdgeList{{0, 1}, {2, 3}}, 4);
+  const auto distance = bfs_distances(graph, 0);
+  EXPECT_EQ(distance[1], 1u);
+  EXPECT_EQ(distance[2], kUnreachable);
+  EXPECT_EQ(distance[3], kUnreachable);
+}
+
+TEST(BfsDistances, SourceIsZero) {
+  const CsrGraph graph(EdgeList{{0, 1}});
+  EXPECT_EQ(bfs_distances(graph, 1)[1], 0u);
+}
+
+TEST(SampledPathStats, CompleteGraphAllOnes) {
+  const DegreeDistribution dist({{5, 6}});  // K6
+  const CsrGraph graph(havel_hakimi(dist));
+  const PathStats stats = sampled_path_stats(graph, 100);
+  EXPECT_DOUBLE_EQ(stats.average_distance, 1.0);
+  EXPECT_EQ(stats.max_distance, 1u);
+  EXPECT_EQ(stats.reachable_pairs, 6u * 5u);  // exact mode: all sources
+}
+
+TEST(SampledPathStats, PathGraphExact) {
+  // Path 0-1-2-3: distances sum per source 0: 1+2+3; by symmetry total
+  // = 2*(6+4) = 20 over 12 ordered pairs -> 5/3.
+  const CsrGraph graph(EdgeList{{0, 1}, {1, 2}, {2, 3}});
+  const PathStats stats = sampled_path_stats(graph, 100);
+  EXPECT_NEAR(stats.average_distance, 20.0 / 12.0, 1e-12);
+  EXPECT_EQ(stats.max_distance, 3u);
+}
+
+TEST(SampledPathStats, EmptyGraph) {
+  const CsrGraph graph(EdgeList{}, 0);
+  const PathStats stats = sampled_path_stats(graph, 10);
+  EXPECT_EQ(stats.reachable_pairs, 0u);
+}
+
+TEST(SampledPathStats, SamplingApproximatesExact) {
+  const CsrGraph graph(erdos_renyi(1500, 0.01, 3), 1500);
+  const PathStats exact = sampled_path_stats(graph, 1u << 30);
+  const PathStats sampled = sampled_path_stats(graph, 200, 9);
+  EXPECT_NEAR(sampled.average_distance, exact.average_distance,
+              0.05 * exact.average_distance);
+}
+
+TEST(SampledPathStats, SmallWorldScaling) {
+  // ER average distance ~ ln(n)/ln(avg_degree): doubling n should add
+  // roughly a constant, not double the distance.
+  const CsrGraph small(erdos_renyi(1000, 8.0 / 999, 4), 1000);
+  const CsrGraph large(erdos_renyi(4000, 8.0 / 3999, 4), 4000);
+  const double d_small = sampled_path_stats(small, 100, 1).average_distance;
+  const double d_large = sampled_path_stats(large, 100, 1).average_distance;
+  EXPECT_GT(d_large, d_small);
+  EXPECT_LT(d_large, 1.8 * d_small);
+}
+
+}  // namespace
+}  // namespace nullgraph

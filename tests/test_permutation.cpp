@@ -1,0 +1,136 @@
+#include "permute/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace nullgraph {
+namespace {
+
+TEST(KnuthTargets, BoundsRespected) {
+  const auto targets = knuth_targets(1000, 7);
+  ASSERT_EQ(targets.size(), 1000u);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    EXPECT_LE(targets[i], i) << "H[" << i << "]";
+}
+
+TEST(KnuthTargets, DeterministicPerSeed) {
+  EXPECT_EQ(knuth_targets(100, 5), knuth_targets(100, 5));
+  EXPECT_NE(knuth_targets(100, 5), knuth_targets(100, 6));
+}
+
+TEST(SerialPermute, ProducesPermutation) {
+  std::vector<int> values(500);
+  std::iota(values.begin(), values.end(), 0);
+  serial_permute(std::span<int>(values), 42);
+  auto sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(SerialPermute, ActuallyShuffles) {
+  std::vector<int> values(500);
+  std::iota(values.begin(), values.end(), 0);
+  serial_permute(std::span<int>(values), 42);
+  int fixed_points = 0;
+  for (int i = 0; i < 500; ++i)
+    if (values[i] == i) ++fixed_points;
+  EXPECT_LT(fixed_points, 20);  // E[fixed points] = 1
+}
+
+TEST(ParallelPermute, TinyInputs) {
+  std::vector<int> empty;
+  EXPECT_EQ(parallel_permute(std::span<int>(empty), 1).rounds, 0u);
+  std::vector<int> one{7};
+  parallel_permute(std::span<int>(one), 1);
+  EXPECT_EQ(one[0], 7);
+  std::vector<int> two{1, 2};
+  parallel_permute(std::span<int>(two), 1);
+  std::sort(two.begin(), two.end());
+  EXPECT_EQ(two, (std::vector<int>{1, 2}));
+}
+
+class PermuteEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(PermuteEquivalence, ParallelMatchesSerialExactly) {
+  const auto [n, seed] = GetParam();
+  std::vector<std::uint64_t> serial_values(n), parallel_values(n);
+  std::iota(serial_values.begin(), serial_values.end(), 0u);
+  std::iota(parallel_values.begin(), parallel_values.end(), 0u);
+  serial_permute(std::span<std::uint64_t>(serial_values), seed);
+  const PermuteStats stats =
+      parallel_permute(std::span<std::uint64_t>(parallel_values), seed);
+  EXPECT_EQ(serial_values, parallel_values);
+  if (n >= 2) EXPECT_GE(stats.rounds, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PermuteEquivalence,
+    ::testing::Combine(::testing::Values(2, 3, 4, 10, 63, 64, 1000, 40000),
+                       ::testing::Values(1u, 17u, 0xfeedfaceu)));
+
+TEST(ParallelPermute, RoundsAreLogarithmic) {
+  std::vector<std::uint64_t> values(100000);
+  std::iota(values.begin(), values.end(), 0u);
+  const PermuteStats stats =
+      parallel_permute(std::span<std::uint64_t>(values), 3);
+  // Shun et al.: O(log n) rounds w.h.p.; allow generous slack.
+  EXPECT_LE(stats.rounds, 200u);
+}
+
+TEST(ParallelPermute, UniformOverSmallPermutations) {
+  // n = 4: all 24 permutations should appear with equal frequency across
+  // seeds. Chi-square with 23 dof at alpha ~ 1e-4 is about 58.6.
+  const int trials = 24000;
+  std::map<std::vector<int>, int> counts;
+  for (int seed = 0; seed < trials; ++seed) {
+    std::vector<int> values{0, 1, 2, 3};
+    parallel_permute(std::span<int>(values),
+                     static_cast<std::uint64_t>(seed) * 2654435761u + 1);
+    ++counts[values];
+  }
+  EXPECT_EQ(counts.size(), 24u);
+  const double expected = trials / 24.0;
+  double chi_square = 0.0;
+  for (const auto& [perm, count] : counts) {
+    const double diff = count - expected;
+    chi_square += diff * diff / expected;
+  }
+  EXPECT_LT(chi_square, 58.6);
+}
+
+TEST(ApplyTargets, ExplicitTargetsGiveKnownResult) {
+  // Knuth shuffle by hand: i=3 swap(a[3],a[1]); i=2 swap(a[2],a[0]);
+  // i=1 swap(a[1],a[1]).
+  std::vector<int> values{10, 20, 30, 40};
+  const std::vector<std::uint64_t> targets{0, 1, 0, 1};
+  apply_targets_serial(std::span<int>(values),
+                       std::span<const std::uint64_t>(targets));
+  EXPECT_EQ(values, (std::vector<int>{30, 40, 10, 20}));
+
+  std::vector<int> values2{10, 20, 30, 40};
+  apply_targets_parallel(std::span<int>(values2),
+                         std::span<const std::uint64_t>(targets));
+  EXPECT_EQ(values2, (std::vector<int>{30, 40, 10, 20}));
+}
+
+TEST(ParallelPermute, WorksOnNonTrivialElementType) {
+  struct Pair {
+    int a, b;
+    bool operator==(const Pair&) const = default;
+  };
+  std::vector<Pair> values;
+  for (int i = 0; i < 100; ++i) values.push_back({i, -i});
+  auto copy = values;
+  parallel_permute(std::span<Pair>(values), 5);
+  serial_permute(std::span<Pair>(copy), 5);
+  EXPECT_EQ(values, copy);
+}
+
+}  // namespace
+}  // namespace nullgraph

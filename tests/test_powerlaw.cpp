@@ -1,0 +1,118 @@
+#include "gen/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nullgraph {
+namespace {
+
+TEST(PowerlawDistribution, VertexCountExact) {
+  PowerlawParams params;
+  params.n = 12345;
+  params.dmax = 50;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  EXPECT_EQ(dist.num_vertices(), 12345u);
+}
+
+TEST(PowerlawDistribution, StubTotalEven) {
+  for (std::uint64_t n : {100u, 101u, 9999u}) {
+    PowerlawParams params;
+    params.n = n;
+    params.dmax = 40;
+    const DegreeDistribution dist = powerlaw_distribution(params);
+    EXPECT_EQ(dist.num_stubs() % 2, 0u);
+  }
+}
+
+TEST(PowerlawDistribution, ForcesMaxDegree) {
+  PowerlawParams params;
+  params.n = 5000;
+  params.gamma = 3.0;  // steep: tail would otherwise be empty
+  params.dmax = 200;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  EXPECT_EQ(dist.max_degree(), 200u);
+}
+
+TEST(PowerlawDistribution, GraphicalByDefault) {
+  PowerlawParams params;
+  params.n = 300;
+  params.gamma = 1.5;  // heavy tail, would often fail Erdős–Gallai raw
+  params.dmax = 200;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  EXPECT_TRUE(dist.is_graphical());
+}
+
+TEST(PowerlawDistribution, CountsDecreaseWithDegree) {
+  PowerlawParams params;
+  params.n = 100000;
+  params.gamma = 2.5;
+  params.dmax = 100;
+  params.force_dmax = false;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  // Power law: low-degree classes dominate.
+  EXPECT_GT(dist.classes().front().count, dist.classes().back().count);
+  EXPECT_EQ(dist.min_degree(), 1u);
+}
+
+TEST(PowerlawDistribution, RespectsDmin) {
+  PowerlawParams params;
+  params.n = 1000;
+  params.dmin = 5;
+  params.dmax = 50;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  EXPECT_GE(dist.min_degree(), 5u);
+}
+
+TEST(PowerlawDistribution, RejectsBadParameters) {
+  PowerlawParams params;
+  params.dmin = 10;
+  params.dmax = 5;
+  EXPECT_THROW(powerlaw_distribution(params), std::invalid_argument);
+  params = {};
+  params.dmin = 0;
+  EXPECT_THROW(powerlaw_distribution(params), std::invalid_argument);
+  params = {};
+  params.n = 0;
+  EXPECT_THROW(powerlaw_distribution(params), std::invalid_argument);
+}
+
+TEST(FitPowerlawGamma, HitsTargetAverage) {
+  const double gamma = fit_powerlaw_gamma(10000, 4.0, 1, 200);
+  PowerlawParams params;
+  params.n = 100000;  // large n: apportionment ~ continuous
+  params.gamma = gamma;
+  params.dmax = 200;
+  params.force_dmax = false;
+  const DegreeDistribution dist = powerlaw_distribution(params);
+  EXPECT_NEAR(dist.average_degree(), 4.0, 0.25);
+}
+
+TEST(FitPowerlawGamma, MonotoneInTarget) {
+  const double steep = fit_powerlaw_gamma(1000, 2.0, 1, 100);
+  const double flat = fit_powerlaw_gamma(1000, 10.0, 1, 100);
+  EXPECT_GT(steep, flat);  // lower average needs steeper decay
+}
+
+TEST(SamplePowerlawSequence, BoundsAndParity) {
+  const auto degrees = sample_powerlaw_sequence(10001, 2.5, 2, 60, 9);
+  ASSERT_EQ(degrees.size(), 10001u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 60u);
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0u);
+}
+
+TEST(SamplePowerlawSequence, DeterministicPerSeed) {
+  EXPECT_EQ(sample_powerlaw_sequence(100, 2.0, 1, 30, 5),
+            sample_powerlaw_sequence(100, 2.0, 1, 30, 5));
+  EXPECT_NE(sample_powerlaw_sequence(100, 2.0, 1, 30, 5),
+            sample_powerlaw_sequence(100, 2.0, 1, 30, 6));
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,88 @@
+#include "util/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(ExclusivePrefixSum, EmptyVector) {
+  std::vector<std::uint64_t> values;
+  EXPECT_EQ(exclusive_prefix_sum(values), 0u);
+}
+
+TEST(ExclusivePrefixSum, SingleElement) {
+  std::vector<std::uint64_t> values{7};
+  EXPECT_EQ(exclusive_prefix_sum(values), 7u);
+  EXPECT_EQ(values[0], 0u);
+}
+
+TEST(ExclusivePrefixSum, SmallKnown) {
+  std::vector<std::uint64_t> values{1, 2, 3, 4};
+  EXPECT_EQ(exclusive_prefix_sum(values), 10u);
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{0, 1, 3, 6}));
+}
+
+TEST(InclusivePrefixSum, SmallKnown) {
+  std::vector<std::uint64_t> values{1, 2, 3, 4};
+  EXPECT_EQ(inclusive_prefix_sum(values), 10u);
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 3, 6, 10}));
+}
+
+TEST(InclusivePrefixSum, Empty) {
+  std::vector<std::int64_t> values;
+  EXPECT_EQ(inclusive_prefix_sum(values), 0);
+}
+
+TEST(ExclusivePrefixSum, SignedValues) {
+  std::vector<std::int64_t> values{5, -3, 2, -4};
+  EXPECT_EQ(exclusive_prefix_sum(values), 0);
+  EXPECT_EQ(values, (std::vector<std::int64_t>{0, 5, 2, 4}));
+}
+
+TEST(ExclusivePrefixSum, DoubleValues) {
+  std::vector<double> values{0.5, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(exclusive_prefix_sum(values), 4.0);
+  EXPECT_DOUBLE_EQ(values[2], 2.0);
+}
+
+class PrefixSumSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(PrefixSumSweep, MatchesStdExclusiveScan) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256ss rng(seed);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng.bounded(1000);
+  std::vector<std::uint64_t> expected(n);
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(), 0ULL);
+  const std::uint64_t total =
+      std::accumulate(values.begin(), values.end(), 0ULL);
+  EXPECT_EQ(exclusive_prefix_sum(values), total);
+  EXPECT_EQ(values, expected);
+}
+
+TEST_P(PrefixSumSweep, MatchesStdInclusiveScan) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256ss rng(seed ^ 0xabcdef);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng.bounded(1000);
+  std::vector<std::uint64_t> expected(n);
+  std::inclusive_scan(values.begin(), values.end(), expected.begin());
+  inclusive_prefix_sum(values);
+  EXPECT_EQ(values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PrefixSumSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 15, 64, 1000, 65537),
+                       ::testing::Values(1u, 42u, 20260705u)));
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,141 @@
+#include "prob/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace nullgraph {
+namespace {
+
+DegreeDistribution skewed_distribution() {
+  PowerlawParams params;
+  params.n = 2000;
+  params.gamma = 2.2;
+  params.dmin = 1;
+  params.dmax = 200;
+  return powerlaw_distribution(params);
+}
+
+TEST(ChungLuProbabilities, MatchesFormulaWhenUncapped) {
+  const DegreeDistribution dist({{2, 50}, {4, 25}});
+  const double two_m = static_cast<double>(dist.num_stubs());
+  const ProbabilityMatrix P = chung_lu_probabilities(dist);
+  EXPECT_NEAR(P.at(0, 0), 4.0 / two_m, 1e-12);
+  EXPECT_NEAR(P.at(0, 1), 8.0 / two_m, 1e-12);
+  EXPECT_NEAR(P.at(1, 1), 16.0 / two_m, 1e-12);
+}
+
+TEST(ChungLuProbabilities, CapsAtOne) {
+  // Hub degree so large that d_i d_j > 2m.
+  const DegreeDistribution dist({{100, 1}, {1, 100}});
+  const ProbabilityMatrix P = chung_lu_probabilities(dist);
+  EXPECT_DOUBLE_EQ(P.at(1, 1), 1.0);  // 100*100/200 = 50, capped
+  EXPECT_LE(P.max_value(), 1.0);
+}
+
+TEST(ChungLuProbabilities, SkewedHasLargeDegreeError) {
+  // The motivating failure (Figures 1-2): capped CL misses the max degree.
+  const DegreeDistribution dist = as20_like();
+  const ProbabilityMatrix P = chung_lu_probabilities(dist);
+  const ProbabilityDiagnostics diag = diagnose(P, dist);
+  EXPECT_GT(diag.max_relative_degree_error, 0.10);
+}
+
+TEST(GreedyProbabilities, EntriesAreProbabilities) {
+  const ProbabilityMatrix P = greedy_probabilities(skewed_distribution());
+  EXPECT_LE(P.max_value(), 1.0 + 1e-12);
+}
+
+TEST(GreedyProbabilities, SolvesExpectedDegreeSystemOnSkewedInput) {
+  const DegreeDistribution dist = skewed_distribution();
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  const ProbabilityDiagnostics diag = diagnose(P, dist);
+  // The paper's claim for its probability step: expected output matches the
+  // input distribution. Our allocator should land within a few percent on
+  // every class and much closer in aggregate.
+  EXPECT_LT(diag.max_relative_degree_error, 0.05)
+      << "worst class off by more than 5%";
+  EXPECT_LT(diag.relative_edge_error, 0.01);
+  EXPECT_LT(diag.total_relative_stub_error, 0.01);
+}
+
+TEST(GreedyProbabilities, MatchesMaxDegreeClassTightly) {
+  const DegreeDistribution dist = as20_like();
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  const std::size_t top = dist.num_classes() - 1;
+  const double expected = P.expected_degree(top, dist);
+  const double target = static_cast<double>(dist.max_degree());
+  EXPECT_NEAR(expected / target, 1.0, 0.02);
+}
+
+TEST(GreedyProbabilities, RegularGraphExactSolution) {
+  const DegreeDistribution dist({{3, 10}});
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  EXPECT_NEAR(P.at(0, 0), 3.0 / 9.0, 1e-9);
+}
+
+TEST(GreedyProbabilities, CompleteGraphHitsCap) {
+  // degree n-1 for all vertices: only K_n works, P must be 1.
+  const DegreeDistribution dist({{4, 5}});
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  EXPECT_NEAR(P.at(0, 0), 1.0, 1e-9);
+}
+
+TEST(StubMatchingProbabilities, EntriesAreProbabilities) {
+  const ProbabilityMatrix P = stub_matching_probabilities(skewed_distribution());
+  EXPECT_LE(P.max_value(), 1.0 + 1e-12);
+  EXPECT_GE(P.max_value(), 0.0);
+}
+
+TEST(StubMatchingProbabilities, ReasonableExpectedEdges) {
+  const DegreeDistribution dist = skewed_distribution();
+  const ProbabilityMatrix P = stub_matching_probabilities(dist);
+  const ProbabilityDiagnostics diag = diagnose(P, dist);
+  // The paper's heuristic is looser than the greedy allocator but must stay
+  // in the right ballpark ("error is small for non-contrived networks").
+  EXPECT_LT(diag.relative_edge_error, 0.25);
+}
+
+TEST(RefineProbabilities, ImprovesChungLuDegreeError) {
+  const DegreeDistribution dist = as20_like();
+  ProbabilityMatrix P = chung_lu_probabilities(dist);
+  const double before = diagnose(P, dist).total_relative_stub_error;
+  refine_probabilities(P, dist, 32);
+  const double after = diagnose(P, dist).total_relative_stub_error;
+  EXPECT_LT(after, before);
+}
+
+TEST(RefineProbabilities, KeepsEntriesInRange) {
+  const DegreeDistribution dist = skewed_distribution();
+  ProbabilityMatrix P = chung_lu_probabilities(dist);
+  refine_probabilities(P, dist, 8);
+  EXPECT_LE(P.max_value(), 1.0 + 1e-12);
+}
+
+TEST(GreedyProbabilities, EmptyDistribution) {
+  const DegreeDistribution dist;
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  EXPECT_EQ(P.num_classes(), 0u);
+}
+
+class HeuristicDatasetSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HeuristicDatasetSweep, GreedyResidualsSmallOnPaperDatasets) {
+  const auto spec = find_dataset(GetParam());
+  ASSERT_TRUE(spec.has_value());
+  // Small scale keeps the sweep fast; the shapes stay skewed.
+  const DegreeDistribution dist =
+      build_dataset(*spec, std::min(1.0, 20000.0 / spec->n));
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  const ProbabilityDiagnostics diag = diagnose(P, dist);
+  EXPECT_LT(diag.relative_edge_error, 0.02) << GetParam();
+  EXPECT_LT(diag.max_relative_degree_error, 0.10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, HeuristicDatasetSweep,
+                         ::testing::Values("Meso", "as20", "WikiTalk",
+                                           "LiveJournal"));
+
+}  // namespace
+}  // namespace nullgraph

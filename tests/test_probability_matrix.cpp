@@ -1,0 +1,121 @@
+#include "prob/probability_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nullgraph {
+namespace {
+
+TEST(ProbabilityMatrix, SymmetricStorage) {
+  ProbabilityMatrix matrix(3);
+  matrix.set(2, 0, 0.25);
+  EXPECT_DOUBLE_EQ(matrix.at(0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(matrix.at(2, 0), 0.25);
+  matrix.set(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(matrix.at(2, 0), 0.5);
+}
+
+TEST(ProbabilityMatrix, ZeroInitialized) {
+  const ProbabilityMatrix matrix(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(matrix.at(i, j), 0.0);
+}
+
+TEST(ProbabilityMatrix, AddAccumulates) {
+  ProbabilityMatrix matrix(2);
+  matrix.add(0, 1, 0.1);
+  matrix.add(1, 0, 0.2);
+  EXPECT_NEAR(matrix.at(0, 1), 0.3, 1e-12);
+}
+
+TEST(ProbabilityMatrix, ClampBoundsEntries) {
+  ProbabilityMatrix matrix(2);
+  matrix.set(0, 0, 1.7);
+  matrix.set(0, 1, -0.3);
+  matrix.set(1, 1, 0.4);
+  matrix.clamp();
+  EXPECT_DOUBLE_EQ(matrix.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 1), 0.4);
+}
+
+TEST(ProbabilityMatrix, MaxValue) {
+  ProbabilityMatrix matrix(3);
+  matrix.set(1, 2, 0.6);
+  matrix.set(0, 0, 0.2);
+  EXPECT_DOUBLE_EQ(matrix.max_value(), 0.6);
+}
+
+TEST(ProbabilityMatrix, ExpectedDegreeMatchesHandComputation) {
+  // classes: degree 1 x 2 vertices, degree 2 x 2 vertices.
+  const DegreeDistribution dist({{1, 2}, {2, 2}});
+  ProbabilityMatrix matrix(2);
+  matrix.set(0, 0, 0.1);
+  matrix.set(0, 1, 0.2);
+  matrix.set(1, 1, 0.3);
+  // class 0: 2*0.1 + 2*0.2 - 0.1 = 0.5
+  EXPECT_NEAR(matrix.expected_degree(0, dist), 0.5, 1e-12);
+  // class 1: 2*0.2 + 2*0.3 - 0.3 = 0.7
+  EXPECT_NEAR(matrix.expected_degree(1, dist), 0.7, 1e-12);
+}
+
+TEST(ProbabilityMatrix, ExpectedEdgesMatchesHandComputation) {
+  const DegreeDistribution dist({{1, 2}, {2, 2}});
+  ProbabilityMatrix matrix(2);
+  matrix.set(0, 0, 0.1);
+  matrix.set(0, 1, 0.2);
+  matrix.set(1, 1, 0.3);
+  // C(2,2)*0.1 + 2*2*0.2 + C(2,2)*0.3 = 0.1 + 0.8 + 0.3
+  EXPECT_NEAR(matrix.expected_edges(dist), 1.2, 1e-12);
+}
+
+TEST(ProbabilityMatrix, L1Distance) {
+  ProbabilityMatrix a(2), b(2);
+  a.set(0, 0, 0.5);
+  b.set(0, 1, 0.25);
+  EXPECT_NEAR(ProbabilityMatrix::l1_distance(a, b), 0.75, 1e-12);
+  EXPECT_NEAR(ProbabilityMatrix::l1_distance(a, a), 0.0, 1e-12);
+}
+
+TEST(Diagnose, PerfectMatrixHasTinyErrors) {
+  // Regular graph: every vertex degree 3, n = 10; P = 3/9 on the single
+  // class solves the system exactly.
+  const DegreeDistribution dist({{3, 10}});
+  ProbabilityMatrix matrix(1);
+  matrix.set(0, 0, 3.0 / 9.0);
+  const ProbabilityDiagnostics diag = diagnose(matrix, dist);
+  EXPECT_NEAR(diag.max_relative_degree_error, 0.0, 1e-12);
+  EXPECT_NEAR(diag.relative_edge_error, 0.0, 1e-12);
+  EXPECT_NEAR(diag.max_probability, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Diagnose, ReportsDegreeError) {
+  const DegreeDistribution dist({{3, 10}});
+  ProbabilityMatrix matrix(1);
+  matrix.set(0, 0, 0.5);  // expected degree 4.5 instead of 3
+  const ProbabilityDiagnostics diag = diagnose(matrix, dist);
+  EXPECT_NEAR(diag.max_relative_degree_error, 0.5, 1e-12);
+}
+
+
+TEST(ProbabilityMatrix, WeightedL1CountsPairSpaces) {
+  // classes: degree 1 x 2, degree 2 x 3 -> spaces: C(2,2)=1, 2*3=6,
+  // C(3,2)=3 pairs.
+  const DegreeDistribution dist({{1, 2}, {2, 4}});
+  ProbabilityMatrix a(2), b(2);
+  a.set(0, 0, 0.5);   // diagonal space: C(2,2) = 1 pair
+  b.set(1, 0, 0.25);  // cross space: 2*4 = 8 pairs
+  a.set(1, 1, 0.1);   // diagonal space: C(4,2) = 6 pairs
+  // |0.5|*1 + |0.25|*8 + |0.1|*6 = 0.5 + 2 + 0.6
+  EXPECT_NEAR(ProbabilityMatrix::weighted_l1_distance(a, b, dist), 3.1,
+              1e-12);
+}
+
+TEST(ProbabilityMatrix, WeightedL1ZeroForIdenticalMatrices) {
+  const DegreeDistribution dist({{1, 2}, {2, 4}});
+  ProbabilityMatrix a(2);
+  a.set(1, 0, 0.3);
+  EXPECT_DOUBLE_EQ(ProbabilityMatrix::weighted_l1_distance(a, a, dist), 0.0);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nullgraph {
+namespace {
+
+TEST(Splitmix64, IsDeterministic) {
+  std::uint64_t a = 42, b = 42;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(splitmix64_next(a), splitmix64_next(b));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t state = 7;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(Splitmix64, KnownVector) {
+  // Reference value for seed 0 from the splitmix64 reference code.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnit) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformOpenNeverZero) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_open();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_TRUE(std::isfinite(std::log(u)));
+  }
+}
+
+TEST(Xoshiro, UniformMeanNearHalf) {
+  Xoshiro256ss rng(99);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BoundedStaysInBound) {
+  Xoshiro256ss rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BoundedOneAlwaysZero) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro, BoundedRoughlyUniform) {
+  Xoshiro256ss rng(17);
+  const std::uint64_t bound = 8;
+  std::vector<int> counts(bound, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(bound)];
+  for (std::uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / static_cast<int>(bound), n / 100);
+  }
+}
+
+TEST(Xoshiro, FlipIsFair) {
+  Xoshiro256ss rng(23);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.flip() ? 1 : 0;
+  EXPECT_NEAR(heads, n / 2, n / 50);
+}
+
+TEST(Xoshiro, LongJumpDecorrelates) {
+  Xoshiro256ss a(77);
+  Xoshiro256ss b = a;
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngPool, SizeDefaultsToThreads) {
+  RngPool pool(1);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(RngPool, ExplicitSize) {
+  RngPool pool(1, 7);
+  EXPECT_EQ(pool.size(), 7);
+}
+
+TEST(RngPool, StreamsAreDistinct) {
+  RngPool pool(42, 4);
+  std::set<std::uint64_t> firsts;
+  for (int s = 0; s < 4; ++s) firsts.insert(pool.stream(s).next());
+  EXPECT_EQ(firsts.size(), 4u);
+}
+
+TEST(RngPool, ReproducibleForSeed) {
+  RngPool a(5, 3), b(5, 3);
+  for (int s = 0; s < 3; ++s)
+    EXPECT_EQ(a.stream(s).next(), b.stream(s).next());
+}
+
+class XoshiroSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XoshiroSeedSweep, MomentsLookUniform) {
+  Xoshiro256ss rng(GetParam());
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0 / 3.0, 0.02);  // E[U^2] for U(0,1)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XoshiroSeedSweep,
+                         ::testing::Values(0, 1, 2, 1234567, 0xdeadbeef,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,168 @@
+// Failure-injection and extreme-input tests: boundary ids, degenerate
+// distributions, capacity edges, and invalid-input error paths across
+// modules — the inputs a downstream user will eventually feed us.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/double_edge_swap.hpp"
+#include "core/null_model.hpp"
+#include "ds/concurrent_hash_set.hpp"
+#include "ds/csr_graph.hpp"
+#include "ds/degree_distribution.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/havel_hakimi.hpp"
+#include "prob/heuristics.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace nullgraph {
+namespace {
+
+TEST(Robustness, LargeVertexIdsSurviveRoundTrips) {
+  const VertexId big = 0xfffffff0u;
+  const EdgeList edges{{big, big - 1}, {big - 2, big - 3}};
+  EXPECT_TRUE(is_simple(edges));
+  const SimplicityCensus c = census(edges);
+  EXPECT_TRUE(c.simple());
+  // degrees_of on such ids would need 16 GB; census/key paths must not.
+  EXPECT_EQ(Edge::from_key(edges[0].key()), edges[0].canonical());
+}
+
+TEST(Robustness, SingleVertexDistributions) {
+  // Degree 0, one vertex: trivially graphical, generates nothing.
+  const DegreeDistribution dist({{0, 1}});
+  EXPECT_TRUE(dist.is_graphical());
+  const GenerateResult result = generate_null_graph(dist);
+  EXPECT_TRUE(result.edges.empty());
+}
+
+TEST(Robustness, AllZeroDegrees) {
+  const DegreeDistribution dist({{0, 1000}});
+  EXPECT_EQ(dist.num_edges(), 0u);
+  EXPECT_TRUE(generate_null_graph(dist).edges.empty());
+  EXPECT_TRUE(havel_hakimi(dist).empty());
+}
+
+TEST(Robustness, TwoVerticesOneEdge) {
+  const DegreeDistribution dist({{1, 2}});
+  const GenerateResult result = generate_null_graph(dist);
+  // The only simple realization is the single edge; swaps cannot break it.
+  EXPECT_LE(result.edges.size(), 1u);
+  EXPECT_TRUE(is_simple(result.edges));
+  EXPECT_EQ(havel_hakimi(dist).size(), 1u);
+}
+
+TEST(Robustness, HugeDegreesInDistributionArithmetic) {
+  // Stub totals near 2^40: moments must not overflow.
+  const std::uint64_t d = 1ULL << 20;
+  const DegreeDistribution dist({{d, 1ULL << 20}});
+  EXPECT_EQ(dist.num_stubs(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(dist.average_degree(), static_cast<double>(d));
+  // d = n - ... not graphical? degree 2^20 among 2^20 vertices: max simple
+  // degree is n-1 = 2^20 - 1 < d -> not graphical.
+  EXPECT_FALSE(dist.is_graphical());
+}
+
+TEST(Robustness, ExactCapacityHashSet) {
+  // Insert exactly expected_keys distinct keys twice; capacity math must
+  // hold with zero headroom misjudgment.
+  for (std::size_t keys : {1ul, 2ul, 15ul, 16ul, 17ul, 1023ul, 1024ul}) {
+    ConcurrentHashSet set(keys);
+    for (std::uint64_t k = 1; k <= keys; ++k)
+      EXPECT_FALSE(set.test_and_set(k * 0x9e3779b97f4a7c15ULL | 1));
+    for (std::uint64_t k = 1; k <= keys; ++k)
+      EXPECT_TRUE(set.test_and_set(k * 0x9e3779b97f4a7c15ULL | 1));
+  }
+}
+
+TEST(Robustness, SwapOddEdgeCountLeavesLastEdgeAlone) {
+  EdgeList edges{{0, 1}, {2, 3}, {4, 5}};
+  swap_edges(edges, {.iterations = 4, .seed = 1});
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_TRUE(is_simple(edges));
+}
+
+TEST(Robustness, SwapAllMultiEdgeInput) {
+  // Pathological input: m copies of the same edge. Swaps cannot fix a
+  // 2-vertex multigraph (every proposal is a loop or duplicate), but must
+  // not crash or lose edges.
+  EdgeList edges(10, Edge{0, 1});
+  swap_edges(edges, {.iterations = 5, .seed = 2});
+  EXPECT_EQ(edges.size(), 10u);
+  const auto degrees = degrees_of(edges);
+  EXPECT_EQ(degrees[0] + degrees[1], 20u);
+}
+
+TEST(Robustness, EdgeSkipNearZeroProbability) {
+  // p so small the first skip usually overshoots a big space: must not
+  // hang, overflow, or emit out-of-range pairs.
+  const DegreeDistribution dist({{2, 2'000'000}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, 1e-12);
+  const EdgeList edges = edge_skip_generate(P, dist, {.seed = 3});
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 2'000'000u);
+    EXPECT_LT(e.v, 2'000'000u);
+  }
+  EXPECT_LT(edges.size(), 100u);  // expectation = 2e-12 * 2e12 = 2
+}
+
+TEST(Robustness, EdgeSkipProbabilityAboveOneClamps) {
+  // clamp() guards the generators, but edge_skip itself must also treat
+  // p >= 1 as "take everything" rather than looping.
+  const DegreeDistribution dist({{2, 50}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, 1.5);
+  EXPECT_EQ(edge_skip_generate(P, dist).size(), 50u * 49u / 2u);
+}
+
+TEST(Robustness, ChungLuZeroEdgeDistributionReturnsEmpty) {
+  // All weight on vertices with degree 0: m = 0, nothing to draw.
+  const DegreeDistribution dist({{0, 10}});
+  EXPECT_TRUE(chung_lu_multigraph(dist).empty());
+  EXPECT_TRUE(erased_chung_lu(dist).empty());
+  EXPECT_TRUE(bernoulli_chung_lu(dist).empty());
+}
+
+TEST(Robustness, GreedyProbabilitiesDegenerateInputs) {
+  // Single vertex with nonzero degree is not realizable (no partner);
+  // the solver must not crash and diagnostics must expose the residual.
+  const DegreeDistribution dist({{2, 1}});
+  const ProbabilityMatrix P = greedy_probabilities(dist);
+  const ProbabilityDiagnostics diag = diagnose(P, dist);
+  EXPECT_EQ(diag.max_relative_degree_error, 1.0);  // nothing allocatable
+}
+
+TEST(Robustness, CsrGraphSingleVertexSelfLoop) {
+  const CsrGraph graph(EdgeList{{0, 0}});
+  EXPECT_EQ(graph.num_vertices(), 1u);
+  EXPECT_EQ(graph.degree(0), 2u);
+  EXPECT_TRUE(graph.has_edge(0, 0));
+}
+
+TEST(Robustness, GenerateForSequenceAllEqualDegrees) {
+  const std::vector<std::uint64_t> degrees(64, 3);
+  const GenerateResult result = generate_for_sequence(degrees);
+  EXPECT_TRUE(is_simple(result.edges));
+  const auto realized = degrees_of(result.edges, 64);
+  double mean = 0;
+  for (auto d : realized) mean += static_cast<double>(d);
+  EXPECT_NEAR(mean / 64.0, 3.0, 0.75);
+}
+
+TEST(Robustness, ShuffleGraphWithLoopsAndDuplicatesImproves) {
+  // shuffle_graph on a dirty input: simplicity violations cannot increase.
+  EdgeList dirty{{0, 0}, {1, 2}, {1, 2}, {3, 4}, {5, 6}, {7, 8}, {2, 3}};
+  const SimplicityCensus before = census(dirty);
+  const GenerateResult result = shuffle_graph(std::move(dirty),
+                                              {.seed = 5,
+                                               .swap_iterations = 20});
+  const SimplicityCensus after = census(result.edges);
+  EXPECT_LE(after.self_loops + after.multi_edges,
+            before.self_loops + before.multi_edges);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -1,0 +1,68 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nullgraph {
+namespace {
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double before = watch.seconds();
+  watch.reset();
+  EXPECT_LE(watch.seconds(), before + 1.0);
+}
+
+TEST(PhaseTimer, RecordsPhases) {
+  PhaseTimer timer;
+  timer.start("a");
+  timer.stop();
+  timer.start("b");
+  timer.stop();
+  EXPECT_EQ(timer.phases().size(), 2u);
+  EXPECT_GE(timer.seconds("a"), 0.0);
+  EXPECT_GE(timer.seconds("b"), 0.0);
+}
+
+TEST(PhaseTimer, UnknownPhaseIsZero) {
+  PhaseTimer timer;
+  EXPECT_EQ(timer.seconds("never"), 0.0);
+}
+
+TEST(PhaseTimer, RepeatedPhaseAccumulates) {
+  PhaseTimer timer;
+  timer.start("x");
+  timer.stop();
+  const double first = timer.seconds("x");
+  timer.start("x");
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  timer.stop();
+  EXPECT_GE(timer.seconds("x"), first);
+  EXPECT_EQ(timer.phases().size(), 1u);
+}
+
+TEST(PhaseTimer, StopWithoutStartIsNoop) {
+  PhaseTimer timer;
+  timer.stop();
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+TEST(PhaseTimer, TotalIsSumOfPhases) {
+  PhaseTimer timer;
+  timer.start("a");
+  timer.stop();
+  timer.start("b");
+  timer.stop();
+  EXPECT_DOUBLE_EQ(timer.total_seconds(),
+                   timer.seconds("a") + timer.seconds("b"));
+}
+
+}  // namespace
+}  // namespace nullgraph

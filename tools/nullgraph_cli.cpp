@@ -1,0 +1,242 @@
+// nullgraph — command-line front end for the library.
+//
+//   nullgraph generate --dist FILE [--seed S] [--swaps K] [--out FILE]
+//   nullgraph generate --powerlaw N GAMMA DMIN DMAX [...]
+//   nullgraph shuffle  --in FILE [--seed S] [--swaps K] [--out FILE]
+//   nullgraph stats    --in FILE
+//   nullgraph lfr      --n N --mu MU [--seed S] [--out FILE]
+//   nullgraph dist     --in FILE [--out FILE]     (edge list -> distribution)
+//
+// Exit status 0 on success, 1 on bad usage, 2 on runtime failure.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/gini.hpp"
+#include "analysis/metrics.hpp"
+#include "core/null_model.hpp"
+#include "ds/csr_graph.hpp"
+#include "analysis/motifs.hpp"
+#include "gen/powerlaw.hpp"
+#include "io/graph_io.hpp"
+#include "lfr/lfr.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  std::optional<std::string> get(const std::string& key) const {
+    for (const auto& [k, v] : options)
+      if (k == key) return v;
+    return std::nullopt;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto value = get(key);
+    return value ? std::strtoull(value->c_str(), nullptr, 10) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    return value ? std::atof(value->c_str()) : fallback;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options.emplace_back(key, argv[++i]);
+      } else {
+        args.options.emplace_back(key, "");
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+void print_graph_stats(const EdgeList& edges) {
+  const std::size_t n = vertex_count(edges);
+  const auto degrees = degrees_of(edges, n);
+  std::uint64_t dmax = 0;
+  for (std::uint64_t d : degrees) dmax = std::max(dmax, d);
+  const SimplicityCensus c = census(edges);
+  std::printf("vertices:      %zu\n", n);
+  std::printf("edges:         %zu\n", edges.size());
+  std::printf("avg degree:    %.3f\n",
+              n ? 2.0 * static_cast<double>(edges.size()) /
+                      static_cast<double>(n)
+                : 0.0);
+  std::printf("max degree:    %llu\n", static_cast<unsigned long long>(dmax));
+  std::printf("gini:          %.4f\n", gini_coefficient(degrees));
+  std::printf("assortativity: %+.4f\n", degree_assortativity(edges));
+  std::printf("self loops:    %zu\n", c.self_loops);
+  std::printf("multi edges:   %zu\n", c.multi_edges);
+  if (edges.size() < 5'000'000) {
+    const CsrGraph graph(edges, n);
+    std::printf("triangles:     %llu\n",
+                static_cast<unsigned long long>(count_triangles(graph)));
+    std::printf("clustering:    %.5f\n", global_clustering(graph));
+  }
+}
+
+int cmd_generate(const Args& args) {
+  DegreeDistribution dist;
+  if (const auto file = args.get("dist")) {
+    dist = read_degree_distribution_file(*file);
+  } else if (args.get("powerlaw")) {
+    PowerlawParams params;
+    params.n = args.get_u64("n", 100000);
+    params.gamma = args.get_double("gamma", 2.5);
+    params.dmin = args.get_u64("dmin", 1);
+    params.dmax = args.get_u64("dmax", 1000);
+    dist = powerlaw_distribution(params);
+  } else {
+    std::fprintf(stderr, "generate: need --dist FILE or --powerlaw\n");
+    return 1;
+  }
+  GenerateConfig config;
+  config.seed = args.get_u64("seed", 1);
+  config.swap_iterations = args.get_u64("swaps", 10);
+  const GenerateResult result = generate_null_graph(dist, config);
+  const QualityErrors errors = quality_errors(dist, result.edges);
+  std::fprintf(stderr,
+               "generated %zu edges (target %llu); err: edges %.2f%% dmax "
+               "%.2f%%; %.3f s\n",
+               result.edges.size(),
+               static_cast<unsigned long long>(dist.num_edges()),
+               100 * errors.edge_count, 100 * errors.max_degree,
+               result.timing.total_seconds());
+  if (const auto out = args.get("out")) {
+    write_edge_list_file(*out, result.edges);
+  } else {
+    print_graph_stats(result.edges);
+  }
+  return 0;
+}
+
+int cmd_shuffle(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::fprintf(stderr, "shuffle: need --in FILE\n");
+    return 1;
+  }
+  EdgeList edges = read_edge_list_file(*in);
+  GenerateConfig config;
+  config.seed = args.get_u64("seed", 1);
+  config.swap_iterations = args.get_u64("swaps", 10);
+  const GenerateResult result = shuffle_graph(std::move(edges), config);
+  std::fprintf(stderr, "shuffled: %zu swaps committed over %zu iterations\n",
+               result.swap_stats.total_swapped(),
+               result.swap_stats.iterations.size());
+  if (const auto out = args.get("out")) {
+    write_edge_list_file(*out, result.edges);
+  } else {
+    print_graph_stats(result.edges);
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::fprintf(stderr, "stats: need --in FILE\n");
+    return 1;
+  }
+  print_graph_stats(read_edge_list_file(*in));
+  return 0;
+}
+
+int cmd_lfr(const Args& args) {
+  LfrParams params;
+  params.n = args.get_u64("n", 10000);
+  params.mu = args.get_double("mu", 0.3);
+  params.dmin = args.get_u64("dmin", 4);
+  params.dmax = args.get_u64("dmax", 100);
+  params.cmin = args.get_u64("cmin", 32);
+  params.cmax = args.get_u64("cmax", 512);
+  params.seed = args.get_u64("seed", 1);
+  const LfrGraph graph = generate_lfr(params);
+  std::fprintf(stderr, "lfr: %zu edges, %zu communities, achieved mu %.4f\n",
+               graph.edges.size(), graph.num_communities, graph.achieved_mu);
+  if (const auto out = args.get("out")) {
+    write_edge_list_file(*out, graph.edges);
+    if (const auto comm = args.get("communities")) {
+      std::FILE* f = std::fopen(comm->c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", comm->c_str());
+        return 2;
+      }
+      for (std::size_t v = 0; v < graph.community.size(); ++v)
+        std::fprintf(f, "%zu %u\n", v, graph.community[v]);
+      std::fclose(f);
+    }
+  } else {
+    print_graph_stats(graph.edges);
+  }
+  return 0;
+}
+
+int cmd_dist(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::fprintf(stderr, "dist: need --in FILE\n");
+    return 1;
+  }
+  const DegreeDistribution dist =
+      DegreeDistribution::from_edges(read_edge_list_file(*in));
+  if (const auto out = args.get("out")) {
+    write_degree_distribution_file(*out, dist);
+  } else {
+    for (const DegreeClass& c : dist.classes())
+      std::printf("%llu %llu\n", static_cast<unsigned long long>(c.degree),
+                  static_cast<unsigned long long>(c.count));
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: nullgraph <command> [options]\n"
+               "  generate --dist FILE | --powerlaw [--n N --gamma G --dmin "
+               "D --dmax D]  [--seed S --swaps K --out FILE]\n"
+               "  shuffle  --in FILE [--seed S --swaps K --out FILE]\n"
+               "  stats    --in FILE\n"
+               "  lfr      [--n N --mu MU --dmin D --dmax D --cmin C --cmax "
+               "C --seed S --out FILE --communities FILE]\n"
+               "  dist     --in FILE [--out FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "shuffle") return cmd_shuffle(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "lfr") return cmd_lfr(args);
+    if (command == "dist") return cmd_dist(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  usage();
+  return 1;
+}
