@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hashset.dir/bench_ablation_hashset.cpp.o"
+  "CMakeFiles/bench_ablation_hashset.dir/bench_ablation_hashset.cpp.o.d"
+  "bench_ablation_hashset"
+  "bench_ablation_hashset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prob.dir/bench_ablation_prob.cpp.o"
+  "CMakeFiles/bench_ablation_prob.dir/bench_ablation_prob.cpp.o.d"
+  "bench_ablation_prob"
+  "bench_ablation_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

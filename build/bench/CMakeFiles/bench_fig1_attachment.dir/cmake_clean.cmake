@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_attachment.dir/bench_fig1_attachment.cpp.o"
+  "CMakeFiles/bench_fig1_attachment.dir/bench_fig1_attachment.cpp.o.d"
+  "bench_fig1_attachment"
+  "bench_fig1_attachment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_attachment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

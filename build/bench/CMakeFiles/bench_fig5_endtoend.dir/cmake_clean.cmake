@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_endtoend.dir/bench_fig5_endtoend.cpp.o"
+  "CMakeFiles/bench_fig5_endtoend.dir/bench_fig5_endtoend.cpp.o.d"
+  "bench_fig5_endtoend"
+  "bench_fig5_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

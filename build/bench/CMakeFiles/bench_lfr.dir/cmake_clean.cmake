@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lfr.dir/bench_lfr.cpp.o"
+  "CMakeFiles/bench_lfr.dir/bench_lfr.cpp.o.d"
+  "bench_lfr"
+  "bench_lfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

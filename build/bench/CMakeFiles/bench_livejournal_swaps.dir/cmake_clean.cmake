@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_livejournal_swaps.dir/bench_livejournal_swaps.cpp.o"
+  "CMakeFiles/bench_livejournal_swaps.dir/bench_livejournal_swaps.cpp.o.d"
+  "bench_livejournal_swaps"
+  "bench_livejournal_swaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_livejournal_swaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_livejournal_swaps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewire.dir/bench_rewire.cpp.o"
+  "CMakeFiles/bench_rewire.dir/bench_rewire.cpp.o.d"
+  "bench_rewire"
+  "bench_rewire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

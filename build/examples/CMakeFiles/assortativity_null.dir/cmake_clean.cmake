@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assortativity_null.dir/assortativity_null.cpp.o"
+  "CMakeFiles/assortativity_null.dir/assortativity_null.cpp.o.d"
+  "assortativity_null"
+  "assortativity_null.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assortativity_null.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

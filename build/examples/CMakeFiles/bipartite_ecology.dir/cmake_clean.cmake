@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_ecology.dir/bipartite_ecology.cpp.o"
+  "CMakeFiles/bipartite_ecology.dir/bipartite_ecology.cpp.o.d"
+  "bipartite_ecology"
+  "bipartite_ecology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_ecology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

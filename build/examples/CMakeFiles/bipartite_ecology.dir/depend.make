@@ -1,0 +1,2 @@
+# Empty dependencies file for bipartite_ecology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_null.dir/directed_null.cpp.o"
+  "CMakeFiles/directed_null.dir/directed_null.cpp.o.d"
+  "directed_null"
+  "directed_null.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_null.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfr_benchmark.dir/lfr_benchmark.cpp.o"
+  "CMakeFiles/lfr_benchmark.dir/lfr_benchmark.cpp.o.d"
+  "lfr_benchmark"
+  "lfr_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfr_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_significance.dir/motif_significance.cpp.o"
+  "CMakeFiles/motif_significance.dir/motif_significance.cpp.o.d"
+  "motif_significance"
+  "motif_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

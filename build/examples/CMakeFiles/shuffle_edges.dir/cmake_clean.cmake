@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_edges.dir/shuffle_edges.cpp.o"
+  "CMakeFiles/shuffle_edges.dir/shuffle_edges.cpp.o.d"
+  "shuffle_edges"
+  "shuffle_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

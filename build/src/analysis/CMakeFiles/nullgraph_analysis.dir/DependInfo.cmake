@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attachment.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/attachment.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/attachment.cpp.o.d"
+  "/root/repo/src/analysis/community.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/community.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/community.cpp.o.d"
+  "/root/repo/src/analysis/components.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/components.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/components.cpp.o.d"
+  "/root/repo/src/analysis/gini.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/gini.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/gini.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/motifs.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/motifs.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/motifs.cpp.o.d"
+  "/root/repo/src/analysis/paths.cpp" "src/analysis/CMakeFiles/nullgraph_analysis.dir/paths.cpp.o" "gcc" "src/analysis/CMakeFiles/nullgraph_analysis.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/nullgraph_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_analysis.dir/attachment.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/attachment.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/community.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/community.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/components.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/components.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/gini.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/gini.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/motifs.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/motifs.cpp.o.d"
+  "CMakeFiles/nullgraph_analysis.dir/paths.cpp.o"
+  "CMakeFiles/nullgraph_analysis.dir/paths.cpp.o.d"
+  "libnullgraph_analysis.a"
+  "libnullgraph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

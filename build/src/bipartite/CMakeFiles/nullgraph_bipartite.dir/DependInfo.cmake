@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bipartite/bipartite.cpp" "src/bipartite/CMakeFiles/nullgraph_bipartite.dir/bipartite.cpp.o" "gcc" "src/bipartite/CMakeFiles/nullgraph_bipartite.dir/bipartite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/directed/CMakeFiles/nullgraph_directed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/nullgraph_permute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

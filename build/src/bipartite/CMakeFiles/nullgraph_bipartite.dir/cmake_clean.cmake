@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_bipartite.dir/bipartite.cpp.o"
+  "CMakeFiles/nullgraph_bipartite.dir/bipartite.cpp.o.d"
+  "libnullgraph_bipartite.a"
+  "libnullgraph_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_core.dir/double_edge_swap.cpp.o"
+  "CMakeFiles/nullgraph_core.dir/double_edge_swap.cpp.o.d"
+  "CMakeFiles/nullgraph_core.dir/mixing.cpp.o"
+  "CMakeFiles/nullgraph_core.dir/mixing.cpp.o.d"
+  "CMakeFiles/nullgraph_core.dir/null_model.cpp.o"
+  "CMakeFiles/nullgraph_core.dir/null_model.cpp.o.d"
+  "CMakeFiles/nullgraph_core.dir/rewire.cpp.o"
+  "CMakeFiles/nullgraph_core.dir/rewire.cpp.o.d"
+  "libnullgraph_core.a"
+  "libnullgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directed/directed_distribution.cpp" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_distribution.cpp.o" "gcc" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_distribution.cpp.o.d"
+  "/root/repo/src/directed/directed_generators.cpp" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_generators.cpp.o" "gcc" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_generators.cpp.o.d"
+  "/root/repo/src/directed/directed_swap.cpp" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_swap.cpp.o" "gcc" "src/directed/CMakeFiles/nullgraph_directed.dir/directed_swap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/nullgraph_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

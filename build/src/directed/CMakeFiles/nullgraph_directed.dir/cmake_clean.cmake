@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_directed.dir/directed_distribution.cpp.o"
+  "CMakeFiles/nullgraph_directed.dir/directed_distribution.cpp.o.d"
+  "CMakeFiles/nullgraph_directed.dir/directed_generators.cpp.o"
+  "CMakeFiles/nullgraph_directed.dir/directed_generators.cpp.o.d"
+  "CMakeFiles/nullgraph_directed.dir/directed_swap.cpp.o"
+  "CMakeFiles/nullgraph_directed.dir/directed_swap.cpp.o.d"
+  "libnullgraph_directed.a"
+  "libnullgraph_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

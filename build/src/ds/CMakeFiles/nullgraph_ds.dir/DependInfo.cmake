@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/concurrent_hash_set.cpp" "src/ds/CMakeFiles/nullgraph_ds.dir/concurrent_hash_set.cpp.o" "gcc" "src/ds/CMakeFiles/nullgraph_ds.dir/concurrent_hash_set.cpp.o.d"
+  "/root/repo/src/ds/csr_graph.cpp" "src/ds/CMakeFiles/nullgraph_ds.dir/csr_graph.cpp.o" "gcc" "src/ds/CMakeFiles/nullgraph_ds.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/ds/degree_distribution.cpp" "src/ds/CMakeFiles/nullgraph_ds.dir/degree_distribution.cpp.o" "gcc" "src/ds/CMakeFiles/nullgraph_ds.dir/degree_distribution.cpp.o.d"
+  "/root/repo/src/ds/edge_list.cpp" "src/ds/CMakeFiles/nullgraph_ds.dir/edge_list.cpp.o" "gcc" "src/ds/CMakeFiles/nullgraph_ds.dir/edge_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

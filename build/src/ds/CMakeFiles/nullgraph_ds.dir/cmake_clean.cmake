@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_ds.dir/concurrent_hash_set.cpp.o"
+  "CMakeFiles/nullgraph_ds.dir/concurrent_hash_set.cpp.o.d"
+  "CMakeFiles/nullgraph_ds.dir/csr_graph.cpp.o"
+  "CMakeFiles/nullgraph_ds.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/nullgraph_ds.dir/degree_distribution.cpp.o"
+  "CMakeFiles/nullgraph_ds.dir/degree_distribution.cpp.o.d"
+  "CMakeFiles/nullgraph_ds.dir/edge_list.cpp.o"
+  "CMakeFiles/nullgraph_ds.dir/edge_list.cpp.o.d"
+  "libnullgraph_ds.a"
+  "libnullgraph_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

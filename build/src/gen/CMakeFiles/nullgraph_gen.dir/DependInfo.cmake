@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/chung_lu.cpp" "src/gen/CMakeFiles/nullgraph_gen.dir/chung_lu.cpp.o" "gcc" "src/gen/CMakeFiles/nullgraph_gen.dir/chung_lu.cpp.o.d"
+  "/root/repo/src/gen/configuration_model.cpp" "src/gen/CMakeFiles/nullgraph_gen.dir/configuration_model.cpp.o" "gcc" "src/gen/CMakeFiles/nullgraph_gen.dir/configuration_model.cpp.o.d"
+  "/root/repo/src/gen/datasets.cpp" "src/gen/CMakeFiles/nullgraph_gen.dir/datasets.cpp.o" "gcc" "src/gen/CMakeFiles/nullgraph_gen.dir/datasets.cpp.o.d"
+  "/root/repo/src/gen/havel_hakimi.cpp" "src/gen/CMakeFiles/nullgraph_gen.dir/havel_hakimi.cpp.o" "gcc" "src/gen/CMakeFiles/nullgraph_gen.dir/havel_hakimi.cpp.o.d"
+  "/root/repo/src/gen/powerlaw.cpp" "src/gen/CMakeFiles/nullgraph_gen.dir/powerlaw.cpp.o" "gcc" "src/gen/CMakeFiles/nullgraph_gen.dir/powerlaw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/nullgraph_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/skip/CMakeFiles/nullgraph_skip.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/nullgraph_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_gen.dir/chung_lu.cpp.o"
+  "CMakeFiles/nullgraph_gen.dir/chung_lu.cpp.o.d"
+  "CMakeFiles/nullgraph_gen.dir/configuration_model.cpp.o"
+  "CMakeFiles/nullgraph_gen.dir/configuration_model.cpp.o.d"
+  "CMakeFiles/nullgraph_gen.dir/datasets.cpp.o"
+  "CMakeFiles/nullgraph_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/nullgraph_gen.dir/havel_hakimi.cpp.o"
+  "CMakeFiles/nullgraph_gen.dir/havel_hakimi.cpp.o.d"
+  "CMakeFiles/nullgraph_gen.dir/powerlaw.cpp.o"
+  "CMakeFiles/nullgraph_gen.dir/powerlaw.cpp.o.d"
+  "libnullgraph_gen.a"
+  "libnullgraph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_io.dir/graph_io.cpp.o"
+  "CMakeFiles/nullgraph_io.dir/graph_io.cpp.o.d"
+  "libnullgraph_io.a"
+  "libnullgraph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

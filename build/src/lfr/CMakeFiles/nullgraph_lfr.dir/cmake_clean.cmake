@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_lfr.dir/hierarchical.cpp.o"
+  "CMakeFiles/nullgraph_lfr.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/nullgraph_lfr.dir/lfr.cpp.o"
+  "CMakeFiles/nullgraph_lfr.dir/lfr.cpp.o.d"
+  "libnullgraph_lfr.a"
+  "libnullgraph_lfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_lfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_permute.dir/permutation.cpp.o"
+  "CMakeFiles/nullgraph_permute.dir/permutation.cpp.o.d"
+  "libnullgraph_permute.a"
+  "libnullgraph_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

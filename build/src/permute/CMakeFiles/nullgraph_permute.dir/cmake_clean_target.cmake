@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnullgraph_permute.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/heuristics.cpp" "src/prob/CMakeFiles/nullgraph_prob.dir/heuristics.cpp.o" "gcc" "src/prob/CMakeFiles/nullgraph_prob.dir/heuristics.cpp.o.d"
+  "/root/repo/src/prob/probability_matrix.cpp" "src/prob/CMakeFiles/nullgraph_prob.dir/probability_matrix.cpp.o" "gcc" "src/prob/CMakeFiles/nullgraph_prob.dir/probability_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

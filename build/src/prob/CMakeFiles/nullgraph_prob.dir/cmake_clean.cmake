@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_prob.dir/heuristics.cpp.o"
+  "CMakeFiles/nullgraph_prob.dir/heuristics.cpp.o.d"
+  "CMakeFiles/nullgraph_prob.dir/probability_matrix.cpp.o"
+  "CMakeFiles/nullgraph_prob.dir/probability_matrix.cpp.o.d"
+  "libnullgraph_prob.a"
+  "libnullgraph_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_skip.dir/edge_skip.cpp.o"
+  "CMakeFiles/nullgraph_skip.dir/edge_skip.cpp.o.d"
+  "CMakeFiles/nullgraph_skip.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/nullgraph_skip.dir/erdos_renyi.cpp.o.d"
+  "libnullgraph_skip.a"
+  "libnullgraph_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

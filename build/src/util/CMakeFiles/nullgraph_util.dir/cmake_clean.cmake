@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_util.dir/parallel.cpp.o"
+  "CMakeFiles/nullgraph_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/nullgraph_util.dir/rng.cpp.o"
+  "CMakeFiles/nullgraph_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nullgraph_util.dir/timer.cpp.o"
+  "CMakeFiles/nullgraph_util.dir/timer.cpp.o.d"
+  "libnullgraph_util.a"
+  "libnullgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attachment.dir/test_attachment.cpp.o"
+  "CMakeFiles/test_attachment.dir/test_attachment.cpp.o.d"
+  "test_attachment"
+  "test_attachment.pdb"
+  "test_attachment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attachment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_hash_set.dir/test_concurrent_hash_set.cpp.o"
+  "CMakeFiles/test_concurrent_hash_set.dir/test_concurrent_hash_set.cpp.o.d"
+  "test_concurrent_hash_set"
+  "test_concurrent_hash_set.pdb"
+  "test_concurrent_hash_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_hash_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

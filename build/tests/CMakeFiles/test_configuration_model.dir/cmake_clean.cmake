@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configuration_model.dir/test_configuration_model.cpp.o"
+  "CMakeFiles/test_configuration_model.dir/test_configuration_model.cpp.o.d"
+  "test_configuration_model"
+  "test_configuration_model.pdb"
+  "test_configuration_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configuration_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

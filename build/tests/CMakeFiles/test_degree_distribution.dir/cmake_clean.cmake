@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degree_distribution.dir/test_degree_distribution.cpp.o"
+  "CMakeFiles/test_degree_distribution.dir/test_degree_distribution.cpp.o.d"
+  "test_degree_distribution"
+  "test_degree_distribution.pdb"
+  "test_degree_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

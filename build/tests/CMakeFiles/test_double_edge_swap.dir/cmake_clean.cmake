@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_edge_swap.dir/test_double_edge_swap.cpp.o"
+  "CMakeFiles/test_double_edge_swap.dir/test_double_edge_swap.cpp.o.d"
+  "test_double_edge_swap"
+  "test_double_edge_swap.pdb"
+  "test_double_edge_swap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_edge_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_skip.dir/test_edge_skip.cpp.o"
+  "CMakeFiles/test_edge_skip.dir/test_edge_skip.cpp.o.d"
+  "test_edge_skip"
+  "test_edge_skip.pdb"
+  "test_edge_skip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

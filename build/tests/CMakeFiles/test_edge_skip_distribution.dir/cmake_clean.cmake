@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_skip_distribution.dir/test_edge_skip_distribution.cpp.o"
+  "CMakeFiles/test_edge_skip_distribution.dir/test_edge_skip_distribution.cpp.o.d"
+  "test_edge_skip_distribution"
+  "test_edge_skip_distribution.pdb"
+  "test_edge_skip_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_skip_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

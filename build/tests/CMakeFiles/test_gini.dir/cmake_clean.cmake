@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gini.dir/test_gini.cpp.o"
+  "CMakeFiles/test_gini.dir/test_gini.cpp.o.d"
+  "test_gini"
+  "test_gini.pdb"
+  "test_gini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_havel_hakimi.cpp" "tests/CMakeFiles/test_havel_hakimi.dir/test_havel_hakimi.cpp.o" "gcc" "tests/CMakeFiles/test_havel_hakimi.dir/test_havel_hakimi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/nullgraph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfr/CMakeFiles/nullgraph_lfr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nullgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/nullgraph_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/skip/CMakeFiles/nullgraph_skip.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nullgraph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/nullgraph_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bipartite/CMakeFiles/nullgraph_bipartite.dir/DependInfo.cmake"
+  "/root/repo/build/src/directed/CMakeFiles/nullgraph_directed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/nullgraph_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/nullgraph_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nullgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_havel_hakimi.dir/test_havel_hakimi.cpp.o"
+  "CMakeFiles/test_havel_hakimi.dir/test_havel_hakimi.cpp.o.d"
+  "test_havel_hakimi"
+  "test_havel_hakimi.pdb"
+  "test_havel_hakimi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_havel_hakimi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfr.dir/test_lfr.cpp.o"
+  "CMakeFiles/test_lfr.dir/test_lfr.cpp.o.d"
+  "test_lfr"
+  "test_lfr.pdb"
+  "test_lfr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

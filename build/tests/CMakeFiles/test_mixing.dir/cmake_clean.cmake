@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixing.dir/test_mixing.cpp.o"
+  "CMakeFiles/test_mixing.dir/test_mixing.cpp.o.d"
+  "test_mixing"
+  "test_mixing.pdb"
+  "test_mixing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motifs.dir/test_motifs.cpp.o"
+  "CMakeFiles/test_motifs.dir/test_motifs.cpp.o.d"
+  "test_motifs"
+  "test_motifs.pdb"
+  "test_motifs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_null_model.dir/test_null_model.cpp.o"
+  "CMakeFiles/test_null_model.dir/test_null_model.cpp.o.d"
+  "test_null_model"
+  "test_null_model.pdb"
+  "test_null_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_null_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

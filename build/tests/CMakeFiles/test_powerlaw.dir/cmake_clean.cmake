@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerlaw.dir/test_powerlaw.cpp.o"
+  "CMakeFiles/test_powerlaw.dir/test_powerlaw.cpp.o.d"
+  "test_powerlaw"
+  "test_powerlaw.pdb"
+  "test_powerlaw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

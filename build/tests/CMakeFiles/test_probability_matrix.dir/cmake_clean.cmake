@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probability_matrix.dir/test_probability_matrix.cpp.o"
+  "CMakeFiles/test_probability_matrix.dir/test_probability_matrix.cpp.o.d"
+  "test_probability_matrix"
+  "test_probability_matrix.pdb"
+  "test_probability_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

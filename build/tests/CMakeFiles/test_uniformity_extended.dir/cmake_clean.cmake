@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniformity_extended.dir/test_uniformity_extended.cpp.o"
+  "CMakeFiles/test_uniformity_extended.dir/test_uniformity_extended.cpp.o.d"
+  "test_uniformity_extended"
+  "test_uniformity_extended.pdb"
+  "test_uniformity_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniformity_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

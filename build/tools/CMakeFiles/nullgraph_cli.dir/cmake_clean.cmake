@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullgraph_cli.dir/nullgraph_cli.cpp.o"
+  "CMakeFiles/nullgraph_cli.dir/nullgraph_cli.cpp.o.d"
+  "nullgraph"
+  "nullgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullgraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
