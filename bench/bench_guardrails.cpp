@@ -1,0 +1,51 @@
+// Guardrail overhead: the same end-to-end generation with checks off
+// (RecoveryPolicy::kOff), the default record-only policy (kReport), and
+// full repair mode on a clean run (kRepair, nothing to fix).
+//
+// Expected shape: the invariant checks are O(m) census/degree passes over
+// the finished edge list, so kReport and kRepair must stay within a few
+// percent of kOff (the acceptance bar is <5%); the generation phases
+// themselves dominate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/null_model.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+void run_policy(benchmark::State& state, RecoveryPolicy policy) {
+  const DegreeDistribution dist = powerlaw_distribution(
+      {.n = 200000, .gamma = 2.5, .dmin = 2, .dmax = 300});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GenerateConfig config;
+    config.seed = seed++;
+    config.swap_iterations = 1;
+    config.guardrails.policy = policy;
+    GenerateResult result = generate_null_graph(dist, config);
+    benchmark::DoNotOptimize(result.edges.data());
+    state.counters["edges"] =
+        benchmark::Counter(static_cast<double>(result.edges.size()));
+    state.counters["edges/s"] = benchmark::Counter(
+        static_cast<double>(result.edges.size()), benchmark::Counter::kIsRate);
+  }
+}
+
+void BM_GuardrailsOff(benchmark::State& state) {
+  run_policy(state, RecoveryPolicy::kOff);
+}
+void BM_GuardrailsReport(benchmark::State& state) {
+  run_policy(state, RecoveryPolicy::kReport);
+}
+void BM_GuardrailsRepair(benchmark::State& state) {
+  run_policy(state, RecoveryPolicy::kRepair);
+}
+
+BENCHMARK(BM_GuardrailsOff)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_GuardrailsReport)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_GuardrailsRepair)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace

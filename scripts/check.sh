@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest in the default configuration, then
+# again under AddressSanitizer + UndefinedBehaviorSanitizer (catches the
+# memory and UB classes the typed-status guardrails cannot).
+#
+# Usage: scripts/check.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+
+echo "== tier 1: default build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "$SKIP_SAN" == 1 ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== tier 1: ASan/UBSan build =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNULLGRAPH_SANITIZE="address;undefined" \
+  -DNULLGRAPH_BUILD_BENCH=OFF \
+  -DNULLGRAPH_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j"$JOBS"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== all checks passed =="

@@ -33,7 +33,12 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
   SwapStats stats;
   stats.iterations.resize(config.iterations);
   const std::size_t m = edges.size();
-  if (m < 2) return stats;
+  if (m < 2) {
+    for (SwapIterationStats& it : stats.iterations)
+      for (const Edge& e : edges)
+        if (e.is_loop()) ++it.input_self_loops;
+    return stats;
+  }
 
   ConcurrentHashSet table(m);
   std::vector<std::uint8_t> ever_swapped;
@@ -45,11 +50,23 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
     const std::uint64_t coin_seed = splitmix64_next(seed_chain);
 
-    // 1. T <- all current edges (multi-edge copies collapse to one key;
-    //    self-loop keys are harmless placeholders).
+    // 1. T <- all current edges (multi-edge copies collapse to one key).
+    //    Self-loop keys are skipped: a candidate is never a loop, so their
+    //    presence in T could not block anything. The same pass counts the
+    //    input simplicity census for free.
     if (iter > 0) table.clear();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) table.test_and_set(edges[i].key());
+    std::size_t in_loops = 0, in_dups = 0;
+#pragma omp parallel for schedule(static) reduction(+ : in_loops, in_dups)
+    for (std::size_t i = 0; i < m; ++i) {
+      const Edge e = edges[i];
+      if (e.is_loop()) {
+        ++in_loops;
+        continue;
+      }
+      if (table.test_and_set(e.key())) ++in_dups;
+    }
+    it_stats.input_self_loops = in_loops;
+    it_stats.input_multi_edges = in_dups;
 
     // 2. Permute(E) — and the swap flags travel with their edges.
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
@@ -112,7 +129,12 @@ SwapStats swap_edges_serial(EdgeList& edges, const SwapConfig& config) {
   SwapStats stats;
   stats.iterations.resize(config.iterations);
   const std::size_t m = edges.size();
-  if (m < 2) return stats;
+  if (m < 2) {
+    for (SwapIterationStats& it : stats.iterations)
+      for (const Edge& e : edges)
+        if (e.is_loop()) ++it.input_self_loops;
+    return stats;
+  }
 
   std::unordered_map<EdgeKey, std::uint32_t> table;
   table.reserve(m * 2);
@@ -131,6 +153,14 @@ SwapStats swap_edges_serial(EdgeList& edges, const SwapConfig& config) {
   std::uint64_t seed_chain = config.seed;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     SwapIterationStats& it_stats = stats.iterations[iter];
+    // Input census from the exact multiplicity table (kept incrementally,
+    // unlike the parallel variant's refill): mirrors census() semantics.
+    for (const auto& [key, mult] : table) {
+      if (Edge::from_key(key).is_loop())
+        it_stats.input_self_loops += mult;
+      else
+        it_stats.input_multi_edges += mult - 1;
+    }
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
     const std::uint64_t coin_seed = splitmix64_next(seed_chain);
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);

@@ -41,6 +41,13 @@ struct SwapIterationStats {
   std::size_t swapped = 0;             // pairs committed
   std::size_t rejected_existing = 0;   // candidate already in T
   std::size_t rejected_loop = 0;       // candidate was a self-loop
+  /// Simplicity census of the edge list at the START of this iteration,
+  /// counted for free while refilling T (same convention as census():
+  /// multi_edges = copies beyond the first). Since committed swaps never
+  /// introduce loops or duplicates, a final iteration starting clean
+  /// proves the output simple without a separate pass.
+  std::size_t input_self_loops = 0;
+  std::size_t input_multi_edges = 0;
 };
 
 struct SwapStats {

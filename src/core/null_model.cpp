@@ -2,13 +2,171 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "analysis/components.hpp"
 #include "prob/heuristics.hpp"
+#include "robustness/fault_injection.hpp"
+#include "robustness/repair.hpp"
 #include "skip/edge_skip.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
+
+namespace {
+
+/// Appends a check; under kStrict a violated invariant aborts immediately
+/// with its typed status.
+void record(PipelineReport& report, RecoveryPolicy policy, std::string phase,
+            Status status, bool repaired = false) {
+  report.checks.push_back({std::move(phase), std::move(status), repaired});
+  const PhaseCheck& check = report.checks.back();
+  if (policy == RecoveryPolicy::kStrict && !check.holds())
+    throw StatusError(check.status);
+}
+
+/// Marks every earlier failed check of `code` repaired (called once the
+/// repair pass has restored the corresponding invariant).
+void mark_repaired(PipelineReport& report, StatusCode code) {
+  for (PhaseCheck& check : report.checks)
+    if (check.status.code() == code) check.repaired = true;
+}
+
+SwapStats run_swaps(EdgeList& edges, const SwapConfig& config,
+                    bool force_stall) {
+  if (force_stall) {
+    // Injected stall: the phase "runs" its iterations but commits nothing,
+    // reproducing the rare-event MCMC stagnation deterministically. The
+    // input census is real (nothing moves between iterations), so the
+    // piggybacked simplicity counts stay truthful.
+    SwapStats stats;
+    stats.iterations.resize(config.iterations);
+    const SimplicityCensus c = census(edges);
+    for (SwapIterationStats& it : stats.iterations) {
+      it.input_self_loops = c.self_loops;
+      it.input_multi_edges = c.multi_edges;
+    }
+    return stats;
+  }
+  return swap_edges(edges, config);
+}
+
+bool chain_stalled(const SwapStats& stats) {
+  return !stats.iterations.empty() && stats.iterations.back().swapped == 0;
+}
+
+/// Census of the edge list as it entered the swap phase, free when at
+/// least one iteration ran (the table-refill pass counted it).
+SimplicityCensus input_census(const EdgeList& edges, const SwapStats& stats) {
+  if (!stats.iterations.empty()) {
+    const SwapIterationStats& first = stats.iterations.front();
+    return {first.input_self_loops, first.input_multi_edges};
+  }
+  return census(edges);
+}
+
+/// Census of the swap phase's output. Free when the final iteration
+/// started clean — committed swaps never create loops or duplicates, so a
+/// clean start proves a clean finish; only a dirty chain pays for a real
+/// census.
+SimplicityCensus output_census(const EdgeList& edges, const SwapStats& stats) {
+  if (!stats.iterations.empty()) {
+    const SwapIterationStats& last = stats.iterations.back();
+    if (last.input_self_loops == 0 && last.input_multi_edges == 0) return {};
+  }
+  return census(edges);
+}
+
+/// Swap phase under guardrails, shared by generate and shuffle.
+/// `expected_fp` is the pre-fault degree fingerprint the phase must
+/// preserve; `pristine` (kRepair only) is the pre-fault edge list whose
+/// exact degrees become the repair target when a repair triggers. When
+/// `input_phase` is set, the phase's input simplicity is recorded under
+/// that name (generate's "edge generation" check — evaluated from the
+/// swap table's free counts, so under kStrict the abort surfaces after
+/// the swap pass rather than before it).
+void swap_phase_with_recovery(EdgeList& edges, GenerateResult& result,
+                              const GuardrailConfig& guard,
+                              SwapConfig swap_config,
+                              std::uint64_t expected_fp,
+                              const EdgeList* pristine,
+                              std::uint64_t retry_chain,
+                              const char* input_phase) {
+  result.swap_stats =
+      run_swaps(edges, swap_config, guard.faults.force_swap_stall);
+
+  if (input_phase) {
+    // kRepair defers to the post-swap repair pass; record the violation
+    // now, mark_repaired flips it once the pass succeeds.
+    record(result.report,
+           guard.policy == RecoveryPolicy::kRepair ? RecoveryPolicy::kReport
+                                                   : guard.policy,
+           input_phase,
+           check_simple(input_census(edges, result.swap_stats)));
+  }
+
+  Status simple = check_simple(output_census(edges, result.swap_stats));
+  Status degrees = check_degree_fingerprint(expected_fp, edges);
+
+  if (guard.policy == RecoveryPolicy::kRepair) {
+    // Retry-with-reseed first: a fresh permutation stream can unstick a
+    // stalled chain. Pointless for degree damage (swaps preserve degrees),
+    // so only simplicity violations earn retries.
+    while (!simple.ok() && degrees.ok() &&
+           result.report.retries_used < guard.max_retries) {
+      ++result.report.retries_used;
+      swap_config.seed = splitmix64_next(retry_chain);
+      result.swap_stats =
+          run_swaps(edges, swap_config, guard.faults.force_swap_stall);
+      simple = check_simple(output_census(edges, result.swap_stats));
+    }
+    if (!simple.ok() || !degrees.ok()) {
+      const std::vector<std::uint64_t> target = degrees_of(*pristine);
+      result.report.repair =
+          repair_to_degrees(edges, target, splitmix64_next(retry_chain));
+      if (check_simple(edges).ok()) {
+        mark_repaired(result.report, StatusCode::kNonSimpleOutput);
+        mark_repaired(result.report, StatusCode::kSwapStagnation);
+      }
+      if (check_degrees_preserved(target, edges).ok())
+        mark_repaired(result.report, StatusCode::kDegreeMismatch);
+      if (!result.report.repair.complete())
+        record(result.report, guard.policy, "repair",
+               Status(StatusCode::kRepairIncomplete,
+                      std::to_string(result.report.repair.residual_deficit) +
+                          " deficit stubs unplaced"));
+    }
+  }
+
+  // Classify a persistent simplicity failure: no progress in the final
+  // iteration means the chain stagnated rather than merely ran short.
+  if (!simple.ok() && chain_stalled(result.swap_stats))
+    simple = Status(StatusCode::kSwapStagnation,
+                    "swap chain made no progress (" + simple.message() + ")");
+  const bool simple_fixed = !simple.ok() && check_simple(edges).ok();
+  record(result.report, guard.policy, "swaps", std::move(simple),
+         simple_fixed);
+  const bool degrees_fixed =
+      !degrees.ok() && check_degree_fingerprint(expected_fp, edges).ok();
+  record(result.report, guard.policy, "degrees", std::move(degrees),
+         degrees_fixed);
+}
+
+template <typename Fn>
+auto run_checked(Fn&& fn) -> Result<decltype(fn())> {
+  try {
+    auto result = fn();
+    Status err = result.report.first_error();
+    if (!err.ok()) return err;
+    return result;  // implicit move into Result<T>
+  } catch (const StatusError& error) {
+    return error.status();
+  } catch (const std::exception& error) {
+    return Status(StatusCode::kInternal, error.what());
+  }
+}
+
+}  // namespace
 
 ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
                                          ProbabilityMethod method,
@@ -33,12 +191,32 @@ ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
 GenerateResult generate_null_graph(const DegreeDistribution& dist,
                                    const GenerateConfig& config) {
   GenerateResult result;
+  const GuardrailConfig& guard = config.guardrails;
+  const bool checking = guard.policy != RecoveryPolicy::kOff;
   std::uint64_t seed_chain = config.seed;
 
+  // A non-graphical input has no repair (we never rewrite the caller's
+  // distribution): strict aborts, other policies record and proceed with
+  // the usual best-effort realization.
+  if (checking)
+    record(result.report, guard.policy, "input", check_graphical(dist));
+
   result.timing.start("probabilities");
-  const ProbabilityMatrix P = generate_probabilities(
+  ProbabilityMatrix P = generate_probabilities(
       dist, config.probability_method, config.refine_iterations);
   result.timing.stop();
+  if (guard.faults.corrupt_prob_entries > 0)
+    inject_probability_faults(P, guard.faults);
+  if (checking) {
+    Status status = check_probability_matrix(P, dist);
+    bool repaired = false;
+    if (!status.ok() && guard.policy == RecoveryPolicy::kRepair) {
+      result.report.probability_entries_sanitized = sanitize_probabilities(P);
+      repaired = check_probability_matrix(P, dist).ok();
+    }
+    record(result.report, guard.policy, "probabilities", std::move(status),
+           repaired);
+  }
   result.probability_diagnostics = diagnose(P, dist);
 
   result.timing.start("edge generation");
@@ -47,12 +225,32 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   result.edges = edge_skip_generate(P, dist, skip_config);
   result.timing.stop();
 
+  // Snapshot of the clean generation, taken before faults can damage it:
+  // a streaming degree fingerprint for the preservation check, plus (under
+  // kRepair only) a copy of the edge list — cheaper than counting degrees
+  // up front, and the exact repair target is derived from it on demand.
+  std::uint64_t expected_fp = 0;
+  EdgeList pristine;
+  if (checking) {
+    expected_fp = degree_fingerprint(result.edges);
+    if (guard.policy == RecoveryPolicy::kRepair) pristine = result.edges;
+  }
+  if (guard.faults.edge_faults())
+    inject_edge_faults(result.edges, guard.faults);
+
   result.timing.start("swaps");
   SwapConfig swap_config;
   swap_config.iterations = config.swap_iterations;
   swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
-  result.swap_stats = swap_edges(result.edges, swap_config);
+  if (checking) {
+    swap_phase_with_recovery(
+        result.edges, result, guard, swap_config, expected_fp,
+        guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
+        splitmix64_next(seed_chain), "edge generation");
+  } else {
+    result.swap_stats = swap_edges(result.edges, swap_config);
+  }
   result.timing.stop();
   return result;
 }
@@ -60,14 +258,55 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
 GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   GenerateResult result;
   result.edges = std::move(edges);
+  const GuardrailConfig& guard = config.guardrails;
+  const bool checking = guard.policy != RecoveryPolicy::kOff;
+  std::uint64_t seed_chain = config.seed;
+
+  // The input's own degree sequence is the contract; snapshot (fingerprint
+  // plus, under kRepair, the pristine list itself) before any injected
+  // corruption. No input simplicity check: dirty shuffle inputs are
+  // legitimate — the swap chain is the documented multigraph cleaner.
+  std::uint64_t expected_fp = 0;
+  EdgeList pristine;
+  if (checking) {
+    expected_fp = degree_fingerprint(result.edges);
+    if (guard.policy == RecoveryPolicy::kRepair) pristine = result.edges;
+  }
+  if (guard.faults.edge_faults())
+    inject_edge_faults(result.edges, guard.faults);
+
   result.timing.start("swaps");
   SwapConfig swap_config;
   swap_config.iterations = config.swap_iterations;
-  swap_config.seed = config.seed;
+  swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
-  result.swap_stats = swap_edges(result.edges, swap_config);
+  if (checking) {
+    swap_phase_with_recovery(
+        result.edges, result, guard, swap_config, expected_fp,
+        guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
+        splitmix64_next(seed_chain), nullptr);
+  } else {
+    result.swap_stats = swap_edges(result.edges, swap_config);
+  }
   result.timing.stop();
   return result;
+}
+
+Result<GenerateResult> generate_null_graph_checked(
+    const DegreeDistribution& dist, const GenerateConfig& config) {
+  GenerateConfig checked = config;
+  if (checked.guardrails.policy == RecoveryPolicy::kOff)
+    checked.guardrails.policy = RecoveryPolicy::kReport;
+  return run_checked([&] { return generate_null_graph(dist, checked); });
+}
+
+Result<GenerateResult> shuffle_graph_checked(EdgeList edges,
+                                             const GenerateConfig& config) {
+  GenerateConfig checked = config;
+  if (checked.guardrails.policy == RecoveryPolicy::kOff)
+    checked.guardrails.policy = RecoveryPolicy::kReport;
+  return run_checked(
+      [&] { return shuffle_graph(std::move(edges), checked); });
 }
 
 ConnectedGenerateResult generate_connected_null_graph(
@@ -86,6 +325,11 @@ ConnectedGenerateResult generate_connected_null_graph(
     }
   }
   outcome.attempts_used = max_attempts;
+  if (config.guardrails.policy != RecoveryPolicy::kOff)
+    record(outcome.result.report, config.guardrails.policy, "connectivity",
+           Status(StatusCode::kConnectivityExhausted,
+                  "no connected sample in " + std::to_string(max_attempts) +
+                      " attempts"));
   return outcome;
 }
 

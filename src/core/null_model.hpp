@@ -9,6 +9,14 @@
 // (Section IV-A), parallel edge-skipping (Algorithm IV.2), parallel
 // double-edge swaps (Algorithm III.1), and reports per-phase wall times —
 // the breakdown behind Figure 6.
+//
+// Every run is wrapped in pipeline guardrails (robustness/): per-phase
+// invariant checks accumulate into GenerateResult::report, and
+// GenerateConfig::guardrails selects what a violation does — record only
+// (default), abort with a typed StatusError (kStrict), or recover via
+// bounded retry-with-reseed plus a repair pass (kRepair). Seeded fault
+// injection (GuardrailConfig::faults) exists so those paths are testable;
+// it is inert unless armed.
 
 #include <cstdint>
 
@@ -16,6 +24,8 @@
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
 #include "prob/probability_matrix.hpp"
+#include "robustness/invariants.hpp"
+#include "robustness/status.hpp"
 #include "util/timer.hpp"
 
 namespace nullgraph {
@@ -34,6 +44,8 @@ struct GenerateConfig {
   /// (0 = off; the paper's future-work correction).
   int refine_iterations = 0;
   bool track_swapped_edges = false;
+  /// Invariant checks, recovery policy, and (test-only) fault injection.
+  GuardrailConfig guardrails;
 };
 
 struct GenerateResult {
@@ -41,6 +53,9 @@ struct GenerateResult {
   PhaseTimer timing;  // phases: "probabilities", "edge generation", "swaps"
   SwapStats swap_stats;
   ProbabilityDiagnostics probability_diagnostics;
+  /// Per-phase invariant checks and what recovery did about violations
+  /// (empty when guardrails.policy == RecoveryPolicy::kOff).
+  PipelineReport report;
 };
 
 /// Phase 1 on its own: probabilities for `dist` by the chosen method.
@@ -51,20 +66,38 @@ ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
 /// Problem 2 (Algorithm IV.1): uniformly random simple graph matching
 /// `dist` in expectation. Vertex ids follow the DegreeDistribution
 /// convention (ascending degree classes, contiguous ids).
+/// Under RecoveryPolicy::kStrict the first invariant violation throws a
+/// StatusError carrying the typed code (kNotGraphical,
+/// kProbabilityOverflow, kNonSimpleOutput, kDegreeMismatch,
+/// kSwapStagnation).
 GenerateResult generate_null_graph(const DegreeDistribution& dist,
                                    const GenerateConfig& config = {});
 
 /// Problem 1: uniformly randomize an existing edge list while preserving
-/// its exact degree sequence and simplicity (pure swap phase).
+/// its exact degree sequence and simplicity (pure swap phase). Dirty
+/// (multigraph) input is legal — swaps progressively clean it — but if the
+/// output is still non-simple the report records kSwapStagnation (chain
+/// made no progress) or kNonSimpleOutput, and kRepair finishes the job
+/// with the repair pass.
 GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config = {});
+
+/// Exception-free variants: run with checks at least at kReport strength
+/// and fold any violation (or thrown StatusError) into the returned
+/// Result's Status instead of throwing.
+Result<GenerateResult> generate_null_graph_checked(
+    const DegreeDistribution& dist, const GenerateConfig& config = {});
+Result<GenerateResult> shuffle_graph_checked(EdgeList edges,
+                                             const GenerateConfig& config = {});
 
 /// Connectivity-conditioned variant: resamples (new seeds derived from
 /// config.seed) until the generated graph is connected over all
 /// dist.num_vertices() vertices, at most `max_attempts` times. Returns the
 /// last attempt regardless; `attempts_used` and `connected` report the
-/// outcome. Note the sample is uniform over the CONNECTED subspace only in
-/// the rejection-sampling sense (standard practice; swaps do not preserve
-/// connectivity, so conditioning happens at whole-graph granularity).
+/// outcome. Exhausting the budget records kConnectivityExhausted in the
+/// result's report (and throws it under kStrict). Note the sample is
+/// uniform over the CONNECTED subspace only in the rejection-sampling
+/// sense (standard practice; swaps do not preserve connectivity, so
+/// conditioning happens at whole-graph granularity).
 struct ConnectedGenerateResult {
   GenerateResult result;
   std::size_t attempts_used = 0;

@@ -109,7 +109,7 @@ std::size_t vertex_count(const ArcList& arcs) {
 }
 
 std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs, std::size_t n) {
-  if (n == 0) n = vertex_count(arcs);
+  n = std::max(n, vertex_count(arcs));
   std::vector<std::uint64_t> degree(n, 0);
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < arcs.size(); ++i) {
@@ -121,7 +121,7 @@ std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs, std::size_t n) {
 
 std::vector<std::uint64_t> out_degrees_of(const ArcList& arcs,
                                           std::size_t n) {
-  if (n == 0) n = vertex_count(arcs);
+  n = std::max(n, vertex_count(arcs));
   std::vector<std::uint64_t> degree(n, 0);
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < arcs.size(); ++i) {

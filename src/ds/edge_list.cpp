@@ -20,7 +20,10 @@ std::size_t vertex_count(const EdgeList& edges) {
 }
 
 std::vector<std::uint64_t> degrees_of(const EdgeList& edges, std::size_t n) {
-  if (n == 0) n = vertex_count(edges);
+  // `n` is a floor, not an exact size: the edge list may reference vertices
+  // beyond the caller's expectation (e.g. a generated graph measured against
+  // a smaller target distribution), and those must not write out of bounds.
+  n = std::max(n, vertex_count(edges));
   std::vector<std::uint64_t> degree(n, 0);
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < edges.size(); ++i) {

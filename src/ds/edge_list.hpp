@@ -25,8 +25,9 @@ struct SimplicityCensus {
 std::size_t vertex_count(const EdgeList& edges);
 
 /// Per-vertex degrees; self-loops contribute 2 to their endpoint, matching
-/// the usual multigraph convention. `n` extends the result beyond the
-/// largest endpoint (for isolated vertices); pass 0 to infer.
+/// the usual multigraph convention. `n` is a floor on the result size,
+/// extending it beyond the largest endpoint (for isolated vertices); the
+/// result always covers every endpoint. Pass 0 to infer.
 std::vector<std::uint64_t> degrees_of(const EdgeList& edges,
                                       std::size_t n = 0);
 

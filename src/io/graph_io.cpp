@@ -1,8 +1,9 @@
 #include "io/graph_io.hpp"
 
+#include <charconv>
 #include <fstream>
-#include <sstream>
-#include <stdexcept>
+#include <limits>
+#include <string>
 
 namespace nullgraph {
 
@@ -16,37 +17,87 @@ bool skip_line(const std::string& line) {
   return true;  // blank
 }
 
-std::ifstream open_input(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return in;
+/// Splits a data line into exactly two unsigned integers <= `max_value`.
+/// Rejects signs (so "-1" cannot wrap into a huge unsigned id), non-digit
+/// tokens, and trailing garbage ("1 2 3").
+Status parse_pair(const std::string& line, std::uint64_t max_value,
+                  std::uint64_t& a, std::uint64_t& b) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  std::uint64_t* const out[2] = {&a, &b};
+  int fields = 0;
+  while (true) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p == end) break;
+    if (fields == 2)
+      return Status(StatusCode::kIoMalformed,
+                    "trailing tokens on line: " + line);
+    if (*p < '0' || *p > '9')
+      return Status(StatusCode::kIoMalformed,
+                    (*p == '-' ? "negative value on line: "
+                               : "non-numeric token on line: ") +
+                        line);
+    const auto [next, ec] = std::from_chars(p, end, *out[fields]);
+    if (ec == std::errc::result_out_of_range || *out[fields] > max_value)
+      return Status(StatusCode::kIoMalformed,
+                    "value out of range on line: " + line);
+    if (ec != std::errc())
+      return Status(StatusCode::kIoMalformed, "malformed line: " + line);
+    p = next;
+    if (p < end && *p != ' ' && *p != '\t' && *p != '\r')
+      return Status(StatusCode::kIoMalformed,
+                    "non-numeric token on line: " + line);
+    ++fields;
+  }
+  if (fields != 2)
+    return Status(StatusCode::kIoMalformed,
+                  "expected two fields on line: " + line);
+  return Status::Ok();
+}
+
+Status open_input(const std::string& path, std::ifstream& in) {
+  in.open(path);
+  if (!in)
+    return Status(StatusCode::kIoError, "cannot open for reading: " + path);
+  return Status::Ok();
 }
 
 std::ofstream open_output(const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out)
+    throw StatusError(
+        Status(StatusCode::kIoError, "cannot open for writing: " + path));
   return out;
 }
 
 }  // namespace
 
-EdgeList read_edge_list(std::istream& in) {
+Result<EdgeList> try_read_edge_list(std::istream& in) {
   EdgeList edges;
   std::string line;
   while (std::getline(in, line)) {
     if (skip_line(line)) continue;
-    std::istringstream fields(line);
     std::uint64_t u = 0, v = 0;
-    if (!(fields >> u >> v))
-      throw std::runtime_error("malformed edge line: " + line);
+    if (Status s = parse_pair(line, std::numeric_limits<VertexId>::max(), u, v);
+        !s.ok())
+      return s;
     edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
   }
   return edges;
 }
 
+Result<EdgeList> try_read_edge_list_file(const std::string& path) {
+  std::ifstream in;
+  if (Status s = open_input(path, in); !s.ok()) return s;
+  return try_read_edge_list(in);
+}
+
+EdgeList read_edge_list(std::istream& in) {
+  return try_read_edge_list(in).take();
+}
+
 EdgeList read_edge_list_file(const std::string& path) {
-  auto in = open_input(path);
-  return read_edge_list(in);
+  return try_read_edge_list_file(path).take();
 }
 
 void write_edge_list(std::ostream& out, const EdgeList& edges) {
@@ -58,23 +109,39 @@ void write_edge_list_file(const std::string& path, const EdgeList& edges) {
   write_edge_list(out, edges);
 }
 
-DegreeDistribution read_degree_distribution(std::istream& in) {
+Result<DegreeDistribution> try_read_degree_distribution(std::istream& in) {
   std::vector<DegreeClass> classes;
   std::string line;
   while (std::getline(in, line)) {
     if (skip_line(line)) continue;
-    std::istringstream fields(line);
     std::uint64_t degree = 0, count = 0;
-    if (!(fields >> degree >> count))
-      throw std::runtime_error("malformed distribution line: " + line);
+    if (Status s = parse_pair(line, std::numeric_limits<std::uint64_t>::max(),
+                              degree, count);
+        !s.ok())
+      return s;
     classes.push_back({degree, count});
   }
-  return DegreeDistribution(std::move(classes));
+  try {
+    return DegreeDistribution(std::move(classes));
+  } catch (const std::invalid_argument& error) {
+    // Odd stub total and friends: surface as typed input rejection.
+    return Status(StatusCode::kNotGraphical, error.what());
+  }
+}
+
+Result<DegreeDistribution> try_read_degree_distribution_file(
+    const std::string& path) {
+  std::ifstream in;
+  if (Status s = open_input(path, in); !s.ok()) return s;
+  return try_read_degree_distribution(in);
+}
+
+DegreeDistribution read_degree_distribution(std::istream& in) {
+  return try_read_degree_distribution(in).take();
 }
 
 DegreeDistribution read_degree_distribution_file(const std::string& path) {
-  auto in = open_input(path);
-  return read_degree_distribution(in);
+  return try_read_degree_distribution_file(path).take();
 }
 
 void write_degree_distribution(std::ostream& out,

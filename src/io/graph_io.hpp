@@ -2,14 +2,27 @@
 // Plain-text I/O: edge lists ("u v" per line) and degree distributions
 // ("degree count" per line). Lines starting with '#' or '%' are comments,
 // compatible with SNAP-style downloads.
+//
+// Parsing is strict: every data line must hold exactly two base-10
+// unsigned integers (no sign, no trailing tokens) that fit the receiving
+// type — anything else is kIoMalformed with the offending line quoted.
+// The try_* functions return Result<T>; the legacy signatures wrap them
+// and throw StatusError (a std::runtime_error) on failure.
 
 #include <iosfwd>
 #include <string>
 
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
 
 namespace nullgraph {
+
+Result<EdgeList> try_read_edge_list(std::istream& in);
+Result<EdgeList> try_read_edge_list_file(const std::string& path);
+Result<DegreeDistribution> try_read_degree_distribution(std::istream& in);
+Result<DegreeDistribution> try_read_degree_distribution_file(
+    const std::string& path);
 
 EdgeList read_edge_list(std::istream& in);
 EdgeList read_edge_list_file(const std::string& path);

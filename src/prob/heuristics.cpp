@@ -154,13 +154,19 @@ void refine_probabilities(ProbabilityMatrix& matrix,
     for (std::size_t c = 0; c < nc; ++c) {
       const double expected = matrix.expected_degree(c, dist);
       const double target = static_cast<double>(dist.degree_of_class(c));
-      scale[c] = expected > 1e-12 ? target / expected : 1.0;
+      // A non-finite expectation (corrupted entry upstream) must not poison
+      // the whole row through a NaN/inf scale factor.
+      scale[c] = std::isfinite(expected) && expected > 1e-12
+                     ? target / expected
+                     : 1.0;
     }
 #pragma omp parallel for schedule(dynamic, 16)
     for (std::size_t i = 0; i < nc; ++i) {
       for (std::size_t j = 0; j <= i; ++j) {
         const double factor = std::sqrt(scale[i] * scale[j]);
-        matrix.set(i, j, std::clamp(matrix.at(i, j) * factor, 0.0, 1.0));
+        const double scaled = matrix.at(i, j) * factor;
+        if (!std::isfinite(scaled)) continue;
+        matrix.set(i, j, std::clamp(scaled, 0.0, 1.0));
       }
     }
   }

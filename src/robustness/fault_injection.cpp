@@ -1,0 +1,45 @@
+#include "robustness/fault_injection.hpp"
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan) {
+  EdgeFaultStats stats;
+  if (!plan.edge_faults() || edges.empty()) return stats;
+  Xoshiro256ss rng(plan.seed);
+  for (std::size_t k = 0; k < plan.drop_edges && !edges.empty(); ++k) {
+    const std::size_t i = rng.bounded(edges.size());
+    edges[i] = edges.back();
+    edges.pop_back();
+    ++stats.dropped;
+  }
+  for (std::size_t k = 0; k < plan.duplicate_edges && !edges.empty(); ++k) {
+    edges.push_back(edges[rng.bounded(edges.size())]);
+    ++stats.duplicated;
+  }
+  for (std::size_t k = 0; k < plan.self_loops && !edges.empty(); ++k) {
+    const Edge e = edges[rng.bounded(edges.size())];
+    const VertexId v = rng.flip() ? e.u : e.v;
+    edges.push_back({v, v});
+    ++stats.loops_added;
+  }
+  return stats;
+}
+
+std::size_t inject_probability_faults(ProbabilityMatrix& matrix,
+                                      const FaultPlan& plan) {
+  const std::size_t nc = matrix.num_classes();
+  if (plan.corrupt_prob_entries == 0 || nc == 0) return 0;
+  Xoshiro256ss rng(plan.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::size_t poisoned = 0;
+  for (std::size_t k = 0; k < plan.corrupt_prob_entries; ++k) {
+    const std::size_t i = rng.bounded(nc);
+    const std::size_t j = rng.bounded(nc);
+    matrix.set(i, j, plan.corrupt_prob_value);
+    ++poisoned;
+  }
+  return poisoned;
+}
+
+}  // namespace nullgraph

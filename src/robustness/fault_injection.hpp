@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic, seeded fault injection for the generation pipeline.
+//
+// A FaultPlan is compiled in always and threaded through GenerateConfig,
+// but a default-constructed plan is inert (active() == false) and costs one
+// branch per phase. Tests — and the CLI's --inject-* flags — arm it to
+// force every recovery path (repair, retry-with-reseed, typed failure)
+// through the same code paths production would take, so error handling is
+// exercised rather than trusted on faith.
+//
+// Faults are applied at fixed pipeline points:
+//   drop_edges / duplicate_edges / self_loops  -> after edge generation
+//                                                 (or on shuffle input)
+//   corrupt_prob_entries                       -> after the probability
+//                                                 heuristic, before checks
+//   force_swap_stall                           -> replaces the swap phase
+//                                                 with a zero-progress one
+// All randomness derives from FaultPlan::seed, independent of the
+// generation seed, so a fault scenario reproduces exactly.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+
+namespace nullgraph {
+
+struct FaultPlan {
+  std::uint64_t seed = 0xfa017ULL;
+
+  /// Remove this many randomly chosen edges (creates a degree deficit).
+  std::size_t drop_edges = 0;
+  /// Append copies of this many randomly chosen existing edges
+  /// (creates multi-edges and a degree surplus).
+  std::size_t duplicate_edges = 0;
+  /// Append this many self-loops on randomly chosen existing endpoints.
+  std::size_t self_loops = 0;
+
+  /// Overwrite this many probability entries with corrupt_prob_value.
+  std::size_t corrupt_prob_entries = 0;
+  /// The poison value (default out-of-range; NaN also supported — the
+  /// edge-skip traversal must survive either).
+  double corrupt_prob_value = 4.0;
+
+  /// Replace the swap phase with one that commits nothing, simulating the
+  /// rare-event MCMC stall on pathological inputs.
+  bool force_swap_stall = false;
+
+  bool active() const noexcept {
+    return drop_edges || duplicate_edges || self_loops ||
+           corrupt_prob_entries || force_swap_stall;
+  }
+  bool edge_faults() const noexcept {
+    return drop_edges || duplicate_edges || self_loops;
+  }
+};
+
+struct EdgeFaultStats {
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t loops_added = 0;
+};
+
+/// Applies the plan's edge faults to `edges` in place (no-op when none are
+/// armed). Deterministic for a fixed plan.
+EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan);
+
+/// Overwrites corrupt_prob_entries randomly chosen entries of `matrix` with
+/// corrupt_prob_value; returns the number actually poisoned.
+std::size_t inject_probability_faults(ProbabilityMatrix& matrix,
+                                      const FaultPlan& plan);
+
+}  // namespace nullgraph

@@ -1,0 +1,165 @@
+#include "robustness/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+std::uint64_t target_of(const std::vector<std::uint64_t>& targets,
+                        VertexId v) {
+  return v < targets.size() ? targets[v] : 0;
+}
+
+}  // namespace
+
+RepairStats repair_to_degrees(EdgeList& edges,
+                              const std::vector<std::uint64_t>& target_degrees,
+                              std::uint64_t seed,
+                              std::size_t max_rewire_attempts) {
+  RepairStats stats;
+
+  // Phase 1: erase self-loops and duplicates, first occurrence wins.
+  std::unordered_set<EdgeKey> keys;
+  keys.reserve(edges.size() * 2);
+  {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < edges.size(); ++r) {
+      const Edge e = edges[r];
+      if (e.is_loop()) {
+        ++stats.loops_erased;
+        continue;
+      }
+      if (!keys.insert(e.key()).second) {
+        ++stats.duplicates_erased;
+        continue;
+      }
+      edges[w++] = e;
+    }
+    edges.resize(w);
+  }
+
+  // Current degrees over every vertex either side mentions.
+  std::size_t n = target_degrees.size();
+  for (const Edge& e : edges)
+    n = std::max({n, static_cast<std::size_t>(e.u) + 1,
+                  static_cast<std::size_t>(e.v) + 1});
+  std::vector<std::uint64_t> degree(n, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+
+  // Phase 2: shed surplus. Two sweeps — first edges whose both endpoints
+  // are over target (pure gain), then one-sided removals (the freed
+  // endpoint joins the deficit pool and is reconnected in phase 3).
+  const auto over = [&](VertexId v) {
+    return degree[v] > target_of(target_degrees, v);
+  };
+  for (int both_required = 1; both_required >= 0; --both_required) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < edges.size(); ++r) {
+      const Edge e = edges[r];
+      const bool remove = both_required ? over(e.u) && over(e.v)
+                                        : over(e.u) || over(e.v);
+      if (remove) {
+        --degree[e.u];
+        --degree[e.v];
+        keys.erase(e.key());
+        ++stats.surplus_edges_removed;
+        continue;
+      }
+      edges[w++] = e;
+    }
+    edges.resize(w);
+  }
+
+  // Phase 3: reconnect deficit stubs.
+  std::vector<VertexId> stubs;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t want = target_of(target_degrees,
+                                         static_cast<VertexId>(v));
+    for (std::uint64_t k = degree[v]; k < want; ++k)
+      stubs.push_back(static_cast<VertexId>(v));
+  }
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = stubs.size(); i > 1; --i)
+    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+
+  std::size_t s = 0;
+  for (; s + 1 < stubs.size(); s += 2) {
+    const VertexId u = stubs[s];
+    const VertexId v = stubs[s + 1];
+    const Edge direct{u, v};
+    if (!direct.is_loop() && !keys.contains(direct.key())) {
+      edges.push_back(direct);
+      keys.insert(direct.key());
+      ++stats.edges_added;
+      continue;
+    }
+    // Targeted rewire: consume {u,v}'s stubs through an existing edge
+    // {x,y} -> {u,x}, {v,y} (or {u,y}, {v,x}); x and y keep their degrees.
+    // Both orientations matter: when one side of the host lives in a
+    // saturated region (every edge to u already present), the mirror
+    // pairing is often still free.
+    const auto try_host = [&](std::size_t idx) {
+      const Edge host = edges[idx];
+      for (int flip = 0; flip < 2; ++flip) {
+        const Edge a{u, flip ? host.v : host.u};
+        const Edge b{v, flip ? host.u : host.v};
+        if (a.is_loop() || b.is_loop() || a.key() == b.key()) continue;
+        if (keys.contains(a.key()) || keys.contains(b.key())) continue;
+        keys.erase(host.key());
+        edges[idx] = a;
+        edges.push_back(b);
+        keys.insert(a.key());
+        keys.insert(b.key());
+        ++stats.rewired_patches;
+        return true;
+      }
+      return false;
+    };
+    bool placed = false;
+    for (std::size_t attempt = 0;
+         attempt < max_rewire_attempts && !edges.empty(); ++attempt) {
+      if (try_host(rng.bounded(edges.size()))) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed && !edges.empty()) {
+      // Random sampling exhausted: scan every edge once from a random
+      // offset — finds a feasible host whenever one exists at all.
+      const std::size_t start = rng.bounded(edges.size());
+      for (std::size_t off = 0; off < edges.size(); ++off) {
+        if (try_host((start + off) % edges.size())) {
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) stats.residual_deficit += 2;
+  }
+  stats.residual_deficit += stubs.size() - s;  // odd stub out, if any
+  return stats;
+}
+
+std::size_t sanitize_probabilities(ProbabilityMatrix& matrix) {
+  std::size_t fixed = 0;
+  const std::size_t nc = matrix.num_classes();
+  for (std::size_t i = 0; i < nc; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double p = matrix.at(i, j);
+      if (std::isfinite(p) && p >= 0.0 && p <= 1.0) continue;
+      matrix.set(i, j, std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0);
+      ++fixed;
+    }
+  }
+  return fixed;
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,56 @@
+#pragma once
+// Repair pass: restore simplicity and a target degree sequence on a
+// damaged edge list (the recovery arm of the pipeline guardrails).
+//
+// The pass (after Bhuiyan et al.'s treat-infeasibility-as-a-phase design):
+//   1. erase self-loops and duplicate edges (keep the first occurrence),
+//   2. remove edges incident to vertices whose degree exceeds target
+//      (preferring edges whose BOTH endpoints are over target),
+//   3. collect the remaining per-vertex degree deficit as a stub list,
+//      shuffle it (seeded), and reconnect pairs of stubs — directly when
+//      the new edge is simple, otherwise through a targeted rewire: pick
+//      an existing edge {x,y}, replace it with {u,x} and {v,y} (degrees of
+//      x and y unchanged, u and v gain one each).
+// Failures are bounded: a stub pair gets a fixed number of rewire
+// attempts; what cannot be placed is reported as residual_deficit rather
+// than looping forever. Deterministic for a fixed (input, targets, seed).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+
+namespace nullgraph {
+
+struct RepairStats {
+  std::size_t loops_erased = 0;
+  std::size_t duplicates_erased = 0;
+  std::size_t surplus_edges_removed = 0;
+  std::size_t edges_added = 0;      // deficit stub pairs joined directly
+  std::size_t rewired_patches = 0;  // stub pairs placed through a rewire
+  std::size_t residual_deficit = 0; // stubs that could not be placed
+
+  bool complete() const noexcept { return residual_deficit == 0; }
+  bool touched() const noexcept {
+    return loops_erased || duplicates_erased || surplus_edges_removed ||
+           edges_added || rewired_patches;
+  }
+};
+
+/// Repairs `edges` in place toward `target_degrees` (indexed by vertex id;
+/// vertices beyond the vector are treated as target 0). Output is always
+/// simple; the degree sequence matches the target exactly iff
+/// stats.complete().
+RepairStats repair_to_degrees(EdgeList& edges,
+                              const std::vector<std::uint64_t>& target_degrees,
+                              std::uint64_t seed = 1,
+                              std::size_t max_rewire_attempts = 64);
+
+/// Clamps every matrix entry into [0,1] and zeroes non-finite ones;
+/// returns how many entries were altered. The repair-mode answer to
+/// kProbabilityOverflow.
+std::size_t sanitize_probabilities(ProbabilityMatrix& matrix);
+
+}  // namespace nullgraph

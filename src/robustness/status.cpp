@@ -1,0 +1,50 @@
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kIoError: return "kIoError";
+    case StatusCode::kIoMalformed: return "kIoMalformed";
+    case StatusCode::kNotGraphical: return "kNotGraphical";
+    case StatusCode::kProbabilityOverflow: return "kProbabilityOverflow";
+    case StatusCode::kNonSimpleOutput: return "kNonSimpleOutput";
+    case StatusCode::kDegreeMismatch: return "kDegreeMismatch";
+    case StatusCode::kSwapStagnation: return "kSwapStagnation";
+    case StatusCode::kConnectivityExhausted: return "kConnectivityExhausted";
+    case StatusCode::kRepairIncomplete: return "kRepairIncomplete";
+    case StatusCode::kInternal: return "kInternal";
+  }
+  return "kUnknown";
+}
+
+int status_exit_code(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kInternal: return 2;
+    case StatusCode::kIoError: return 3;
+    case StatusCode::kIoMalformed: return 4;
+    case StatusCode::kNotGraphical: return 5;
+    case StatusCode::kProbabilityOverflow: return 6;
+    case StatusCode::kNonSimpleOutput: return 7;
+    case StatusCode::kDegreeMismatch: return 8;
+    case StatusCode::kSwapStagnation: return 9;
+    case StatusCode::kConnectivityExhausted: return 10;
+    case StatusCode::kRepairIncomplete: return 11;
+  }
+  return 2;
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nullgraph

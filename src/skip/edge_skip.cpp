@@ -1,5 +1,6 @@
 #include "skip/edge_skip.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -68,7 +69,10 @@ PairSpace make_space(const DegreeDistribution& dist, std::size_t hi,
 template <typename EmitFn>
 void traverse(double p, std::uint64_t begin, std::uint64_t end,
               Xoshiro256ss& rng, EmitFn&& emit) {
-  if (p <= 0.0 || begin >= end) return;
+  // !(p > 0) rather than p <= 0: a NaN probability (corrupted matrix) must
+  // fall through to the early return, not reach the log-skip arithmetic
+  // where it would drive `t` through undefined float->int conversion.
+  if (!(p > 0.0) || begin >= end) return;
   if (p >= 1.0) {
     for (std::uint64_t t = begin; t < end; ++t) emit(t);
     return;
@@ -110,9 +114,9 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
   for (std::uint64_t k = 0, pair = 0; k < nc; ++k) {
     for (std::uint64_t j = 0; j <= k; ++j, ++pair) {
       const double p = P.at(k, j);
-      if (p <= 0.0) continue;
+      if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
       const PairSpace space = make_space(dist, k, j);
-      const double expected = p * static_cast<double>(space.size);
+      const double expected = std::min(p, 1.0) * static_cast<double>(space.size);
       if (expected <= static_cast<double>(config.edges_per_task)) continue;
       const std::uint64_t chunks = static_cast<std::uint64_t>(
           expected / static_cast<double>(config.edges_per_task)) + 1;
@@ -140,9 +144,9 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
       while ((k + 1) * (k + 2) / 2 <= pair) ++k;
       const std::uint64_t j = pair - k * (k + 1) / 2;
       const double p = P.at(k, j);
-      if (p <= 0.0) continue;
+      if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
       const PairSpace space = make_space(dist, k, j);
-      if (p * static_cast<double>(space.size) >
+      if (std::min(p, 1.0) * static_cast<double>(space.size) >
           static_cast<double>(config.edges_per_task))
         continue;  // handled by the big-task loop
       Xoshiro256ss rng(task_seed(config.seed, pair, 0));
@@ -170,7 +174,7 @@ EdgeList edge_skip_generate_serial(const ProbabilityMatrix& P,
   for (std::uint64_t k = 0, pair = 0; k < nc; ++k) {
     for (std::uint64_t j = 0; j <= k; ++j, ++pair) {
       const double p = P.at(k, j);
-      if (p <= 0.0) continue;
+      if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
       const PairSpace space = make_space(dist, k, j);
       Xoshiro256ss rng(task_seed(seed, pair, 0));
       traverse(p, 0, space.size, rng,

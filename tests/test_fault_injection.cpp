@@ -1,0 +1,286 @@
+// Seeded fault injection drives every guardrail recovery path: each
+// FaultPlan fault class must end in either a successful repair (simplicity
+// and degree sequence restored, verified via census()/degrees_of) or a
+// clean typed failure with the documented StatusCode — never a crash, a
+// hang, or a silently non-simple edge list.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/null_model.hpp"
+#include "ds/degree_distribution.hpp"
+#include "robustness/fault_injection.hpp"
+#include "robustness/repair.hpp"
+#include "robustness/status.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace nullgraph {
+namespace {
+
+/// Ring on n vertices: simple, connected, every degree exactly 2 — the
+/// cleanest possible shuffle input for exact degree assertions.
+EdgeList ring(VertexId n) {
+  EdgeList edges;
+  for (VertexId i = 0; i < n; ++i) edges.push_back({i, (i + 1u) % n});
+  return edges;
+}
+
+StatusCode strict_shuffle_code(EdgeList edges, const FaultPlan& faults,
+                               std::size_t swap_iterations = 4) {
+  GenerateConfig config;
+  config.swap_iterations = swap_iterations;
+  config.guardrails.policy = RecoveryPolicy::kStrict;
+  config.guardrails.faults = faults;
+  try {
+    shuffle_graph(std::move(edges), config);
+  } catch (const StatusError& error) {
+    return error.code();
+  }
+  return StatusCode::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: drop_edges
+
+TEST(FaultInjection, DropEdgesStrictSurfacesDegreeMismatch) {
+  FaultPlan faults;
+  faults.drop_edges = 3;
+  EXPECT_EQ(strict_shuffle_code(ring(40), faults),
+            StatusCode::kDegreeMismatch);
+}
+
+TEST(FaultInjection, DropEdgesRepairRestoresDegrees) {
+  const EdgeList original = ring(40);
+  const auto target = degrees_of(original, 40);
+  FaultPlan faults;
+  faults.drop_edges = 3;
+  GenerateConfig config;
+  config.swap_iterations = 4;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.faults = faults;
+  const GenerateResult result = shuffle_graph(original, config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_TRUE(census(result.edges).simple());
+  EXPECT_EQ(degrees_of(result.edges, 40), target);
+  EXPECT_TRUE(result.report.repair.touched());
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: duplicate_edges
+
+TEST(FaultInjection, DuplicatesWithStallStrictSurfacesSwapStagnation) {
+  FaultPlan faults;
+  faults.duplicate_edges = 4;
+  faults.force_swap_stall = true;
+  EXPECT_EQ(strict_shuffle_code(ring(40), faults),
+            StatusCode::kSwapStagnation);
+}
+
+TEST(FaultInjection, DuplicatesWithoutSwapsStrictSurfacesNonSimpleOutput) {
+  FaultPlan faults;
+  faults.duplicate_edges = 4;
+  EXPECT_EQ(strict_shuffle_code(ring(40), faults, /*swap_iterations=*/0),
+            StatusCode::kNonSimpleOutput);
+}
+
+TEST(FaultInjection, DuplicatesRepairRestoresSimplicityAndDegrees) {
+  const EdgeList original = ring(40);
+  const auto target = degrees_of(original, 40);
+  FaultPlan faults;
+  faults.duplicate_edges = 4;
+  faults.force_swap_stall = true;  // retries stall too: repair must finish
+  GenerateConfig config;
+  config.swap_iterations = 4;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.faults = faults;
+  const GenerateResult result = shuffle_graph(original, config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_TRUE(census(result.edges).simple());
+  EXPECT_EQ(degrees_of(result.edges, 40), target);
+  EXPECT_GE(result.report.repair.duplicates_erased, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: self_loops
+
+TEST(FaultInjection, SelfLoopsStrictSurfacesStagnationUnderStall) {
+  FaultPlan faults;
+  faults.self_loops = 3;
+  faults.force_swap_stall = true;
+  EXPECT_EQ(strict_shuffle_code(ring(40), faults),
+            StatusCode::kSwapStagnation);
+}
+
+TEST(FaultInjection, SelfLoopsRepairRestoresSimplicityAndDegrees) {
+  const EdgeList original = ring(40);
+  const auto target = degrees_of(original, 40);
+  FaultPlan faults;
+  faults.self_loops = 3;
+  faults.force_swap_stall = true;
+  GenerateConfig config;
+  config.swap_iterations = 4;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.faults = faults;
+  const GenerateResult result = shuffle_graph(original, config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_TRUE(census(result.edges).simple());
+  // Loops raised degrees above the snapshot; repair sheds them exactly.
+  EXPECT_EQ(degrees_of(result.edges, 40), target);
+  EXPECT_GE(result.report.repair.loops_erased, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: corrupt_prob_entries
+
+TEST(FaultInjection, CorruptProbabilityStrictSurfacesOverflow) {
+  const DegreeDistribution dist({{2, 60}, {4, 12}});
+  FaultPlan faults;
+  faults.corrupt_prob_entries = 1;  // default poison 4.0 > 1
+  GenerateConfig config;
+  config.guardrails.policy = RecoveryPolicy::kStrict;
+  config.guardrails.faults = faults;
+  try {
+    generate_null_graph(dist, config);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), StatusCode::kProbabilityOverflow);
+  }
+}
+
+TEST(FaultInjection, CorruptProbabilityRepairSanitizesAndCompletes) {
+  const DegreeDistribution dist({{2, 60}, {4, 12}});
+  FaultPlan faults;
+  faults.corrupt_prob_entries = 2;
+  faults.corrupt_prob_value = std::numeric_limits<double>::quiet_NaN();
+  GenerateConfig config;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.faults = faults;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_GE(result.report.probability_entries_sanitized, 1u);
+  EXPECT_TRUE(census(result.edges).simple());
+}
+
+TEST(FaultInjection, NaNProbabilityInReportModeDoesNotHang) {
+  // Record-only mode leaves the poisoned matrix in place: the edge-skip
+  // traversal must skip the NaN space rather than loop or corrupt indices.
+  const DegreeDistribution dist({{2, 100}});
+  ProbabilityMatrix P(1);
+  P.set(0, 0, std::numeric_limits<double>::quiet_NaN());
+  const EdgeList edges = edge_skip_generate(P, dist, {});
+  EXPECT_TRUE(edges.empty());
+
+  FaultPlan faults;
+  faults.corrupt_prob_entries = 1;
+  faults.corrupt_prob_value = std::numeric_limits<double>::quiet_NaN();
+  GenerateConfig config;
+  config.guardrails.policy = RecoveryPolicy::kReport;  // record, don't fix
+  config.guardrails.faults = faults;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_FALSE(result.report.ok());
+  EXPECT_EQ(result.report.first_error().code(),
+            StatusCode::kProbabilityOverflow);
+}
+
+// ---------------------------------------------------------------------------
+// Fault class: force_swap_stall
+
+TEST(FaultInjection, StallAloneOnCleanGraphIsNotAnError) {
+  // A stalled chain on an already-simple graph violates nothing: the
+  // output is a valid (if unmixed) sample; the report stays clean.
+  const DegreeDistribution dist({{2, 60}});
+  FaultPlan faults;
+  faults.force_swap_stall = true;
+  GenerateConfig config;
+  config.guardrails.policy = RecoveryPolicy::kStrict;
+  config.guardrails.faults = faults;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_EQ(result.swap_stats.total_swapped(), 0u);
+  EXPECT_TRUE(census(result.edges).simple());
+}
+
+// ---------------------------------------------------------------------------
+// All fault classes at once, end to end through generate
+
+TEST(FaultInjection, CombinedFaultsRepairEndToEnd) {
+  const DegreeDistribution dist({{2, 80}, {4, 20}, {8, 4}});
+  FaultPlan faults;
+  faults.drop_edges = 2;
+  faults.duplicate_edges = 2;
+  faults.self_loops = 2;
+  faults.corrupt_prob_entries = 1;
+  faults.force_swap_stall = true;
+  GenerateConfig config;
+  config.seed = 9;
+  config.swap_iterations = 3;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.max_retries = 2;
+  config.guardrails.faults = faults;
+  const GenerateResult result = generate_null_graph(dist, config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  const SimplicityCensus c = census(result.edges);
+  EXPECT_EQ(c.self_loops, 0u);
+  EXPECT_EQ(c.multi_edges, 0u);
+  EXPECT_TRUE(result.report.repair.touched());
+}
+
+TEST(FaultInjection, RepairFallsBackAfterRetriesExhaust) {
+  // Retries only fire when degrees are intact but simplicity is not, so
+  // feed a dirty input (its own degrees are the snapshot) and force every
+  // retry to stall; the pass must still converge and count the retries.
+  EdgeList original = ring(30);
+  original.push_back({0, 1});  // duplicate of the first ring edge
+  FaultPlan faults;
+  faults.force_swap_stall = true;
+  GenerateConfig config;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  config.guardrails.max_retries = 2;
+  config.guardrails.faults = faults;
+  const GenerateResult result = shuffle_graph(original, config);
+  EXPECT_EQ(result.report.retries_used, 2u);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_TRUE(census(result.edges).simple());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a fault scenario reproduces exactly
+
+TEST(FaultInjection, InjectionAndRepairAreDeterministic) {
+  FaultPlan faults;
+  faults.seed = 1234;
+  faults.drop_edges = 2;
+  faults.duplicate_edges = 2;
+  faults.self_loops = 1;
+  EdgeList a = ring(50), b = ring(50);
+  inject_edge_faults(a, faults);
+  inject_edge_faults(b, faults);
+  EXPECT_EQ(a, b);
+
+  const auto target = degrees_of(ring(50), 50);
+  const RepairStats sa = repair_to_degrees(a, target, 77);
+  const RepairStats sb = repair_to_degrees(b, target, 77);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sa.residual_deficit, sb.residual_deficit);
+  EXPECT_TRUE(sa.complete());
+  EXPECT_EQ(degrees_of(a, 50), target);
+}
+
+// Dirty legitimate input (no faults): kRepair finishes what swaps cannot.
+TEST(FaultInjection, RepairPolicyCleansDirtyShuffleInput) {
+  EdgeList dirty{{0, 0}, {1, 2}, {1, 2}, {3, 4}, {5, 6}, {7, 8}, {2, 3}};
+  const auto target = degrees_of(dirty, 9);  // loops count 2, dups count
+  GenerateConfig config;
+  config.seed = 5;
+  config.swap_iterations = 6;
+  config.guardrails.policy = RecoveryPolicy::kRepair;
+  const GenerateResult result = shuffle_graph(std::move(dirty), config);
+  EXPECT_TRUE(result.report.ok()) << result.report.summary();
+  EXPECT_TRUE(census(result.edges).simple());
+  EXPECT_EQ(degrees_of(result.edges, 9), target);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -27,6 +27,42 @@ TEST(EdgeListIo, ThrowsOnMalformedLine) {
   EXPECT_THROW(read_edge_list(stream), std::runtime_error);
 }
 
+TEST(EdgeListIo, RejectsTrailingTokens) {
+  std::stringstream stream("1 2 3\n");
+  const auto result = try_read_edge_list(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoMalformed);
+}
+
+TEST(EdgeListIo, RejectsNegativeVertexIds) {
+  // "-1" must not wrap into a huge unsigned id.
+  std::stringstream stream("-1 2\n");
+  const auto result = try_read_edge_list(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoMalformed);
+  EXPECT_NE(result.status().message().find("negative"), std::string::npos);
+}
+
+TEST(EdgeListIo, RejectsIdsBeyondVertexIdRange) {
+  std::stringstream stream("4294967296 2\n");  // 2^32 > max VertexId
+  const auto result = try_read_edge_list(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoMalformed);
+}
+
+TEST(EdgeListIo, RejectsSingleField) {
+  std::stringstream stream("7\n");
+  const auto result = try_read_edge_list(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoMalformed);
+}
+
+TEST(EdgeListIo, TryReadMissingFileReturnsIoError) {
+  const auto result = try_read_edge_list_file("/nonexistent/nope.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
 TEST(EdgeListIo, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/nullgraph_edges.txt";
   const EdgeList edges{{10, 20}, {30, 40}};
@@ -53,9 +89,28 @@ TEST(DegreeDistributionIo, CommentsAndValidation) {
   EXPECT_EQ(dist.num_stubs(), 14u);
 }
 
-TEST(DegreeDistributionIo, OddTotalRejectedByConstructor) {
+TEST(DegreeDistributionIo, OddTotalRejectedAsNotGraphical) {
   std::stringstream stream("3 1\n");
-  EXPECT_THROW(read_degree_distribution(stream), std::invalid_argument);
+  const auto result = try_read_degree_distribution(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotGraphical);
+  // The throwing wrapper surfaces the same failure as a StatusError.
+  std::stringstream again("3 1\n");
+  try {
+    read_degree_distribution(again);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), StatusCode::kNotGraphical);
+  }
+}
+
+TEST(DegreeDistributionIo, RejectsTrailingTokensAndNegatives) {
+  std::stringstream trailing("2 5 9\n");
+  EXPECT_EQ(try_read_degree_distribution(trailing).status().code(),
+            StatusCode::kIoMalformed);
+  std::stringstream negative("2 -5\n");
+  EXPECT_EQ(try_read_degree_distribution(negative).status().code(),
+            StatusCode::kIoMalformed);
 }
 
 TEST(DegreeDistributionIo, FileRoundTrip) {

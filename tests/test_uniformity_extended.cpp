@@ -157,8 +157,11 @@ TEST(TriangleReversal, NoTrianglesMeansNoChanges) {
 TEST(ConnectedGeneration, ReportsAndDeliversConnectivity) {
   // Dense-enough distribution: connectivity should arrive within attempts.
   const DegreeDistribution dist({{4, 200}, {8, 50}});
+  GenerateConfig config;
+  config.seed = 1;
+  config.swap_iterations = 2;
   const ConnectedGenerateResult outcome =
-      generate_connected_null_graph(dist, {.seed = 1, .swap_iterations = 2});
+      generate_connected_null_graph(dist, config);
   EXPECT_TRUE(outcome.connected);
   EXPECT_GE(outcome.attempts_used, 1u);
   EXPECT_TRUE(is_simple(outcome.result.edges));
@@ -168,8 +171,11 @@ TEST(ConnectedGeneration, SparseInputMayExhaustAttempts) {
   // Average degree ~1: a connected realization is essentially impossible;
   // the call must terminate and report failure honestly.
   const DegreeDistribution dist({{1, 1000}});
-  const ConnectedGenerateResult outcome = generate_connected_null_graph(
-      dist, {.seed = 2, .swap_iterations = 1}, 3);
+  GenerateConfig config;
+  config.seed = 2;
+  config.swap_iterations = 1;
+  const ConnectedGenerateResult outcome =
+      generate_connected_null_graph(dist, config, 3);
   EXPECT_FALSE(outcome.connected);
   EXPECT_EQ(outcome.attempts_used, 3u);
 }

@@ -7,9 +7,24 @@
 //   nullgraph lfr      --n N --mu MU [--seed S] [--out FILE]
 //   nullgraph dist     --in FILE [--out FILE]     (edge list -> distribution)
 //
-// Exit status 0 on success, 1 on bad usage, 2 on runtime failure.
+// Pipeline guardrails (generate / shuffle):
+//   --strict          abort on the first invariant violation, exit with the
+//                     violation's typed code (see below)
+//   --repair          recover: retry-with-reseed, then repair pass
+//   --max-retries K   swap-phase reseed budget under --repair (default 2)
+//   --inject-drop N / --inject-dup N / --inject-loop N / --inject-prob N /
+//   --inject-stall / --inject-seed S
+//                     seeded fault injection (testing hooks; inert when 0)
+//
+// Exit status: 0 success, 1 bad usage, 2 unclassified runtime failure,
+// 3+ one per typed error class (status_exit_code in robustness/status.hpp):
+// 3 kIoError, 4 kIoMalformed, 5 kNotGraphical, 6 kProbabilityOverflow,
+// 7 kNonSimpleOutput, 8 kDegreeMismatch, 9 kSwapStagnation,
+// 10 kConnectivityExhausted, 11 kRepairIncomplete.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
@@ -24,10 +39,38 @@
 #include "gen/powerlaw.hpp"
 #include "io/graph_io.hpp"
 #include "lfr/lfr.hpp"
+#include "robustness/status.hpp"
 
 namespace {
 
 using namespace nullgraph;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: nullgraph <command> [options]\n"
+               "  generate --dist FILE | --powerlaw [--n N --gamma G --dmin "
+               "D --dmax D]  [--seed S --swaps K --out FILE]\n"
+               "  shuffle  --in FILE [--seed S --swaps K --out FILE]\n"
+               "  stats    --in FILE\n"
+               "  lfr      [--n N --mu MU --dmin D --dmax D --cmin C --cmax "
+               "C --seed S --out FILE --communities FILE]\n"
+               "  dist     --in FILE [--out FILE]\n"
+               "guardrails (generate/shuffle): --strict | --repair "
+               "[--max-retries K]\n"
+               "fault injection (testing): --inject-drop N --inject-dup N "
+               "--inject-loop N --inject-prob N --inject-stall "
+               "--inject-seed S\n"
+               "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
+               "(see README)\n");
+}
+
+[[noreturn]] void die_usage(const std::string& key, const std::string& value,
+                            const char* kind) {
+  std::fprintf(stderr, "invalid %s for --%s: '%s'\n", kind, key.c_str(),
+               value.c_str());
+  usage();
+  std::exit(1);
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -38,13 +81,33 @@ struct Args {
       if (k == key) return v;
     return std::nullopt;
   }
+  bool has(const std::string& key) const { return get(key).has_value(); }
+  /// Strict base-10 unsigned parse: the whole token must be digits.
+  /// strtoull alone would silently return 0 on garbage and wrap "-1".
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
     const auto value = get(key);
-    return value ? std::strtoull(value->c_str(), nullptr, 10) : fallback;
+    if (!value) return fallback;
+    if (value->empty() ||
+        value->find_first_not_of("0123456789") != std::string::npos)
+      die_usage(key, *value, "integer");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+    if (errno == ERANGE || end != value->c_str() + value->size())
+      die_usage(key, *value, "integer");
+    return parsed;
   }
+  /// Strict double parse: the whole token must be consumed.
   double get_double(const std::string& key, double fallback) const {
     const auto value = get(key);
-    return value ? std::atof(value->c_str()) : fallback;
+    if (!value) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value->c_str(), &end);
+    if (value->empty() || end != value->c_str() + value->size() ||
+        errno == ERANGE)
+      die_usage(key, *value, "number");
+    return parsed;
   }
 };
 
@@ -64,6 +127,34 @@ Args parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+GuardrailConfig guardrails_from(const Args& args) {
+  GuardrailConfig guard;
+  if (args.has("strict")) guard.policy = RecoveryPolicy::kStrict;
+  if (args.has("repair")) guard.policy = RecoveryPolicy::kRepair;
+  guard.max_retries = args.get_u64("max-retries", guard.max_retries);
+  guard.faults.drop_edges = args.get_u64("inject-drop", 0);
+  guard.faults.duplicate_edges = args.get_u64("inject-dup", 0);
+  guard.faults.self_loops = args.get_u64("inject-loop", 0);
+  guard.faults.corrupt_prob_entries = args.get_u64("inject-prob", 0);
+  guard.faults.force_swap_stall = args.has("inject-stall");
+  guard.faults.seed = args.get_u64("inject-seed", guard.faults.seed);
+  return guard;
+}
+
+/// Prints the report when anything noteworthy happened; returns the exit
+/// code the guardrail contract demands (typed for --strict/--repair
+/// residuals, 0 for record-only mode).
+int finish_with_report(const PipelineReport& report, RecoveryPolicy policy) {
+  if (!report.ok() || report.repair.touched() || report.retries_used > 0)
+    std::fprintf(stderr, "guardrails:\n%s", report.summary().c_str());
+  const Status err = report.first_error();
+  if (err.ok()) return 0;
+  // Record-only mode warns but keeps the legacy success status.
+  if (policy == RecoveryPolicy::kReport) return 0;
+  std::fprintf(stderr, "error: %s\n", err.to_string().c_str());
+  return status_exit_code(err.code());
 }
 
 void print_graph_stats(const EdgeList& edges) {
@@ -109,6 +200,7 @@ int cmd_generate(const Args& args) {
   GenerateConfig config;
   config.seed = args.get_u64("seed", 1);
   config.swap_iterations = args.get_u64("swaps", 10);
+  config.guardrails = guardrails_from(args);
   const GenerateResult result = generate_null_graph(dist, config);
   const QualityErrors errors = quality_errors(dist, result.edges);
   std::fprintf(stderr,
@@ -118,6 +210,9 @@ int cmd_generate(const Args& args) {
                static_cast<unsigned long long>(dist.num_edges()),
                100 * errors.edge_count, 100 * errors.max_degree,
                result.timing.total_seconds());
+  const int code =
+      finish_with_report(result.report, config.guardrails.policy);
+  if (code != 0) return code;
   if (const auto out = args.get("out")) {
     write_edge_list_file(*out, result.edges);
   } else {
@@ -136,10 +231,14 @@ int cmd_shuffle(const Args& args) {
   GenerateConfig config;
   config.seed = args.get_u64("seed", 1);
   config.swap_iterations = args.get_u64("swaps", 10);
+  config.guardrails = guardrails_from(args);
   const GenerateResult result = shuffle_graph(std::move(edges), config);
   std::fprintf(stderr, "shuffled: %zu swaps committed over %zu iterations\n",
                result.swap_stats.total_swapped(),
                result.swap_stats.iterations.size());
+  const int code =
+      finish_with_report(result.report, config.guardrails.policy);
+  if (code != 0) return code;
   if (const auto out = args.get("out")) {
     write_edge_list_file(*out, result.edges);
   } else {
@@ -206,18 +305,6 @@ int cmd_dist(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: nullgraph <command> [options]\n"
-               "  generate --dist FILE | --powerlaw [--n N --gamma G --dmin "
-               "D --dmax D]  [--seed S --swaps K --out FILE]\n"
-               "  shuffle  --in FILE [--seed S --swaps K --out FILE]\n"
-               "  stats    --in FILE\n"
-               "  lfr      [--n N --mu MU --dmin D --dmax D --cmin C --cmax "
-               "C --seed S --out FILE --communities FILE]\n"
-               "  dist     --in FILE [--out FILE]\n");
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +320,9 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "lfr") return cmd_lfr(args);
     if (command == "dist") return cmd_dist(args);
+  } catch (const StatusError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return status_exit_code(error.code());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
