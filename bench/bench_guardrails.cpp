@@ -6,6 +6,11 @@
 // the finished edge list, so kReport and kRepair must stay within a few
 // percent of kOff (the acceptance bar is <5%); the generation phases
 // themselves dominate.
+//
+// BM_GuardrailsGoverned adds the run-governance layer on top of kReport
+// with an unlimited budget — the CLI's default configuration. Its cost is
+// the per-chunk governor polls (one relaxed load on the common path, a
+// clock read per 4096 swap pairs), so it shares the same <5% bar.
 
 #include <benchmark/benchmark.h>
 
@@ -16,7 +21,8 @@ namespace {
 
 using namespace nullgraph;
 
-void run_policy(benchmark::State& state, RecoveryPolicy policy) {
+void run_policy(benchmark::State& state, RecoveryPolicy policy,
+                bool governed = false) {
   const DegreeDistribution dist = powerlaw_distribution(
       {.n = 200000, .gamma = 2.5, .dmin = 2, .dmax = 300});
   std::uint64_t seed = 1;
@@ -25,6 +31,7 @@ void run_policy(benchmark::State& state, RecoveryPolicy policy) {
     config.seed = seed++;
     config.swap_iterations = 1;
     config.guardrails.policy = policy;
+    config.governance.enabled = governed;  // unlimited budget: polls only
     GenerateResult result = generate_null_graph(dist, config);
     benchmark::DoNotOptimize(result.edges.data());
     state.counters["edges"] =
@@ -43,9 +50,15 @@ void BM_GuardrailsReport(benchmark::State& state) {
 void BM_GuardrailsRepair(benchmark::State& state) {
   run_policy(state, RecoveryPolicy::kRepair);
 }
+void BM_GuardrailsGoverned(benchmark::State& state) {
+  run_policy(state, RecoveryPolicy::kReport, /*governed=*/true);
+}
 
 BENCHMARK(BM_GuardrailsOff)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_GuardrailsReport)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_GuardrailsRepair)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_GuardrailsGoverned)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + ctest in the default configuration, then
 # again under AddressSanitizer + UndefinedBehaviorSanitizer (catches the
-# memory and UB classes the typed-status guardrails cannot).
+# memory and UB classes the typed-status guardrails cannot), then a
+# ThreadSanitizer tier over the concurrency-critical suites (hash set,
+# permutation, swap phase, governance — the cross-thread cancel/stop
+# paths).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -30,5 +33,19 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j"$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== tier 1: TSan build (concurrency suites) =="
+# TSan is incompatible with ASan/UBSan, so it gets its own tree. Only the
+# suites with real cross-thread traffic run here: everything else would
+# triple the wall time for no additional interleaving coverage.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNULLGRAPH_SANITIZE=thread \
+  -DNULLGRAPH_BUILD_BENCH=OFF \
+  -DNULLGRAPH_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j"$JOBS"
+TSAN_OPTIONS=halt_on_error=1 OMP_NUM_THREADS=4 \
+  ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
+    -R 'ConcurrentHashSet|Permutation|DoubleEdgeSwap|Governance|StallWatchdog|RunGovernor'
 
 echo "== all checks passed =="

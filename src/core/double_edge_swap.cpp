@@ -1,5 +1,7 @@
 #include "core/double_edge_swap.hpp"
 
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
 #include "ds/concurrent_hash_set.hpp"
@@ -31,22 +33,64 @@ void propose(const Edge& e, const Edge& f, bool coin, Edge& g, Edge& h) {
 
 SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
   SwapStats stats;
-  stats.iterations.resize(config.iterations);
   const std::size_t m = edges.size();
+
+  const RunGovernor* gov = config.governor;
+  // Pre-allocation gate: a run already stopped (e.g. the memory-budget
+  // check in null_model, or a cancellation before this phase) must not pay
+  // for the table below — nor fabricate degenerate-path iterations.
+  if (gov != nullptr) {
+    const StatusCode verdict = gov->should_stop();
+    if (verdict != StatusCode::kOk) {
+      stats.stop_reason = verdict;
+      stats.final_chain_state = config.start_iteration > 0
+                                    ? config.resume_chain_state
+                                    : config.seed;
+      return stats;
+    }
+  }
+
   if (m < 2) {
+    stats.iterations.resize(config.iterations);
     for (SwapIterationStats& it : stats.iterations)
       for (const Edge& e : edges)
         if (e.is_loop()) ++it.input_self_loops;
     return stats;
   }
 
-  ConcurrentHashSet table(m);
+  // Worst-case inserts per iteration: <= m refill keys plus 2 candidates
+  // per pair — size for both so the table's <= 0.5 load invariant holds.
+  ConcurrentHashSet table(m + 2 * (m / 2));
   std::vector<std::uint8_t> ever_swapped;
   if (config.track_swapped_edges) ever_swapped.assign(m, 0);
 
-  std::uint64_t seed_chain = config.seed;
-  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-    SwapIterationStats& it_stats = stats.iterations[iter];
+  // The watchdog is armed only under governance: ungoverned callers (unit
+  // tests, benchmarks) get exactly the historical run-to-completion chain.
+  StallWatchdog watchdog(gov != nullptr ? gov->watchdog()
+                                        : WatchdogConfig{.enabled = false});
+
+  std::uint64_t seed_chain = config.start_iteration > 0
+                                 ? config.resume_chain_state
+                                 : config.seed;
+  stats.final_chain_state = seed_chain;
+  stats.iterations.reserve(config.iterations - config.start_iteration);
+  for (std::size_t iter = config.start_iteration; iter < config.iterations;
+       ++iter) {
+    if (gov != nullptr) {
+      if (gov->budget().max_swap_iterations != 0 &&
+          iter >= gov->budget().max_swap_iterations)
+        gov->note_stop(StatusCode::kDeadlineExceeded);
+      const StatusCode verdict = gov->should_stop();
+      if (verdict != StatusCode::kOk) {
+        stats.stop_reason = verdict;
+        break;
+      }
+    }
+    if (config.slow_iteration_ms != 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.slow_iteration_ms));
+    stats.iterations.emplace_back();
+    SwapIterationStats& it_stats = stats.iterations.back();
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
     const std::uint64_t coin_seed = splitmix64_next(seed_chain);
 
@@ -54,7 +98,7 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     //    Self-loop keys are skipped: a candidate is never a loop, so their
     //    presence in T could not block anything. The same pass counts the
     //    input simplicity census for free.
-    if (iter > 0) table.clear();
+    if (stats.iterations.size() > 1) table.clear();
     std::size_t in_loops = 0, in_dups = 0;
 #pragma omp parallel for schedule(static) reduction(+ : in_loops, in_dups)
     for (std::size_t i = 0; i < m; ++i) {
@@ -72,10 +116,10 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
     const std::span<const std::uint64_t> target_span(targets.data(),
                                                      targets.size());
-    apply_targets_parallel(std::span<Edge>(edges), target_span);
+    apply_targets_parallel(std::span<Edge>(edges), target_span, gov);
     if (config.track_swapped_edges) {
       apply_targets_parallel(std::span<std::uint8_t>(ever_swapped),
-                             target_span);
+                             target_span, gov);
     }
 
     // 3. Attempt one swap per adjacent pair.
@@ -84,6 +128,12 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
 #pragma omp parallel for schedule(static) \
     reduction(+ : swapped, rejected_existing, rejected_loop)
     for (std::size_t k = 0; k < pairs; ++k) {
+      if (gov != nullptr) {
+        // Refresh the verdict (clock + token) once per 4096 pairs; the
+        // sticky check itself is one relaxed load, cheap enough per pair.
+        if ((k & 4095u) == 0) (void)gov->should_stop();
+        if (gov->stopped()) continue;  // skipped pairs keep their edges
+      }
       const Edge e = edges[2 * k];
       const Edge f = edges[2 * k + 1];
       Edge g, h;
@@ -111,7 +161,24 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     it_stats.swapped = swapped;
     it_stats.rejected_existing = rejected_existing;
     it_stats.rejected_loop = rejected_loop;
+    stats.final_chain_state = seed_chain;
+
+    if (gov != nullptr) {
+      watchdog.record(it_stats.attempted, it_stats.swapped);
+      if (watchdog.stalled()) gov->note_stop(StatusCode::kSwapStalled);
+    }
+    if (config.on_iteration) {
+      SwapProgress progress;
+      progress.completed_iterations = iter + 1;
+      progress.total_iterations = config.iterations;
+      progress.chain_state = seed_chain;
+      progress.edges = &edges;
+      config.on_iteration(progress);
+    }
   }
+  if (gov != nullptr && stats.stop_reason == StatusCode::kOk &&
+      gov->stopped())
+    stats.stop_reason = gov->stop_reason();
 
   if (config.track_swapped_edges) {
     std::size_t count = 0;
@@ -200,6 +267,7 @@ SwapStats swap_edges_serial(EdgeList& edges, const SwapConfig& config) {
       }
     }
     it_stats.attempted = pairs;
+    stats.final_chain_state = seed_chain;
   }
 
   if (config.track_swapped_edges) {

@@ -21,11 +21,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ds/edge_list.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
+
+/// Chain position reported to SwapConfig::on_iteration after each completed
+/// iteration — everything a checkpoint needs to resume the chain exactly.
+struct SwapProgress {
+  std::size_t completed_iterations = 0;  // absolute, includes resumed ones
+  std::size_t total_iterations = 0;      // what the config asked for
+  /// seed_chain value AFTER this iteration: resuming with
+  /// SwapConfig::resume_chain_state = chain_state reproduces the
+  /// uninterrupted chain bit-for-bit.
+  std::uint64_t chain_state = 0;
+  const EdgeList* edges = nullptr;       // current edge list (borrowed)
+};
 
 struct SwapConfig {
   std::size_t iterations = 10;
@@ -34,6 +48,24 @@ struct SwapConfig {
   /// (costs one extra permutation pass per iteration); enables
   /// SwapStats::edges_ever_swapped, the paper's mixing diagnostic.
   bool track_swapped_edges = false;
+
+  /// Optional run governance: polled at iteration boundaries, permutation
+  /// rounds, and every 4096 pairs inside the swap loop; also arms the stall
+  /// watchdog with the governor's WatchdogConfig. A curtailed swap phase
+  /// leaves `edges` a valid graph (committed swaps preserve degrees and
+  /// never introduce loops or duplicates) and reports why in
+  /// SwapStats::stop_reason.
+  const RunGovernor* governor = nullptr;
+  /// FaultPlan::slow_phase_ms wiring: sleep this long at the top of every
+  /// iteration so deadline/watchdog paths can be drilled deterministically.
+  std::uint64_t slow_iteration_ms = 0;
+  /// Resume: skip the first `start_iteration` iterations (already done
+  /// before a checkpoint) and seed the per-iteration RNG chain from
+  /// `resume_chain_state` instead of deriving it from `seed`.
+  std::size_t start_iteration = 0;
+  std::uint64_t resume_chain_state = 0;
+  /// Checkpoint sink, called after every completed iteration.
+  std::function<void(const SwapProgress&)> on_iteration;
 };
 
 struct SwapIterationStats {
@@ -55,11 +87,29 @@ struct SwapStats {
   /// Edges that took part in >= 1 committed swap over all iterations
   /// (only when SwapConfig::track_swapped_edges).
   std::size_t edges_ever_swapped = 0;
+  /// kOk when the chain ran to completion; the governance verdict
+  /// (kDeadlineExceeded / kCancelled / kSwapStalled) when curtailed.
+  StatusCode stop_reason = StatusCode::kOk;
+  /// seed_chain value after the last completed iteration; feed into
+  /// SwapConfig::resume_chain_state to continue the chain exactly.
+  std::uint64_t final_chain_state = 0;
 
   std::size_t total_swapped() const noexcept {
     std::size_t sum = 0;
     for (const auto& it : iterations) sum += it.swapped;
     return sum;
+  }
+  /// Accepted-swap fraction over the whole recorded chain — the "how mixed
+  /// is the returned graph" number a curtailment reports.
+  double acceptance() const noexcept {
+    std::size_t attempted = 0, swapped = 0;
+    for (const auto& it : iterations) {
+      attempted += it.attempted;
+      swapped += it.swapped;
+    }
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(swapped) / static_cast<double>(attempted);
   }
 };
 

@@ -7,7 +7,8 @@
 namespace nullgraph {
 
 std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed,
-                                std::size_t max_iterations) {
+                                std::size_t max_iterations,
+                                const RunGovernor* governor) {
   const std::size_t m = edges.size();
   if (m == 0) return 0;
   // The tracked "ever swapped" flags live inside one swap_edges call (they
@@ -19,6 +20,10 @@ std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed,
   std::size_t covered = 0;
   std::size_t horizon = 1;
   while (horizon <= max_iterations) {
+    // Governance is polled between whole-horizon probes, never inside one:
+    // a probe cut short would corrupt the coverage search.
+    if (governor != nullptr && governor->should_stop() != StatusCode::kOk)
+      return max_iterations + 1;
     EdgeList copy = working;
     SwapConfig config;
     config.iterations = horizon;
@@ -30,6 +35,9 @@ std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed,
       // Binary-search the smallest sufficient horizon in [horizon/2+1, horizon].
       std::size_t lo = horizon / 2 + 1, hi = horizon;
       while (lo < hi) {
+        if (governor != nullptr &&
+            governor->should_stop() != StatusCode::kOk)
+          return hi;  // best bound so far
         const std::size_t mid = lo + (hi - lo) / 2;
         EdgeList probe = working;
         SwapConfig probe_config;
@@ -50,10 +58,12 @@ std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed,
 
 std::vector<double> acceptance_profile(EdgeList edges,
                                        std::size_t iterations,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       const RunGovernor* governor) {
   SwapConfig config;
   config.iterations = iterations;
   config.seed = seed;
+  config.governor = governor;
   const SwapStats stats = swap_edges(edges, config);
   std::vector<double> rates;
   rates.reserve(stats.iterations.size());
@@ -69,12 +79,14 @@ std::vector<double> acceptance_profile(EdgeList edges,
 std::vector<double> statistic_trace(
     EdgeList edges, std::size_t iterations,
     const std::function<double(const EdgeList&)>& statistic,
-    std::uint64_t seed) {
+    std::uint64_t seed, const RunGovernor* governor) {
   std::vector<double> trace;
   trace.reserve(iterations + 1);
   trace.push_back(statistic(edges));
   std::uint64_t seed_chain = seed;
   for (std::size_t it = 0; it < iterations; ++it) {
+    if (governor != nullptr && governor->should_stop() != StatusCode::kOk)
+      break;  // governed: shorter trace
     SwapConfig config;
     config.iterations = 1;
     config.seed = splitmix64_next(seed_chain);

@@ -24,22 +24,25 @@ namespace nullgraph {
 
 /// Runs swap iterations until every edge has swapped at least once (or
 /// `max_iterations`); returns the iteration count (max_iterations + 1 when
-/// the budget ran out).
+/// the budget ran out). A governed diagnostic that is stopped mid-search
+/// returns its best bound so far (max_iterations + 1 when none was found).
 std::size_t coverage_iterations(EdgeList edges, std::uint64_t seed = 1,
-                                std::size_t max_iterations = 256);
+                                std::size_t max_iterations = 256,
+                                const RunGovernor* governor = nullptr);
 
 /// Per-iteration acceptance rates for `iterations` swaps of a copy of
 /// `edges`.
 std::vector<double> acceptance_profile(EdgeList edges,
                                        std::size_t iterations,
-                                       std::uint64_t seed = 1);
+                                       std::uint64_t seed = 1,
+                                       const RunGovernor* governor = nullptr);
 
 /// Records statistic(edges) after every swap iteration (index 0 = before
-/// any swaps).
+/// any swaps). Governed runs may return a shorter trace.
 std::vector<double> statistic_trace(
     EdgeList edges, std::size_t iterations,
     const std::function<double(const EdgeList&)>& statistic,
-    std::uint64_t seed = 1);
+    std::uint64_t seed = 1, const RunGovernor* governor = nullptr);
 
 /// Lag-k autocorrelations (k = 0..max_lag) of a scalar trace; values[0] is
 /// always 1 for non-constant traces, 0 for constant ones.

@@ -1,10 +1,12 @@
 #include "core/null_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <utility>
 
 #include "analysis/components.hpp"
+#include "io/checkpoint.hpp"
 #include "prob/heuristics.hpp"
 #include "robustness/fault_injection.hpp"
 #include "robustness/repair.hpp"
@@ -30,6 +32,58 @@ void record(PipelineReport& report, RecoveryPolicy policy, std::string phase,
 void mark_repaired(PipelineReport& report, StatusCode code) {
   for (PhaseCheck& check : report.checks)
     if (check.status.code() == code) check.repaired = true;
+}
+
+/// Records a Curtailment for `phase` when the governor has stopped the run.
+/// Curtailments are informational (the best-so-far graph is still
+/// returned), so they never throw, even under kStrict.
+void record_curtailment(PipelineReport& report, const RunGovernor* gov,
+                        const char* phase, std::size_t completed,
+                        std::size_t requested, double acceptance = 0.0) {
+  if (gov == nullptr || !gov->stopped()) return;
+  report.curtailments.push_back(
+      {phase, gov->stop_reason(), completed, requested, acceptance});
+}
+
+/// Estimated swap-phase buffer footprint (edge list + hash table +
+/// permutation targets), checked against RunBudget::max_memory_bytes.
+std::size_t swap_footprint_bytes(std::size_t m) {
+  const std::size_t expected_keys = m + 2 * (m / 2);
+  const std::size_t table_capacity =
+      std::bit_ceil(expected_keys < 8 ? std::size_t{16} : 2 * expected_keys);
+  return m * sizeof(Edge) + table_capacity * sizeof(std::uint64_t) +
+         m * sizeof(std::uint64_t);
+}
+
+/// Installs the governance fields on a SwapConfig: governor, slow-phase
+/// fault, and (when configured) the checkpoint sink that snapshots the
+/// chain every `checkpoint_every` completed iterations and at the end.
+void wire_swap_governance(SwapConfig& swap_config, const RunGovernor* gov,
+                          const GovernanceConfig& governance,
+                          const GuardrailConfig& guard) {
+  swap_config.governor = gov;
+  swap_config.slow_iteration_ms = guard.faults.slow_phase_ms;
+  if (gov == nullptr || governance.checkpoint_every == 0 ||
+      governance.checkpoint_path.empty())
+    return;
+  const std::size_t every = governance.checkpoint_every;
+  const std::string path = governance.checkpoint_path;
+  const std::uint64_t swap_seed = swap_config.seed;
+  swap_config.on_iteration = [every, path, swap_seed](const SwapProgress& p) {
+    if (p.completed_iterations % every != 0 &&
+        p.completed_iterations != p.total_iterations)
+      return;
+    Checkpoint ckpt;
+    ckpt.swap_seed = swap_seed;
+    ckpt.total_iterations = p.total_iterations;
+    ckpt.completed_iterations = p.completed_iterations;
+    ckpt.chain_state = p.chain_state;
+    ckpt.degree_fingerprint = degree_fingerprint(*p.edges);
+    ckpt.edges = *p.edges;
+    // Best-effort: a failed snapshot must not kill the run it exists to
+    // protect; the next interval (or the final write) retries.
+    (void)write_checkpoint(path, ckpt);
+  };
 }
 
 SwapStats run_swaps(EdgeList& edges, const SwapConfig& config,
@@ -170,21 +224,22 @@ auto run_checked(Fn&& fn) -> Result<decltype(fn())> {
 
 ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
                                          ProbabilityMethod method,
-                                         int refine_iterations) {
+                                         int refine_iterations,
+                                         const RunGovernor* governor) {
   ProbabilityMatrix matrix;
   switch (method) {
     case ProbabilityMethod::kGreedyAllocation:
-      matrix = greedy_probabilities(dist);
+      matrix = greedy_probabilities(dist, 32, governor);
       break;
     case ProbabilityMethod::kPaperStubMatching:
-      matrix = stub_matching_probabilities(dist);
+      matrix = stub_matching_probabilities(dist, governor);
       break;
     case ProbabilityMethod::kChungLu:
-      matrix = chung_lu_probabilities(dist);
+      matrix = chung_lu_probabilities(dist, governor);
       break;
   }
   if (refine_iterations > 0)
-    refine_probabilities(matrix, dist, refine_iterations);
+    refine_probabilities(matrix, dist, refine_iterations, governor);
   return matrix;
 }
 
@@ -195,6 +250,13 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   const bool checking = guard.policy != RecoveryPolicy::kOff;
   std::uint64_t seed_chain = config.seed;
 
+  // The governor is constructed here (starting the deadline clock) and
+  // threaded through every phase; a null pointer keeps the phases on their
+  // historical ungoverned paths.
+  const RunGovernor governor(config.governance.budget, config.governance.cancel,
+                             config.governance.watchdog);
+  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
+
   // A non-graphical input has no repair (we never rewrite the caller's
   // distribution): strict aborts, other policies record and proceed with
   // the usual best-effort realization.
@@ -203,8 +265,10 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
 
   result.timing.start("probabilities");
   ProbabilityMatrix P = generate_probabilities(
-      dist, config.probability_method, config.refine_iterations);
+      dist, config.probability_method, config.refine_iterations, gov);
   result.timing.stop();
+  record_curtailment(result.report, gov, "probabilities", 0,
+                     dist.num_classes());
   if (guard.faults.corrupt_prob_entries > 0)
     inject_probability_faults(P, guard.faults);
   if (checking) {
@@ -222,8 +286,11 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   result.timing.start("edge generation");
   EdgeSkipConfig skip_config;
   skip_config.seed = splitmix64_next(seed_chain);
+  skip_config.governor = gov;
   result.edges = edge_skip_generate(P, dist, skip_config);
   result.timing.stop();
+  record_curtailment(result.report, gov, "edge generation",
+                     result.edges.size(), 0);
 
   // Snapshot of the clean generation, taken before faults can damage it:
   // a streaming degree fingerprint for the preservation check, plus (under
@@ -243,6 +310,12 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   swap_config.iterations = config.swap_iterations;
   swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
+  wire_swap_governance(swap_config, gov, config.governance, guard);
+  // The memory ceiling is checked against the phase's estimated footprint
+  // BEFORE swap_edges allocates; a trip makes the phase return immediately
+  // with the (simple by construction) edge-skip output as best-so-far.
+  if (gov != nullptr)
+    (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
   if (checking) {
     swap_phase_with_recovery(
         result.edges, result, guard, swap_config, expected_fp,
@@ -252,6 +325,9 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     result.swap_stats = swap_edges(result.edges, swap_config);
   }
   result.timing.stop();
+  record_curtailment(result.report, gov, "swaps",
+                     result.swap_stats.iterations.size(),
+                     config.swap_iterations, result.swap_stats.acceptance());
   return result;
 }
 
@@ -261,6 +337,10 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   const GuardrailConfig& guard = config.guardrails;
   const bool checking = guard.policy != RecoveryPolicy::kOff;
   std::uint64_t seed_chain = config.seed;
+
+  const RunGovernor governor(config.governance.budget, config.governance.cancel,
+                             config.governance.watchdog);
+  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
 
   // The input's own degree sequence is the contract; snapshot (fingerprint
   // plus, under kRepair, the pristine list itself) before any injected
@@ -280,6 +360,9 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   swap_config.iterations = config.swap_iterations;
   swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
+  wire_swap_governance(swap_config, gov, config.governance, guard);
+  if (gov != nullptr)
+    (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
   if (checking) {
     swap_phase_with_recovery(
         result.edges, result, guard, swap_config, expected_fp,
@@ -289,6 +372,60 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
     result.swap_stats = swap_edges(result.edges, swap_config);
   }
   result.timing.stop();
+  record_curtailment(result.report, gov, "swaps",
+                     result.swap_stats.iterations.size(),
+                     config.swap_iterations, result.swap_stats.acceptance());
+  return result;
+}
+
+GenerateResult resume_null_graph(const Checkpoint& checkpoint,
+                                 const GenerateConfig& config) {
+  GenerateResult result;
+  result.edges = checkpoint.edges;
+  const GuardrailConfig& guard = config.guardrails;
+  const bool checking = guard.policy != RecoveryPolicy::kOff;
+
+  const RunGovernor governor(config.governance.budget, config.governance.cancel,
+                             config.governance.watchdog);
+  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
+
+  // The snapshot's fingerprint was computed from its own edge list when it
+  // was written, so a mismatch here means memory corruption or a tampered
+  // file that still passes CRC — reject rather than resume a broken chain.
+  if (checking)
+    record(result.report, guard.policy, "checkpoint",
+           degree_fingerprint(result.edges) == checkpoint.degree_fingerprint
+               ? Status::Ok()
+               : Status(StatusCode::kCheckpointInvalid,
+                        "degree fingerprint does not match snapshot"));
+
+  const std::uint64_t expected_fp = degree_fingerprint(result.edges);
+
+  result.timing.start("swaps");
+  SwapConfig swap_config;
+  swap_config.iterations =
+      static_cast<std::size_t>(checkpoint.total_iterations);
+  swap_config.seed = checkpoint.swap_seed;
+  swap_config.start_iteration =
+      static_cast<std::size_t>(checkpoint.completed_iterations);
+  swap_config.resume_chain_state = checkpoint.chain_state;
+  swap_config.track_swapped_edges = config.track_swapped_edges;
+  wire_swap_governance(swap_config, gov, config.governance, guard);
+  if (gov != nullptr)
+    (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
+  result.swap_stats = swap_edges(result.edges, swap_config);
+  result.timing.stop();
+  record_curtailment(result.report, gov, "swaps",
+                     result.swap_stats.iterations.size(),
+                     swap_config.iterations - swap_config.start_iteration,
+                     result.swap_stats.acceptance());
+
+  if (checking) {
+    record(result.report, guard.policy, "swaps",
+           check_simple(output_census(result.edges, result.swap_stats)));
+    record(result.report, guard.policy, "degrees",
+           check_degree_fingerprint(expected_fp, result.edges));
+  }
   return result;
 }
 

@@ -19,16 +19,36 @@
 // it is inert unless armed.
 
 #include <cstdint>
+#include <string>
 
 #include "core/double_edge_swap.hpp"
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
 #include "prob/probability_matrix.hpp"
+#include "robustness/governance.hpp"
 #include "robustness/invariants.hpp"
 #include "robustness/status.hpp"
 #include "util/timer.hpp"
 
 namespace nullgraph {
+
+/// Run-governance wiring for one generation (see robustness/governance.hpp).
+/// Disabled by default at the library level so embedded callers keep exact
+/// historical behavior; the CLI enables it for every run, which is where
+/// deadlines, Ctrl-C cancellation, the stall watchdog, and checkpoints are
+/// service-facing defaults.
+struct GovernanceConfig {
+  /// Master switch: when false the other fields are ignored and no governor
+  /// is threaded through the phases.
+  bool enabled = false;
+  RunBudget budget;
+  CancelToken cancel;
+  WatchdogConfig watchdog;
+  /// Write a checkpoint after every N completed swap iterations (0 = off;
+  /// requires checkpoint_path). See io/checkpoint.hpp for the format.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+};
 
 enum class ProbabilityMethod {
   kGreedyAllocation,   // default: exact stub accounting (DESIGN.md §6)
@@ -46,6 +66,8 @@ struct GenerateConfig {
   bool track_swapped_edges = false;
   /// Invariant checks, recovery policy, and (test-only) fault injection.
   GuardrailConfig guardrails;
+  /// Deadlines, cancellation, stall watchdog, checkpoints (off by default).
+  GovernanceConfig governance;
 };
 
 struct GenerateResult {
@@ -58,10 +80,12 @@ struct GenerateResult {
   PipelineReport report;
 };
 
-/// Phase 1 on its own: probabilities for `dist` by the chosen method.
+/// Phase 1 on its own: probabilities for `dist` by the chosen method. The
+/// optional governor curtails the heuristic at per-row granularity.
 ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
                                          ProbabilityMethod method,
-                                         int refine_iterations = 0);
+                                         int refine_iterations = 0,
+                                         const RunGovernor* governor = nullptr);
 
 /// Problem 2 (Algorithm IV.1): uniformly random simple graph matching
 /// `dist` in expectation. Vertex ids follow the DegreeDistribution
@@ -106,6 +130,19 @@ struct ConnectedGenerateResult {
 ConnectedGenerateResult generate_connected_null_graph(
     const DegreeDistribution& dist, const GenerateConfig& config = {},
     std::size_t max_attempts = 32);
+
+/// Continuation of a checkpointed run (see io/checkpoint.hpp): resumes the
+/// swap chain from the snapshot's edge list and RNG stream position and
+/// runs the remaining iterations. With the same thread count as the
+/// original run the final edge list is bit-identical to the uninterrupted
+/// one (determinism is a single-thread contract for the parallel swap
+/// phase, matching DESIGN.md). GenerateConfig::seed and swap_iterations are
+/// ignored — the checkpoint carries both; guardrails and governance apply
+/// as usual. A snapshot whose degree fingerprint no longer matches its
+/// edge list records kCheckpointInvalid (strict: throws).
+struct Checkpoint;  // io/checkpoint.hpp
+GenerateResult resume_null_graph(const Checkpoint& checkpoint,
+                                 const GenerateConfig& config = {});
 
 /// generate_null_graph for an explicit per-vertex target degree sequence:
 /// output edges are relabeled so vertex i aims at degrees[i]. Within a

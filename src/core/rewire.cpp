@@ -17,7 +17,9 @@ RewireStats rewire_assortativity(EdgeList& edges,
   // Degrees never change under swaps; compute once.
   const std::vector<std::uint64_t> degree = degrees_of(edges);
 
-  ConcurrentHashSet table(m);
+  // Refill (<= m keys) plus 2 candidates per pair — sized so the <= 0.5
+  // load-factor invariant holds through a whole iteration.
+  ConcurrentHashSet table(m + 2 * (m / 2));
   std::uint64_t seed_chain = config.seed;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);

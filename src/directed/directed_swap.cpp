@@ -17,7 +17,9 @@ DirectedSwapStats directed_swap_arcs(ArcList& arcs,
   const std::size_t m = arcs.size();
   if (m < 2) return stats;
 
-  ConcurrentHashSet table(m);
+  // Refill (<= m keys) plus 2 candidates per pair — sized so the <= 0.5
+  // load-factor invariant holds through a whole iteration.
+  ConcurrentHashSet table(m + 2 * (m / 2));
   std::uint64_t seed_chain = config.seed;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     DirectedSwapIterationStats& it_stats = stats.iterations[iter];

@@ -21,25 +21,32 @@ ConcurrentHashSet::ConcurrentHashSet(std::size_t expected_keys,
   clear();
 }
 
-bool ConcurrentHashSet::test_and_set(std::uint64_t key) noexcept {
+InsertOutcome ConcurrentHashSet::insert(std::uint64_t key) noexcept {
   assert(key != kEmpty && "sentinel key is reserved");
   const std::size_t start = static_cast<std::size_t>(hash(key)) & mask_;
   for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
     std::atomic<std::uint64_t>& slot = slots_[probe(start, attempt)];
     std::uint64_t observed = slot.load(std::memory_order_relaxed);
-    if (observed == key) return true;
+    if (observed == key) return InsertOutcome::kAlreadyPresent;
     if (observed == kEmpty) {
       if (slot.compare_exchange_strong(observed, key,
                                        std::memory_order_relaxed)) {
-        return false;  // we inserted it
+#ifndef NDEBUG
+        const std::size_t now =
+            debug_size_.fetch_add(1, std::memory_order_relaxed) + 1;
+        assert(2 * now <= capacity_ &&
+               "hash table load factor invariant (<= 0.5) violated");
+#endif
+        return InsertOutcome::kInserted;
       }
       // Raced: `observed` now holds the winner's key.
-      if (observed == key) return true;
+      if (observed == key) return InsertOutcome::kAlreadyPresent;
       // A different key claimed this slot; keep probing.
     }
   }
-  assert(false && "hash table full: load factor invariant violated");
-  return true;
+  // The probe sequence visited every slot without finding `key` or a free
+  // one: the table is genuinely full. Typed failure instead of spinning.
+  return InsertOutcome::kTableFull;
 }
 
 bool ConcurrentHashSet::contains(std::uint64_t key) const noexcept {
@@ -57,6 +64,9 @@ void ConcurrentHashSet::clear() noexcept {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < capacity_; ++i)
     slots_[i].store(kEmpty, std::memory_order_relaxed);
+#ifndef NDEBUG
+  debug_size_.store(0, std::memory_order_relaxed);
+#endif
 }
 
 std::size_t ConcurrentHashSet::size() const noexcept {

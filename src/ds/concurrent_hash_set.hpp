@@ -10,9 +10,24 @@
 #include <cstdint>
 #include <memory>
 
+#include "robustness/status.hpp"
+
 namespace nullgraph {
 
 enum class Probing { kLinear, kQuadratic };
+
+/// Typed result of a bounded insert probe.
+enum class InsertOutcome {
+  kInserted,        // key was absent; we claimed a slot
+  kAlreadyPresent,  // key was in the table
+  kTableFull,       // probe budget (== capacity) spent without a free slot
+};
+
+/// kTableFull -> kCapacityExhausted; the other outcomes are not errors.
+inline StatusCode insert_status(InsertOutcome outcome) noexcept {
+  return outcome == InsertOutcome::kTableFull ? StatusCode::kCapacityExhausted
+                                              : StatusCode::kOk;
+}
 
 class ConcurrentHashSet {
  public:
@@ -29,10 +44,23 @@ class ConcurrentHashSet {
   ConcurrentHashSet(const ConcurrentHashSet&) = delete;
   ConcurrentHashSet& operator=(const ConcurrentHashSet&) = delete;
 
+  /// Inserts `key` if absent, with a probe budget of `capacity()` attempts
+  /// — the probe sequence visits every slot exactly once, so kTableFull is
+  /// a definitive verdict, not a timeout. Thread-safe; lock-free. Debug
+  /// builds assert the <= 0.5 load-factor invariant on every insert; in
+  /// release a violated invariant degrades to kTableFull instead of an
+  /// unbounded probe loop.
+  InsertOutcome insert(std::uint64_t key) noexcept;
+
   /// Inserts `key` if absent. Returns true when the key was ALREADY present
   /// (the paper's TestAndSet convention: true = reject the new edge).
+  /// A full table also returns true — rejecting the candidate is always
+  /// conservative for the swap phase (the proposed swap is simply not
+  /// committed). Callers that must distinguish use insert().
   /// Thread-safe; lock-free.
-  bool test_and_set(std::uint64_t key) noexcept;
+  bool test_and_set(std::uint64_t key) noexcept {
+    return insert(key) != InsertOutcome::kInserted;
+  }
 
   /// True when `key` is in the table. Thread-safe against concurrent
   /// inserts (may miss keys being inserted concurrently).
@@ -66,6 +94,12 @@ class ConcurrentHashSet {
   std::size_t mask_ = 0;
   Probing probing_ = Probing::kLinear;
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+#ifndef NDEBUG
+  /// Debug-only insert counter backing the load-factor assert; not
+  /// maintained in release builds (a shared counter would contend on the
+  /// swap phase's hot path).
+  std::atomic<std::size_t> debug_size_{0};
+#endif
 };
 
 }  // namespace nullgraph

@@ -1,0 +1,165 @@
+#include "io/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace nullgraph {
+
+namespace {
+
+constexpr std::array<unsigned char, 8> kMagic = {'N', 'G', 'C', 'K',
+                                                 'P', 'T', '\0', '\1'};
+constexpr std::size_t kHeaderFields = 6;  // u64s between version and edges
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t value) {
+  unsigned char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.insert(out.end(), bytes, bytes + sizeof(value));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t value) {
+  unsigned char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.insert(out.end(), bytes, bytes + sizeof(value));
+}
+
+std::uint64_t get_u64(const unsigned char* at) {
+  std::uint64_t value;
+  std::memcpy(&value, at, sizeof(value));
+  return value;
+}
+
+Status invalid(const std::string& why) {
+  return Status(StatusCode::kCheckpointInvalid, why);
+}
+
+}  // namespace
+
+std::uint32_t crc32_bytes(const void* data, std::size_t size,
+                          std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  // Serialize the whole snapshot in memory first (checkpoints are taken at
+  // iteration boundaries of runs whose edge list already fits in memory, so
+  // one more copy is cheap next to the table the swap phase keeps).
+  std::vector<unsigned char> blob;
+  blob.reserve(64 + ckpt.edges.size() * sizeof(Edge) + 4);
+  blob.insert(blob.end(), kMagic.begin(), kMagic.end());
+  put_u32(blob, kCheckpointVersion);
+  const std::size_t covered_from = blob.size();  // CRC covers from here on
+  put_u64(blob, ckpt.swap_seed);
+  put_u64(blob, ckpt.total_iterations);
+  put_u64(blob, ckpt.completed_iterations);
+  put_u64(blob, ckpt.chain_state);
+  put_u64(blob, ckpt.degree_fingerprint);
+  put_u64(blob, static_cast<std::uint64_t>(ckpt.edges.size()));
+  if (!ckpt.edges.empty()) {
+    const auto* edge_bytes =
+        reinterpret_cast<const unsigned char*>(ckpt.edges.data());
+    blob.insert(blob.end(), edge_bytes,
+                edge_bytes + ckpt.edges.size() * sizeof(Edge));
+  }
+  put_u32(blob, crc32_bytes(blob.data() + covered_from,
+                            blob.size() - covered_from));
+
+  // Crash-consistent commit: temp file, flush, fsync, rename.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError,
+                  "cannot open checkpoint temp file: " + tmp);
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), file) == blob.size() &&
+      std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  if (std::fclose(file) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError,
+                  "cannot rename checkpoint into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Checkpoint> try_read_checkpoint(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError, "cannot open checkpoint: " + path);
+  std::vector<unsigned char> blob;
+  std::array<unsigned char, 1 << 16> chunk;
+  std::size_t got;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0)
+    blob.insert(blob.end(), chunk.data(), chunk.data() + got);
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error)
+    return Status(StatusCode::kIoError, "read error on checkpoint: " + path);
+
+  constexpr std::size_t header_size =
+      kMagic.size() + sizeof(std::uint32_t) + kHeaderFields * sizeof(std::uint64_t);
+  if (blob.size() < header_size + sizeof(std::uint32_t))
+    return invalid("truncated checkpoint (shorter than header): " + path);
+  if (std::memcmp(blob.data(), kMagic.data(), kMagic.size()) != 0)
+    return invalid("bad magic (not a checkpoint file): " + path);
+  std::uint32_t version;
+  std::memcpy(&version, blob.data() + kMagic.size(), sizeof(version));
+  if (version != kCheckpointVersion)
+    return invalid("unsupported checkpoint version " +
+                   std::to_string(version) + ": " + path);
+
+  const std::size_t covered_from = kMagic.size() + sizeof(version);
+  const unsigned char* fields = blob.data() + covered_from;
+  Checkpoint ckpt;
+  ckpt.swap_seed = get_u64(fields + 0 * 8);
+  ckpt.total_iterations = get_u64(fields + 1 * 8);
+  ckpt.completed_iterations = get_u64(fields + 2 * 8);
+  ckpt.chain_state = get_u64(fields + 3 * 8);
+  ckpt.degree_fingerprint = get_u64(fields + 4 * 8);
+  const std::uint64_t edge_count = get_u64(fields + 5 * 8);
+
+  const std::uint64_t expected_size =
+      header_size + edge_count * sizeof(Edge) + sizeof(std::uint32_t);
+  if (edge_count > (blob.size() / sizeof(Edge)) ||
+      blob.size() != expected_size)
+    return invalid("payload length mismatch (" + std::to_string(blob.size()) +
+                   " bytes for " + std::to_string(edge_count) +
+                   " edges): " + path);
+
+  const std::size_t covered_size =
+      blob.size() - covered_from - sizeof(std::uint32_t);
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (crc32_bytes(blob.data() + covered_from, covered_size) != stored_crc)
+    return invalid("CRC mismatch (corrupted checkpoint): " + path);
+
+  ckpt.edges.resize(edge_count);
+  if (edge_count > 0)
+    std::memcpy(ckpt.edges.data(), blob.data() + header_size,
+                edge_count * sizeof(Edge));
+  return ckpt;
+}
+
+}  // namespace nullgraph

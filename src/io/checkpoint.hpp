@@ -1,0 +1,61 @@
+#pragma once
+// Checkpoint format v1: a versioned, CRC-guarded binary snapshot of a
+// generation run taken at swap-iteration boundaries, so an interrupted run
+// can resume and reproduce the uninterrupted output bit-for-bit.
+//
+// Layout (all integers native-endian; v1 snapshots are not portable across
+// byte orders — a documented limitation, the service restarts runs on the
+// machine class that started them):
+//
+//   offset  size  field
+//   0       8     magic "NGCKPT\0\1" (includes a format-breaking byte)
+//   8       4     version (u32, currently 1)
+//   12      8     swap_seed        SwapConfig::seed of the original run
+//   20      8     total_iterations requested swap iterations
+//   28      8     completed_iterations at snapshot time
+//   36      8     chain_state      seed_chain AFTER the completed iterations
+//   44      8     degree_fingerprint of the edge list (cheap resume sanity)
+//   52      8     edge_count m
+//   60      8*m   edges (two u32 endpoints per edge, see ds/edge.hpp)
+//   60+8m   4     CRC-32 (poly 0xEDB88320) over bytes [12, 60+8m)
+//
+// Writes are crash-consistent: the snapshot goes to "<path>.tmp", is
+// flushed and fsync'd, then renamed over <path> — a torn write can only
+// lose the newest snapshot, never corrupt the previous one. Reads verify
+// magic, version, CRC, and the payload length implied by edge_count;
+// anything off is kCheckpointInvalid (or kIoError for filesystem trouble).
+
+#include <cstdint>
+#include <string>
+
+#include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One snapshot's contents — everything swap_edges needs to continue the
+/// chain exactly (see SwapConfig::start_iteration / resume_chain_state).
+struct Checkpoint {
+  std::uint64_t swap_seed = 0;
+  std::uint64_t total_iterations = 0;
+  std::uint64_t completed_iterations = 0;
+  std::uint64_t chain_state = 0;
+  std::uint64_t degree_fingerprint = 0;
+  EdgeList edges;
+};
+
+/// Atomically writes `ckpt` to `path` (write-to-temp, fsync, rename).
+Status write_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Reads and verifies a snapshot. kIoError when the file cannot be opened;
+/// kCheckpointInvalid for bad magic, unknown version, truncation, or a CRC
+/// mismatch (message says which).
+Result<Checkpoint> try_read_checkpoint(const std::string& path);
+
+/// CRC-32 (IEEE, poly 0xEDB88320), exposed for tests.
+std::uint32_t crc32_bytes(const void* data, std::size_t size,
+                          std::uint32_t seed = 0);
+
+}  // namespace nullgraph

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "robustness/governance.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -38,10 +39,14 @@ namespace detail {
 
 /// Round-synchronous reservation driver shared by all element types.
 /// `swap_cells(i, j)` must swap application data between cells i and j.
+/// The optional governor is polled once per round; stopping mid-shuffle
+/// leaves a partially-applied permutation, which is still a permutation of
+/// the input (no element is lost or duplicated).
 template <typename SwapFn>
 PermuteStats run_reservation_rounds(std::size_t n,
                                     std::span<const std::uint64_t> targets,
-                                    SwapFn&& swap_cells) {
+                                    SwapFn&& swap_cells,
+                                    const RunGovernor* governor = nullptr) {
   PermuteStats stats;
   if (n < 2) return stats;
   // Reservation array: holds the highest iteration index currently bidding
@@ -61,6 +66,8 @@ PermuteStats run_reservation_rounds(std::size_t n,
   std::vector<std::vector<std::uint64_t>> next(
       static_cast<std::size_t>(nthreads));
   while (!remaining.empty()) {
+    if (governor != nullptr && governor->should_stop() != StatusCode::kOk)
+      break;
     ++stats.rounds;
     // Phase 1: every live iteration bids for its two cells.
 #pragma omp parallel for schedule(static)
@@ -122,19 +129,24 @@ void apply_targets_serial(std::span<T> values,
 /// Parallel Knuth shuffle against explicit targets (Shun et al.).
 template <typename T>
 PermuteStats apply_targets_parallel(std::span<T> values,
-                                    std::span<const std::uint64_t> targets) {
+                                    std::span<const std::uint64_t> targets,
+                                    const RunGovernor* governor = nullptr) {
   return detail::run_reservation_rounds(
       values.size(), targets,
-      [&](std::size_t i, std::size_t j) { std::swap(values[i], values[j]); });
+      [&](std::size_t i, std::size_t j) { std::swap(values[i], values[j]); },
+      governor);
 }
 
 /// Uniformly permutes `values` in parallel.
 template <typename T>
-PermuteStats parallel_permute(std::span<T> values, std::uint64_t seed) {
+PermuteStats parallel_permute(std::span<T> values, std::uint64_t seed,
+                              const RunGovernor* governor = nullptr) {
   const std::vector<std::uint64_t> targets =
       knuth_targets(values.size(), seed);
-  return apply_targets_parallel(values, std::span<const std::uint64_t>(
-                                            targets.data(), targets.size()));
+  return apply_targets_parallel(
+      values,
+      std::span<const std::uint64_t>(targets.data(), targets.size()),
+      governor);
 }
 
 /// Uniformly permutes `values` serially; same output as parallel_permute

@@ -6,13 +6,27 @@
 
 namespace nullgraph {
 
-ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist) {
+namespace {
+
+/// Per-chunk governance poll inside the parallel heuristics: an OpenMP for
+/// cannot break, so governed rows that start after the verdict simply no-op
+/// (their matrix rows keep the zero default).
+inline bool governed_stop(const RunGovernor* governor) noexcept {
+  return governor != nullptr &&
+         governor->should_stop() != StatusCode::kOk;
+}
+
+}  // namespace
+
+ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist,
+                                         const RunGovernor* governor) {
   const std::size_t nc = dist.num_classes();
   ProbabilityMatrix matrix(nc);
   const double two_m = static_cast<double>(dist.num_stubs());
   if (two_m == 0) return matrix;
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < nc; ++i) {
+    if (governed_stop(governor)) continue;
     const double di = static_cast<double>(dist.degree_of_class(i));
     for (std::size_t j = 0; j <= i; ++j) {
       const double dj = static_cast<double>(dist.degree_of_class(j));
@@ -23,7 +37,7 @@ ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist) {
 }
 
 ProbabilityMatrix stub_matching_probabilities(
-    const DegreeDistribution& dist) {
+    const DegreeDistribution& dist, const RunGovernor* governor) {
   // Faithful rendering of Section IV-A. Classes are processed in descending
   // expected-degree order; FE starts at TWICE the stub counts and each
   // allocation contributes the half-probability p_ij = e_ij / (2 n_i n_j),
@@ -42,6 +56,7 @@ ProbabilityMatrix stub_matching_probabilities(
   }
   // Our classes are stored ascending; iterate descending (largest first).
   for (std::size_t step = 0; step < nc; ++step) {
+    if (governed_stop(governor)) break;
     const std::size_t i = nc - 1 - step;
     double total = 0.0;
     for (double fe : free_stubs) total += fe;
@@ -70,7 +85,8 @@ ProbabilityMatrix stub_matching_probabilities(
 }
 
 ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
-                                       int rounds) {
+                                       int rounds,
+                                       const RunGovernor* governor) {
   // Descending single-pass allocator with exact stub accounting. When class
   // c is processed, ALL of its remaining stubs are distributed (fractional
   // expected-edge allocations) across itself and the not-yet-processed
@@ -89,6 +105,7 @@ ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
   }
   constexpr double kEps = 1e-9;
   for (std::size_t step = 0; step < nc; ++step) {
+    if (governed_stop(governor)) break;
     const std::size_t c = nc - 1 - step;  // descending degree
     const double n_c = static_cast<double>(dist.count_of_class(c));
     const double self_pairs = n_c * (n_c - 1.0) / 2.0;
@@ -147,10 +164,12 @@ ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
 }
 
 void refine_probabilities(ProbabilityMatrix& matrix,
-                          const DegreeDistribution& dist, int iterations) {
+                          const DegreeDistribution& dist, int iterations,
+                          const RunGovernor* governor) {
   const std::size_t nc = dist.num_classes();
   std::vector<double> scale(nc, 1.0);
   for (int iter = 0; iter < iterations; ++iter) {
+    if (governed_stop(governor)) break;
     for (std::size_t c = 0; c < nc; ++c) {
       const double expected = matrix.expected_degree(c, dist);
       const double target = static_cast<double>(dist.degree_of_class(c));

@@ -18,21 +18,29 @@
 //
 // All run in O(|D|^2) work / O(|D|) parallel depth, matching Section V.
 
+// All heuristics accept an optional RunGovernor and poll it at per-row /
+// per-step granularity; on a stop verdict the remaining rows are left at
+// their zero default (still a valid, if underfilled, probability matrix)
+// and the caller reads the governor's stop_reason().
+
 #include <cstddef>
 
 #include "ds/degree_distribution.hpp"
 #include "prob/probability_matrix.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
 /// Capped Chung-Lu probabilities: P(i,j) = min(1, d_i d_j / 2m).
-ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist);
+ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist,
+                                         const RunGovernor* governor = nullptr);
 
 /// The paper's Section IV-A heuristic, implemented as published: classes
 /// ordered by degree, free-stub array FE initialized to twice the stub
 /// counts, e_ij = Min(FE_i FE_j / (sum FE - FE_i), n_i n_j, FE_j),
 /// p_ij = e_ij / (2 n_i n_j), accumulated symmetrically.
-ProbabilityMatrix stub_matching_probabilities(const DegreeDistribution& dist);
+ProbabilityMatrix stub_matching_probabilities(
+    const DegreeDistribution& dist, const RunGovernor* governor = nullptr);
 
 /// Greedy descending allocator: process classes from d_max down, allocating
 /// each class's remaining stubs across the not-yet-processed classes
@@ -40,13 +48,15 @@ ProbabilityMatrix stub_matching_probabilities(const DegreeDistribution& dist);
 /// every P <= 1) and by the receiving class's remaining stubs. Fractional
 /// allocations; `rounds` water-filling passes absorb cap-bound residue.
 ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
-                                       int rounds = 32);
+                                       int rounds = 32,
+                                       const RunGovernor* governor = nullptr);
 
 /// Optional fixed-point refinement (the paper's "future work" correction):
 /// multiplicative per-class scaling toward the expected-degree system,
 /// clamped to [0, 1]. Improves the low-degree fit Chung-Lu style matrices
 /// get wrong; used by the probability ablation benchmark.
 void refine_probabilities(ProbabilityMatrix& matrix,
-                          const DegreeDistribution& dist, int iterations = 16);
+                          const DegreeDistribution& dist, int iterations = 16,
+                          const RunGovernor* governor = nullptr);
 
 }  // namespace nullgraph

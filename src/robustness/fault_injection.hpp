@@ -47,9 +47,14 @@ struct FaultPlan {
   /// rare-event MCMC stall on pathological inputs.
   bool force_swap_stall = false;
 
+  /// Sleep this long at the top of every swap iteration, simulating a slow
+  /// phase so deadline and watchdog paths can be drilled deterministically
+  /// (--inject-slow-ms).
+  std::uint64_t slow_phase_ms = 0;
+
   bool active() const noexcept {
     return drop_edges || duplicate_edges || self_loops ||
-           corrupt_prob_entries || force_swap_stall;
+           corrupt_prob_entries || force_swap_stall || slow_phase_ms;
   }
   bool edge_faults() const noexcept {
     return drop_edges || duplicate_edges || self_loops;

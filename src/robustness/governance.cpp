@@ -1,0 +1,54 @@
+#include "robustness/governance.hpp"
+
+namespace nullgraph {
+
+StallWatchdog::StallWatchdog(WatchdogConfig config) : config_(config) {
+  if (config_.enabled && config_.window > 0)
+    samples_.assign(config_.window, {0, 0});
+}
+
+void StallWatchdog::record(std::size_t attempted, std::size_t swapped) {
+  if (samples_.empty()) return;
+  auto& slot = samples_[next_];
+  window_attempted_ += attempted - slot.first;
+  window_swapped_ += swapped - slot.second;
+  slot = {attempted, swapped};
+  next_ = (next_ + 1) % samples_.size();
+  if (filled_ < samples_.size()) ++filled_;
+}
+
+bool StallWatchdog::stalled() const noexcept {
+  if (samples_.empty() || filled_ < samples_.size()) return false;
+  if (window_attempted_ == 0) return false;
+  return window_acceptance() <= config_.min_acceptance;
+}
+
+double StallWatchdog::window_acceptance() const noexcept {
+  if (window_attempted_ == 0) return 0.0;
+  return static_cast<double>(window_swapped_) /
+         static_cast<double>(window_attempted_);
+}
+
+StatusCode RunGovernor::should_stop() const noexcept {
+  const StatusCode prior = stop_reason();
+  if (prior != StatusCode::kOk) return prior;
+  if (cancel_.cancelled()) {
+    trip(StatusCode::kCancelled);
+    return stop_reason();
+  }
+  if (budget_.deadline_ms != 0 &&
+      elapsed_ms() >= static_cast<double>(budget_.deadline_ms)) {
+    trip(StatusCode::kDeadlineExceeded);
+    return stop_reason();
+  }
+  return StatusCode::kOk;
+}
+
+bool RunGovernor::memory_exceeded(std::size_t bytes) const noexcept {
+  if (budget_.max_memory_bytes == 0 || bytes <= budget_.max_memory_bytes)
+    return false;
+  trip(StatusCode::kMemoryBudget);
+  return true;
+}
+
+}  // namespace nullgraph

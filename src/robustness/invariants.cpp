@@ -13,6 +13,20 @@ std::string PipelineReport::summary() const {
     if (c.repaired) out += " (repaired)";
     out += '\n';
   }
+  for (const Curtailment& c : curtailments) {
+    out += c.phase;
+    out += ": curtailed (";
+    out += status_code_name(c.reason);
+    out += ") after ";
+    out += std::to_string(c.completed);
+    out += '/';
+    out += std::to_string(c.requested);
+    if (c.acceptance > 0.0) {
+      out += ", acceptance ";
+      out += std::to_string(c.acceptance);
+    }
+    out += '\n';
+  }
   return out;
 }
 

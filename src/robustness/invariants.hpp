@@ -51,11 +51,32 @@ struct PhaseCheck {
   bool holds() const noexcept { return status.ok() || repaired; }
 };
 
+/// One phase cut short by run governance (deadline, cancellation, stall
+/// watchdog, or memory budget). Informational, never a failed check: a
+/// curtailed run still returns its best-so-far graph, and kStrict does not
+/// throw on curtailments — the caller reads the typed reason instead.
+struct Curtailment {
+  std::string phase;       // which phase was cut short
+  StatusCode reason = StatusCode::kOk;  // kDeadlineExceeded / kCancelled / ...
+  /// Work completed when the cut happened, e.g. swap iterations finished
+  /// out of those requested.
+  std::size_t completed = 0;
+  std::size_t requested = 0;
+  /// Swap phase only: accepted-swap fraction over the whole chain so far —
+  /// "how mixed" the returned graph is. 0 for non-swap phases.
+  double acceptance = 0.0;
+};
+
 struct PipelineReport {
   std::vector<PhaseCheck> checks;
+  std::vector<Curtailment> curtailments;
   std::size_t retries_used = 0;
   RepairStats repair;
   std::size_t probability_entries_sanitized = 0;
+  /// First governance stop reason, kOk for a run that went the distance.
+  StatusCode curtailed_by() const noexcept {
+    return curtailments.empty() ? StatusCode::kOk : curtailments.front().reason;
+  }
 
   bool ok() const noexcept {
     for (const PhaseCheck& c : checks)

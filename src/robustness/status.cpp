@@ -16,6 +16,12 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kConnectivityExhausted: return "kConnectivityExhausted";
     case StatusCode::kRepairIncomplete: return "kRepairIncomplete";
     case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case StatusCode::kCancelled: return "kCancelled";
+    case StatusCode::kSwapStalled: return "kSwapStalled";
+    case StatusCode::kCapacityExhausted: return "kCapacityExhausted";
+    case StatusCode::kMemoryBudget: return "kMemoryBudget";
+    case StatusCode::kCheckpointInvalid: return "kCheckpointInvalid";
   }
   return "kUnknown";
 }
@@ -34,6 +40,12 @@ int status_exit_code(StatusCode code) noexcept {
     case StatusCode::kSwapStagnation: return 9;
     case StatusCode::kConnectivityExhausted: return 10;
     case StatusCode::kRepairIncomplete: return 11;
+    case StatusCode::kDeadlineExceeded: return 12;
+    case StatusCode::kCancelled: return 13;
+    case StatusCode::kSwapStalled: return 14;
+    case StatusCode::kCapacityExhausted: return 15;
+    case StatusCode::kMemoryBudget: return 16;
+    case StatusCode::kCheckpointInvalid: return 17;
   }
   return 2;
 }

@@ -29,6 +29,12 @@ enum class StatusCode : int {
   kConnectivityExhausted,  // connected-variant retry budget spent
   kRepairIncomplete,       // repair pass could not place all deficit stubs
   kInternal,               // unclassified failure
+  kDeadlineExceeded,       // RunBudget wall-clock / iteration cap expired
+  kCancelled,              // CancelToken tripped (signal or caller request)
+  kSwapStalled,            // watchdog: swap acceptance collapsed to zero
+  kCapacityExhausted,      // ConcurrentHashSet probe budget spent (table full)
+  kMemoryBudget,           // RunBudget memory ceiling would be exceeded
+  kCheckpointInvalid,      // checkpoint file failed magic/version/CRC checks
 };
 
 /// Short stable identifier, e.g. "kNotGraphical".

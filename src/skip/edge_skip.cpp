@@ -143,6 +143,9 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
       while (k * (k + 1) / 2 > pair) --k;
       while ((k + 1) * (k + 2) / 2 <= pair) ++k;
       const std::uint64_t j = pair - k * (k + 1) / 2;
+      if (config.governor != nullptr &&
+          config.governor->should_stop() != StatusCode::kOk)
+        continue;  // governed: remaining pairs emit nothing
       const double p = P.at(k, j);
       if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
       const PairSpace space = make_space(dist, k, j);
@@ -156,6 +159,9 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
     // Large spaces: chunked.
 #pragma omp for schedule(dynamic, 1)
     for (std::size_t i = 0; i < big_tasks.size(); ++i) {
+      if (config.governor != nullptr &&
+          config.governor->should_stop() != StatusCode::kOk)
+        continue;  // governed: remaining chunks emit nothing
       const Task& task = big_tasks[i];
       Xoshiro256ss rng(task_seed(config.seed, task.pair_index, task.chunk));
       traverse(task.p, task.begin, task.end, rng, [&](std::uint64_t t) {

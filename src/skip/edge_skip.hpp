@@ -19,6 +19,7 @@
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
 #include "prob/probability_matrix.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
@@ -28,6 +29,10 @@ struct EdgeSkipConfig {
   /// split. Chunking is data-dependent only, so output is reproducible for
   /// a fixed seed regardless of thread count.
   std::uint64_t edges_per_task = 1u << 16;
+  /// Optional run governance, polled once per task (class pair or chunk).
+  /// On a stop verdict the remaining tasks emit nothing; the partial edge
+  /// list is still simple (each pair considered at most once).
+  const RunGovernor* governor = nullptr;
 };
 
 /// Generates a simple edge list whose degree distribution matches `dist` in

@@ -88,6 +88,40 @@ INSTANTIATE_TEST_SUITE_P(Policies, ProbingSweep,
                          ::testing::Values(Probing::kLinear,
                                            Probing::kQuadratic));
 
+TEST(ConcurrentHashSet, InsertReturnsTypedOutcome) {
+  ConcurrentHashSet set(10);
+  EXPECT_EQ(set.insert(42), InsertOutcome::kInserted);
+  EXPECT_EQ(set.insert(42), InsertOutcome::kAlreadyPresent);
+  EXPECT_EQ(set.insert(43), InsertOutcome::kInserted);
+}
+
+TEST(ConcurrentHashSet, InsertStatusMapsOnlyFullToError) {
+  EXPECT_EQ(insert_status(InsertOutcome::kInserted), StatusCode::kOk);
+  EXPECT_EQ(insert_status(InsertOutcome::kAlreadyPresent), StatusCode::kOk);
+  EXPECT_EQ(insert_status(InsertOutcome::kTableFull),
+            StatusCode::kCapacityExhausted);
+}
+
+#ifdef NDEBUG
+// Release-only: debug builds assert the <= 0.5 load-factor invariant long
+// before the table can physically fill, so the bounded-probe verdict is
+// only reachable with NDEBUG.
+TEST(ConcurrentHashSet, OverfilledTableReportsFullNotLivelock) {
+  ConcurrentHashSet set(1);  // minimum capacity: 16 slots
+  const std::size_t capacity = set.capacity();
+  for (std::uint64_t k = 1; k <= capacity; ++k)
+    EXPECT_EQ(set.insert(k), InsertOutcome::kInserted);
+  // Every slot taken: the probe budget must return a definitive verdict
+  // (historically this was an unbounded probe loop).
+  EXPECT_EQ(set.insert(capacity + 1), InsertOutcome::kTableFull);
+  // test_and_set degrades to "reject the candidate" — conservative for the
+  // swap phase.
+  EXPECT_TRUE(set.test_and_set(capacity + 1));
+  // Keys that did get in are still found.
+  EXPECT_EQ(set.insert(1), InsertOutcome::kAlreadyPresent);
+}
+#endif
+
 TEST(ConcurrentHashSet, ParallelInsertExactlyOneWinnerPerKey) {
   const std::size_t keys = 50000;
   ConcurrentHashSet set(keys);

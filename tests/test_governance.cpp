@@ -1,0 +1,317 @@
+// Run-governance tests: budget/deadline/cancellation semantics of
+// RunGovernor, the StallWatchdog's sliding window, and end-to-end
+// curtailment behavior through generate_null_graph / shuffle_graph — a
+// governed run that trips must still return a valid best-so-far graph and
+// record WHICH phase was cut short.
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/double_edge_swap.hpp"
+#include "core/null_model.hpp"
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "robustness/governance.hpp"
+#include "robustness/invariants.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+namespace {
+
+// ---------------------------------------------------------------- watchdog
+
+TEST(StallWatchdog, NeedsFullWindowBeforeAnyVerdict) {
+  StallWatchdog dog({.enabled = true, .window = 4, .min_acceptance = 0.0});
+  for (int i = 0; i < 3; ++i) {
+    dog.record(100, 0);
+    EXPECT_FALSE(dog.stalled()) << "verdict before the window filled";
+  }
+  dog.record(100, 0);  // fourth sample: window full, all-zero
+  EXPECT_TRUE(dog.stalled());
+}
+
+TEST(StallWatchdog, SingleCommitAnywhereInWindowClearsStall) {
+  StallWatchdog dog({.enabled = true, .window = 4, .min_acceptance = 0.0});
+  for (int i = 0; i < 4; ++i) dog.record(100, 0);
+  ASSERT_TRUE(dog.stalled());
+  dog.record(100, 1);  // productive iteration enters the ring
+  EXPECT_FALSE(dog.stalled());
+  // ...and the stall returns only once it is evicted again.
+  for (int i = 0; i < 3; ++i) dog.record(100, 0);
+  EXPECT_FALSE(dog.stalled());  // the commit is still in the window
+  dog.record(100, 0);
+  EXPECT_TRUE(dog.stalled());
+}
+
+TEST(StallWatchdog, ZeroAttemptedWindowIsNotAStall) {
+  // m < 2 degenerate chains attempt nothing; that is idle, not stalled.
+  StallWatchdog dog({.enabled = true, .window = 2, .min_acceptance = 0.0});
+  dog.record(0, 0);
+  dog.record(0, 0);
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(StallWatchdog, DisabledConfigNeverStalls) {
+  StallWatchdog dog({.enabled = false, .window = 2, .min_acceptance = 1.0});
+  for (int i = 0; i < 16; ++i) dog.record(100, 0);
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(StallWatchdog, WindowAcceptanceIsCommittedOverAttempted) {
+  StallWatchdog dog({.enabled = true, .window = 2, .min_acceptance = 0.25});
+  dog.record(100, 10);
+  dog.record(100, 10);
+  EXPECT_DOUBLE_EQ(dog.window_acceptance(), 0.1);
+  EXPECT_TRUE(dog.stalled());  // 0.1 <= 0.25 floor
+  dog.record(100, 90);
+  EXPECT_DOUBLE_EQ(dog.window_acceptance(), 0.5);  // (10+90)/200
+  EXPECT_FALSE(dog.stalled());
+}
+
+// ---------------------------------------------------------------- governor
+
+TEST(RunGovernor, UnlimitedDefaultNeverStops) {
+  const RunGovernor governor;
+  EXPECT_EQ(governor.should_stop(), StatusCode::kOk);
+  EXPECT_FALSE(governor.stopped());
+  EXPECT_TRUE(governor.budget().unlimited());
+}
+
+TEST(RunGovernor, CancelTokenTripsFromAnyCopy) {
+  CancelToken token;
+  const CancelToken copy = token;  // all copies share the flag
+  const RunGovernor governor(RunBudget{}, copy);
+  EXPECT_EQ(governor.should_stop(), StatusCode::kOk);
+  token.request_cancel();
+  EXPECT_EQ(governor.should_stop(), StatusCode::kCancelled);
+  EXPECT_TRUE(governor.stopped());
+}
+
+TEST(RunGovernor, DeadlineExpiryTripsAndSticks) {
+  const RunGovernor governor(RunBudget{.deadline_ms = 1}, CancelToken{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(governor.should_stop(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(governor.elapsed_ms(), 1.0);
+}
+
+TEST(RunGovernor, FirstStopReasonWinsForever) {
+  const RunGovernor governor;
+  governor.note_stop(StatusCode::kSwapStalled);
+  governor.note_stop(StatusCode::kCancelled);  // too late
+  EXPECT_EQ(governor.stop_reason(), StatusCode::kSwapStalled);
+  EXPECT_EQ(governor.should_stop(), StatusCode::kSwapStalled);
+}
+
+TEST(RunGovernor, CancellationOutranksDeadlineWhenBothPending) {
+  CancelToken token;
+  token.request_cancel();
+  const RunGovernor governor(RunBudget{.deadline_ms = 1}, token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(governor.should_stop(), StatusCode::kCancelled);
+}
+
+TEST(RunGovernor, MemoryCeilingTripsOnlyAboveBudget) {
+  const RunGovernor governor(RunBudget{.max_memory_bytes = 1000},
+                             CancelToken{});
+  EXPECT_FALSE(governor.memory_exceeded(1000));  // at the ceiling is fine
+  EXPECT_FALSE(governor.stopped());
+  EXPECT_TRUE(governor.memory_exceeded(1001));
+  EXPECT_EQ(governor.stop_reason(), StatusCode::kMemoryBudget);
+}
+
+TEST(RunGovernor, ZeroMemoryBudgetMeansUnlimited) {
+  const RunGovernor governor;
+  EXPECT_FALSE(governor.memory_exceeded(~std::size_t{0}));
+  EXPECT_FALSE(governor.stopped());
+}
+
+// ----------------------------------------------------- pipeline curtailment
+
+DegreeDistribution test_dist() {
+  return DegreeDistribution({{2, 200}, {3, 100}, {4, 50}});
+}
+
+TEST(Governance, DisabledByDefaultChangesNothing) {
+  // Swap output is deterministic per (seed, thread count): pin one thread
+  // so the ungoverned/governed comparison is exact rather than
+  // race-schedule-dependent.
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  GenerateConfig plain;
+  plain.seed = 5;
+  GenerateConfig governed = plain;
+  governed.governance.enabled = true;  // armed but unlimited
+  const GenerateResult a = generate_null_graph(test_dist(), plain);
+  const GenerateResult b = generate_null_graph(test_dist(), governed);
+  omp_set_num_threads(saved_threads);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_TRUE(b.report.curtailments.empty());
+  EXPECT_EQ(b.report.curtailed_by(), StatusCode::kOk);
+}
+
+TEST(Governance, SwapIterationCapCurtailsAndReports) {
+  GenerateConfig config;
+  config.seed = 5;
+  config.swap_iterations = 10;
+  config.governance.enabled = true;
+  config.governance.budget.max_swap_iterations = 3;
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  EXPECT_EQ(result.swap_stats.iterations.size(), 3u);
+  EXPECT_EQ(result.swap_stats.stop_reason, StatusCode::kDeadlineExceeded);
+  ASSERT_FALSE(result.report.curtailments.empty());
+  const Curtailment& cut = result.report.curtailments.front();
+  EXPECT_EQ(cut.phase, "swaps");
+  EXPECT_EQ(cut.reason, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cut.completed, 3u);
+  EXPECT_EQ(cut.requested, 10u);
+  // Curtailment is informational: the default policy's checks still pass
+  // and the best-so-far graph is a valid simple graph.
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(Governance, PreCancelledRunSkipsAllPhasesGracefully) {
+  GenerateConfig config;
+  config.governance.enabled = true;
+  config.governance.cancel.request_cancel();
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  EXPECT_EQ(result.report.curtailed_by(), StatusCode::kCancelled);
+  EXPECT_EQ(result.swap_stats.iterations.size(), 0u);
+  // Degraded output is still structurally sound (possibly empty).
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(Governance, DeadlineWithSlowPhaseFaultCurtailsWithinSlack) {
+  // The slow_phase_ms drill makes each swap iteration take >= 20 ms, so a
+  // 50 ms deadline must cut the chain well before its 64 iterations.
+  GenerateConfig config;
+  config.seed = 5;
+  config.swap_iterations = 64;
+  config.guardrails.faults.slow_phase_ms = 20;
+  config.governance.enabled = true;
+  config.governance.budget.deadline_ms = 50;
+  const auto t0 = std::chrono::steady_clock::now();
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(result.report.curtailed_by(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(result.swap_stats.iterations.size(), 64u);
+  // Deadline + one iteration's slack (20 ms sleep + chunk work), padded for
+  // slow CI machines.
+  EXPECT_LT(elapsed_ms, 50.0 + 2000.0);
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(Governance, MemoryBudgetSkipsSwapPhaseKeepsEdgeSkipOutput) {
+  GenerateConfig config;
+  config.seed = 5;
+  config.swap_iterations = 10;
+  config.governance.enabled = true;
+  config.governance.budget.max_memory_bytes = 1;  // nothing fits
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  EXPECT_EQ(result.report.curtailed_by(), StatusCode::kMemoryBudget);
+  EXPECT_EQ(result.swap_stats.iterations.size(), 0u);
+  EXPECT_EQ(result.swap_stats.stop_reason, StatusCode::kMemoryBudget);
+  // The edge-skip phase ran to completion; its output is the best-so-far.
+  EXPECT_FALSE(result.edges.empty());
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(Governance, WatchdogCutsZeroAcceptanceChain) {
+  // K6: every double-edge swap proposal recreates an existing edge or a
+  // loop, so acceptance is exactly zero forever — the deterministic
+  // signature the watchdog exists to catch.
+  EdgeList k6;
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) k6.push_back({u, v});
+  GenerateConfig config;
+  config.swap_iterations = 50;
+  config.governance.enabled = true;
+  config.governance.watchdog = {.enabled = true, .window = 4,
+                                .min_acceptance = 0.0};
+  const GenerateResult result = shuffle_graph(k6, config);
+  EXPECT_EQ(result.report.curtailed_by(), StatusCode::kSwapStalled);
+  // The verdict lands after the window fills, the chain stops on the next
+  // iteration's check.
+  EXPECT_LT(result.swap_stats.iterations.size(), 50u);
+  EXPECT_GE(result.swap_stats.iterations.size(), 4u);
+  EXPECT_EQ(result.swap_stats.total_swapped(), 0u);
+  // A complete graph shuffles to itself; curtailment kept it intact.
+  EXPECT_EQ(result.edges.size(), k6.size());
+  EXPECT_TRUE(is_simple(result.edges));
+}
+
+TEST(Governance, WatchdogLeavesHealthyChainsAlone) {
+  GenerateConfig config;
+  config.seed = 9;
+  config.swap_iterations = 20;
+  config.governance.enabled = true;
+  config.governance.watchdog = {.enabled = true, .window = 4,
+                                .min_acceptance = 0.0};
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  EXPECT_EQ(result.report.curtailed_by(), StatusCode::kOk);
+  EXPECT_EQ(result.swap_stats.iterations.size(), 20u);
+  EXPECT_GT(result.swap_stats.total_swapped(), 0u);
+}
+
+TEST(Governance, CurtailmentAppearsInReportSummary) {
+  GenerateConfig config;
+  config.swap_iterations = 10;
+  config.governance.enabled = true;
+  config.governance.budget.max_swap_iterations = 2;
+  const GenerateResult result = generate_null_graph(test_dist(), config);
+  const std::string summary = result.report.summary();
+  EXPECT_NE(summary.find("curtailed"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("kDeadlineExceeded"), std::string::npos) << summary;
+}
+
+TEST(Governance, StrictPolicyDoesNotThrowOnCurtailment) {
+  // Curtailment is a budget decision, not an invariant violation: kStrict
+  // aborts on broken outputs, never on runs the caller chose to bound.
+  GenerateConfig config;
+  config.swap_iterations = 10;
+  config.guardrails.policy = RecoveryPolicy::kStrict;
+  config.governance.enabled = true;
+  config.governance.budget.max_swap_iterations = 2;
+  EXPECT_NO_THROW({
+    const GenerateResult result = generate_null_graph(test_dist(), config);
+    EXPECT_EQ(result.report.curtailed_by(), StatusCode::kDeadlineExceeded);
+  });
+}
+
+TEST(Governance, SwapStatsAcceptanceAggregatesAllIterations) {
+  SwapStats stats;
+  stats.iterations.resize(2);
+  stats.iterations[0].attempted = 100;
+  stats.iterations[0].swapped = 30;
+  stats.iterations[1].attempted = 100;
+  stats.iterations[1].swapped = 10;
+  EXPECT_DOUBLE_EQ(stats.acceptance(), 0.2);
+  EXPECT_DOUBLE_EQ(SwapStats{}.acceptance(), 0.0);
+}
+
+TEST(Governance, NewStatusCodesHaveNamesAndExitCodes) {
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "kDeadlineExceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "kCancelled");
+  EXPECT_STREQ(status_code_name(StatusCode::kSwapStalled), "kSwapStalled");
+  EXPECT_STREQ(status_code_name(StatusCode::kCapacityExhausted),
+               "kCapacityExhausted");
+  EXPECT_STREQ(status_code_name(StatusCode::kMemoryBudget), "kMemoryBudget");
+  EXPECT_STREQ(status_code_name(StatusCode::kCheckpointInvalid),
+               "kCheckpointInvalid");
+  EXPECT_EQ(status_exit_code(StatusCode::kDeadlineExceeded), 12);
+  EXPECT_EQ(status_exit_code(StatusCode::kCancelled), 13);
+  EXPECT_EQ(status_exit_code(StatusCode::kSwapStalled), 14);
+  EXPECT_EQ(status_exit_code(StatusCode::kCapacityExhausted), 15);
+  EXPECT_EQ(status_exit_code(StatusCode::kMemoryBudget), 16);
+  EXPECT_EQ(status_exit_code(StatusCode::kCheckpointInvalid), 17);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -13,16 +13,35 @@
 //   --repair          recover: retry-with-reseed, then repair pass
 //   --max-retries K   swap-phase reseed budget under --repair (default 2)
 //   --inject-drop N / --inject-dup N / --inject-loop N / --inject-prob N /
-//   --inject-stall / --inject-seed S
+//   --inject-stall / --inject-slow-ms N / --inject-seed S
 //                     seeded fault injection (testing hooks; inert when 0)
+//
+// Run governance (generate / shuffle; always on at the CLI surface):
+//   --deadline-ms N          wall-clock budget; expiry curtails the run,
+//                            the best-so-far graph is still written, and
+//                            the exit code is 12 (kDeadlineExceeded)
+//   --max-swap-iterations N  cap on swap iterations regardless of --swaps
+//   --max-memory-mb N        skip the swap phase rather than exceed this
+//                            estimated buffer footprint (exit 16)
+//   --checkpoint FILE        swap-phase snapshot target (io/checkpoint.hpp)
+//   --checkpoint-every N     snapshot every N completed swap iterations
+//   --resume FILE            continue a checkpointed swap chain; with the
+//                            same thread count the result is bit-identical
+//                            to the uninterrupted run
+//   SIGINT / SIGTERM         cooperative cancellation: the current run
+//                            drains, writes its best-so-far graph, and
+//                            exits 13 (kCancelled)
 //
 // Exit status: 0 success, 1 bad usage, 2 unclassified runtime failure,
 // 3+ one per typed error class (status_exit_code in robustness/status.hpp):
 // 3 kIoError, 4 kIoMalformed, 5 kNotGraphical, 6 kProbabilityOverflow,
 // 7 kNonSimpleOutput, 8 kDegreeMismatch, 9 kSwapStagnation,
-// 10 kConnectivityExhausted, 11 kRepairIncomplete.
+// 10 kConnectivityExhausted, 11 kRepairIncomplete, 12 kDeadlineExceeded,
+// 13 kCancelled, 14 kSwapStalled, 15 kCapacityExhausted, 16 kMemoryBudget,
+// 17 kCheckpointInvalid.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,13 +56,34 @@
 #include "ds/csr_graph.hpp"
 #include "analysis/motifs.hpp"
 #include "gen/powerlaw.hpp"
+#include "io/checkpoint.hpp"
 #include "io/graph_io.hpp"
 #include "lfr/lfr.hpp"
+#include "robustness/governance.hpp"
 #include "robustness/status.hpp"
 
 namespace {
 
 using namespace nullgraph;
+
+/// Process-wide cancellation token tripped by SIGINT/SIGTERM. The token's
+/// store is a relaxed atomic write through a pre-built shared_ptr — no
+/// allocation, so it is async-signal-safe. Constructed before the handler
+/// is installed (install_signal_handlers calls this first).
+CancelToken& global_cancel() {
+  static CancelToken token;
+  return token;
+}
+
+extern "C" void on_termination_signal(int) {
+  global_cancel().request_cancel();
+}
+
+void install_signal_handlers() {
+  (void)global_cancel();  // construct before any signal can arrive
+  std::signal(SIGINT, on_termination_signal);
+  std::signal(SIGTERM, on_termination_signal);
+}
 
 void usage() {
   std::fprintf(stderr,
@@ -57,9 +97,12 @@ void usage() {
                "  dist     --in FILE [--out FILE]\n"
                "guardrails (generate/shuffle): --strict | --repair "
                "[--max-retries K]\n"
+               "governance (generate/shuffle): --deadline-ms N "
+               "--max-swap-iterations N --max-memory-mb N\n"
+               "  --checkpoint FILE --checkpoint-every N --resume FILE\n"
                "fault injection (testing): --inject-drop N --inject-dup N "
                "--inject-loop N --inject-prob N --inject-stall "
-               "--inject-seed S\n"
+               "--inject-slow-ms N --inject-seed S\n"
                "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
                "(see README)\n");
 }
@@ -139,8 +182,30 @@ GuardrailConfig guardrails_from(const Args& args) {
   guard.faults.self_loops = args.get_u64("inject-loop", 0);
   guard.faults.corrupt_prob_entries = args.get_u64("inject-prob", 0);
   guard.faults.force_swap_stall = args.has("inject-stall");
+  guard.faults.slow_phase_ms = args.get_u64("inject-slow-ms", 0);
   guard.faults.seed = args.get_u64("inject-seed", guard.faults.seed);
   return guard;
+}
+
+GovernanceConfig governance_from(const Args& args) {
+  GovernanceConfig governance;
+  // The CLI is the service surface: governance is on for every run, so
+  // Ctrl-C always drains cooperatively even with no budget flags given.
+  governance.enabled = true;
+  governance.cancel = global_cancel();
+  governance.budget.deadline_ms = args.get_u64("deadline-ms", 0);
+  governance.budget.max_swap_iterations =
+      args.get_u64("max-swap-iterations", 0);
+  governance.budget.max_memory_bytes =
+      args.get_u64("max-memory-mb", 0) * 1024 * 1024;
+  governance.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  if (const auto path = args.get("checkpoint"))
+    governance.checkpoint_path = *path;
+  if (governance.checkpoint_every != 0 && governance.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every needs --checkpoint FILE\n");
+    std::exit(1);
+  }
+  return governance;
 }
 
 /// Prints the report when anything noteworthy happened; returns the exit
@@ -182,7 +247,59 @@ void print_graph_stats(const EdgeList& edges) {
   }
 }
 
+/// Shared tail of generate/shuffle/resume. The graph goes out FIRST — a
+/// curtailed run's primary artifact is whatever it did finish — and only
+/// then is the exit code decided: guardrail residuals keep their typed
+/// codes, and an otherwise-clean curtailed run exits with the curtailment's
+/// code (12 deadline, 13 cancelled, 14 stalled, 16 memory budget) so
+/// callers can distinguish "done" from "cut short" without parsing stderr.
+int emit_result(const Args& args, const GenerateResult& result,
+                RecoveryPolicy policy) {
+  if (const auto out = args.get("out")) {
+    write_edge_list_file(*out, result.edges);
+  } else {
+    print_graph_stats(result.edges);
+  }
+  const int code = finish_with_report(result.report, policy);
+  if (code != 0) return code;
+  const StatusCode curtailed = result.report.curtailed_by();
+  if (curtailed != StatusCode::kOk) {
+    std::fprintf(stderr, "run curtailed: %s (best-so-far graph written)\n",
+                 status_code_name(curtailed));
+    return status_exit_code(curtailed);
+  }
+  return 0;
+}
+
+/// `--resume FILE`: load the snapshot and finish its swap chain. Reachable
+/// from both generate and shuffle (the checkpoint carries everything the
+/// remaining phase needs, so the two commands converge here).
+int cmd_resume(const Args& args) {
+  const std::string path = *args.get("resume");
+  Result<Checkpoint> loaded = try_read_checkpoint(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
+    return status_exit_code(loaded.status().code());
+  }
+  const Checkpoint& ckpt = loaded.value();
+  std::fprintf(stderr,
+               "resuming %s at swap iteration %llu/%llu (%zu edges)\n",
+               path.c_str(),
+               static_cast<unsigned long long>(ckpt.completed_iterations),
+               static_cast<unsigned long long>(ckpt.total_iterations),
+               ckpt.edges.size());
+  GenerateConfig config;
+  config.guardrails = guardrails_from(args);
+  config.governance = governance_from(args);
+  const GenerateResult result = resume_null_graph(ckpt, config);
+  std::fprintf(stderr, "resumed: %zu swaps committed over %zu iterations\n",
+               result.swap_stats.total_swapped(),
+               result.swap_stats.iterations.size());
+  return emit_result(args, result, config.guardrails.policy);
+}
+
 int cmd_generate(const Args& args) {
+  if (args.has("resume")) return cmd_resume(args);
   DegreeDistribution dist;
   if (const auto file = args.get("dist")) {
     dist = read_degree_distribution_file(*file);
@@ -201,6 +318,7 @@ int cmd_generate(const Args& args) {
   config.seed = args.get_u64("seed", 1);
   config.swap_iterations = args.get_u64("swaps", 10);
   config.guardrails = guardrails_from(args);
+  config.governance = governance_from(args);
   const GenerateResult result = generate_null_graph(dist, config);
   const QualityErrors errors = quality_errors(dist, result.edges);
   std::fprintf(stderr,
@@ -210,18 +328,11 @@ int cmd_generate(const Args& args) {
                static_cast<unsigned long long>(dist.num_edges()),
                100 * errors.edge_count, 100 * errors.max_degree,
                result.timing.total_seconds());
-  const int code =
-      finish_with_report(result.report, config.guardrails.policy);
-  if (code != 0) return code;
-  if (const auto out = args.get("out")) {
-    write_edge_list_file(*out, result.edges);
-  } else {
-    print_graph_stats(result.edges);
-  }
-  return 0;
+  return emit_result(args, result, config.guardrails.policy);
 }
 
 int cmd_shuffle(const Args& args) {
+  if (args.has("resume")) return cmd_resume(args);
   const auto in = args.get("in");
   if (!in) {
     std::fprintf(stderr, "shuffle: need --in FILE\n");
@@ -232,19 +343,12 @@ int cmd_shuffle(const Args& args) {
   config.seed = args.get_u64("seed", 1);
   config.swap_iterations = args.get_u64("swaps", 10);
   config.guardrails = guardrails_from(args);
+  config.governance = governance_from(args);
   const GenerateResult result = shuffle_graph(std::move(edges), config);
   std::fprintf(stderr, "shuffled: %zu swaps committed over %zu iterations\n",
                result.swap_stats.total_swapped(),
                result.swap_stats.iterations.size());
-  const int code =
-      finish_with_report(result.report, config.guardrails.policy);
-  if (code != 0) return code;
-  if (const auto out = args.get("out")) {
-    write_edge_list_file(*out, result.edges);
-  } else {
-    print_graph_stats(result.edges);
-  }
-  return 0;
+  return emit_result(args, result, config.guardrails.policy);
 }
 
 int cmd_stats(const Args& args) {
@@ -314,6 +418,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
+  install_signal_handlers();
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "shuffle") return cmd_shuffle(args);
