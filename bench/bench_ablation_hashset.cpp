@@ -7,6 +7,7 @@
 
 #include "ds/concurrent_hash_set.hpp"
 #include "ds/edge.hpp"
+#include "exec/exec.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -27,12 +28,18 @@ std::vector<std::uint64_t> edge_keys(std::size_t count, std::uint64_t seed) {
 void bm_bulk_insert(benchmark::State& state, Probing probing) {
   const std::size_t count = static_cast<std::size_t>(state.range(0));
   const auto keys = edge_keys(count, 7);
+  const exec::ParallelContext ctx;
   for (auto _ : state) {
     ConcurrentHashSet set(count, probing);
-    std::size_t fresh = 0;
-#pragma omp parallel for reduction(+ : fresh) schedule(static)
-    for (std::size_t i = 0; i < count; ++i)
-      if (!set.test_and_set(keys[i])) ++fresh;
+    const std::size_t fresh = exec::reduce<std::size_t>(
+        ctx, count, exec::kDefaultGrain, 0,
+        [&](const exec::Chunk& chunk) {
+          std::size_t mine = 0;
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+            if (!set.test_and_set(keys[i])) ++mine;
+          return mine;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
     benchmark::DoNotOptimize(fresh);
   }
   state.SetItemsProcessed(state.iterations() * count);
@@ -44,13 +51,19 @@ void bm_mixed_probe(benchmark::State& state, Probing probing) {
   const auto probes = edge_keys(count, 8);  // ~all misses
   ConcurrentHashSet set(2 * count, probing);
   for (const auto key : existing) set.test_and_set(key);
+  const exec::ParallelContext ctx;
   for (auto _ : state) {
-    std::size_t hits = 0;
-#pragma omp parallel for reduction(+ : hits) schedule(static)
-    for (std::size_t i = 0; i < count; ++i) {
-      if (set.contains(existing[i])) ++hits;   // hot hits
-      if (set.contains(probes[i])) ++hits;     // cold misses
-    }
+    const std::size_t hits = exec::reduce<std::size_t>(
+        ctx, count, exec::kDefaultGrain, 0,
+        [&](const exec::Chunk& chunk) {
+          std::size_t mine = 0;
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            if (set.contains(existing[i])) ++mine;  // hot hits
+            if (set.contains(probes[i])) ++mine;    // cold misses
+          }
+          return mine;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
     benchmark::DoNotOptimize(hits);
   }
   state.SetItemsProcessed(state.iterations() * 2 * count);

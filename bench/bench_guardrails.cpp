@@ -11,10 +11,21 @@
 // with an unlimited budget — the CLI's default configuration. Its cost is
 // the per-chunk governor polls (one relaxed load on the common path, a
 // clock read per 4096 swap pairs), so it shares the same <5% bar.
+//
+// BM_ExecOverhead* isolates the exec layer itself: the same memory-bound
+// hash-sum kernel through a frozen pre-refactor raw `#pragma omp` loop
+// (raw_omp_hash_sum) and through exec::reduce with the default grain. The
+// exec variant pays for the chunk dispatch, the per-chunk partial vector,
+// and the serial chunk-order fold; the acceptance bar is <3% over raw.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
 #include "core/null_model.hpp"
+#include "exec/exec.hpp"
 #include "gen/powerlaw.hpp"
 
 namespace {
@@ -60,5 +71,34 @@ BENCHMARK(BM_GuardrailsRepair)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_GuardrailsGoverned)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+std::vector<std::uint64_t> hash_sum_input(std::size_t n) {
+  std::vector<std::uint64_t> values(n);
+  std::iota(values.begin(), values.end(), 1u);
+  return values;
+}
+
+void BM_ExecOverheadRawOmp(benchmark::State& state) {
+  const auto values = hash_sum_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::detail::raw_omp_hash_sum(
+        values.data(), values.size(), exec::kDefaultGrain));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ExecOverheadReduce(benchmark::State& state) {
+  const auto values = hash_sum_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::detail::exec_hash_sum(
+        values.data(), values.size(), exec::kDefaultGrain));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_ExecOverheadRawOmp)
+    ->Arg(1 << 20)->Arg(1 << 24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecOverheadReduce)
+    ->Arg(1 << 20)->Arg(1 << 24)->Unit(benchmark::kMillisecond);
 
 }  // namespace

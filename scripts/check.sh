@@ -14,6 +14,19 @@ JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 SKIP_SAN=0
 [[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
 
+echo "== lint: raw OpenMP pragmas confined to src/exec =="
+# Every parallel loop must go through the exec primitives so governance
+# polling, chunk-indexed RNG, and phase timing cannot be bypassed. Raw
+# pragmas are allowed only inside src/exec/ (the primitives themselves).
+RAW_OMP=$(grep -rn '#pragma omp' src tests bench examples tools \
+  --include='*.cpp' --include='*.hpp' \
+  | grep -v '^src/exec/' || true)
+if [[ -n "$RAW_OMP" ]]; then
+  echo "raw '#pragma omp' outside src/exec/ — use exec::for_chunks/collect/reduce:"
+  echo "$RAW_OMP"
+  exit 1
+fi
+
 echo "== tier 1: default build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
@@ -46,6 +59,6 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j"$JOBS"
 TSAN_OPTIONS=halt_on_error=1 OMP_NUM_THREADS=4 \
   ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
-    -R 'ConcurrentHashSet|Permutation|DoubleEdgeSwap|Governance|StallWatchdog|RunGovernor'
+    -R 'ConcurrentHashSet|Permutation|DoubleEdgeSwap|Governance|StallWatchdog|RunGovernor|ForChunks|Collect|Reduce|ThreadSweep|EdgeSkip|PrefixSum'
 
 echo "== all checks passed =="

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 AttachmentAccumulator::AttachmentAccumulator(
@@ -13,15 +15,18 @@ AttachmentAccumulator::AttachmentAccumulator(
 
 void AttachmentAccumulator::add(const EdgeList& edges) {
   ++samples_;
-#pragma omp parallel for schedule(static)
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    std::size_t ci = reference_.class_of_vertex(edges[k].u);
-    std::size_t cj = reference_.class_of_vertex(edges[k].v);
-    if (ci < cj) std::swap(ci, cj);
-    const std::size_t index = ci * (ci + 1) / 2 + cj;
-#pragma omp atomic
-    pair_counts_[index]++;
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(
+      ctx, edges.size(), exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+        for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+          std::size_t ci = reference_.class_of_vertex(edges[k].u);
+          std::size_t cj = reference_.class_of_vertex(edges[k].v);
+          if (ci < cj) std::swap(ci, cj);
+          const std::size_t index = ci * (ci + 1) / 2 + cj;
+          std::atomic_ref<std::uint64_t> slot(pair_counts_[index]);
+          slot.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
 }
 
 ProbabilityMatrix AttachmentAccumulator::average() const {

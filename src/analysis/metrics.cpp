@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "analysis/gini.hpp"
+#include "exec/exec.hpp"
 
 namespace nullgraph {
 
@@ -16,10 +17,16 @@ QualityErrors quality_errors(const DegreeDistribution& target,
   const double m_out = static_cast<double>(generated.size());
   errors.edge_count = m_target > 0 ? std::abs(m_out - m_target) / m_target : 0;
 
-  std::uint64_t dmax_out = 0;
-#pragma omp parallel for reduction(max : dmax_out) schedule(static)
-  for (std::size_t v = 0; v < degrees.size(); ++v)
-    if (degrees[v] > dmax_out) dmax_out = degrees[v];
+  const exec::ParallelContext ctx;
+  const std::uint64_t dmax_out = exec::reduce<std::uint64_t>(
+      ctx, degrees.size(), exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::uint64_t mine = 0;
+        for (std::size_t v = chunk.begin; v < chunk.end; ++v)
+          if (degrees[v] > mine) mine = degrees[v];
+        return mine;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
   const double dmax_target = static_cast<double>(target.max_degree());
   errors.max_degree =
       dmax_target > 0
@@ -58,21 +65,36 @@ std::vector<double> per_degree_errors(const DegreeDistribution& target,
 double degree_assortativity(const EdgeList& edges) {
   if (edges.empty()) return 0.0;
   const std::vector<std::uint64_t> degrees = degrees_of(edges);
-  // Newman's Pearson correlation over edge endpoint degree pairs.
-  double sum_jk = 0.0, sum_half = 0.0, sum_sq = 0.0;
-#pragma omp parallel for reduction(+ : sum_jk, sum_half, sum_sq) \
-    schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const double j = static_cast<double>(degrees[edges[i].u]);
-    const double k = static_cast<double>(degrees[edges[i].v]);
-    sum_jk += j * k;
-    sum_half += 0.5 * (j + k);
-    sum_sq += 0.5 * (j * j + k * k);
-  }
+  // Newman's Pearson correlation over edge endpoint degree pairs. The
+  // serial chunk-order combine makes the sums (hence r) independent of
+  // thread count.
+  struct Sums {
+    double jk = 0.0, half = 0.0, sq = 0.0;
+  };
+  const exec::ParallelContext ctx;
+  const Sums sums = exec::reduce<Sums>(
+      ctx, edges.size(), exec::kDefaultGrain, Sums{},
+      [&](const exec::Chunk& chunk) {
+        Sums mine;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const double j = static_cast<double>(degrees[edges[i].u]);
+          const double k = static_cast<double>(degrees[edges[i].v]);
+          mine.jk += j * k;
+          mine.half += 0.5 * (j + k);
+          mine.sq += 0.5 * (j * j + k * k);
+        }
+        return mine;
+      },
+      [](Sums a, Sums b) {
+        a.jk += b.jk;
+        a.half += b.half;
+        a.sq += b.sq;
+        return a;
+      });
   const double inv_m = 1.0 / static_cast<double>(edges.size());
-  const double mean = inv_m * sum_half;
-  const double numerator = inv_m * sum_jk - mean * mean;
-  const double denominator = inv_m * sum_sq - mean * mean;
+  const double mean = inv_m * sums.half;
+  const double numerator = inv_m * sums.jk - mean * mean;
+  const double denominator = inv_m * sums.sq - mean * mean;
   if (std::abs(denominator) < 1e-15) return 0.0;
   return numerator / denominator;
 }

@@ -3,47 +3,60 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 std::uint64_t count_triangles(const CsrGraph& graph) {
   const std::size_t n = graph.num_vertices();
-  std::uint64_t triangles = 0;
   // For every ordered neighbour pair u < v, intersect N(u) and N(v) above
-  // v: counts each triangle once per its smallest vertex.
-#pragma omp parallel for reduction(+ : triangles) schedule(dynamic, 64)
-  for (std::size_t u = 0; u < n; ++u) {
-    const auto nu = graph.neighbors(static_cast<VertexId>(u));
-    for (const VertexId v : nu) {
-      if (v <= u) continue;
-      const auto nv = graph.neighbors(v);
-      // two-pointer intersection of the > v suffixes
-      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
-      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
-      while (iu != nu.end() && iv != nv.end()) {
-        if (*iu < *iv) {
-          ++iu;
-        } else if (*iv < *iu) {
-          ++iv;
-        } else {
-          ++triangles;
-          ++iu;
-          ++iv;
+  // v: counts each triangle once per its smallest vertex. Small grain —
+  // per-vertex work is wildly uneven on skewed degree sequences.
+  const exec::ParallelContext ctx;
+  return exec::reduce<std::uint64_t>(
+      ctx, n, 64, 0,
+      [&](const exec::Chunk& chunk) {
+        std::uint64_t mine = 0;
+        for (std::size_t u = chunk.begin; u < chunk.end; ++u) {
+          const auto nu = graph.neighbors(static_cast<VertexId>(u));
+          for (const VertexId v : nu) {
+            if (v <= u) continue;
+            const auto nv = graph.neighbors(v);
+            // two-pointer intersection of the > v suffixes
+            auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+            auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+            while (iu != nu.end() && iv != nv.end()) {
+              if (*iu < *iv) {
+                ++iu;
+              } else if (*iv < *iu) {
+                ++iv;
+              } else {
+                ++mine;
+                ++iu;
+                ++iv;
+              }
+            }
+          }
         }
-      }
-    }
-  }
-  return triangles;
+        return mine;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 std::uint64_t count_wedges(const CsrGraph& graph) {
   const std::size_t n = graph.num_vertices();
-  std::uint64_t wedges = 0;
-#pragma omp parallel for reduction(+ : wedges) schedule(static)
-  for (std::size_t v = 0; v < n; ++v) {
-    const std::uint64_t d = graph.degree(static_cast<VertexId>(v));
-    wedges += d * (d - 1) / 2;
-  }
-  return wedges;
+  const exec::ParallelContext ctx;
+  return exec::reduce<std::uint64_t>(
+      ctx, n, exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::uint64_t mine = 0;
+        for (std::size_t v = chunk.begin; v < chunk.end; ++v) {
+          const std::uint64_t d = graph.degree(static_cast<VertexId>(v));
+          mine += d * (d - 1) / 2;
+        }
+        return mine;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 double global_clustering(const CsrGraph& graph) {

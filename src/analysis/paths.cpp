@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/exec.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
@@ -48,25 +49,42 @@ PathStats sampled_path_stats(const CsrGraph& graph, std::size_t samples,
       sources.push_back(static_cast<VertexId>(rng.bounded(n)));
   }
 
-  long double distance_sum = 0.0L;
-  std::size_t pairs = 0;
-  std::uint32_t max_distance = 0;
-#pragma omp parallel for schedule(dynamic, 1) \
-    reduction(+ : distance_sum, pairs) reduction(max : max_distance)
-  for (std::size_t s = 0; s < sources.size(); ++s) {
-    const auto distance = bfs_distances(graph, sources[s]);
-    for (std::size_t v = 0; v < n; ++v) {
-      if (v == sources[s] || distance[v] == kUnreachable) continue;
-      distance_sum += distance[v];
-      ++pairs;
-      max_distance = std::max(max_distance, distance[v]);
-    }
-  }
+  // One BFS per chunk item; grain 1 because per-source cost dominates.
+  struct Totals {
+    long double distance_sum = 0.0L;
+    std::size_t pairs = 0;
+    std::uint32_t max_distance = 0;
+  };
+  const exec::ParallelContext ctx;
+  const Totals totals = exec::reduce<Totals>(
+      ctx, sources.size(), 1, Totals{},
+      [&](const exec::Chunk& chunk) {
+        Totals mine;
+        for (std::size_t s = chunk.begin; s < chunk.end; ++s) {
+          const auto distance = bfs_distances(graph, sources[s]);
+          for (std::size_t v = 0; v < n; ++v) {
+            if (v == sources[s] || distance[v] == kUnreachable) continue;
+            mine.distance_sum += distance[v];
+            ++mine.pairs;
+            mine.max_distance = std::max(mine.max_distance, distance[v]);
+          }
+        }
+        return mine;
+      },
+      [](Totals a, Totals b) {
+        a.distance_sum += b.distance_sum;
+        a.pairs += b.pairs;
+        a.max_distance = std::max(a.max_distance, b.max_distance);
+        return a;
+      });
   stats.sampled_sources = sources.size();
-  stats.reachable_pairs = pairs;
-  stats.max_distance = max_distance;
+  stats.reachable_pairs = totals.pairs;
+  stats.max_distance = totals.max_distance;
   stats.average_distance =
-      pairs ? static_cast<double>(distance_sum / pairs) : 0.0;
+      totals.pairs
+          ? static_cast<double>(totals.distance_sum /
+                                static_cast<long double>(totals.pairs))
+          : 0.0;
   return stats;
 }
 

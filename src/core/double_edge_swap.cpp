@@ -5,12 +5,25 @@
 #include <unordered_map>
 
 #include "ds/concurrent_hash_set.hpp"
+#include "exec/exec.hpp"
 #include "permute/permutation.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
 
 namespace {
+
+/// Per-chunk counters for the table-refill and pair-swap reductions.
+struct CensusCounts {
+  std::size_t loops = 0;
+  std::size_t dups = 0;
+};
+
+struct PairCounts {
+  std::size_t swapped = 0;
+  std::size_t rejected_existing = 0;
+  std::size_t rejected_loop = 0;
+};
 
 /// Stateless fair coin for (seed, pair): selects the swap partnering.
 bool pair_coin(std::uint64_t seed, std::uint64_t pair) {
@@ -74,6 +87,15 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
                                  : config.seed;
   stats.final_chain_state = seed_chain;
   stats.iterations.reserve(config.iterations - config.start_iteration);
+  // Refill/census passes run ungoverned: a skipped refill chunk would
+  // leave keys out of T (risking duplicate commits) and undercount the
+  // input census the simplicity proof leans on. Only the pair loop — the
+  // expensive, skippable part — is governed.
+  exec::ParallelContext refill_ctx;
+  refill_ctx.timings = config.timings;
+  refill_ctx.phase = "swaps";
+  exec::ParallelContext pair_ctx = refill_ctx;
+  pair_ctx.governor = gov;
   for (std::size_t iter = config.start_iteration; iter < config.iterations;
        ++iter) {
     if (gov != nullptr) {
@@ -99,18 +121,27 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     //    presence in T could not block anything. The same pass counts the
     //    input simplicity census for free.
     if (stats.iterations.size() > 1) table.clear();
-    std::size_t in_loops = 0, in_dups = 0;
-#pragma omp parallel for schedule(static) reduction(+ : in_loops, in_dups)
-    for (std::size_t i = 0; i < m; ++i) {
-      const Edge e = edges[i];
-      if (e.is_loop()) {
-        ++in_loops;
-        continue;
-      }
-      if (table.test_and_set(e.key())) ++in_dups;
-    }
-    it_stats.input_self_loops = in_loops;
-    it_stats.input_multi_edges = in_dups;
+    const CensusCounts input = exec::reduce<CensusCounts>(
+        refill_ctx, m, exec::kDefaultGrain, CensusCounts{},
+        [&](const exec::Chunk& chunk) {
+          CensusCounts mine;
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            const Edge e = edges[i];
+            if (e.is_loop()) {
+              ++mine.loops;
+              continue;
+            }
+            if (table.test_and_set(e.key())) ++mine.dups;
+          }
+          return mine;
+        },
+        [](CensusCounts a, CensusCounts b) {
+          a.loops += b.loops;
+          a.dups += b.dups;
+          return a;
+        });
+    it_stats.input_self_loops = input.loops;
+    it_stats.input_multi_edges = input.dups;
 
     // 2. Permute(E) — and the swap flags travel with their edges.
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
@@ -122,45 +153,51 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
                              target_span, gov);
     }
 
-    // 3. Attempt one swap per adjacent pair.
+    // 3. Attempt one swap per adjacent pair. The exec chunk grain of 4096
+    // replaces the old per-4096-pairs verdict refresh: the governor is
+    // polled once per chunk, and a tripped run skips whole chunks (those
+    // pairs keep their edges).
     const std::size_t pairs = m / 2;
-    std::size_t swapped = 0, rejected_existing = 0, rejected_loop = 0;
-#pragma omp parallel for schedule(static) \
-    reduction(+ : swapped, rejected_existing, rejected_loop)
-    for (std::size_t k = 0; k < pairs; ++k) {
-      if (gov != nullptr) {
-        // Refresh the verdict (clock + token) once per 4096 pairs; the
-        // sticky check itself is one relaxed load, cheap enough per pair.
-        if ((k & 4095u) == 0) (void)gov->should_stop();
-        if (gov->stopped()) continue;  // skipped pairs keep their edges
-      }
-      const Edge e = edges[2 * k];
-      const Edge f = edges[2 * k + 1];
-      Edge g, h;
-      propose(e, f, pair_coin(coin_seed, k), g, h);
-      if (g.is_loop() || h.is_loop()) {
-        ++rejected_loop;
-        continue;
-      }
-      // TestAndSet returns true when the key already exists -> reject.
-      // A failed second insertion leaves g in T: a conservative
-      // over-approximation, exactly as in the paper (no deletions).
-      if (table.test_and_set(g.key()) || table.test_and_set(h.key())) {
-        ++rejected_existing;
-        continue;
-      }
-      edges[2 * k] = g;
-      edges[2 * k + 1] = h;
-      ++swapped;
-      if (config.track_swapped_edges) {
-        ever_swapped[2 * k] = 1;
-        ever_swapped[2 * k + 1] = 1;
-      }
-    }
+    const PairCounts counts = exec::reduce<PairCounts>(
+        pair_ctx, pairs, 4096, PairCounts{},
+        [&](const exec::Chunk& chunk) {
+          PairCounts mine;
+          for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+            const Edge e = edges[2 * k];
+            const Edge f = edges[2 * k + 1];
+            Edge g, h;
+            propose(e, f, pair_coin(coin_seed, k), g, h);
+            if (g.is_loop() || h.is_loop()) {
+              ++mine.rejected_loop;
+              continue;
+            }
+            // TestAndSet returns true when the key already exists -> reject.
+            // A failed second insertion leaves g in T: a conservative
+            // over-approximation, exactly as in the paper (no deletions).
+            if (table.test_and_set(g.key()) || table.test_and_set(h.key())) {
+              ++mine.rejected_existing;
+              continue;
+            }
+            edges[2 * k] = g;
+            edges[2 * k + 1] = h;
+            ++mine.swapped;
+            if (config.track_swapped_edges) {
+              ever_swapped[2 * k] = 1;
+              ever_swapped[2 * k + 1] = 1;
+            }
+          }
+          return mine;
+        },
+        [](PairCounts a, PairCounts b) {
+          a.swapped += b.swapped;
+          a.rejected_existing += b.rejected_existing;
+          a.rejected_loop += b.rejected_loop;
+          return a;
+        });
     it_stats.attempted = pairs;
-    it_stats.swapped = swapped;
-    it_stats.rejected_existing = rejected_existing;
-    it_stats.rejected_loop = rejected_loop;
+    it_stats.swapped = counts.swapped;
+    it_stats.rejected_existing = counts.rejected_existing;
+    it_stats.rejected_loop = counts.rejected_loop;
     stats.final_chain_state = seed_chain;
 
     if (gov != nullptr) {
@@ -181,10 +218,15 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     stats.stop_reason = gov->stop_reason();
 
   if (config.track_swapped_edges) {
-    std::size_t count = 0;
-#pragma omp parallel for reduction(+ : count) schedule(static)
-    for (std::size_t i = 0; i < m; ++i) count += ever_swapped[i];
-    stats.edges_ever_swapped = count;
+    stats.edges_ever_swapped = exec::reduce<std::size_t>(
+        refill_ctx, m, exec::kDefaultGrain, 0,
+        [&](const exec::Chunk& chunk) {
+          std::size_t count = 0;
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+            count += ever_swapped[i];
+          return count;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
   }
   return stats;
 }

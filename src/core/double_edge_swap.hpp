@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ds/edge_list.hpp"
+#include "exec/phase_timing.hpp"
 #include "robustness/governance.hpp"
 
 namespace nullgraph {
@@ -56,6 +57,9 @@ struct SwapConfig {
   /// never introduce loops or duplicates) and reports why in
   /// SwapStats::stop_reason.
   const RunGovernor* governor = nullptr;
+  /// Optional exec-layer phase records (wall time / chunk counts),
+  /// aggregated over all iterations under the "swaps" phase name.
+  exec::PhaseTimingSink* timings = nullptr;
   /// FaultPlan::slow_phase_ms wiring: sleep this long at the top of every
   /// iteration so deadline/watchdog paths can be drilled deterministically.
   std::uint64_t slow_iteration_ms = 0;

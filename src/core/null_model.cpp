@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/components.hpp"
+#include "exec/exec.hpp"
 #include "io/checkpoint.hpp"
 #include "prob/heuristics.hpp"
 #include "robustness/fault_injection.hpp"
@@ -206,6 +207,15 @@ void swap_phase_with_recovery(EdgeList& edges, GenerateResult& result,
          degrees_fixed);
 }
 
+/// Resolves the effective governor for a run: a borrowed external governor
+/// wins (multi-layer drivers share one deadline across calls), otherwise
+/// the run-local instance when governance is enabled, otherwise none.
+const RunGovernor* resolve_governor(const GovernanceConfig& governance,
+                                    const RunGovernor& local) {
+  if (governance.external != nullptr) return governance.external;
+  return governance.enabled ? &local : nullptr;
+}
+
 template <typename Fn>
 auto run_checked(Fn&& fn) -> Result<decltype(fn())> {
   try {
@@ -225,7 +235,8 @@ auto run_checked(Fn&& fn) -> Result<decltype(fn())> {
 ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
                                          ProbabilityMethod method,
                                          int refine_iterations,
-                                         const RunGovernor* governor) {
+                                         const RunGovernor* governor,
+                                         exec::PhaseTimingSink* timings) {
   ProbabilityMatrix matrix;
   switch (method) {
     case ProbabilityMethod::kGreedyAllocation:
@@ -235,11 +246,11 @@ ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
       matrix = stub_matching_probabilities(dist, governor);
       break;
     case ProbabilityMethod::kChungLu:
-      matrix = chung_lu_probabilities(dist, governor);
+      matrix = chung_lu_probabilities(dist, governor, timings);
       break;
   }
   if (refine_iterations > 0)
-    refine_probabilities(matrix, dist, refine_iterations, governor);
+    refine_probabilities(matrix, dist, refine_iterations, governor, timings);
   return matrix;
 }
 
@@ -252,10 +263,12 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
 
   // The governor is constructed here (starting the deadline clock) and
   // threaded through every phase; a null pointer keeps the phases on their
-  // historical ungoverned paths.
+  // historical ungoverned paths. The timing sink collects exec-layer
+  // chunk/wall records from every phase into report.phase_timings.
   const RunGovernor governor(config.governance.budget, config.governance.cancel,
                              config.governance.watchdog);
-  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
+  const RunGovernor* gov = resolve_governor(config.governance, governor);
+  exec::PhaseTimingSink sink;
 
   // A non-graphical input has no repair (we never rewrite the caller's
   // distribution): strict aborts, other policies record and proceed with
@@ -265,7 +278,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
 
   result.timing.start("probabilities");
   ProbabilityMatrix P = generate_probabilities(
-      dist, config.probability_method, config.refine_iterations, gov);
+      dist, config.probability_method, config.refine_iterations, gov, &sink);
   result.timing.stop();
   record_curtailment(result.report, gov, "probabilities", 0,
                      dist.num_classes());
@@ -287,6 +300,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   EdgeSkipConfig skip_config;
   skip_config.seed = splitmix64_next(seed_chain);
   skip_config.governor = gov;
+  skip_config.timings = &sink;
   result.edges = edge_skip_generate(P, dist, skip_config);
   result.timing.stop();
   record_curtailment(result.report, gov, "edge generation",
@@ -310,6 +324,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   swap_config.iterations = config.swap_iterations;
   swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
+  swap_config.timings = &sink;
   wire_swap_governance(swap_config, gov, config.governance, guard);
   // The memory ceiling is checked against the phase's estimated footprint
   // BEFORE swap_edges allocates; a trip makes the phase return immediately
@@ -328,6 +343,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   record_curtailment(result.report, gov, "swaps",
                      result.swap_stats.iterations.size(),
                      config.swap_iterations, result.swap_stats.acceptance());
+  result.report.phase_timings = sink.snapshot();
   return result;
 }
 
@@ -340,7 +356,8 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
 
   const RunGovernor governor(config.governance.budget, config.governance.cancel,
                              config.governance.watchdog);
-  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
+  const RunGovernor* gov = resolve_governor(config.governance, governor);
+  exec::PhaseTimingSink sink;
 
   // The input's own degree sequence is the contract; snapshot (fingerprint
   // plus, under kRepair, the pristine list itself) before any injected
@@ -360,6 +377,7 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   swap_config.iterations = config.swap_iterations;
   swap_config.seed = splitmix64_next(seed_chain);
   swap_config.track_swapped_edges = config.track_swapped_edges;
+  swap_config.timings = &sink;
   wire_swap_governance(swap_config, gov, config.governance, guard);
   if (gov != nullptr)
     (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
@@ -375,6 +393,7 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   record_curtailment(result.report, gov, "swaps",
                      result.swap_stats.iterations.size(),
                      config.swap_iterations, result.swap_stats.acceptance());
+  result.report.phase_timings = sink.snapshot();
   return result;
 }
 
@@ -387,7 +406,8 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
 
   const RunGovernor governor(config.governance.budget, config.governance.cancel,
                              config.governance.watchdog);
-  const RunGovernor* gov = config.governance.enabled ? &governor : nullptr;
+  const RunGovernor* gov = resolve_governor(config.governance, governor);
+  exec::PhaseTimingSink sink;
 
   // The snapshot's fingerprint was computed from its own edge list when it
   // was written, so a mismatch here means memory corruption or a tampered
@@ -410,6 +430,7 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
       static_cast<std::size_t>(checkpoint.completed_iterations);
   swap_config.resume_chain_state = checkpoint.chain_state;
   swap_config.track_swapped_edges = config.track_swapped_edges;
+  swap_config.timings = &sink;
   wire_swap_governance(swap_config, gov, config.governance, guard);
   if (gov != nullptr)
     (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
@@ -426,6 +447,7 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
     record(result.report, guard.policy, "degrees",
            check_degree_fingerprint(expected_fp, result.edges));
   }
+  result.report.phase_timings = sink.snapshot();
   return result;
 }
 
@@ -484,11 +506,15 @@ GenerateResult generate_for_sequence(const std::vector<std::uint64_t>& degrees,
                    [&](VertexId a, VertexId b) {
                      return degrees[a] < degrees[b];
                    });
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < result.edges.size(); ++i) {
-    Edge& e = result.edges[i];
-    e = {by_degree[e.u], by_degree[e.v]};
-  }
+  // Ungoverned: a skipped relabel chunk would leave a mixed id space.
+  const exec::ParallelContext relabel_ctx;
+  exec::for_chunks(relabel_ctx, result.edges.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       Edge& e = result.edges[i];
+                       e = {by_degree[e.u], by_degree[e.v]};
+                     }
+                   });
   return result;
 }
 

@@ -44,6 +44,11 @@ struct GovernanceConfig {
   RunBudget budget;
   CancelToken cancel;
   WatchdogConfig watchdog;
+  /// Borrowed external governor. When set it overrides `enabled`/`budget`/
+  /// `cancel`/`watchdog` and is threaded through every phase instead of a
+  /// run-local governor — the hook multi-layer drivers (LFR) use to spread
+  /// one deadline across many generate calls. Caller keeps ownership.
+  const RunGovernor* external = nullptr;
   /// Write a checkpoint after every N completed swap iterations (0 = off;
   /// requires checkpoint_path). See io/checkpoint.hpp for the format.
   std::size_t checkpoint_every = 0;
@@ -81,11 +86,12 @@ struct GenerateResult {
 };
 
 /// Phase 1 on its own: probabilities for `dist` by the chosen method. The
-/// optional governor curtails the heuristic at per-row granularity.
-ProbabilityMatrix generate_probabilities(const DegreeDistribution& dist,
-                                         ProbabilityMethod method,
-                                         int refine_iterations = 0,
-                                         const RunGovernor* governor = nullptr);
+/// optional governor curtails the heuristic at per-row granularity; the
+/// optional sink collects exec-layer records under "probabilities".
+ProbabilityMatrix generate_probabilities(
+    const DegreeDistribution& dist, ProbabilityMethod method,
+    int refine_iterations = 0, const RunGovernor* governor = nullptr,
+    exec::PhaseTimingSink* timings = nullptr);
 
 /// Problem 2 (Algorithm IV.1): uniformly random simple graph matching
 /// `dist` in expectation. Vertex ids follow the DegreeDistribution

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "ds/concurrent_hash_set.hpp"
+#include "exec/exec.hpp"
 #include "permute/permutation.hpp"
 #include "util/rng.hpp"
 
@@ -20,69 +21,88 @@ RewireStats rewire_assortativity(EdgeList& edges,
   // Refill (<= m keys) plus 2 candidates per pair — sized so the <= 0.5
   // load-factor invariant holds through a whole iteration.
   ConcurrentHashSet table(m + 2 * (m / 2));
+  // The refill runs ungoverned (a skipped chunk would leave keys out of T
+  // and risk duplicate commits); only the pair loop is skippable.
+  exec::ParallelContext refill_ctx;
+  refill_ctx.timings = config.timings;
+  refill_ctx.phase = "rewire";
+  exec::ParallelContext pair_ctx = refill_ctx;
+  pair_ctx.governor = config.governor;
   std::uint64_t seed_chain = config.seed;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    if (pair_ctx.stopped()) break;
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
     const std::uint64_t pair_seed = splitmix64_next(seed_chain);
 
     if (iter > 0) table.clear();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) table.test_and_set(edges[i].key());
+    exec::for_chunks(refill_ctx, m, exec::kDefaultGrain,
+                     [&](const exec::Chunk& chunk) {
+                       for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                         table.test_and_set(edges[i].key());
+                     });
 
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);
     apply_targets_parallel(std::span<Edge>(edges),
                            std::span<const std::uint64_t>(targets.data(),
-                                                          targets.size()));
+                                                          targets.size()),
+                           config.governor);
 
     const std::size_t pairs = m / 2;
-    std::size_t swapped = 0;
-#pragma omp parallel for schedule(static) reduction(+ : swapped)
-    for (std::size_t k = 0; k < pairs; ++k) {
-      const Edge e = edges[2 * k];
-      const Edge f = edges[2 * k + 1];
-      std::uint64_t state = pair_seed ^ (k * 0x9e3779b97f4a7c15ULL);
-      const std::uint64_t randomness = splitmix64_next(state);
+    const std::size_t swapped = exec::reduce<std::size_t>(
+        pair_ctx, pairs, 4096, 0,
+        [&](const exec::Chunk& chunk) {
+          std::size_t mine = 0;
+          for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+            const Edge e = edges[2 * k];
+            const Edge f = edges[2 * k + 1];
+            std::uint64_t state = pair_seed ^ (k * 0x9e3779b97f4a7c15ULL);
+            const std::uint64_t randomness = splitmix64_next(state);
 
-      Edge g, h;
-      const bool force_target =
-          (static_cast<double>(randomness >> 11) * 0x1.0p-53) < config.bias;
-      if (force_target) {
-        // Sort the four endpoints by degree (ties by id for determinism).
-        std::array<VertexId, 4> vs{e.u, e.v, f.u, f.v};
-        std::sort(vs.begin(), vs.end(), [&](VertexId a, VertexId b) {
-          if (degree[a] != degree[b]) return degree[a] < degree[b];
-          return a < b;
-        });
-        if (config.target == MixingTarget::kAssortative) {
-          // Two lowest together, two highest together.
-          g = {vs[0], vs[1]};
-          h = {vs[2], vs[3]};
-        } else {
-          // Lowest with highest, middle pair together.
-          g = {vs[0], vs[3]};
-          h = {vs[1], vs[2]};
-        }
-        // Already in the requested configuration? Nothing to gain.
-        if ((g.key() == e.key() && h.key() == f.key()) ||
-            (g.key() == f.key() && h.key() == e.key()))
-          continue;
-      } else {
-        // Uniform proposal, as in plain swap_edges.
-        if (randomness & 1) {
-          g = {e.u, f.u};
-          h = {e.v, f.v};
-        } else {
-          g = {e.u, f.v};
-          h = {e.v, f.u};
-        }
-      }
-      if (g.is_loop() || h.is_loop()) continue;
-      if (table.test_and_set(g.key()) || table.test_and_set(h.key()))
-        continue;
-      edges[2 * k] = g;
-      edges[2 * k + 1] = h;
-      ++swapped;
-    }
+            Edge g, h;
+            const bool force_target =
+                (static_cast<double>(randomness >> 11) * 0x1.0p-53) <
+                config.bias;
+            if (force_target) {
+              // Sort the four endpoints by degree (ties by id for
+              // determinism).
+              std::array<VertexId, 4> vs{e.u, e.v, f.u, f.v};
+              std::sort(vs.begin(), vs.end(), [&](VertexId a, VertexId b) {
+                if (degree[a] != degree[b]) return degree[a] < degree[b];
+                return a < b;
+              });
+              if (config.target == MixingTarget::kAssortative) {
+                // Two lowest together, two highest together.
+                g = {vs[0], vs[1]};
+                h = {vs[2], vs[3]};
+              } else {
+                // Lowest with highest, middle pair together.
+                g = {vs[0], vs[3]};
+                h = {vs[1], vs[2]};
+              }
+              // Already in the requested configuration? Nothing to gain.
+              if ((g.key() == e.key() && h.key() == f.key()) ||
+                  (g.key() == f.key() && h.key() == e.key()))
+                continue;
+            } else {
+              // Uniform proposal, as in plain swap_edges.
+              if (randomness & 1) {
+                g = {e.u, f.u};
+                h = {e.v, f.v};
+              } else {
+                g = {e.u, f.v};
+                h = {e.v, f.u};
+              }
+            }
+            if (g.is_loop() || h.is_loop()) continue;
+            if (table.test_and_set(g.key()) || table.test_and_set(h.key()))
+              continue;
+            edges[2 * k] = g;
+            edges[2 * k + 1] = h;
+            ++mine;
+          }
+          return mine;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
     stats.attempted += pairs;
     stats.swapped += swapped;
   }

@@ -14,6 +14,8 @@
 #include <cstdint>
 
 #include "ds/edge_list.hpp"
+#include "exec/phase_timing.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
@@ -25,6 +27,12 @@ struct RewireConfig {
   /// Fraction of proposals forced toward the target (XBS's p parameter).
   double bias = 1.0;
   MixingTarget target = MixingTarget::kAssortative;
+  /// Optional run governance: polled at iteration boundaries and per chunk
+  /// inside the pair loop. A curtailed rewire leaves `edges` a valid simple
+  /// graph with the original degrees (committed swaps preserve both).
+  const RunGovernor* governor = nullptr;
+  /// Optional exec-layer phase records under the "rewire" phase name.
+  exec::PhaseTimingSink* timings = nullptr;
 };
 
 struct RewireStats {

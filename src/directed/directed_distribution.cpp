@@ -1,9 +1,11 @@
 #include "directed/directed_distribution.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "ds/concurrent_hash_set.hpp"
+#include "exec/exec.hpp"
 
 namespace nullgraph {
 
@@ -98,24 +100,36 @@ std::vector<std::uint64_t> DirectedDegreeDistribution::out_sequence() const {
 }
 
 std::size_t vertex_count(const ArcList& arcs) {
-  VertexId max_id = 0;
-#pragma omp parallel for reduction(max : max_id) schedule(static)
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    const VertexId hi =
-        arcs[i].from > arcs[i].to ? arcs[i].from : arcs[i].to;
-    if (hi > max_id) max_id = hi;
-  }
-  return arcs.empty() ? 0 : static_cast<std::size_t>(max_id) + 1;
+  if (arcs.empty()) return 0;
+  // Diagnostic reductions run ungoverned: callers rely on exact counts.
+  const exec::ParallelContext ctx;
+  const VertexId max_id = exec::reduce<VertexId>(
+      ctx, arcs.size(), exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        VertexId mine = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const VertexId hi =
+              arcs[i].from > arcs[i].to ? arcs[i].from : arcs[i].to;
+          if (hi > mine) mine = hi;
+        }
+        return mine;
+      },
+      [](VertexId a, VertexId b) { return a > b ? a : b; });
+  return static_cast<std::size_t>(max_id) + 1;
 }
 
 std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs, std::size_t n) {
   n = std::max(n, vertex_count(arcs));
   std::vector<std::uint64_t> degree(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-#pragma omp atomic
-    degree[arcs[i].to]++;
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, arcs.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       std::atomic_ref<std::uint64_t> slot(
+                           degree[arcs[i].to]);
+                       slot.fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
   return degree;
 }
 
@@ -123,28 +137,39 @@ std::vector<std::uint64_t> out_degrees_of(const ArcList& arcs,
                                           std::size_t n) {
   n = std::max(n, vertex_count(arcs));
   std::vector<std::uint64_t> degree(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-#pragma omp atomic
-    degree[arcs[i].from]++;
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, arcs.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       std::atomic_ref<std::uint64_t> slot(
+                           degree[arcs[i].from]);
+                       slot.fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
   return degree;
 }
 
 ArcCensus census(const ArcList& arcs) {
-  ArcCensus result;
   ConcurrentHashSet seen(arcs.size());
-  std::size_t loops = 0, dups = 0;
-#pragma omp parallel for reduction(+ : loops, dups) schedule(static)
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    if (arcs[i].is_loop()) {
-      ++loops;
-      continue;
-    }
-    if (seen.test_and_set(arcs[i].key())) ++dups;
-  }
-  result.self_loops = loops;
-  result.duplicate_arcs = dups;
+  const exec::ParallelContext ctx;
+  const ArcCensus result = exec::reduce<ArcCensus>(
+      ctx, arcs.size(), exec::kDefaultGrain, ArcCensus{},
+      [&](const exec::Chunk& chunk) {
+        ArcCensus mine;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          if (arcs[i].is_loop()) {
+            ++mine.self_loops;
+            continue;
+          }
+          if (seen.test_and_set(arcs[i].key())) ++mine.duplicate_arcs;
+        }
+        return mine;
+      },
+      [](ArcCensus a, ArcCensus b) {
+        a.self_loops += b.self_loops;
+        a.duplicate_arcs += b.duplicate_arcs;
+        return a;
+      });
   return result;
 }
 
@@ -154,8 +179,12 @@ bool same_arc_multiset(const ArcList& a, const ArcList& b) {
   if (a.size() != b.size()) return false;
   auto keys = [](const ArcList& arcs) {
     std::vector<EdgeKey> out(arcs.size());
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < arcs.size(); ++i) out[i] = arcs[i].key();
+    const exec::ParallelContext ctx;
+    exec::for_chunks(ctx, arcs.size(), exec::kDefaultGrain,
+                     [&](const exec::Chunk& chunk) {
+                       for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                         out[i] = arcs[i].key();
+                     });
     std::sort(out.begin(), out.end());
     return out;
   };

@@ -7,6 +7,7 @@
 
 #include "directed/directed_swap.hpp"
 #include "ds/concurrent_hash_set.hpp"
+#include "exec/exec.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -166,54 +167,58 @@ void traverse(double p, std::uint64_t begin, std::uint64_t end,
 
 ArcList directed_edge_skip(const DirectedProbabilityMatrix& P,
                            const DirectedDegreeDistribution& dist,
-                           std::uint64_t seed, std::uint64_t arcs_per_task) {
+                           std::uint64_t seed, std::uint64_t arcs_per_task,
+                           const RunGovernor* governor) {
   const std::size_t nc = dist.num_classes();
   const std::uint64_t num_pairs = nc * nc;
-  const int nthreads = max_threads();
-  std::vector<ArcList> buffers(static_cast<std::size_t>(nthreads));
-#pragma omp parallel num_threads(nthreads)
-  {
-    ArcList& mine = buffers[static_cast<std::size_t>(thread_id())];
-#pragma omp for schedule(dynamic, 64)
-    for (std::uint64_t pair = 0; pair < num_pairs; ++pair) {
-      const std::size_t i = static_cast<std::size_t>(pair / nc);
-      const std::size_t j = static_cast<std::size_t>(pair % nc);
-      const double p = P.at(i, j);
-      if (p <= 0.0) continue;
-      ArcSpace space;
-      const std::uint64_t ni = dist.class_at(i).count;
-      const std::uint64_t nj = dist.class_at(j).count;
-      space.to_count = nj;
-      space.from_offset = dist.class_offset(i);
-      space.to_offset = dist.class_offset(j);
-      space.diagonal = i == j;
-      space.size = space.diagonal ? ni * (ni - 1) : ni * nj;
-      if (space.diagonal && ni < 2) continue;
-      // Large spaces are split into chunks with independent stateless
-      // seeds; chunking depends only on the data.
-      const double expected = p * static_cast<double>(space.size);
-      const std::uint64_t chunks =
-          expected > static_cast<double>(arcs_per_task)
-              ? static_cast<std::uint64_t>(
-                    expected / static_cast<double>(arcs_per_task)) + 1
-              : 1;
-      for (std::uint64_t c = 0; c < chunks; ++c) {
-        const auto [begin, end] = block_range(
-            static_cast<int>(c), static_cast<int>(chunks), space.size);
-        Xoshiro256ss rng(task_seed(seed, pair, c));
-        traverse(p, begin, end, rng,
-                 [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
-      }
-    }
-  }
-  return concat_buffers(buffers);
+  exec::ParallelContext ctx;
+  ctx.seed = seed;
+  ctx.governor = governor;
+  ctx.phase = "directed edge generation";
+  // Per-pair streams stay keyed by (seed, pair, subtask), so the arc set
+  // is invariant under both thread count and exec chunking.
+  return exec::collect<Arc>(
+      ctx, num_pairs, 64, [&](const exec::Chunk& chunk, ArcList& mine) {
+        for (std::uint64_t pair = chunk.begin; pair < chunk.end; ++pair) {
+          const std::size_t i = static_cast<std::size_t>(pair / nc);
+          const std::size_t j = static_cast<std::size_t>(pair % nc);
+          const double p = P.at(i, j);
+          if (p <= 0.0) continue;
+          ArcSpace space;
+          const std::uint64_t ni = dist.class_at(i).count;
+          const std::uint64_t nj = dist.class_at(j).count;
+          space.to_count = nj;
+          space.from_offset = dist.class_offset(i);
+          space.to_offset = dist.class_offset(j);
+          space.diagonal = i == j;
+          space.size = space.diagonal ? ni * (ni - 1) : ni * nj;
+          if (space.diagonal && ni < 2) continue;
+          // Large spaces are split into subtasks with independent stateless
+          // seeds; the split depends only on the data.
+          const double expected = p * static_cast<double>(space.size);
+          const std::uint64_t subtasks =
+              expected > static_cast<double>(arcs_per_task)
+                  ? static_cast<std::uint64_t>(
+                        expected / static_cast<double>(arcs_per_task)) + 1
+                  : 1;
+          for (std::uint64_t c = 0; c < subtasks; ++c) {
+            const auto [begin, end] = block_range(
+                static_cast<std::size_t>(c),
+                static_cast<std::size_t>(subtasks), space.size);
+            Xoshiro256ss rng(task_seed(seed, pair, c));
+            traverse(p, begin, end, rng, [&](std::uint64_t t) {
+              mine.push_back(space.decode(t));
+            });
+          }
+        }
+      });
 }
 
 ArcList directed_chung_lu_multigraph(const DirectedDegreeDistribution& dist,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     const RunGovernor* governor) {
   const std::uint64_t m = dist.num_arcs();
-  ArcList arcs(m);
-  if (m == 0) return arcs;
+  if (m == 0) return {};
   const std::size_t nc = dist.num_classes();
   // Cumulative stub tables per class; a uniform stub index maps to the
   // vertex owning it (out-stubs for sources, in-stubs for targets).
@@ -233,35 +238,39 @@ ArcList directed_chung_lu_multigraph(const DirectedDegreeDistribution& dist,
                                 : dist.class_at(c).in_degree;
     return static_cast<VertexId>(dist.class_offset(c) + (s - cum[c]) / d);
   };
-  constexpr std::uint64_t kBlock = 1u << 14;
-  const std::uint64_t blocks = (m + kBlock - 1) / kBlock;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::uint64_t b = 0; b < blocks; ++b) {
-    Xoshiro256ss rng(task_seed(seed, b, 0));
-    const std::uint64_t begin = b * kBlock;
-    const std::uint64_t end = std::min(m, begin + kBlock);
-    for (std::uint64_t a = begin; a < end; ++a)
-      arcs[a] = {draw(out_cum, true, rng), draw(in_cum, false, rng)};
-  }
-  return arcs;
+  // Per-chunk RNG streams: the draw is thread-count-invariant, and a
+  // governed stop truncates the arc list cleanly instead of leaving
+  // placeholder arcs behind.
+  exec::ParallelContext ctx;
+  ctx.seed = seed;
+  ctx.governor = governor;
+  ctx.phase = "directed chung-lu draws";
+  constexpr std::size_t kBlock = std::size_t{1} << 14;
+  return exec::collect<Arc>(
+      ctx, m, kBlock, [&](const exec::Chunk& chunk, ArcList& mine) {
+        Xoshiro256ss rng = chunk.rng();
+        mine.reserve(chunk.size());
+        for (std::uint64_t a = chunk.begin; a < chunk.end; ++a)
+          mine.push_back({draw(out_cum, true, rng), draw(in_cum, false, rng)});
+      });
 }
 
 ArcList erased_directed_chung_lu(const DirectedDegreeDistribution& dist,
-                                 std::uint64_t seed) {
-  const ArcList arcs = directed_chung_lu_multigraph(dist, seed);
+                                 std::uint64_t seed,
+                                 const RunGovernor* governor) {
+  const ArcList arcs = directed_chung_lu_multigraph(dist, seed, governor);
   ConcurrentHashSet seen(arcs.size());
-  const int nthreads = max_threads();
-  std::vector<ArcList> kept(static_cast<std::size_t>(nthreads));
-#pragma omp parallel num_threads(nthreads)
-  {
-    ArcList& mine = kept[static_cast<std::size_t>(thread_id())];
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < arcs.size(); ++i) {
-      if (!arcs[i].is_loop() && !seen.test_and_set(arcs[i].key()))
-        mine.push_back(arcs[i]);
-    }
-  }
-  return concat_buffers(kept);
+  // The erasure pass is cheap relative to the draw; it runs ungoverned so
+  // the kept set is exactly the first-occurrence set of the draw above.
+  const exec::ParallelContext ctx;
+  return exec::collect<Arc>(
+      ctx, arcs.size(), exec::kDefaultGrain,
+      [&](const exec::Chunk& chunk, ArcList& mine) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          if (!arcs[i].is_loop() && !seen.test_and_set(arcs[i].key()))
+            mine.push_back(arcs[i]);
+        }
+      });
 }
 
 ArcList kleitman_wang(const std::vector<std::uint64_t>& in_degrees,
@@ -338,13 +347,16 @@ bool is_digraphical(const std::vector<std::uint64_t>& in_degrees,
 
 ArcList generate_directed_null_graph(const DirectedDegreeDistribution& dist,
                                      std::uint64_t seed,
-                                     std::size_t swap_iterations) {
+                                     std::size_t swap_iterations,
+                                     const RunGovernor* governor) {
   std::uint64_t seed_chain = seed;
   const DirectedProbabilityMatrix P = directed_greedy_probabilities(dist);
-  ArcList arcs = directed_edge_skip(P, dist, splitmix64_next(seed_chain));
+  ArcList arcs = directed_edge_skip(P, dist, splitmix64_next(seed_chain),
+                                    std::uint64_t{1} << 16, governor);
   DirectedSwapConfig config;
   config.iterations = swap_iterations;
   config.seed = splitmix64_next(seed_chain);
+  config.governor = governor;
   directed_swap_arcs(arcs, config);
   return arcs;
 }

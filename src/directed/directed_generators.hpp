@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "directed/directed_distribution.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
@@ -66,19 +67,25 @@ DirectedProbabilityMatrix directed_chung_lu_probabilities(
     const DirectedDegreeDistribution& dist);
 
 /// Simple digraph via parallel edge skipping over the ordered spaces.
+/// The optional governor is polled per chunk; a curtailed run returns the
+/// arcs generated so far (still simple — pair spaces are disjoint).
 ArcList directed_edge_skip(const DirectedProbabilityMatrix& P,
                            const DirectedDegreeDistribution& dist,
                            std::uint64_t seed = 1,
-                           std::uint64_t arcs_per_task = 1u << 16);
+                           std::uint64_t arcs_per_task = 1u << 16,
+                           const RunGovernor* governor = nullptr);
 
 /// O(m) directed Chung-Lu multigraph: m arcs, each drawn (out-stub,
-/// in-stub) with replacement.
+/// in-stub) with replacement. A governed stop truncates the draw cleanly
+/// (fewer arcs, no placeholder entries).
 ArcList directed_chung_lu_multigraph(const DirectedDegreeDistribution& dist,
-                                     std::uint64_t seed = 1);
+                                     std::uint64_t seed = 1,
+                                     const RunGovernor* governor = nullptr);
 
 /// directed_chung_lu_multigraph with loops and duplicate arcs erased.
 ArcList erased_directed_chung_lu(const DirectedDegreeDistribution& dist,
-                                 std::uint64_t seed = 1);
+                                 std::uint64_t seed = 1,
+                                 const RunGovernor* governor = nullptr);
 
 /// Exact greedy realization (Kleitman-Wang / directed Havel-Hakimi):
 /// connects each vertex's out-stubs to the largest residual in-degrees.
@@ -96,6 +103,7 @@ bool is_digraphical(const std::vector<std::uint64_t>& in_degrees,
 /// (in, out) joint distribution matches `dist` in expectation.
 ArcList generate_directed_null_graph(const DirectedDegreeDistribution& dist,
                                      std::uint64_t seed = 1,
-                                     std::size_t swap_iterations = 10);
+                                     std::size_t swap_iterations = 10,
+                                     const RunGovernor* governor = nullptr);
 
 }  // namespace nullgraph

@@ -28,12 +28,17 @@
 #include <cstdint>
 
 #include "directed/directed_distribution.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
 struct DirectedSwapConfig {
   std::size_t iterations = 10;
   std::uint64_t seed = 1;
+  /// Optional run governance: polled at iteration boundaries and per chunk
+  /// inside the pair loop. A curtailed chain leaves `arcs` a valid digraph
+  /// with the original in/out degrees.
+  const RunGovernor* governor = nullptr;
 };
 
 struct DirectedSwapIterationStats {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 namespace {
@@ -61,20 +63,28 @@ bool ConcurrentHashSet::contains(std::uint64_t key) const noexcept {
 }
 
 void ConcurrentHashSet::clear() noexcept {
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < capacity_; ++i)
-    slots_[i].store(kEmpty, std::memory_order_relaxed);
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, capacity_, exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                       slots_[i].store(kEmpty, std::memory_order_relaxed);
+                   });
 #ifndef NDEBUG
   debug_size_.store(0, std::memory_order_relaxed);
 #endif
 }
 
 std::size_t ConcurrentHashSet::size() const noexcept {
-  std::size_t count = 0;
-#pragma omp parallel for reduction(+ : count) schedule(static)
-  for (std::size_t i = 0; i < capacity_; ++i)
-    if (slots_[i].load(std::memory_order_relaxed) != kEmpty) ++count;
-  return count;
+  const exec::ParallelContext ctx;
+  return exec::reduce<std::size_t>(
+      ctx, capacity_, exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::size_t count = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          if (slots_[i].load(std::memory_order_relaxed) != kEmpty) ++count;
+        return count;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
 }
 
 }  // namespace nullgraph

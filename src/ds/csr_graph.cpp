@@ -3,40 +3,53 @@
 #include <algorithm>
 #include <atomic>
 
+#include "exec/exec.hpp"
 #include "util/prefix_sum.hpp"
 
 namespace nullgraph {
 
 CsrGraph::CsrGraph(const EdgeList& edges, std::size_t n, bool sort_rows) {
   if (n == 0) n = vertex_count(edges);
+  // Ungoverned throughout: a partially-built CSR (skipped scatter chunks)
+  // would violate the offsets/adjacency invariant; callers govern the
+  // generation phases that feed this, not the index build itself.
+  const exec::ParallelContext ctx;
   std::vector<std::uint64_t> counts(n + 1, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-#pragma omp atomic
-    counts[edges[i].u]++;
-#pragma omp atomic
-    counts[edges[i].v]++;
-  }
+  exec::for_chunks(ctx, edges.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       std::atomic_ref<std::uint64_t>(counts[edges[i].u])
+                           .fetch_add(1, std::memory_order_relaxed);
+                       std::atomic_ref<std::uint64_t>(counts[edges[i].v])
+                           .fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
   exclusive_prefix_sum(counts);
   offsets_ = counts;  // offsets_[v] = start of row v; counts reused as cursor
   adjacency_.resize(offsets_[n]);
   std::vector<std::atomic<std::uint64_t>> cursor(n);
-#pragma omp parallel for schedule(static)
-  for (std::size_t v = 0; v < n; ++v)
-    cursor[v].store(offsets_[v], std::memory_order_relaxed);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const Edge e = edges[i];
-    adjacency_[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] = e.v;
-    adjacency_[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] = e.u;
-  }
+  exec::for_chunks(ctx, n, exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+    for (std::size_t v = chunk.begin; v < chunk.end; ++v)
+      cursor[v].store(offsets_[v], std::memory_order_relaxed);
+  });
+  exec::for_chunks(ctx, edges.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       const Edge e = edges[i];
+                       adjacency_[cursor[e.u].fetch_add(
+                           1, std::memory_order_relaxed)] = e.v;
+                       adjacency_[cursor[e.v].fetch_add(
+                           1, std::memory_order_relaxed)] = e.u;
+                     }
+                   });
   if (sort_rows) {
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::size_t v = 0; v < n; ++v) {
-      std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
-                adjacency_.begin() +
-                    static_cast<std::ptrdiff_t>(offsets_[v + 1]));
-    }
+    exec::for_chunks(ctx, n, 64, [&](const exec::Chunk& chunk) {
+      for (std::size_t v = chunk.begin; v < chunk.end; ++v) {
+        std::sort(
+            adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+            adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+      }
+    });
     rows_sorted_ = true;
   }
 }

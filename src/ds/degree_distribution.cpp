@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ds/edge_list.hpp"
+#include "exec/exec.hpp"
 
 namespace nullgraph {
 
@@ -93,11 +94,13 @@ std::size_t DegreeDistribution::class_of_degree(std::uint64_t degree) const
 
 std::vector<std::uint64_t> DegreeDistribution::to_degree_sequence() const {
   std::vector<std::uint64_t> sequence(total_vertices_);
-#pragma omp parallel for schedule(static)
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    for (std::uint64_t v = offsets_[c]; v < offsets_[c + 1]; ++v)
-      sequence[v] = classes_[c].degree;
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, classes_.size(), 1, [&](const exec::Chunk& chunk) {
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+      for (std::uint64_t v = offsets_[c]; v < offsets_[c + 1]; ++v)
+        sequence[v] = classes_[c].degree;
+    }
+  });
   return sequence;
 }
 

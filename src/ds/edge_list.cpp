@@ -1,22 +1,28 @@
 #include "ds/edge_list.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "ds/concurrent_hash_set.hpp"
-#include "util/parallel.hpp"
+#include "exec/exec.hpp"
 
 namespace nullgraph {
 
 std::size_t vertex_count(const EdgeList& edges) {
-  VertexId max_id = 0;
-  bool any = false;
-#pragma omp parallel for reduction(max : max_id) schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const VertexId hi = edges[i].u > edges[i].v ? edges[i].u : edges[i].v;
-    if (hi > max_id) max_id = hi;
-  }
-  any = !edges.empty();
-  return any ? static_cast<std::size_t>(max_id) + 1 : 0;
+  if (edges.empty()) return 0;
+  const exec::ParallelContext ctx;
+  const VertexId max_id = exec::reduce<VertexId>(
+      ctx, edges.size(), exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        VertexId hi = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const VertexId h = edges[i].u > edges[i].v ? edges[i].u : edges[i].v;
+          if (h > hi) hi = h;
+        }
+        return hi;
+      },
+      [](VertexId a, VertexId b) { return a > b ? a : b; });
+  return static_cast<std::size_t>(max_id) + 1;
 }
 
 std::vector<std::uint64_t> degrees_of(const EdgeList& edges, std::size_t n) {
@@ -25,60 +31,69 @@ std::vector<std::uint64_t> degrees_of(const EdgeList& edges, std::size_t n) {
   // a smaller target distribution), and those must not write out of bounds.
   n = std::max(n, vertex_count(edges));
   std::vector<std::uint64_t> degree(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const Edge e = edges[i];
-#pragma omp atomic
-    degree[e.u]++;
-#pragma omp atomic
-    degree[e.v]++;
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, edges.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       const Edge e = edges[i];
+                       std::atomic_ref<std::uint64_t>(degree[e.u])
+                           .fetch_add(1, std::memory_order_relaxed);
+                       std::atomic_ref<std::uint64_t>(degree[e.v])
+                           .fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
   return degree;
 }
 
 SimplicityCensus census(const EdgeList& edges) {
-  SimplicityCensus result;
   ConcurrentHashSet seen(edges.size());
-  std::size_t loops = 0;
-  std::size_t dups = 0;
-#pragma omp parallel for reduction(+ : loops, dups) schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const Edge e = edges[i];
-    if (e.is_loop()) {
-      ++loops;
-      continue;
-    }
-    if (seen.test_and_set(e.key())) ++dups;
-  }
-  result.self_loops = loops;
-  result.multi_edges = dups;
-  return result;
+  const exec::ParallelContext ctx;
+  return exec::reduce<SimplicityCensus>(
+      ctx, edges.size(), exec::kDefaultGrain, SimplicityCensus{},
+      [&](const exec::Chunk& chunk) {
+        SimplicityCensus mine;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const Edge e = edges[i];
+          if (e.is_loop()) {
+            ++mine.self_loops;
+            continue;
+          }
+          if (seen.test_and_set(e.key())) ++mine.multi_edges;
+        }
+        return mine;
+      },
+      [](SimplicityCensus a, SimplicityCensus b) {
+        a.self_loops += b.self_loops;
+        a.multi_edges += b.multi_edges;
+        return a;
+      });
 }
 
 bool is_simple(const EdgeList& edges) { return census(edges).simple(); }
 
 EdgeList erase_nonsimple(const EdgeList& edges) {
   ConcurrentHashSet seen(edges.size());
-  const int nthreads = max_threads();
-  std::vector<EdgeList> kept(static_cast<std::size_t>(nthreads));
-#pragma omp parallel num_threads(nthreads)
-  {
-    EdgeList& mine = kept[static_cast<std::size_t>(thread_id())];
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      const Edge e = edges[i];
-      if (!e.is_loop() && !seen.test_and_set(e.key())) mine.push_back(e);
-    }
-  }
-  return concat_buffers(kept);
+  const exec::ParallelContext ctx;
+  return exec::collect<Edge>(
+      ctx, edges.size(), exec::kDefaultGrain,
+      [&](const exec::Chunk& chunk, std::vector<Edge>& out) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const Edge e = edges[i];
+          if (!e.is_loop() && !seen.test_and_set(e.key())) out.push_back(e);
+        }
+      });
 }
 
 bool same_edge_multiset(const EdgeList& a, const EdgeList& b) {
   if (a.size() != b.size()) return false;
   auto keys = [](const EdgeList& edges) {
     std::vector<EdgeKey> out(edges.size());
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].key();
+    const exec::ParallelContext ctx;
+    exec::for_chunks(ctx, edges.size(), exec::kDefaultGrain,
+                     [&](const exec::Chunk& chunk) {
+                       for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                         out[i] = edges[i].key();
+                     });
     std::sort(out.begin(), out.end());
     return out;
   };

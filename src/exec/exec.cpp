@@ -1,0 +1,42 @@
+#include "exec/exec.hpp"
+
+namespace nullgraph::exec::detail {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) noexcept {
+  std::uint64_t state = x;
+  return splitmix64_next(state);
+}
+}  // namespace
+
+std::uint64_t raw_omp_hash_sum(const std::uint64_t* values, std::size_t n,
+                               std::size_t grain) {
+  const std::size_t nchunks = num_chunks(n, grain);
+  std::uint64_t total = 0;
+  const std::int64_t count = static_cast<std::int64_t>(nchunks);
+#pragma omp parallel for schedule(dynamic, 1) reduction(+ : total)
+  for (std::int64_t c = 0; c < count; ++c) {
+    const auto [begin, end] =
+        block_range(static_cast<std::size_t>(c), nchunks, n);
+    std::uint64_t sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += mix(values[i]);
+    total += sum;
+  }
+  return total;
+}
+
+std::uint64_t exec_hash_sum(const std::uint64_t* values, std::size_t n,
+                            std::size_t grain) {
+  const ParallelContext ctx;
+  return reduce<std::uint64_t>(
+      ctx, n, grain, 0,
+      [&](const Chunk& chunk) {
+        std::uint64_t sum = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          sum += mix(values[i]);
+        return sum;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+}  // namespace nullgraph::exec::detail

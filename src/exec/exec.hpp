@@ -1,0 +1,163 @@
+#pragma once
+// The unified execution layer. Every parallel loop in the library runs
+// through the three primitives below; raw `#pragma omp` is allowed only in
+// this directory (enforced by the scripts/check.sh lint).
+//
+// Chunk model. An index space [0, n) is split into ceil(n / grain) chunks
+// via block_range, so the chunk layout depends only on (n, grain) — never
+// on the thread count. Chunks are scheduled dynamically over the context's
+// threads; each chunk is processed by exactly one thread.
+//
+// Determinism contract. Anything derived from the Chunk handle is
+// thread-count-invariant: chunk.rng() seeds a fresh xoshiro256** from
+// (ctx.seed, chunk.index), collect() buffers output per CHUNK and
+// concatenates in chunk-index order, and reduce() combines per-chunk
+// partials serially in chunk-index order (deterministic even for floating
+// point). A fixed seed therefore yields bit-identical output at 1, 2, or
+// 64 threads.
+//
+// Governance hook points. When ctx.governor is set, each chunk polls
+// should_stop() once before running; after the sticky verdict trips, every
+// remaining chunk is skipped (collect emits nothing for it, reduce keeps
+// its identity value) and the loop drains in one pass over the chunk
+// indices. Per-chunk, never per-element: default-on governance stays off
+// the critical path.
+
+#include <omp.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel_context.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph::exec {
+
+/// Default chunk grain: big enough to amortize dispatch, small enough that
+/// governance reacts in well under a millisecond of element work.
+inline constexpr std::size_t kDefaultGrain = std::size_t{1} << 12;
+
+/// Number of chunks a loop over [0, n) with the given grain schedules.
+inline std::size_t num_chunks(std::size_t n, std::size_t grain) noexcept {
+  if (n == 0) return 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return (n + g - 1) / g;
+}
+
+/// Grain yielding at most `parts` chunks (ceil(n / parts), min 1). Used by
+/// loops that want one chunk per thread (e.g. the prefix-sum scan).
+inline std::size_t balanced_grain(std::size_t n, std::size_t parts) noexcept {
+  if (parts == 0) parts = 1;
+  const std::size_t g = (n + parts - 1) / parts;
+  return g == 0 ? 1 : g;
+}
+
+/// Stateless per-chunk stream seed: two splitmix64 rounds over
+/// (seed, chunk), matching the task_seed discipline the edge-skip phase
+/// already used. Depends only on the run seed and the chunk INDEX.
+inline std::uint64_t chunk_seed(std::uint64_t seed,
+                                std::uint64_t chunk) noexcept {
+  std::uint64_t state = seed ^ (chunk * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
+/// Handle passed to loop bodies: the chunk's index, its [begin, end) slice
+/// of the iteration space, and the run seed its RNG stream derives from.
+struct Chunk {
+  std::size_t index;
+  std::size_t begin;
+  std::size_t end;
+  std::uint64_t run_seed;
+
+  std::size_t size() const noexcept { return end - begin; }
+
+  /// Fresh decorrelated generator for this chunk; identical for a fixed
+  /// (run seed, chunk index) at any thread count.
+  Xoshiro256ss rng() const noexcept {
+    return Xoshiro256ss(chunk_seed(run_seed, index));
+  }
+};
+
+/// Governed chunked parallel-for over [0, n). `body(const Chunk&)` runs
+/// once per non-skipped chunk, on exactly one thread.
+template <typename Body>
+void for_chunks(const ParallelContext& ctx, std::size_t n, std::size_t grain,
+                Body&& body) {
+  const std::size_t nchunks = num_chunks(n, grain);
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t skipped = 0;
+  if (nchunks > 0) {
+    const int nthreads = ctx.resolved_threads();
+    const std::int64_t count = static_cast<std::int64_t>(nchunks);
+#pragma omp parallel for schedule(dynamic, 1) num_threads(nthreads) \
+    reduction(+ : skipped)
+    for (std::int64_t c = 0; c < count; ++c) {
+      if (ctx.governor != nullptr &&
+          ctx.governor->should_stop() != StatusCode::kOk) {
+        ++skipped;
+        continue;
+      }
+      const std::size_t index = static_cast<std::size_t>(c);
+      const auto [begin, end] = block_range(index, nchunks, n);
+      body(Chunk{index, begin, end, ctx.seed});
+    }
+  }
+  if (ctx.timings != nullptr) {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    ctx.timings->record(ctx.phase != nullptr ? ctx.phase : "", wall_ms,
+                        nchunks, static_cast<std::size_t>(skipped),
+                        ctx.resolved_threads());
+  }
+}
+
+/// Chunked parallel producer. `body(const Chunk&, std::vector<T>& out)`
+/// appends this chunk's output to `out`; buffers are concatenated in
+/// chunk-index order (moved, not copied), so the result is identical at
+/// any thread count. Chunks skipped by governance contribute nothing.
+template <typename T, typename Body>
+std::vector<T> collect(const ParallelContext& ctx, std::size_t n,
+                       std::size_t grain, Body&& body) {
+  std::vector<std::vector<T>> buffers(num_chunks(n, grain));
+  for_chunks(ctx, n, grain, [&](const Chunk& chunk) {
+    body(chunk, buffers[chunk.index]);
+  });
+  return concat_buffers(buffers);
+}
+
+/// Chunked parallel reduction. `body(const Chunk&) -> T` produces one
+/// partial per chunk; `combine(T, T) -> T` folds partials serially in
+/// chunk-index order, so even floating-point reductions are deterministic
+/// at any thread count. Skipped chunks keep the identity value.
+template <typename T, typename Body, typename Combine>
+T reduce(const ParallelContext& ctx, std::size_t n, std::size_t grain,
+         T identity, Body&& body, Combine&& combine) {
+  const std::size_t nchunks = num_chunks(n, grain);
+  std::vector<T> partials(nchunks, identity);
+  for_chunks(ctx, n, grain, [&](const Chunk& chunk) {
+    partials[chunk.index] = body(chunk);
+  });
+  T result = std::move(identity);
+  for (T& partial : partials) result = combine(std::move(result), std::move(partial));
+  return result;
+}
+
+namespace detail {
+/// Hand-rolled seed-style chunked loop (raw pragma, per-thread
+/// accumulation) kept ONLY as the baseline for bench_guardrails'
+/// exec-overhead comparison — the pre-refactor loop shape, frozen.
+std::uint64_t raw_omp_hash_sum(const std::uint64_t* values, std::size_t n,
+                               std::size_t grain);
+
+/// The same computation through exec::reduce, for the overhead bench.
+std::uint64_t exec_hash_sum(const std::uint64_t* values, std::size_t n,
+                            std::size_t grain);
+}  // namespace detail
+
+}  // namespace nullgraph::exec

@@ -1,0 +1,59 @@
+#pragma once
+// ParallelContext: the per-run bundle every exec primitive takes as its
+// first argument. It carries the four concerns the hand-rolled loops used
+// to re-implement separately:
+//
+//   threads   worker count (0 = the OpenMP default, omp_get_max_threads())
+//   seed      the run seed chunk-indexed RNG streams derive from
+//   governor  chunk-granularity stop polling (may be null = ungoverned)
+//   timings   where per-phase wall-time/chunk-count records go (may be null)
+//
+// Contexts are tiny value types: copy one and override a field (with_phase,
+// with_seed) rather than mutating a shared instance.
+
+#include <cstdint>
+
+#include "exec/phase_timing.hpp"
+#include "robustness/governance.hpp"
+#include "util/parallel.hpp"
+
+namespace nullgraph::exec {
+
+struct ParallelContext {
+  /// Worker threads for parallel loops; 0 means the OpenMP default.
+  int threads = 0;
+  /// Run seed; each chunk derives its own decorrelated stream from
+  /// (seed, chunk index), never from a thread id — see exec.hpp.
+  std::uint64_t seed = 0;
+  /// Polled once per chunk when non-null; a stopped governor makes every
+  /// remaining chunk a no-op so the loop drains cooperatively.
+  const RunGovernor* governor = nullptr;
+  /// Receives one aggregated record per loop when non-null.
+  PhaseTimingSink* timings = nullptr;
+  /// Phase name for timing records and curtailment reporting.
+  const char* phase = "";
+
+  int resolved_threads() const noexcept {
+    return threads > 0 ? threads : max_threads();
+  }
+
+  /// Sticky verdict check for serial code between loops (per-round or
+  /// per-iteration gates); the loops themselves poll internally.
+  bool stopped() const noexcept {
+    return governor != nullptr && governor->should_stop() != StatusCode::kOk;
+  }
+
+  ParallelContext with_phase(const char* name) const noexcept {
+    ParallelContext copy = *this;
+    copy.phase = name;
+    return copy;
+  }
+
+  ParallelContext with_seed(std::uint64_t run_seed) const noexcept {
+    ParallelContext copy = *this;
+    copy.seed = run_seed;
+    return copy;
+  }
+};
+
+}  // namespace nullgraph::exec

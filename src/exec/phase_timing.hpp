@@ -1,0 +1,67 @@
+#pragma once
+// Per-phase execution records produced by the exec layer. Every governed
+// parallel loop reports one (wall time, chunk count, skipped-chunk count)
+// sample to the sink its ParallelContext points at; the sink aggregates
+// samples by phase name so a phase that launches many loops (e.g. one swap
+// pair-loop per iteration) collapses into a single row in the final
+// PipelineReport instead of hundreds.
+//
+// The sink is thread-safe (loops on different threads may report
+// concurrently, e.g. nested LFR community layers) but reporting happens
+// once per LOOP, not per chunk, so the mutex is far off the hot path.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nullgraph::exec {
+
+/// Aggregated execution record for one named phase.
+struct PhaseTiming {
+  std::string phase;
+  /// Summed wall time of every loop reported under this phase name.
+  double wall_ms = 0.0;
+  /// Number of for_chunks/collect/reduce invocations aggregated in.
+  std::size_t loops = 0;
+  /// Total chunks scheduled across those loops.
+  std::size_t chunks = 0;
+  /// Chunks skipped because the run's governor had already stopped.
+  std::size_t chunks_skipped = 0;
+  /// Thread count of the most recent loop (they are all the same in
+  /// practice; a context is built once per pipeline).
+  int threads = 0;
+};
+
+/// Mutex-protected accumulator of PhaseTiming rows, keyed by phase name in
+/// first-seen order. Header-only so the exec primitives stay usable from
+/// header-only callers (util/prefix_sum.hpp) without a link dependency.
+class PhaseTimingSink {
+ public:
+  void record(const std::string& phase, double wall_ms, std::size_t chunks,
+              std::size_t chunks_skipped, int threads) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PhaseTiming& row : rows_) {
+      if (row.phase == phase) {
+        row.wall_ms += wall_ms;
+        ++row.loops;
+        row.chunks += chunks;
+        row.chunks_skipped += chunks_skipped;
+        row.threads = threads;
+        return;
+      }
+    }
+    rows_.push_back({phase, wall_ms, 1, chunks, chunks_skipped, threads});
+  }
+
+  std::vector<PhaseTiming> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PhaseTiming> rows_;
+};
+
+}  // namespace nullgraph::exec

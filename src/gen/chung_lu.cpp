@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "prob/heuristics.hpp"
 #include "skip/edge_skip.hpp"
 #include "util/parallel.hpp"
@@ -31,16 +32,18 @@ class EndpointSampler {
     if (kind_ == ClSampler::kBinarySearchVertex) {
       // Faithful baseline: per-vertex cumulative weights, O(log n) search.
       vertex_cum_.assign(dist.num_vertices() + 1, 0);
-#pragma omp parallel for schedule(static)
-      for (std::size_t c = 0; c < nc; ++c) {
-        const std::uint64_t d = dist.degree_of_class(c);
-        std::uint64_t cum = class_stub_offset_[c];
-        for (std::uint64_t v = dist.class_offset(c);
-             v < dist.class_offset(c + 1); ++v) {
-          vertex_cum_[v] = cum;
-          cum += d;
+      const exec::ParallelContext ctx;
+      exec::for_chunks(ctx, nc, 1, [&](const exec::Chunk& chunk) {
+        for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+          const std::uint64_t d = dist.degree_of_class(c);
+          std::uint64_t cum = class_stub_offset_[c];
+          for (std::uint64_t v = dist.class_offset(c);
+               v < dist.class_offset(c + 1); ++v) {
+            vertex_cum_[v] = cum;
+            cum += d;
+          }
         }
-      }
+      });
       vertex_cum_.back() = class_stub_offset_.back();
     } else if (kind_ == ClSampler::kAlias) {
       build_alias();
@@ -128,27 +131,28 @@ class EndpointSampler {
 EdgeList chung_lu_multigraph(const DegreeDistribution& dist,
                              const ChungLuConfig& config) {
   const std::uint64_t m = dist.num_edges();
-  EdgeList edges(m);
-  if (m == 0) return edges;
+  if (m == 0) return {};
   const EndpointSampler sampler(dist, config.sampler);
   if (sampler.total_stubs() == 0)
     throw std::invalid_argument("chung_lu_multigraph: no stubs");
-  // Fixed-size blocks with stateless per-block seeds keep the output
-  // reproducible for any thread count.
+  // Chunk-indexed RNG streams: each chunk draws from its own generator
+  // seeded by (run seed, chunk index), so the output is bit-identical at
+  // any thread count. collect (rather than indexed writes) lets a governed
+  // stop truncate the list instead of leaving zero-initialized edges.
+  exec::ParallelContext ctx;
+  ctx.seed = config.seed;
+  ctx.governor = config.governor;
+  ctx.timings = config.timings;
+  ctx.phase = "chung-lu draws";
   constexpr std::uint64_t kBlock = 1u << 14;
-  const std::uint64_t blocks = (m + kBlock - 1) / kBlock;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::uint64_t b = 0; b < blocks; ++b) {
-    std::uint64_t state = config.seed ^ (b * 0x9e3779b97f4a7c15ULL);
-    splitmix64_next(state);
-    Xoshiro256ss rng(splitmix64_next(state));
-    const std::uint64_t begin = b * kBlock;
-    const std::uint64_t end = std::min(m, begin + kBlock);
-    for (std::uint64_t e = begin; e < end; ++e) {
-      edges[e] = {sampler.draw(rng), sampler.draw(rng)};
-    }
-  }
-  return edges;
+  return exec::collect<Edge>(
+      ctx, m, kBlock, [&](const exec::Chunk& chunk, EdgeList& mine) {
+        Xoshiro256ss rng = chunk.rng();
+        mine.reserve(chunk.size());
+        for (std::uint64_t e = chunk.begin; e < chunk.end; ++e) {
+          mine.push_back({sampler.draw(rng), sampler.draw(rng)});
+        }
+      });
 }
 
 EdgeList erased_chung_lu(const DegreeDistribution& dist,

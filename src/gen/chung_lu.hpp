@@ -22,6 +22,8 @@
 
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "exec/phase_timing.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
@@ -30,6 +32,12 @@ enum class ClSampler { kBinarySearchVertex, kBinarySearchClass, kAlias };
 struct ChungLuConfig {
   std::uint64_t seed = 1;
   ClSampler sampler = ClSampler::kBinarySearchVertex;
+  /// Optional run governance, polled once per draw block; on a stop
+  /// verdict the remaining blocks emit nothing (the output is truncated,
+  /// never padded with zero-initialized edges).
+  const RunGovernor* governor = nullptr;
+  /// Optional exec-layer phase records (wall time / chunk counts).
+  exec::PhaseTimingSink* timings = nullptr;
 };
 
 /// O(m) Chung-Lu: m edges from 2m weighted draws (loopy multigraph).

@@ -11,18 +11,23 @@
 
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
 /// Uniform random pairing of all stubs: a loopy multigraph whose degree
 /// sequence matches `dist` EXACTLY (unlike Chung-Lu, which only matches in
-/// expectation).
+/// expectation). The optional governor is polled per permutation round; a
+/// stopped run pairs a partially-shuffled stub array (still a valid
+/// multigraph realization of `dist`, just less mixed).
 EdgeList configuration_multigraph(const DegreeDistribution& dist,
-                                  std::uint64_t seed = 1);
+                                  std::uint64_t seed = 1,
+                                  const RunGovernor* governor = nullptr);
 
 /// configuration_multigraph with loops and duplicate edges erased.
 EdgeList erased_configuration(const DegreeDistribution& dist,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              const RunGovernor* governor = nullptr);
 
 /// Repeated configuration model: re-pair from scratch until the result is
 /// simple, at most `max_attempts` times. Returns nullopt on failure — the
@@ -30,6 +35,8 @@ EdgeList erased_configuration(const DegreeDistribution& dist,
 /// multi-edges exceeds one (Section II-B).
 std::optional<EdgeList> repeated_configuration(const DegreeDistribution& dist,
                                                std::uint64_t seed = 1,
-                                               int max_attempts = 100);
+                                               int max_attempts = 100,
+                                               const RunGovernor* governor =
+                                                   nullptr);
 
 }  // namespace nullgraph

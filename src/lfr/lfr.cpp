@@ -7,6 +7,7 @@
 
 #include "core/null_model.hpp"
 #include "ds/concurrent_hash_set.hpp"
+#include "exec/exec.hpp"
 #include "gen/powerlaw.hpp"
 #include "util/rng.hpp"
 
@@ -156,50 +157,76 @@ LfrGraph generate_lfr(const LfrParams& params) {
   for (std::uint32_t v = 0; v < params.n; ++v)
     members[community[v]].push_back(v);
 
+  // One governor spans every layer: the deadline clock starts here, the
+  // layers borrow it through GovernanceConfig::external, and the seed chain
+  // still advances for skipped layers so a curtailed run never perturbs the
+  // seeds of the layers that did complete.
+  const RunGovernor governor(params.governance.budget,
+                             params.governance.cancel,
+                             params.governance.watchdog);
+  const RunGovernor* gov =
+      params.governance.external != nullptr ? params.governance.external
+      : params.governance.enabled           ? &governor
+                                            : nullptr;
   GenerateConfig layer_config;
   layer_config.swap_iterations = params.swap_iterations;
+  layer_config.governance.external = gov;
 
+  LfrGraph graph;
   EdgeList merged;
   for (std::size_t c = 0; c < num_communities; ++c) {
-    if (members[c].size() < 2) continue;
+    layer_config.seed = splitmix64_next(seed_chain);
+    if (gov != nullptr && gov->should_stop() != StatusCode::kOk) continue;
+    if (members[c].size() < 2) {
+      ++graph.communities_completed;
+      continue;
+    }
     std::vector<std::uint64_t> local_degrees(members[c].size());
     for (std::size_t k = 0; k < members[c].size(); ++k)
       local_degrees[k] = internal[members[c][k]];
     make_sum_even(local_degrees, members[c].size() - 1);
-    layer_config.seed = splitmix64_next(seed_chain);
     GenerateResult layer = generate_for_sequence(local_degrees, layer_config);
     for (const Edge& e : layer.edges)
       merged.push_back({members[c][e.u], members[c][e.v]});
+    if (gov == nullptr || !gov->stopped()) ++graph.communities_completed;
   }
 
   // 4. ...plus one global external layer.
   {
     make_sum_even(external, params.n);  // ceiling n is never binding
     layer_config.seed = splitmix64_next(seed_chain);
-    GenerateResult layer = generate_for_sequence(external, layer_config);
-    merged.insert(merged.end(), layer.edges.begin(), layer.edges.end());
+    if (gov == nullptr || gov->should_stop() == StatusCode::kOk) {
+      GenerateResult layer = generate_for_sequence(external, layer_config);
+      merged.insert(merged.end(), layer.edges.begin(), layer.edges.end());
+    }
   }
 
   // 5. Merge: layers are individually simple; drop the rare cross-layer
   // duplicate (an external edge landing inside a community on a pair that
   // is already internally connected).
-  LfrGraph graph;
   const std::size_t before = merged.size();
   graph.edges = erase_nonsimple(merged);
   graph.merged_duplicates = before - graph.edges.size();
   graph.community = std::move(community);
   graph.num_communities = num_communities;
   graph.achieved_mu = measured_mu(graph.edges, graph.community);
+  if (gov != nullptr && gov->stopped()) graph.curtailed = gov->stop_reason();
   return graph;
 }
 
 double measured_mu(const EdgeList& edges,
                    const std::vector<std::uint32_t>& community) {
   if (edges.empty()) return 0.0;
-  std::size_t external = 0;
-#pragma omp parallel for reduction(+ : external) schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i)
-    if (community[edges[i].u] != community[edges[i].v]) ++external;
+  const exec::ParallelContext ctx;
+  const std::size_t external = exec::reduce<std::size_t>(
+      ctx, edges.size(), exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::size_t mine = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          if (community[edges[i].u] != community[edges[i].v]) ++mine;
+        return mine;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   return static_cast<double>(external) / static_cast<double>(edges.size());
 }
 

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/null_model.hpp"
 #include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
 
 namespace nullgraph {
 
@@ -27,6 +29,10 @@ struct LfrParams {
   double mu = 0.3;                  // target external/total degree ratio
   std::uint64_t seed = 1;
   std::size_t swap_iterations = 5;  // per layer
+  /// One governor spans the whole run (all community layers plus the
+  /// external layer): the deadline clock starts when generate_lfr is
+  /// entered and is polled between layers and inside each layer's phases.
+  GovernanceConfig governance;
 };
 
 struct LfrGraph {
@@ -36,6 +42,12 @@ struct LfrGraph {
   double achieved_mu = 0.0;              // external / total edge endpoints
   /// duplicate internal/external edges removed while merging layers
   std::size_t merged_duplicates = 0;
+  /// kOk when every layer ran to completion; otherwise the governance
+  /// verdict that curtailed the run (remaining layers are missing their
+  /// edges, so the returned graph under-realizes the degree targets).
+  StatusCode curtailed = StatusCode::kOk;
+  /// Community layers fully generated before any curtailment.
+  std::size_t communities_completed = 0;
 };
 
 /// Generates an LFR-like graph. Throws std::invalid_argument on infeasible

@@ -4,16 +4,19 @@ namespace nullgraph {
 
 std::vector<std::uint64_t> knuth_targets(std::size_t n, std::uint64_t seed) {
   std::vector<std::uint64_t> targets(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 1; i < n; ++i) {
-    // Stateless per-index stream: two splitmix64 steps decorrelate the
-    // (seed, i) pair, then a Lemire reduction maps onto [0, i].
-    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-    splitmix64_next(state);
-    const std::uint64_t r = splitmix64_next(state);
-    targets[i] = static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(r) * (i + 1)) >> 64);
-  }
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, n, exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      if (i == 0) continue;  // H[0] == 0 by definition
+      // Stateless per-index stream: two splitmix64 steps decorrelate the
+      // (seed, i) pair, then a Lemire reduction maps onto [0, i].
+      std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      splitmix64_next(state);
+      const std::uint64_t r = splitmix64_next(state);
+      targets[i] = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(r) * (i + 1)) >> 64);
+    }
+  });
   return targets;
 }
 

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "robustness/governance.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -49,67 +50,80 @@ PermuteStats run_reservation_rounds(std::size_t n,
                                     const RunGovernor* governor = nullptr) {
   PermuteStats stats;
   if (n < 2) return stats;
+  // Phases run ungoverned (a skipped chunk inside a round would strand
+  // reservations); the governor gates between rounds instead, which is the
+  // same cadence the hand-rolled loop used.
+  const exec::ParallelContext ctx;
+  exec::ParallelContext round_ctx = ctx;
+  round_ctx.governor = governor;
   // Reservation array: holds the highest iteration index currently bidding
   // for each cell. Iteration 0 is a no-op (H[0] == 0), so 0 doubles as the
   // "free" sentinel and max() resolves priority.
   std::vector<std::atomic<std::uint64_t>> reservation(n);
-#pragma omp parallel for schedule(static)
-  for (std::size_t c = 0; c < n; ++c)
-    reservation[c].store(0, std::memory_order_relaxed);
+  exec::for_chunks(ctx, n, exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c)
+      reservation[c].store(0, std::memory_order_relaxed);
+  });
 
   std::vector<std::uint64_t> remaining(n - 1);
-#pragma omp parallel for schedule(static)
-  for (std::size_t k = 0; k < n - 1; ++k)
-    remaining[k] = static_cast<std::uint64_t>(n - 1 - k);
+  exec::for_chunks(ctx, n - 1, exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t k = chunk.begin; k < chunk.end; ++k)
+                       remaining[k] = static_cast<std::uint64_t>(n - 1 - k);
+                   });
 
-  const int nthreads = max_threads();
-  std::vector<std::vector<std::uint64_t>> next(
-      static_cast<std::size_t>(nthreads));
   while (!remaining.empty()) {
-    if (governor != nullptr && governor->should_stop() != StatusCode::kOk)
-      break;
+    if (round_ctx.stopped()) break;
     ++stats.rounds;
     // Phase 1: every live iteration bids for its two cells.
-#pragma omp parallel for schedule(static)
-    for (std::size_t k = 0; k < remaining.size(); ++k) {
-      const std::uint64_t i = remaining[k];
-      const std::uint64_t h = targets[i];
-      std::uint64_t prev = reservation[i].load(std::memory_order_relaxed);
-      while (prev < i && !reservation[i].compare_exchange_weak(
-                             prev, i, std::memory_order_relaxed)) {
-      }
-      prev = reservation[h].load(std::memory_order_relaxed);
-      while (prev < i && !reservation[h].compare_exchange_weak(
-                             prev, i, std::memory_order_relaxed)) {
-      }
-    }
+    exec::for_chunks(ctx, remaining.size(), exec::kDefaultGrain,
+                     [&](const exec::Chunk& chunk) {
+                       for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                         const std::uint64_t i = remaining[k];
+                         const std::uint64_t h = targets[i];
+                         std::uint64_t prev =
+                             reservation[i].load(std::memory_order_relaxed);
+                         while (prev < i &&
+                                !reservation[i].compare_exchange_weak(
+                                    prev, i, std::memory_order_relaxed)) {
+                         }
+                         prev = reservation[h].load(std::memory_order_relaxed);
+                         while (prev < i &&
+                                !reservation[h].compare_exchange_weak(
+                                    prev, i, std::memory_order_relaxed)) {
+                         }
+                       }
+                     });
     // Phase 2: winners of BOTH cells commit; everyone else retries next
     // round. Winners are mutually disjoint on cells, so swaps are safe.
-    for (auto& buffer : next) buffer.clear();
-#pragma omp parallel num_threads(nthreads)
-    {
-      auto& mine = next[static_cast<std::size_t>(thread_id())];
-#pragma omp for schedule(static)
-      for (std::size_t k = 0; k < remaining.size(); ++k) {
-        const std::uint64_t i = remaining[k];
-        const std::uint64_t h = targets[i];
-        if (reservation[i].load(std::memory_order_relaxed) == i &&
-            reservation[h].load(std::memory_order_relaxed) == i) {
-          if (h != i) swap_cells(static_cast<std::size_t>(i),
-                                 static_cast<std::size_t>(h));
-        } else {
-          mine.push_back(i);
-        }
-      }
-    }
+    // Per-chunk retry buffers concatenated in chunk order keep the live
+    // set's order thread-count-invariant.
+    std::vector<std::uint64_t> retries = exec::collect<std::uint64_t>(
+        ctx, remaining.size(), exec::kDefaultGrain,
+        [&](const exec::Chunk& chunk, std::vector<std::uint64_t>& mine) {
+          for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+            const std::uint64_t i = remaining[k];
+            const std::uint64_t h = targets[i];
+            if (reservation[i].load(std::memory_order_relaxed) == i &&
+                reservation[h].load(std::memory_order_relaxed) == i) {
+              if (h != i) swap_cells(static_cast<std::size_t>(i),
+                                     static_cast<std::size_t>(h));
+            } else {
+              mine.push_back(i);
+            }
+          }
+        });
     // Phase 3: release only the cells still referenced by live iterations.
-#pragma omp parallel for schedule(static)
-    for (std::size_t k = 0; k < remaining.size(); ++k) {
-      const std::uint64_t i = remaining[k];
-      reservation[i].store(0, std::memory_order_relaxed);
-      reservation[targets[i]].store(0, std::memory_order_relaxed);
-    }
-    remaining = concat_buffers(next);
+    exec::for_chunks(ctx, remaining.size(), exec::kDefaultGrain,
+                     [&](const exec::Chunk& chunk) {
+                       for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                         const std::uint64_t i = remaining[k];
+                         reservation[i].store(0, std::memory_order_relaxed);
+                         reservation[targets[i]].store(
+                             0, std::memory_order_relaxed);
+                       }
+                     });
+    remaining = std::move(retries);
   }
   return stats;
 }

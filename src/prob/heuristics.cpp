@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 namespace {
@@ -19,20 +21,25 @@ inline bool governed_stop(const RunGovernor* governor) noexcept {
 }  // namespace
 
 ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist,
-                                         const RunGovernor* governor) {
+                                         const RunGovernor* governor,
+                                         exec::PhaseTimingSink* timings) {
   const std::size_t nc = dist.num_classes();
   ProbabilityMatrix matrix(nc);
   const double two_m = static_cast<double>(dist.num_stubs());
   if (two_m == 0) return matrix;
-#pragma omp parallel for schedule(dynamic, 16)
-  for (std::size_t i = 0; i < nc; ++i) {
-    if (governed_stop(governor)) continue;
-    const double di = static_cast<double>(dist.degree_of_class(i));
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double dj = static_cast<double>(dist.degree_of_class(j));
-      matrix.set(i, j, std::min(1.0, di * dj / two_m));
+  exec::ParallelContext ctx;
+  ctx.governor = governor;
+  ctx.timings = timings;
+  ctx.phase = "probabilities";
+  exec::for_chunks(ctx, nc, 16, [&](const exec::Chunk& chunk) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      const double di = static_cast<double>(dist.degree_of_class(i));
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double dj = static_cast<double>(dist.degree_of_class(j));
+        matrix.set(i, j, std::min(1.0, di * dj / two_m));
+      }
     }
-  }
+  });
   return matrix;
 }
 
@@ -165,7 +172,8 @@ ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
 
 void refine_probabilities(ProbabilityMatrix& matrix,
                           const DegreeDistribution& dist, int iterations,
-                          const RunGovernor* governor) {
+                          const RunGovernor* governor,
+                          exec::PhaseTimingSink* timings) {
   const std::size_t nc = dist.num_classes();
   std::vector<double> scale(nc, 1.0);
   for (int iter = 0; iter < iterations; ++iter) {
@@ -179,15 +187,20 @@ void refine_probabilities(ProbabilityMatrix& matrix,
                      ? target / expected
                      : 1.0;
     }
-#pragma omp parallel for schedule(dynamic, 16)
-    for (std::size_t i = 0; i < nc; ++i) {
-      for (std::size_t j = 0; j <= i; ++j) {
-        const double factor = std::sqrt(scale[i] * scale[j]);
-        const double scaled = matrix.at(i, j) * factor;
-        if (!std::isfinite(scaled)) continue;
-        matrix.set(i, j, std::clamp(scaled, 0.0, 1.0));
+    exec::ParallelContext ctx;
+    ctx.governor = governor;
+    ctx.timings = timings;
+    ctx.phase = "probabilities";
+    exec::for_chunks(ctx, nc, 16, [&](const exec::Chunk& chunk) {
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          const double factor = std::sqrt(scale[i] * scale[j]);
+          const double scaled = matrix.at(i, j) * factor;
+          if (!std::isfinite(scaled)) continue;
+          matrix.set(i, j, std::clamp(scaled, 0.0, 1.0));
+        }
       }
-    }
+    });
   }
 }
 

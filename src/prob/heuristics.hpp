@@ -26,14 +26,17 @@
 #include <cstddef>
 
 #include "ds/degree_distribution.hpp"
+#include "exec/phase_timing.hpp"
 #include "prob/probability_matrix.hpp"
 #include "robustness/governance.hpp"
 
 namespace nullgraph {
 
-/// Capped Chung-Lu probabilities: P(i,j) = min(1, d_i d_j / 2m).
-ProbabilityMatrix chung_lu_probabilities(const DegreeDistribution& dist,
-                                         const RunGovernor* governor = nullptr);
+/// Capped Chung-Lu probabilities: P(i,j) = min(1, d_i d_j / 2m). The
+/// optional sink collects exec-layer records under "probabilities".
+ProbabilityMatrix chung_lu_probabilities(
+    const DegreeDistribution& dist, const RunGovernor* governor = nullptr,
+    exec::PhaseTimingSink* timings = nullptr);
 
 /// The paper's Section IV-A heuristic, implemented as published: classes
 /// ordered by degree, free-stub array FE initialized to twice the stub
@@ -57,6 +60,7 @@ ProbabilityMatrix greedy_probabilities(const DegreeDistribution& dist,
 /// get wrong; used by the probability ablation benchmark.
 void refine_probabilities(ProbabilityMatrix& matrix,
                           const DegreeDistribution& dist, int iterations = 16,
-                          const RunGovernor* governor = nullptr);
+                          const RunGovernor* governor = nullptr,
+                          exec::PhaseTimingSink* timings = nullptr);
 
 }  // namespace nullgraph

@@ -3,20 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 void ProbabilityMatrix::clamp() {
-#pragma omp parallel for schedule(static)
-  for (std::size_t k = 0; k < values_.size(); ++k)
-    values_[k] = std::clamp(values_[k], 0.0, 1.0);
+  const exec::ParallelContext ctx;
+  exec::for_chunks(ctx, values_.size(), exec::kDefaultGrain,
+                   [&](const exec::Chunk& chunk) {
+                     for (std::size_t k = chunk.begin; k < chunk.end; ++k)
+                       values_[k] = std::clamp(values_[k], 0.0, 1.0);
+                   });
 }
 
 double ProbabilityMatrix::max_value() const noexcept {
-  double result = 0.0;
-#pragma omp parallel for reduction(max : result) schedule(static)
-  for (std::size_t k = 0; k < values_.size(); ++k)
-    if (values_[k] > result) result = values_[k];
-  return result;
+  const exec::ParallelContext ctx;
+  return exec::reduce<double>(
+      ctx, values_.size(), exec::kDefaultGrain, 0.0,
+      [&](const exec::Chunk& chunk) {
+        double hi = 0.0;
+        for (std::size_t k = chunk.begin; k < chunk.end; ++k)
+          if (values_[k] > hi) hi = values_[k];
+        return hi;
+      },
+      [](double a, double b) { return a > b ? a : b; });
 }
 
 double ProbabilityMatrix::expected_degree(
@@ -29,41 +39,57 @@ double ProbabilityMatrix::expected_degree(
 
 double ProbabilityMatrix::expected_edges(
     const DegreeDistribution& dist) const {
-  double sum = 0.0;
-#pragma omp parallel for reduction(+ : sum) schedule(dynamic, 16)
-  for (std::size_t i = 0; i < num_classes_; ++i) {
-    const double ni = static_cast<double>(dist.count_of_class(i));
-    for (std::size_t j = 0; j < i; ++j)
-      sum += at(i, j) * ni * static_cast<double>(dist.count_of_class(j));
-    sum += at(i, i) * ni * (ni - 1.0) / 2.0;
-  }
-  return sum;
+  const exec::ParallelContext ctx;
+  return exec::reduce<double>(
+      ctx, num_classes_, 16, 0.0,
+      [&](const exec::Chunk& chunk) {
+        double sum = 0.0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const double ni = static_cast<double>(dist.count_of_class(i));
+          for (std::size_t j = 0; j < i; ++j)
+            sum += at(i, j) * ni * static_cast<double>(dist.count_of_class(j));
+          sum += at(i, i) * ni * (ni - 1.0) / 2.0;
+        }
+        return sum;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 double ProbabilityMatrix::l1_distance(const ProbabilityMatrix& a,
                                       const ProbabilityMatrix& b) {
-  double sum = 0.0;
-#pragma omp parallel for reduction(+ : sum) schedule(static)
-  for (std::size_t k = 0; k < a.values_.size(); ++k)
-    sum += std::abs(a.values_[k] - b.values_[k]);
-  return sum;
+  const exec::ParallelContext ctx;
+  return exec::reduce<double>(
+      ctx, a.values_.size(), exec::kDefaultGrain, 0.0,
+      [&](const exec::Chunk& chunk) {
+        double sum = 0.0;
+        for (std::size_t k = chunk.begin; k < chunk.end; ++k)
+          sum += std::abs(a.values_[k] - b.values_[k]);
+        return sum;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double ProbabilityMatrix::weighted_l1_distance(
     const ProbabilityMatrix& a, const ProbabilityMatrix& b,
     const DegreeDistribution& dist) {
-  double sum = 0.0;
   const std::size_t nc = a.num_classes_;
-#pragma omp parallel for reduction(+ : sum) schedule(dynamic, 16)
-  for (std::size_t i = 0; i < nc; ++i) {
-    const double ni = static_cast<double>(dist.count_of_class(i));
-    for (std::size_t j = 0; j < i; ++j) {
-      const double pairs = ni * static_cast<double>(dist.count_of_class(j));
-      sum += std::abs(a.at(i, j) - b.at(i, j)) * pairs;
-    }
-    sum += std::abs(a.at(i, i) - b.at(i, i)) * ni * (ni - 1.0) / 2.0;
-  }
-  return sum;
+  const exec::ParallelContext ctx;
+  return exec::reduce<double>(
+      ctx, nc, 16, 0.0,
+      [&](const exec::Chunk& chunk) {
+        double sum = 0.0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const double ni = static_cast<double>(dist.count_of_class(i));
+          for (std::size_t j = 0; j < i; ++j) {
+            const double pairs =
+                ni * static_cast<double>(dist.count_of_class(j));
+            sum += std::abs(a.at(i, j) - b.at(i, j)) * pairs;
+          }
+          sum += std::abs(a.at(i, i) - b.at(i, i)) * ni * (ni - 1.0) / 2.0;
+        }
+        return sum;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 ProbabilityDiagnostics diagnose(const ProbabilityMatrix& matrix,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
 
 std::string PipelineReport::summary() const {
@@ -26,6 +28,22 @@ std::string PipelineReport::summary() const {
       out += std::to_string(c.acceptance);
     }
     out += '\n';
+  }
+  for (const exec::PhaseTiming& t : phase_timings) {
+    out += t.phase;
+    out += ": ";
+    out += std::to_string(t.wall_ms);
+    out += " ms over ";
+    out += std::to_string(t.chunks);
+    out += " chunks";
+    if (t.chunks_skipped > 0) {
+      out += " (";
+      out += std::to_string(t.chunks_skipped);
+      out += " skipped by governance)";
+    }
+    out += ", ";
+    out += std::to_string(t.threads);
+    out += " threads\n";
   }
   return out;
 }
@@ -117,11 +135,16 @@ std::uint64_t mix(std::uint64_t x) noexcept {
 }  // namespace
 
 std::uint64_t degree_fingerprint(const EdgeList& edges) {
-  std::uint64_t fp = 0;
-#pragma omp parallel for reduction(+ : fp) schedule(static)
-  for (std::size_t i = 0; i < edges.size(); ++i)
-    fp += mix(edges[i].u) + mix(edges[i].v);
-  return fp;
+  const exec::ParallelContext ctx;
+  return exec::reduce<std::uint64_t>(
+      ctx, edges.size(), exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::uint64_t fp = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          fp += mix(edges[i].u) + mix(edges[i].v);
+        return fp;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 Status check_degree_fingerprint(std::uint64_t expected,

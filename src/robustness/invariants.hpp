@@ -19,6 +19,7 @@
 
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "exec/phase_timing.hpp"
 #include "prob/probability_matrix.hpp"
 #include "robustness/fault_injection.hpp"
 #include "robustness/repair.hpp"
@@ -70,6 +71,10 @@ struct Curtailment {
 struct PipelineReport {
   std::vector<PhaseCheck> checks;
   std::vector<Curtailment> curtailments;
+  /// Per-phase execution records from the exec layer: wall time, chunk
+  /// counts, and how many chunks governance skipped. Aggregated by phase
+  /// name (see exec/phase_timing.hpp).
+  std::vector<exec::PhaseTiming> phase_timings;
   std::size_t retries_used = 0;
   RepairStats repair;
   std::size_t probability_entries_sanitized = 0;

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -129,47 +130,49 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
     }
   }
 
-  const int nthreads = max_threads();
-  std::vector<EdgeList> buffers(static_cast<std::size_t>(nthreads));
-#pragma omp parallel num_threads(nthreads)
-  {
-    EdgeList& mine = buffers[static_cast<std::size_t>(thread_id())];
-    // Small spaces: one task per class pair.
-#pragma omp for schedule(dynamic, 64) nowait
-    for (std::uint64_t pair = 0; pair < num_pairs; ++pair) {
-      // Invert pair -> (k, j), k >= j, pair = k(k+1)/2 + j.
-      std::uint64_t k = static_cast<std::uint64_t>(
-          (std::sqrt(8.0 * static_cast<double>(pair) + 1.0) - 1.0) / 2.0);
-      while (k * (k + 1) / 2 > pair) --k;
-      while ((k + 1) * (k + 2) / 2 <= pair) ++k;
-      const std::uint64_t j = pair - k * (k + 1) / 2;
-      if (config.governor != nullptr &&
-          config.governor->should_stop() != StatusCode::kOk)
-        continue;  // governed: remaining pairs emit nothing
-      const double p = P.at(k, j);
-      if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
-      const PairSpace space = make_space(dist, k, j);
-      if (std::min(p, 1.0) * static_cast<double>(space.size) >
-          static_cast<double>(config.edges_per_task))
-        continue;  // handled by the big-task loop
-      Xoshiro256ss rng(task_seed(config.seed, pair, 0));
-      traverse(p, 0, space.size, rng,
-               [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
-    }
-    // Large spaces: chunked.
-#pragma omp for schedule(dynamic, 1)
-    for (std::size_t i = 0; i < big_tasks.size(); ++i) {
-      if (config.governor != nullptr &&
-          config.governor->should_stop() != StatusCode::kOk)
-        continue;  // governed: remaining chunks emit nothing
-      const Task& task = big_tasks[i];
-      Xoshiro256ss rng(task_seed(config.seed, task.pair_index, task.chunk));
-      traverse(task.p, task.begin, task.end, rng, [&](std::uint64_t t) {
-        mine.push_back(task.space.decode(t));
+  exec::ParallelContext ctx;
+  ctx.seed = config.seed;
+  ctx.governor = config.governor;
+  ctx.timings = config.timings;
+  ctx.phase = "edge generation";
+  // Small spaces: one task per class pair. Per-chunk buffers concatenated
+  // in chunk order make the output order thread-count-invariant; the edges
+  // themselves come from the stateless (seed, pair, chunk) streams, so the
+  // full list is bit-identical at any thread count.
+  EdgeList edges = exec::collect<Edge>(
+      ctx, num_pairs, 64, [&](const exec::Chunk& chunk, EdgeList& mine) {
+        for (std::uint64_t pair = chunk.begin; pair < chunk.end; ++pair) {
+          // Invert pair -> (k, j), k >= j, pair = k(k+1)/2 + j.
+          std::uint64_t k = static_cast<std::uint64_t>(
+              (std::sqrt(8.0 * static_cast<double>(pair) + 1.0) - 1.0) / 2.0);
+          while (k * (k + 1) / 2 > pair) --k;
+          while ((k + 1) * (k + 2) / 2 <= pair) ++k;
+          const std::uint64_t j = pair - k * (k + 1) / 2;
+          const double p = P.at(k, j);
+          if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
+          const PairSpace space = make_space(dist, k, j);
+          if (std::min(p, 1.0) * static_cast<double>(space.size) >
+              static_cast<double>(config.edges_per_task))
+            continue;  // handled by the big-task loop
+          Xoshiro256ss rng(task_seed(config.seed, pair, 0));
+          traverse(p, 0, space.size, rng,
+                   [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
+        }
       });
-    }
-  }
-  return concat_buffers(buffers);
+  // Large spaces: one exec chunk per pre-split task chunk.
+  EdgeList big = exec::collect<Edge>(
+      ctx, big_tasks.size(), 1, [&](const exec::Chunk& chunk, EdgeList& mine) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const Task& task = big_tasks[i];
+          Xoshiro256ss rng(
+              task_seed(config.seed, task.pair_index, task.chunk));
+          traverse(task.p, task.begin, task.end, rng, [&](std::uint64_t t) {
+            mine.push_back(task.space.decode(t));
+          });
+        }
+      });
+  edges.insert(edges.end(), big.begin(), big.end());
+  return edges;
 }
 
 EdgeList edge_skip_generate_serial(const ProbabilityMatrix& P,

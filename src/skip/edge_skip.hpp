@@ -18,6 +18,7 @@
 
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "exec/phase_timing.hpp"
 #include "prob/probability_matrix.hpp"
 #include "robustness/governance.hpp"
 
@@ -33,6 +34,8 @@ struct EdgeSkipConfig {
   /// On a stop verdict the remaining tasks emit nothing; the partial edge
   /// list is still simple (each pair considered at most once).
   const RunGovernor* governor = nullptr;
+  /// Optional exec-layer phase records (wall time / chunk counts).
+  exec::PhaseTimingSink* timings = nullptr;
 };
 
 /// Generates a simple edge list whose degree distribution matches `dist` in

@@ -1,14 +1,13 @@
 #pragma once
-// Thin OpenMP helpers: thread introspection, block partitioning, and the
-// per-thread-buffer concatenation pattern used by every parallel generator.
+// Thread introspection, block partitioning, and the buffer concatenation
+// tail behind exec::collect. Pragma-free: raw OpenMP lives in src/exec/.
 
 #include <omp.h>
 
 #include <cstddef>
+#include <iterator>
 #include <utility>
 #include <vector>
-
-#include "util/prefix_sum.hpp"
 
 namespace nullgraph {
 
@@ -18,33 +17,40 @@ inline int max_threads() noexcept { return omp_get_max_threads(); }
 /// Calling thread's index inside a parallel region (0 outside).
 inline int thread_id() noexcept { return omp_get_thread_num(); }
 
-/// Contiguous [begin, end) block of `n` items owned by block `tid` of
+/// Contiguous [begin, end) block of `n` items owned by block `block` of
 /// `nblocks`. Remainder items are spread over the leading blocks, so block
-/// sizes differ by at most one.
+/// sizes differ by at most one. Depends only on (block, nblocks, n): this
+/// is what makes the exec layer's chunk layout thread-count-invariant.
 inline std::pair<std::size_t, std::size_t> block_range(
-    int tid, int nblocks, std::size_t n) noexcept {
-  const std::size_t t = static_cast<std::size_t>(tid);
-  const std::size_t b = static_cast<std::size_t>(nblocks);
-  const std::size_t base = n / b;
-  const std::size_t extra = n % b;
-  const std::size_t begin = t * base + (t < extra ? t : extra);
-  const std::size_t size = base + (t < extra ? 1 : 0);
+    std::size_t block, std::size_t nblocks, std::size_t n) noexcept {
+  const std::size_t base = n / nblocks;
+  const std::size_t extra = n % nblocks;
+  const std::size_t begin = block * base + (block < extra ? block : extra);
+  const std::size_t size = base + (block < extra ? 1 : 0);
   return {begin, begin + size};
 }
 
-/// Concatenates per-thread output buffers into one vector with a parallel
-/// copy. The usual tail of "each thread appended to its own vector" code.
+inline std::pair<std::size_t, std::size_t> block_range(
+    int block, int nblocks, std::size_t n) noexcept {
+  return block_range(static_cast<std::size_t>(block),
+                     static_cast<std::size_t>(nblocks), n);
+}
+
+/// Concatenates per-chunk output buffers into one vector in buffer order,
+/// MOVING elements (the buffers are left empty). One exact reserve up
+/// front; for trivially-copyable payloads like Edge the per-buffer insert
+/// degenerates to memmove, so the serial tail is memory-bound and
+/// negligible next to the parallel producers that filled the buffers.
 template <typename T>
 std::vector<T> concat_buffers(std::vector<std::vector<T>>& buffers) {
-  const int nb = static_cast<int>(buffers.size());
-  std::vector<std::size_t> offsets(static_cast<std::size_t>(nb) + 1, 0);
-  for (int b = 0; b < nb; ++b)
-    offsets[b + 1] = offsets[b] + buffers[b].size();
-  std::vector<T> out(offsets[nb]);
-#pragma omp parallel for schedule(static)
-  for (int b = 0; b < nb; ++b) {
-    std::size_t pos = offsets[b];
-    for (const T& item : buffers[b]) out[pos++] = item;
+  std::size_t total = 0;
+  for (const std::vector<T>& buffer : buffers) total += buffer.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (std::vector<T>& buffer : buffers) {
+    out.insert(out.end(), std::make_move_iterator(buffer.begin()),
+               std::make_move_iterator(buffer.end()));
+    buffer.clear();
   }
   return out;
 }

@@ -1,77 +1,63 @@
 #pragma once
 // Blocked two-pass parallel prefix sums (the ParallelPrefixSums of
-// Algorithm IV.2). O(n) work, O(n/p + p) parallel time.
-
-#include <omp.h>
+// Algorithm IV.2), expressed on the exec layer: one chunk per thread, a
+// serial scan across the chunk totals between the two passes. O(n) work,
+// O(n/p + p) parallel time.
 
 #include <cstddef>
 #include <vector>
 
+#include "exec/exec.hpp"
+
 namespace nullgraph {
+
+namespace detail {
+
+template <typename T, bool kInclusive>
+T blocked_prefix_sum(std::vector<T>& values) {
+  const std::size_t n = values.size();
+  if (n == 0) return T{0};
+  // Ungoverned on purpose: a governance-skipped chunk would leave a hole
+  // in the scan and corrupt every offset after it.
+  const exec::ParallelContext ctx;
+  const std::size_t grain = exec::balanced_grain(
+      n, static_cast<std::size_t>(ctx.resolved_threads()));
+  const std::size_t nchunks = exec::num_chunks(n, grain);
+  std::vector<T> totals(nchunks + 1, T{0});
+  exec::for_chunks(ctx, n, grain, [&](const exec::Chunk& chunk) {
+    T sum{0};
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) sum += values[i];
+    totals[chunk.index + 1] = sum;
+  });
+  for (std::size_t b = 1; b <= nchunks; ++b) totals[b] += totals[b - 1];
+  exec::for_chunks(ctx, n, grain, [&](const exec::Chunk& chunk) {
+    T running = totals[chunk.index];
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      if constexpr (kInclusive) {
+        running += values[i];
+        values[i] = running;
+      } else {
+        const T value = values[i];
+        values[i] = running;
+        running += value;
+      }
+    }
+  });
+  return totals[nchunks];
+}
+
+}  // namespace detail
 
 /// In-place exclusive prefix sum; returns the total (sum of all inputs).
 template <typename T>
 T exclusive_prefix_sum(std::vector<T>& values) {
-  const std::size_t n = values.size();
-  if (n == 0) return T{0};
-  const int nthreads = omp_get_max_threads();
-  std::vector<T> block_totals(static_cast<std::size_t>(nthreads) + 1, T{0});
-#pragma omp parallel num_threads(nthreads)
-  {
-    const int tid = omp_get_thread_num();
-    const std::size_t chunk = (n + nthreads - 1) / nthreads;
-    const std::size_t begin = chunk * static_cast<std::size_t>(tid);
-    const std::size_t end = begin + chunk < n ? begin + chunk : n;
-    T sum{0};
-    for (std::size_t i = begin; i < end; ++i) sum += values[i];
-    block_totals[tid + 1] = sum;
-#pragma omp barrier
-#pragma omp single
-    {
-      for (int b = 1; b <= nthreads; ++b)
-        block_totals[b] += block_totals[b - 1];
-    }
-    T running = block_totals[tid];
-    for (std::size_t i = begin; i < end; ++i) {
-      const T value = values[i];
-      values[i] = running;
-      running += value;
-    }
-  }
-  return block_totals[static_cast<std::size_t>(nthreads)];
+  return detail::blocked_prefix_sum<T, false>(values);
 }
 
-/// In-place inclusive prefix sum; returns the total. Same blocked two-pass
-/// structure as the exclusive scan (a shift-left of the exclusive result
-/// would race across block boundaries).
+/// In-place inclusive prefix sum; returns the total.
 template <typename T>
 T inclusive_prefix_sum(std::vector<T>& values) {
-  const std::size_t n = values.size();
-  if (n == 0) return T{0};
-  const int nthreads = omp_get_max_threads();
-  std::vector<T> block_totals(static_cast<std::size_t>(nthreads) + 1, T{0});
-#pragma omp parallel num_threads(nthreads)
-  {
-    const int tid = omp_get_thread_num();
-    const std::size_t chunk = (n + nthreads - 1) / nthreads;
-    const std::size_t begin = chunk * static_cast<std::size_t>(tid);
-    const std::size_t end = begin + chunk < n ? begin + chunk : n;
-    T sum{0};
-    for (std::size_t i = begin; i < end; ++i) sum += values[i];
-    block_totals[tid + 1] = sum;
-#pragma omp barrier
-#pragma omp single
-    {
-      for (int b = 1; b <= nthreads; ++b)
-        block_totals[b] += block_totals[b - 1];
-    }
-    T running = block_totals[tid];
-    for (std::size_t i = begin; i < end; ++i) {
-      running += values[i];
-      values[i] = running;
-    }
-  }
-  return block_totals[static_cast<std::size_t>(nthreads)];
+  return detail::blocked_prefix_sum<T, true>(values);
 }
 
 }  // namespace nullgraph

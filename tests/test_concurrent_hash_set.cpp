@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
@@ -125,14 +126,20 @@ TEST(ConcurrentHashSet, OverfilledTableReportsFullNotLivelock) {
 TEST(ConcurrentHashSet, ParallelInsertExactlyOneWinnerPerKey) {
   const std::size_t keys = 50000;
   ConcurrentHashSet set(keys);
-  std::size_t winners = 0;
   // Every key inserted twice from a parallel loop: exactly one call per key
   // may report "new".
-#pragma omp parallel for reduction(+ : winners) schedule(dynamic, 64)
-  for (std::size_t i = 0; i < 2 * keys; ++i) {
-    const std::uint64_t key = static_cast<std::uint64_t>(i % keys) + 1;
-    if (!set.test_and_set(key)) ++winners;
-  }
+  const exec::ParallelContext ctx;
+  const std::size_t winners = exec::reduce<std::size_t>(
+      ctx, 2 * keys, 64, 0,
+      [&](const exec::Chunk& chunk) {
+        std::size_t mine = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const std::uint64_t key = static_cast<std::uint64_t>(i % keys) + 1;
+          if (!set.test_and_set(key)) ++mine;
+        }
+        return mine;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   EXPECT_EQ(winners, keys);
   EXPECT_EQ(set.size(), keys);
 }
@@ -140,13 +147,19 @@ TEST(ConcurrentHashSet, ParallelInsertExactlyOneWinnerPerKey) {
 TEST(ConcurrentHashSet, ParallelMixedContention) {
   const std::size_t distinct = 997;  // prime, heavy contention
   ConcurrentHashSet set(distinct);
-  std::size_t winners = 0;
-#pragma omp parallel for reduction(+ : winners) schedule(static)
-  for (std::size_t i = 0; i < 100000; ++i) {
-    std::uint64_t state = i;
-    const std::uint64_t key = splitmix64_next(state) % distinct + 1;
-    if (!set.test_and_set(key)) ++winners;
-  }
+  const exec::ParallelContext ctx;
+  const std::size_t winners = exec::reduce<std::size_t>(
+      ctx, 100000, exec::kDefaultGrain, 0,
+      [&](const exec::Chunk& chunk) {
+        std::size_t mine = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          std::uint64_t state = i;
+          const std::uint64_t key = splitmix64_next(state) % distinct + 1;
+          if (!set.test_and_set(key)) ++mine;
+        }
+        return mine;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   EXPECT_EQ(winners, set.size());
   EXPECT_LE(set.size(), distinct);
 }

@@ -1,0 +1,397 @@
+#include "exec/exec.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/null_model.hpp"
+#include "gen/chung_lu.hpp"
+#include "lfr/lfr.hpp"
+#include "skip/edge_skip.hpp"
+#include "util/parallel.hpp"
+
+namespace nullgraph {
+namespace {
+
+using exec::Chunk;
+using exec::ParallelContext;
+
+// ---------------------------------------------------------------- block_range
+
+TEST(BlockRange, CoversSpaceExactlyOnceInOrder) {
+  for (std::size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul, 1001ul}) {
+    for (std::size_t nblocks : {1ul, 2ul, 3ul, 7ul, 64ul}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        const auto [begin, end] = block_range(b, nblocks, n);
+        EXPECT_EQ(begin, expected_begin) << "n=" << n << " b=" << b;
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n) << "n=" << n << " nblocks=" << nblocks;
+    }
+  }
+}
+
+TEST(BlockRange, RemainderSpreadOverLeadingBlocks) {
+  // 10 items over 4 blocks: sizes 3,3,2,2 — differ by at most one, larger
+  // blocks first.
+  const std::size_t n = 10, nblocks = 4;
+  std::vector<std::size_t> sizes;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto [begin, end] = block_range(b, nblocks, n);
+    sizes.push_back(end - begin);
+  }
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 2, 2}));
+}
+
+TEST(BlockRange, MoreBlocksThanItemsYieldsEmptyTrailingBlocks) {
+  // n < nblocks: the first n blocks get one item each, the rest are empty.
+  const std::size_t n = 3, nblocks = 8;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto [begin, end] = block_range(b, nblocks, n);
+    EXPECT_EQ(end - begin, b < n ? 1u : 0u) << "b=" << b;
+  }
+}
+
+TEST(BlockRange, ZeroItemsEveryBlockEmpty) {
+  for (std::size_t b = 0; b < 5; ++b) {
+    const auto [begin, end] = block_range(b, std::size_t{5}, std::size_t{0});
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 0u);
+  }
+}
+
+TEST(BlockRange, IntOverloadMatchesSizeTOverload) {
+  for (int b = 0; b < 7; ++b) {
+    const auto a = block_range(b, 7, std::size_t{1000});
+    const auto s = block_range(static_cast<std::size_t>(b), std::size_t{7},
+                               std::size_t{1000});
+    EXPECT_EQ(a, s);
+  }
+}
+
+// ------------------------------------------------------- chunk layout helpers
+
+TEST(ExecChunks, NumChunksIsCeilDivision) {
+  EXPECT_EQ(exec::num_chunks(0, 16), 0u);
+  EXPECT_EQ(exec::num_chunks(1, 16), 1u);
+  EXPECT_EQ(exec::num_chunks(16, 16), 1u);
+  EXPECT_EQ(exec::num_chunks(17, 16), 2u);
+  EXPECT_EQ(exec::num_chunks(100, 0), 100u);  // grain 0 degrades to 1
+}
+
+TEST(ExecChunks, BalancedGrainYieldsAtMostParts) {
+  for (std::size_t n : {1ul, 5ul, 100ul, 1000ul}) {
+    for (std::size_t parts : {1ul, 3ul, 8ul}) {
+      const std::size_t grain = exec::balanced_grain(n, parts);
+      EXPECT_LE(exec::num_chunks(n, grain), parts);
+    }
+  }
+  EXPECT_GE(exec::balanced_grain(0, 4), 1u);
+  EXPECT_GE(exec::balanced_grain(5, 0), 1u);
+}
+
+TEST(ExecChunks, ChunkSeedDependsOnSeedAndIndexOnly) {
+  EXPECT_EQ(exec::chunk_seed(7, 3), exec::chunk_seed(7, 3));
+  EXPECT_NE(exec::chunk_seed(7, 3), exec::chunk_seed(7, 4));
+  EXPECT_NE(exec::chunk_seed(7, 3), exec::chunk_seed(8, 3));
+}
+
+TEST(ExecChunks, ChunkRngStreamIsReproducible) {
+  const Chunk chunk{5, 100, 200, 42};
+  Xoshiro256ss a = chunk.rng();
+  Xoshiro256ss b = chunk.rng();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(chunk.size(), 100u);
+}
+
+// ------------------------------------------------------------- for_chunks
+
+TEST(ForChunks, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10'000;
+  std::vector<int> visits(n, 0);
+  const ParallelContext ctx;
+  exec::for_chunks(ctx, n, 64, [&](const Chunk& chunk) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) ++visits[i];
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << i;
+}
+
+TEST(ForChunks, EmptyRangeRunsNoBody) {
+  bool ran = false;
+  const ParallelContext ctx;
+  exec::for_chunks(ctx, 0, 64, [&](const Chunk&) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ForChunks, ChunkIndicesMatchBlockRangeLayout) {
+  const std::size_t n = 1001, grain = 64;
+  const std::size_t nchunks = exec::num_chunks(n, grain);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(nchunks);
+  const ParallelContext ctx;
+  exec::for_chunks(ctx, n, grain, [&](const Chunk& chunk) {
+    ranges[chunk.index] = {chunk.begin, chunk.end};
+  });
+  for (std::size_t c = 0; c < nchunks; ++c)
+    EXPECT_EQ(ranges[c], block_range(c, nchunks, n)) << c;
+}
+
+TEST(ForChunks, StoppedGovernorSkipsAllChunksAndCountsThem) {
+  const RunGovernor governor;
+  governor.note_stop(StatusCode::kCancelled);
+  exec::PhaseTimingSink sink;
+  ParallelContext ctx;
+  ctx.governor = &governor;
+  ctx.timings = &sink;
+  ctx.phase = "skiptest";
+  std::atomic<int> ran{0};
+  exec::for_chunks(ctx, 1000, 100, [&](const Chunk&) { ++ran; });
+  EXPECT_EQ(ran.load(), 0);
+  const auto rows = sink.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].phase, "skiptest");
+  EXPECT_EQ(rows[0].chunks, 10u);
+  EXPECT_EQ(rows[0].chunks_skipped, 10u);
+}
+
+TEST(ForChunks, TimingSinkAggregatesLoopsByPhaseName) {
+  exec::PhaseTimingSink sink;
+  ParallelContext ctx;
+  ctx.timings = &sink;
+  ctx.phase = "phase-a";
+  exec::for_chunks(ctx, 100, 10, [](const Chunk&) {});
+  exec::for_chunks(ctx, 50, 10, [](const Chunk&) {});
+  exec::for_chunks(ctx.with_phase("phase-b"), 10, 10, [](const Chunk&) {});
+  const auto rows = sink.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].phase, "phase-a");
+  EXPECT_EQ(rows[0].loops, 2u);
+  EXPECT_EQ(rows[0].chunks, 15u);
+  EXPECT_EQ(rows[1].phase, "phase-b");
+  EXPECT_EQ(rows[1].loops, 1u);
+}
+
+// --------------------------------------------------------- collect / reduce
+
+std::vector<std::uint64_t> collect_draws(int threads, std::uint64_t seed) {
+  ParallelContext ctx;
+  ctx.threads = threads;
+  ctx.seed = seed;
+  return exec::collect<std::uint64_t>(
+      ctx, 50'000, 1 << 10, [](const Chunk& chunk, auto& out) {
+        Xoshiro256ss rng = chunk.rng();
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          out.push_back(rng.next());
+      });
+}
+
+TEST(Collect, OutputIdenticalAtOneTwoEightThreads) {
+  const auto one = collect_draws(1, 99);
+  const auto two = collect_draws(2, 99);
+  const auto eight = collect_draws(8, 99);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one, collect_draws(1, 100));  // the seed does matter
+}
+
+TEST(Collect, VariableLengthChunkOutputKeepsChunkOrder) {
+  // Chunk c emits c copies of c: the concatenation must be sorted.
+  ParallelContext ctx;
+  const auto out = exec::collect<std::size_t>(
+      ctx, 100, 1, [](const Chunk& chunk, auto& buffer) {
+        for (std::size_t k = 0; k < chunk.index; ++k)
+          buffer.push_back(chunk.index);
+      });
+  EXPECT_EQ(out.size(), 99u * 100u / 2u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(Collect, StoppedGovernorYieldsEmptyOutput) {
+  const RunGovernor governor;
+  governor.note_stop(StatusCode::kDeadlineExceeded);
+  ParallelContext ctx;
+  ctx.governor = &governor;
+  const auto out = exec::collect<int>(
+      ctx, 1000, 10, [](const Chunk&, auto& buffer) { buffer.push_back(1); });
+  EXPECT_TRUE(out.empty());
+}
+
+double reduce_float_sum(int threads) {
+  ParallelContext ctx;
+  ctx.threads = threads;
+  // Values spanning many magnitudes: a thread-order-dependent combine would
+  // give different roundoff on different thread counts.
+  return exec::reduce<double>(
+      ctx, 200'000, 1 << 10, 0.0,
+      [](const Chunk& chunk) {
+        double mine = 0.0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+          mine += std::exp(-static_cast<double>(i % 37)) * (i + 1);
+        return mine;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+TEST(Reduce, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  const double one = reduce_float_sum(1);
+  EXPECT_EQ(one, reduce_float_sum(2));
+  EXPECT_EQ(one, reduce_float_sum(8));
+}
+
+TEST(Reduce, SumMatchesSerialReference) {
+  const std::size_t n = 12'345;
+  const ParallelContext ctx;
+  const std::uint64_t total = exec::reduce<std::uint64_t>(
+      ctx, n, 100, 0,
+      [](const Chunk& chunk) {
+        std::uint64_t mine = 0;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) mine += i;
+        return mine;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(Reduce, StoppedGovernorKeepsIdentity) {
+  const RunGovernor governor;
+  governor.note_stop(StatusCode::kCancelled);
+  ParallelContext ctx;
+  ctx.governor = &governor;
+  const int result = exec::reduce<int>(
+      ctx, 1000, 10, -7, [](const Chunk&) { return 1000; },
+      [](int a, int b) { return a + b; });
+  // 100 skipped chunks each keep the identity; the fold of identities is
+  // whatever combine makes of them — for + that's 101 * identity.
+  EXPECT_EQ(result, -7 * 101);
+}
+
+TEST(Reduce, BenchHelpersAgree) {
+  std::vector<std::uint64_t> values(100'000);
+  std::iota(values.begin(), values.end(), 17u);
+  EXPECT_EQ(exec::detail::raw_omp_hash_sum(values.data(), values.size(), 4096),
+            exec::detail::exec_hash_sum(values.data(), values.size(), 4096));
+}
+
+// ----------------------------------- thread-count invariance of generators
+
+class ThreadSweep : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = omp_get_max_threads(); }
+  void TearDown() override { omp_set_num_threads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+DegreeDistribution sweep_dist() {
+  return DegreeDistribution({{1, 500}, {2, 300}, {5, 120}, {16, 30}, {50, 6}});
+}
+
+TEST_F(ThreadSweep, EdgeSkipBitIdenticalAtAnyThreadCount) {
+  const DegreeDistribution dist = sweep_dist();
+  const ProbabilityMatrix P =
+      generate_probabilities(dist, ProbabilityMethod::kGreedyAllocation);
+  EdgeSkipConfig config;
+  config.seed = 21;
+  std::vector<EdgeList> runs;
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    runs.push_back(edge_skip_generate(P, dist, config));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_F(ThreadSweep, ChungLuMultigraphBitIdenticalAtAnyThreadCount) {
+  const DegreeDistribution dist = sweep_dist();
+  ChungLuConfig config;
+  config.seed = 33;
+  std::vector<EdgeList> runs;
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    runs.push_back(chung_lu_multigraph(dist, config));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_F(ThreadSweep, FullPipelineSameEdgeMultisetAtAnyThreadCount) {
+  const DegreeDistribution dist = sweep_dist();
+  GenerateConfig config;
+  config.seed = 5;
+  config.swap_iterations = 0;  // swap phase is MCMC over a shared table
+  std::vector<EdgeList> runs;
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    runs.push_back(generate_null_graph(dist, config).edges);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+// --------------------------------------------- governance coverage (library)
+
+TEST(GovernanceCoverage, PreCancelledTokenCurtailsGenerate) {
+  GenerateConfig config;
+  config.governance.enabled = true;
+  config.governance.cancel.request_cancel();
+  const GenerateResult result = generate_null_graph(sweep_dist(), config);
+  ASSERT_FALSE(result.report.curtailments.empty());
+  EXPECT_EQ(result.report.curtailments.front().reason, StatusCode::kCancelled);
+}
+
+TEST(GovernanceCoverage, PhaseTimingsRecordedInPipelineReport) {
+  GenerateConfig config;
+  config.seed = 3;
+  config.swap_iterations = 2;
+  const GenerateResult result = generate_null_graph(sweep_dist(), config);
+  ASSERT_FALSE(result.report.phase_timings.empty());
+  bool saw_edge_generation = false;
+  for (const auto& row : result.report.phase_timings) {
+    EXPECT_GT(row.loops, 0u);
+    if (row.phase == "edge generation") saw_edge_generation = true;
+  }
+  EXPECT_TRUE(saw_edge_generation);
+}
+
+TEST(GovernanceCoverage, ExternalGovernorOverridesLocalConfig) {
+  const RunGovernor external;
+  external.note_stop(StatusCode::kDeadlineExceeded);
+  GenerateConfig config;
+  config.governance.enabled = false;  // external must win regardless
+  config.governance.external = &external;
+  const GenerateResult result = generate_null_graph(sweep_dist(), config);
+  ASSERT_FALSE(result.report.curtailments.empty());
+  EXPECT_EQ(result.report.curtailments.front().reason,
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(GovernanceCoverage, PreCancelledTokenCurtailsLfr) {
+  LfrParams params;
+  params.n = 2000;
+  params.cmin = 40;
+  params.cmax = 200;
+  params.governance.enabled = true;
+  params.governance.cancel.request_cancel();
+  const LfrGraph graph = generate_lfr(params);
+  EXPECT_EQ(graph.curtailed, StatusCode::kCancelled);
+  EXPECT_EQ(graph.communities_completed, 0u);
+}
+
+TEST(GovernanceCoverage, UngovernedLfrCompletesAllLayers) {
+  LfrParams params;
+  params.n = 2000;
+  params.cmin = 40;
+  params.cmax = 200;
+  const LfrGraph graph = generate_lfr(params);
+  EXPECT_EQ(graph.curtailed, StatusCode::kOk);
+  EXPECT_EQ(graph.communities_completed, graph.num_communities);
+}
+
+}  // namespace
+}  // namespace nullgraph

@@ -97,7 +97,7 @@ void usage() {
                "  dist     --in FILE [--out FILE]\n"
                "guardrails (generate/shuffle): --strict | --repair "
                "[--max-retries K]\n"
-               "governance (generate/shuffle): --deadline-ms N "
+               "governance (generate/shuffle/lfr): --deadline-ms N "
                "--max-swap-iterations N --max-memory-mb N\n"
                "  --checkpoint FILE --checkpoint-every N --resume FILE\n"
                "fault injection (testing): --inject-drop N --inject-dup N "
@@ -370,6 +370,9 @@ int cmd_lfr(const Args& args) {
   params.cmin = args.get_u64("cmin", 32);
   params.cmax = args.get_u64("cmax", 512);
   params.seed = args.get_u64("seed", 1);
+  // One governor spans every layer: --deadline-ms (and Ctrl-C) curtail the
+  // whole multi-layer run, not just a single generate call.
+  params.governance = governance_from(args);
   const LfrGraph graph = generate_lfr(params);
   std::fprintf(stderr, "lfr: %zu edges, %zu communities, achieved mu %.4f\n",
                graph.edges.size(), graph.num_communities, graph.achieved_mu);
@@ -387,6 +390,15 @@ int cmd_lfr(const Args& args) {
     }
   } else {
     print_graph_stats(graph.edges);
+  }
+  // Like emit_result: the best-so-far graph goes out first, then a typed
+  // exit code tells callers the run was cut short.
+  if (graph.curtailed != StatusCode::kOk) {
+    std::fprintf(stderr,
+                 "run curtailed: %s (%zu/%zu community layers completed)\n",
+                 status_code_name(graph.curtailed),
+                 graph.communities_completed, graph.num_communities);
+    return status_exit_code(graph.curtailed);
   }
   return 0;
 }
