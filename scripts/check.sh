@@ -32,6 +32,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== telemetry smoke: --report-json / --trace-out =="
+# End-to-end through the real binary: both artifacts must be valid JSON
+# and a report must diff clean against itself (also exercises
+# compare_reports.py's parsing of every section it knows about).
+TELEM_DIR=build/telemetry-smoke
+mkdir -p "$TELEM_DIR"
+build/tools/nullgraph generate --powerlaw --n 5000 --dmax 100 --swaps 3 \
+  --seed 9 --out "$TELEM_DIR/graph.txt" \
+  --report-json "$TELEM_DIR/report.json" \
+  --trace-out "$TELEM_DIR/trace.json"
+python3 -m json.tool "$TELEM_DIR/report.json" >/dev/null
+python3 -m json.tool "$TELEM_DIR/trace.json" >/dev/null
+python3 scripts/compare_reports.py \
+  "$TELEM_DIR/report.json" "$TELEM_DIR/report.json" >/dev/null
+
 if [[ "$SKIP_SAN" == 1 ]]; then
   echo "== sanitizer pass skipped =="
   exit 0

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Diff two nullgraph --report-json run reports.
+
+Compares phase wall times, swap-chain acceptance rates, and metric values
+between a baseline report and a candidate report, printing a row per
+difference. Relative regressions beyond --threshold (default 10%) on
+timing rows, or beyond --metric-threshold on acceptance/metric rows, make
+the script exit non-zero so it can gate CI.
+
+Usage:
+  compare_reports.py baseline.json candidate.json [--threshold 0.10]
+      [--metric-threshold 0.05] [--ignore-missing]
+
+Exit codes:
+  0  no regression beyond thresholds
+  1  at least one regression breached its threshold
+  2  reports unreadable or structurally incompatible (version mismatch)
+
+Only stdlib is used; schema knowledge is confined to the top of the file so
+report schema growth (append-only, see src/obs/report.cpp) stays painless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Keys whose growth is a regression (bigger = worse).
+TIMING_SECTIONS = ("phase_seconds",)
+# swap_chain scalars where a *drop* is a regression (smaller = worse).
+ACCEPTANCE_KEYS = ("overall_acceptance",)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read report {path!r}: {exc}")
+    if not isinstance(report, dict) or "report_version" not in report:
+        sys.exit(f"error: {path!r} is not a nullgraph run report "
+                 "(missing report_version)")
+    return report
+
+
+def rel_delta(base: float, cand: float) -> float:
+    """Relative change; falls back to absolute when the base is ~zero."""
+    if abs(base) < 1e-12:
+        return cand - base
+    return (cand - base) / abs(base)
+
+
+class Comparison:
+    def __init__(self, threshold: float, metric_threshold: float,
+                 ignore_missing: bool) -> None:
+        self.threshold = threshold
+        self.metric_threshold = metric_threshold
+        self.ignore_missing = ignore_missing
+        self.rows: list[tuple[str, str, float, float, float, bool]] = []
+        self.regressions = 0
+
+    def note(self, section: str, name: str, base: float, cand: float,
+             limit: float, bigger_is_worse: bool) -> None:
+        delta = rel_delta(base, cand)
+        breach = (delta > limit) if bigger_is_worse else (-delta > limit)
+        if breach:
+            self.regressions += 1
+        self.rows.append((section, name, base, cand, delta, breach))
+
+    def missing(self, section: str, name: str, side: str) -> None:
+        if self.ignore_missing:
+            return
+        print(f"  [missing] {section}/{name}: only in {side} report")
+
+    def compare_numeric_map(self, section: str, base: dict, cand: dict,
+                            limit: float, bigger_is_worse: bool) -> None:
+        for name in sorted(set(base) | set(cand)):
+            if name not in base:
+                self.missing(section, name, "candidate")
+                continue
+            if name not in cand:
+                self.missing(section, name, "baseline")
+                continue
+            b, c = base[name], cand[name]
+            if isinstance(b, (int, float)) and isinstance(c, (int, float)):
+                self.note(section, name, float(b), float(c), limit,
+                          bigger_is_worse)
+
+    def report(self) -> None:
+        if not self.rows:
+            print("no comparable rows found")
+            return
+        width = max(len(f"{s}/{n}") for s, n, *_ in self.rows)
+        for section, name, base, cand, delta, breach in self.rows:
+            flag = "  REGRESSION" if breach else ""
+            print(f"  {section + '/' + name:<{width}}  "
+                  f"{base:>14.6g}  {cand:>14.6g}  {delta:>+8.2%}{flag}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two nullgraph --report-json run reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative wall-time regression limit "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--metric-threshold", type=float, default=0.05,
+                        help="relative acceptance/metric regression limit "
+                             "(default 0.05)")
+    parser.add_argument("--ignore-missing", action="store_true",
+                        help="do not report rows present in only one report")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    if base["report_version"] != cand["report_version"]:
+        print(f"error: report_version mismatch "
+              f"({base['report_version']} vs {cand['report_version']}); "
+              "refusing to compare", file=sys.stderr)
+        return 2
+
+    cmp = Comparison(args.threshold, args.metric_threshold,
+                     args.ignore_missing)
+
+    print(f"{'section/name':<40}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>8}")
+    for section in TIMING_SECTIONS:
+        cmp.compare_numeric_map(section, base.get(section, {}),
+                                cand.get(section, {}),
+                                cmp.threshold, bigger_is_worse=True)
+
+    # Per-loop exec aggregates: wall time regressions, keyed by phase name.
+    base_exec = {p["phase"]: p for p in base.get("exec_phases", [])}
+    cand_exec = {p["phase"]: p for p in cand.get("exec_phases", [])}
+    cmp.compare_numeric_map(
+        "exec_wall_ms",
+        {k: v.get("wall_ms", 0.0) for k, v in base_exec.items()},
+        {k: v.get("wall_ms", 0.0) for k, v in cand_exec.items()},
+        cmp.threshold, bigger_is_worse=True)
+
+    # Swap-chain acceptance: a drop means the chain is mixing worse.
+    base_swap = base.get("swap_chain") or {}
+    cand_swap = cand.get("swap_chain") or {}
+    if base_swap and cand_swap:
+        cmp.compare_numeric_map(
+            "swap_chain",
+            {k: base_swap[k] for k in ACCEPTANCE_KEYS if k in base_swap},
+            {k: cand_swap[k] for k in ACCEPTANCE_KEYS if k in cand_swap},
+            cmp.metric_threshold, bigger_is_worse=False)
+
+    # Counters: direction-less, so compare both ways symmetrically against
+    # the metric threshold (a large move either way is suspicious).
+    def counter_map(report: dict) -> dict:
+        metrics = report.get("metrics") or {}
+        return {c["name"]: c["value"] for c in metrics.get("counters", [])}
+
+    for name in sorted(set(counter_map(base)) | set(counter_map(cand))):
+        b = counter_map(base).get(name)
+        c = counter_map(cand).get(name)
+        if b is None:
+            cmp.missing("counters", name, "candidate")
+            continue
+        if c is None:
+            cmp.missing("counters", name, "baseline")
+            continue
+        delta = rel_delta(float(b), float(c))
+        breach = abs(delta) > cmp.metric_threshold
+        if breach:
+            cmp.regressions += 1
+        cmp.rows.append(("counters", name, float(b), float(c), delta, breach))
+
+    cmp.report()
+    if cmp.regressions:
+        print(f"\n{cmp.regressions} regression(s) beyond threshold")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

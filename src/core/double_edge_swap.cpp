@@ -6,6 +6,8 @@
 
 #include "ds/concurrent_hash_set.hpp"
 #include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "permute/permutation.hpp"
 #include "util/rng.hpp"
 
@@ -74,6 +76,20 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
   // Worst-case inserts per iteration: <= m refill keys plus 2 candidates
   // per pair — size for both so the table's <= 0.5 load invariant holds.
   ConcurrentHashSet table(m + 2 * (m / 2));
+  table.set_probe_histogram(
+      ConcurrentHashSet::probe_histogram(config.obs.metrics));
+  // Counter handles are acquired once, outside the chain; per-iteration
+  // recording is a handful of striped relaxed adds.
+  obs::Counter* c_attempted = nullptr;
+  obs::Counter* c_committed = nullptr;
+  obs::Counter* c_rej_existing = nullptr;
+  obs::Counter* c_rej_loop = nullptr;
+  if (config.obs.metrics != nullptr) {
+    c_attempted = config.obs.metrics->counter("swaps.attempted");
+    c_committed = config.obs.metrics->counter("swaps.committed");
+    c_rej_existing = config.obs.metrics->counter("swaps.rejected_existing");
+    c_rej_loop = config.obs.metrics->counter("swaps.rejected_loop");
+  }
   std::vector<std::uint8_t> ever_swapped;
   if (config.track_swapped_edges) ever_swapped.assign(m, 0);
 
@@ -94,6 +110,7 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
   exec::ParallelContext refill_ctx;
   refill_ctx.timings = config.timings;
   refill_ctx.phase = "swaps";
+  refill_ctx.obs = config.obs;
   exec::ParallelContext pair_ctx = refill_ctx;
   pair_ctx.governor = gov;
   for (std::size_t iter = config.start_iteration; iter < config.iterations;
@@ -108,9 +125,12 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
         break;
       }
     }
-    if (config.slow_iteration_ms != 0)
+    obs::TraceSpan iter_span(config.obs.trace, "swap iteration");
+    if (config.slow_iteration_ms != 0) {
+      obs::TraceSpan slow_span(config.obs.trace, "injected slow iteration");
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config.slow_iteration_ms));
+    }
     stats.iterations.emplace_back();
     SwapIterationStats& it_stats = stats.iterations.back();
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
@@ -199,6 +219,12 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
     it_stats.rejected_existing = counts.rejected_existing;
     it_stats.rejected_loop = counts.rejected_loop;
     stats.final_chain_state = seed_chain;
+    if (c_attempted != nullptr) {
+      c_attempted->add(pairs);
+      c_committed->add(counts.swapped);
+      c_rej_existing->add(counts.rejected_existing);
+      c_rej_loop->add(counts.rejected_loop);
+    }
 
     if (gov != nullptr) {
       watchdog.record(it_stats.attempted, it_stats.swapped);

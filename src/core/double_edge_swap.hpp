@@ -26,6 +26,7 @@
 
 #include "ds/edge_list.hpp"
 #include "exec/phase_timing.hpp"
+#include "obs/obs_context.hpp"
 #include "robustness/governance.hpp"
 
 namespace nullgraph {
@@ -60,6 +61,11 @@ struct SwapConfig {
   /// Optional exec-layer phase records (wall time / chunk counts),
   /// aggregated over all iterations under the "swaps" phase name.
   exec::PhaseTimingSink* timings = nullptr;
+  /// Optional telemetry: swap counters (swaps.attempted / .committed /
+  /// .rejected_existing / .rejected_loop), the shared hash-set probe-length
+  /// histogram, and one trace span per iteration. Default (null handles)
+  /// costs one branch per iteration.
+  obs::ObsContext obs;
   /// FaultPlan::slow_phase_ms wiring: sleep this long at the top of every
   /// iteration so deadline/watchdog paths can be drilled deterministically.
   std::uint64_t slow_iteration_ms = 0;

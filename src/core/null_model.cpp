@@ -8,6 +8,8 @@
 #include "analysis/components.hpp"
 #include "exec/exec.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prob/heuristics.hpp"
 #include "robustness/fault_injection.hpp"
 #include "robustness/repair.hpp"
@@ -147,6 +149,7 @@ void swap_phase_with_recovery(EdgeList& edges, GenerateResult& result,
                               const EdgeList* pristine,
                               std::uint64_t retry_chain,
                               const char* input_phase) {
+  const obs::ObsContext& obs = swap_config.obs;
   result.swap_stats =
       run_swaps(edges, swap_config, guard.faults.force_swap_stall);
 
@@ -170,12 +173,18 @@ void swap_phase_with_recovery(EdgeList& edges, GenerateResult& result,
     while (!simple.ok() && degrees.ok() &&
            result.report.retries_used < guard.max_retries) {
       ++result.report.retries_used;
+      if (obs.metrics != nullptr)
+        obs.metrics->counter("recovery.swap_retries")->add(1);
+      if (obs.trace != nullptr) obs.trace->instant("swap retry (reseed)");
       swap_config.seed = splitmix64_next(retry_chain);
       result.swap_stats =
           run_swaps(edges, swap_config, guard.faults.force_swap_stall);
       simple = check_simple(output_census(edges, result.swap_stats));
     }
     if (!simple.ok() || !degrees.ok()) {
+      obs::TraceSpan repair_span(obs.trace, "repair pass");
+      if (obs.metrics != nullptr)
+        obs.metrics->counter("recovery.repairs")->add(1);
       const std::vector<std::uint64_t> target = degrees_of(*pristine);
       result.report.repair =
           repair_to_degrees(edges, target, splitmix64_next(retry_chain));
@@ -277,13 +286,18 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     record(result.report, guard.policy, "input", check_graphical(dist));
 
   result.timing.start("probabilities");
-  ProbabilityMatrix P = generate_probabilities(
-      dist, config.probability_method, config.refine_iterations, gov, &sink);
+  ProbabilityMatrix P;
+  {
+    obs::TraceSpan span(config.obs.trace, "probabilities");
+    P = generate_probabilities(dist, config.probability_method,
+                               config.refine_iterations, gov, &sink);
+  }
   result.timing.stop();
   record_curtailment(result.report, gov, "probabilities", 0,
                      dist.num_classes());
   if (guard.faults.corrupt_prob_entries > 0)
-    inject_probability_faults(P, guard.faults);
+    result.report.prob_entries_corrupted =
+        inject_probability_faults(P, guard.faults, config.obs);
   if (checking) {
     Status status = check_probability_matrix(P, dist);
     bool repaired = false;
@@ -297,11 +311,14 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   result.probability_diagnostics = diagnose(P, dist);
 
   result.timing.start("edge generation");
-  EdgeSkipConfig skip_config;
-  skip_config.seed = splitmix64_next(seed_chain);
-  skip_config.governor = gov;
-  skip_config.timings = &sink;
-  result.edges = edge_skip_generate(P, dist, skip_config);
+  {
+    obs::TraceSpan span(config.obs.trace, "edge generation");
+    EdgeSkipConfig skip_config;
+    skip_config.seed = splitmix64_next(seed_chain);
+    skip_config.governor = gov;
+    skip_config.timings = &sink;
+    result.edges = edge_skip_generate(P, dist, skip_config);
+  }
   result.timing.stop();
   record_curtailment(result.report, gov, "edge generation",
                      result.edges.size(), 0);
@@ -317,27 +334,32 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     if (guard.policy == RecoveryPolicy::kRepair) pristine = result.edges;
   }
   if (guard.faults.edge_faults())
-    inject_edge_faults(result.edges, guard.faults);
+    result.report.faults_injected =
+        inject_edge_faults(result.edges, guard.faults, config.obs);
 
   result.timing.start("swaps");
-  SwapConfig swap_config;
-  swap_config.iterations = config.swap_iterations;
-  swap_config.seed = splitmix64_next(seed_chain);
-  swap_config.track_swapped_edges = config.track_swapped_edges;
-  swap_config.timings = &sink;
-  wire_swap_governance(swap_config, gov, config.governance, guard);
-  // The memory ceiling is checked against the phase's estimated footprint
-  // BEFORE swap_edges allocates; a trip makes the phase return immediately
-  // with the (simple by construction) edge-skip output as best-so-far.
-  if (gov != nullptr)
-    (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
-  if (checking) {
-    swap_phase_with_recovery(
-        result.edges, result, guard, swap_config, expected_fp,
-        guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
-        splitmix64_next(seed_chain), "edge generation");
-  } else {
-    result.swap_stats = swap_edges(result.edges, swap_config);
+  {
+    obs::TraceSpan span(config.obs.trace, "swaps");
+    SwapConfig swap_config;
+    swap_config.iterations = config.swap_iterations;
+    swap_config.seed = splitmix64_next(seed_chain);
+    swap_config.track_swapped_edges = config.track_swapped_edges;
+    swap_config.timings = &sink;
+    swap_config.obs = config.obs;
+    wire_swap_governance(swap_config, gov, config.governance, guard);
+    // The memory ceiling is checked against the phase's estimated footprint
+    // BEFORE swap_edges allocates; a trip makes the phase return immediately
+    // with the (simple by construction) edge-skip output as best-so-far.
+    if (gov != nullptr)
+      (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
+    if (checking) {
+      swap_phase_with_recovery(
+          result.edges, result, guard, swap_config, expected_fp,
+          guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
+          splitmix64_next(seed_chain), "edge generation");
+    } else {
+      result.swap_stats = swap_edges(result.edges, swap_config);
+    }
   }
   result.timing.stop();
   record_curtailment(result.report, gov, "swaps",
@@ -370,24 +392,29 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
     if (guard.policy == RecoveryPolicy::kRepair) pristine = result.edges;
   }
   if (guard.faults.edge_faults())
-    inject_edge_faults(result.edges, guard.faults);
+    result.report.faults_injected =
+        inject_edge_faults(result.edges, guard.faults, config.obs);
 
   result.timing.start("swaps");
-  SwapConfig swap_config;
-  swap_config.iterations = config.swap_iterations;
-  swap_config.seed = splitmix64_next(seed_chain);
-  swap_config.track_swapped_edges = config.track_swapped_edges;
-  swap_config.timings = &sink;
-  wire_swap_governance(swap_config, gov, config.governance, guard);
-  if (gov != nullptr)
-    (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
-  if (checking) {
-    swap_phase_with_recovery(
-        result.edges, result, guard, swap_config, expected_fp,
-        guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
-        splitmix64_next(seed_chain), nullptr);
-  } else {
-    result.swap_stats = swap_edges(result.edges, swap_config);
+  {
+    obs::TraceSpan span(config.obs.trace, "swaps");
+    SwapConfig swap_config;
+    swap_config.iterations = config.swap_iterations;
+    swap_config.seed = splitmix64_next(seed_chain);
+    swap_config.track_swapped_edges = config.track_swapped_edges;
+    swap_config.timings = &sink;
+    swap_config.obs = config.obs;
+    wire_swap_governance(swap_config, gov, config.governance, guard);
+    if (gov != nullptr)
+      (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
+    if (checking) {
+      swap_phase_with_recovery(
+          result.edges, result, guard, swap_config, expected_fp,
+          guard.policy == RecoveryPolicy::kRepair ? &pristine : nullptr,
+          splitmix64_next(seed_chain), nullptr);
+    } else {
+      result.swap_stats = swap_edges(result.edges, swap_config);
+    }
   }
   result.timing.stop();
   record_curtailment(result.report, gov, "swaps",
@@ -431,10 +458,14 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
   swap_config.resume_chain_state = checkpoint.chain_state;
   swap_config.track_swapped_edges = config.track_swapped_edges;
   swap_config.timings = &sink;
+  swap_config.obs = config.obs;
   wire_swap_governance(swap_config, gov, config.governance, guard);
   if (gov != nullptr)
     (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
-  result.swap_stats = swap_edges(result.edges, swap_config);
+  {
+    obs::TraceSpan span(config.obs.trace, "swaps");
+    result.swap_stats = swap_edges(result.edges, swap_config);
+  }
   result.timing.stop();
   record_curtailment(result.report, gov, "swaps",
                      result.swap_stats.iterations.size(),

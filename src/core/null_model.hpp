@@ -24,6 +24,7 @@
 #include "core/double_edge_swap.hpp"
 #include "ds/degree_distribution.hpp"
 #include "ds/edge_list.hpp"
+#include "obs/obs_context.hpp"
 #include "prob/probability_matrix.hpp"
 #include "robustness/governance.hpp"
 #include "robustness/invariants.hpp"
@@ -73,6 +74,11 @@ struct GenerateConfig {
   GuardrailConfig guardrails;
   /// Deadlines, cancellation, stall watchdog, checkpoints (off by default).
   GovernanceConfig governance;
+  /// Telemetry handles (metrics registry / trace sink, both optional and
+  /// borrowed). Default null handles keep every instrumentation site at
+  /// one branch — the --report-json / --trace-out CLI flags attach real
+  /// sinks. See src/obs/ and DESIGN.md §7.
+  obs::ObsContext obs;
 };
 
 struct GenerateResult {

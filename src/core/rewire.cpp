@@ -5,6 +5,8 @@
 
 #include "ds/concurrent_hash_set.hpp"
 #include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "permute/permutation.hpp"
 #include "util/rng.hpp"
 
@@ -21,16 +23,26 @@ RewireStats rewire_assortativity(EdgeList& edges,
   // Refill (<= m keys) plus 2 candidates per pair — sized so the <= 0.5
   // load-factor invariant holds through a whole iteration.
   ConcurrentHashSet table(m + 2 * (m / 2));
+  table.set_probe_histogram(
+      ConcurrentHashSet::probe_histogram(config.obs.metrics));
+  obs::Counter* c_attempted = nullptr;
+  obs::Counter* c_committed = nullptr;
+  if (config.obs.metrics != nullptr) {
+    c_attempted = config.obs.metrics->counter("rewire.attempted");
+    c_committed = config.obs.metrics->counter("rewire.committed");
+  }
   // The refill runs ungoverned (a skipped chunk would leave keys out of T
   // and risk duplicate commits); only the pair loop is skippable.
   exec::ParallelContext refill_ctx;
   refill_ctx.timings = config.timings;
   refill_ctx.phase = "rewire";
+  refill_ctx.obs = config.obs;
   exec::ParallelContext pair_ctx = refill_ctx;
   pair_ctx.governor = config.governor;
   std::uint64_t seed_chain = config.seed;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     if (pair_ctx.stopped()) break;
+    obs::TraceSpan iter_span(config.obs.trace, "rewire iteration");
     const std::uint64_t permute_seed = splitmix64_next(seed_chain);
     const std::uint64_t pair_seed = splitmix64_next(seed_chain);
 
@@ -105,6 +117,11 @@ RewireStats rewire_assortativity(EdgeList& edges,
         [](std::size_t a, std::size_t b) { return a + b; });
     stats.attempted += pairs;
     stats.swapped += swapped;
+    stats.iterations.push_back({pairs, swapped});
+    if (c_attempted != nullptr) {
+      c_attempted->add(pairs);
+      c_committed->add(swapped);
+    }
   }
   return stats;
 }

@@ -12,9 +12,11 @@
 // to separate degree effects from mixing effects.
 
 #include <cstdint>
+#include <vector>
 
 #include "ds/edge_list.hpp"
 #include "exec/phase_timing.hpp"
+#include "obs/obs_context.hpp"
 #include "robustness/governance.hpp"
 
 namespace nullgraph {
@@ -33,11 +35,30 @@ struct RewireConfig {
   const RunGovernor* governor = nullptr;
   /// Optional exec-layer phase records under the "rewire" phase name.
   exec::PhaseTimingSink* timings = nullptr;
+  /// Optional telemetry: rewire.attempted / rewire.committed counters, the
+  /// shared hash-set probe-length histogram, and one trace span per
+  /// iteration (same contract as SwapConfig::obs).
+  obs::ObsContext obs;
+};
+
+/// Per-iteration convergence sample: the biased chain's acceptance rate
+/// decays toward zero as the mixing target saturates, and the decay curve
+/// is the diagnostic for "has the rewire converged".
+struct RewireIterationStats {
+  std::size_t attempted = 0;
+  std::size_t swapped = 0;
 };
 
 struct RewireStats {
   std::size_t attempted = 0;
   std::size_t swapped = 0;
+  std::vector<RewireIterationStats> iterations;
+
+  double acceptance() const noexcept {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(swapped) / static_cast<double>(attempted);
+  }
 };
 
 /// Rewires `edges` in place toward the target mixing; returns statistics.

@@ -29,7 +29,10 @@ InsertOutcome ConcurrentHashSet::insert(std::uint64_t key) noexcept {
   for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
     std::atomic<std::uint64_t>& slot = slots_[probe(start, attempt)];
     std::uint64_t observed = slot.load(std::memory_order_relaxed);
-    if (observed == key) return InsertOutcome::kAlreadyPresent;
+    if (observed == key) {
+      note_probes(attempt + 1);
+      return InsertOutcome::kAlreadyPresent;
+    }
     if (observed == kEmpty) {
       if (slot.compare_exchange_strong(observed, key,
                                        std::memory_order_relaxed)) {
@@ -39,16 +42,29 @@ InsertOutcome ConcurrentHashSet::insert(std::uint64_t key) noexcept {
         assert(2 * now <= capacity_ &&
                "hash table load factor invariant (<= 0.5) violated");
 #endif
+        note_probes(attempt + 1);
         return InsertOutcome::kInserted;
       }
       // Raced: `observed` now holds the winner's key.
-      if (observed == key) return InsertOutcome::kAlreadyPresent;
+      if (observed == key) {
+        note_probes(attempt + 1);
+        return InsertOutcome::kAlreadyPresent;
+      }
       // A different key claimed this slot; keep probing.
     }
   }
   // The probe sequence visited every slot without finding `key` or a free
   // one: the table is genuinely full. Typed failure instead of spinning.
+  note_probes(capacity_);
   return InsertOutcome::kTableFull;
+}
+
+obs::Histogram* ConcurrentHashSet::probe_histogram(
+    obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return nullptr;
+  return registry->histogram(
+      "hashset.probe_length", 1,
+      {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
 }
 
 bool ConcurrentHashSet::contains(std::uint64_t key) const noexcept {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "robustness/status.hpp"
 
 namespace nullgraph {
@@ -74,6 +75,20 @@ class ConcurrentHashSet {
   /// Number of keys inserted since construction/clear(). O(capacity).
   std::size_t size() const noexcept;
 
+  /// Attach a probe-length histogram: every insert() records how many slots
+  /// it visited (1 = direct hit). Null detaches; recording is wait-free and
+  /// one branch when detached. The caller keeps ownership and must outlive
+  /// concurrent inserts; attach before sharing the table across threads.
+  void set_probe_histogram(obs::Histogram* hist) noexcept {
+    probe_hist_ = hist;
+  }
+
+  /// The canonical probe-length histogram for a registry, shared by the
+  /// swap and rewire phases: name "hashset.probe_length", buckets sized for
+  /// an open-addressing table at <= 0.5 load (expected probes ~ low single
+  /// digits; the tail is the diagnostic). Null registry -> null.
+  static obs::Histogram* probe_histogram(obs::MetricsRegistry* registry);
+
  private:
   std::size_t probe(std::size_t index, std::size_t attempt) const noexcept {
     // Quadratic probing with (i + k(k+1)/2) visits every slot of a
@@ -90,10 +105,18 @@ class ConcurrentHashSet {
     return key ^ (key >> 31);
   }
 
+  /// Records one observation when a histogram is attached; `probes` is the
+  /// number of slots the insert visited.
+  void note_probes(std::size_t probes) const noexcept {
+    if (probe_hist_ != nullptr)
+      probe_hist_->record(static_cast<std::int64_t>(probes));
+  }
+
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   Probing probing_ = Probing::kLinear;
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  obs::Histogram* probe_hist_ = nullptr;  // borrowed, may be null
 #ifndef NDEBUG
   /// Debug-only insert counter backing the load-factor assert; not
   /// maintained in release builds (a shared counter would contend on the

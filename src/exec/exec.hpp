@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "exec/parallel_context.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -89,6 +90,15 @@ template <typename Body>
 void for_chunks(const ParallelContext& ctx, std::size_t n, std::size_t grain,
                 Body&& body) {
   const std::size_t nchunks = num_chunks(n, grain);
+  // Per-chunk durations are collected only when a timing sink is attached
+  // (two steady_clock reads per multi-thousand-element chunk, and nothing —
+  // not even the vector allocation — when it is not). -1.0 marks a chunk
+  // skipped by governance.
+  const bool time_chunks = ctx.timings != nullptr;
+  std::vector<double> chunk_ms;
+  if (time_chunks) chunk_ms.assign(nchunks, -1.0);
+  obs::TraceSpan loop_span(ctx.obs.trace,
+                           ctx.phase != nullptr ? ctx.phase : "loop");
   const auto start = std::chrono::steady_clock::now();
   std::int64_t skipped = 0;
   if (nchunks > 0) {
@@ -104,16 +114,34 @@ void for_chunks(const ParallelContext& ctx, std::size_t n, std::size_t grain,
       }
       const std::size_t index = static_cast<std::size_t>(c);
       const auto [begin, end] = block_range(index, nchunks, n);
-      body(Chunk{index, begin, end, ctx.seed});
+      if (time_chunks) {
+        const auto chunk_start = std::chrono::steady_clock::now();
+        body(Chunk{index, begin, end, ctx.seed});
+        chunk_ms[index] = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - chunk_start)
+                              .count();
+      } else {
+        body(Chunk{index, begin, end, ctx.seed});
+      }
     }
   }
   if (ctx.timings != nullptr) {
-    const double wall_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
-    ctx.timings->record(ctx.phase != nullptr ? ctx.phase : "", wall_ms,
-                        nchunks, static_cast<std::size_t>(skipped),
-                        ctx.resolved_threads());
+    LoopSample sample;
+    sample.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    sample.chunks = nchunks;
+    sample.chunks_skipped = static_cast<std::size_t>(skipped);
+    sample.threads = ctx.resolved_threads();
+    for (const double ms : chunk_ms) {
+      if (ms < 0.0) continue;  // skipped chunk
+      if (sample.chunk_samples == 0 || ms < sample.chunk_ms_min)
+        sample.chunk_ms_min = ms;
+      if (ms > sample.chunk_ms_max) sample.chunk_ms_max = ms;
+      sample.chunk_ms_sum += ms;
+      ++sample.chunk_samples;
+    }
+    ctx.timings->record(ctx.phase != nullptr ? ctx.phase : "", sample);
   }
 }
 

@@ -7,6 +7,7 @@
 //   seed      the run seed chunk-indexed RNG streams derive from
 //   governor  chunk-granularity stop polling (may be null = ungoverned)
 //   timings   where per-phase wall-time/chunk-count records go (may be null)
+//   obs       telemetry handles (metrics registry / trace sink, may be null)
 //
 // Contexts are tiny value types: copy one and override a field (with_phase,
 // with_seed) rather than mutating a shared instance.
@@ -14,6 +15,7 @@
 #include <cstdint>
 
 #include "exec/phase_timing.hpp"
+#include "obs/obs_context.hpp"
 #include "robustness/governance.hpp"
 #include "util/parallel.hpp"
 
@@ -32,6 +34,9 @@ struct ParallelContext {
   PhaseTimingSink* timings = nullptr;
   /// Phase name for timing records and curtailment reporting.
   const char* phase = "";
+  /// Telemetry: exec emits one trace span per loop when obs.trace is set;
+  /// instrumented callers record counters/histograms through obs.metrics.
+  obs::ObsContext obs;
 
   int resolved_threads() const noexcept {
     return threads > 0 ? threads : max_threads();

@@ -1,10 +1,16 @@
 #pragma once
 // Per-phase execution records produced by the exec layer. Every governed
-// parallel loop reports one (wall time, chunk count, skipped-chunk count)
-// sample to the sink its ParallelContext points at; the sink aggregates
-// samples by phase name so a phase that launches many loops (e.g. one swap
-// pair-loop per iteration) collapses into a single row in the final
-// PipelineReport instead of hundreds.
+// parallel loop reports one LoopSample (wall time, chunk counts, and —
+// when chunk timing is on — per-chunk duration aggregates) to the sink its
+// ParallelContext points at; the sink aggregates samples by phase name so
+// a phase that launches many loops (e.g. one swap pair-loop per iteration)
+// collapses into a single row in the final PipelineReport instead of
+// hundreds.
+//
+// Rows are indexed by an unordered_map so record() is O(1) in the number
+// of distinct phases — phases like "swaps" report once per iteration, and
+// the old linear scan over rows made every report pay for every phase name
+// ever seen.
 //
 // The sink is thread-safe (loops on different threads may report
 // concurrently, e.g. nested LFR community layers) but reporting happens
@@ -13,15 +19,37 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace nullgraph::exec {
+
+/// One governed loop's execution record, reported to the sink when the
+/// loop finishes. Chunk-duration fields are populated only when the loop
+/// ran with chunk timing enabled (ctx.timings attached); chunk_samples == 0
+/// means "no per-chunk data".
+struct LoopSample {
+  double wall_ms = 0.0;
+  std::size_t chunks = 0;
+  std::size_t chunks_skipped = 0;
+  int threads = 0;
+  /// Duration of the fastest / slowest executed chunk and the sum over all
+  /// executed (not skipped) chunks, in milliseconds.
+  double chunk_ms_min = 0.0;
+  double chunk_ms_max = 0.0;
+  double chunk_ms_sum = 0.0;
+  std::size_t chunk_samples = 0;
+};
 
 /// Aggregated execution record for one named phase.
 struct PhaseTiming {
   std::string phase;
   /// Summed wall time of every loop reported under this phase name.
   double wall_ms = 0.0;
+  /// Wall time of the single slowest loop — a phase whose sum is dominated
+  /// by one straggler loop looks very different from one that is uniformly
+  /// slow, and the sum alone cannot tell them apart.
+  double max_loop_wall_ms = 0.0;
   /// Number of for_chunks/collect/reduce invocations aggregated in.
   std::size_t loops = 0;
   /// Total chunks scheduled across those loops.
@@ -31,6 +59,23 @@ struct PhaseTiming {
   /// Thread count of the most recent loop (they are all the same in
   /// practice; a context is built once per pipeline).
   int threads = 0;
+  /// Per-chunk duration aggregates over every executed chunk of every loop
+  /// in this phase (zero when chunk timing never ran for this phase).
+  double chunk_ms_min = 0.0;
+  double chunk_ms_max = 0.0;
+  double chunk_ms_sum = 0.0;
+  std::size_t chunk_samples = 0;
+
+  double chunk_ms_mean() const noexcept {
+    return chunk_samples == 0 ? 0.0
+                              : chunk_ms_sum / static_cast<double>(chunk_samples);
+  }
+  /// Slowest chunk over mean chunk: 1.0 is a perfectly balanced phase,
+  /// large values mean stragglers dominate the critical path.
+  double load_imbalance() const noexcept {
+    const double mean = chunk_ms_mean();
+    return mean <= 0.0 ? 0.0 : chunk_ms_max / mean;
+  }
 };
 
 /// Mutex-protected accumulator of PhaseTiming rows, keyed by phase name in
@@ -38,20 +83,29 @@ struct PhaseTiming {
 /// header-only callers (util/prefix_sum.hpp) without a link dependency.
 class PhaseTimingSink {
  public:
-  void record(const std::string& phase, double wall_ms, std::size_t chunks,
-              std::size_t chunks_skipped, int threads) {
+  void record(const std::string& phase, const LoopSample& sample) {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (PhaseTiming& row : rows_) {
-      if (row.phase == phase) {
-        row.wall_ms += wall_ms;
-        ++row.loops;
-        row.chunks += chunks;
-        row.chunks_skipped += chunks_skipped;
-        row.threads = threads;
-        return;
-      }
+    const auto [it, inserted] = index_.try_emplace(phase, rows_.size());
+    if (inserted) {
+      rows_.emplace_back();
+      rows_.back().phase = phase;
     }
-    rows_.push_back({phase, wall_ms, 1, chunks, chunks_skipped, threads});
+    PhaseTiming& row = rows_[it->second];
+    row.wall_ms += sample.wall_ms;
+    if (sample.wall_ms > row.max_loop_wall_ms)
+      row.max_loop_wall_ms = sample.wall_ms;
+    ++row.loops;
+    row.chunks += sample.chunks;
+    row.chunks_skipped += sample.chunks_skipped;
+    row.threads = sample.threads;
+    if (sample.chunk_samples != 0) {
+      if (row.chunk_samples == 0 || sample.chunk_ms_min < row.chunk_ms_min)
+        row.chunk_ms_min = sample.chunk_ms_min;
+      if (sample.chunk_ms_max > row.chunk_ms_max)
+        row.chunk_ms_max = sample.chunk_ms_max;
+      row.chunk_ms_sum += sample.chunk_ms_sum;
+      row.chunk_samples += sample.chunk_samples;
+    }
   }
 
   std::vector<PhaseTiming> snapshot() const {
@@ -62,6 +116,7 @@ class PhaseTimingSink {
  private:
   mutable std::mutex mutex_;
   std::vector<PhaseTiming> rows_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace nullgraph::exec

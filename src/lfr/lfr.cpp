@@ -9,6 +9,8 @@
 #include "ds/concurrent_hash_set.hpp"
 #include "exec/exec.hpp"
 #include "gen/powerlaw.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
@@ -171,6 +173,11 @@ LfrGraph generate_lfr(const LfrParams& params) {
   GenerateConfig layer_config;
   layer_config.swap_iterations = params.swap_iterations;
   layer_config.governance.external = gov;
+  layer_config.obs = params.obs;
+  obs::Counter* c_layers = params.obs.metrics != nullptr
+                               ? params.obs.metrics->counter(
+                                     "lfr.community_layers_completed")
+                               : nullptr;
 
   LfrGraph graph;
   EdgeList merged;
@@ -181,6 +188,7 @@ LfrGraph generate_lfr(const LfrParams& params) {
       ++graph.communities_completed;
       continue;
     }
+    obs::TraceSpan layer_span(params.obs.trace, "lfr community layer");
     std::vector<std::uint64_t> local_degrees(members[c].size());
     for (std::size_t k = 0; k < members[c].size(); ++k)
       local_degrees[k] = internal[members[c][k]];
@@ -188,7 +196,10 @@ LfrGraph generate_lfr(const LfrParams& params) {
     GenerateResult layer = generate_for_sequence(local_degrees, layer_config);
     for (const Edge& e : layer.edges)
       merged.push_back({members[c][e.u], members[c][e.v]});
-    if (gov == nullptr || !gov->stopped()) ++graph.communities_completed;
+    if (gov == nullptr || !gov->stopped()) {
+      ++graph.communities_completed;
+      if (c_layers != nullptr) c_layers->add(1);
+    }
   }
 
   // 4. ...plus one global external layer.
@@ -196,6 +207,7 @@ LfrGraph generate_lfr(const LfrParams& params) {
     make_sum_even(external, params.n);  // ceiling n is never binding
     layer_config.seed = splitmix64_next(seed_chain);
     if (gov == nullptr || gov->should_stop() == StatusCode::kOk) {
+      obs::TraceSpan layer_span(params.obs.trace, "lfr external layer");
       GenerateResult layer = generate_for_sequence(external, layer_config);
       merged.insert(merged.end(), layer.edges.begin(), layer.edges.end());
     }

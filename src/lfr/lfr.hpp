@@ -33,6 +33,9 @@ struct LfrParams {
   /// external layer): the deadline clock starts when generate_lfr is
   /// entered and is polled between layers and inside each layer's phases.
   GovernanceConfig governance;
+  /// Telemetry handles, threaded into every community layer's
+  /// generate_for_sequence call; each layer also gets its own trace span.
+  obs::ObsContext obs;
 };
 
 struct LfrGraph {

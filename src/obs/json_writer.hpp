@@ -1,0 +1,138 @@
+#pragma once
+// Minimal streaming JSON writer for the telemetry subsystem. Keys are
+// emitted in call order (the run-report schema promises a stable key
+// order, so the writer must never reorder), output is compact (no
+// whitespace), strings are escaped per RFC 8259, and non-finite doubles
+// degrade to null because JSON has no NaN/Inf.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace nullgraph::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    value_prefix();
+    out_ += '{';
+    stack_.push_back({true, 0});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    value_prefix();
+    out_ += '[';
+    stack_.push_back({false, 0});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    if (stack_.back().entries++ > 0) out_ += ',';
+    append_string(name);
+    out_ += ':';
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    value_prefix();
+    append_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(bool flag) {
+    value_prefix();
+    out_ += flag ? "true" : "false";
+    return *this;
+  }
+  /// One template for every integer type: int/std::size_t/std::uint64_t
+  /// overlap across platforms, so distinct overloads would collide.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T number) {
+    value_prefix();
+    if constexpr (std::is_signed_v<T>)
+      out_ += std::to_string(static_cast<long long>(number));
+    else
+      out_ += std::to_string(static_cast<unsigned long long>(number));
+    return *this;
+  }
+  JsonWriter& value(double number) {
+    value_prefix();
+    if (!std::isfinite(number)) {
+      out_ += "null";
+      return *this;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.12g", number);
+    out_ += buffer;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  struct Level {
+    bool object;
+    std::size_t entries;
+  };
+
+  /// Comma handling for array elements; object values follow their key.
+  void value_prefix() {
+    if (!stack_.empty() && !stack_.back().object)
+      if (stack_.back().entries++ > 0) out_ += ',';
+  }
+
+  void append_string(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Level> stack_;
+};
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,105 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nullgraph::obs {
+
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+Histogram::Histogram(std::string name, std::int64_t lower,
+                     std::vector<std::int64_t> edges)
+    : name_(std::move(name)), lower_(lower), edges_(std::move(edges)) {
+  assert(std::is_sorted(edges_.begin(), edges_.end()) &&
+         "histogram edges must be ascending");
+  row_ = edges_.size() + 2;  // [underflow][buckets...][overflow]
+  counts_ = std::make_unique<detail::PaddedU64[]>(kMetricStripes * row_);
+}
+
+void Histogram::record(std::int64_t v) noexcept {
+  std::size_t bucket;
+  if (v < lower_) {
+    bucket = 0;
+  } else {
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    bucket = it == edges_.end()
+                 ? row_ - 1
+                 : 1 + static_cast<std::size_t>(it - edges_.begin());
+  }
+  const std::size_t stripe = thread_stripe() & (kMetricStripes - 1);
+  counts_[stripe * row_ + bucket].value.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  sums_[stripe].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.name = name_;
+  out.lower = lower_;
+  out.edges = edges_;
+  out.counts.assign(edges_.size(), 0);
+  for (std::size_t stripe = 0; stripe < kMetricStripes; ++stripe) {
+    const std::size_t base = stripe * row_;
+    out.underflow += counts_[base].value.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < edges_.size(); ++b)
+      out.counts[b] +=
+          counts_[base + 1 + b].value.load(std::memory_order_relaxed);
+    out.overflow +=
+        counts_[base + row_ - 1].value.load(std::memory_order_relaxed);
+    out.sum += sums_[stripe].value.load(std::memory_order_relaxed);
+  }
+  out.count = out.underflow + out.overflow;
+  for (const std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter& c : counters_)
+    if (c.name() == name) return &c;
+  return &counters_.emplace_back(std::string(name));
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Gauge& g : gauges_)
+    if (g.name() == name) return &g;
+  return &gauges_.emplace_back(std::string(name));
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::int64_t lower,
+                                      std::vector<std::int64_t> edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Histogram& h : histograms_)
+    if (h.name() == name) return &h;  // first registration fixes buckets
+  return &histograms_.emplace_back(std::string(name), lower,
+                                   std::move(edges));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Counter& c : counters_)
+      out.counters.push_back({c.name(), c.value()});
+    for (const Gauge& g : gauges_)
+      out.gauges.push_back({g.name(), g.value()});
+    for (const Histogram& h : histograms_)
+      out.histograms.push_back(h.snapshot());
+  }
+  std::sort(out.counters.begin(), out.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(out.gauges.begin(), out.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,175 @@
+#pragma once
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms for
+// the telemetry subsystem.
+//
+// Design constraints (ISSUE 4 / DESIGN.md §7):
+//   - lock-cheap recording: counters and histogram buckets are striped
+//     over cache-line-padded atomic slots indexed by a per-thread stripe
+//     id, so concurrent add()/record() calls from the swap phase's worker
+//     threads almost never touch the same cache line;
+//   - registration (name -> handle) takes a mutex, but hot paths acquire
+//     their handles ONCE before entering a loop, so the mutex is off the
+//     critical path;
+//   - aggregation happens only at snapshot() time, which merges the
+//     stripes and sorts instruments by name for a stable report order;
+//   - when no registry is attached the instrumentation sites hold null
+//     handles and pay one branch — the <3% bench_obs_overhead bar.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nullgraph::obs {
+
+/// Stripe count for per-thread accumulation; power of two.
+inline constexpr std::size_t kMetricStripes = 16;
+
+/// Calling thread's stripe index, assigned round-robin on first use and
+/// stable for the thread's lifetime. Shared by every instrument.
+std::size_t thread_stripe() noexcept;
+
+namespace detail {
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+struct alignas(64) PaddedI64 {
+  std::atomic<std::int64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. add() is wait-free on a striped relaxed atomic.
+/// Construct through MetricsRegistry::counter (the public constructor
+/// exists for the registry's container and direct use in tests).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) noexcept {
+    slots_[thread_stripe() & (kMetricStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged total over all stripes.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots_)
+      total += slot.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::array<detail::PaddedU64, kMetricStripes> slots_;
+};
+
+/// Last-writer-wins gauge for point-in-time values (thread counts, table
+/// capacities, achieved mixing ratios scaled by the caller).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged view of one histogram at snapshot time. Bucket i counts values v
+/// with lower <= v <= edges[i] (and v > edges[i-1] for i > 0); values
+/// below `lower` land in `underflow`, values above edges.back() in
+/// `overflow`.
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t lower = 0;
+  std::vector<std::int64_t> edges;
+  std::vector<std::uint64_t> counts;  // one per edge
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t count = 0;   // total observations including under/overflow
+  std::int64_t sum = 0;      // sum of observed values
+};
+
+/// Fixed-bucket histogram over int64 values. record() is wait-free: one
+/// binary search over the (small, immutable) edge list plus two striped
+/// relaxed fetch_adds.
+class Histogram {
+ public:
+  Histogram(std::string name, std::int64_t lower,
+            std::vector<std::int64_t> edges);
+
+  void record(std::int64_t v) noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::string name_;
+  std::int64_t lower_ = 0;
+  std::vector<std::int64_t> edges_;   // ascending inclusive upper bounds
+  std::size_t row_ = 0;               // edges + underflow + overflow
+  std::unique_ptr<detail::PaddedU64[]> counts_;  // kMetricStripes * row_
+  std::array<detail::PaddedI64, kMetricStripes> sums_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Point-in-time merged view of a registry, sorted by instrument name so
+/// serialized reports have a stable order.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Owner of all instruments for one run. Handles returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime;
+/// re-requesting a name returns the existing instrument (a histogram's
+/// first registration fixes its buckets).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name, std::int64_t lower,
+                       std::vector<std::int64_t> edges);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;      // deque: stable element addresses
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace nullgraph::obs

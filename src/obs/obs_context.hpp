@@ -1,0 +1,26 @@
+#pragma once
+// ObsContext: the two-pointer telemetry handle threaded through configs and
+// exec::ParallelContext. Both pointers are borrowed (the CLI or test owns
+// the registry/sink) and both default to null, which is the documented
+// "no sink attached" fast path: every instrumentation site guards on the
+// pointer and pays one predictable branch.
+//
+// Forward declarations only — code that merely carries an ObsContext does
+// not pull in the metrics/trace headers; instrumentation sites include
+// obs/metrics.hpp and obs/trace.hpp themselves.
+
+namespace nullgraph::obs {
+
+class MetricsRegistry;
+class TraceSink;
+
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  bool active() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,268 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/null_model.hpp"
+#include "lfr/lfr.hpp"
+#include "obs/json_writer.hpp"
+
+namespace nullgraph::obs {
+namespace {
+
+void write_exec_phase(JsonWriter& json, const exec::PhaseTiming& row) {
+  json.begin_object();
+  json.kv("phase", row.phase);
+  json.kv("wall_ms", row.wall_ms);
+  json.kv("loops", row.loops);
+  json.kv("max_loop_wall_ms", row.max_loop_wall_ms);
+  json.kv("chunks", row.chunks);
+  json.kv("chunks_skipped", row.chunks_skipped);
+  json.kv("threads", row.threads);
+  json.kv("chunk_ms_min", row.chunk_ms_min);
+  json.kv("chunk_ms_mean", row.chunk_ms_mean());
+  json.kv("chunk_ms_max", row.chunk_ms_max);
+  json.kv("chunk_samples", row.chunk_samples);
+  json.kv("load_imbalance", row.load_imbalance());
+  json.end_object();
+}
+
+void write_series(JsonWriter& json, const char* key,
+                  const std::vector<std::size_t>& values) {
+  json.key(key).begin_array();
+  for (const std::size_t v : values) json.value(v);
+  json.end_array();
+}
+
+void write_swap_chain(JsonWriter& json, const RunReportInputs& inputs,
+                      const SwapStats& stats) {
+  const auto& its = stats.iterations;
+  std::vector<std::size_t> attempted, swapped, rejected_existing,
+      rejected_loop, input_self_loops, input_multi_edges;
+  attempted.reserve(its.size());
+  for (const SwapIterationStats& it : its) {
+    attempted.push_back(it.attempted);
+    swapped.push_back(it.swapped);
+    rejected_existing.push_back(it.rejected_existing);
+    rejected_loop.push_back(it.rejected_loop);
+    input_self_loops.push_back(it.input_self_loops);
+    input_multi_edges.push_back(it.input_multi_edges);
+  }
+
+  json.key("swap_chain").begin_object();
+  json.kv("iterations_requested", inputs.swap_iterations_requested);
+  json.kv("iterations_run", its.size());
+  json.kv("total_swapped", stats.total_swapped());
+  json.kv("overall_acceptance", stats.acceptance());
+  json.kv("stop_reason", status_code_name(stats.stop_reason));
+  json.kv("edges_ever_swapped", stats.edges_ever_swapped);
+  json.key("acceptance").begin_array();
+  for (std::size_t i = 0; i < its.size(); ++i)
+    json.value(attempted[i] == 0 ? 0.0
+                                 : static_cast<double>(swapped[i]) /
+                                       static_cast<double>(attempted[i]));
+  json.end_array();
+  json.kv("acceptance_window", kAcceptanceWindow);
+  const std::vector<double> windowed =
+      windowed_acceptance(attempted, swapped, kAcceptanceWindow);
+  json.key("windowed_acceptance").begin_array();
+  for (const double v : windowed) json.value(v);
+  json.end_array();
+  write_series(json, "attempted", attempted);
+  write_series(json, "swapped", swapped);
+  write_series(json, "rejected_existing", rejected_existing);
+  write_series(json, "rejected_loop", rejected_loop);
+  write_series(json, "input_self_loops", input_self_loops);
+  write_series(json, "input_multi_edges", input_multi_edges);
+  json.end_object();
+}
+
+void write_metrics(JsonWriter& json, const MetricsSnapshot& snap) {
+  json.key("metrics").begin_object();
+  json.key("counters").begin_array();
+  for (const CounterSnapshot& c : snap.counters) {
+    json.begin_object();
+    json.kv("name", c.name);
+    json.kv("value", c.value);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("gauges").begin_array();
+  for (const GaugeSnapshot& g : snap.gauges) {
+    json.begin_object();
+    json.kv("name", g.name);
+    json.kv("value", g.value);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("histograms").begin_array();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    json.begin_object();
+    json.kv("name", h.name);
+    json.kv("lower", h.lower);
+    json.key("edges").begin_array();
+    for (const std::int64_t e : h.edges) json.value(e);
+    json.end_array();
+    json.key("counts").begin_array();
+    for (const std::uint64_t c : h.counts) json.value(c);
+    json.end_array();
+    json.kv("underflow", h.underflow);
+    json.kv("overflow", h.overflow);
+    json.kv("count", h.count);
+    json.kv("sum", h.sum);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::vector<double> windowed_acceptance(
+    const std::vector<std::size_t>& attempted,
+    const std::vector<std::size_t>& swapped, std::size_t window) {
+  const std::size_t n = std::min(attempted.size(), swapped.size());
+  std::vector<double> out(n, 0.0);
+  if (window == 0) window = 1;
+  std::size_t win_attempted = 0, win_swapped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    win_attempted += attempted[i];
+    win_swapped += swapped[i];
+    if (i >= window) {
+      win_attempted -= attempted[i - window];
+      win_swapped -= swapped[i - window];
+    }
+    out[i] = win_attempted == 0 ? 0.0
+                                : static_cast<double>(win_swapped) /
+                                      static_cast<double>(win_attempted);
+  }
+  return out;
+}
+
+std::string render_run_report(const RunReportInputs& inputs) {
+  JsonWriter json;
+  json.begin_object();
+  // Top-level key ORDER is part of the schema (golden-tested); append new
+  // keys at the end of their object, never reorder.
+  json.kv("report_version", kReportVersion);
+  json.kv("tool", "nullgraph");
+  json.kv("command", inputs.command);
+
+  json.key("config").begin_object();
+  json.kv("seed", inputs.seed);
+  json.kv("threads", inputs.threads);
+  json.kv("swap_iterations", inputs.swap_iterations_requested);
+  json.key("argv").begin_array();
+  for (const std::string& arg : inputs.argv) json.value(arg);
+  json.end_array();
+  json.end_object();
+
+  json.key("phase_seconds").begin_object();
+  if (inputs.result != nullptr)
+    for (const auto& [phase, seconds] : inputs.result->timing.phases())
+      json.kv(phase, seconds);
+  json.end_object();
+
+  json.key("exec_phases").begin_array();
+  if (inputs.result != nullptr)
+    for (const exec::PhaseTiming& row : inputs.result->report.phase_timings)
+      write_exec_phase(json, row);
+  json.end_array();
+
+  json.key("checks").begin_array();
+  if (inputs.result != nullptr) {
+    for (const PhaseCheck& check : inputs.result->report.checks) {
+      json.begin_object();
+      json.kv("phase", check.phase);
+      json.kv("code", status_code_name(check.status.code()));
+      json.kv("message", check.status.message());
+      json.kv("repaired", check.repaired);
+      json.kv("holds", check.holds());
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.key("curtailments").begin_array();
+  if (inputs.result != nullptr) {
+    for (const Curtailment& cut : inputs.result->report.curtailments) {
+      json.begin_object();
+      json.kv("phase", cut.phase);
+      json.kv("reason", status_code_name(cut.reason));
+      json.kv("completed", cut.completed);
+      json.kv("requested", cut.requested);
+      json.kv("acceptance", cut.acceptance);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.key("recovery").begin_object();
+  {
+    const PipelineReport* rep =
+        inputs.result != nullptr ? &inputs.result->report : nullptr;
+    json.kv("retries_used", rep ? rep->retries_used : 0);
+    json.key("repair").begin_object();
+    const RepairStats repair = rep ? rep->repair : RepairStats{};
+    json.kv("loops_erased", repair.loops_erased);
+    json.kv("duplicates_erased", repair.duplicates_erased);
+    json.kv("surplus_edges_removed", repair.surplus_edges_removed);
+    json.kv("edges_added", repair.edges_added);
+    json.kv("rewired_patches", repair.rewired_patches);
+    json.kv("residual_deficit", repair.residual_deficit);
+    json.end_object();
+    json.kv("probability_entries_sanitized",
+            rep ? rep->probability_entries_sanitized : 0);
+  }
+  json.end_object();
+
+  json.key("faults_injected").begin_object();
+  {
+    const EdgeFaultStats faults = inputs.result != nullptr
+                                      ? inputs.result->report.faults_injected
+                                      : EdgeFaultStats{};
+    json.kv("edges_dropped", faults.dropped);
+    json.kv("edges_duplicated", faults.duplicated);
+    json.kv("self_loops_added", faults.loops_added);
+    json.kv("prob_entries_corrupted",
+            inputs.result != nullptr
+                ? inputs.result->report.prob_entries_corrupted
+                : 0);
+  }
+  json.end_object();
+
+  if (inputs.result != nullptr)
+    write_swap_chain(json, inputs, inputs.result->swap_stats);
+
+  if (inputs.lfr != nullptr) {
+    json.key("lfr").begin_object();
+    json.kv("edges", inputs.lfr->edges.size());
+    json.kv("num_communities", inputs.lfr->num_communities);
+    json.kv("communities_completed", inputs.lfr->communities_completed);
+    json.kv("achieved_mu", inputs.lfr->achieved_mu);
+    json.kv("merged_duplicates", inputs.lfr->merged_duplicates);
+    json.kv("curtailed", status_code_name(inputs.lfr->curtailed));
+    json.end_object();
+  }
+
+  write_metrics(json,
+                inputs.metrics != nullptr ? inputs.metrics->snapshot()
+                                          : MetricsSnapshot{});
+  json.end_object();
+  return std::move(json).str();
+}
+
+Status write_run_report(const std::string& path,
+                        const RunReportInputs& inputs) {
+  const std::string body = render_run_report(inputs);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status(StatusCode::kIoError, "cannot open " + path);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !closed)
+    return Status(StatusCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace nullgraph::obs

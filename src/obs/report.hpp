@@ -1,0 +1,65 @@
+#pragma once
+// Versioned machine-readable run reports (--report-json). One JSON
+// document per run, with a STABLE top-level key order (golden-tested):
+//
+//   report_version, tool, command, config, phase_seconds, exec_phases,
+//   checks, curtailments, recovery, faults_injected, swap_chain?, lfr?,
+//   metrics
+//
+// The schema is append-only: new keys may be added, existing keys keep
+// their meaning, and report_version bumps on any breaking change so
+// scripts/compare_reports.py can refuse mismatched pairs.
+//
+// This module sits ABOVE core and lfr (it serializes their result types);
+// the rest of obs (metrics/trace/json) sits below everything. That split
+// is why obs ships as two CMake targets: nullgraph_obs and
+// nullgraph_report.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+struct GenerateResult;
+struct LfrGraph;
+}  // namespace nullgraph
+
+namespace nullgraph::obs {
+
+inline constexpr int kReportVersion = 1;
+
+/// Sliding-window length for the acceptance-rate time series (matches the
+/// stall watchdog's default window so the two diagnostics line up).
+inline constexpr std::size_t kAcceptanceWindow = 8;
+
+struct RunReportInputs {
+  std::string command;             // "generate", "shuffle", "resume", "lfr"
+  std::vector<std::string> argv;   // config fingerprint: the full CLI line
+  std::uint64_t seed = 0;
+  int threads = 0;
+  std::size_t swap_iterations_requested = 0;
+  /// Exactly one of `result` / `lfr` is set for CLI runs; both may be null
+  /// for a config-only report (used by the golden schema test).
+  const nullgraph::GenerateResult* result = nullptr;
+  const nullgraph::LfrGraph* lfr = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+};
+
+/// The report as a compact JSON string.
+std::string render_run_report(const RunReportInputs& inputs);
+
+/// Renders and writes to `path`; kIoError on failure.
+Status write_run_report(const std::string& path,
+                        const RunReportInputs& inputs);
+
+/// Windowed acceptance series: element i is committed/attempted over the
+/// trailing window of (at most) `window` iterations ending at i. Exposed
+/// for tests.
+std::vector<double> windowed_acceptance(
+    const std::vector<std::size_t>& attempted,
+    const std::vector<std::size_t>& swapped, std::size_t window);
+
+}  // namespace nullgraph::obs

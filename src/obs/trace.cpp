@@ -1,0 +1,72 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+#include "util/parallel.hpp"
+
+namespace nullgraph::obs {
+
+void TraceSink::complete(std::string name, std::uint64_t begin_us) {
+  const std::uint64_t end_us = now_us();
+  const std::uint64_t dur = end_us >= begin_us ? end_us - begin_us : 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(name), 'X', begin_us, dur, thread_id()});
+}
+
+void TraceSink::instant(std::string name) {
+  const std::uint64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(name), 'i', ts, 0, thread_id()});
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceSink::to_json() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  // Process metadata first so Perfetto labels the single-process track.
+  json.begin_object();
+  json.kv("name", "process_name").kv("ph", "M").kv("pid", 1);
+  json.key("args").begin_object().kv("name", "nullgraph").end_object();
+  json.end_object();
+  for (const Event& e : events) {
+    json.begin_object();
+    json.kv("name", e.name);
+    json.kv("cat", "nullgraph");
+    json.kv("ph", std::string_view(&e.phase, 1));
+    json.kv("ts", e.ts);
+    if (e.phase == 'X') json.kv("dur", e.dur);
+    if (e.phase == 'i') json.kv("s", "g");  // global-scope instant
+    json.kv("pid", 1);
+    json.kv("tid", e.tid);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+  return std::move(json).str();
+}
+
+Status TraceSink::write(const std::string& path) const {
+  const std::string body = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status(StatusCode::kIoError, "cannot open " + path);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !closed)
+    return Status(StatusCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace nullgraph::obs

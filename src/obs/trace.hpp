@@ -1,0 +1,85 @@
+#pragma once
+// Chrome-trace-event emission (the JSON format Perfetto and
+// chrome://tracing load natively). A TraceSink buffers events in memory —
+// spans are per phase / per swap iteration / per exec loop, never per
+// element, so a mutex-guarded vector is far off the hot path — and
+// serializes {"traceEvents":[...]} on demand.
+//
+// TraceSpan is the RAII recording primitive: construction stamps the start
+// time, destruction emits one complete ("ph":"X") event. A null sink makes
+// both constructor and destructor a branch and nothing else, which is what
+// keeps the instrumentation compiled-in but near-zero-cost when --trace-out
+// is absent.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "robustness/status.hpp"
+
+namespace nullgraph::obs {
+
+class TraceSink {
+ public:
+  TraceSink() : start_(std::chrono::steady_clock::now()) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Microseconds since sink construction (the trace's time origin).
+  std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  /// One complete ("X") event spanning [begin_us, now]. Thread-safe.
+  void complete(std::string name, std::uint64_t begin_us);
+
+  /// One instant ("i") event at the current time. Thread-safe.
+  void instant(std::string name);
+
+  std::size_t event_count() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — Perfetto-loadable.
+  std::string to_json() const;
+
+  /// Serializes to `path`; kIoError on failure.
+  Status write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char phase;         // 'X' complete, 'i' instant
+    std::uint64_t ts;   // µs since sink start
+    std::uint64_t dur;  // 'X' only
+    int tid;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII span: emits one complete event over its lifetime. Movable-from is
+/// deliberately not supported; spans live on the stack of the code they
+/// measure.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, const char* name) noexcept
+      : sink_(sink), name_(name), begin_us_(sink ? sink->now_us() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (sink_ != nullptr) sink_->complete(name_, begin_us_);
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  std::uint64_t begin_us_;
+};
+
+}  // namespace nullgraph::obs

@@ -1,12 +1,16 @@
 #include "robustness/fault_injection.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
 
-EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan) {
+EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan,
+                                  const obs::ObsContext& obs) {
   EdgeFaultStats stats;
   if (!plan.edge_faults() || edges.empty()) return stats;
+  if (obs.trace != nullptr) obs.trace->instant("fault: edge faults injected");
   Xoshiro256ss rng(plan.seed);
   for (std::size_t k = 0; k < plan.drop_edges && !edges.empty(); ++k) {
     const std::size_t i = rng.bounded(edges.size());
@@ -24,13 +28,21 @@ EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan) {
     edges.push_back({v, v});
     ++stats.loops_added;
   }
+  if (obs.metrics != nullptr) {
+    obs.metrics->counter("faults.edges_dropped")->add(stats.dropped);
+    obs.metrics->counter("faults.edges_duplicated")->add(stats.duplicated);
+    obs.metrics->counter("faults.self_loops_added")->add(stats.loops_added);
+  }
   return stats;
 }
 
 std::size_t inject_probability_faults(ProbabilityMatrix& matrix,
-                                      const FaultPlan& plan) {
+                                      const FaultPlan& plan,
+                                      const obs::ObsContext& obs) {
   const std::size_t nc = matrix.num_classes();
   if (plan.corrupt_prob_entries == 0 || nc == 0) return 0;
+  if (obs.trace != nullptr)
+    obs.trace->instant("fault: probability entries corrupted");
   Xoshiro256ss rng(plan.seed ^ 0x9e3779b97f4a7c15ULL);
   std::size_t poisoned = 0;
   for (std::size_t k = 0; k < plan.corrupt_prob_entries; ++k) {
@@ -39,6 +51,8 @@ std::size_t inject_probability_faults(ProbabilityMatrix& matrix,
     matrix.set(i, j, plan.corrupt_prob_value);
     ++poisoned;
   }
+  if (obs.metrics != nullptr)
+    obs.metrics->counter("faults.prob_entries_corrupted")->add(poisoned);
   return poisoned;
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "ds/edge_list.hpp"
+#include "obs/obs_context.hpp"
 #include "prob/probability_matrix.hpp"
 
 namespace nullgraph {
@@ -68,12 +69,18 @@ struct EdgeFaultStats {
 };
 
 /// Applies the plan's edge faults to `edges` in place (no-op when none are
-/// armed). Deterministic for a fixed plan.
-EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan);
+/// armed). Deterministic for a fixed plan. When telemetry is attached, each
+/// applied fault bumps a faults.* counter and armed plans emit an instant
+/// trace event, so an injected fault is visible in the run report, not just
+/// in the damage it causes.
+EdgeFaultStats inject_edge_faults(EdgeList& edges, const FaultPlan& plan,
+                                  const obs::ObsContext& obs = {});
 
 /// Overwrites corrupt_prob_entries randomly chosen entries of `matrix` with
-/// corrupt_prob_value; returns the number actually poisoned.
+/// corrupt_prob_value; returns the number actually poisoned. Telemetry as
+/// for inject_edge_faults.
 std::size_t inject_probability_faults(ProbabilityMatrix& matrix,
-                                      const FaultPlan& plan);
+                                      const FaultPlan& plan,
+                                      const obs::ObsContext& obs = {});
 
 }  // namespace nullgraph

@@ -78,6 +78,11 @@ struct PipelineReport {
   std::size_t retries_used = 0;
   RepairStats repair;
   std::size_t probability_entries_sanitized = 0;
+  /// What seeded fault injection actually did to this run (all zero when
+  /// the FaultPlan was inert). Recorded so an injected fault is visible in
+  /// the --report-json output, not just in the damage it causes.
+  EdgeFaultStats faults_injected;
+  std::size_t prob_entries_corrupted = 0;
   /// First governance stop reason, kOk for a run that went the distance.
   StatusCode curtailed_by() const noexcept {
     return curtailments.empty() ? StatusCode::kOk : curtailments.front().reason;

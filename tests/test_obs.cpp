@@ -1,0 +1,368 @@
+// Telemetry subsystem tests (DESIGN.md §7): metric instruments and their
+// striped merge, the phase-timing sink aggregates, trace emission, the
+// windowed acceptance series, and — most load-bearing — a byte-exact
+// golden test over the --report-json schema. The golden string IS the
+// schema contract: report_version must be bumped and the golden updated
+// together on any breaking change, and new keys may only be appended.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/null_model.hpp"
+#include "exec/phase_timing.hpp"
+#include "lfr/lfr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace nullgraph::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, MergesStripesAcrossThreads) {
+  Counter c("test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, LastWriterWins) {
+  Gauge g("test");
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpper) {
+  Histogram h("test", /*lower=*/1, {2, 4, 8});
+  h.record(1);  // lower itself -> first bucket
+  h.record(2);  // == edge 0 -> first bucket (inclusive upper)
+  h.record(3);  // (2, 4] -> second bucket
+  h.record(4);
+  h.record(8);  // == last edge -> last bucket, NOT overflow
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{2, 2, 1}));
+  EXPECT_EQ(snap.underflow, 0u);
+  EXPECT_EQ(snap.overflow, 0u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1 + 2 + 3 + 4 + 8);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h("test", /*lower=*/10, {20, 30});
+  h.record(9);    // below lower
+  h.record(-5);   // far below
+  h.record(31);   // above last edge
+  h.record(1000);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.underflow, 2u);
+  EXPECT_EQ(snap.overflow, 2u);
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 9 - 5 + 31 + 1000);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h("test", 0, {1, 2, 3});
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.underflow, 0u);
+  EXPECT_EQ(snap.overflow, 0u);
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{0, 0, 0}));
+  EXPECT_EQ(snap.edges, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x");
+  Counter* b = registry.counter("x");
+  EXPECT_EQ(a, b);
+  // A histogram's first registration fixes its buckets.
+  Histogram* h1 = registry.histogram("h", 0, {1, 2});
+  Histogram* h2 = registry.histogram("h", 99, {7});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->snapshot().edges, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(MetricsRegistry, SnapshotSortsInstrumentsByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta")->add(1);
+  registry.counter("alpha")->add(2);
+  registry.gauge("mid")->set(5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 5);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+// ----------------------------------------------------------- phase timing
+
+TEST(PhaseTimingSink, AggregatesByPhaseAndTracksSlowestLoop) {
+  exec::PhaseTimingSink sink;
+  exec::LoopSample a;
+  a.wall_ms = 5.0;
+  a.chunks = 4;
+  a.threads = 2;
+  a.chunk_ms_min = 1.0;
+  a.chunk_ms_max = 2.0;
+  a.chunk_ms_sum = 6.0;
+  a.chunk_samples = 4;
+  exec::LoopSample b;
+  b.wall_ms = 3.0;
+  b.chunks = 2;
+  b.chunks_skipped = 1;
+  b.threads = 2;
+  b.chunk_ms_min = 0.5;
+  b.chunk_ms_max = 4.0;
+  b.chunk_ms_sum = 4.5;
+  b.chunk_samples = 2;
+  sink.record("swaps", a);
+  sink.record("swaps", b);
+  sink.record("other", b);
+
+  const std::vector<exec::PhaseTiming> rows = sink.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  const exec::PhaseTiming& swaps = rows[0];
+  EXPECT_EQ(swaps.phase, "swaps");
+  EXPECT_DOUBLE_EQ(swaps.wall_ms, 8.0);
+  EXPECT_DOUBLE_EQ(swaps.max_loop_wall_ms, 5.0);
+  EXPECT_EQ(swaps.loops, 2u);
+  EXPECT_EQ(swaps.chunks, 6u);
+  EXPECT_EQ(swaps.chunks_skipped, 1u);
+  EXPECT_DOUBLE_EQ(swaps.chunk_ms_min, 0.5);
+  EXPECT_DOUBLE_EQ(swaps.chunk_ms_max, 4.0);
+  EXPECT_EQ(swaps.chunk_samples, 6u);
+  EXPECT_DOUBLE_EQ(swaps.chunk_ms_mean(), 10.5 / 6.0);
+  EXPECT_DOUBLE_EQ(swaps.load_imbalance(), 4.0 / (10.5 / 6.0));
+}
+
+TEST(PhaseTimingSink, LoopWithoutChunkTimingLeavesAggregatesUntouched) {
+  exec::PhaseTimingSink sink;
+  exec::LoopSample timed;
+  timed.wall_ms = 1.0;
+  timed.chunk_ms_min = 2.0;
+  timed.chunk_ms_max = 3.0;
+  timed.chunk_ms_sum = 5.0;
+  timed.chunk_samples = 2;
+  exec::LoopSample untimed;  // chunk_samples == 0: no per-chunk data
+  untimed.wall_ms = 9.0;
+  sink.record("p", timed);
+  sink.record("p", untimed);
+  const exec::PhaseTiming row = sink.snapshot().front();
+  EXPECT_DOUBLE_EQ(row.chunk_ms_min, 2.0);
+  EXPECT_DOUBLE_EQ(row.chunk_ms_max, 3.0);
+  EXPECT_EQ(row.chunk_samples, 2u);
+  EXPECT_DOUBLE_EQ(row.max_loop_wall_ms, 9.0);
+}
+
+TEST(PhaseTiming, LoadImbalanceIsZeroWithoutSamples) {
+  exec::PhaseTiming row;
+  EXPECT_DOUBLE_EQ(row.load_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(row.chunk_ms_mean(), 0.0);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(TraceSpan, NullSinkIsANoOp) {
+  // The zero-cost contract: spans without a sink must be safe and do
+  // nothing (this is the compiled-in-but-disabled path).
+  { TraceSpan span(nullptr, "unobserved"); }
+  SUCCEED();
+}
+
+TEST(TraceSink, EmitsValidChromeTraceJson) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "outer");
+    TraceSpan inner(&sink, "inner");
+  }
+  sink.instant("marker");
+  EXPECT_EQ(sink.event_count(), 3u);
+  const std::string json = sink.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
+}
+
+// --------------------------------------------------- windowed acceptance
+
+TEST(WindowedAcceptance, TrailingWindowSums) {
+  const std::vector<std::size_t> attempted = {10, 10, 10, 10};
+  const std::vector<std::size_t> swapped = {10, 0, 10, 0};
+  const std::vector<double> w = windowed_acceptance(attempted, swapped, 2);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);        // 10/10
+  EXPECT_DOUBLE_EQ(w[1], 0.5);        // 10/20
+  EXPECT_DOUBLE_EQ(w[2], 0.5);        // (0+10)/20
+  EXPECT_DOUBLE_EQ(w[3], 0.5);        // (10+0)/20
+}
+
+TEST(WindowedAcceptance, ZeroAttemptsAndZeroWindow) {
+  const std::vector<double> w =
+      windowed_acceptance({0, 4}, {0, 2}, /*window=*/0);  // clamped to 1
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);  // no attempts -> 0, not NaN
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+// ----------------------------------------------------------- run reports
+
+// Byte-exact golden over a config-only report. Keys, their order, and the
+// compact formatting are all schema: if this fails, either bump
+// kReportVersion (breaking change) or append the new key and extend the
+// golden (compatible change).
+TEST(RunReport, GoldenConfigOnlySchema) {
+  RunReportInputs inputs;
+  inputs.command = "generate";
+  inputs.argv = {"nullgraph", "generate", "--powerlaw"};
+  inputs.seed = 7;
+  inputs.threads = 4;
+  inputs.swap_iterations_requested = 3;
+  const std::string expected =
+      "{\"report_version\":1,\"tool\":\"nullgraph\",\"command\":\"generate\","
+      "\"config\":{\"seed\":7,\"threads\":4,\"swap_iterations\":3,"
+      "\"argv\":[\"nullgraph\",\"generate\",\"--powerlaw\"]},"
+      "\"phase_seconds\":{},\"exec_phases\":[],\"checks\":[],"
+      "\"curtailments\":[],"
+      "\"recovery\":{\"retries_used\":0,\"repair\":{\"loops_erased\":0,"
+      "\"duplicates_erased\":0,\"surplus_edges_removed\":0,\"edges_added\":0,"
+      "\"rewired_patches\":0,\"residual_deficit\":0},"
+      "\"probability_entries_sanitized\":0},"
+      "\"faults_injected\":{\"edges_dropped\":0,\"edges_duplicated\":0,"
+      "\"self_loops_added\":0,\"prob_entries_corrupted\":0},"
+      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}";
+  EXPECT_EQ(render_run_report(inputs), expected);
+}
+
+TEST(RunReport, EscapesArgvStrings) {
+  RunReportInputs inputs;
+  inputs.command = "generate";
+  inputs.argv = {"quote\"back\\slash", "tab\there"};
+  const std::string json = render_run_report(inputs);
+  EXPECT_NE(json.find("\"quote\\\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\there\""), std::string::npos);
+}
+
+TEST(RunReport, SerializesSyntheticSwapChain) {
+  GenerateResult result;
+  SwapIterationStats it1;
+  it1.attempted = 100;
+  it1.swapped = 80;
+  it1.rejected_existing = 15;
+  it1.rejected_loop = 5;
+  SwapIterationStats it2;
+  it2.attempted = 100;
+  it2.swapped = 60;
+  it2.rejected_existing = 30;
+  it2.rejected_loop = 10;
+  it2.input_multi_edges = 2;
+  result.swap_stats.iterations = {it1, it2};
+  result.swap_stats.edges_ever_swapped = 77;
+  result.report.faults_injected.loops_added = 3;
+  result.report.retries_used = 1;
+
+  RunReportInputs inputs;
+  inputs.command = "shuffle";
+  inputs.swap_iterations_requested = 2;
+  inputs.result = &result;
+  const std::string json = render_run_report(inputs);
+
+  EXPECT_NE(json.find("\"swap_chain\":{\"iterations_requested\":2,"
+                      "\"iterations_run\":2,\"total_swapped\":140,"
+                      "\"overall_acceptance\":0.7,\"stop_reason\":\"kOk\","
+                      "\"edges_ever_swapped\":77"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"acceptance\":[0.8,0.6]"), std::string::npos);
+  EXPECT_NE(json.find("\"windowed_acceptance\":[0.8,0.7]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rejected_existing\":[15,30]"), std::string::npos);
+  EXPECT_NE(json.find("\"input_multi_edges\":[0,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"self_loops_added\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"retries_used\":1"), std::string::npos);
+}
+
+TEST(RunReport, SerializesLfrBlock) {
+  LfrGraph graph;
+  graph.edges = {{0, 1}, {1, 2}};
+  graph.num_communities = 4;
+  graph.communities_completed = 4;
+  graph.achieved_mu = 0.25;
+  graph.merged_duplicates = 1;
+
+  RunReportInputs inputs;
+  inputs.command = "lfr";
+  inputs.lfr = &graph;
+  const std::string json = render_run_report(inputs);
+  EXPECT_NE(json.find("\"lfr\":{\"edges\":2,\"num_communities\":4,"
+                      "\"communities_completed\":4,\"achieved_mu\":0.25,"
+                      "\"merged_duplicates\":1,\"curtailed\":\"kOk\"}"),
+            std::string::npos);
+}
+
+TEST(RunReport, MetricsSectionRendersAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("c")->add(5);
+  registry.gauge("g")->set(-3);
+  Histogram* h = registry.histogram("h", 1, {2, 4});
+  h->record(0);  // underflow
+  h->record(3);
+  h->record(9);  // overflow
+
+  RunReportInputs inputs;
+  inputs.command = "generate";
+  inputs.metrics = &registry;
+  const std::string json = render_run_report(inputs);
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"c\",\"value\":5}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":[{\"name\":\"g\",\"value\":-3}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":[{\"name\":\"h\",\"lower\":1,"
+                      "\"edges\":[2,4],\"counts\":[0,1],\"underflow\":1,"
+                      "\"overflow\":1,\"count\":3,\"sum\":12}]"),
+            std::string::npos);
+}
+
+TEST(RunReport, WriteRoundTripsAndFlagsBadPath) {
+  RunReportInputs inputs;
+  inputs.command = "generate";
+  const std::string path =
+      testing::TempDir() + "/nullgraph_test_report.json";
+  ASSERT_TRUE(write_run_report(path, inputs).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string body(1 << 14, '\0');
+  body.resize(std::fread(body.data(), 1, body.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(body, render_run_report(inputs));
+
+  const Status bad = write_run_report("/nonexistent-dir/report.json", inputs);
+  EXPECT_EQ(bad.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace nullgraph::obs

@@ -32,6 +32,16 @@
 //                            drains, writes its best-so-far graph, and
 //                            exits 13 (kCancelled)
 //
+// Telemetry (generate / shuffle / resume / lfr):
+//   --report-json FILE   versioned machine-readable run report: config
+//                        fingerprint, per-phase wall times, exec-layer
+//                        chunk/load-imbalance records, guardrail and
+//                        governance outcomes, swap-chain convergence
+//                        series, and the metrics registry snapshot
+//   --trace-out FILE     Chrome-trace-event JSON (load in Perfetto or
+//                        chrome://tracing): one span per pipeline phase,
+//                        exec loop, swap iteration, and LFR layer
+//
 // Exit status: 0 success, 1 bad usage, 2 unclassified runtime failure,
 // 3+ one per typed error class (status_exit_code in robustness/status.hpp):
 // 3 kIoError, 4 kIoMalformed, 5 kNotGraphical, 6 kProbabilityOverflow,
@@ -45,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -59,8 +70,12 @@
 #include "io/checkpoint.hpp"
 #include "io/graph_io.hpp"
 #include "lfr/lfr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "robustness/governance.hpp"
 #include "robustness/status.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -103,6 +118,8 @@ void usage() {
                "fault injection (testing): --inject-drop N --inject-dup N "
                "--inject-loop N --inject-prob N --inject-stall "
                "--inject-slow-ms N --inject-seed S\n"
+               "telemetry (generate/shuffle/lfr): --report-json FILE "
+               "--trace-out FILE\n"
                "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
                "(see README)\n");
 }
@@ -208,6 +225,66 @@ GovernanceConfig governance_from(const Args& args) {
   return governance;
 }
 
+/// Per-process telemetry ownership behind --report-json / --trace-out.
+/// Sinks exist only when their flag is present; context() hands the
+/// (possibly null) borrowed handles to the library, and finish() writes
+/// both artifacts AFTER the graph so telemetry can never cost the primary
+/// output. A failed telemetry write turns an otherwise-clean exit into
+/// kIoError; a run that already failed keeps its original typed code.
+struct Telemetry {
+  std::string report_path;
+  std::string trace_path;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::vector<std::string> argv;  // config fingerprint for the report
+
+  static Telemetry from(const Args& args, int argc, char** argv) {
+    Telemetry telem;
+    telem.argv.assign(argv, argv + argc);
+    if (const auto path = args.get("report-json")) {
+      telem.report_path = *path;
+      telem.metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (const auto path = args.get("trace-out")) {
+      telem.trace_path = *path;
+      telem.trace = std::make_unique<obs::TraceSink>();
+    }
+    return telem;
+  }
+
+  obs::ObsContext context() const noexcept {
+    return {metrics.get(), trace.get()};
+  }
+
+  int finish(const std::string& command, std::uint64_t seed,
+             std::size_t swap_iterations, const GenerateResult* result,
+             const LfrGraph* lfr, int code) {
+    Status failed = Status::Ok();
+    if (trace != nullptr) {
+      const Status status = trace->write(trace_path);
+      if (!status.ok()) failed = status;
+    }
+    if (!report_path.empty()) {
+      obs::RunReportInputs inputs;
+      inputs.command = command;
+      inputs.argv = argv;
+      inputs.seed = seed;
+      inputs.threads = max_threads();
+      inputs.swap_iterations_requested = swap_iterations;
+      inputs.result = result;
+      inputs.lfr = lfr;
+      inputs.metrics = metrics.get();
+      const Status status = obs::write_run_report(report_path, inputs);
+      if (!status.ok()) failed = status;
+    }
+    if (!failed.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", failed.to_string().c_str());
+      if (code == 0) return status_exit_code(failed.code());
+    }
+    return code;
+  }
+};
+
 /// Prints the report when anything noteworthy happened; returns the exit
 /// code the guardrail contract demands (typed for --strict/--repair
 /// residuals, 0 for record-only mode).
@@ -274,7 +351,7 @@ int emit_result(const Args& args, const GenerateResult& result,
 /// `--resume FILE`: load the snapshot and finish its swap chain. Reachable
 /// from both generate and shuffle (the checkpoint carries everything the
 /// remaining phase needs, so the two commands converge here).
-int cmd_resume(const Args& args) {
+int cmd_resume(const Args& args, Telemetry& telem) {
   const std::string path = *args.get("resume");
   Result<Checkpoint> loaded = try_read_checkpoint(path);
   if (!loaded.ok()) {
@@ -291,15 +368,19 @@ int cmd_resume(const Args& args) {
   GenerateConfig config;
   config.guardrails = guardrails_from(args);
   config.governance = governance_from(args);
+  config.obs = telem.context();
   const GenerateResult result = resume_null_graph(ckpt, config);
   std::fprintf(stderr, "resumed: %zu swaps committed over %zu iterations\n",
                result.swap_stats.total_swapped(),
                result.swap_stats.iterations.size());
-  return emit_result(args, result, config.guardrails.policy);
+  const int code = emit_result(args, result, config.guardrails.policy);
+  return telem.finish("resume", ckpt.swap_seed,
+                      static_cast<std::size_t>(ckpt.total_iterations), &result,
+                      nullptr, code);
 }
 
-int cmd_generate(const Args& args) {
-  if (args.has("resume")) return cmd_resume(args);
+int cmd_generate(const Args& args, Telemetry& telem) {
+  if (args.has("resume")) return cmd_resume(args, telem);
   DegreeDistribution dist;
   if (const auto file = args.get("dist")) {
     dist = read_degree_distribution_file(*file);
@@ -319,6 +400,7 @@ int cmd_generate(const Args& args) {
   config.swap_iterations = args.get_u64("swaps", 10);
   config.guardrails = guardrails_from(args);
   config.governance = governance_from(args);
+  config.obs = telem.context();
   const GenerateResult result = generate_null_graph(dist, config);
   const QualityErrors errors = quality_errors(dist, result.edges);
   std::fprintf(stderr,
@@ -328,11 +410,13 @@ int cmd_generate(const Args& args) {
                static_cast<unsigned long long>(dist.num_edges()),
                100 * errors.edge_count, 100 * errors.max_degree,
                result.timing.total_seconds());
-  return emit_result(args, result, config.guardrails.policy);
+  const int code = emit_result(args, result, config.guardrails.policy);
+  return telem.finish("generate", config.seed, config.swap_iterations,
+                      &result, nullptr, code);
 }
 
-int cmd_shuffle(const Args& args) {
-  if (args.has("resume")) return cmd_resume(args);
+int cmd_shuffle(const Args& args, Telemetry& telem) {
+  if (args.has("resume")) return cmd_resume(args, telem);
   const auto in = args.get("in");
   if (!in) {
     std::fprintf(stderr, "shuffle: need --in FILE\n");
@@ -344,11 +428,14 @@ int cmd_shuffle(const Args& args) {
   config.swap_iterations = args.get_u64("swaps", 10);
   config.guardrails = guardrails_from(args);
   config.governance = governance_from(args);
+  config.obs = telem.context();
   const GenerateResult result = shuffle_graph(std::move(edges), config);
   std::fprintf(stderr, "shuffled: %zu swaps committed over %zu iterations\n",
                result.swap_stats.total_swapped(),
                result.swap_stats.iterations.size());
-  return emit_result(args, result, config.guardrails.policy);
+  const int code = emit_result(args, result, config.guardrails.policy);
+  return telem.finish("shuffle", config.seed, config.swap_iterations, &result,
+                      nullptr, code);
 }
 
 int cmd_stats(const Args& args) {
@@ -361,7 +448,7 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
-int cmd_lfr(const Args& args) {
+int cmd_lfr(const Args& args, Telemetry& telem) {
   LfrParams params;
   params.n = args.get_u64("n", 10000);
   params.mu = args.get_double("mu", 0.3);
@@ -373,34 +460,38 @@ int cmd_lfr(const Args& args) {
   // One governor spans every layer: --deadline-ms (and Ctrl-C) curtail the
   // whole multi-layer run, not just a single generate call.
   params.governance = governance_from(args);
+  params.obs = telem.context();
   const LfrGraph graph = generate_lfr(params);
   std::fprintf(stderr, "lfr: %zu edges, %zu communities, achieved mu %.4f\n",
                graph.edges.size(), graph.num_communities, graph.achieved_mu);
+  int code = 0;
   if (const auto out = args.get("out")) {
     write_edge_list_file(*out, graph.edges);
     if (const auto comm = args.get("communities")) {
       std::FILE* f = std::fopen(comm->c_str(), "w");
       if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", comm->c_str());
-        return 2;
+        code = 2;
+      } else {
+        for (std::size_t v = 0; v < graph.community.size(); ++v)
+          std::fprintf(f, "%zu %u\n", v, graph.community[v]);
+        std::fclose(f);
       }
-      for (std::size_t v = 0; v < graph.community.size(); ++v)
-        std::fprintf(f, "%zu %u\n", v, graph.community[v]);
-      std::fclose(f);
     }
   } else {
     print_graph_stats(graph.edges);
   }
   // Like emit_result: the best-so-far graph goes out first, then a typed
   // exit code tells callers the run was cut short.
-  if (graph.curtailed != StatusCode::kOk) {
+  if (code == 0 && graph.curtailed != StatusCode::kOk) {
     std::fprintf(stderr,
                  "run curtailed: %s (%zu/%zu community layers completed)\n",
                  status_code_name(graph.curtailed),
                  graph.communities_completed, graph.num_communities);
-    return status_exit_code(graph.curtailed);
+    code = status_exit_code(graph.curtailed);
   }
-  return 0;
+  return telem.finish("lfr", params.seed, params.swap_iterations, nullptr,
+                      &graph, code);
 }
 
 int cmd_dist(const Args& args) {
@@ -430,12 +521,13 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
+  Telemetry telem = Telemetry::from(args, argc, argv);
   install_signal_handlers();
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "shuffle") return cmd_shuffle(args);
+    if (command == "generate") return cmd_generate(args, telem);
+    if (command == "shuffle") return cmd_shuffle(args, telem);
     if (command == "stats") return cmd_stats(args);
-    if (command == "lfr") return cmd_lfr(args);
+    if (command == "lfr") return cmd_lfr(args, telem);
     if (command == "dist") return cmd_dist(args);
   } catch (const StatusError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
