@@ -1,30 +1,79 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + ctest in the default configuration, then
-# again under AddressSanitizer + UndefinedBehaviorSanitizer (catches the
-# memory and UB classes the typed-status guardrails cannot), then a
-# ThreadSanitizer tier over the concurrency-critical suites (hash set,
-# permutation, swap phase, governance — the cross-thread cancel/stop
-# paths).
+# Tier-1 verification, ordered cheapest-first:
 #
-# Usage: scripts/check.sh [--skip-sanitizers]
+#   1. lint driver (scripts/lint/run_lints.py): OMP/thread confinement,
+#      determinism (no unsanctioned RNG/wall-clock seeding), atomics
+#      discipline (no volatile, justified relaxed), include hygiene.
+#   2. static-analysis build: -Werror=unused-result so any discarded
+#      Status/Result is a build error; when clang++ is on PATH the same
+#      tree also compiles with -Werror=thread-safety, proving every
+#      NG_GUARDED_BY contract. Compile-only — no tests run here.
+#   3. default build + ctest, telemetry smoke through the real binary.
+#   4. sanitizers: ASan/UBSan full suite, then TSan over the
+#      concurrency-critical suites.
+#
+# The lint and analysis stages are compile-only and cheap, so
+# --skip-sanitizers leaves them ON; it only drops stage 4.
+#
+# Usage: scripts/check.sh [--skip-sanitizers] [--tidy]
+#   --tidy  opt-in clang-tidy stage over compile_commands.json (the
+#           committed .clang-tidy profile). Requires clang-tidy on PATH;
+#           fails fast with a clear message when it is absent.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 SKIP_SAN=0
-[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+RUN_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SAN=1 ;;
+    --tidy) RUN_TIDY=1 ;;
+    *) echo "usage: scripts/check.sh [--skip-sanitizers] [--tidy]" >&2
+       exit 1 ;;
+  esac
+done
 
-echo "== lint: raw OpenMP pragmas confined to src/exec =="
-# Every parallel loop must go through the exec primitives so governance
-# polling, chunk-indexed RNG, and phase timing cannot be bypassed. Raw
-# pragmas are allowed only inside src/exec/ (the primitives themselves).
-RAW_OMP=$(grep -rn '#pragma omp' src tests bench examples tools \
-  --include='*.cpp' --include='*.hpp' \
-  | grep -v '^src/exec/' || true)
-if [[ -n "$RAW_OMP" ]]; then
-  echo "raw '#pragma omp' outside src/exec/ — use exec::for_chunks/collect/reduce:"
-  echo "$RAW_OMP"
+# Opt-in stages fail fast, before any build time is spent, when their
+# toolchain is missing — not mid-run with a confusing cmake error.
+if [[ "$RUN_TIDY" == 1 ]] && ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check.sh: --tidy requested but clang-tidy is not on PATH." >&2
+  echo "Install clang-tidy (LLVM) or drop --tidy; every other stage runs" >&2
+  echo "without it." >&2
   exit 1
+fi
+
+echo "== lint: scripts/lint/run_lints.py =="
+python3 scripts/lint/run_lints.py
+
+echo "== static analysis: nodiscard Status discipline (-Werror=unused-result) =="
+if command -v clang++ >/dev/null 2>&1; then
+  ANALYSIS_FLAGS=(-DCMAKE_CXX_COMPILER=clang++ -DNULLGRAPH_THREAD_SAFETY=ON)
+  echo "   (clang++ found: thread-safety analysis -Werror=thread-safety enabled)"
+else
+  ANALYSIS_FLAGS=()
+  echo "   (clang++ not on PATH: -Werror=thread-safety needs Clang, running"
+  echo "    the nodiscard tier with the default compiler; annotations still"
+  echo "    compile as no-ops)"
+fi
+cmake -B build-analysis -S . \
+  -DNULLGRAPH_NODISCARD_ERRORS=ON \
+  "${ANALYSIS_FLAGS[@]}" \
+  -DNULLGRAPH_BUILD_BENCH=OFF \
+  -DNULLGRAPH_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-analysis -j"$JOBS"
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+  echo "== clang-tidy (opt-in) over compile_commands.json =="
+  # The analysis tree exports compile_commands.json (on by default in the
+  # top-level CMakeLists); run the committed .clang-tidy profile over the
+  # library and tools sources.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-analysis -quiet "src/.*\.cpp" "tools/.*\.cpp"
+  else
+    git ls-files 'src/*.cpp' 'tools/*.cpp' \
+      | xargs -P "$JOBS" -n 8 clang-tidy -p build-analysis --quiet
+  fi
 fi
 
 echo "== tier 1: default build =="
@@ -48,7 +97,7 @@ python3 scripts/compare_reports.py \
   "$TELEM_DIR/report.json" "$TELEM_DIR/report.json" >/dev/null
 
 if [[ "$SKIP_SAN" == 1 ]]; then
-  echo "== sanitizer pass skipped =="
+  echo "== sanitizer pass skipped (lint + analysis tiers already ran) =="
   exit 0
 fi
 

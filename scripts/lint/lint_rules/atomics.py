@@ -1,0 +1,72 @@
+"""Atomics-discipline rule.
+
+Two checks over every scanned tree:
+
+  - ``volatile`` is banned outright: it is not a synchronization primitive,
+    and every historical use was either a data race hiding from the
+    compiler or an optimization barrier better expressed another way.
+
+  - every ``std::memory_order_relaxed`` site must carry a justification: a
+    comment containing ``relaxed:`` on the same line or within the
+    preceding JUSTIFICATION_WINDOW raw lines (one comment may cover a
+    cluster of adjacent sites), or the file must be listed in
+    scripts/lint/relaxed_allowlist.txt. Relaxed ordering is correct
+    surprisingly rarely; the comment forces the author to say *why* no
+    ordering is needed, and gives the reviewer something to refute.
+
+Stronger orderings (acquire/release/seq_cst) need no justification — they
+are the safe default.
+"""
+
+import re
+
+from . import base
+
+NAME = "atomics"
+DESCRIPTION = "no volatile; every memory_order_relaxed needs a 'relaxed:' justification"
+
+#: How many raw lines above a relaxed site may hold its justification.
+JUSTIFICATION_WINDOW = 10
+
+#: Repo-relative allowlist file: paths (one per line, '#' comments) whose
+#: relaxed sites are exempt, e.g. vendored code.
+ALLOWLIST_FILE = "scripts/lint/relaxed_allowlist.txt"
+
+_VOLATILE = re.compile(r"\bvolatile\b")
+_RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+_JUSTIFIED = re.compile(r"relaxed:")
+
+
+def _load_allowlist(tree: base.SourceTree):
+    path = tree.root / ALLOWLIST_FILE
+    if not path.is_file():
+        return set()
+    entries = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+def check(tree: base.SourceTree):
+    allowlist = _load_allowlist(tree)
+    diags = []
+    for f in tree.files:
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if _VOLATILE.search(line):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "'volatile' is not a synchronization primitive — use "
+                    "std::atomic (or restructure the optimization barrier)"))
+            if _RELAXED.search(line) and f.path not in allowlist:
+                lo = max(0, lineno - 1 - JUSTIFICATION_WINDOW)
+                window = f.raw_lines[lo:lineno]
+                if not any(_JUSTIFIED.search(raw) for raw in window):
+                    diags.append(base.Diagnostic(
+                        f.path, lineno, NAME,
+                        "memory_order_relaxed without a 'relaxed:' "
+                        "justification comment within the preceding "
+                        f"{JUSTIFICATION_WINDOW} lines (or allowlist the "
+                        f"file in {ALLOWLIST_FILE})"))
+    return diags

@@ -1,0 +1,65 @@
+"""Determinism rule: no nondeterministically-seeded randomness.
+
+The library's reproducibility contract (DESIGN.md section 6d) is that a
+fixed seed yields bit-identical output at any thread count. That dies the
+moment any code path draws entropy from the environment, so outside the
+sanctioned files this rule bans:
+
+  - libc randomness: rand(), srand(), rand_r(), drand48()/lrand48(),
+    random();
+  - std::random_device (hardware/OS entropy);
+  - wall-clock reads usable as seeds: time(), gettimeofday(), clock(),
+    std::chrono::system_clock / high_resolution_clock (the latter may alias
+    the system clock; steady_clock is the sanctioned timing clock and is
+    never banned).
+
+All randomness flows from util/rng.hpp's explicitly-seeded xoshiro256**
+(and the exec layer's chunk-indexed streams derived from it).
+"""
+
+import re
+
+from . import base
+
+NAME = "determinism"
+DESCRIPTION = "no rand()/std::random_device/wall-clock seeding outside sanctioned files"
+
+#: Files allowed to touch entropy / wall clocks. The RNG home itself is
+#: sanctioned so a future "seed from OS entropy when the user passes
+#: --seed=random" feature lands there and nowhere else.
+SANCTIONED_FILES = {
+    "src/util/rng.hpp",
+    "src/util/rng.cpp",
+}
+
+_BANNED = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:])rand_r\s*\("), "rand_r()"),
+    (re.compile(r"(?<![\w:])[dlm]rand48\s*\("), "*rand48()"),
+    (re.compile(r"(?<![\w:])random\s*\("), "random()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w:])gettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w:])clock\s*\("), "clock()"),
+    (re.compile(r"\bstd::chrono::system_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bstd::chrono::high_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+]
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    for f in tree.files:
+        if f.path in SANCTIONED_FILES:
+            continue
+        for lineno, line in enumerate(f.code_lines, start=1):
+            for pattern, label in _BANNED:
+                if pattern.search(line):
+                    diags.append(base.Diagnostic(
+                        f.path, lineno, NAME,
+                        f"nondeterministic construct {label} — all randomness "
+                        "must flow from util/rng.hpp seeds (steady_clock is "
+                        "the sanctioned timing clock); if this file is a "
+                        "legitimate entropy boundary, add it to "
+                        "SANCTIONED_FILES with a reason"))
+    return diags

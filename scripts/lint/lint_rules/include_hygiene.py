@@ -1,0 +1,78 @@
+"""Include-hygiene rule.
+
+  - every header under src/ must open with ``#pragma once`` (first
+    non-blank code line), so double inclusion cannot produce ODR surprises;
+  - project headers must be included with quotes relative to src/
+    (``#include "ds/edge.hpp"``), never with angle brackets and never via
+    ``../`` traversal — both break the single -Isrc include root that
+    compile_commands.json-based tooling (clang-tidy) relies on;
+  - ``<omp.h>`` in src/ is confined to the threading homes (src/exec/ and
+    the two util files that wrap thread introspection / per-thread RNG
+    streams); everything else gets its parallelism through the exec
+    primitives, keeping the OpenMP dependency swappable. Tests and benches
+    may include it freely (thread-count setup).
+"""
+
+import re
+
+from . import base
+
+NAME = "include-hygiene"
+DESCRIPTION = "#pragma once in headers; quoted project includes; <omp.h> confined"
+
+#: src/ subdirectories that form the project include namespace.
+PROJECT_INCLUDE_DIRS = (
+    "analysis", "bipartite", "core", "directed", "ds", "exec", "gen", "io",
+    "lfr", "obs", "permute", "prob", "robustness", "skip", "util",
+)
+
+#: src/ files allowed to include <omp.h> directly.
+OMP_INCLUDE_ALLOWLIST = {
+    "src/util/parallel.hpp",  # thread introspection wrappers
+    "src/util/rng.cpp",       # RngPool sizes itself off omp_get_max_threads
+}
+
+_INCLUDE = re.compile(r'#\s*include\s*([<"])([^>"]+)[>"]')
+_PRAGMA_ONCE = re.compile(r"#\s*pragma\s+once\b")
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    project_prefixes = tuple(d + "/" for d in PROJECT_INCLUDE_DIRS)
+    for f in tree.files:
+        if f.is_header() and f.in_dir("src/"):
+            first_code = next(
+                (line for line in f.code_lines if line.strip()), "")
+            if not _PRAGMA_ONCE.search(first_code):
+                diags.append(base.Diagnostic(
+                    f.path, 1, NAME,
+                    "header does not open with '#pragma once'"))
+        for lineno, stripped in enumerate(f.code_lines, start=1):
+            # The stripped line proves the directive is real (not inside a
+            # comment); the raw line still holds the quoted path the
+            # stripper blanked out.
+            if not re.search(r"#\s*include", stripped):
+                continue
+            m = _INCLUDE.search(f.raw_lines[lineno - 1])
+            if not m:
+                continue
+            bracket, target = m.group(1), m.group(2)
+            if "../" in target:
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    f"relative include '{target}' — include project headers "
+                    "by their src/-rooted path"))
+            if bracket == "<" and target.startswith(project_prefixes):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    f"project header <{target}> included with angle "
+                    "brackets — use quotes"))
+            if (target == "omp.h" and f.in_dir("src/")
+                    and not f.in_dir("src/exec/")
+                    and f.path not in OMP_INCLUDE_ALLOWLIST):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "<omp.h> outside src/exec/ — use util/parallel.hpp "
+                    "wrappers or the exec primitives (or allowlist with a "
+                    "reason)"))
+    return diags

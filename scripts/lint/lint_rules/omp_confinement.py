@@ -1,0 +1,56 @@
+"""Parallelism-confinement rule.
+
+Every parallel loop must go through the exec primitives so governance
+polling, chunk-indexed RNG, and phase timing cannot be bypassed:
+
+  - raw ``#pragma omp`` is allowed only inside src/exec/ (the primitives
+    themselves);
+  - ``std::thread`` / ``std::jthread`` / ``std::async`` spawns are likewise
+    confined: OpenMP is the project's one threading runtime, and ad-hoc
+    spawns would sit outside chunk governance and the TSan tier's suites.
+
+Covers .h/.cc/.cxx in addition to .cpp/.hpp — the shell grep this rule
+replaced only matched the latter two, so a renamed file escaped it.
+"""
+
+import re
+
+from . import base
+
+NAME = "omp-confinement"
+DESCRIPTION = (
+    "raw '#pragma omp' and std::thread/std::async spawns confined to src/exec/"
+)
+
+SANCTIONED_DIR = "src/exec/"
+
+#: Files allowed to spawn non-OpenMP threads, with the reason on record.
+THREAD_SPAWN_ALLOWLIST = {
+    # Deliberately hammers the striped MetricsRegistry from raw std::threads
+    # to prove stripe assignment works off the OpenMP pool.
+    "tests/test_obs.cpp",
+}
+
+_PRAGMA = re.compile(r"#\s*pragma\s+omp\b")
+_SPAWN = re.compile(r"\bstd::(?:thread|jthread|async)\b")
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    for f in tree.files:
+        if f.in_dir(SANCTIONED_DIR):
+            continue
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if _PRAGMA.search(line):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "raw '#pragma omp' outside src/exec/ — use "
+                    "exec::for_chunks/collect/reduce"))
+            if _SPAWN.search(line) and f.path not in THREAD_SPAWN_ALLOWLIST:
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "std::thread/std::async spawn outside src/exec/ — OpenMP "
+                    "via the exec primitives is the only sanctioned threading "
+                    "runtime (or add this file to THREAD_SPAWN_ALLOWLIST with "
+                    "a reason)"))
+    return diags

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""nullgraph lint driver.
+
+Runs the project's static lint rules (scripts/lint/lint_rules/) over the
+source trees and prints one diagnostic per line:
+
+    path:line: [rule-name] message
+
+Diagnostics are sorted by (path, line, rule) so output is deterministic and
+golden-testable. Exit status: 0 when clean, 1 when any rule fired, 2 on
+usage errors.
+
+    usage: run_lints.py [--root DIR] [--rules name,name] [--list]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import lint_rules  # noqa: E402
+from lint_rules import base  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=None,
+        help="directory to scan (default: the repository root)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all)")
+    parser.add_argument(
+        "--list", action="store_true", help="list rules and exit")
+    args = parser.parse_args(argv)
+
+    rules = lint_rules.ALL_RULES
+    if args.rules is not None:
+        wanted = [name.strip() for name in args.rules.split(",") if name.strip()]
+        by_name = {rule.NAME: rule for rule in rules}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"unknown rule(s): {', '.join(unknown)} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        rules = [by_name[name] for name in wanted]
+
+    if args.list:
+        for rule in rules:
+            print(f"{rule.NAME}: {rule.DESCRIPTION}")
+        return 0
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+
+    tree = base.SourceTree(root)
+    diagnostics = []
+    for rule in rules:
+        diagnostics.extend(rule.check(tree))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+
+    for diag in diagnostics:
+        print(diag.format())
+    names = ", ".join(rule.NAME for rule in rules)
+    if diagnostics:
+        print(f"lint: {len(diagnostics)} issue(s) found "
+              f"({len(tree.files)} files scanned; rules: {names})")
+        return 1
+    print(f"lint: clean ({len(tree.files)} files scanned; rules: {names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

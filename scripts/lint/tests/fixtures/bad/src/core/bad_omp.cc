@@ -1,0 +1,19 @@
+// Fixture: raw parallelism outside src/exec/, in a .cc file — the old
+// shell grep (*.cpp/*.hpp only) missed this extension entirely.
+#include <future>
+#include <thread>
+#include <vector>
+
+void raw_parallel_sum(const std::vector<double>& v, double* out) {
+  double sum = 0;
+#pragma omp parallel for reduction(+ : sum)
+  for (long i = 0; i < static_cast<long>(v.size()); ++i) sum += v[i];
+  *out = sum;
+}
+
+void raw_spawns() {
+  std::thread worker([] {});
+  auto future = std::async([] { return 1; });
+  worker.join();
+  future.get();
+}

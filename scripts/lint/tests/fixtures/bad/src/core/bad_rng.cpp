@@ -1,0 +1,16 @@
+// Fixture: every way the determinism rule should fire in library code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device device;            // entropy source
+  unsigned seed = device();
+  seed ^= static_cast<unsigned>(rand());           // libc generator
+  srand(42);                                       // libc seeding
+  seed ^= static_cast<unsigned>(time(nullptr));    // wall-clock seed
+  seed ^= static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return seed;
+}

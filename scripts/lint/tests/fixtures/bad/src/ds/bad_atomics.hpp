@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: atomics-discipline violations.
+#include <atomic>
+
+struct BadAtomics {
+  volatile int spin_flag = 0;  // volatile is not synchronization
+
+  std::atomic<int> counter{0};
+
+  void bump() {
+    // No justification comment anywhere near this relaxed site.
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+};

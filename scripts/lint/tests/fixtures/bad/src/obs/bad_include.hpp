@@ -1,0 +1,8 @@
+// Fixture: include-hygiene violations — no '#pragma once' opener, a
+// bracketed project include, '../' traversal, and <omp.h> outside its
+// sanctioned homes.
+#include <omp.h>
+#include <ds/edge.hpp>
+#include "../core/rewire.hpp"
+
+inline int bad_include_marker() { return omp_get_max_threads(); }

@@ -1,0 +1,20 @@
+#pragma once
+// Fixture: a file every rule should pass — justified relaxed atomics,
+// quoted project include path style, no banned constructs. Mentions of
+// #pragma omp, std::thread, rand() and volatile in comments (like this
+// one) must NOT fire: rules match comment-stripped code.
+#include <atomic>
+#include <cstdint>
+
+struct GoodAtomics {
+  std::atomic<std::uint64_t> hits{0};
+
+  void bump() {
+    // relaxed: statistics counter, only the eventual sum is read.
+    hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const char* describe() const {
+    return "the string \"#pragma omp parallel\" and 'volatile' stay inert";
+  }
+};

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Tests for the lint framework (scripts/lint/) and the compiler-enforced
+analysis tier.
+
+Three layers:
+  - fixture tests: known-bad snippets fed to each rule, asserting exact
+    file:line diagnostics and a nonzero driver exit;
+  - a golden test: full driver output over the bad fixture tree must match
+    scripts/lint/tests/golden/bad_fixture.txt byte for byte;
+  - analysis-tier probes: a deliberately discarded Status must fail to
+    compile under -Werror=unused-result, and (when clang++ is available) a
+    deliberate NG_GUARDED_BY violation must fail under
+    -Werror=thread-safety. These prove the check.sh stages turn red on the
+    exact defect classes they exist to catch.
+
+Run directly (python3 scripts/lint/tests/test_lints.py) or via ctest
+(registered as lint_framework in tests/CMakeLists.txt).
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_DIR = pathlib.Path(__file__).resolve().parent
+LINT_DIR = TESTS_DIR.parent
+REPO_ROOT = LINT_DIR.parents[1]
+DRIVER = LINT_DIR / "run_lints.py"
+FIXTURES = TESTS_DIR / "fixtures"
+GOLDEN = TESTS_DIR / "golden"
+
+
+def run_driver(*args):
+    return subprocess.run(
+        [sys.executable, str(DRIVER), *args],
+        capture_output=True, text=True, check=False)
+
+
+def compile_snippet(compiler, source, *flags):
+    """Syntax-only compile of `source` against the real src/ tree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "snippet.cpp"
+        path.write_text(source, encoding="utf-8")
+        return subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only",
+             f"-I{REPO_ROOT / 'src'}", *flags, str(path)],
+            capture_output=True, text=True, check=False)
+
+
+class DriverTest(unittest.TestCase):
+    def test_bad_fixture_matches_golden_and_exits_nonzero(self):
+        result = run_driver("--root", str(FIXTURES / "bad"))
+        self.assertEqual(result.returncode, 1)
+        golden = (GOLDEN / "bad_fixture.txt").read_text(encoding="utf-8")
+        self.assertEqual(result.stdout, golden)
+
+    def test_clean_fixture_passes(self):
+        result = run_driver("--root", str(FIXTURES / "clean"))
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("lint: clean", result.stdout)
+
+    def test_real_tree_is_clean(self):
+        result = run_driver("--root", str(REPO_ROOT))
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_rule_filter_runs_only_named_rules(self):
+        result = run_driver("--root", str(FIXTURES / "bad"),
+                            "--rules", "determinism")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[determinism]", result.stdout)
+        self.assertNotIn("[atomics]", result.stdout)
+
+    def test_unknown_rule_is_usage_error(self):
+        result = run_driver("--rules", "no-such-rule")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("unknown rule", result.stderr)
+
+    def test_list_names_all_rules(self):
+        result = run_driver("--list")
+        self.assertEqual(result.returncode, 0)
+        for name in ("omp-confinement", "determinism", "atomics",
+                     "include-hygiene"):
+            self.assertIn(name, result.stdout)
+
+
+class RuleDiagnosticsTest(unittest.TestCase):
+    """Exact file:line assertions per rule over the bad fixture tree."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.out = run_driver("--root", str(FIXTURES / "bad")).stdout
+
+    def test_determinism_flags_random_device_in_src_core(self):
+        self.assertIn(
+            "src/core/bad_rng.cpp:8: [determinism] nondeterministic "
+            "construct std::random_device", self.out)
+
+    def test_determinism_flags_wall_clock_seed(self):
+        self.assertIn("src/core/bad_rng.cpp:12: [determinism]", self.out)
+        self.assertIn("src/core/bad_rng.cpp:14: [determinism]", self.out)
+
+    def test_omp_confinement_covers_cc_extension(self):
+        self.assertIn(
+            "src/core/bad_omp.cc:9: [omp-confinement] raw '#pragma omp'",
+            self.out)
+
+    def test_omp_confinement_flags_thread_and_async_spawns(self):
+        self.assertIn("src/core/bad_omp.cc:15: [omp-confinement]", self.out)
+        self.assertIn("src/core/bad_omp.cc:16: [omp-confinement]", self.out)
+
+    def test_atomics_flags_volatile(self):
+        self.assertIn(
+            "src/ds/bad_atomics.hpp:6: [atomics] 'volatile'", self.out)
+
+    def test_atomics_flags_unjustified_relaxed(self):
+        self.assertIn(
+            "src/ds/bad_atomics.hpp:12: [atomics] memory_order_relaxed "
+            "without a 'relaxed:' justification", self.out)
+
+    def test_include_hygiene_flags_missing_pragma_once(self):
+        self.assertIn(
+            "src/obs/bad_include.hpp:1: [include-hygiene] header does not "
+            "open with '#pragma once'", self.out)
+
+    def test_include_hygiene_flags_bracketed_and_relative_includes(self):
+        self.assertIn("src/obs/bad_include.hpp:5: [include-hygiene]",
+                      self.out)
+        self.assertIn("src/obs/bad_include.hpp:6: [include-hygiene]",
+                      self.out)
+
+
+DISCARDED_STATUS = """
+#include "robustness/status.hpp"
+using nullgraph::Status;
+using nullgraph::StatusCode;
+Status might_fail() { return Status(StatusCode::kIoError, "boom"); }
+void caller() { might_fail(); }  // discard -> must not compile
+"""
+
+HANDLED_STATUS = """
+#include "robustness/status.hpp"
+using nullgraph::Status;
+using nullgraph::StatusCode;
+Status might_fail() { return Status(StatusCode::kIoError, "boom"); }
+int caller() { return might_fail().ok() ? 0 : 1; }
+"""
+
+GUARDED_BY_VIOLATION = """
+#include "util/thread_annotations.hpp"
+class Tally {
+ public:
+  void bump_unlocked() { total_ += 1; }  // no lock -> analysis error
+ private:
+  nullgraph::Mutex mutex_;
+  long total_ NG_GUARDED_BY(mutex_) = 0;
+};
+"""
+
+GUARDED_BY_CLEAN = """
+#include "util/thread_annotations.hpp"
+class Tally {
+ public:
+  void bump() {
+    nullgraph::MutexLock lock(mutex_);
+    total_ += 1;
+  }
+ private:
+  nullgraph::Mutex mutex_;
+  long total_ NG_GUARDED_BY(mutex_) = 0;
+};
+"""
+
+
+class AnalysisTierTest(unittest.TestCase):
+    """The compiler stages of check.sh turn red on their defect classes."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.cxx = shutil.which("c++") or shutil.which("g++")
+        cls.clangxx = shutil.which("clang++")
+
+    def test_discarded_status_fails_under_unused_result(self):
+        self.assertIsNotNone(self.cxx, "no C++ compiler on PATH")
+        result = compile_snippet(self.cxx, DISCARDED_STATUS,
+                                 "-Werror=unused-result")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unused-result", result.stderr)
+
+    def test_handled_status_compiles_under_unused_result(self):
+        self.assertIsNotNone(self.cxx, "no C++ compiler on PATH")
+        result = compile_snippet(self.cxx, HANDLED_STATUS,
+                                 "-Werror=unused-result")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_guarded_by_violation_fails_under_clang_thread_safety(self):
+        if self.clangxx is None:
+            self.skipTest("clang++ not on PATH (thread-safety analysis is "
+                          "Clang-only; check.sh gates this stage the same way)")
+        result = compile_snippet(self.clangxx, GUARDED_BY_VIOLATION,
+                                 "-Wthread-safety", "-Werror=thread-safety")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("thread-safety", result.stderr)
+
+    def test_locked_access_compiles_under_clang_thread_safety(self):
+        if self.clangxx is None:
+            self.skipTest("clang++ not on PATH")
+        result = compile_snippet(self.clangxx, GUARDED_BY_CLEAN,
+                                 "-Wthread-safety", "-Werror=thread-safety")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_annotations_are_noops_on_gcc(self):
+        self.assertIsNotNone(self.cxx, "no C++ compiler on PATH")
+        result = compile_snippet(self.cxx, GUARDED_BY_CLEAN, "-Wall",
+                                 "-Werror")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

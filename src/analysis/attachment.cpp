@@ -24,6 +24,7 @@ void AttachmentAccumulator::add(const EdgeList& edges) {
           if (ci < cj) std::swap(ci, cj);
           const std::size_t index = ci * (ci + 1) / 2 + cj;
           std::atomic_ref<std::uint64_t> slot(pair_counts_[index]);
+          // relaxed: histogram tally read only after the loop barrier.
           slot.fetch_add(1, std::memory_order_relaxed);
         }
       });

@@ -50,7 +50,7 @@ RewireStats rewire_assortativity(EdgeList& edges,
     exec::for_chunks(refill_ctx, m, exec::kDefaultGrain,
                      [&](const exec::Chunk& chunk) {
                        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-                         table.test_and_set(edges[i].key());
+                         table.preload(edges[i].key());
                      });
 
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);

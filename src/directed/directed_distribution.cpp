@@ -127,6 +127,8 @@ std::vector<std::uint64_t> in_degrees_of(const ArcList& arcs, std::size_t n) {
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
                        std::atomic_ref<std::uint64_t> slot(
                            degree[arcs[i].to]);
+                       // relaxed: in-degree tally published by the loop
+                       // barrier, not by this add.
                        slot.fetch_add(1, std::memory_order_relaxed);
                      }
                    });
@@ -143,6 +145,8 @@ std::vector<std::uint64_t> out_degrees_of(const ArcList& arcs,
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
                        std::atomic_ref<std::uint64_t> slot(
                            degree[arcs[i].from]);
+                       // relaxed: out-degree tally published by the loop
+                       // barrier, not by this add.
                        slot.fetch_add(1, std::memory_order_relaxed);
                      }
                    });

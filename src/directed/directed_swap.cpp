@@ -46,7 +46,7 @@ DirectedSwapStats directed_swap_arcs(ArcList& arcs,
     exec::for_chunks(refill_ctx, m, exec::kDefaultGrain,
                      [&](const exec::Chunk& chunk) {
                        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-                         table.test_and_set(arcs[i].key());
+                         table.preload(arcs[i].key());
                      });
 
     const std::vector<std::uint64_t> targets = knuth_targets(m, permute_seed);

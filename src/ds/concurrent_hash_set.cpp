@@ -28,15 +28,21 @@ InsertOutcome ConcurrentHashSet::insert(std::uint64_t key) noexcept {
   const std::size_t start = static_cast<std::size_t>(hash(key)) & mask_;
   for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
     std::atomic<std::uint64_t>& slot = slots_[probe(start, attempt)];
+    // relaxed: slot keys are self-contained values (the packed edge IS the
+    // payload); membership needs no ordering with any other location.
     std::uint64_t observed = slot.load(std::memory_order_relaxed);
     if (observed == key) {
       note_probes(attempt + 1);
       return InsertOutcome::kAlreadyPresent;
     }
     if (observed == kEmpty) {
+      // relaxed: claiming a slot publishes nothing beyond the key itself,
+      // so the CAS needs atomicity only, not acquire/release ordering.
       if (slot.compare_exchange_strong(observed, key,
                                        std::memory_order_relaxed)) {
 #ifndef NDEBUG
+        // relaxed: debug-only occupancy counter; fetch_add returns an
+        // exact pre-value regardless of ordering.
         const std::size_t now =
             debug_size_.fetch_add(1, std::memory_order_relaxed) + 1;
         assert(2 * now <= capacity_ &&
@@ -70,6 +76,8 @@ obs::Histogram* ConcurrentHashSet::probe_histogram(
 bool ConcurrentHashSet::contains(std::uint64_t key) const noexcept {
   const std::size_t start = static_cast<std::size_t>(hash(key)) & mask_;
   for (std::size_t attempt = 0; attempt < capacity_; ++attempt) {
+    // relaxed: see insert() — keys are self-contained, misses on in-flight
+    // inserts are documented behaviour.
     const std::uint64_t observed =
         slots_[probe(start, attempt)].load(std::memory_order_relaxed);
     if (observed == key) return true;
@@ -82,10 +90,13 @@ void ConcurrentHashSet::clear() noexcept {
   const exec::ParallelContext ctx;
   exec::for_chunks(ctx, capacity_, exec::kDefaultGrain,
                    [&](const exec::Chunk& chunk) {
+                     // relaxed: clear() is documented as not safe against
+                     // concurrent access; atomicity alone suffices.
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i)
                        slots_[i].store(kEmpty, std::memory_order_relaxed);
                    });
 #ifndef NDEBUG
+  // relaxed: debug-only counter reset under the clear() exclusivity rule.
   debug_size_.store(0, std::memory_order_relaxed);
 #endif
 }
@@ -96,6 +107,8 @@ std::size_t ConcurrentHashSet::size() const noexcept {
       ctx, capacity_, exec::kDefaultGrain, 0,
       [&](const exec::Chunk& chunk) {
         std::size_t count = 0;
+        // relaxed: size() counts a snapshot; racing inserts may or may
+        // not be seen either way, by contract.
         for (std::size_t i = chunk.begin; i < chunk.end; ++i)
           if (slots_[i].load(std::memory_order_relaxed) != kEmpty) ++count;
         return count;

@@ -25,7 +25,7 @@ enum class InsertOutcome {
 };
 
 /// kTableFull -> kCapacityExhausted; the other outcomes are not errors.
-inline StatusCode insert_status(InsertOutcome outcome) noexcept {
+[[nodiscard]] inline StatusCode insert_status(InsertOutcome outcome) noexcept {
   return outcome == InsertOutcome::kTableFull ? StatusCode::kCapacityExhausted
                                               : StatusCode::kOk;
 }
@@ -51,7 +51,7 @@ class ConcurrentHashSet {
   /// builds assert the <= 0.5 load-factor invariant on every insert; in
   /// release a violated invariant degrades to kTableFull instead of an
   /// unbounded probe loop.
-  InsertOutcome insert(std::uint64_t key) noexcept;
+  [[nodiscard]] InsertOutcome insert(std::uint64_t key) noexcept;
 
   /// Inserts `key` if absent. Returns true when the key was ALREADY present
   /// (the paper's TestAndSet convention: true = reject the new edge).
@@ -59,21 +59,26 @@ class ConcurrentHashSet {
   /// conservative for the swap phase (the proposed swap is simply not
   /// committed). Callers that must distinguish use insert().
   /// Thread-safe; lock-free.
-  bool test_and_set(std::uint64_t key) noexcept {
+  [[nodiscard]] bool test_and_set(std::uint64_t key) noexcept {
     return insert(key) != InsertOutcome::kInserted;
   }
 
+  /// Insert for table refills where every key is known unique and the
+  /// table is sized for the full key set (load factor <= 0.5), so the
+  /// verdict carries no information. The one sanctioned discard.
+  void preload(std::uint64_t key) noexcept { (void)insert(key); }
+
   /// True when `key` is in the table. Thread-safe against concurrent
   /// inserts (may miss keys being inserted concurrently).
-  bool contains(std::uint64_t key) const noexcept;
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept;
 
   /// Empties the table in parallel. NOT safe against concurrent access.
   void clear() noexcept;
 
-  std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Number of keys inserted since construction/clear(). O(capacity).
-  std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
 
   /// Attach a probe-length histogram: every insert() records how many slots
   /// it visited (1 = direct hit). Null detaches; recording is wait-free and

@@ -18,6 +18,8 @@ CsrGraph::CsrGraph(const EdgeList& edges, std::size_t n, bool sort_rows) {
   exec::for_chunks(ctx, edges.size(), exec::kDefaultGrain,
                    [&](const exec::Chunk& chunk) {
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                       // relaxed: independent degree tallies; the loop
+                       // barrier below publishes them before any read.
                        std::atomic_ref<std::uint64_t>(counts[edges[i].u])
                            .fetch_add(1, std::memory_order_relaxed);
                        std::atomic_ref<std::uint64_t>(counts[edges[i].v])
@@ -29,6 +31,8 @@ CsrGraph::CsrGraph(const EdgeList& edges, std::size_t n, bool sort_rows) {
   adjacency_.resize(offsets_[n]);
   std::vector<std::atomic<std::uint64_t>> cursor(n);
   exec::for_chunks(ctx, n, exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+    // relaxed: cursor init before the fill loop; the barrier between the
+    // two exec loops is the publication point.
     for (std::size_t v = chunk.begin; v < chunk.end; ++v)
       cursor[v].store(offsets_[v], std::memory_order_relaxed);
   });
@@ -36,6 +40,9 @@ CsrGraph::CsrGraph(const EdgeList& edges, std::size_t n, bool sort_rows) {
                    [&](const exec::Chunk& chunk) {
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
                        const Edge e = edges[i];
+                       // relaxed: fetch_add hands each writer a unique
+                       // adjacency slot; slot contents are read only after
+                       // the loop barrier.
                        adjacency_[cursor[e.u].fetch_add(
                            1, std::memory_order_relaxed)] = e.v;
                        adjacency_[cursor[e.v].fetch_add(

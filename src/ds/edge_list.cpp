@@ -36,6 +36,8 @@ std::vector<std::uint64_t> degrees_of(const EdgeList& edges, std::size_t n) {
                    [&](const exec::Chunk& chunk) {
                      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
                        const Edge e = edges[i];
+                       // relaxed: independent degree tallies published by
+                       // the loop barrier, not by these adds.
                        std::atomic_ref<std::uint64_t>(degree[e.u])
                            .fetch_add(1, std::memory_order_relaxed);
                        std::atomic_ref<std::uint64_t>(degree[e.v])

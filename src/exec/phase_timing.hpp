@@ -17,10 +17,11 @@
 // once per LOOP, not per chunk, so the mutex is far off the hot path.
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace nullgraph::exec {
 
@@ -83,8 +84,9 @@ struct PhaseTiming {
 /// header-only callers (util/prefix_sum.hpp) without a link dependency.
 class PhaseTimingSink {
  public:
-  void record(const std::string& phase, const LoopSample& sample) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void record(const std::string& phase, const LoopSample& sample)
+      NG_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const auto [it, inserted] = index_.try_emplace(phase, rows_.size());
     if (inserted) {
       rows_.emplace_back();
@@ -108,15 +110,15 @@ class PhaseTimingSink {
     }
   }
 
-  std::vector<PhaseTiming> snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PhaseTiming> snapshot() const NG_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return rows_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<PhaseTiming> rows_;
-  std::unordered_map<std::string, std::size_t> index_;
+  mutable Mutex mutex_;
+  std::vector<PhaseTiming> rows_ NG_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::size_t> index_ NG_GUARDED_BY(mutex_);
 };
 
 }  // namespace nullgraph::exec

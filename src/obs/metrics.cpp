@@ -7,6 +7,8 @@ namespace nullgraph::obs {
 
 std::size_t thread_stripe() noexcept {
   static std::atomic<std::size_t> next{0};
+  // relaxed: round-robin stripe ticket; only uniqueness matters, and
+  // fetch_add is atomic at any ordering.
   thread_local const std::size_t stripe =
       next.fetch_add(1, std::memory_order_relaxed);
   return stripe;
@@ -32,6 +34,8 @@ void Histogram::record(std::int64_t v) noexcept {
                  : 1 + static_cast<std::size_t>(it - edges_.begin());
   }
   const std::size_t stripe = thread_stripe() & (kMetricStripes - 1);
+  // relaxed: striped statistics accumulation (same contract as
+  // Counter::add — eventual sums only, no ordering consumers).
   counts_[stripe * row_ + bucket].value.fetch_add(1,
                                                   std::memory_order_relaxed);
   sums_[stripe].value.fetch_add(v, std::memory_order_relaxed);
@@ -43,6 +47,8 @@ HistogramSnapshot Histogram::snapshot() const {
   out.lower = lower_;
   out.edges = edges_;
   out.counts.assign(edges_.size(), 0);
+  // relaxed: snapshot merge over live stripes; a racing record() lands in
+  // this snapshot or the next, both correct.
   for (std::size_t stripe = 0; stripe < kMetricStripes; ++stripe) {
     const std::size_t base = stripe * row_;
     out.underflow += counts_[base].value.load(std::memory_order_relaxed);
@@ -59,14 +65,14 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Counter& c : counters_)
     if (c.name() == name) return &c;
   return &counters_.emplace_back(std::string(name));
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Gauge& g : gauges_)
     if (g.name() == name) return &g;
   return &gauges_.emplace_back(std::string(name));
@@ -75,7 +81,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 Histogram* MetricsRegistry::histogram(std::string_view name,
                                       std::int64_t lower,
                                       std::vector<std::int64_t> edges) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Histogram& h : histograms_)
     if (h.name() == name) return &h;  // first registration fixes buckets
   return &histograms_.emplace_back(std::string(name), lower,
@@ -85,7 +91,7 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const Counter& c : counters_)
       out.counters.push_back({c.name(), c.value()});
     for (const Gauge& g : gauges_)

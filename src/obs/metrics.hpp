@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace nullgraph::obs {
 
@@ -52,13 +53,17 @@ class Counter {
   explicit Counter(std::string name) : name_(std::move(name)) {}
 
   void add(std::uint64_t n = 1) noexcept {
+    // relaxed: striped statistics counter; only the eventual sum matters
+    // and no reader infers ordering of other memory from it.
     slots_[thread_stripe() & (kMetricStripes - 1)].value.fetch_add(
         n, std::memory_order_relaxed);
   }
 
   /// Merged total over all stripes.
-  std::uint64_t value() const noexcept {
+  [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t total = 0;
+    // relaxed: snapshot merge; concurrent adds may or may not be included,
+    // which is inherent to reading a live counter.
     for (const auto& slot : slots_)
       total += slot.value.load(std::memory_order_relaxed);
     return total;
@@ -78,9 +83,11 @@ class Gauge {
   explicit Gauge(std::string name) : name_(std::move(name)) {}
 
   void set(std::int64_t v) noexcept {
+    // relaxed: last-writer-wins point-in-time value, no dependent data.
     value_.store(v, std::memory_order_relaxed);
   }
-  std::int64_t value() const noexcept {
+  [[nodiscard]] std::int64_t value() const noexcept {
+    // relaxed: see set().
     return value_.load(std::memory_order_relaxed);
   }
   const std::string& name() const noexcept { return name_; }
@@ -158,18 +165,21 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
+  Counter* counter(std::string_view name) NG_EXCLUDES(mutex_);
+  Gauge* gauge(std::string_view name) NG_EXCLUDES(mutex_);
   Histogram* histogram(std::string_view name, std::int64_t lower,
-                       std::vector<std::int64_t> edges);
+                       std::vector<std::int64_t> edges) NG_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const NG_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<Counter> counters_;      // deque: stable element addresses
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  mutable Mutex mutex_;
+  // deque: stable element addresses. The containers are guarded (insertion
+  // races with registration); the instruments' own counters are striped
+  // atomics and safe to hit through handles without the mutex.
+  std::deque<Counter> counters_ NG_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ NG_GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ NG_GUARDED_BY(mutex_);
 };
 
 }  // namespace nullgraph::obs

@@ -10,25 +10,25 @@ namespace nullgraph::obs {
 void TraceSink::complete(std::string name, std::uint64_t begin_us) {
   const std::uint64_t end_us = now_us();
   const std::uint64_t dur = end_us >= begin_us ? end_us - begin_us : 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back({std::move(name), 'X', begin_us, dur, thread_id()});
 }
 
 void TraceSink::instant(std::string name) {
   const std::uint64_t ts = now_us();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back({std::move(name), 'i', ts, 0, thread_id()});
 }
 
 std::size_t TraceSink::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::string TraceSink::to_json() const {
   std::vector<Event> events;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events = events_;
   }
   JsonWriter json;

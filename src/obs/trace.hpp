@@ -13,11 +13,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "robustness/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nullgraph::obs {
 
@@ -36,15 +36,15 @@ class TraceSink {
   }
 
   /// One complete ("X") event spanning [begin_us, now]. Thread-safe.
-  void complete(std::string name, std::uint64_t begin_us);
+  void complete(std::string name, std::uint64_t begin_us) NG_EXCLUDES(mutex_);
 
   /// One instant ("i") event at the current time. Thread-safe.
-  void instant(std::string name);
+  void instant(std::string name) NG_EXCLUDES(mutex_);
 
-  std::size_t event_count() const;
+  std::size_t event_count() const NG_EXCLUDES(mutex_);
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — Perfetto-loadable.
-  std::string to_json() const;
+  std::string to_json() const NG_EXCLUDES(mutex_);
 
   /// Serializes to `path`; kIoError on failure.
   Status write(const std::string& path) const;
@@ -58,8 +58,8 @@ class TraceSink {
     int tid;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ NG_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point start_;
 };
 

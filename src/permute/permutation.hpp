@@ -61,6 +61,7 @@ PermuteStats run_reservation_rounds(std::size_t n,
   // "free" sentinel and max() resolves priority.
   std::vector<std::atomic<std::uint64_t>> reservation(n);
   exec::for_chunks(ctx, n, exec::kDefaultGrain, [&](const exec::Chunk& chunk) {
+    // relaxed: pre-round init; the loop barrier publishes the zeros.
     for (std::size_t c = chunk.begin; c < chunk.end; ++c)
       reservation[c].store(0, std::memory_order_relaxed);
   });
@@ -81,12 +82,16 @@ PermuteStats run_reservation_rounds(std::size_t n,
                        for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
                          const std::uint64_t i = remaining[k];
                          const std::uint64_t h = targets[i];
+                         // relaxed: max-CAS bids carry no payload — the
+                         // commit phase re-reads after the loop barrier,
+                         // which is the only publication point.
                          std::uint64_t prev =
                              reservation[i].load(std::memory_order_relaxed);
                          while (prev < i &&
                                 !reservation[i].compare_exchange_weak(
                                     prev, i, std::memory_order_relaxed)) {
                          }
+                         // relaxed: same bid protocol for the target cell.
                          prev = reservation[h].load(std::memory_order_relaxed);
                          while (prev < i &&
                                 !reservation[h].compare_exchange_weak(
@@ -104,6 +109,8 @@ PermuteStats run_reservation_rounds(std::size_t n,
           for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
             const std::uint64_t i = remaining[k];
             const std::uint64_t h = targets[i];
+            // relaxed: bids were sealed by the inter-phase loop barrier;
+            // these reads race with nothing.
             if (reservation[i].load(std::memory_order_relaxed) == i &&
                 reservation[h].load(std::memory_order_relaxed) == i) {
               if (h != i) swap_cells(static_cast<std::size_t>(i),
@@ -118,6 +125,8 @@ PermuteStats run_reservation_rounds(std::size_t n,
                      [&](const exec::Chunk& chunk) {
                        for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
                          const std::uint64_t i = remaining[k];
+                         // relaxed: release-for-next-round; the round's
+                         // trailing loop barrier publishes the zeros.
                          reservation[i].store(0, std::memory_order_relaxed);
                          reservation[targets[i]].store(
                              0, std::memory_order_relaxed);

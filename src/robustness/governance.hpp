@@ -63,9 +63,12 @@ class CancelToken {
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
   void request_cancel() const noexcept {
+    // relaxed: a standalone flag with no dependent data; pollers only need
+    // eventual visibility, and relaxed keeps the store signal-safe & cheap.
     flag_->store(true, std::memory_order_relaxed);
   }
-  bool cancelled() const noexcept {
+  [[nodiscard]] bool cancelled() const noexcept {
+    // relaxed: see request_cancel — the flag orders nothing but itself.
     return flag_->load(std::memory_order_relaxed);
   }
 
@@ -100,11 +103,11 @@ class StallWatchdog {
 
   /// True when the window is full and its acceptance is at or below the
   /// configured floor (and at least one pair was attempted).
-  bool stalled() const noexcept;
+  [[nodiscard]] bool stalled() const noexcept;
 
   /// Committed / attempted over the current window contents (0 when the
   /// window is empty or nothing was attempted).
-  double window_acceptance() const noexcept;
+  [[nodiscard]] double window_acceptance() const noexcept;
 
  private:
   WatchdogConfig config_;
@@ -137,10 +140,12 @@ class RunGovernor {
   StatusCode should_stop() const noexcept;
 
   /// The sticky verdict without consulting the clock or token again.
-  StatusCode stop_reason() const noexcept {
+  [[nodiscard]] StatusCode stop_reason() const noexcept {
+    // relaxed: the verdict is a monotonic kOk->reason latch with no
+    // dependent payload; a stale kOk read just delays draining one chunk.
     return static_cast<StatusCode>(tripped_.load(std::memory_order_relaxed));
   }
-  bool stopped() const noexcept {
+  [[nodiscard]] bool stopped() const noexcept {
     return stop_reason() != StatusCode::kOk;
   }
 
@@ -153,7 +158,7 @@ class RunGovernor {
   /// configured ceiling; false (no side effect) otherwise.
   bool memory_exceeded(std::size_t bytes) const noexcept;
 
-  double elapsed_ms() const noexcept {
+  [[nodiscard]] double elapsed_ms() const noexcept {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start_)
         .count();
@@ -165,6 +170,8 @@ class RunGovernor {
  private:
   void trip(StatusCode reason) const noexcept {
     int expected = static_cast<int>(StatusCode::kOk);
+    // relaxed: first-reason-wins CAS on a self-contained latch; no other
+    // memory is published under this verdict, so no ordering is needed.
     tripped_.compare_exchange_strong(expected, static_cast<int>(reason),
                                      std::memory_order_relaxed);
   }

@@ -16,7 +16,7 @@ namespace nullgraph {
 /// Stable error taxonomy. Codes are append-only: their numeric values and
 /// the CLI exit statuses derived from them are a documented contract
 /// (README "Error handling & recovery").
-enum class StatusCode : int {
+enum class [[nodiscard]] StatusCode : int {
   kOk = 0,
   kInvalidArgument,        // caller passed something unusable (usage level)
   kIoError,                // file unreadable / unwritable
@@ -38,13 +38,16 @@ enum class StatusCode : int {
 };
 
 /// Short stable identifier, e.g. "kNotGraphical".
-const char* status_code_name(StatusCode code) noexcept;
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
 
 /// Process exit status the CLI maps each code to: 0 ok, 1 usage,
 /// 2 unclassified runtime failure, 3+ one per typed class (stable).
-int status_exit_code(StatusCode code) noexcept;
+[[nodiscard]] int status_exit_code(StatusCode code) noexcept;
 
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed failure. The analysis
+/// tier (scripts/check.sh, -Werror=unused-result) turns any discard into a
+/// build error; intentional discards must say why next to a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -52,12 +55,14 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const noexcept { return code_ == StatusCode::kOk; }
-  StatusCode code() const noexcept { return code_; }
-  const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
 
   /// "kNotGraphical: degree 9 exceeds n-1=7" (or "kOk").
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
@@ -80,8 +85,10 @@ class StatusError : public std::runtime_error {
 
 /// Either a value or a non-ok Status. Minimal by design: the pipeline only
 /// needs construction, ok(), value access, and status access.
+/// [[nodiscard]] for the same reason as Status: dropping a Result drops
+/// both the value and the failure it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : data_(std::move(status)) {  // NOLINT
@@ -90,18 +97,20 @@ class Result {
       data_ = Status(StatusCode::kInternal, "Result built from ok status");
   }
 
-  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::Ok() : std::get<Status>(data_);
   }
 
-  T& value() & { return std::get<T>(data_); }
-  const T& value() const& { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
+  [[nodiscard]] T& value() & { return std::get<T>(data_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(data_)); }
 
   /// Value or throw the carried status as a StatusError.
-  T take() && {
+  [[nodiscard]] T take() && {
     if (!ok()) throw StatusError(std::get<Status>(data_));
     return std::get<T>(std::move(data_));
   }

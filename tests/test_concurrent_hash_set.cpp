@@ -23,7 +23,7 @@ TEST(ConcurrentHashSet, InsertReportsPriorPresence) {
 TEST(ConcurrentHashSet, ContainsAfterInsert) {
   ConcurrentHashSet set(10);
   EXPECT_FALSE(set.contains(7));
-  set.test_and_set(7);
+  set.preload(7);
   EXPECT_TRUE(set.contains(7));
   EXPECT_FALSE(set.contains(8));
 }
@@ -38,14 +38,15 @@ TEST(ConcurrentHashSet, CapacityIsPowerOfTwoWithHeadroom) {
 
 TEST(ConcurrentHashSet, SizeTracksDistinctKeys) {
   ConcurrentHashSet set(100);
-  for (std::uint64_t k = 0; k < 50; ++k) set.test_and_set(k * 977 + 1);
-  for (std::uint64_t k = 0; k < 50; ++k) set.test_and_set(k * 977 + 1);
+  for (std::uint64_t k = 0; k < 50; ++k) set.preload(k * 977 + 1);
+  for (std::uint64_t k = 0; k < 50; ++k)
+    EXPECT_TRUE(set.test_and_set(k * 977 + 1));
   EXPECT_EQ(set.size(), 50u);
 }
 
 TEST(ConcurrentHashSet, ClearEmptiesTable) {
   ConcurrentHashSet set(100);
-  for (std::uint64_t k = 1; k <= 60; ++k) set.test_and_set(k);
+  for (std::uint64_t k = 1; k <= 60; ++k) set.preload(k);
   set.clear();
   EXPECT_EQ(set.size(), 0u);
   for (std::uint64_t k = 1; k <= 60; ++k) EXPECT_FALSE(set.contains(k));

@@ -200,7 +200,7 @@ TEST(StatusLayer, ResultHoldsValueOrStatus) {
   Result<int> bad(Status(StatusCode::kIoMalformed, "nope"));
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kIoMalformed);
-  EXPECT_THROW(std::move(bad).take(), StatusError);
+  EXPECT_THROW((void)std::move(bad).take(), StatusError);
 }
 
 TEST(StatusLayer, StatusErrorIsARuntimeError) {
