@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Capture (or refresh) the checked-in performance baselines.
+#
+# Runs the two benchmark suites that anchor the paper's headline numbers —
+# bench_fig5_endtoend (full generate pipeline) and bench_ablation_sampling
+# (degree-sequence sampling ablation) — with google-benchmark's JSON
+# emitter, and writes the results to bench/baselines/. check.sh diffs a
+# fresh run against these snapshots (scripts/compare_reports.py --bench)
+# as a NON-FATAL drift report: absolute times move with the host, so the
+# comparison informs rather than gates.
+#
+# Usage: scripts/bench_baseline.sh [outdir]
+#   BUILD_DIR=...          build tree holding bench/ binaries (default: build)
+#   BENCH_MIN_TIME=...     --benchmark_min_time seconds (default: 0.05 —
+#                          quick snapshots; raise for a quieter baseline)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-bench/baselines}
+MIN_TIME=${BENCH_MIN_TIME:-0.05}
+
+mkdir -p "$OUT"
+
+run_suite() {  # binary outfile
+  local bin=$BUILD_DIR/bench/$1 out=$OUT/$2
+  [[ -x "$bin" ]] || {
+    echo "bench_baseline: $bin not built (configure with" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  }
+  echo "== $1 -> $out =="
+  "$bin" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_out="$out" --benchmark_out_format=json
+  python3 -m json.tool "$out" >/dev/null  # refuse to commit torn JSON
+}
+
+run_suite bench_fig5_endtoend BENCH_fig5.json
+run_suite bench_ablation_sampling BENCH_sampling.json
+
+echo "bench_baseline: wrote $OUT/BENCH_fig5.json and $OUT/BENCH_sampling.json"

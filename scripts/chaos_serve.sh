@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Deterministic chaos drill for `nullgraph serve` (DESIGN.md §9).
+#
+# Three phases, every expectation exact:
+#
+#   1. admission storm — 8 concurrent submits against slots=2 queue=2 with
+#      slot-holding jobs: exactly 4 complete (exit 0) and exactly 4 are
+#      shed with typed kOverloaded (exit 18) carrying a retry-after hint;
+#      the daemon report must account for every reject.
+#   2. SIGKILL + restart — a checkpointed long job is killed mid-swap-chain
+#      (kill -9, no cleanup path runs). Already-committed output must
+#      survive byte-for-byte, no torn output may appear, and a restarted
+#      daemon must resume the spooled job to a committed, parseable output
+#      with an empty spool afterwards.
+#   3. accept chaos — --inject-accept-fail drops the first accepted
+#      connections on the floor; clients must fail typed (not hang), and
+#      the daemon must keep serving afterwards even with a slow-client
+#      injection active.
+#
+# Used by scripts/check.sh as the serve_smoke tier; also runnable
+# standalone: scripts/chaos_serve.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+BIN=$BUILD_DIR/tools/nullgraph
+WORK=${1:-$BUILD_DIR/chaos-serve}
+
+[[ -x "$BIN" ]] || { echo "chaos_serve: $BIN not built" >&2; exit 1; }
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() { echo "chaos_serve: FAIL: $*" >&2; exit 1; }
+
+wait_for_socket() {  # path
+  for _ in $(seq 1 100); do [[ -S "$1" ]] && return 0; sleep 0.1; done
+  fail "socket $1 never appeared"
+}
+
+wait_for_ping() {  # socket
+  for _ in $(seq 1 100); do
+    "$BIN" submit --socket "$1" --ping >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "daemon at $1 never answered ping"
+}
+
+# ---------------------------------------------------------------- phase 1
+echo "== chaos_serve phase 1: admission storm (8 jobs vs slots=2 queue=2) =="
+SOCK=$WORK/storm.sock
+"$BIN" serve --socket "$SOCK" --slots 2 --queue 2 \
+  --report-json "$WORK/storm_report.json" >"$WORK/storm_daemon.log" 2>&1 &
+STORM_PID=$!
+wait_for_ping "$SOCK"
+
+# Every job holds its slot for 2 s via the injection hook, so all 8
+# submissions land while the first 2 are running and 2 more are queued —
+# the admission verdicts are fully determined. The small stagger lets each
+# verdict settle (worker dequeue is a cv-notify away) without ever letting
+# a slot free up: 8 x 0.15 s of staggering is well under the 2 s hold.
+STORM_JOBS=()
+for i in $(seq 1 8); do
+  { rc=0
+    "$BIN" submit --socket "$SOCK" --n 2000 --dmax 50 --swaps 1 --seed "$i" \
+      --inject-job-slow-ms 2000 >/dev/null 2>&1 || rc=$?
+    echo "$rc" >"$WORK/storm_rc.$i"; } &
+  STORM_JOBS+=("$!")
+  sleep 0.15
+done
+# Wait only on the submit subshells — a bare `wait` would also wait on the
+# daemon, which by design never exits until told to.
+wait "${STORM_JOBS[@]}"
+
+COMPLETED=$(cat "$WORK"/storm_rc.* | grep -cx 0 || true)
+OVERLOADED=$(cat "$WORK"/storm_rc.* | grep -cx 18 || true)
+[[ "$COMPLETED" == 4 ]] || fail "expected exactly 4 completions, got $COMPLETED"
+[[ "$OVERLOADED" == 4 ]] || fail "expected exactly 4 kOverloaded (exit 18), got $OVERLOADED"
+
+"$BIN" submit --socket "$SOCK" --shutdown >/dev/null 2>&1 || true
+wait "$STORM_PID" || fail "storm daemon exited non-zero"
+python3 - "$WORK/storm_report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["serve_report_version"] == 1, r
+assert r["completed"] == 4, r
+assert r["rejected"] == 4, r
+assert r["counters"].get("serve.admission_rejects") == 4, r
+assert r["counters"].get("serve.jobs_completed") == 4, r
+PY
+echo "   ok: 4 completed, 4 shed with typed kOverloaded, report accounts for all"
+
+# ---------------------------------------------------------------- phase 2
+echo "== chaos_serve phase 2: SIGKILL mid-job, restart, recover =="
+SOCK=$WORK/crash.sock
+SPOOL=$WORK/spool
+"$BIN" serve --socket "$SOCK" --slots 2 --spool "$SPOOL" \
+  >"$WORK/crash_daemon.log" 2>&1 &
+CRASH_PID=$!
+wait_for_ping "$SOCK"
+
+# Survivor: a quick server-side job whose output commits before the kill.
+"$BIN" submit --socket "$SOCK" --n 2000 --dmax 50 --swaps 1 \
+  --out "$WORK/quick.txt" >/dev/null 2>&1 || fail "quick job failed"
+[[ -s "$WORK/quick.txt" ]] || fail "quick job committed no output"
+cp "$WORK/quick.txt" "$WORK/quick.txt.before"
+
+# Victim: a checkpointed long job; kill the daemon once its first snapshot
+# hits the spool (poll, not sleep — deterministic on any machine speed).
+"$BIN" submit --socket "$SOCK" --n 100000 --dmax 500 --swaps 3000 \
+  --checkpoint-every 50 --out "$WORK/big.txt" >/dev/null 2>&1 &
+VICTIM_PID=$!
+for _ in $(seq 1 200); do
+  compgen -G "$SPOOL/job-*.ckpt" >/dev/null && break
+  sleep 0.05
+done
+compgen -G "$SPOOL/job-*.ckpt" >/dev/null || fail "no checkpoint ever spooled"
+compgen -G "$SPOOL/job-*.meta" >/dev/null || fail "no meta spooled beside the checkpoint"
+
+kill -9 "$CRASH_PID"
+wait "$VICTIM_PID" 2>/dev/null || true  # client dies with the daemon; that's the point
+wait "$CRASH_PID" 2>/dev/null || true
+
+cmp -s "$WORK/quick.txt" "$WORK/quick.txt.before" \
+  || fail "SIGKILL corrupted already-committed output"
+if [[ -e "$WORK/big.txt" ]]; then
+  fail "torn output delivered for the killed job"
+fi
+
+"$BIN" serve --socket "$SOCK" --slots 2 --spool "$SPOOL" \
+  --report-json "$WORK/crash_report.json" >"$WORK/restart_daemon.log" 2>&1 &
+RESTART_PID=$!
+wait_for_ping "$SOCK"
+"$BIN" submit --socket "$SOCK" --shutdown >/dev/null 2>&1 || true
+wait "$RESTART_PID" || fail "restarted daemon exited non-zero"
+
+[[ -s "$WORK/big.txt" ]] || fail "restart did not commit the recovered output"
+"$BIN" stats --in "$WORK/big.txt" >/dev/null || fail "recovered output is not parseable"
+if compgen -G "$SPOOL/job-*" >/dev/null; then
+  fail "spool not consumed by recovery"
+fi
+python3 - "$WORK/crash_report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["serve_report_version"] == 1, r
+assert r["recovered"] == 1, r
+assert r["counters"].get("serve.jobs_recovered") == 1, r
+PY
+echo "   ok: committed output survived, killed job recovered, spool drained"
+
+# ---------------------------------------------------------------- phase 3
+echo "== chaos_serve phase 3: accept-drop and slow-client injections =="
+SOCK=$WORK/flaky.sock
+"$BIN" serve --socket "$SOCK" --slots 1 \
+  --inject-accept-fail 1 --inject-slow-client-ms 20 \
+  --report-json "$WORK/flaky_report.json" >"$WORK/flaky_daemon.log" 2>&1 &
+FLAKY_PID=$!
+wait_for_socket "$SOCK"
+if "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1; then
+  fail "expected the first connection to be chaos-dropped"
+fi
+wait_for_ping "$SOCK"  # the daemon must still be serving after the drop
+"$BIN" submit --socket "$SOCK" --n 2000 --dmax 50 --swaps 1 \
+  >/dev/null 2>&1 || fail "submit after chaos drop failed"
+"$BIN" submit --socket "$SOCK" --shutdown >/dev/null 2>&1 || true
+wait "$FLAKY_PID" || fail "flaky daemon exited non-zero"
+python3 - "$WORK/flaky_report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["serve_report_version"] == 1, r
+assert r["counters"].get("serve.chaos_accept_drops") == 1, r
+assert r["completed"] == 1, r
+PY
+echo "   ok: dropped connection failed typed, daemon kept serving"
+
+echo "chaos_serve: all phases passed"

@@ -8,7 +8,9 @@
 #      Status/Result is a build error; when clang++ is on PATH the same
 #      tree also compiles with -Werror=thread-safety, proving every
 #      NG_GUARDED_BY contract. Compile-only — no tests run here.
-#   3. default build + ctest, telemetry smoke through the real binary.
+#   3. default build + ctest, telemetry smoke through the real binary,
+#      the serve_smoke chaos drill (scripts/chaos_serve.sh), and a
+#      non-fatal benchmark drift report against bench/baselines/.
 #   4. sanitizers: ASan/UBSan full suite, then TSan over the
 #      concurrency-critical suites.
 #
@@ -95,6 +97,29 @@ python3 -m json.tool "$TELEM_DIR/report.json" >/dev/null
 python3 -m json.tool "$TELEM_DIR/trace.json" >/dev/null
 python3 scripts/compare_reports.py \
   "$TELEM_DIR/report.json" "$TELEM_DIR/report.json" >/dev/null
+
+echo "== serve smoke: chaos drill over the service daemon =="
+# Deterministic end-to-end drill (scripts/chaos_serve.sh): admission storm
+# with an exact completed/kOverloaded split, SIGKILL mid-job + restart
+# recovery with no torn output, and accept/slow-client fault injections.
+scripts/chaos_serve.sh build/serve-smoke
+
+echo "== bench drift vs checked-in baselines (informational) =="
+# Absolute benchmark times move with the host, so drift beyond the
+# threshold is REPORTED but never fails the build. Refresh the snapshots
+# with scripts/bench_baseline.sh after an intentional perf change.
+if [[ -f bench/baselines/BENCH_fig5.json && -x build/bench/bench_fig5_endtoend ]]; then
+  DRIFT_DIR=build/bench-drift
+  BUILD_DIR=build scripts/bench_baseline.sh "$DRIFT_DIR" >/dev/null
+  python3 scripts/compare_reports.py --bench \
+    bench/baselines/BENCH_fig5.json "$DRIFT_DIR/BENCH_fig5.json" \
+    || echo "   (drift noted above is informational, not a failure)"
+  python3 scripts/compare_reports.py --bench \
+    bench/baselines/BENCH_sampling.json "$DRIFT_DIR/BENCH_sampling.json" \
+    || echo "   (drift noted above is informational, not a failure)"
+else
+  echo "   (bench binaries or baselines absent; skipping)"
+fi
 
 if [[ "$SKIP_SAN" == 1 ]]; then
   echo "== sanitizer pass skipped (lint + analysis tiers already ran) =="

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two nullgraph --report-json run reports.
+"""Diff two nullgraph --report-json run reports (or benchmark baselines).
 
 Compares phase wall times, swap-chain acceptance rates, and metric values
 between a baseline report and a candidate report, printing a row per
@@ -7,9 +7,14 @@ difference. Relative regressions beyond --threshold (default 10%) on
 timing rows, or beyond --metric-threshold on acceptance/metric rows, make
 the script exit non-zero so it can gate CI.
 
+With --bench the two files are instead treated as google-benchmark JSON
+(--benchmark_out_format=json): per-benchmark cpu_time is compared against
+--threshold, bigger is worse. This is how check.sh diffs a fresh bench run
+against the checked-in bench/baselines/ snapshots.
+
 Usage:
   compare_reports.py baseline.json candidate.json [--threshold 0.10]
-      [--metric-threshold 0.05] [--ignore-missing]
+      [--metric-threshold 0.05] [--ignore-missing] [--bench]
 
 Exit codes:
   0  no regression beyond thresholds
@@ -42,6 +47,49 @@ def load_report(path: str) -> dict:
         sys.exit(f"error: {path!r} is not a nullgraph run report "
                  "(missing report_version)")
     return report
+
+
+def load_bench(path: str) -> dict:
+    """Load a google-benchmark JSON file as {benchmark name: cpu_time}.
+
+    Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+    skipped so a repetitions-enabled run still compares cleanly against a
+    single-shot baseline.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read benchmark file {path!r}: {exc}")
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        sys.exit(f"error: {path!r} is not google-benchmark JSON "
+                 "(missing benchmarks)")
+    out = {}
+    for row in doc["benchmarks"]:
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        cpu = row.get("cpu_time")
+        if isinstance(name, str) and isinstance(cpu, (int, float)):
+            out[name] = float(cpu)
+    return out
+
+
+def compare_bench(args: argparse.Namespace) -> int:
+    base = load_bench(args.baseline)
+    cand = load_bench(args.candidate)
+    cmp = Comparison(args.threshold, args.metric_threshold,
+                     args.ignore_missing)
+    print(f"{'section/name':<40}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>8}")
+    cmp.compare_numeric_map("cpu_time", base, cand, cmp.threshold,
+                            bigger_is_worse=True)
+    cmp.report()
+    if cmp.regressions:
+        print(f"\n{cmp.regressions} regression(s) beyond threshold")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
 
 
 def rel_delta(base: float, cand: float) -> float:
@@ -111,7 +159,13 @@ def main() -> int:
                              "(default 0.05)")
     parser.add_argument("--ignore-missing", action="store_true",
                         help="do not report rows present in only one report")
+    parser.add_argument("--bench", action="store_true",
+                        help="treat inputs as google-benchmark JSON and "
+                             "compare per-benchmark cpu_time")
     args = parser.parse_args()
+
+    if args.bench:
+        return compare_bench(args)
 
     base = load_report(args.baseline)
     cand = load_report(args.candidate)

@@ -29,6 +29,14 @@ THREAD_SPAWN_ALLOWLIST = {
     # Deliberately hammers the striped MetricsRegistry from raw std::threads
     # to prove stripe assignment works off the OpenMP pool.
     "tests/test_obs.cpp",
+    # Serve scheduler worker slots: each slot thread runs a whole OpenMP
+    # pipeline; the slots themselves cannot be OpenMP tasks because every
+    # job needs its own master thread for the thread-local budget lease.
+    "src/svc/scheduler.hpp",
+    "src/svc/scheduler.cpp",
+    # Runs the (blocking) daemon on a background thread so the client API
+    # can be exercised against it in-process.
+    "tests/test_svc.cpp",
 }
 
 _PRAGMA = re.compile(r"#\s*pragma\s+omp\b")

@@ -1,0 +1,42 @@
+"""Service-syscall confinement rule.
+
+Raw socket and process-control syscalls — ``socket()``, ``accept()``,
+``accept4()``, ``fork()``, ``vfork()`` — are allowed only inside src/svc/
+(in practice: wire.cpp, the one file that owns fd lifecycles). Everything
+else goes through the svc wrappers (listen_unix / connect_unix /
+accept_with_timeout / close_fd), so the defensive read/write contracts and
+the daemon's fd accounting cannot be bypassed by a stray direct call.
+
+The pattern requires the open parenthesis immediately after the name, so
+project wrappers like ``accept_with_timeout(`` or ``socketpair_helper(``
+never trip it; comments and string literals are stripped by the framework
+before matching.
+"""
+
+import re
+
+from . import base
+
+NAME = "svc-confinement"
+DESCRIPTION = (
+    "raw socket()/accept()/fork() syscalls confined to src/svc/"
+)
+
+SANCTIONED_DIR = "src/svc/"
+
+_SYSCALL = re.compile(r"(?<![A-Za-z0-9_])(?:socket|accept4?|v?fork)\s*\(")
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    for f in tree.files:
+        if f.in_dir(SANCTIONED_DIR):
+            continue
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if _SYSCALL.search(line):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "raw socket/process syscall outside src/svc/ — use the "
+                    "svc wire wrappers (listen_unix/connect_unix/"
+                    "accept_with_timeout/close_fd)"))
+    return diags

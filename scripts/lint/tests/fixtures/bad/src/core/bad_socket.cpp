@@ -1,0 +1,11 @@
+// Fixture: raw socket/process syscalls outside src/svc/ must be flagged.
+#include <sys/socket.h>
+#include <unistd.h>
+
+int escape_the_service_layer() {
+  // "socket(" in a comment must NOT be flagged (comments are stripped).
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  const int conn = accept(fd, nullptr, nullptr);
+  if (fork() == 0) return conn;
+  return fd;
+}

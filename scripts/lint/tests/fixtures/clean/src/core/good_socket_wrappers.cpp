@@ -1,0 +1,7 @@
+// Fixture: svc wrapper calls (name + underscore suffix) must not trip the
+// svc-confinement rule — only bare syscall names do.
+int use_the_wrappers(int listen_fd) {
+  extern int accept_with_timeout(int, int);
+  extern int socketpair_like_helper(int);
+  return accept_with_timeout(listen_fd, 100) + socketpair_like_helper(0);
+}

@@ -80,8 +80,8 @@ class DriverTest(unittest.TestCase):
     def test_list_names_all_rules(self):
         result = run_driver("--list")
         self.assertEqual(result.returncode, 0)
-        for name in ("omp-confinement", "determinism", "atomics",
-                     "include-hygiene"):
+        for name in ("omp-confinement", "svc-confinement", "determinism",
+                     "atomics", "include-hygiene"):
             self.assertIn(name, result.stdout)
 
 
@@ -109,6 +109,19 @@ class RuleDiagnosticsTest(unittest.TestCase):
     def test_omp_confinement_flags_thread_and_async_spawns(self):
         self.assertIn("src/core/bad_omp.cc:15: [omp-confinement]", self.out)
         self.assertIn("src/core/bad_omp.cc:16: [omp-confinement]", self.out)
+
+    def test_svc_confinement_flags_each_raw_syscall(self):
+        for line in (7, 8, 9):  # socket(), accept(), fork()
+            self.assertIn(
+                f"src/core/bad_socket.cpp:{line}: [svc-confinement] raw "
+                "socket/process syscall outside src/svc/", self.out)
+
+    def test_svc_confinement_ignores_wrapper_names_and_comments(self):
+        # The clean fixture calls accept_with_timeout()/socketpair-like
+        # helpers and mentions socket( in a comment; none may fire.
+        result = run_driver("--root", str(FIXTURES / "clean"),
+                            "--rules", "svc-confinement")
+        self.assertEqual(result.returncode, 0, result.stdout)
 
     def test_atomics_flags_volatile(self):
         self.assertIn(

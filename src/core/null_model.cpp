@@ -61,9 +61,14 @@ std::size_t swap_footprint_bytes(std::size_t m) {
 /// Installs the governance fields on a SwapConfig: governor, slow-phase
 /// fault, and (when configured) the checkpoint sink that snapshots the
 /// chain every `checkpoint_every` completed iterations and at the end.
+/// Snapshot writes get one retry after a backoff (ENOSPC/EIO are often
+/// transient); a write that fails twice is surfaced as a typed kIoError
+/// check in `report` — never thrown, because a failed snapshot must not
+/// abort the run it exists to protect.
 void wire_swap_governance(SwapConfig& swap_config, const RunGovernor* gov,
                           const GovernanceConfig& governance,
-                          const GuardrailConfig& guard) {
+                          const GuardrailConfig& guard,
+                          PipelineReport* report) {
   swap_config.governor = gov;
   swap_config.slow_iteration_ms = guard.faults.slow_phase_ms;
   if (gov == nullptr || governance.checkpoint_every == 0 ||
@@ -72,7 +77,14 @@ void wire_swap_governance(SwapConfig& swap_config, const RunGovernor* gov,
   const std::size_t every = governance.checkpoint_every;
   const std::string path = governance.checkpoint_path;
   const std::uint64_t swap_seed = swap_config.seed;
-  swap_config.on_iteration = [every, path, swap_seed](const SwapProgress& p) {
+  const obs::ObsContext obs = swap_config.obs;
+  // shared_ptr: SwapConfig (and the closure) is copied by value on its way
+  // into the swap phase, but the injection countdown must be one counter
+  // across all copies or the drill would fail more writes than armed.
+  auto inject_left =
+      std::make_shared<std::size_t>(guard.faults.fail_checkpoint_writes);
+  swap_config.on_iteration = [every, path, swap_seed, obs, report,
+                              inject_left](const SwapProgress& p) {
     if (p.completed_iterations % every != 0 &&
         p.completed_iterations != p.total_iterations)
       return;
@@ -83,9 +95,17 @@ void wire_swap_governance(SwapConfig& swap_config, const RunGovernor* gov,
     ckpt.chain_state = p.chain_state;
     ckpt.degree_fingerprint = degree_fingerprint(*p.edges);
     ckpt.edges = *p.edges;
-    // Best-effort: a failed snapshot must not kill the run it exists to
-    // protect; the next interval (or the final write) retries.
-    (void)write_checkpoint(path, ckpt);
+    CheckpointRetryPolicy policy;
+    policy.inject_io_failures = inject_left.get();
+    const Status status = write_checkpoint_with_retry(path, ckpt, policy);
+    if (!status.ok()) {
+      if (report != nullptr)
+        report->checks.push_back({"checkpoint", status, false});
+      if (obs.metrics != nullptr)
+        obs.metrics->counter("checkpoint.write_failures")->add(1);
+    } else if (obs.metrics != nullptr) {
+      obs.metrics->counter("checkpoint.writes")->add(1);
+    }
   };
 }
 
@@ -346,7 +366,8 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     swap_config.track_swapped_edges = config.track_swapped_edges;
     swap_config.timings = &sink;
     swap_config.obs = config.obs;
-    wire_swap_governance(swap_config, gov, config.governance, guard);
+    wire_swap_governance(swap_config, gov, config.governance, guard,
+                         &result.report);
     // The memory ceiling is checked against the phase's estimated footprint
     // BEFORE swap_edges allocates; a trip makes the phase return immediately
     // with the (simple by construction) edge-skip output as best-so-far.
@@ -404,7 +425,8 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
     swap_config.track_swapped_edges = config.track_swapped_edges;
     swap_config.timings = &sink;
     swap_config.obs = config.obs;
-    wire_swap_governance(swap_config, gov, config.governance, guard);
+    wire_swap_governance(swap_config, gov, config.governance, guard,
+                         &result.report);
     if (gov != nullptr)
       (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
     if (checking) {
@@ -459,7 +481,8 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
   swap_config.track_swapped_edges = config.track_swapped_edges;
   swap_config.timings = &sink;
   swap_config.obs = config.obs;
-  wire_swap_governance(swap_config, gov, config.governance, guard);
+  wire_swap_governance(swap_config, gov, config.governance, guard,
+                         &result.report);
   if (gov != nullptr)
     (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
   {

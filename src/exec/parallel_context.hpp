@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "exec/phase_timing.hpp"
+#include "exec/thread_budget.hpp"
 #include "obs/obs_context.hpp"
 #include "robustness/governance.hpp"
 #include "util/parallel.hpp"
@@ -38,8 +39,14 @@ struct ParallelContext {
   /// instrumented callers record counters/histograms through obs.metrics.
   obs::ObsContext obs;
 
+  /// Worker count for the next loop. Explicit `threads` wins; otherwise
+  /// the calling thread's installed job budget (the serve scheduler's
+  /// per-job share, see thread_budget.hpp); otherwise the historical
+  /// whole-machine OpenMP default.
   int resolved_threads() const noexcept {
-    return threads > 0 ? threads : max_threads();
+    if (threads > 0) return threads;
+    const int budget = current_thread_budget();
+    return budget > 0 ? budget : max_threads();
   }
 
   /// Sticky verdict check for serial code between loops (per-round or

@@ -1,0 +1,43 @@
+#include "exec/thread_budget.hpp"
+
+namespace nullgraph::exec {
+
+namespace {
+// One budget per OS thread. Plain int, no atomics: only the owning thread
+// reads or writes its slot (the scheduler installs the lease on the same
+// thread that runs the job's pipeline).
+thread_local int t_thread_budget = 0;
+}  // namespace
+
+int current_thread_budget() noexcept { return t_thread_budget; }
+
+int set_thread_budget(int threads) noexcept {
+  const int previous = t_thread_budget;
+  t_thread_budget = threads < 0 ? 0 : threads;
+  return previous;
+}
+
+int ThreadArbiter::acquire(int want) {
+  MutexLock lock(mutex_);
+  ++jobs_;
+  if (want <= 0) want = total_ / jobs_;
+  const int available = total_ - committed_;
+  int granted = want < available ? want : available;
+  if (granted < 1) granted = 1;  // progress floor: may oversubscribe by 1
+  committed_ += granted;
+  return granted;
+}
+
+void ThreadArbiter::release(int granted) {
+  MutexLock lock(mutex_);
+  committed_ -= granted;
+  if (jobs_ > 0) --jobs_;
+  if (committed_ < 0) committed_ = 0;
+}
+
+int ThreadArbiter::committed() const {
+  MutexLock lock(mutex_);
+  return committed_;
+}
+
+}  // namespace nullgraph::exec

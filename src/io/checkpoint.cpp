@@ -3,8 +3,10 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 namespace nullgraph {
@@ -101,6 +103,27 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
                   "cannot rename checkpoint into place: " + path);
   }
   return Status::Ok();
+}
+
+Status write_checkpoint_with_retry(const std::string& path,
+                                   const Checkpoint& ckpt,
+                                   const CheckpointRetryPolicy& policy) {
+  const auto attempt = [&]() -> Status {
+    if (policy.inject_io_failures != nullptr && *policy.inject_io_failures > 0) {
+      --*policy.inject_io_failures;
+      return Status(StatusCode::kIoError,
+                    "injected checkpoint write failure (ENOSPC drill): " +
+                        path);
+    }
+    return write_checkpoint(path, ckpt);
+  };
+  Status status = attempt();
+  if (status.ok() || status.code() != StatusCode::kIoError) return status;
+  // One backoff-then-retry: ENOSPC/EIO are often transient (log rotation,
+  // a competing writer); more retries would stall the swap chain the
+  // snapshot is supposed to protect.
+  std::this_thread::sleep_for(std::chrono::milliseconds(policy.backoff_ms));
+  return attempt();
 }
 
 Result<Checkpoint> try_read_checkpoint(const std::string& path) {

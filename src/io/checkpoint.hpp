@@ -49,6 +49,25 @@ struct Checkpoint {
 /// Atomically writes `ckpt` to `path` (write-to-temp, fsync, rename).
 Status write_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
+/// Transient-fault policy for periodic snapshot writers (the swap phase's
+/// checkpoint sink and the serve daemon's per-job spool): a full disk or a
+/// flaky device (ENOSPC/EIO) is worth exactly one retry after a short
+/// backoff — a second failure is surfaced as a typed kIoError for the
+/// caller's report, never an abort, because a failed snapshot must not
+/// kill the run it exists to protect.
+struct CheckpointRetryPolicy {
+  std::uint64_t backoff_ms = 25;
+  /// Fault injection: while non-null and non-zero, each write attempt
+  /// decrements the counter and fails with a synthesized kIoError instead
+  /// of touching the filesystem (--inject-ckpt-fail N).
+  std::size_t* inject_io_failures = nullptr;
+};
+
+/// write_checkpoint with the one-retry-after-backoff policy above.
+Status write_checkpoint_with_retry(const std::string& path,
+                                   const Checkpoint& ckpt,
+                                   const CheckpointRetryPolicy& policy = {});
+
 /// Reads and verifies a snapshot. kIoError when the file cannot be opened;
 /// kCheckpointInvalid for bad magic, unknown version, truncation, or a CRC
 /// mismatch (message says which).

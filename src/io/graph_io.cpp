@@ -1,6 +1,9 @@
 #include "io/graph_io.hpp"
 
+#include <unistd.h>
+
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <string>
@@ -107,6 +110,32 @@ void write_edge_list(std::ostream& out, const EdgeList& edges) {
 void write_edge_list_file(const std::string& path, const EdgeList& edges) {
   auto out = open_output(path);
   write_edge_list(out, edges);
+}
+
+Status write_edge_list_file_atomic(const std::string& path,
+                                   const EdgeList& edges) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError, "cannot open temp output: " + tmp);
+  bool wrote = true;
+  for (const Edge& e : edges) {
+    if (std::fprintf(file, "%u %u\n", e.u, e.v) < 0) {
+      wrote = false;
+      break;
+    }
+  }
+  wrote = wrote && std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  if (std::fclose(file) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError,
+                  "cannot rename output into place: " + path);
+  }
+  return Status::Ok();
 }
 
 Result<DegreeDistribution> try_read_degree_distribution(std::istream& in) {

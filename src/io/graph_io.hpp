@@ -29,6 +29,13 @@ EdgeList read_edge_list_file(const std::string& path);
 void write_edge_list(std::ostream& out, const EdgeList& edges);
 void write_edge_list_file(const std::string& path, const EdgeList& edges);
 
+/// Crash-consistent edge-list write for service outputs: write-to-temp,
+/// flush, fsync, rename — the same commit discipline as checkpoints, so a
+/// SIGKILLed daemon can never leave a torn output for a client (or a
+/// restart) to pick up. kIoError on any filesystem failure.
+Status write_edge_list_file_atomic(const std::string& path,
+                                   const EdgeList& edges);
+
 DegreeDistribution read_degree_distribution(std::istream& in);
 DegreeDistribution read_degree_distribution_file(const std::string& path);
 void write_degree_distribution(std::ostream& out,

@@ -53,6 +53,23 @@ struct FaultPlan {
   /// (--inject-slow-ms).
   std::uint64_t slow_phase_ms = 0;
 
+  /// Fail the first N periodic checkpoint writes with a synthesized
+  /// kIoError (ENOSPC/EIO drill, --inject-ckpt-fail). Each failed write
+  /// still gets the one-retry-after-backoff policy, so N=1 exercises the
+  /// recovered path and N>=2 the surfaced-kIoError path.
+  std::size_t fail_checkpoint_writes = 0;
+
+  // Daemon-level chaos hooks (nullgraph serve; inert for one-shot runs):
+
+  /// Drop the first N accepted connections before reading a byte
+  /// (--inject-accept-fail): clients see a clean close, the accept loop
+  /// must keep serving everyone else.
+  std::size_t accept_fail = 0;
+  /// Treat every connection as a client that stalls this long mid-request
+  /// (--inject-slow-client-ms): drives the daemon's request read deadline,
+  /// which must answer kClientProtocol instead of wedging a reader slot.
+  std::uint64_t slow_client_ms = 0;
+
   bool active() const noexcept {
     return drop_edges || duplicate_edges || self_loops ||
            corrupt_prob_entries || force_swap_stall || slow_phase_ms;

@@ -22,6 +22,9 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kCapacityExhausted: return "kCapacityExhausted";
     case StatusCode::kMemoryBudget: return "kMemoryBudget";
     case StatusCode::kCheckpointInvalid: return "kCheckpointInvalid";
+    case StatusCode::kOverloaded: return "kOverloaded";
+    case StatusCode::kJobEvicted: return "kJobEvicted";
+    case StatusCode::kClientProtocol: return "kClientProtocol";
   }
   return "kUnknown";
 }
@@ -46,6 +49,9 @@ int status_exit_code(StatusCode code) noexcept {
     case StatusCode::kCapacityExhausted: return 15;
     case StatusCode::kMemoryBudget: return 16;
     case StatusCode::kCheckpointInvalid: return 17;
+    case StatusCode::kOverloaded: return 18;
+    case StatusCode::kJobEvicted: return 19;
+    case StatusCode::kClientProtocol: return 20;
   }
   return 2;
 }

@@ -35,6 +35,9 @@ enum class [[nodiscard]] StatusCode : int {
   kCapacityExhausted,      // ConcurrentHashSet probe budget spent (table full)
   kMemoryBudget,           // RunBudget memory ceiling would be exceeded
   kCheckpointInvalid,      // checkpoint file failed magic/version/CRC checks
+  kOverloaded,             // service admission control rejected the job
+  kJobEvicted,             // queued/in-flight job dropped by daemon lifecycle
+  kClientProtocol,         // malformed/slow client traffic on the wire
 };
 
 /// Short stable identifier, e.g. "kNotGraphical".

@@ -1,0 +1,139 @@
+#include "svc/client.hpp"
+
+#include "svc/wire.hpp"
+
+namespace nullgraph::svc {
+
+namespace {
+
+/// RAII socket so every early return below closes the connection.
+class Connection {
+ public:
+  static Result<Connection> open(const std::string& socket_path) {
+    Result<int> fd = connect_unix(socket_path);
+    if (!fd.ok()) return fd.status();
+    return Connection(fd.value());
+  }
+
+  Connection(Connection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection& operator=(Connection&&) = delete;
+  ~Connection() { close_fd(fd_); }
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Connection(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+Status status_from_reply(const JsonObject& reply) {
+  return Status(status_code_from_id(get_u64(reply, "code_id",
+                                            static_cast<std::uint64_t>(
+                                                StatusCode::kInternal))),
+                get_string(reply, "message"));
+}
+
+Result<JsonObject> read_control_object(int fd, int timeout_ms) {
+  Result<Frame> frame = read_frame(fd, timeout_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type != FrameType::kControl)
+    return Status(StatusCode::kClientProtocol,
+                  "expected a control frame from the daemon");
+  Result<JsonValue> doc = parse_json(frame.value().text());
+  if (!doc.ok()) return doc.status();
+  if (!doc.value().is_object())
+    return Status(StatusCode::kClientProtocol,
+                  "daemon reply is not a JSON object");
+  return doc.value().as_object();
+}
+
+}  // namespace
+
+Result<SubmitOutcome> submit_job(const SubmitOptions& options,
+                                 const JobSpec& spec) {
+  Result<Connection> conn = Connection::open(options.socket_path);
+  if (!conn.ok()) return conn.status();
+  const int fd = conn.value().fd();
+
+  if (Status s = write_control(fd, serialize_job_spec(spec)); !s.ok())
+    return s;
+  if (spec.edges_follow) {
+    if (Status s = write_edge_frames(fd, spec.edges); !s.ok()) return s;
+    if (Status s = write_control(fd, "{\"end\":true}"); !s.ok()) return s;
+  }
+
+  SubmitOutcome outcome;
+  Result<JsonObject> admission =
+      read_control_object(fd, options.reply_timeout_ms);
+  if (!admission.ok()) return admission.status();
+  if (!get_bool(admission.value(), "ok", false)) {
+    outcome.admission = status_from_reply(admission.value());
+    outcome.retry_after_ms = get_u64(admission.value(), "retry_after_ms", 0);
+    return outcome;
+  }
+  outcome.job_id = get_u64(admission.value(), "job_id", 0);
+
+  // Result stream: zero or more edge frames, then the final verdict.
+  while (true) {
+    Result<Frame> frame = read_frame(fd, options.reply_timeout_ms);
+    if (!frame.ok()) return frame.status();
+    if (frame.value().type == FrameType::kEdges) {
+      Result<EdgeList> chunk = decode_edges(frame.value());
+      if (!chunk.ok()) return chunk.status();
+      outcome.edges.insert(outcome.edges.end(), chunk.value().begin(),
+                           chunk.value().end());
+      continue;
+    }
+    Result<JsonValue> doc = parse_json(frame.value().text());
+    if (!doc.ok()) return doc.status();
+    const JsonObject& reply = doc.value().as_object();
+    outcome.final_status = get_bool(reply, "ok", false)
+                               ? Status::Ok()
+                               : status_from_reply(reply);
+    outcome.curtailed = get_string(reply, "curtailed");
+    outcome.curtailed_code =
+        status_code_from_id(get_u64(reply, "curtailed_id", 0));
+    outcome.edge_count = get_u64(reply, "edges", 0);
+    outcome.report_path = get_string(reply, "report");
+    outcome.out_path = get_string(reply, "out");
+    return outcome;
+  }
+}
+
+Result<std::string> request_stats(const SubmitOptions& options) {
+  Result<Connection> conn = Connection::open(options.socket_path);
+  if (!conn.ok()) return conn.status();
+  const int fd = conn.value().fd();
+  if (Status s = write_control(fd, "{\"op\":\"stats\"}"); !s.ok()) return s;
+  Result<Frame> frame = read_frame(fd, options.reply_timeout_ms);
+  if (!frame.ok()) return frame.status();
+  return frame.value().text();
+}
+
+Status request_shutdown(const SubmitOptions& options) {
+  Result<Connection> conn = Connection::open(options.socket_path);
+  if (!conn.ok()) return conn.status();
+  const int fd = conn.value().fd();
+  if (Status s = write_control(fd, "{\"op\":\"shutdown\"}"); !s.ok()) return s;
+  Result<JsonObject> reply = read_control_object(fd, options.reply_timeout_ms);
+  if (!reply.ok()) return reply.status();
+  return get_bool(reply.value(), "ok", false)
+             ? Status::Ok()
+             : status_from_reply(reply.value());
+}
+
+Status ping(const SubmitOptions& options) {
+  Result<Connection> conn = Connection::open(options.socket_path);
+  if (!conn.ok()) return conn.status();
+  const int fd = conn.value().fd();
+  if (Status s = write_control(fd, "{\"op\":\"ping\"}"); !s.ok()) return s;
+  Result<JsonObject> reply = read_control_object(fd, options.reply_timeout_ms);
+  if (!reply.ok()) return reply.status();
+  return get_bool(reply.value(), "ok", false)
+             ? Status::Ok()
+             : Status(StatusCode::kClientProtocol, "daemon ping not ok");
+}
+
+}  // namespace nullgraph::svc

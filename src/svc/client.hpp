@@ -1,0 +1,66 @@
+#pragma once
+// Client side of the serve protocol: connect, submit, collect. Used by
+// the `nullgraph submit` CLI verb, the serve_smoke CI tier, and the
+// service tests — all three speak through this one implementation so the
+// protocol has exactly two endpoints (daemon.cpp and this file).
+
+#include <cstdint>
+#include <string>
+
+#include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
+#include "svc/job.hpp"
+
+namespace nullgraph::svc {
+
+struct SubmitOptions {
+  std::string socket_path;
+  /// Deadline for each reply frame (0 = wait however long the job takes).
+  int reply_timeout_ms = 0;
+};
+
+struct SubmitOutcome {
+  /// Admission verdict: Ok when the job ran; kOverloaded / kJobEvicted /
+  /// kClientProtocol when the daemon turned the request away.
+  Status admission;
+  std::uint64_t job_id = 0;
+  /// Backoff hint accompanying a kOverloaded reject.
+  std::uint64_t retry_after_ms = 0;
+  /// The job's own typed outcome (meaningful only when admission is Ok).
+  Status final_status;
+  /// Governance curtailment name ("kDeadlineExceeded", ...) or "", plus
+  /// the typed code for exit-status mapping.
+  std::string curtailed;
+  StatusCode curtailed_code = StatusCode::kOk;
+  /// Edge count the daemon reported.
+  std::uint64_t edge_count = 0;
+  /// Streamed result (empty when the job wrote a server-side out path).
+  EdgeList edges;
+  std::string report_path;
+  std::string out_path;
+
+  /// The status a CLI should exit with: admission failure first, then the
+  /// job's own outcome.
+  const Status& decisive() const noexcept {
+    return admission.ok() ? final_status : admission;
+  }
+};
+
+/// Submits one job and blocks until the daemon's final verdict. Transport
+/// failures (daemon not running, connection died) are the Result's error;
+/// protocol-level rejections land in SubmitOutcome::admission so callers
+/// can distinguish "no daemon" from "daemon said no".
+Result<SubmitOutcome> submit_job(const SubmitOptions& options,
+                                 const JobSpec& spec);
+
+/// {"op":"stats"} round-trip; returns the daemon's raw JSON reply.
+Result<std::string> request_stats(const SubmitOptions& options);
+
+/// {"op":"shutdown"} — asks the daemon to stop (queued jobs are evicted,
+/// running jobs drain).
+Status request_shutdown(const SubmitOptions& options);
+
+/// {"op":"ping"} health probe.
+Status ping(const SubmitOptions& options);
+
+}  // namespace nullgraph::svc

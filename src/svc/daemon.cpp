@@ -1,0 +1,209 @@
+#include "svc/daemon.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "svc/wire.hpp"
+
+namespace nullgraph::svc {
+
+namespace {
+
+std::string render_stats(const SchedulerStats& stats, const DaemonConfig& cfg) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("running", stats.running);
+  w.kv("queued", stats.queued);
+  w.kv("completed", stats.completed);
+  w.kv("failed", stats.failed);
+  w.kv("evicted", stats.evicted);
+  w.kv("rejected", stats.rejected);
+  w.kv("recovered", stats.recovered);
+  w.kv("slots", cfg.scheduler.slots);
+  w.kv("queue_capacity", cfg.scheduler.queue_capacity);
+  w.end_object();
+  return std::move(w).str();
+}
+
+/// Per-connection outcome the accept loop needs to know about.
+struct ConnectionVerdict {
+  bool shutdown_requested = false;
+  bool protocol_error = false;
+};
+
+/// Reads the request, routes control verbs, submits jobs. Owns `fd`
+/// except when the scheduler accepted the job (it streams the result and
+/// closes). Every early exit answers the client with a typed reject —
+/// a misbehaving client learns WHY it was dropped.
+ConnectionVerdict handle_connection(int fd, const DaemonConfig& config,
+                                    Scheduler& scheduler) {
+  ConnectionVerdict verdict;
+  const auto reject_and_close = [&](const Status& status,
+                                    std::uint64_t retry_after) {
+    (void)write_control(fd, render_reject(status, retry_after));
+    // reason: the peer may already be gone; the reject is best effort.
+    close_fd(fd);
+    verdict.protocol_error = status.code() == StatusCode::kClientProtocol;
+  };
+
+  Result<Frame> request = read_frame(fd, config.read_timeout_ms);
+  if (!request.ok()) {
+    reject_and_close(request.status(), 0);
+    return verdict;
+  }
+  if (request.value().type != FrameType::kControl) {
+    reject_and_close(Status(StatusCode::kClientProtocol,
+                            "request must be a control frame"),
+                     0);
+    return verdict;
+  }
+  Result<JsonValue> doc = parse_json(request.value().text());
+  if (!doc.ok() || !doc.value().is_object()) {
+    reject_and_close(doc.ok() ? Status(StatusCode::kClientProtocol,
+                                       "request must be a JSON object")
+                              : doc.status(),
+                     0);
+    return verdict;
+  }
+  const JsonObject& obj = doc.value().as_object();
+  const std::string op = get_string(obj, "op");
+
+  if (op == "ping") {
+    (void)write_control(fd, "{\"ok\":true}");
+    // reason: health probe; nothing to do if the prober vanished.
+    close_fd(fd);
+    return verdict;
+  }
+  if (op == "stats") {
+    (void)write_control(fd, render_stats(scheduler.stats(), config));
+    // reason: same best-effort reply as ping.
+    close_fd(fd);
+    return verdict;
+  }
+  if (op == "shutdown") {
+    (void)write_control(fd, "{\"ok\":true}");
+    // reason: the daemon stops whether or not the requester hears the ack.
+    close_fd(fd);
+    verdict.shutdown_requested = true;
+    return verdict;
+  }
+
+  Result<JobSpec> spec = parse_job_spec(obj);
+  if (!spec.ok()) {
+    reject_and_close(spec.status(), 0);
+    return verdict;
+  }
+
+  if (spec.value().edges_follow) {
+    // Inline upload: binary edge frames, terminated by a control frame.
+    // Growth is capped BEFORE allocation so a lying client cannot balloon
+    // the daemon past its ceiling.
+    const std::size_t cap = config.scheduler.memory_ceiling_bytes > 0
+                                ? config.scheduler.memory_ceiling_bytes
+                                : (std::size_t{1} << 30);
+    std::size_t received = 0;
+    while (true) {
+      Result<Frame> frame = read_frame(fd, config.read_timeout_ms);
+      if (!frame.ok()) {
+        reject_and_close(frame.status(), 0);
+        return verdict;
+      }
+      if (frame.value().type == FrameType::kControl) break;  // upload done
+      received += frame.value().payload.size();
+      if (received > cap) {
+        reject_and_close(
+            Status(StatusCode::kOverloaded,
+                   "inline upload exceeds the daemon memory ceiling"),
+            scheduler.retry_after_ms());
+        return verdict;
+      }
+      Result<EdgeList> chunk = decode_edges(frame.value());
+      if (!chunk.ok()) {
+        reject_and_close(chunk.status(), 0);
+        return verdict;
+      }
+      EdgeList& edges = spec.value().edges;
+      edges.insert(edges.end(), chunk.value().begin(), chunk.value().end());
+    }
+  }
+
+  const Status admitted = scheduler.submit(std::move(spec).value(), fd);
+  if (!admitted.ok())
+    reject_and_close(admitted, scheduler.retry_after_ms());
+  // On success the scheduler now owns fd.
+  return verdict;
+}
+
+}  // namespace
+
+Result<DaemonReport> run_daemon(const DaemonConfig& config) {
+  Result<int> listener = listen_unix(config.socket_path);
+  if (!listener.ok()) return listener.status();
+  const int listen_fd = listener.value();
+
+  Scheduler scheduler(config.scheduler);
+  DaemonReport report;
+  report.recovered = scheduler.recover_spool();
+
+  std::size_t accept_drops_left = config.faults.accept_fail;
+  obs::MetricsRegistry* metrics = config.scheduler.metrics;
+  bool shutdown_requested = false;
+
+  while (!shutdown_requested) {
+    // relaxed: the flag is a lone int set by a signal handler; the accept
+    // poll provides the latency bound and no other state is published.
+    if (config.stop_signal != nullptr &&
+        config.stop_signal->load(std::memory_order_relaxed) != 0)
+      break;
+    Result<int> accepted = accept_with_timeout(listen_fd, config.accept_poll_ms);
+    if (!accepted.ok()) {
+      // A broken listen socket is unrecoverable; shut down gracefully so
+      // queued clients still get their eviction notices.
+      close_fd(listen_fd);
+      scheduler.shutdown(true);
+      ::unlink(config.socket_path.c_str());
+      return accepted.status();
+    }
+    const int fd = accepted.value();
+    if (fd < 0) continue;  // poll timeout: re-check the stop flag
+    ++report.connections;
+    if (metrics != nullptr) metrics->counter("serve.connections")->add();
+
+    if (accept_drops_left > 0) {
+      // Chaos: pretend accept() handed us a connection we then lost —
+      // clients must survive an unanswered connect (retry path).
+      --accept_drops_left;
+      if (metrics != nullptr)
+        metrics->counter("serve.chaos_accept_drops")->add();
+      close_fd(fd);
+      continue;
+    }
+    if (config.faults.slow_client_ms > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.faults.slow_client_ms));
+
+    const ConnectionVerdict verdict =
+        handle_connection(fd, config, scheduler);
+    if (verdict.protocol_error) {
+      ++report.protocol_errors;
+      if (metrics != nullptr)
+        metrics->counter("serve.client_protocol_errors")->add();
+    }
+    shutdown_requested = verdict.shutdown_requested;
+  }
+
+  close_fd(listen_fd);
+  // Graceful stop: reject-with-kJobEvicted everything still queued, let
+  // running jobs finish streaming to their clients.
+  scheduler.shutdown(true);
+  ::unlink(config.socket_path.c_str());
+  report.stats = scheduler.stats();
+  return report;
+}
+
+}  // namespace nullgraph::svc

@@ -1,0 +1,57 @@
+#pragma once
+// The `nullgraph serve` daemon loop: accept connections on a Unix-domain
+// socket, run admission + request parsing inline, hand accepted jobs to
+// the Scheduler, answer control verbs (ping/stats/shutdown) directly.
+//
+// Lifecycle:
+//   1. listen on socket_path (stale socket files are replaced);
+//   2. recover the checkpoint spool BEFORE accepting — jobs a previous
+//      daemon was SIGKILLed out of either resume to a committed output or
+//      fail cleanly (CRC-rejected snapshot), never leave torn files;
+//   3. accept loop with a poll deadline so the CLI's signal flag is
+//      noticed within accept_poll_ms; a signal (or a shutdown request)
+//      stops admission, evicts the queue with typed kJobEvicted replies,
+//      and drains running jobs;
+//   4. report totals to the caller.
+//
+// Chaos hooks (FaultPlan): accept_fail drops the next N accepted
+// connections on the floor; slow_client_ms sleeps after each accept —
+// both exist so scripts/chaos_serve.sh can drill the failure paths
+// deterministically.
+
+#include <atomic>
+#include <cstdint>
+
+#include "robustness/fault_injection.hpp"
+#include "robustness/status.hpp"
+#include "svc/scheduler.hpp"
+
+namespace nullgraph::svc {
+
+struct DaemonConfig {
+  std::string socket_path;
+  SchedulerConfig scheduler;
+  /// Per-frame deadline for client traffic; a peer that stalls longer
+  /// gets a kClientProtocol reply and is dropped.
+  int read_timeout_ms = 5000;
+  /// Accept-poll cadence: the upper bound on signal-to-shutdown latency.
+  int accept_poll_ms = 200;
+  /// Daemon-level chaos (accept_fail / slow_client_ms).
+  FaultPlan faults;
+  /// Borrowed CLI signal flag (the received signo, 0 while running).
+  const std::atomic<int>* stop_signal = nullptr;
+};
+
+struct DaemonReport {
+  SchedulerStats stats;
+  std::size_t recovered = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+/// Runs the daemon until a signal or a shutdown request; blocks the
+/// calling thread. kIoError only for socket-setup failures — per-client
+/// trouble is handled (and counted) inside the loop.
+Result<DaemonReport> run_daemon(const DaemonConfig& config);
+
+}  // namespace nullgraph::svc

@@ -1,0 +1,146 @@
+#include "svc/job.hpp"
+
+#include "obs/json_writer.hpp"
+
+namespace nullgraph::svc {
+
+namespace {
+
+Status bad_field(std::string_view key, const char* why) {
+  return Status(StatusCode::kClientProtocol,
+                "request field '" + std::string(key) + "' " + why);
+}
+
+}  // namespace
+
+Result<JobSpec> parse_job_spec(const JsonObject& request) {
+  JobSpec spec;
+  const std::string op = get_string(request, "op");
+  if (op == "generate") {
+    spec.op = JobSpec::Op::kGenerate;
+  } else if (op == "shuffle") {
+    spec.op = JobSpec::Op::kShuffle;
+  } else {
+    return bad_field("op", "must be \"generate\" or \"shuffle\"");
+  }
+
+  spec.seed = get_u64(request, "seed", spec.seed);
+  spec.swaps = static_cast<std::size_t>(get_u64(request, "swaps", spec.swaps));
+  spec.deadline_ms = get_u64(request, "deadline_ms", 0);
+  spec.threads = static_cast<int>(get_u64(request, "threads", 0));
+  spec.checkpoint_every =
+      static_cast<std::size_t>(get_u64(request, "checkpoint_every", 0));
+  spec.out_path = get_string(request, "out");
+  spec.inject_slow_ms = get_u64(request, "inject_slow_ms", 0);
+
+  if (spec.op == JobSpec::Op::kGenerate) {
+    spec.dist_path = get_string(request, "dist");
+    if (spec.dist_path.empty()) {
+      spec.powerlaw.n = get_u64(request, "n", spec.powerlaw.n);
+      if (spec.powerlaw.n == 0) return bad_field("n", "must be positive");
+      spec.powerlaw.gamma = get_double(request, "gamma", spec.powerlaw.gamma);
+      if (!(spec.powerlaw.gamma > 0))
+        return bad_field("gamma", "must be positive");
+      spec.powerlaw.dmin = get_u64(request, "dmin", spec.powerlaw.dmin);
+      spec.powerlaw.dmax = get_u64(request, "dmax", spec.powerlaw.dmax);
+      if (spec.powerlaw.dmin == 0 || spec.powerlaw.dmax < spec.powerlaw.dmin)
+        return bad_field("dmin/dmax", "must satisfy 1 <= dmin <= dmax");
+    }
+  } else {
+    spec.in_path = get_string(request, "in");
+    spec.edges_follow = get_bool(request, "edges_follow", false);
+    if (spec.in_path.empty() && !spec.edges_follow)
+      return bad_field("in", "shuffle needs \"in\" or \"edges_follow\":true");
+    if (!spec.in_path.empty() && spec.edges_follow)
+      return bad_field("in", "cannot combine \"in\" with \"edges_follow\"");
+  }
+  return spec;
+}
+
+std::string serialize_job_spec(const JobSpec& spec) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("op", spec.op_name());
+  if (spec.op == JobSpec::Op::kGenerate) {
+    if (!spec.dist_path.empty()) {
+      w.kv("dist", spec.dist_path);
+    } else {
+      w.kv("n", spec.powerlaw.n);
+      w.kv("gamma", spec.powerlaw.gamma);
+      w.kv("dmin", spec.powerlaw.dmin);
+      w.kv("dmax", spec.powerlaw.dmax);
+    }
+  } else {
+    if (!spec.in_path.empty()) w.kv("in", spec.in_path);
+    if (spec.edges_follow) w.kv("edges_follow", true);
+  }
+  w.kv("seed", spec.seed);
+  w.kv("swaps", spec.swaps);
+  if (spec.deadline_ms > 0) w.kv("deadline_ms", spec.deadline_ms);
+  if (spec.threads > 0) w.kv("threads", spec.threads);
+  if (spec.checkpoint_every > 0)
+    w.kv("checkpoint_every", spec.checkpoint_every);
+  if (!spec.out_path.empty()) w.kv("out", spec.out_path);
+  if (spec.inject_slow_ms > 0) w.kv("inject_slow_ms", spec.inject_slow_ms);
+  w.end_object();
+  return std::move(w).str();
+}
+
+StatusCode status_code_from_id(std::uint64_t id) noexcept {
+  if (id > static_cast<std::uint64_t>(StatusCode::kClientProtocol))
+    return StatusCode::kInternal;
+  return static_cast<StatusCode>(id);
+}
+
+namespace {
+
+void put_status(obs::JsonWriter& w, const Status& status) {
+  w.kv("code", status_code_name(status.code()));
+  w.kv("code_id", static_cast<std::uint64_t>(status.code()));
+  w.kv("exit_code", status_exit_code(status.code()));
+  if (!status.message().empty()) w.kv("message", status.message());
+}
+
+}  // namespace
+
+std::string render_admission_ok(std::uint64_t job_id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("job_id", job_id);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string render_reject(const Status& status, std::uint64_t retry_after_ms) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("ok", false);
+  put_status(w, status);
+  if (retry_after_ms > 0) w.kv("retry_after_ms", retry_after_ms);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string render_result(std::uint64_t job_id, const Status& final_status,
+                          StatusCode curtailed, std::size_t edge_count,
+                          const std::string& report_path,
+                          const std::string& out_path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("done", true);
+  w.kv("ok", final_status.ok());
+  w.kv("job_id", job_id);
+  put_status(w, final_status);
+  if (curtailed != StatusCode::kOk) {
+    w.kv("curtailed", status_code_name(curtailed));
+    w.kv("curtailed_id", static_cast<std::uint64_t>(curtailed));
+  }
+  w.kv("edges", edge_count);
+  if (!report_path.empty()) w.kv("report", report_path);
+  if (!out_path.empty()) w.kv("out", out_path);
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace nullgraph::svc

@@ -1,0 +1,86 @@
+#pragma once
+// JobSpec: one service request, as parsed from (and serialized to) the
+// control-frame JSON. Shared by the daemon (parse + validate untrusted
+// client input), the submit client (serialize), and the crash-recovery
+// spool (specs are re-serialized into job-<id>.meta files so a restarted
+// daemon knows where a checkpointed run was headed).
+//
+// Validation philosophy: every field of a client message is hostile until
+// proven otherwise — a missing or mistyped REQUIRED field is a typed
+// kClientProtocol naming the key, never a default silently applied.
+
+#include <cstdint>
+#include <string>
+
+#include "ds/edge_list.hpp"
+#include "gen/powerlaw.hpp"
+#include "robustness/status.hpp"
+#include "svc/json.hpp"
+
+namespace nullgraph::svc {
+
+struct JobSpec {
+  enum class Op { kGenerate, kShuffle };
+  Op op = Op::kGenerate;
+
+  /// Generate: synthetic power-law input (default), or a server-side
+  /// degree-distribution file when `dist_path` is set.
+  PowerlawParams powerlaw;
+  std::string dist_path;
+
+  /// Shuffle: server-side edge-list file, or an inline upload when
+  /// `edges_follow` (client streams kEdges frames after the request).
+  std::string in_path;
+  bool edges_follow = false;
+  /// Inline-uploaded edges (filled by the daemon's request reader, not by
+  /// parse_job_spec).
+  EdgeList edges;
+
+  std::uint64_t seed = 1;
+  std::size_t swaps = 10;
+  /// Per-job wall-clock deadline; expiry curtails (best-so-far graph +
+  /// Curtailment entry), it does not fail the job.
+  std::uint64_t deadline_ms = 0;
+  /// Worker threads the job wants; 0 = an equal share of the daemon pool.
+  int threads = 0;
+  /// Checkpoint the swap chain every N iterations into the daemon spool
+  /// (0 = off). Checkpointed jobs survive a daemon SIGKILL via restart
+  /// recovery as long as they also set `out_path`.
+  std::size_t checkpoint_every = 0;
+  /// Server-side output path (written atomically). Empty = stream the edge
+  /// list back over the connection instead.
+  std::string out_path;
+  /// Test hook: sleep this long inside the job slot before running, so
+  /// chaos drills can hold slots busy deterministically.
+  std::uint64_t inject_slow_ms = 0;
+
+  const char* op_name() const noexcept {
+    return op == Op::kGenerate ? "generate" : "shuffle";
+  }
+};
+
+/// Parses and validates the request object ({"op":"generate",...}).
+/// kClientProtocol names the missing/invalid key. The `op` key must be
+/// "generate" or "shuffle" — control verbs (stats/shutdown/ping) are
+/// routed before this is called.
+Result<JobSpec> parse_job_spec(const JsonObject& request);
+
+/// The spec as a request/meta JSON document (round-trips through
+/// parse_job_spec; inline edges travel as separate frames, never in JSON).
+std::string serialize_job_spec(const JobSpec& spec);
+
+/// StatusCode from its stable numeric id, clamped to kInternal for ids a
+/// newer peer might send.
+StatusCode status_code_from_id(std::uint64_t id) noexcept;
+
+/// Control-message renderers shared by the daemon and scheduler, so every
+/// reply carries the same shape: the status both as a stable name (for
+/// humans and logs) and numeric id + process exit code (for programs).
+std::string render_admission_ok(std::uint64_t job_id);
+std::string render_reject(const Status& status, std::uint64_t retry_after_ms);
+std::string render_result(std::uint64_t job_id, const Status& final_status,
+                          StatusCode curtailed, std::size_t edge_count,
+                          const std::string& report_path,
+                          const std::string& out_path);
+
+}  // namespace nullgraph::svc

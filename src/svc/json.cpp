@@ -1,0 +1,257 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace nullgraph::svc {
+
+namespace {
+
+const JsonObject kEmptyObject;
+const JsonArray kEmptyArray;
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+/// Depth is capped so hostile nesting cannot overflow the daemon's stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    Result<JsonValue> value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing bytes after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  Status fail(const std::string& what) const {
+    return Status(StatusCode::kClientProtocol,
+                  "bad JSON at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') {
+      Result<std::string> s = parse_string();
+      if (!s.ok()) return s.status();
+      return JsonValue(std::move(s.value()));
+    }
+    if (consume_word("true")) return JsonValue(true);
+    if (consume_word("false")) return JsonValue(false);
+    if (consume_word("null")) return JsonValue();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      Result<std::string> key = parse_string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key");
+      Result<JsonValue> value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      obj.insert_or_assign(std::move(key.value()), std::move(value.value()));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue(std::move(obj));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(arr));
+    while (true) {
+      Result<JsonValue> value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      arr.push_back(std::move(value.value()));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue(std::move(arr));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by the protocol; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    bool integral = pos_ > start && text_[start] != '-';
+    if (consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("bad number");
+    if (integral) {
+      std::uint64_t u = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), u);
+      if (ec == std::errc() && ptr == token.data() + token.size())
+        return JsonValue(u);
+      // Falls through to double for digit runs above 2^64.
+    }
+    const std::string copy(token);  // strtod needs a terminator
+    char* end = nullptr;
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return fail("bad number");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonObject& JsonValue::as_object() const {
+  return object_ ? *object_ : kEmptyObject;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  return array_ ? *array_ : kEmptyArray;
+}
+
+const JsonValue* find(const JsonObject& obj, std::string_view key) {
+  const auto it = obj.find(std::string(key));
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::uint64_t get_u64(const JsonObject& obj, std::string_view key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = find(obj, key);
+  return v != nullptr ? v->as_u64(fallback) : fallback;
+}
+
+double get_double(const JsonObject& obj, std::string_view key,
+                  double fallback) {
+  const JsonValue* v = find(obj, key);
+  return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+bool get_bool(const JsonObject& obj, std::string_view key, bool fallback) {
+  const JsonValue* v = find(obj, key);
+  return v != nullptr ? v->as_bool(fallback) : fallback;
+}
+
+std::string get_string(const JsonObject& obj, std::string_view key,
+                       const std::string& fallback) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kString) return fallback;
+  return v->as_string();
+}
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace nullgraph::svc

@@ -1,0 +1,97 @@
+#pragma once
+// Minimal JSON reader for the serve wire protocol's control messages.
+//
+// The write side reuses obs::JsonWriter; this is the missing read side,
+// scoped to what the protocol needs: objects, arrays, strings, numbers,
+// booleans and null, with strict RFC 8259 syntax. Anything off is a typed
+// kClientProtocol failure — a malformed control message is CLIENT traffic
+// the daemon must survive, never an internal error.
+//
+// Numbers keep unsigned-integer fidelity: a token of pure digits is stored
+// as u64 (seeds use the full range; a double would silently round above
+// 2^53) and only falls back to double for signs, fractions and exponents.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "robustness/status.hpp"
+
+namespace nullgraph::svc {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kUnsigned, kDouble, kString, kObject,
+                    kArray };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(std::uint64_t u) : kind_(Kind::kUnsigned), unsigned_(u) {}
+  explicit JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject),
+        object_(std::make_shared<JsonObject>(std::move(o))) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each returns the fallback when the value is absent
+  /// or of the wrong kind (the protocol treats missing and mistyped
+  /// optional fields identically — required fields are validated by the
+  /// request parser, which reports which key is bad).
+  bool as_bool(bool fallback = false) const noexcept {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept {
+    if (kind_ == Kind::kUnsigned) return unsigned_;
+    if (kind_ == Kind::kDouble && double_ >= 0) {
+      return static_cast<std::uint64_t>(double_);
+    }
+    return fallback;
+  }
+  double as_double(double fallback = 0.0) const noexcept {
+    if (kind_ == Kind::kDouble) return double_;
+    if (kind_ == Kind::kUnsigned) return static_cast<double>(unsigned_);
+    return fallback;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  const JsonObject& as_object() const;
+  const JsonArray& as_array() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t unsigned_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps JsonValue copyable without recursive value layout.
+  std::shared_ptr<JsonObject> object_;
+  std::shared_ptr<JsonArray> array_;
+};
+
+/// Convenience lookups on a parsed control message.
+const JsonValue* find(const JsonObject& obj, std::string_view key);
+std::uint64_t get_u64(const JsonObject& obj, std::string_view key,
+                      std::uint64_t fallback);
+double get_double(const JsonObject& obj, std::string_view key,
+                  double fallback);
+bool get_bool(const JsonObject& obj, std::string_view key, bool fallback);
+std::string get_string(const JsonObject& obj, std::string_view key,
+                       const std::string& fallback = "");
+
+/// Strict parse of one JSON document (must consume the whole input).
+/// kClientProtocol with the offending byte offset on any syntax error.
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace nullgraph::svc

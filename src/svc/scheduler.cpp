@@ -1,0 +1,402 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/null_model.hpp"
+#include "io/checkpoint.hpp"
+#include "io/graph_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "svc/wire.hpp"
+
+namespace nullgraph::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Latency buckets in ms: log-ish spacing from sub-ms to a minute.
+const std::vector<std::int64_t> kLatencyEdges = {
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000};
+
+Status read_whole_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return Status(StatusCode::kIoError, "cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Everything one job run produces besides its final Status. Owns the
+/// per-job metrics registry so a job's counters can never bleed into a
+/// neighbor's report.
+struct JobExecution {
+  GenerateResult result;
+  StatusCode curtailed = StatusCode::kOk;
+  std::string report_path;
+  obs::MetricsRegistry metrics;
+};
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)), arbiter_(config_.total_threads) {
+  if (config_.slots < 1) config_.slots = 1;
+  std::error_code ec;
+  if (!config_.spool_dir.empty()) fs::create_directories(config_.spool_dir, ec);
+  if (!config_.report_dir.empty())
+    fs::create_directories(config_.report_dir, ec);
+  workers_.reserve(static_cast<std::size_t>(config_.slots));
+  for (int i = 0; i < config_.slots; ++i)
+    workers_.emplace_back(&Scheduler::worker_loop, this);
+}
+
+Scheduler::~Scheduler() { shutdown(true); }
+
+Status Scheduler::submit(JobSpec spec, int client_fd) {
+  const std::size_t bytes = spec.edges.size() * sizeof(Edge);
+  Job job;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_)
+      return Status(StatusCode::kJobEvicted, "daemon is shutting down");
+    if (queue_.size() >= config_.queue_capacity) {
+      ++tallies_.rejected;
+      if (config_.metrics != nullptr)
+        config_.metrics->counter("serve.admission_rejects")->add();
+      return Status(StatusCode::kOverloaded,
+                    "queue full: " + std::to_string(running_) + " running, " +
+                        std::to_string(queue_.size()) + " waiting");
+    }
+    if (config_.memory_ceiling_bytes > 0 &&
+        tracked_bytes_ + bytes > config_.memory_ceiling_bytes) {
+      ++tallies_.rejected;
+      if (config_.metrics != nullptr)
+        config_.metrics->counter("serve.admission_rejects")->add();
+      return Status(StatusCode::kOverloaded,
+                    "memory ceiling: " + std::to_string(tracked_bytes_) +
+                        " tracked + " + std::to_string(bytes) + " requested > " +
+                        std::to_string(config_.memory_ceiling_bytes));
+    }
+    job.id = next_id_++;
+    job.spec = std::move(spec);
+    job.client_fd = client_fd;
+    // The accepted reply goes out BEFORE the job is visible to a worker,
+    // so it can never interleave with the worker's result frames. The
+    // write happens under the mutex, which is safe because admission is
+    // single-threaded (the daemon's accept loop) and the reply is far
+    // smaller than a Unix socket buffer.
+    if (client_fd >= 0)
+      (void)write_control(client_fd, render_admission_ok(job.id));
+    // reason: a vanished client only means nobody reads the result; the
+    // job itself (and any server-side output) still runs.
+    tracked_bytes_ += bytes;
+    queue_.push_back(std::move(job));
+    if (config_.metrics != nullptr)
+      config_.metrics->gauge("serve.queue_depth")
+          ->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::uint64_t Scheduler::retry_after_ms() const {
+  MutexLock lock(mutex_);
+  return 100 * static_cast<std::uint64_t>(running_ + queue_.size() + 1);
+}
+
+SchedulerStats Scheduler::stats() const {
+  MutexLock lock(mutex_);
+  SchedulerStats s = tallies_;
+  s.running = running_;
+  s.queued = queue_.size();
+  return s;
+}
+
+void Scheduler::worker_loop() {
+  while (true) {
+    Job job;
+    std::size_t bytes = 0;
+    {
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping_) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      bytes = job.spec.edges.size() * sizeof(Edge);
+      ++running_;
+      if (config_.metrics != nullptr)
+        config_.metrics->gauge("serve.queue_depth")
+            ->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    run_job(std::move(job));
+    {
+      MutexLock lock(mutex_);
+      --running_;
+      tracked_bytes_ -= std::min(tracked_bytes_, bytes);
+    }
+  }
+}
+
+void Scheduler::run_job(Job job) {
+  const auto start = std::chrono::steady_clock::now();
+  if (job.spec.inject_slow_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(job.spec.inject_slow_ms));
+
+  // The lease IS the multi-tenancy: every ParallelContext constructed
+  // anywhere below inherits this slot's thread share.
+  exec::ThreadBudgetLease lease(arbiter_, job.spec.threads);
+  JobExecution ex;
+  Status final_status = execute(job, lease.threads(), ex);
+
+  if (final_status.ok() && !job.spec.out_path.empty())
+    final_status = write_edge_list_file_atomic(job.spec.out_path,
+                                               ex.result.edges);
+
+  if (!config_.report_dir.empty()) {
+    obs::RunReportInputs inputs;
+    inputs.command = job.spec.op_name();
+    inputs.argv = {"serve", job.spec.op_name(),
+                   "job_id=" + std::to_string(job.id)};
+    inputs.seed = job.spec.seed;
+    inputs.threads = lease.threads();
+    inputs.swap_iterations_requested = job.spec.swaps;
+    inputs.result = &ex.result;
+    inputs.metrics = &ex.metrics;
+    const std::string path =
+        config_.report_dir + "/job-" + std::to_string(job.id) + ".json";
+    if (obs::write_run_report(path, inputs).ok()) {
+      ex.report_path = path;
+    } else if (config_.metrics != nullptr) {
+      config_.metrics->counter("serve.report_write_failures")->add();
+    }
+  }
+
+  if (job.client_fd >= 0) {
+    bool client_alive = true;
+    if (final_status.ok() && job.spec.out_path.empty())
+      client_alive = write_edge_frames(job.client_fd, ex.result.edges).ok();
+    const Status sent = write_control(
+        job.client_fd,
+        render_result(job.id, final_status, ex.curtailed,
+                      ex.result.edges.size(), ex.report_path,
+                      job.spec.out_path));
+    if ((!client_alive || !sent.ok()) && config_.metrics != nullptr)
+      config_.metrics->counter("serve.client_gone")->add();
+    close_fd(job.client_fd);
+  }
+
+  finish_spool_entry(job.id);
+
+  const auto latency = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  {
+    MutexLock lock(mutex_);
+    if (final_status.ok())
+      ++tallies_.completed;
+    else
+      ++tallies_.failed;
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter(final_status.ok() ? "serve.jobs_completed"
+                                    : "serve.jobs_failed")
+        ->add();
+    if (ex.curtailed != StatusCode::kOk)
+      config_.metrics->counter("serve.jobs_curtailed")->add();
+    config_.metrics->histogram("serve.job_latency_ms", 0, kLatencyEdges)
+        ->record(latency);
+  }
+}
+
+Status Scheduler::execute(const Job& job, int granted_threads,
+                          JobExecution& ex) {
+  (void)granted_threads;  // reason: installed thread-locally by the lease;
+                          // kept in the signature for report plumbing.
+  const JobSpec& spec = job.spec;
+  GenerateConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.swap_iterations = spec.swaps;
+  cfg.guardrails.faults.fail_checkpoint_writes =
+      config_.faults.fail_checkpoint_writes;
+  cfg.governance.enabled = true;
+  cfg.governance.budget.deadline_ms = spec.deadline_ms;
+  if (config_.memory_ceiling_bytes > 0)
+    cfg.governance.budget.max_memory_bytes =
+        config_.memory_ceiling_bytes / static_cast<std::size_t>(config_.slots);
+  cfg.governance.cancel = job.cancel;
+  if (spec.checkpoint_every > 0 && !config_.spool_dir.empty()) {
+    cfg.governance.checkpoint_every = spec.checkpoint_every;
+    cfg.governance.checkpoint_path =
+        config_.spool_dir + "/job-" + std::to_string(job.id) + ".ckpt";
+    if (!spec.out_path.empty()) {
+      // Arm crash recovery: the meta records where this run was headed.
+      // Compact-JSON surgery (the writer always ends an object with '}')
+      // splices the job id into the serialized spec.
+      std::string meta = serialize_job_spec(spec);
+      meta.pop_back();
+      meta += ",\"job_id\":" + std::to_string(job.id) + "}";
+      const std::string meta_path =
+          config_.spool_dir + "/job-" + std::to_string(job.id) + ".meta";
+      std::ofstream out(meta_path);
+      out << meta;
+    }
+  }
+  cfg.obs.metrics = &ex.metrics;
+
+  // Fault isolation: NOTHING a job does may take down the slot. Typed
+  // failures flow back as Status; stray exceptions become kInternal.
+  try {
+    Result<GenerateResult> run = [&]() -> Result<GenerateResult> {
+      if (spec.op == JobSpec::Op::kGenerate) {
+        if (!spec.dist_path.empty()) {
+          Result<DegreeDistribution> dist =
+              try_read_degree_distribution_file(spec.dist_path);
+          if (!dist.ok()) return dist.status();
+          return generate_null_graph_checked(dist.value(), cfg);
+        }
+        return generate_null_graph_checked(powerlaw_distribution(spec.powerlaw),
+                                           cfg);
+      }
+      if (!spec.in_path.empty()) {
+        Result<EdgeList> edges = try_read_edge_list_file(spec.in_path);
+        if (!edges.ok()) return edges.status();
+        return shuffle_graph_checked(std::move(edges).value(), cfg);
+      }
+      return shuffle_graph_checked(spec.edges, cfg);
+    }();
+    if (!run.ok()) return run.status();
+    ex.result = std::move(run).value();
+    ex.curtailed = ex.result.report.curtailed_by();
+    return ex.result.report.first_error();
+  } catch (const StatusError& error) {
+    return error.status();
+  } catch (const std::exception& error) {
+    return Status(StatusCode::kInternal,
+                  std::string("job raised: ") + error.what());
+  }
+}
+
+void Scheduler::finish_spool_entry(std::uint64_t id) {
+  if (config_.spool_dir.empty()) return;
+  const std::string stem = config_.spool_dir + "/job-" + std::to_string(id);
+  (void)std::remove((stem + ".meta").c_str());
+  // reason: best-effort cleanup; a missing file is the common case.
+  (void)std::remove((stem + ".ckpt").c_str());
+  // reason: same.
+}
+
+void Scheduler::shutdown(bool evict_queued) {
+  std::deque<Job> evictees;
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+    if (evict_queued) {
+      evictees.swap(queue_);
+      tallies_.evicted += evictees.size();
+      tracked_bytes_ = 0;
+      if (config_.metrics != nullptr) {
+        config_.metrics->gauge("serve.queue_depth")->set(0);
+        if (!evictees.empty())
+          config_.metrics->counter("serve.jobs_evicted")
+              ->add(evictees.size());
+      }
+    }
+  }
+  cv_.notify_all();
+  const Status evicted(StatusCode::kJobEvicted,
+                       "daemon shutting down before the job could run");
+  for (Job& job : evictees) {
+    if (job.client_fd >= 0) {
+      (void)write_control(job.client_fd,
+                          render_result(job.id, evicted, StatusCode::kOk, 0,
+                                        "", ""));
+      // reason: eviction notice to a possibly-gone client; best effort.
+      close_fd(job.client_fd);
+    }
+  }
+  if (!joined_) {  // shutdown/destructor run sequentially by contract
+    for (std::thread& worker : workers_)
+      if (worker.joinable()) worker.join();
+    joined_ = true;
+  }
+}
+
+std::size_t Scheduler::recover_spool() {
+  if (config_.spool_dir.empty()) return 0;
+  std::error_code ec;
+  std::vector<std::string> metas;
+  for (const auto& entry : fs::directory_iterator(config_.spool_dir, ec)) {
+    const std::string path = entry.path().string();
+    if (path.size() > 5 && path.rfind(".meta") == path.size() - 5)
+      metas.push_back(path);
+  }
+  std::size_t recovered = 0;
+  for (const std::string& meta_path : metas) {
+    const std::string stem = meta_path.substr(0, meta_path.size() - 5);
+    const std::string ckpt_path = stem + ".ckpt";
+    Status final_status = Status::Ok();
+    std::string text;
+    JobSpec spec;
+    if (Status s = read_whole_file(meta_path, text); !s.ok()) {
+      final_status = s;
+    } else if (Result<JsonValue> doc = parse_json(text); !doc.ok()) {
+      final_status = Status(StatusCode::kCheckpointInvalid,
+                            "torn spool meta: " + doc.status().message());
+    } else if (Result<JobSpec> parsed = parse_job_spec(doc.value().as_object());
+               !parsed.ok()) {
+      final_status = parsed.status();
+    } else {
+      spec = std::move(parsed).value();
+      Result<Checkpoint> ckpt = try_read_checkpoint(ckpt_path);
+      if (!ckpt.ok()) {
+        // Truncated or bit-flipped snapshot: a CLEANLY-failed job, the
+        // CRC already refused it — never resumed, never UB.
+        final_status = ckpt.status();
+      } else {
+        try {
+          GenerateConfig cfg;
+          cfg.governance.enabled = true;
+          cfg.governance.budget.deadline_ms = spec.deadline_ms;
+          GenerateResult result =
+              resume_null_graph(ckpt.value(), cfg);
+          final_status = result.report.first_error();
+          if (final_status.ok() && !spec.out_path.empty())
+            final_status =
+                write_edge_list_file_atomic(spec.out_path, result.edges);
+        } catch (const StatusError& error) {
+          final_status = error.status();
+        } catch (const std::exception& error) {
+          final_status = Status(StatusCode::kInternal,
+                                std::string("resume raised: ") + error.what());
+        }
+      }
+    }
+    (void)std::remove(meta_path.c_str());
+    // reason: the spool entry is consumed whatever the outcome.
+    (void)std::remove(ckpt_path.c_str());
+    // reason: same.
+    MutexLock lock(mutex_);
+    if (final_status.ok()) {
+      ++recovered;
+      ++tallies_.recovered;
+      if (config_.metrics != nullptr)
+        config_.metrics->counter("serve.jobs_recovered")->add();
+    } else {
+      ++tallies_.failed;
+      if (config_.metrics != nullptr)
+        config_.metrics->counter("serve.recovery_failed")->add();
+    }
+  }
+  return recovered;
+}
+
+}  // namespace nullgraph::svc

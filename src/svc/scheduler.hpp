@@ -1,0 +1,136 @@
+#pragma once
+// Job scheduler for `nullgraph serve`: a bounded admission queue in front
+// of N worker slots, each of which runs one whole generation pipeline at a
+// time under its own governance.
+//
+// Fault-isolation contract (the reason this file exists):
+//   - every job gets its OWN RunGovernor wiring — deadline, memory share
+//     of the daemon ceiling, cancel token — so one job blowing its budget
+//     curtails THAT job (best-so-far graph + Curtailment entry) and
+//     touches nothing else;
+//   - a job that fails outright (unreadable input, invariant violation,
+//     even a stray exception) is reported to its client as a typed Status
+//     and the slot moves on;
+//   - admission is strictly bounded: a full queue (or an inline upload
+//     that would push tracked bytes past the memory ceiling) is a typed
+//     kOverloaded with a retry-after hint, never an allocation attempt;
+//   - worker threads share the machine through ThreadArbiter leases, so
+//     N concurrent pipelines never oversubscribe the OpenMP pool.
+//
+// Crash tolerance: jobs that request checkpointing (and a server-side
+// output path) write a job-<id>.meta next to their checkpoint in the
+// spool directory. recover_spool() — run by the daemon BEFORE accepting —
+// finishes such jobs after a SIGKILL: a CRC-valid checkpoint resumes and
+// commits its output atomically; a torn/corrupt one is a cleanly-failed
+// job (kCheckpointInvalid), counted and removed, never UB.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_budget.hpp"
+#include "robustness/fault_injection.hpp"
+#include "robustness/governance.hpp"
+#include "robustness/status.hpp"
+#include "svc/job.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nullgraph::obs {
+class MetricsRegistry;
+}
+
+namespace nullgraph::svc {
+
+struct SchedulerConfig {
+  /// Concurrent worker slots (jobs running at once).
+  int slots = 2;
+  /// Jobs that may WAIT beyond the running ones; admission rejects past
+  /// this with kOverloaded.
+  std::size_t queue_capacity = 4;
+  /// Global ceiling on tracked job memory (inline uploads at admission;
+  /// each running job also gets ceiling/slots as its swap-phase
+  /// RunBudget::max_memory_bytes). 0 = unlimited.
+  std::size_t memory_ceiling_bytes = 0;
+  /// Checkpoint + meta spool for crash recovery ("" disables).
+  std::string spool_dir;
+  /// Per-job run-report JSON directory ("" disables).
+  std::string report_dir;
+  /// Worker-thread pool handed out by the arbiter (0 = machine default).
+  int total_threads = 0;
+  /// Borrowed daemon-level registry for queue/admission/latency metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Chaos: forwarded to each job's guardrails (fail_checkpoint_writes).
+  FaultPlan faults;
+};
+
+struct SchedulerStats {
+  std::size_t running = 0;
+  std::size_t queued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t recovered = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission control. On acceptance: writes the {"ok":true,"job_id":N}
+  /// control frame, takes ownership of `client_fd` (-1 = no client, used
+  /// by tests), enqueues, returns Ok. On rejection: returns kOverloaded
+  /// (queue/memory full) or kJobEvicted (shutting down) WITHOUT writing
+  /// to or closing the fd — the caller owns the reject reply.
+  Status submit(JobSpec spec, int client_fd) NG_EXCLUDES(mutex_);
+
+  /// Client-facing backoff hint: scales with how much work is ahead.
+  std::uint64_t retry_after_ms() const NG_EXCLUDES(mutex_);
+
+  SchedulerStats stats() const NG_EXCLUDES(mutex_);
+
+  /// Stops admission; with `evict_queued` every waiting job is answered
+  /// kJobEvicted and dropped, otherwise the queue drains. Running jobs
+  /// always finish. Idempotent; joins the workers.
+  void shutdown(bool evict_queued) NG_EXCLUDES(mutex_);
+
+  /// Startup crash recovery over the spool (see file comment). Returns
+  /// the number of jobs resumed to completion.
+  std::size_t recover_spool();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    int client_fd = -1;
+    CancelToken cancel;
+  };
+
+  void worker_loop();
+  void run_job(Job job);
+  Status execute(const Job& job, int granted_threads,
+                 struct JobExecution& out);
+  void finish_spool_entry(std::uint64_t id);
+
+  SchedulerConfig config_;
+  exec::ThreadArbiter arbiter_;
+  std::vector<std::thread> workers_;
+
+  mutable Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<Job> queue_ NG_GUARDED_BY(mutex_);
+  bool stopping_ NG_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ NG_GUARDED_BY(mutex_) = 1;
+  std::size_t running_ NG_GUARDED_BY(mutex_) = 0;
+  std::size_t tracked_bytes_ NG_GUARDED_BY(mutex_) = 0;
+  SchedulerStats tallies_ NG_GUARDED_BY(mutex_);
+  bool joined_ = false;  // touched only by shutdown/destructor
+};
+
+}  // namespace nullgraph::svc

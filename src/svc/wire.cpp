@@ -1,0 +1,202 @@
+#include "svc/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nullgraph::svc {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+/// Full-buffer send; EINTR restarts, everything else is kIoError.
+/// MSG_NOSIGNAL: a peer that closed mid-stream must surface as a Status
+/// on this write, not as SIGPIPE terminating the daemon.
+Status send_all(int fd, const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("socket write failed");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Full-buffer read with a per-poll deadline. A peer that stops sending
+/// mid-frame is a protocol violation (kClientProtocol), not an I/O error:
+/// the transport is fine, the client is misbehaving.
+Status recv_all(int fd, void* data, std::size_t size, int timeout_ms) {
+  unsigned char* p = static_cast<unsigned char*>(data);
+  while (size > 0) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll failed");
+    }
+    if (ready == 0)
+      return Status(StatusCode::kClientProtocol,
+                    "peer stalled mid-frame past " +
+                        std::to_string(timeout_ms) + "ms deadline");
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("socket read failed");
+    }
+    if (n == 0)
+      return Status(StatusCode::kIoError, "peer closed connection mid-frame");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status fill_unix_addr(const std::string& path, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    return Status(StatusCode::kIoError,
+                  "socket path too long (" + std::to_string(path.size()) +
+                      " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status write_frame(int fd, FrameType type, const void* payload,
+                   std::size_t size) {
+  if (size > kMaxFramePayload)
+    return Status(StatusCode::kInvalidArgument,
+                  "frame payload exceeds cap: " + std::to_string(size));
+  unsigned char header[5];
+  const std::uint32_t len = static_cast<std::uint32_t>(size);
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<unsigned char>(type);
+  if (Status s = send_all(fd, header, sizeof header); !s.ok()) return s;
+  if (size == 0) return Status::Ok();
+  return send_all(fd, payload, size);
+}
+
+Status write_control(int fd, const std::string& json) {
+  return write_frame(fd, FrameType::kControl, json.data(), json.size());
+}
+
+Status write_edge_frames(int fd, const EdgeList& edges) {
+  static_assert(sizeof(Edge) == 8, "wire format assumes packed u32 pairs");
+  std::size_t offset = 0;
+  while (offset < edges.size()) {
+    const std::size_t count = std::min(kEdgesPerFrame, edges.size() - offset);
+    if (Status s = write_frame(fd, FrameType::kEdges, edges.data() + offset,
+                               count * sizeof(Edge));
+        !s.ok())
+      return s;
+    offset += count;
+  }
+  return Status::Ok();
+}
+
+Result<Frame> read_frame(int fd, int timeout_ms, std::size_t max_payload) {
+  unsigned char header[5];
+  if (Status s = recv_all(fd, header, sizeof header, timeout_ms); !s.ok())
+    return s;
+  std::uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > max_payload)
+    return Status(StatusCode::kClientProtocol,
+                  "frame claims " + std::to_string(len) +
+                      " bytes, cap is " + std::to_string(max_payload));
+  if (header[4] > static_cast<unsigned char>(FrameType::kEdges))
+    return Status(StatusCode::kClientProtocol,
+                  "unknown frame type " + std::to_string(header[4]));
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    if (Status s = recv_all(fd, frame.payload.data(), len, timeout_ms);
+        !s.ok())
+      return s;
+  }
+  return frame;
+}
+
+Result<EdgeList> decode_edges(const Frame& frame) {
+  if (frame.type != FrameType::kEdges)
+    return Status(StatusCode::kClientProtocol,
+                  "expected an edge frame, got control");
+  if (frame.payload.size() % sizeof(Edge) != 0)
+    return Status(StatusCode::kClientProtocol,
+                  "edge frame payload is not a whole number of edges: " +
+                      std::to_string(frame.payload.size()) + " bytes");
+  EdgeList edges(frame.payload.size() / sizeof(Edge));
+  std::memcpy(edges.data(), frame.payload.data(), frame.payload.size());
+  return edges;
+}
+
+Result<int> listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  if (Status s = fill_unix_addr(path, addr); !s.ok()) return s;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket() failed");
+  ::unlink(path.c_str());  // stale socket file from a killed daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    Status s = errno_status("bind failed for " + path);
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = errno_status("listen failed for " + path);
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  if (Status s = fill_unix_addr(path, addr); !s.ok()) return s;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    Status s = errno_status("cannot connect to daemon at " + path);
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> accept_with_timeout(int listen_fd, int timeout_ms) {
+  struct pollfd pfd{listen_fd, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal delivery; caller polls stop flag
+      return errno_status("poll on listen socket failed");
+    }
+    if (ready == 0) return -1;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return errno_status("accept failed");
+    }
+    return fd;
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace nullgraph::svc

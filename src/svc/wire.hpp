@@ -1,0 +1,89 @@
+#pragma once
+// Wire format for `nullgraph serve` (DESIGN.md "Service mode").
+//
+// Every message is one length-prefixed frame over a connected
+// Unix-domain-socket byte stream:
+//
+//   offset  size  field
+//   0       4     payload length L (u32, native-endian like checkpoints —
+//                 client and daemon share a machine by construction)
+//   4       1     frame type
+//   5       L     payload
+//
+//   type 0  kControl  UTF-8 JSON document (requests, admission replies,
+//                     job results, stats, shutdown)
+//   type 1  kEdges    binary edge chunk: L/8 edges of two u32 endpoints
+//                     each (ds/edge.hpp layout, memcpy-compatible)
+//
+// Robustness contract: the read side is fully defensive — a frame length
+// over the caller's cap, a short read, an unknown type, or a peer that
+// stalls past the poll deadline is a typed kClientProtocol/kIoError
+// Result, never UB or a wedged thread. The write side suppresses SIGPIPE
+// (MSG_NOSIGNAL) so a client that vanishes mid-stream fails the write
+// with a Status instead of killing the daemon.
+//
+// Socket/syscall confinement: socket(), accept(), bind() etc. live only in
+// src/svc/ (enforced by the scripts/lint svc-confinement rule).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph::svc {
+
+enum class FrameType : std::uint8_t { kControl = 0, kEdges = 1 };
+
+struct Frame {
+  FrameType type = FrameType::kControl;
+  std::vector<unsigned char> payload;
+
+  std::string text() const {
+    return std::string(payload.begin(), payload.end());
+  }
+};
+
+/// Default cap on one frame's payload; a client claiming more is a
+/// protocol violation (memory-bomb defense), not an allocation attempt.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// Edges per kEdges frame when streaming a result (64k edges = 512 KiB
+/// per frame: big enough to amortize syscalls, small enough to interleave
+/// fairly when several jobs stream at once).
+inline constexpr std::size_t kEdgesPerFrame = std::size_t{1} << 16;
+
+/// Blocking write of one frame. kIoError on a closed/failed peer.
+Status write_frame(int fd, FrameType type, const void* payload,
+                   std::size_t size);
+Status write_control(int fd, const std::string& json);
+/// Streams `edges` as consecutive kEdges frames of at most kEdgesPerFrame.
+Status write_edge_frames(int fd, const EdgeList& edges);
+
+/// Reads one frame, waiting at most `timeout_ms` for EACH poll (0 = wait
+/// forever). kClientProtocol when the peer stalls past the deadline,
+/// claims more than `max_payload`, or sends an unknown type; kIoError on
+/// EOF/socket failure.
+Result<Frame> read_frame(int fd, int timeout_ms,
+                         std::size_t max_payload = kMaxFramePayload);
+
+/// Reinterprets a kEdges payload; kClientProtocol when the length is not
+/// a whole number of edges.
+Result<EdgeList> decode_edges(const Frame& frame);
+
+/// Listening Unix-domain socket at `path` (unlinks a stale file first).
+/// kIoError on any syscall failure, with errno text.
+Result<int> listen_unix(const std::string& path, int backlog = 64);
+
+/// Connected client socket to the daemon at `path`.
+Result<int> connect_unix(const std::string& path);
+
+/// accept(2) with a poll deadline; returns -1 (not an error) on timeout
+/// so accept loops can poll their stop flag.
+Result<int> accept_with_timeout(int listen_fd, int timeout_ms);
+
+/// close(2) wrapper so callers outside src/svc/ never touch the fd API.
+void close_fd(int fd) noexcept;
+
+}  // namespace nullgraph::svc

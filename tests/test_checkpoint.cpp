@@ -39,7 +39,8 @@ std::vector<unsigned char> slurp(const std::string& path) {
 void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  if (!bytes.empty())  // fwrite(nullptr, ...) is UB even for zero bytes
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
   std::fclose(f);
 }
 
@@ -198,6 +199,54 @@ TEST(Checkpoint, LyingEdgeCountIsRejectedBeforeAllocation) {
   const Result<Checkpoint> loaded = try_read_checkpoint(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCheckpointInvalid);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ write retry
+
+TEST(CheckpointRetry, SingleInjectedFailureIsRetriedAway) {
+  // One transient ENOSPC/EIO-class failure is absorbed by the policy's
+  // single retry: the write succeeds and the snapshot is valid.
+  const std::string path = temp_path("ckpt_retry_once.bin");
+  std::size_t failures = 1;
+  CheckpointRetryPolicy policy;
+  policy.backoff_ms = 1;
+  policy.inject_io_failures = &failures;
+  const Status written =
+      write_checkpoint_with_retry(path, sample_checkpoint(), policy);
+  EXPECT_TRUE(written.ok()) << written.to_string();
+  EXPECT_EQ(failures, 0u);  // the injected failure was consumed
+  const Result<Checkpoint> loaded = try_read_checkpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().edges, sample_checkpoint().edges);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRetry, PersistentFailureSurfacesTypedIoError) {
+  // Two consecutive failures exhaust the one-retry policy; the caller
+  // gets a typed kIoError for its report, never an abort.
+  const std::string path = temp_path("ckpt_retry_twice.bin");
+  std::remove(path.c_str());
+  std::size_t failures = 2;
+  CheckpointRetryPolicy policy;
+  policy.backoff_ms = 1;
+  policy.inject_io_failures = &failures;
+  const Status written =
+      write_checkpoint_with_retry(path, sample_checkpoint(), policy);
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kIoError);
+  EXPECT_EQ(failures, 0u);
+  // Nothing was committed: the injected failures never touched the disk.
+  const Result<Checkpoint> loaded = try_read_checkpoint(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(CheckpointRetry, NoInjectionBehavesLikePlainWrite) {
+  const std::string path = temp_path("ckpt_retry_clean.bin");
+  const Status written = write_checkpoint_with_retry(path, sample_checkpoint());
+  EXPECT_TRUE(written.ok()) << written.to_string();
+  const Result<Checkpoint> loaded = try_read_checkpoint(path);
+  EXPECT_TRUE(loaded.ok());
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,739 @@
+// Service-layer tests: wire framing over real sockets, the strict control
+// JSON parser, JobSpec validation/round-trip, ThreadArbiter multi-tenancy,
+// scheduler admission + fault isolation, spool crash recovery, and an
+// in-process daemon end-to-end drill through the client API.
+//
+// The daemon runs on a std::thread here (allowlisted in the lint's
+// THREAD_SPAWN_ALLOWLIST) because run_daemon blocks its caller by design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/null_model.hpp"
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "exec/parallel_context.hpp"
+#include "exec/thread_budget.hpp"
+#include "io/checkpoint.hpp"
+#include "io/graph_io.hpp"
+#include "robustness/status.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/job.hpp"
+#include "svc/json.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/wire.hpp"
+
+namespace nullgraph::svc {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Polls `pred` every few ms until it holds or `timeout_ms` elapses.
+template <typename Pred>
+bool wait_until(Pred pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// --------------------------------------------------------------- JSON
+
+TEST(SvcJson, ParsesScalarsObjectsAndArrays) {
+  const Result<JsonValue> doc = parse_json(
+      R"({"b":true,"u":7,"d":-2.5,"s":"hi","n":null,)"
+      R"("a":[1,2,3],"o":{"inner":42}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  const JsonObject& obj = doc.value().as_object();
+  EXPECT_TRUE(get_bool(obj, "b", false));
+  EXPECT_EQ(get_u64(obj, "u", 0), 7u);
+  EXPECT_DOUBLE_EQ(get_double(obj, "d", 0), -2.5);
+  EXPECT_EQ(get_string(obj, "s"), "hi");
+  ASSERT_NE(find(obj, "a"), nullptr);
+  EXPECT_EQ(find(obj, "a")->as_array().size(), 3u);
+  EXPECT_EQ(get_u64(find(obj, "o")->as_object(), "inner", 0), 42u);
+}
+
+TEST(SvcJson, KeepsFullUnsigned64Fidelity) {
+  // Seeds use the whole u64 range; a double intermediate would round.
+  const Result<JsonValue> doc =
+      parse_json(R"({"seed":18446744073709551615})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(get_u64(doc.value().as_object(), "seed", 0),
+            18446744073709551615ull);
+}
+
+TEST(SvcJson, MalformedDocumentsAreClientProtocol) {
+  for (const char* bad :
+       {"", "{", "[1,2", R"({"a":})", "tru", R"({"a" 1})", "{,}",
+        R"({"a":1} trailing)", "nul", R"("unterminated)"}) {
+    const Result<JsonValue> doc = parse_json(bad);
+    ASSERT_FALSE(doc.ok()) << "accepted: " << bad;
+    EXPECT_EQ(doc.status().code(), StatusCode::kClientProtocol) << bad;
+  }
+}
+
+TEST(SvcJson, NestingDepthIsBounded) {
+  // A depth bomb from a hostile client must be a typed reject, not a
+  // stack overflow in the recursive parser.
+  std::string bomb(64, '[');
+  bomb += std::string(64, ']');
+  const Result<JsonValue> doc = parse_json(bomb);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcJson, AccessorsFallBackOnMissingOrMistyped) {
+  const Result<JsonValue> doc = parse_json(R"({"s":"text","u":3})");
+  ASSERT_TRUE(doc.ok());
+  const JsonObject& obj = doc.value().as_object();
+  EXPECT_EQ(get_u64(obj, "absent", 99), 99u);
+  EXPECT_EQ(get_u64(obj, "s", 99), 99u);  // wrong kind == absent
+  EXPECT_EQ(get_string(obj, "u", "fb"), "fb");
+  EXPECT_FALSE(get_bool(obj, "u", false));
+}
+
+// ------------------------------------------------------------- JobSpec
+
+TEST(SvcJobSpec, GenerateSpecRoundTripsThroughSerialize) {
+  JobSpec spec;
+  spec.op = JobSpec::Op::kGenerate;
+  spec.powerlaw.n = 5000;
+  spec.powerlaw.gamma = 2.2;
+  spec.powerlaw.dmin = 2;
+  spec.powerlaw.dmax = 80;
+  spec.seed = 0xdeadbeefcafef00dULL;
+  spec.swaps = 7;
+  spec.deadline_ms = 1500;
+  spec.threads = 3;
+  spec.checkpoint_every = 2;
+  spec.out_path = "/tmp/x.txt";
+
+  const Result<JsonValue> doc = parse_json(serialize_job_spec(spec));
+  ASSERT_TRUE(doc.ok());
+  const Result<JobSpec> back = parse_job_spec(doc.value().as_object());
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  const JobSpec& b = back.value();
+  EXPECT_EQ(b.op, JobSpec::Op::kGenerate);
+  EXPECT_EQ(b.powerlaw.n, spec.powerlaw.n);
+  EXPECT_DOUBLE_EQ(b.powerlaw.gamma, spec.powerlaw.gamma);
+  EXPECT_EQ(b.powerlaw.dmin, spec.powerlaw.dmin);
+  EXPECT_EQ(b.powerlaw.dmax, spec.powerlaw.dmax);
+  EXPECT_EQ(b.seed, spec.seed);
+  EXPECT_EQ(b.swaps, spec.swaps);
+  EXPECT_EQ(b.deadline_ms, spec.deadline_ms);
+  EXPECT_EQ(b.threads, spec.threads);
+  EXPECT_EQ(b.checkpoint_every, spec.checkpoint_every);
+  EXPECT_EQ(b.out_path, spec.out_path);
+}
+
+TEST(SvcJobSpec, ShuffleInlineUploadRoundTrips) {
+  JobSpec spec;
+  spec.op = JobSpec::Op::kShuffle;
+  spec.edges_follow = true;
+  spec.swaps = 3;
+  const Result<JsonValue> doc = parse_json(serialize_job_spec(spec));
+  ASSERT_TRUE(doc.ok());
+  const Result<JobSpec> back = parse_job_spec(doc.value().as_object());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().op, JobSpec::Op::kShuffle);
+  EXPECT_TRUE(back.value().edges_follow);
+  EXPECT_TRUE(back.value().in_path.empty());
+}
+
+TEST(SvcJobSpec, HostileRequestsAreTypedRejectsNamingTheKey) {
+  const struct {
+    const char* request;
+    const char* key;
+  } cases[] = {
+      {R"({"op":"evaluate"})", "op"},
+      {R"({"op":"generate","n":0})", "n"},
+      {R"({"op":"generate","n":10,"gamma":-1.5})", "gamma"},
+      {R"({"op":"generate","n":10,"dmin":5,"dmax":2})", "dmin/dmax"},
+      {R"({"op":"shuffle"})", "in"},
+      {R"({"op":"shuffle","in":"/a","edges_follow":true})", "in"},
+  };
+  for (const auto& c : cases) {
+    const Result<JsonValue> doc = parse_json(c.request);
+    ASSERT_TRUE(doc.ok()) << c.request;
+    const Result<JobSpec> spec = parse_job_spec(doc.value().as_object());
+    ASSERT_FALSE(spec.ok()) << "accepted: " << c.request;
+    EXPECT_EQ(spec.status().code(), StatusCode::kClientProtocol);
+    EXPECT_NE(spec.status().message().find(c.key), std::string::npos)
+        << "reject for " << c.request << " does not name '" << c.key
+        << "': " << spec.status().message();
+  }
+}
+
+TEST(SvcJobSpec, StatusCodeFromIdClampsUnknownIdsToInternal) {
+  EXPECT_EQ(status_code_from_id(0), StatusCode::kOk);
+  EXPECT_EQ(status_code_from_id(
+                static_cast<std::uint64_t>(StatusCode::kOverloaded)),
+            StatusCode::kOverloaded);
+  EXPECT_EQ(status_code_from_id(10000), StatusCode::kInternal);
+}
+
+TEST(SvcRender, RejectCarriesCodeExitCodeAndRetryHint) {
+  const std::string reply = render_reject(
+      Status(StatusCode::kOverloaded, "queue full"), 250);
+  const Result<JsonValue> doc = parse_json(reply);
+  ASSERT_TRUE(doc.ok()) << reply;
+  const JsonObject& obj = doc.value().as_object();
+  EXPECT_FALSE(get_bool(obj, "ok", true));
+  EXPECT_EQ(get_string(obj, "code"), "kOverloaded");
+  EXPECT_EQ(get_u64(obj, "code_id", 0),
+            static_cast<std::uint64_t>(StatusCode::kOverloaded));
+  EXPECT_EQ(get_u64(obj, "exit_code", 0),
+            static_cast<std::uint64_t>(
+                status_exit_code(StatusCode::kOverloaded)));
+  EXPECT_EQ(get_u64(obj, "retry_after_ms", 0), 250u);
+}
+
+TEST(SvcRender, ResultCarriesCurtailmentAndArtifactPaths) {
+  const std::string reply =
+      render_result(9, Status::Ok(), StatusCode::kDeadlineExceeded, 123,
+                    "/r/job-9.json", "/o/out.txt");
+  const Result<JsonValue> doc = parse_json(reply);
+  ASSERT_TRUE(doc.ok()) << reply;
+  const JsonObject& obj = doc.value().as_object();
+  EXPECT_TRUE(get_bool(obj, "done", false));
+  EXPECT_TRUE(get_bool(obj, "ok", false));
+  EXPECT_EQ(get_u64(obj, "job_id", 0), 9u);
+  EXPECT_EQ(get_string(obj, "curtailed"), "kDeadlineExceeded");
+  EXPECT_EQ(get_u64(obj, "edges", 0), 123u);
+  EXPECT_EQ(get_string(obj, "report"), "/r/job-9.json");
+  EXPECT_EQ(get_string(obj, "out"), "/o/out.txt");
+}
+
+// ---------------------------------------------------------------- wire
+
+/// A connected Unix-socket pair built through the svc API itself (no raw
+/// syscalls in test code — the svc-confinement lint applies here too).
+struct SocketPair {
+  int a = -1;  // "client" end
+  int b = -1;  // "daemon" end
+  int listener = -1;
+
+  static SocketPair open(const char* name) {
+    SocketPair pair;
+    const std::string path = temp_path(name);
+    std::remove(path.c_str());
+    Result<int> listener = listen_unix(path);
+    EXPECT_TRUE(listener.ok()) << listener.status().to_string();
+    pair.listener = listener.value();
+    Result<int> client = connect_unix(path);
+    EXPECT_TRUE(client.ok()) << client.status().to_string();
+    pair.a = client.value();
+    Result<int> accepted = accept_with_timeout(pair.listener, 2000);
+    EXPECT_TRUE(accepted.ok() && accepted.value() >= 0);
+    pair.b = accepted.value();
+    std::remove(path.c_str());
+    return pair;
+  }
+
+  ~SocketPair() {
+    close_fd(a);
+    close_fd(b);
+    close_fd(listener);
+  }
+};
+
+TEST(SvcWire, ControlFrameRoundTrips) {
+  SocketPair pair = SocketPair::open("wire_control.sock");
+  ASSERT_TRUE(write_control(pair.a, R"({"op":"ping"})").ok());
+  const Result<Frame> frame = read_frame(pair.b, 1000);
+  ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+  EXPECT_EQ(frame.value().type, FrameType::kControl);
+  EXPECT_EQ(frame.value().text(), R"({"op":"ping"})");
+}
+
+TEST(SvcWire, EdgeStreamChunksAndReassembles) {
+  // One frame's worth plus a remainder: must arrive as exactly two kEdges
+  // frames that concatenate back to the original list. The writer runs on
+  // its own thread because half a megabyte overflows the socket buffer.
+  EdgeList edges;
+  edges.reserve(kEdgesPerFrame + 5);
+  for (std::size_t i = 0; i < kEdgesPerFrame + 5; ++i)
+    edges.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(i + 1)});
+
+  SocketPair pair = SocketPair::open("wire_edges.sock");
+  Status write_status;
+  std::thread writer([&] { write_status = write_edge_frames(pair.a, edges); });
+
+  EdgeList received;
+  for (int frames = 0; frames < 2; ++frames) {
+    const Result<Frame> frame = read_frame(pair.b, 5000);
+    ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+    ASSERT_EQ(frame.value().type, FrameType::kEdges);
+    const Result<EdgeList> chunk = decode_edges(frame.value());
+    ASSERT_TRUE(chunk.ok());
+    if (frames == 0) {
+      EXPECT_EQ(chunk.value().size(), kEdgesPerFrame);
+    }
+    received.insert(received.end(), chunk.value().begin(),
+                    chunk.value().end());
+  }
+  writer.join();
+  EXPECT_TRUE(write_status.ok()) << write_status.to_string();
+  EXPECT_EQ(received, edges);
+}
+
+TEST(SvcWire, OversizedLengthClaimIsRejectedBeforeAllocation) {
+  SocketPair pair = SocketPair::open("wire_oversize.sock");
+  const std::string payload(64, 'x');
+  ASSERT_TRUE(
+      write_frame(pair.a, FrameType::kControl, payload.data(), payload.size())
+          .ok());
+  const Result<Frame> frame = read_frame(pair.b, 1000, /*max_payload=*/16);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcWire, UnknownFrameTypeIsClientProtocol) {
+  SocketPair pair = SocketPair::open("wire_unknown.sock");
+  ASSERT_TRUE(
+      write_frame(pair.a, static_cast<FrameType>(7), "zz", 2).ok());
+  const Result<Frame> frame = read_frame(pair.b, 1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcWire, PeerHangupIsIoError) {
+  SocketPair pair = SocketPair::open("wire_eof.sock");
+  close_fd(pair.a);
+  pair.a = -1;
+  const Result<Frame> frame = read_frame(pair.b, 1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST(SvcWire, StalledPeerTripsThePollDeadline) {
+  SocketPair pair = SocketPair::open("wire_stall.sock");
+  const Result<Frame> frame = read_frame(pair.b, /*timeout_ms=*/50);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcWire, DecodeRejectsRaggedEdgePayload) {
+  Frame frame;
+  frame.type = FrameType::kEdges;
+  frame.payload.assign(7, 0);  // not a multiple of sizeof(Edge)
+  const Result<EdgeList> edges = decode_edges(frame);
+  ASSERT_FALSE(edges.ok());
+  EXPECT_EQ(edges.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcWire, ConnectToMissingSocketIsIoError) {
+  const Result<int> fd = connect_unix(temp_path("no_such_daemon.sock"));
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kIoError);
+}
+
+// -------------------------------------------------------- thread budget
+
+TEST(SvcThreadBudget, ArbiterCapsGrantsAtThePool) {
+  exec::ThreadArbiter arbiter(8);
+  EXPECT_EQ(arbiter.acquire(4), 4);
+  EXPECT_EQ(arbiter.acquire(100), 4);  // only 4 left
+  EXPECT_EQ(arbiter.committed(), 8);
+  arbiter.release(4);
+  arbiter.release(4);
+  EXPECT_EQ(arbiter.committed(), 0);
+}
+
+TEST(SvcThreadBudget, ZeroWantMeansEqualShareOfThePool) {
+  exec::ThreadArbiter arbiter(8);
+  const int first = arbiter.acquire(0);   // 1 job outstanding -> 8
+  const int second = arbiter.acquire(0);  // 2 jobs -> 8/2, capped at free 0
+  EXPECT_EQ(first, 8);
+  EXPECT_EQ(second, 1);  // pool exhausted: progress floor
+  arbiter.release(first);
+  arbiter.release(second);
+  const int a = arbiter.acquire(4);
+  const int b = arbiter.acquire(0);  // 2 jobs -> want 4, 4 free
+  EXPECT_EQ(a, 4);
+  EXPECT_EQ(b, 4);
+  arbiter.release(a);
+  arbiter.release(b);
+}
+
+TEST(SvcThreadBudget, SaturatedPoolStillGrantsProgressFloor) {
+  exec::ThreadArbiter arbiter(2);
+  EXPECT_EQ(arbiter.acquire(2), 2);
+  EXPECT_EQ(arbiter.acquire(1), 1);  // oversubscribes by one, never blocks
+  arbiter.release(2);
+  arbiter.release(1);
+  EXPECT_EQ(arbiter.committed(), 0);
+}
+
+TEST(SvcThreadBudget, LeaseInstallsAndRestoresTheThreadLocal) {
+  exec::ThreadArbiter arbiter(6);
+  EXPECT_EQ(exec::current_thread_budget(), 0);
+  {
+    exec::ThreadBudgetLease lease(arbiter, 3);
+    EXPECT_EQ(lease.threads(), 3);
+    EXPECT_EQ(exec::current_thread_budget(), 3);
+    {
+      exec::ThreadBudgetLease nested(arbiter, 2);
+      EXPECT_EQ(exec::current_thread_budget(), 2);
+    }
+    EXPECT_EQ(exec::current_thread_budget(), 3);
+  }
+  EXPECT_EQ(exec::current_thread_budget(), 0);
+  EXPECT_EQ(arbiter.committed(), 0);
+}
+
+TEST(SvcThreadBudget, ParallelContextInheritsTheInstalledBudget) {
+  exec::ParallelContext ctx;  // threads == 0: defer to the budget
+  const int machine_default = ctx.resolved_threads();
+  const int previous = exec::set_thread_budget(3);
+  EXPECT_EQ(ctx.resolved_threads(), 3);
+  ctx.threads = 2;  // explicit wins over the budget
+  EXPECT_EQ(ctx.resolved_threads(), 2);
+  (void)exec::set_thread_budget(previous);
+  ctx.threads = 0;
+  EXPECT_EQ(ctx.resolved_threads(), machine_default);
+}
+
+// ------------------------------------------------------------ scheduler
+
+JobSpec quick_generate_spec(std::uint64_t seed = 1) {
+  JobSpec spec;
+  spec.op = JobSpec::Op::kGenerate;
+  spec.powerlaw.n = 300;
+  spec.powerlaw.dmin = 1;
+  spec.powerlaw.dmax = 10;
+  spec.swaps = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+bool scheduler_idle(const Scheduler& scheduler) {
+  const SchedulerStats s = scheduler.stats();
+  return s.running == 0 && s.queued == 0;
+}
+
+TEST(SvcScheduler, RunsASubmittedJobToCompletion) {
+  SchedulerConfig config;
+  config.slots = 1;
+  Scheduler scheduler(config);
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(), /*client_fd=*/-1).ok());
+  ASSERT_TRUE(wait_until([&] { return scheduler_idle(scheduler); }));
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  scheduler.shutdown(true);
+}
+
+TEST(SvcScheduler, FullQueueRejectsWithOverloaded) {
+  SchedulerConfig config;
+  config.slots = 1;
+  config.queue_capacity = 1;
+  Scheduler scheduler(config);
+
+  JobSpec slow = quick_generate_spec();
+  slow.inject_slow_ms = 400;  // holds the only slot
+  ASSERT_TRUE(scheduler.submit(slow, -1).ok());
+  ASSERT_TRUE(
+      wait_until([&] { return scheduler.stats().running == 1; }, 2000));
+
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(2), -1).ok());  // queued
+  const Status third = scheduler.submit(quick_generate_spec(3), -1);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kOverloaded);
+  EXPECT_GT(scheduler.retry_after_ms(), 0u);
+
+  ASSERT_TRUE(wait_until([&] { return scheduler_idle(scheduler); }));
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  scheduler.shutdown(true);
+}
+
+TEST(SvcScheduler, MemoryCeilingRejectsAnInlineUploadAtAdmission) {
+  SchedulerConfig config;
+  config.slots = 1;
+  config.memory_ceiling_bytes = 64;  // eight edges
+  Scheduler scheduler(config);
+  JobSpec upload;
+  upload.op = JobSpec::Op::kShuffle;
+  upload.edges_follow = true;
+  for (std::uint32_t i = 0; i < 100; ++i) upload.edges.push_back({i, i + 1});
+  const Status verdict = scheduler.submit(upload, -1);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+  scheduler.shutdown(true);
+}
+
+TEST(SvcScheduler, ShutdownEvictsQueuedJobsAndDrainsRunningOnes) {
+  SchedulerConfig config;
+  config.slots = 1;
+  config.queue_capacity = 4;
+  Scheduler scheduler(config);
+  JobSpec slow = quick_generate_spec();
+  slow.inject_slow_ms = 300;
+  ASSERT_TRUE(scheduler.submit(slow, -1).ok());
+  ASSERT_TRUE(
+      wait_until([&] { return scheduler.stats().running == 1; }, 2000));
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(2), -1).ok());
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(3), -1).ok());
+
+  scheduler.shutdown(/*evict_queued=*/true);  // joins: running job finished
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.evicted, 2u);
+
+  // Post-shutdown admission is a typed eviction, not a hang.
+  const Status late = scheduler.submit(quick_generate_spec(4), -1);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kJobEvicted);
+}
+
+TEST(SvcScheduler, AFailingJobDoesNotPoisonItsNeighbors) {
+  SchedulerConfig config;
+  config.slots = 2;
+  Scheduler scheduler(config);
+  JobSpec doomed;
+  doomed.op = JobSpec::Op::kShuffle;
+  doomed.in_path = temp_path("no_such_input.txt");
+  ASSERT_TRUE(scheduler.submit(doomed, -1).ok());
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(), -1).ok());
+  ASSERT_TRUE(wait_until([&] {
+    const SchedulerStats s = scheduler.stats();
+    return s.completed + s.failed == 2;
+  }));
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  scheduler.shutdown(true);
+}
+
+// ----------------------------------------------------- crash recovery
+
+/// Produces a genuine mid-run checkpoint (completed < total) the same way
+/// a SIGKILLed daemon would have left one: by running the pipeline with a
+/// snapshot cadence and an iteration cut.
+void write_midrun_checkpoint(const std::string& ckpt_path) {
+  DegreeDistribution dist({{2, 120}, {3, 80}, {5, 20}});
+  GenerateConfig config;
+  config.seed = 42;
+  config.swap_iterations = 8;
+  config.governance.enabled = true;
+  config.governance.budget.max_swap_iterations = 4;
+  config.governance.checkpoint_every = 2;
+  config.governance.checkpoint_path = ckpt_path;
+  const GenerateResult partial = generate_null_graph(dist, config);
+  ASSERT_EQ(partial.report.curtailed_by(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SvcRecovery, SpoolResumesACheckpointedJobAndCommitsItsOutput) {
+  const std::string spool = temp_path("svc_spool_ok");
+  const std::string out = temp_path("svc_recovered_out.txt");
+  std::filesystem::create_directories(spool);
+  std::remove(out.c_str());
+  write_midrun_checkpoint(spool + "/job-7.ckpt");
+
+  JobSpec spec = quick_generate_spec();
+  spec.checkpoint_every = 2;
+  spec.out_path = out;
+  {
+    std::ofstream meta(spool + "/job-7.meta");
+    meta << serialize_job_spec(spec);
+  }
+
+  SchedulerConfig config;
+  config.spool_dir = spool;
+  Scheduler scheduler(config);
+  EXPECT_EQ(scheduler.recover_spool(), 1u);
+  EXPECT_EQ(scheduler.stats().recovered, 1u);
+
+  const Result<EdgeList> committed = try_read_edge_list_file(out);
+  ASSERT_TRUE(committed.ok()) << committed.status().to_string();
+  EXPECT_GT(committed.value().size(), 0u);
+
+  // The spool entry is consumed: a second recovery pass finds nothing.
+  EXPECT_EQ(scheduler.recover_spool(), 0u);
+  scheduler.shutdown(true);
+  std::remove(out.c_str());
+}
+
+TEST(SvcRecovery, TruncatedCheckpointFailsCleanlyWithoutOutput) {
+  const std::string spool = temp_path("svc_spool_trunc");
+  const std::string out = temp_path("svc_trunc_out.txt");
+  std::filesystem::create_directories(spool);
+  std::remove(out.c_str());
+  const std::string ckpt = spool + "/job-8.ckpt";
+  write_midrun_checkpoint(ckpt);
+  std::filesystem::resize_file(ckpt, std::filesystem::file_size(ckpt) / 2);
+
+  JobSpec spec = quick_generate_spec();
+  spec.checkpoint_every = 2;
+  spec.out_path = out;
+  {
+    std::ofstream meta(spool + "/job-8.meta");
+    meta << serialize_job_spec(spec);
+  }
+
+  SchedulerConfig config;
+  config.spool_dir = spool;
+  Scheduler scheduler(config);
+  EXPECT_EQ(scheduler.recover_spool(), 0u);
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.recovered, 0u);
+  EXPECT_EQ(stats.failed, 1u);  // cleanly failed, CRC refused the snapshot
+
+  // No torn output was delivered, and the poisoned entry is gone.
+  EXPECT_FALSE(std::filesystem::exists(out));
+  EXPECT_FALSE(std::filesystem::exists(ckpt));
+  EXPECT_FALSE(std::filesystem::exists(spool + "/job-8.meta"));
+  scheduler.shutdown(true);
+}
+
+TEST(SvcRecovery, TornMetaFailsCleanly) {
+  const std::string spool = temp_path("svc_spool_meta");
+  std::filesystem::create_directories(spool);
+  {
+    std::ofstream meta(spool + "/job-9.meta");
+    meta << R"({"op":"generate","n":)";  // cut mid-write
+  }
+  SchedulerConfig config;
+  config.spool_dir = spool;
+  Scheduler scheduler(config);
+  EXPECT_EQ(scheduler.recover_spool(), 0u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(spool + "/job-9.meta"));
+  scheduler.shutdown(true);
+}
+
+// --------------------------------------------------------------- daemon
+
+/// In-process daemon fixture: run_daemon on a background thread, stopped
+/// through the protocol (or the signal flag) in TearDown.
+class DaemonTest : public ::testing::Test {
+ protected:
+  void start(DaemonConfig config) {
+    config.socket_path = socket_path_;
+    config.stop_signal = &stop_signal_;
+    std::remove(socket_path_.c_str());
+    thread_ = std::thread([this, config] { report_ = run_daemon(config); });
+    SubmitOptions options{socket_path_, 1000};
+    ASSERT_TRUE(wait_until([&] { return ping(options).ok(); }))
+        << "daemon never became reachable";
+  }
+
+  void TearDown() override {
+    if (thread_.joinable()) {
+      stop_signal_.store(SIGTERM);
+      thread_.join();
+    }
+    std::remove(socket_path_.c_str());
+  }
+
+  std::string socket_path_ = temp_path("svc_daemon_test.sock");
+  std::atomic<int> stop_signal_{0};
+  std::thread thread_;
+  Result<DaemonReport> report_{Status(StatusCode::kInternal, "never ran")};
+};
+
+TEST_F(DaemonTest, EndToEndSubmitStreamStatsShutdown) {
+  DaemonConfig config;
+  config.scheduler.slots = 2;
+  start(config);
+  SubmitOptions options{socket_path_, /*reply_timeout_ms=*/30000};
+
+  const Result<SubmitOutcome> outcome =
+      submit_job(options, quick_generate_spec());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_TRUE(outcome.value().admission.ok())
+      << outcome.value().admission.to_string();
+  EXPECT_TRUE(outcome.value().final_status.ok())
+      << outcome.value().final_status.to_string();
+  EXPECT_GT(outcome.value().job_id, 0u);
+  EXPECT_GT(outcome.value().edge_count, 0u);
+  EXPECT_EQ(outcome.value().edges.size(), outcome.value().edge_count);
+
+  // The worker bumps `completed` moments after the client sees its stream
+  // end, so poll the stats verb instead of asserting the instantaneous
+  // value (the final daemon report below still asserts the exact count).
+  ASSERT_TRUE(wait_until([&] {
+    const Result<std::string> stats = request_stats(options);
+    if (!stats.ok()) return false;
+    const Result<JsonValue> parsed = parse_json(stats.value());
+    return parsed.ok() &&
+           get_u64(parsed.value().as_object(), "completed", 0) == 1;
+  })) << "stats never reported the job as completed";
+
+  ASSERT_TRUE(request_shutdown(options).ok());
+  thread_.join();
+  ASSERT_TRUE(report_.ok()) << report_.status().to_string();
+  EXPECT_EQ(report_.value().stats.completed, 1u);
+  EXPECT_GE(report_.value().connections, 3u);
+}
+
+TEST_F(DaemonTest, MalformedRequestGetsATypedProtocolReject) {
+  start(DaemonConfig{});
+  const Result<int> fd = connect_unix(socket_path_);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(write_control(fd.value(), "{definitely not json").ok());
+  const Result<Frame> reply = read_frame(fd.value(), 5000);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  const Result<JsonValue> doc = parse_json(reply.value().text());
+  ASSERT_TRUE(doc.ok());
+  const JsonObject& obj = doc.value().as_object();
+  EXPECT_FALSE(get_bool(obj, "ok", true));
+  EXPECT_EQ(get_string(obj, "code"), "kClientProtocol");
+  close_fd(fd.value());
+}
+
+TEST_F(DaemonTest, ZeroCapacityDaemonShedsEverySubmitWithRetryAfter) {
+  DaemonConfig config;
+  config.scheduler.slots = 1;
+  config.scheduler.queue_capacity = 0;
+  start(config);
+  SubmitOptions options{socket_path_, 5000};
+  const Result<SubmitOutcome> outcome =
+      submit_job(options, quick_generate_spec());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_EQ(outcome.value().admission.code(), StatusCode::kOverloaded);
+  EXPECT_GT(outcome.value().retry_after_ms, 0u);
+}
+
+TEST_F(DaemonTest, InlineUploadShuffleStreamsBackAPermutation) {
+  start(DaemonConfig{});
+  SubmitOptions options{socket_path_, 30000};
+  JobSpec spec;
+  spec.op = JobSpec::Op::kShuffle;
+  spec.edges_follow = true;
+  spec.swaps = 2;
+  // A ring is connected and simple: shuffling preserves the degree
+  // sequence (all 2s) and the edge count.
+  for (std::uint32_t i = 0; i < 64; ++i)
+    spec.edges.push_back({i, (i + 1) % 64});
+  const Result<SubmitOutcome> outcome = submit_job(options, spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  ASSERT_TRUE(outcome.value().admission.ok())
+      << outcome.value().admission.to_string();
+  EXPECT_TRUE(outcome.value().final_status.ok())
+      << outcome.value().final_status.to_string();
+  EXPECT_EQ(outcome.value().edges.size(), 64u);
+}
+
+}  // namespace
+}  // namespace nullgraph::svc

@@ -42,14 +42,28 @@
 //                        chrome://tracing): one span per pipeline phase,
 //                        exec loop, swap iteration, and LFR layer
 //
+// Service mode (DESIGN.md §9):
+//   nullgraph serve  --socket PATH [--slots N --queue N --max-memory-mb N
+//                     --spool DIR --report-dir DIR --threads N]
+//                    long-running daemon: bounded job queue, per-job
+//                    governance, admission control, crash recovery
+//   nullgraph submit --socket PATH [job flags | --ping | --stats |
+//                     --shutdown]
+//                    client: submit one job and wait for its verdict
+//   A second SIGINT/SIGTERM while the first is still draining force-exits
+//   with code 13 — the escape hatch when a graceful drain is stuck.
+//
 // Exit status: 0 success, 1 bad usage, 2 unclassified runtime failure,
 // 3+ one per typed error class (status_exit_code in robustness/status.hpp):
 // 3 kIoError, 4 kIoMalformed, 5 kNotGraphical, 6 kProbabilityOverflow,
 // 7 kNonSimpleOutput, 8 kDegreeMismatch, 9 kSwapStagnation,
 // 10 kConnectivityExhausted, 11 kRepairIncomplete, 12 kDeadlineExceeded,
 // 13 kCancelled, 14 kSwapStalled, 15 kCapacityExhausted, 16 kMemoryBudget,
-// 17 kCheckpointInvalid.
+// 17 kCheckpointInvalid, 18 kOverloaded, 19 kJobEvicted, 20 kClientProtocol.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -73,8 +87,11 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/json_writer.hpp"
 #include "robustness/governance.hpp"
 #include "robustness/status.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -90,12 +107,30 @@ CancelToken& global_cancel() {
   return token;
 }
 
-extern "C" void on_termination_signal(int) {
+/// Received signal number (0 while running); the serve loop polls this to
+/// begin its graceful shutdown.
+std::atomic<int>& global_signal_flag() {
+  static std::atomic<int> flag{0};
+  return flag;
+}
+
+extern "C" void on_termination_signal(int signo) {
+  // First signal: cooperative drain (cancel token + serve stop flag).
+  // Second signal while the drain is still running: the operator means it —
+  // force-exit with kCancelled's code. _exit is async-signal-safe and
+  // status_exit_code is a pure switch.
+  // relaxed: single-word flags with no dependent data to publish; the only
+  // ordering that matters is each flag's own modification order.
+  static std::atomic<int> deliveries{0};
+  if (deliveries.fetch_add(1, std::memory_order_relaxed) > 0)
+    _exit(status_exit_code(StatusCode::kCancelled));
+  global_signal_flag().store(signo, std::memory_order_relaxed);
   global_cancel().request_cancel();
 }
 
 void install_signal_handlers() {
   (void)global_cancel();  // construct before any signal can arrive
+  (void)global_signal_flag();
   std::signal(SIGINT, on_termination_signal);
   std::signal(SIGTERM, on_termination_signal);
 }
@@ -120,6 +155,19 @@ void usage() {
                "--inject-slow-ms N --inject-seed S\n"
                "telemetry (generate/shuffle/lfr): --report-json FILE "
                "--trace-out FILE\n"
+               "service mode:\n"
+               "  serve  --socket PATH [--slots N --queue N --max-memory-mb N"
+               " --spool DIR\n"
+               "          --report-dir DIR --threads N --read-timeout-ms N"
+               " --report-json FILE\n"
+               "          --inject-accept-fail N --inject-slow-client-ms N"
+               " --inject-ckpt-fail N]\n"
+               "  submit --socket PATH [--ping | --stats | --shutdown |\n"
+               "          job: (--powerlaw ... | --dist FILE | --in FILE |"
+               " --upload FILE)\n"
+               "          --seed S --swaps K --deadline-ms N --threads N\n"
+               "          --checkpoint-every N --out FILE --save FILE"
+               " --timeout-ms N]\n"
                "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
                "(see README)\n");
 }
@@ -200,6 +248,7 @@ GuardrailConfig guardrails_from(const Args& args) {
   guard.faults.corrupt_prob_entries = args.get_u64("inject-prob", 0);
   guard.faults.force_swap_stall = args.has("inject-stall");
   guard.faults.slow_phase_ms = args.get_u64("inject-slow-ms", 0);
+  guard.faults.fail_checkpoint_writes = args.get_u64("inject-ckpt-fail", 0);
   guard.faults.seed = args.get_u64("inject-seed", guard.faults.seed);
   return guard;
 }
@@ -494,6 +543,184 @@ int cmd_lfr(const Args& args, Telemetry& telem) {
                       &graph, code);
 }
 
+/// `nullgraph serve`: the daemon. Blocks until a termination signal or a
+/// client {"op":"shutdown"}; then reports what the run did, optionally as
+/// a machine-readable JSON (--report-json) for the serve_smoke CI tier.
+int cmd_serve(const Args& args) {
+  const auto socket = args.get("socket");
+  if (!socket || socket->empty()) {
+    std::fprintf(stderr, "serve: need --socket PATH\n");
+    return 1;
+  }
+  obs::MetricsRegistry metrics;
+  svc::DaemonConfig config;
+  config.socket_path = *socket;
+  config.scheduler.slots = static_cast<int>(args.get_u64("slots", 2));
+  config.scheduler.queue_capacity = args.get_u64("queue", 4);
+  config.scheduler.memory_ceiling_bytes =
+      args.get_u64("max-memory-mb", 0) * 1024 * 1024;
+  if (const auto dir = args.get("spool")) config.scheduler.spool_dir = *dir;
+  if (const auto dir = args.get("report-dir"))
+    config.scheduler.report_dir = *dir;
+  config.scheduler.total_threads =
+      static_cast<int>(args.get_u64("threads", 0));
+  config.scheduler.metrics = &metrics;
+  config.scheduler.faults.fail_checkpoint_writes =
+      args.get_u64("inject-ckpt-fail", 0);
+  config.read_timeout_ms =
+      static_cast<int>(args.get_u64("read-timeout-ms", 5000));
+  config.faults.accept_fail = args.get_u64("inject-accept-fail", 0);
+  config.faults.slow_client_ms = args.get_u64("inject-slow-client-ms", 0);
+  config.stop_signal = &global_signal_flag();
+
+  std::fprintf(stderr, "serve: listening on %s (slots=%d queue=%zu)\n",
+               config.socket_path.c_str(), config.scheduler.slots,
+               config.scheduler.queue_capacity);
+  const Result<svc::DaemonReport> run = svc::run_daemon(config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve: %s\n", run.status().to_string().c_str());
+    return status_exit_code(run.status().code());
+  }
+  const svc::DaemonReport& report = run.value();
+  std::fprintf(stderr,
+               "serve: done — %llu completed, %llu failed, %llu evicted, "
+               "%llu rejected, %zu recovered, %llu connections\n",
+               static_cast<unsigned long long>(report.stats.completed),
+               static_cast<unsigned long long>(report.stats.failed),
+               static_cast<unsigned long long>(report.stats.evicted),
+               static_cast<unsigned long long>(report.stats.rejected),
+               report.recovered,
+               static_cast<unsigned long long>(report.connections));
+
+  if (const auto path = args.get("report-json")) {
+    // Daemon-level report: lifecycle totals + the metrics snapshot. A
+    // different document from the per-job run reports (those live in
+    // --report-dir and carry report_version 1).
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("serve_report_version", 1);
+    w.kv("completed", report.stats.completed);
+    w.kv("failed", report.stats.failed);
+    w.kv("evicted", report.stats.evicted);
+    w.kv("rejected", report.stats.rejected);
+    w.kv("recovered", report.recovered);
+    w.kv("connections", report.connections);
+    w.kv("protocol_errors", report.protocol_errors);
+    w.key("counters").begin_object();
+    for (const auto& c : metrics.snapshot().counters) w.kv(c.name, c.value);
+    w.end_object();
+    w.end_object();
+    std::FILE* f = std::fopen(path->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve: cannot write %s\n", path->c_str());
+      return status_exit_code(StatusCode::kIoError);
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+/// `nullgraph submit`: one round-trip to a running daemon. Exit code is
+/// the decisive status's typed code — admission rejects map to 18/19/20,
+/// a curtailed-but-delivered job to the curtailment's code, clean runs
+/// to 0 — so shell drills can assert the whole failure matrix.
+int cmd_submit(const Args& args) {
+  const auto socket = args.get("socket");
+  if (!socket || socket->empty()) {
+    std::fprintf(stderr, "submit: need --socket PATH\n");
+    return 1;
+  }
+  svc::SubmitOptions options;
+  options.socket_path = *socket;
+  options.reply_timeout_ms =
+      static_cast<int>(args.get_u64("timeout-ms", 0));
+
+  if (args.has("ping")) {
+    const Status s = svc::ping(options);
+    std::fprintf(stderr, "ping: %s\n", s.ok() ? "ok" : s.to_string().c_str());
+    return status_exit_code(s.code());
+  }
+  if (args.has("stats")) {
+    Result<std::string> s = svc::request_stats(options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "stats: %s\n", s.status().to_string().c_str());
+      return status_exit_code(s.status().code());
+    }
+    std::printf("%s\n", s.value().c_str());
+    return 0;
+  }
+  if (args.has("shutdown")) {
+    const Status s = svc::request_shutdown(options);
+    if (!s.ok()) std::fprintf(stderr, "shutdown: %s\n", s.to_string().c_str());
+    return status_exit_code(s.code());
+  }
+
+  svc::JobSpec spec;
+  if (const auto in = args.get("in")) {
+    spec.op = svc::JobSpec::Op::kShuffle;
+    spec.in_path = *in;
+  } else if (const auto upload = args.get("upload")) {
+    spec.op = svc::JobSpec::Op::kShuffle;
+    spec.edges_follow = true;
+    spec.edges = read_edge_list_file(*upload);
+  } else if (const auto dist = args.get("dist")) {
+    spec.op = svc::JobSpec::Op::kGenerate;
+    spec.dist_path = *dist;
+  } else {
+    spec.op = svc::JobSpec::Op::kGenerate;
+    spec.powerlaw.n = args.get_u64("n", 100000);
+    spec.powerlaw.gamma = args.get_double("gamma", 2.5);
+    spec.powerlaw.dmin = args.get_u64("dmin", 1);
+    spec.powerlaw.dmax = args.get_u64("dmax", 1000);
+  }
+  spec.seed = args.get_u64("seed", 1);
+  spec.swaps = args.get_u64("swaps", 10);
+  spec.deadline_ms = args.get_u64("deadline-ms", 0);
+  spec.threads = static_cast<int>(args.get_u64("threads", 0));
+  spec.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  if (const auto out = args.get("out")) spec.out_path = *out;
+  spec.inject_slow_ms = args.get_u64("inject-job-slow-ms", 0);
+
+  Result<svc::SubmitOutcome> sent = svc::submit_job(options, spec);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "submit: %s\n", sent.status().to_string().c_str());
+    return status_exit_code(sent.status().code());
+  }
+  const svc::SubmitOutcome& outcome = sent.value();
+  if (!outcome.admission.ok()) {
+    std::fprintf(stderr, "submit: rejected: %s",
+                 outcome.admission.to_string().c_str());
+    if (outcome.retry_after_ms > 0)
+      std::fprintf(stderr, " (retry after %llu ms)",
+                   static_cast<unsigned long long>(outcome.retry_after_ms));
+    std::fprintf(stderr, "\n");
+    return status_exit_code(outcome.admission.code());
+  }
+  std::fprintf(stderr, "submit: job %llu %s — %llu edges\n",
+               static_cast<unsigned long long>(outcome.job_id),
+               outcome.final_status.ok() ? "completed" : "failed",
+               static_cast<unsigned long long>(outcome.edge_count));
+  if (!outcome.final_status.ok())
+    std::fprintf(stderr, "submit: %s\n",
+                 outcome.final_status.to_string().c_str());
+  if (const auto save = args.get("save")) {
+    if (Status s = write_edge_list_file_atomic(*save, outcome.edges);
+        !s.ok()) {
+      std::fprintf(stderr, "submit: %s\n", s.to_string().c_str());
+      return status_exit_code(s.code());
+    }
+  }
+  if (!outcome.final_status.ok())
+    return status_exit_code(outcome.final_status.code());
+  if (outcome.curtailed_code != StatusCode::kOk) {
+    std::fprintf(stderr, "submit: job curtailed: %s\n",
+                 outcome.curtailed.c_str());
+    return status_exit_code(outcome.curtailed_code);
+  }
+  return 0;
+}
+
 int cmd_dist(const Args& args) {
   const auto in = args.get("in");
   if (!in) {
@@ -529,6 +756,8 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "lfr") return cmd_lfr(args, telem);
     if (command == "dist") return cmd_dist(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
   } catch (const StatusError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return status_exit_code(error.code());
