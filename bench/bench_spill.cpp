@@ -1,0 +1,131 @@
+// Out-of-core spill overhead: the same end-to-end generation kept in RAM
+// (SpillConfig off) and force-routed through CRC-framed shard files
+// (DESIGN.md §10), plus the streaming merge that reassembles the shards
+// into one in-memory edge list.
+//
+// Expected shape: the spill path trades the in-core edge vector for
+// sequential shard writes (CRC-32 per 32K-edge block, fsync+rename per
+// shard), so BM_SpillForced pays disk bandwidth on top of the identical
+// generation math — the interesting number is the ratio, which bounds
+// what a memory-ceiling degradation costs a run that would otherwise
+// have died with kMemoryBudget. BM_SpillMergeLoad isolates the read
+// side: CRC-checked block streaming of every shard back into RAM.
+//
+// Shard-count sweep (2/8/32) shows the per-shard commit cost: more
+// shards = more fsync+rename barriers over the same bytes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/null_model.hpp"
+#include "gen/powerlaw.hpp"
+#include "io/shard_merge.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+DegreeDistribution bench_dist() {
+  return powerlaw_distribution(
+      {.n = 200000, .gamma = 2.5, .dmin = 2, .dmax = 300});
+}
+
+std::string fresh_spill_dir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nullgraph-bench-spill";
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+void BM_SpillOff(benchmark::State& state) {
+  const DegreeDistribution dist = bench_dist();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GenerateConfig config;
+    config.seed = seed++;
+    config.swap_iterations = 0;
+    GenerateResult result = generate_null_graph(dist, config);
+    benchmark::DoNotOptimize(result.edges.data());
+    state.counters["edges"] =
+        benchmark::Counter(static_cast<double>(result.edges.size()));
+    state.counters["edges/s"] = benchmark::Counter(
+        static_cast<double>(result.edges.size()), benchmark::Counter::kIsRate);
+  }
+}
+
+void BM_SpillForced(benchmark::State& state) {
+  const DegreeDistribution dist = bench_dist();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir = fresh_spill_dir();  // no stale-shard reuse
+    state.ResumeTiming();
+    GenerateConfig config;
+    config.seed = seed++;
+    config.swap_iterations = 0;
+    config.spill.enabled = true;
+    config.spill.force = true;
+    config.spill.dir = dir;
+    config.spill.shard_count = static_cast<std::uint64_t>(state.range(0));
+    GenerateResult result = generate_null_graph(dist, config);
+    benchmark::DoNotOptimize(result.spill.edges_on_disk);
+    state.counters["edges"] =
+        benchmark::Counter(static_cast<double>(result.spill.edges_on_disk));
+    state.counters["edges/s"] =
+        benchmark::Counter(static_cast<double>(result.spill.edges_on_disk),
+                           benchmark::Counter::kIsRate);
+    state.counters["shards"] =
+        benchmark::Counter(static_cast<double>(result.spill.shards_written));
+    state.counters["max_shard_edges"] =
+        benchmark::Counter(static_cast<double>(result.spill.max_shard_edges));
+  }
+  std::filesystem::remove_all(
+      std::filesystem::temp_directory_path() / "nullgraph-bench-spill");
+}
+
+void BM_SpillMergeLoad(benchmark::State& state) {
+  // One spilled graph, read back repeatedly: CRC-checked block streaming
+  // of every shard into a single in-memory edge list.
+  const DegreeDistribution dist = bench_dist();
+  const std::string dir = fresh_spill_dir();
+  GenerateConfig config;
+  config.seed = 1;
+  config.swap_iterations = 0;
+  config.spill.enabled = true;
+  config.spill.force = true;
+  config.spill.dir = dir;
+  config.spill.shard_count = 8;
+  const GenerateResult spilled = generate_null_graph(dist, config);
+  if (!spilled.report.first_error().ok() || !spilled.spill.spilled) {
+    state.SkipWithError("spill generation failed; nothing to merge");
+    return;
+  }
+  for (auto _ : state) {
+    auto merged = load_all_shards(dir, spilled.spill.shard_count);
+    if (!merged.ok()) {
+      state.SkipWithError("load_all_shards failed");
+      return;
+    }
+    benchmark::DoNotOptimize(merged.value().data());
+    state.counters["edges"] =
+        benchmark::Counter(static_cast<double>(merged.value().size()));
+    state.counters["edges/s"] =
+        benchmark::Counter(static_cast<double>(merged.value().size()),
+                           benchmark::Counter::kIsRate);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_SpillOff)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_SpillForced)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_SpillMergeLoad)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Capture (or refresh) the checked-in performance baselines.
 #
-# Runs the two benchmark suites that anchor the paper's headline numbers —
+# Runs the benchmark suites that anchor the paper's headline numbers —
 # bench_fig5_endtoend (full generate pipeline) and bench_ablation_sampling
-# (degree-sequence sampling ablation) — with google-benchmark's JSON
-# emitter, and writes the results to bench/baselines/. check.sh diffs a
+# (degree-sequence sampling ablation) — plus bench_spill (out-of-core
+# shard-write overhead vs in-core, DESIGN.md §10) with google-benchmark's
+# JSON emitter, and writes the results to bench/baselines/. check.sh diffs a
 # fresh run against these snapshots (scripts/compare_reports.py --bench)
 # as a NON-FATAL drift report: absolute times move with the host, so the
 # comparison informs rather than gates.
@@ -37,5 +38,7 @@ run_suite() {  # binary outfile
 
 run_suite bench_fig5_endtoend BENCH_fig5.json
 run_suite bench_ablation_sampling BENCH_sampling.json
+run_suite bench_spill BENCH_spill.json
 
-echo "bench_baseline: wrote $OUT/BENCH_fig5.json and $OUT/BENCH_sampling.json"
+echo "bench_baseline: wrote $OUT/BENCH_fig5.json, $OUT/BENCH_sampling.json,"
+echo "  and $OUT/BENCH_spill.json"

@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Deterministic chaos drill for out-of-core generation (DESIGN.md §10).
+#
+# Four phases, every expectation exact:
+#
+#   1. memory pressure — a graph whose projected footprint exceeds
+#      --max-memory-mb must DEGRADE to spill shards and exit 0 (never trip
+#      kMemoryBudget), its merged output must be bit-identical to the
+#      unconstrained in-core run, and the report must carry the
+#      degradation event plus resident-memory gauges proving the bound.
+#   2. SIGKILL mid-spill + resume — the generator is killed (kill -9)
+#      between shard commits; the directory must hold only complete,
+#      CRC-valid shards (fsck exits 21 on the missing tail, never crashes),
+#      and `generate --resume <dir>` must finish the run to a
+#      bit-identical output while reusing every surviving shard.
+#   3. torn shard + fsck — a shard truncated mid-block and a shard with a
+#      flipped byte must both be typed kShardCorrupt (exit 21);
+#      `fsck --repair` must regenerate them in place and `fsck --deep`
+#      must then prove the directory globally simple (exit 0).
+#   4. write-fault injection — with --inject-spill-fail exhausting every
+#      retry attempt the run must surface typed kIoError (exit 3), not
+#      abort; with a single injected failure the bounded-backoff retry
+#      must absorb it and exit 0.
+#
+# Used by scripts/check.sh as the spill_smoke tier; also runnable
+# standalone: scripts/chaos_spill.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+BIN=$BUILD_DIR/tools/nullgraph
+WORK=${1:-$BUILD_DIR/chaos-spill}
+
+[[ -x "$BIN" ]] || { echo "chaos_spill: $BIN not built" >&2; exit 1; }
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() { echo "chaos_spill: FAIL: $*" >&2; exit 1; }
+
+# One graph for every phase; --swaps 0 because spill mode skips the swap
+# chain (recorded as a degradation), so the in-core reference must too.
+GRAPH=(--powerlaw --n 200000 --dmax 500 --seed 23 --swaps 0)
+
+echo "== chaos_spill phase 0: in-core reference run =="
+"$BIN" generate "${GRAPH[@]}" --out "$WORK/reference.txt" >/dev/null \
+  || fail "reference run failed"
+[[ -s "$WORK/reference.txt" ]] || fail "reference run wrote no output"
+
+# ---------------------------------------------------------------- phase 1
+echo "== chaos_spill phase 1: memory ceiling degrades to disk, exit 0 =="
+"$BIN" generate "${GRAPH[@]}" --max-memory-mb 2 \
+  --spill-dir "$WORK/spill-pressure" --out "$WORK/pressure.txt" \
+  --report-json "$WORK/pressure_report.json" >/dev/null \
+  || fail "memory-pressure run exited $? (must degrade, not trip)"
+cmp -s "$WORK/reference.txt" "$WORK/pressure.txt" \
+  || fail "spilled output diverged from the in-core reference"
+python3 - "$WORK/pressure_report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+spill = r["spill"]
+assert spill["spilled"] and spill["shard_count"] >= 2, spill
+assert spill["shards_written"] == spill["shard_count"], spill
+deg = {d["action"]: d for d in r["degradations"]}
+assert deg["spill-to-disk"]["trigger"] == "kMemoryBudget", deg
+gauges = {g["name"]: g["value"] for g in r["metrics"]["gauges"]}
+assert gauges.get("mem.resident_kb", 0) > 0, gauges
+assert gauges.get("mem.peak_resident_kb", 0) > 0, gauges
+# The balance contract: no shard hoards the graph (<= 2x the fair share).
+assert spill["max_shard_edges"] <= 2 * spill["edges_on_disk"] / spill["shard_count"], spill
+PY
+echo "   ok: degraded to $(ls "$WORK"/spill-pressure/shard-* | wc -l) shards, output bit-identical, memory gauges present"
+
+# ---------------------------------------------------------------- phase 2
+echo "== chaos_spill phase 2: SIGKILL between shard commits, resume =="
+SPILL=$WORK/spill-kill
+# The per-phase slow injection sleeps inside every shard generation, which
+# holds the kill window open deterministically: shard files appear one by
+# one, so polling for the second file guarantees the kill lands mid-run.
+"$BIN" generate "${GRAPH[@]}" --force-spill --spill-dir "$SPILL" \
+  --spill-shards 6 --inject-slow-ms 400 --out "$WORK/killed.txt" \
+  >/dev/null 2>&1 &
+VICTIM_PID=$!
+for _ in $(seq 1 200); do
+  [[ -f "$SPILL/shard-000001.ngsh" ]] && break
+  sleep 0.05
+done
+[[ -f "$SPILL/shard-000001.ngsh" ]] || fail "no second shard ever committed"
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+
+[[ -e "$WORK/killed.txt" ]] && fail "torn merged output delivered after SIGKILL"
+compgen -G "$SPILL/*.tmp" >/dev/null && fail "SIGKILL left a temp file behind"
+SURVIVORS=$(ls "$SPILL"/shard-*.ngsh | wc -l)
+[[ "$SURVIVORS" -lt 6 ]] || fail "all shards present; the kill landed too late"
+
+# Every survivor must be complete and CRC-valid; the missing tail makes
+# the directory as a whole unhealthy (typed exit 21, never a crash).
+rc=0; "$BIN" fsck --dir "$SPILL" >/dev/null 2>&1 || rc=$?
+[[ "$rc" == 21 ]] || fail "fsck on a half-written directory exited $rc, want 21"
+
+"$BIN" generate --resume "$SPILL" --out "$WORK/resumed.txt" \
+  --report-json "$WORK/resume_report.json" >/dev/null \
+  || fail "resume exited $?"
+cmp -s "$WORK/reference.txt" "$WORK/resumed.txt" \
+  || fail "resumed output diverged from the uninterrupted reference"
+python3 - "$WORK/resume_report.json" "$SURVIVORS" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+survivors = int(sys.argv[2])
+spill = r["spill"]
+assert spill["shards_reused"] == survivors, (spill, survivors)
+assert spill["shards_reused"] + spill["shards_written"] == 6, spill
+PY
+echo "   ok: $SURVIVORS survivors reused, $((6 - SURVIVORS)) regenerated, output bit-identical"
+
+# ---------------------------------------------------------------- phase 3
+echo "== chaos_spill phase 3: torn + corrupt shards, fsck --repair --deep =="
+# Tear one shard mid-block and flip a payload byte in another.
+head -c 100 "$SPILL/shard-000002.ngsh" >"$SPILL/shard-000002.ngsh.torn"
+mv "$SPILL/shard-000002.ngsh.torn" "$SPILL/shard-000002.ngsh"
+python3 - "$SPILL/shard-000004.ngsh" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[len(data) // 2] ^= 0x40
+open(path, 'wb').write(data)
+PY
+rc=0; "$BIN" fsck --dir "$SPILL" >"$WORK/fsck_damage.txt" 2>&1 || rc=$?
+[[ "$rc" == 21 ]] || fail "fsck on damaged shards exited $rc, want 21"
+grep -q "CORRUPT" "$WORK/fsck_damage.txt" || fail "fsck did not name the corrupt shards"
+
+"$BIN" fsck --dir "$SPILL" --repair --deep >/dev/null \
+  || fail "fsck --repair could not heal the directory"
+"$BIN" generate --resume "$SPILL" --out "$WORK/healed.txt" >/dev/null \
+  || fail "post-repair resume failed"
+cmp -s "$WORK/reference.txt" "$WORK/healed.txt" \
+  || fail "repaired shards diverged from the reference"
+echo "   ok: damage typed as 21, repaired in place, deep census clean"
+
+# ---------------------------------------------------------------- phase 4
+echo "== chaos_spill phase 4: spill write faults (retry, then typed kIoError) =="
+# One injected failure: absorbed by the bounded-backoff retry, exit 0.
+"$BIN" generate "${GRAPH[@]}" --force-spill --spill-dir "$WORK/spill-retry" \
+  --inject-spill-fail 1 --out "$WORK/retried.txt" \
+  --report-json "$WORK/retry_report.json" >/dev/null \
+  || fail "a single transient write fault was not retried away (exit $?)"
+cmp -s "$WORK/reference.txt" "$WORK/retried.txt" \
+  || fail "retried run diverged from the reference"
+python3 - "$WORK/retry_report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+c = {m["name"]: m["value"] for m in r["metrics"]["counters"]}
+assert c.get("spill.write_retries") == 1, c
+assert c.get("spill.write_failures", 0) == 0, c
+PY
+
+# Faults on every attempt: the typed kIoError surfaces as exit 3.
+rc=0
+"$BIN" generate "${GRAPH[@]}" --force-spill --spill-dir "$WORK/spill-fatal" \
+  --inject-spill-fail 1000 --out "$WORK/fatal.txt" >/dev/null 2>&1 || rc=$?
+[[ "$rc" == 3 ]] || fail "exhausted spill writes exited $rc, want typed 3 (kIoError)"
+echo "   ok: one fault retried away, persistent faults typed kIoError"
+
+echo "chaos_spill: all phases passed"

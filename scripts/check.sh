@@ -9,7 +9,8 @@
 #      tree also compiles with -Werror=thread-safety, proving every
 #      NG_GUARDED_BY contract. Compile-only — no tests run here.
 #   3. default build + ctest, telemetry smoke through the real binary,
-#      the serve_smoke chaos drill (scripts/chaos_serve.sh), and a
+#      the serve_smoke chaos drill (scripts/chaos_serve.sh), the
+#      spill_smoke chaos drill (scripts/chaos_spill.sh), and a
 #      non-fatal benchmark drift report against bench/baselines/.
 #   4. sanitizers: ASan/UBSan full suite, then TSan over the
 #      concurrency-critical suites.
@@ -104,6 +105,13 @@ echo "== serve smoke: chaos drill over the service daemon =="
 # recovery with no torn output, and accept/slow-client fault injections.
 scripts/chaos_serve.sh build/serve-smoke
 
+echo "== spill smoke: chaos drill over out-of-core generation =="
+# Deterministic drill (scripts/chaos_spill.sh): memory-ceiling degradation
+# with bit-identical merged output, SIGKILL between shard commits +
+# --resume reusing every survivor, torn-shard fsck --repair --deep, and
+# spill write-fault injection (retry absorbs one, exhaustion types 3).
+scripts/chaos_spill.sh build/spill-smoke
+
 echo "== bench drift vs checked-in baselines (informational) =="
 # Absolute benchmark times move with the host, so drift beyond the
 # threshold is REPORTED but never fails the build. Refresh the snapshots
@@ -116,6 +124,9 @@ if [[ -f bench/baselines/BENCH_fig5.json && -x build/bench/bench_fig5_endtoend ]
     || echo "   (drift noted above is informational, not a failure)"
   python3 scripts/compare_reports.py --bench \
     bench/baselines/BENCH_sampling.json "$DRIFT_DIR/BENCH_sampling.json" \
+    || echo "   (drift noted above is informational, not a failure)"
+  python3 scripts/compare_reports.py --bench \
+    bench/baselines/BENCH_spill.json "$DRIFT_DIR/BENCH_spill.json" \
     || echo "   (drift noted above is informational, not a failure)"
 else
   echo "   (bench binaries or baselines absent; skipping)"

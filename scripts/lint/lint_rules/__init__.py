@@ -10,8 +10,8 @@ and append it to ALL_RULES below (order = output grouping order). See
 DESIGN.md section 8 for the policy each existing rule encodes.
 """
 
-from . import (atomics, determinism, include_hygiene, omp_confinement,
-               svc_confinement)
+from . import (atomics, determinism, include_hygiene, io_confinement,
+               omp_confinement, svc_confinement)
 
-ALL_RULES = [omp_confinement, svc_confinement, determinism, atomics,
-             include_hygiene]
+ALL_RULES = [omp_confinement, svc_confinement, io_confinement, determinism,
+             atomics, include_hygiene]

@@ -1,0 +1,66 @@
+"""File-I/O confinement rule.
+
+Raw file-handle acquisition — ``fopen``/``freopen``/``fdopen``, the
+``::open``/``::creat`` syscalls, and ``std::[io]fstream`` construction (or
+including ``<fstream>``) — is allowed only inside src/io/ and src/svc/.
+Everything else opens files through the io layer (graph_io, checkpoint,
+spill), whose writers share one crash-consistency discipline: write to a
+temp file, flush, fsync, rename. A stray direct ``fopen`` elsewhere is how
+torn-output bugs come back.
+
+Scope: src/ and tools/ only. Tests, benches, and examples deliberately
+bypass the io layer (they truncate and bit-flip files to prove the readers
+reject the damage), so confining them would force the fixtures through the
+very wrappers under test.
+
+Allowlisted files sit BELOW io in the layer DAG and cannot call up into it
+without creating a cycle; each carries a comment at its open site saying
+so, and each writes only non-durable diagnostics (a trace stream, a
+/proc/self/status read) where torn output is acceptable.
+"""
+
+import re
+
+from . import base
+
+NAME = "io-confinement"
+DESCRIPTION = (
+    "raw fopen/::open/fstream file access confined to src/io/ and src/svc/"
+)
+
+SANCTIONED_DIRS = ("src/io/", "src/svc/")
+SCANNED_DIRS = ("src/", "tools/")
+
+#: path -> reason (kept next to the rule so the exemption is auditable).
+ALLOWLIST = {
+    "src/obs/trace.cpp":
+        "obs sits below io (would cycle); trace streams are diagnostics",
+    "src/obs/process_stats.cpp":
+        "obs sits below io (would cycle); reads /proc/self/status only",
+}
+
+_RAW_IO = re.compile(
+    r"(?<![A-Za-z0-9_])(?:std::)?(?:fopen|freopen|fdopen)\s*\(|"
+    r"(?<![A-Za-z0-9_])::(?:open|creat)\s*\(|"
+    r"(?<![A-Za-z0-9_])(?:std::)?(?:[io]?fstream)(?![A-Za-z0-9_])|"
+    r"<fstream>")
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    for f in tree.files:
+        if not f.path.startswith(SCANNED_DIRS):
+            continue
+        if f.in_dir(SANCTIONED_DIRS[0]) or f.in_dir(SANCTIONED_DIRS[1]):
+            continue
+        if f.path in ALLOWLIST:
+            continue
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if _RAW_IO.search(line):
+                diags.append(base.Diagnostic(
+                    f.path, lineno, NAME,
+                    "raw file I/O outside src/io/ and src/svc/ — open files "
+                    "through the io layer (graph_io/checkpoint/spill) so "
+                    "writes keep the write-fsync-rename commit discipline "
+                    "(or allowlist the file with a reason)"))
+    return diags

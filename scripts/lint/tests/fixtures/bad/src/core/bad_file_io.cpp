@@ -1,0 +1,11 @@
+// Fixture: raw file I/O outside src/io/ and src/svc/ must be flagged.
+#include <cstdio>
+#include <fstream>
+
+int escape_the_io_layer(const char* path) {
+  // "fopen(" in a comment must NOT be flagged (comments are stripped).
+  std::FILE* f = std::fopen(path, "w");
+  std::ofstream out(path);
+  const int fd = ::open(path, 0);
+  return f != nullptr && out.good() ? fd : -1;
+}

@@ -1,0 +1,10 @@
+// Fixture: io-layer wrappers and lookalike names must NOT trip
+// io-confinement ("fopen(" here in prose is stripped before matching).
+#include "io/graph_io.hpp"
+
+int through_the_io_layer(const char* path) {
+  // Wrapper calls and suffixed identifiers: none of these are raw I/O.
+  const auto status = nullgraph::write_text_file_atomic(path, "0 1\n");
+  const bool reopened = my_fopen_counter(path) > 0;
+  return status.ok() && reopened ? 0 : 1;
+}

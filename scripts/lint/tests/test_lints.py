@@ -80,8 +80,8 @@ class DriverTest(unittest.TestCase):
     def test_list_names_all_rules(self):
         result = run_driver("--list")
         self.assertEqual(result.returncode, 0)
-        for name in ("omp-confinement", "svc-confinement", "determinism",
-                     "atomics", "include-hygiene"):
+        for name in ("omp-confinement", "svc-confinement", "io-confinement",
+                     "determinism", "atomics", "include-hygiene"):
             self.assertIn(name, result.stdout)
 
 
@@ -121,6 +121,21 @@ class RuleDiagnosticsTest(unittest.TestCase):
         # helpers and mentions socket( in a comment; none may fire.
         result = run_driver("--root", str(FIXTURES / "clean"),
                             "--rules", "svc-confinement")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_io_confinement_flags_each_raw_open(self):
+        # <fstream> include, std::fopen, std::ofstream, ::open syscall.
+        for line in (3, 7, 8, 9):
+            self.assertIn(
+                f"src/core/bad_file_io.cpp:{line}: [io-confinement] raw "
+                "file I/O outside src/io/ and src/svc/", self.out)
+
+    def test_io_confinement_ignores_wrappers_and_comments(self):
+        # The clean fixture opens files via write_text_file_atomic(), calls
+        # a my_fopen_counter() lookalike, and says "fopen(" in a comment;
+        # none may fire.
+        result = run_driver("--root", str(FIXTURES / "clean"),
+                            "--rules", "io-confinement")
         self.assertEqual(result.returncode, 0, result.stdout)
 
     def test_atomics_flags_volatile(self):

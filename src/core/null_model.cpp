@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/components.hpp"
+#include "core/out_of_core.hpp"
 #include "exec/exec.hpp"
 #include "io/checkpoint.hpp"
 #include "obs/metrics.hpp"
@@ -329,6 +330,22 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
            repaired);
   }
   result.probability_diagnostics = diagnose(P, dist);
+
+  // Out-of-core branch: when spill mode is armed and the projected
+  // generation footprint would cross the memory ceiling (or --force-spill
+  // is set), the ceiling DEGRADES the run to disk instead of tripping
+  // kMemoryBudget. The spill driver consumes the same seed-chain draw the
+  // in-core edge phase would, so shard concatenation is bit-identical to
+  // the list this function would have produced.
+  if (config.spill.enabled) {
+    const std::size_t projected =
+        generation_footprint_bytes(P.expected_edges(dist));
+    if (config.spill.force ||
+        (gov != nullptr && gov->would_exceed_memory(projected)))
+      return generate_null_graph_spilled(dist, P, config, gov,
+                                         std::move(result), &sink,
+                                         splitmix64_next(seed_chain));
+  }
 
   result.timing.start("edge generation");
   {

@@ -56,6 +56,43 @@ struct GovernanceConfig {
   std::string checkpoint_path;
 };
 
+/// Out-of-core spill mode (DESIGN.md §10). When enabled, the generation
+/// phase may re-route its output to CRC-framed shard files under `dir`
+/// instead of RAM: always when `force` is set, otherwise exactly when the
+/// projected in-core footprint would cross the governor's memory ceiling
+/// (RunGovernor::would_exceed_memory — the ceiling DEGRADES the run to
+/// disk instead of tripping kMemoryBudget). A spilled result returns an
+/// empty in-memory edge list; the graph lives in the shard directory and
+/// streams out via io/shard_merge.hpp. The swap phase is skipped (the
+/// graph never materializes) and recorded as a DegradationEvent.
+struct SpillConfig {
+  /// Master switch (CLI --spill-dir). Off = exact historical behavior.
+  bool enabled = false;
+  /// Shard directory: manifest + shard files (created if absent).
+  std::string dir;
+  /// Explicit shard count; 0 auto-sizes so one shard's expected edges stay
+  /// within a quarter of the memory ceiling (or a 256 MiB default when
+  /// no ceiling is set).
+  std::uint64_t shard_count = 0;
+  /// Spill even when the projected footprint fits (--force-spill): drills,
+  /// bit-identity tests, and pre-sharding for downstream consumers.
+  bool force = false;
+};
+
+/// What the spill path did, attached to GenerateResult. `spilled` false
+/// means the run stayed in-core and the rest of the fields are zero.
+struct SpillSummary {
+  bool spilled = false;
+  std::string dir;
+  std::uint64_t shard_count = 0;
+  std::uint64_t edges_on_disk = 0;
+  std::uint64_t shards_written = 0;
+  /// Resume only: shards whose CRC proved them complete, trusted as-is.
+  std::uint64_t shards_reused = 0;
+  /// Largest single-shard edge count — the resident high-water mark.
+  std::uint64_t max_shard_edges = 0;
+};
+
 enum class ProbabilityMethod {
   kGreedyAllocation,   // default: exact stub accounting (DESIGN.md §6)
   kPaperStubMatching,  // Section IV-A as published
@@ -74,6 +111,8 @@ struct GenerateConfig {
   GuardrailConfig guardrails;
   /// Deadlines, cancellation, stall watchdog, checkpoints (off by default).
   GovernanceConfig governance;
+  /// Out-of-core spill mode (off by default; see SpillConfig).
+  SpillConfig spill;
   /// Telemetry handles (metrics registry / trace sink, both optional and
   /// borrowed). Default null handles keep every instrumentation site at
   /// one branch — the --report-json / --trace-out CLI flags attach real
@@ -89,6 +128,9 @@ struct GenerateResult {
   /// Per-phase invariant checks and what recovery did about violations
   /// (empty when guardrails.policy == RecoveryPolicy::kOff).
   PipelineReport report;
+  /// Out-of-core outcome: when spill.spilled, `edges` is empty and the
+  /// graph lives in spill.dir (stream it with io/shard_merge.hpp).
+  SpillSummary spill;
 };
 
 /// Phase 1 on its own: probabilities for `dist` by the chosen method. The

@@ -1,0 +1,18 @@
+#include "ds/shard_census.hpp"
+
+#include <algorithm>
+
+namespace nullgraph {
+
+void ShardLocalCensus::add_shard(const EdgeList& shard) {
+  // ds::census builds its hash table from the list it is handed, so
+  // calling it per shard IS the external mode: the whole-graph table the
+  // in-core pipeline would allocate never exists.
+  const SimplicityCensus mine = census(shard);
+  total_.self_loops += mine.self_loops;
+  total_.multi_edges += mine.multi_edges;
+  edges_seen_ += shard.size();
+  max_shard_edges_ = std::max(max_shard_edges_, shard.size());
+}
+
+}  // namespace nullgraph

@@ -1,0 +1,50 @@
+#pragma once
+// Shard-local simplicity checking: the dedup structure of out-of-core mode.
+//
+// The in-core pipeline proves simplicity with ONE ConcurrentHashSet sized
+// for the whole edge list — exactly the allocation out-of-core mode exists
+// to avoid. Spill shards make a global table unnecessary: shards are
+// contiguous ranges of edge-skip UNITS (sharded_skip.hpp), units never
+// share a candidate pair, and edge-skipping touches each candidate pair at
+// most once — so a duplicate edge can only ever be a WITHIN-shard event,
+// and checking each shard against a table sized for that shard alone is a
+// complete check of the whole graph. Resident memory: one shard's table.
+//
+// (`nullgraph fsck --deep` re-proves the cross-shard half of this argument
+// on disk via io/shard_merge.hpp's k-way merge census, guarding against a
+// spill directory assembled from mismatched runs.)
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ds/edge_list.hpp"
+
+namespace nullgraph {
+
+/// Folds per-shard censuses into a whole-graph verdict. Feed shards in any
+/// order; each add_shard() allocates a table for that shard only.
+class ShardLocalCensus {
+ public:
+  /// Census of `shard` against a shard-local table, folded into total().
+  /// Parallel inside the shard (same chunked reduce as ds::census).
+  void add_shard(const EdgeList& shard);
+
+  [[nodiscard]] const SimplicityCensus& total() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t edges_seen() const noexcept {
+    return edges_seen_;
+  }
+  /// Largest single-shard edge count observed — the resident-memory
+  /// high-water mark of the dedup structure, reported as a spill gauge.
+  [[nodiscard]] std::size_t max_shard_edges() const noexcept {
+    return max_shard_edges_;
+  }
+
+ private:
+  SimplicityCensus total_;
+  std::uint64_t edges_seen_ = 0;
+  std::size_t max_shard_edges_ = 0;
+};
+
+}  // namespace nullgraph

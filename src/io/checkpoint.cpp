@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace nullgraph {
 
 namespace {
@@ -105,25 +107,48 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   return Status::Ok();
 }
 
-Status write_checkpoint_with_retry(const std::string& path,
-                                   const Checkpoint& ckpt,
-                                   const CheckpointRetryPolicy& policy) {
-  const auto attempt = [&]() -> Status {
+Status write_with_retry(const std::function<Status()>& attempt,
+                        const CheckpointRetryPolicy& policy) {
+  const auto guarded_attempt = [&]() -> Status {
     if (policy.inject_io_failures != nullptr && *policy.inject_io_failures > 0) {
       --*policy.inject_io_failures;
       return Status(StatusCode::kIoError,
-                    "injected checkpoint write failure (ENOSPC drill): " +
-                        path);
+                    "injected write failure (ENOSPC/EIO drill)");
     }
-    return write_checkpoint(path, ckpt);
+    return attempt();
   };
-  Status status = attempt();
-  if (status.ok() || status.code() != StatusCode::kIoError) return status;
-  // One backoff-then-retry: ENOSPC/EIO are often transient (log rotation,
-  // a competing writer); more retries would stall the swap chain the
-  // snapshot is supposed to protect.
-  std::this_thread::sleep_for(std::chrono::milliseconds(policy.backoff_ms));
-  return attempt();
+  const std::size_t attempts = policy.attempts == 0 ? 1 : policy.attempts;
+  Status status = guarded_attempt();
+  for (std::size_t retry = 1;
+       retry < attempts && !status.ok() &&
+       status.code() == StatusCode::kIoError;
+       ++retry) {
+    // Exponential backoff: ENOSPC/EIO are often transient (log rotation, a
+    // competing writer) but a device that stays broken must not stall the
+    // phase the write is protecting — hence the bounded attempt budget.
+    const std::uint64_t delay_ms = policy.backoff_ms << (retry - 1);
+    if (policy.sleep_fn) {
+      policy.sleep_fn(delay_ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    if (policy.retries != nullptr) policy.retries->add(1);
+    status = guarded_attempt();
+  }
+  return status;
+}
+
+Status write_checkpoint_with_retry(const std::string& path,
+                                   const Checkpoint& ckpt,
+                                   const CheckpointRetryPolicy& policy) {
+  Status status = write_with_retry(
+      [&]() -> Status { return write_checkpoint(path, ckpt); }, policy);
+  if (!status.ok() && status.code() == StatusCode::kIoError &&
+      status.message().find(path) == std::string::npos) {
+    // Injected failures carry no path; attach it so reports name the file.
+    return Status(StatusCode::kIoError, status.message() + ": " + path);
+  }
+  return status;
 }
 
 Result<Checkpoint> try_read_checkpoint(const std::string& path) {

@@ -26,10 +26,15 @@
 // anything off is kCheckpointInvalid (or kIoError for filesystem trouble).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ds/edge_list.hpp"
 #include "robustness/status.hpp"
+
+namespace nullgraph::obs {
+class Counter;
+}  // namespace nullgraph::obs
 
 namespace nullgraph {
 
@@ -49,21 +54,39 @@ struct Checkpoint {
 /// Atomically writes `ckpt` to `path` (write-to-temp, fsync, rename).
 Status write_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
-/// Transient-fault policy for periodic snapshot writers (the swap phase's
-/// checkpoint sink and the serve daemon's per-job spool): a full disk or a
-/// flaky device (ENOSPC/EIO) is worth exactly one retry after a short
-/// backoff — a second failure is surfaced as a typed kIoError for the
-/// caller's report, never an abort, because a failed snapshot must not
-/// kill the run it exists to protect.
+/// Transient-fault policy for durable writers (the swap phase's checkpoint
+/// sink, the serve daemon's per-job spool, and the spill-shard committer):
+/// a full disk or a flaky device (ENOSPC/EIO) gets bounded exponential
+/// backoff — `attempts` tries in total, sleeping backoff_ms, 2*backoff_ms,
+/// ... between them — then the kIoError is surfaced typed for the caller's
+/// report, never an abort, because a failed snapshot must not kill the run
+/// it exists to protect. (A failed SPILL write is different: the shard IS
+/// the data, so the spill phase propagates the surfaced error.)
 struct CheckpointRetryPolicy {
+  /// Total write attempts (first try + retries). 0 behaves as 1.
+  std::size_t attempts = 3;
+  /// Backoff before retry k (1-based) is backoff_ms << (k-1).
   std::uint64_t backoff_ms = 25;
+  /// Injectable clock for tests: when set, called with each backoff
+  /// duration instead of sleeping, so backoff schedules are asserted
+  /// without wall-clock waits.
+  std::function<void(std::uint64_t)> sleep_fn;
   /// Fault injection: while non-null and non-zero, each write attempt
   /// decrements the counter and fails with a synthesized kIoError instead
-  /// of touching the filesystem (--inject-ckpt-fail N).
+  /// of touching the filesystem (--inject-ckpt-fail / --inject-spill-fail).
   std::size_t* inject_io_failures = nullptr;
+  /// Optional metrics counter ("checkpoint.retries" / "spill.write_retries")
+  /// bumped once per retry actually performed.
+  obs::Counter* retries = nullptr;
 };
 
-/// write_checkpoint with the one-retry-after-backoff policy above.
+/// Runs `attempt` under the bounded-backoff policy above: non-kIoError
+/// results return immediately, kIoError is retried until the attempt budget
+/// is spent. Shared by checkpoint and spill-shard commits.
+Status write_with_retry(const std::function<Status()>& attempt,
+                        const CheckpointRetryPolicy& policy);
+
+/// write_checkpoint under the bounded-backoff policy (injection included).
 Status write_checkpoint_with_retry(const std::string& path,
                                    const Checkpoint& ckpt,
                                    const CheckpointRetryPolicy& policy = {});

@@ -73,6 +73,24 @@ std::ofstream open_output(const std::string& path) {
   return out;
 }
 
+/// Shared atomic-commit tail: fflush + fsync + fclose + rename, cleaning up
+/// the temp file on any failure. `wrote` carries the caller's payload
+/// write success so a short write (ENOSPC) is surfaced, never committed.
+Status commit_temp_file(std::FILE* file, bool wrote, const std::string& tmp,
+                        const std::string& path) {
+  wrote = wrote && std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  if (std::fclose(file) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError,
+                  "cannot rename output into place: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<EdgeList> try_read_edge_list(std::istream& in) {
@@ -108,8 +126,12 @@ void write_edge_list(std::ostream& out, const EdgeList& edges) {
 }
 
 void write_edge_list_file(const std::string& path, const EdgeList& edges) {
-  auto out = open_output(path);
-  write_edge_list(out, edges);
+  // Historically an unchecked ofstream: ENOSPC mid-write produced a
+  // silently truncated output with exit 0. Route the legacy API through
+  // the atomic writer so a short write is a typed kIoError and a partial
+  // file can never land under the final name.
+  if (Status s = write_edge_list_file_atomic(path, edges); !s.ok())
+    throw StatusError(s);
 }
 
 Status write_edge_list_file_atomic(const std::string& path,
@@ -125,17 +147,18 @@ Status write_edge_list_file_atomic(const std::string& path,
       break;
     }
   }
-  wrote = wrote && std::fflush(file) == 0 && fsync(fileno(file)) == 0;
-  if (std::fclose(file) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    return Status(StatusCode::kIoError, "short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status(StatusCode::kIoError,
-                  "cannot rename output into place: " + path);
-  }
-  return Status::Ok();
+  return commit_temp_file(file, wrote, tmp, path);
+}
+
+Status write_text_file_atomic(const std::string& path,
+                              const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError, "cannot open temp output: " + tmp);
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  return commit_temp_file(file, wrote, tmp, path);
 }
 
 Result<DegreeDistribution> try_read_degree_distribution(std::istream& in) {

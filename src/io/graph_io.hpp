@@ -32,9 +32,16 @@ void write_edge_list_file(const std::string& path, const EdgeList& edges);
 /// Crash-consistent edge-list write for service outputs: write-to-temp,
 /// flush, fsync, rename — the same commit discipline as checkpoints, so a
 /// SIGKILLed daemon can never leave a torn output for a client (or a
-/// restart) to pick up. kIoError on any filesystem failure.
+/// restart) to pick up. kIoError on any filesystem failure, including
+/// short writes (ENOSPC no longer truncates silently).
+/// write_edge_list_file is the throwing wrapper over the same path.
 Status write_edge_list_file_atomic(const std::string& path,
                                    const EdgeList& edges);
+
+/// Atomic whole-file text write (temp + fsync + rename) for small artifacts
+/// — run reports, manifests, sidecars. Keeps raw stdio confined to src/io/
+/// (the io-confinement lint); kIoError on any filesystem failure.
+Status write_text_file_atomic(const std::string& path, const std::string& body);
 
 DegreeDistribution read_degree_distribution(std::istream& in);
 DegreeDistribution read_degree_distribution_file(const std::string& path);

@@ -1,0 +1,207 @@
+#include "io/shard_merge.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "ds/edge.hpp"
+#include "io/spill.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+/// Buffered reader over one sorted run file of raw u64 keys.
+class RunReader {
+ public:
+  explicit RunReader(std::FILE* file) : file_(file) {}
+
+  bool next(std::uint64_t& key) {
+    if (at_ == filled_) {
+      filled_ = std::fread(buffer_.data(), sizeof(std::uint64_t),
+                           buffer_.size(), file_);
+      at_ = 0;
+      if (filled_ == 0) return false;
+    }
+    key = buffer_[at_++];
+    return true;
+  }
+
+  bool failed() const { return std::ferror(file_) != 0; }
+
+ private:
+  std::FILE* file_;
+  std::vector<std::uint64_t> buffer_ = std::vector<std::uint64_t>(4096);
+  std::size_t at_ = 0;
+  std::size_t filled_ = 0;
+};
+
+std::string run_path(const std::string& dir, std::uint64_t shard) {
+  return shard_path(dir, shard) + ".run";
+}
+
+void remove_runs(const std::string& dir, std::uint64_t shard_count) {
+  for (std::uint64_t s = 0; s < shard_count; ++s)
+    std::remove(run_path(dir, s).c_str());
+}
+
+}  // namespace
+
+Status concat_shards_to_text_file(const std::string& dir,
+                                  std::uint64_t shard_count,
+                                  const std::string& path,
+                                  std::uint64_t* edges_out) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr)
+    return Status(StatusCode::kIoError, "cannot open temp output: " + tmp);
+
+  bool wrote = true;
+  std::uint64_t total = 0;
+  Status status = Status::Ok();
+  for (std::uint64_t s = 0; s < shard_count && wrote && status.ok(); ++s) {
+    status = read_spill_shard_blocks(
+        shard_path(dir, s),
+        [&](const Edge* block, std::size_t n) {
+          for (std::size_t i = 0; i < n && wrote; ++i)
+            wrote = std::fprintf(out, "%u %u\n", block[i].u, block[i].v) >= 0;
+          total += n;
+        },
+        nullptr);
+  }
+  wrote = wrote && std::fflush(out) == 0 && fsync(fileno(out)) == 0;
+  if (std::fclose(out) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return status.ok()
+               ? Status(StatusCode::kIoError, "short write to " + tmp)
+               : status;
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError,
+                  "cannot rename output into place: " + path);
+  }
+  if (edges_out != nullptr) *edges_out = total;
+  return Status::Ok();
+}
+
+Result<EdgeList> load_all_shards(const std::string& dir,
+                                 std::uint64_t shard_count) {
+  EdgeList edges;
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    Status status = read_spill_shard_blocks(
+        shard_path(dir, s),
+        [&](const Edge* block, std::size_t n) {
+          edges.insert(edges.end(), block, block + n);
+        },
+        nullptr);
+    if (!status.ok()) return status;
+  }
+  return edges;
+}
+
+Result<std::uint64_t> count_shard_edges(const std::string& dir,
+                                        std::uint64_t shard_count) {
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    SpillShardInfo info;
+    if (Status status = read_spill_shard_blocks(shard_path(dir, s), nullptr,
+                                                &info);
+        !status.ok())
+      return status;
+    total += info.edge_count;
+  }
+  return total;
+}
+
+Result<SimplicityCensus> merged_census_external(const std::string& dir,
+                                                std::uint64_t shard_count) {
+  SimplicityCensus census;
+
+  // Pass 1: one sorted key run per shard. Memory peaks at one shard's keys
+  // — the same bound the spill plan already guarantees for generation.
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    std::vector<std::uint64_t> keys;
+    Status status = read_spill_shard_blocks(
+        shard_path(dir, s),
+        [&](const Edge* block, std::size_t n) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (block[i].is_loop())
+              ++census.self_loops;
+            else
+              keys.push_back(block[i].key());
+          }
+        },
+        nullptr);
+    if (!status.ok()) {
+      remove_runs(dir, s);
+      return status;
+    }
+    std::sort(keys.begin(), keys.end());
+    const std::string rp = run_path(dir, s);
+    std::FILE* run = std::fopen(rp.c_str(), "wb");
+    const bool wrote =
+        run != nullptr &&
+        std::fwrite(keys.data(), sizeof(std::uint64_t), keys.size(), run) ==
+            keys.size();
+    if (run != nullptr) std::fclose(run);
+    if (!wrote) {
+      remove_runs(dir, s + 1);
+      return Status(StatusCode::kIoError, "cannot write merge run: " + rp);
+    }
+  }
+
+  // Pass 2: k-way heap merge over the runs; adjacent equal keys in the
+  // merged stream are multi-edges, wherever the copies live.
+  std::vector<std::FILE*> files(shard_count, nullptr);
+  std::vector<RunReader> readers;
+  readers.reserve(shard_count);
+  Status status = Status::Ok();
+  for (std::uint64_t s = 0; s < shard_count && status.ok(); ++s) {
+    files[s] = std::fopen(run_path(dir, s).c_str(), "rb");
+    if (files[s] == nullptr)
+      status = Status(StatusCode::kIoError,
+                      "cannot reopen merge run: " + run_path(dir, s));
+    else
+      readers.emplace_back(files[s]);
+  }
+  if (status.ok()) {
+    using HeapItem = std::pair<std::uint64_t, std::size_t>;  // key, run
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    for (std::size_t s = 0; s < readers.size(); ++s) {
+      std::uint64_t key;
+      if (readers[s].next(key)) heap.emplace(key, s);
+    }
+    bool have_prev = false;
+    std::uint64_t prev = 0;
+    while (!heap.empty()) {
+      const auto [key, s] = heap.top();
+      heap.pop();
+      if (have_prev && key == prev) ++census.multi_edges;
+      prev = key;
+      have_prev = true;
+      std::uint64_t next_key;
+      if (readers[s].next(next_key)) heap.emplace(next_key, s);
+    }
+    for (std::size_t s = 0; s < readers.size() && status.ok(); ++s)
+      if (readers[s].failed())
+        status = Status(StatusCode::kIoError,
+                        "read error on merge run: " + run_path(dir, s));
+  }
+  for (std::FILE* f : files)
+    if (f != nullptr) std::fclose(f);
+  remove_runs(dir, shard_count);
+  if (!status.ok()) return status;
+  return census;
+}
+
+}  // namespace nullgraph

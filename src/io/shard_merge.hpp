@@ -1,0 +1,55 @@
+#pragma once
+// Shard merging: how a spill directory becomes a graph again.
+//
+// Two merge modes, both preserving determinism:
+//
+//   concat_* — ORDER-PRESERVING merge. Shards partition the canonical
+//     edge-skip emission order into contiguous ranges (src/skip/
+//     sharded_skip.hpp), so concatenating shard 0..S-1 reproduces the
+//     in-core pipeline's edge list bit-for-bit. The text variant streams
+//     block-at-a-time with bounded memory, which is THE out-of-core exit
+//     path: a graph larger than RAM goes shard files -> output file
+//     without ever materializing the full edge list.
+//
+//   merged_census_external — k-way merge by edge KEY. Each shard's keys
+//     are sorted and spilled as a run file, then a k-way heap merge counts
+//     duplicate keys across shards with O(shards * buffer) memory. Used by
+//     `nullgraph fsck --deep` to prove the shard set is globally simple
+//     (cross-shard duplicates are impossible when shards partition the
+//     Bernoulli pair space — this check catches a directory assembled from
+//     mismatched runs, where that assumption no longer holds).
+
+#include <cstdint>
+#include <string>
+
+#include "ds/edge_list.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+
+/// Streams shards 0..shard_count-1 of `dir`, in order, into a plain-text
+/// edge list at `path` ("u v" lines, identical bytes to
+/// write_edge_list_file_atomic of the concatenated list). Atomic commit;
+/// bounded memory (one spill block at a time). Error taxonomy follows
+/// read_spill_shard_blocks (kShardCorrupt names the bad shard).
+Status concat_shards_to_text_file(const std::string& dir,
+                                  std::uint64_t shard_count,
+                                  const std::string& path,
+                                  std::uint64_t* edges_out = nullptr);
+
+/// In-memory order-preserving merge, for runs whose merged list fits after
+/// all (spill taken under a ceiling that later rose, tests, fsck).
+Result<EdgeList> load_all_shards(const std::string& dir,
+                                 std::uint64_t shard_count);
+
+/// Total edges across all shards without materializing any of them.
+Result<std::uint64_t> count_shard_edges(const std::string& dir,
+                                        std::uint64_t shard_count);
+
+/// Cross-shard simplicity census via external k-way merge (see header
+/// comment). Temp run files live under `dir` and are removed on every
+/// path out.
+Result<SimplicityCensus> merged_census_external(const std::string& dir,
+                                                std::uint64_t shard_count);
+
+}  // namespace nullgraph

@@ -1,0 +1,346 @@
+#include "io/spill.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "io/graph_io.hpp"
+
+namespace nullgraph {
+
+namespace {
+
+constexpr std::array<unsigned char, 8> kShardMagic = {'N', 'G', 'S', 'H',
+                                                      'R', 'D', '\0', '\1'};
+// magic + version + shard_index + shard_count + header CRC.
+constexpr std::size_t kShardHeaderSize = 8 + 4 + 8 + 8 + 4;
+
+Status corrupt(const std::string& why, const std::string& path) {
+  return Status(StatusCode::kShardCorrupt, why + ": " + path);
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Best-effort directory fsync so the rename that commits a shard is
+/// itself durable. Filesystems that reject fsync on a directory fd (or
+/// platforms without O_DIRECTORY semantics) degrade to the file-level
+/// fsync the writer already did, which is the checkpoint layer's contract.
+void sync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);  // best-effort by design, see above
+  (void)::close(fd);
+}
+
+bool read_exact(std::FILE* file, void* out, std::size_t size) {
+  return std::fread(out, 1, size, file) == size;
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.ngm";
+}
+
+std::string shard_path(const std::string& dir, std::uint64_t shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%06llu.ngsh",
+                static_cast<unsigned long long>(shard_index));
+  return dir + "/" + name;
+}
+
+Status ensure_spill_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::Ok();
+  if (errno == EEXIST) {
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+      return Status::Ok();
+    return Status(StatusCode::kIoError,
+                  "spill path exists but is not a directory: " + dir);
+  }
+  return Status(StatusCode::kIoError, "cannot create spill directory: " + dir);
+}
+
+Status write_shard_manifest(const std::string& dir,
+                            const ShardManifest& manifest) {
+  std::ostringstream body;
+  body << "ngspill 1\n"
+       << "seed " << manifest.seed << '\n'
+       << "edges_per_task " << manifest.edges_per_task << '\n'
+       << "shards " << manifest.shard_count << '\n'
+       << "prob_method " << manifest.probability_method << '\n'
+       << "refine " << manifest.refine_iterations << '\n'
+       << "classes " << manifest.classes.size() << '\n';
+  for (const auto& [degree, count] : manifest.classes)
+    body << degree << ' ' << count << '\n';
+  body << "end\n";
+  if (Status s = write_text_file_atomic(manifest_path(dir), body.str());
+      !s.ok())
+    return s;
+  sync_directory(dir);
+  return Status::Ok();
+}
+
+Result<ShardManifest> read_shard_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError, "cannot open manifest: " + path);
+  std::string text;
+  std::array<char, 4096> chunk;
+  std::size_t got;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0)
+    text.append(chunk.data(), got);
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error)
+    return Status(StatusCode::kIoError, "read error on manifest: " + path);
+
+  std::istringstream in(text);
+  std::string keyword;
+  std::uint64_t version = 0;
+  if (!(in >> keyword >> version) || keyword != "ngspill" || version != 1)
+    return corrupt("bad manifest header (want 'ngspill 1')", path);
+
+  ShardManifest manifest;
+  std::uint64_t num_classes = 0;
+  const auto want = [&](const char* key, std::uint64_t& out) -> bool {
+    return static_cast<bool>(in >> keyword >> out) && keyword == key;
+  };
+  if (!want("seed", manifest.seed) ||
+      !want("edges_per_task", manifest.edges_per_task) ||
+      !want("shards", manifest.shard_count) ||
+      !want("prob_method", manifest.probability_method) ||
+      !want("refine", manifest.refine_iterations) ||
+      !want("classes", num_classes))
+    return corrupt("malformed manifest field", path);
+  manifest.classes.reserve(num_classes);
+  for (std::uint64_t i = 0; i < num_classes; ++i) {
+    std::uint64_t degree = 0, count = 0;
+    if (!(in >> degree >> count))
+      return corrupt("truncated manifest class table", path);
+    manifest.classes.emplace_back(degree, count);
+  }
+  if (!(in >> keyword) || keyword != "end")
+    return corrupt("manifest missing end marker (torn write?)", path);
+  if (manifest.shard_count == 0)
+    return corrupt("manifest declares zero shards", path);
+  return manifest;
+}
+
+Status write_spill_shard(const std::string& dir, std::uint64_t shard_index,
+                         std::uint64_t shard_count, const EdgeList& edges,
+                         const CheckpointRetryPolicy& retry,
+                         SpillWriteStats* stats) {
+  const std::string path = shard_path(dir, shard_index);
+  const std::string tmp = path + ".tmp";
+
+  const auto attempt = [&]() -> Status {
+    SpillWriteStats written;
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr)
+      return Status(StatusCode::kIoError,
+                    "cannot open shard temp file: " + tmp);
+
+    // Header: the CRC covers the index/count fields only; blocks carry
+    // their own CRCs, so validation can stream with bounded memory.
+    std::string header(reinterpret_cast<const char*>(kShardMagic.data()),
+                       kShardMagic.size());
+    append_u32(header, kSpillShardVersion);
+    const std::size_t covered_from = header.size();
+    append_u64(header, shard_index);
+    append_u64(header, shard_count);
+    append_u32(header, crc32_bytes(header.data() + covered_from,
+                                   header.size() - covered_from));
+
+    bool wrote =
+        std::fwrite(header.data(), 1, header.size(), file) == header.size();
+    written.bytes_written += header.size();
+
+    for (std::size_t at = 0; wrote && at < edges.size();
+         at += kSpillBlockEdges) {
+      const std::size_t n = std::min(kSpillBlockEdges, edges.size() - at);
+      const auto payload_bytes = static_cast<std::uint32_t>(n * sizeof(Edge));
+      const auto* payload =
+          reinterpret_cast<const unsigned char*>(edges.data() + at);
+      std::string frame;
+      frame.reserve(8);
+      append_u32(frame, payload_bytes);
+      append_u32(frame, crc32_bytes(payload, payload_bytes));
+      wrote = std::fwrite(frame.data(), 1, frame.size(), file) ==
+                  frame.size() &&
+              std::fwrite(payload, 1, payload_bytes, file) == payload_bytes;
+      written.bytes_written += frame.size() + payload_bytes;
+      ++written.blocks;
+    }
+
+    // End marker: zero-length frame + CRC-guarded total, so truncation at
+    // ANY byte — even between complete blocks — is detectable.
+    std::string footer;
+    append_u32(footer, 0);
+    const auto total = static_cast<std::uint64_t>(edges.size());
+    footer.append(reinterpret_cast<const char*>(&total), sizeof(total));
+    append_u32(footer, crc32_bytes(&total, sizeof(total)));
+    wrote = wrote &&
+            std::fwrite(footer.data(), 1, footer.size(), file) ==
+                footer.size();
+    written.bytes_written += footer.size();
+
+    wrote = wrote && std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+    if (std::fclose(file) != 0 || !wrote) {
+      std::remove(tmp.c_str());
+      return Status(StatusCode::kIoError, "short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status(StatusCode::kIoError,
+                    "cannot rename shard into place: " + path);
+    }
+    sync_directory(dir);
+    if (stats != nullptr) *stats = written;
+    return Status::Ok();
+  };
+
+  Status status = write_with_retry(attempt, retry);
+  if (!status.ok() && status.code() == StatusCode::kIoError &&
+      status.message().find(path) == std::string::npos &&
+      status.message().find(tmp) == std::string::npos)
+    return Status(StatusCode::kIoError, status.message() + ": " + path);
+  return status;
+}
+
+Status read_spill_shard_blocks(
+    const std::string& path,
+    const std::function<void(const Edge*, std::size_t)>& sink,
+    SpillShardInfo* info) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    return Status(StatusCode::kIoError, "cannot open shard: " + path);
+  // Single-exit wrapper so every early return closes the handle.
+  const auto finish = [&](Status s) {
+    std::fclose(file);
+    return s;
+  };
+  const auto torn = [&](const char* what) {
+    return finish(std::ferror(file) != 0
+                      ? Status(StatusCode::kIoError,
+                               std::string("read error (") + what +
+                                   "): " + path)
+                      : corrupt(std::string("torn shard (truncated ") + what +
+                                    ")",
+                                path));
+  };
+
+  std::array<unsigned char, kShardHeaderSize> header;
+  if (!read_exact(file, header.data(), header.size())) return torn("header");
+  if (std::memcmp(header.data(), kShardMagic.data(), kShardMagic.size()) != 0)
+    return finish(corrupt("bad magic (not a spill shard)", path));
+  std::uint32_t version;
+  std::memcpy(&version, header.data() + 8, sizeof(version));
+  if (version != kSpillShardVersion)
+    return finish(corrupt(
+        "unsupported shard version " + std::to_string(version), path));
+  std::uint32_t header_crc;
+  std::memcpy(&header_crc, header.data() + 28, sizeof(header_crc));
+  if (crc32_bytes(header.data() + 12, 16) != header_crc)
+    return finish(corrupt("header CRC mismatch", path));
+
+  SpillShardInfo parsed;
+  std::memcpy(&parsed.shard_index, header.data() + 12, 8);
+  std::memcpy(&parsed.shard_count, header.data() + 20, 8);
+  parsed.file_bytes = header.size();
+
+  constexpr std::size_t kMaxPayload = kSpillBlockEdges * sizeof(Edge);
+  std::vector<Edge> block(kSpillBlockEdges);
+  while (true) {
+    std::uint32_t payload_bytes;
+    if (!read_exact(file, &payload_bytes, sizeof(payload_bytes)))
+      return torn("frame length");
+    parsed.file_bytes += sizeof(payload_bytes);
+    if (payload_bytes == 0) break;  // end marker follows
+    if (payload_bytes % sizeof(Edge) != 0 || payload_bytes > kMaxPayload)
+      return finish(corrupt("implausible frame length " +
+                                std::to_string(payload_bytes),
+                            path));
+    std::uint32_t stored_crc;
+    if (!read_exact(file, &stored_crc, sizeof(stored_crc)))
+      return torn("frame CRC");
+    if (!read_exact(file, block.data(), payload_bytes))
+      return torn("block payload");
+    parsed.file_bytes += sizeof(stored_crc) + payload_bytes;
+    if (crc32_bytes(block.data(), payload_bytes) != stored_crc)
+      return finish(corrupt("block CRC mismatch at edge " +
+                                std::to_string(parsed.edge_count),
+                            path));
+    const std::size_t n = payload_bytes / sizeof(Edge);
+    parsed.edge_count += n;
+    if (sink) sink(block.data(), n);
+  }
+
+  std::uint64_t declared_count;
+  std::uint32_t footer_crc;
+  if (!read_exact(file, &declared_count, sizeof(declared_count)) ||
+      !read_exact(file, &footer_crc, sizeof(footer_crc)))
+    return torn("footer");
+  parsed.file_bytes += sizeof(declared_count) + sizeof(footer_crc);
+  if (crc32_bytes(&declared_count, sizeof(declared_count)) != footer_crc)
+    return finish(corrupt("footer CRC mismatch", path));
+  if (declared_count != parsed.edge_count)
+    return finish(corrupt("edge count mismatch (footer says " +
+                              std::to_string(declared_count) + ", frames held " +
+                              std::to_string(parsed.edge_count) + ")",
+                          path));
+  unsigned char extra;
+  if (std::fread(&extra, 1, 1, file) == 1)
+    return finish(corrupt("trailing bytes after end marker", path));
+  if (std::ferror(file) != 0)
+    return finish(Status(StatusCode::kIoError,
+                         "read error (trailing check): " + path));
+  if (info != nullptr) *info = parsed;
+  return finish(Status::Ok());
+}
+
+Result<EdgeList> read_spill_shard(const std::string& path) {
+  EdgeList edges;
+  Status s = read_spill_shard_blocks(
+      path,
+      [&](const Edge* block, std::size_t n) {
+        edges.insert(edges.end(), block, block + n);
+      },
+      nullptr);
+  if (!s.ok()) return s;
+  return edges;
+}
+
+Status validate_spill_shard(const std::string& path,
+                            std::uint64_t shard_index,
+                            std::uint64_t shard_count,
+                            SpillShardInfo* info) {
+  SpillShardInfo parsed;
+  if (Status s = read_spill_shard_blocks(path, nullptr, &parsed); !s.ok())
+    return s;
+  if (parsed.shard_index != shard_index || parsed.shard_count != shard_count)
+    return corrupt("shard header names shard " +
+                       std::to_string(parsed.shard_index) + "/" +
+                       std::to_string(parsed.shard_count) + ", expected " +
+                       std::to_string(shard_index) + "/" +
+                       std::to_string(shard_count),
+                   path);
+  if (info != nullptr) *info = parsed;
+  return Status::Ok();
+}
+
+}  // namespace nullgraph

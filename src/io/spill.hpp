@@ -1,0 +1,129 @@
+#pragma once
+// Durable spill shards: the out-of-core generation substrate.
+//
+// A spill directory holds one run's partial results as independent shard
+// files plus a manifest describing how to regenerate any of them:
+//
+//   <dir>/manifest.ngm      text manifest (versioned key-value + classes)
+//   <dir>/shard-000000.ngsh CRC-framed binary edge shards, one per shard
+//   <dir>/shard-000001.ngsh ...
+//
+// Shard file layout (native-endian, like checkpoints):
+//
+//   offset  size  field
+//   0       8     magic "NGSHRD\0\1"
+//   8       4     version (u32, currently 1)
+//   12      8     shard_index (u64)
+//   20      8     shard_count (u64)
+//   28      4     CRC-32 over bytes [12, 28)
+//   then framed blocks until the end marker:
+//   +0      4     payload_bytes (u32, multiple of sizeof(Edge), != 0)
+//   +4      4     CRC-32 of the payload
+//   +8      ..    payload (edges, ds/edge.hpp layout)
+//   end marker:
+//   +0      4     payload_bytes == 0
+//   +4      8     total edge count (u64)
+//   +12     4     CRC-32 over the count field
+//
+// Every shard commits atomically: written to "<path>.tmp", flushed,
+// fsync'd, renamed (and the directory fsync'd so the rename itself is
+// durable). A SIGKILL therefore leaves either a complete, CRC-verifiable
+// shard or no shard at all — the reader maps any framing or CRC problem,
+// including truncation mid-block, to typed kShardCorrupt, so resume and
+// fsck regenerate exactly the shards that need it. The chunk-seeded RNG
+// streams (src/skip/) make that regeneration bit-identical.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+#include "io/checkpoint.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+
+inline constexpr std::uint32_t kSpillShardVersion = 1;
+
+/// Edges per CRC-framed block (256 KiB payloads): big enough to amortize
+/// the frame, small enough that torn-write detection is fine-grained.
+inline constexpr std::size_t kSpillBlockEdges = std::size_t{1} << 15;
+
+/// Everything needed to regenerate any shard of a spilled run. The degree
+/// classes are stored inline so `nullgraph fsck --repair` and `--resume
+/// <dir>` need no other input; probability_method / refine_iterations are
+/// opaque u64s at this layer (core interprets them).
+struct ShardManifest {
+  std::uint64_t seed = 0;
+  std::uint64_t edges_per_task = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t probability_method = 0;
+  std::uint64_t refine_iterations = 0;
+  /// (degree, count) per degree class, ascending — the DegreeDistribution.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> classes;
+};
+
+/// "<dir>/manifest.ngm" / "<dir>/shard-%06llu.ngsh".
+std::string manifest_path(const std::string& dir);
+std::string shard_path(const std::string& dir, std::uint64_t shard_index);
+
+/// mkdir -p (one level): ok when the directory already exists.
+Status ensure_spill_dir(const std::string& dir);
+
+/// Atomically writes the manifest (same commit discipline as shards).
+Status write_shard_manifest(const std::string& dir,
+                            const ShardManifest& manifest);
+
+/// Parses "<dir>/manifest.ngm". kIoError when missing/unreadable,
+/// kShardCorrupt when present but malformed (a torn manifest means the
+/// spill directory is not trustworthy as a whole).
+Result<ShardManifest> read_shard_manifest(const std::string& dir);
+
+/// Header fields + totals recovered from one shard file.
+struct SpillShardInfo {
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+struct SpillWriteStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t blocks = 0;
+};
+
+/// Writes one shard's edges as a CRC-framed file under the bounded-backoff
+/// retry policy (each attempt rewrites the temp file from scratch; the
+/// policy's injection counter drives --inject-spill-fail). A surfaced
+/// kIoError here is fatal to the spill phase: unlike a checkpoint, the
+/// shard IS the data.
+Status write_spill_shard(const std::string& dir, std::uint64_t shard_index,
+                         std::uint64_t shard_count, const EdgeList& edges,
+                         const CheckpointRetryPolicy& retry = {},
+                         SpillWriteStats* stats = nullptr);
+
+/// Streams one shard's blocks through `sink` (may be null to validate
+/// only) with bounded memory, verifying the header CRC and every block
+/// CRC on the way. Framing damage of any kind — bad magic, truncation
+/// mid-block, CRC mismatch, edge-count disagreement — is kShardCorrupt
+/// with the file and failure named; kIoError is reserved for the file
+/// being unopenable/unreadable.
+Status read_spill_shard_blocks(
+    const std::string& path,
+    const std::function<void(const Edge*, std::size_t)>& sink,
+    SpillShardInfo* info = nullptr);
+
+/// Whole-shard load (one shard fits in memory by construction of the spill
+/// plan). Same error taxonomy as read_spill_shard_blocks.
+Result<EdgeList> read_spill_shard(const std::string& path);
+
+/// Validation without materializing edges: kOk for a sound shard whose
+/// header matches (shard_index, shard_count), kShardCorrupt otherwise.
+Status validate_spill_shard(const std::string& path,
+                            std::uint64_t shard_index,
+                            std::uint64_t shard_count,
+                            SpillShardInfo* info = nullptr);
+
+}  // namespace nullgraph

@@ -1,0 +1,39 @@
+#include "obs/process_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace nullgraph::obs {
+
+ProcessMemory sample_process_memory() {
+  ProcessMemory mem;
+  // Raw fopen is deliberate: obs sits BELOW the io layer (io links obs),
+  // so the atomic-writer helpers are out of reach — and /proc is a
+  // read-only pseudo-filesystem anyway (io-confinement lint allowlists
+  // this file).
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return mem;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1)
+      mem.resident_kb = kb;
+    else if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1)
+      mem.peak_resident_kb = kb;
+    if (mem.valid()) break;
+  }
+  std::fclose(f);
+  return mem;
+}
+
+void record_process_memory(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  const ProcessMemory mem = sample_process_memory();
+  if (!mem.valid()) return;
+  metrics->gauge("mem.resident_kb")->set(mem.resident_kb);
+  metrics->gauge("mem.peak_resident_kb")->set(mem.peak_resident_kb);
+}
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,34 @@
+#pragma once
+// Process resident-memory sampling, the telemetry half of out-of-core
+// mode's acceptance story: a spilled run PROVES its memory stayed bounded
+// by publishing the kernel's own numbers (VmRSS / VmHWM from
+// /proc/self/status) as gauges next to the spill counters, instead of
+// asking the reader to trust the footprint model.
+//
+// Linux-only by data source; on platforms without /proc the sample is
+// invalid() and the gauges are simply not published (callers never branch
+// on platform).
+
+#include <cstdint>
+
+namespace nullgraph::obs {
+
+class MetricsRegistry;
+
+struct ProcessMemory {
+  std::int64_t resident_kb = -1;       // VmRSS: current resident set
+  std::int64_t peak_resident_kb = -1;  // VmHWM: lifetime high-water mark
+
+  [[nodiscard]] bool valid() const noexcept {
+    return resident_kb >= 0 && peak_resident_kb >= 0;
+  }
+};
+
+/// One read of /proc/self/status; invalid() when unavailable.
+ProcessMemory sample_process_memory();
+
+/// Samples and publishes gauges "mem.resident_kb" / "mem.peak_resident_kb".
+/// No-op on a null registry or when sampling is unavailable.
+void record_process_memory(MetricsRegistry* metrics);
+
+}  // namespace nullgraph::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/null_model.hpp"
+#include "io/graph_io.hpp"
 #include "lfr/lfr.hpp"
 #include "obs/json_writer.hpp"
 
@@ -248,21 +249,46 @@ std::string render_run_report(const RunReportInputs& inputs) {
   write_metrics(json,
                 inputs.metrics != nullptr ? inputs.metrics->snapshot()
                                           : MetricsSnapshot{});
+
+  // Appended after "metrics" (schema is append-only; key order is golden-
+  // tested): graceful-degradation decisions and the out-of-core outcome.
+  json.key("degradations").begin_array();
+  if (inputs.result != nullptr) {
+    for (const DegradationEvent& d : inputs.result->report.degradations) {
+      json.begin_object();
+      json.kv("phase", d.phase);
+      json.kv("action", d.action);
+      json.kv("trigger", status_code_name(d.trigger));
+      json.kv("detail", d.detail);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.key("spill").begin_object();
+  {
+    const SpillSummary spill =
+        inputs.result != nullptr ? inputs.result->spill : SpillSummary{};
+    json.kv("spilled", spill.spilled);
+    json.kv("dir", spill.dir);
+    json.kv("shard_count", spill.shard_count);
+    json.kv("edges_on_disk", spill.edges_on_disk);
+    json.kv("shards_written", spill.shards_written);
+    json.kv("shards_reused", spill.shards_reused);
+    json.kv("max_shard_edges", spill.max_shard_edges);
+  }
+  json.end_object();
+
   json.end_object();
   return std::move(json).str();
 }
 
 Status write_run_report(const std::string& path,
                         const RunReportInputs& inputs) {
-  const std::string body = render_run_report(inputs);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    return Status(StatusCode::kIoError, "cannot open " + path);
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != body.size() || !closed)
-    return Status(StatusCode::kIoError, "short write to " + path);
-  return Status::Ok();
+  // Atomic commit through the io layer (legal here: report sits ABOVE
+  // core/io, unlike the rest of obs): a crash mid-report leaves the old
+  // report or none, never a torn JSON document.
+  return write_text_file_atomic(path, render_run_report(inputs));
 }
 
 }  // namespace nullgraph::obs

@@ -4,7 +4,7 @@
 //
 //   report_version, tool, command, config, phase_seconds, exec_phases,
 //   checks, curtailments, recovery, faults_injected, swap_chain?, lfr?,
-//   metrics
+//   metrics, degradations, spill
 //
 // The schema is append-only: new keys may be added, existing keys keep
 // their meaning, and report_version bumps on any breaking change so

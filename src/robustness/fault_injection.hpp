@@ -48,16 +48,23 @@ struct FaultPlan {
   /// rare-event MCMC stall on pathological inputs.
   bool force_swap_stall = false;
 
-  /// Sleep this long at the top of every swap iteration, simulating a slow
-  /// phase so deadline and watchdog paths can be drilled deterministically
-  /// (--inject-slow-ms).
+  /// Sleep this long at the top of every swap iteration — and, in spill
+  /// mode, before every shard commit — simulating a slow phase so
+  /// deadline/watchdog paths and mid-spill SIGKILL windows can be drilled
+  /// deterministically (--inject-slow-ms).
   std::uint64_t slow_phase_ms = 0;
 
   /// Fail the first N periodic checkpoint writes with a synthesized
   /// kIoError (ENOSPC/EIO drill, --inject-ckpt-fail). Each failed write
-  /// still gets the one-retry-after-backoff policy, so N=1 exercises the
-  /// recovered path and N>=2 the surfaced-kIoError path.
+  /// still gets the bounded-backoff retry policy, so N<attempts exercises
+  /// the recovered path and N>=attempts the surfaced-kIoError path.
   std::size_t fail_checkpoint_writes = 0;
+
+  /// Fail the first N spill-shard commit attempts with a synthesized
+  /// kIoError (--inject-spill-fail). Same retry policy as checkpoints;
+  /// exhausting every attempt surfaces kIoError from the spill phase,
+  /// because a lost shard — unlike a lost snapshot — is lost data.
+  std::size_t fail_spill_writes = 0;
 
   // Daemon-level chaos hooks (nullgraph serve; inert for one-shot runs):
 

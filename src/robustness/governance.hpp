@@ -158,6 +158,14 @@ class RunGovernor {
   /// configured ceiling; false (no side effect) otherwise.
   bool memory_exceeded(std::size_t bytes) const noexcept;
 
+  /// Side-effect-free variant of memory_exceeded(): true when `bytes` is
+  /// over the ceiling, but the verdict is NOT tripped. Spill-capable phases
+  /// ask this first so crossing the ceiling degrades to disk (recorded as a
+  /// DegradationEvent) instead of aborting the run with kMemoryBudget.
+  [[nodiscard]] bool would_exceed_memory(std::size_t bytes) const noexcept {
+    return budget_.max_memory_bytes != 0 && bytes > budget_.max_memory_bytes;
+  }
+
   [[nodiscard]] double elapsed_ms() const noexcept {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start_)

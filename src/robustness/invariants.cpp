@@ -29,6 +29,19 @@ std::string PipelineReport::summary() const {
     }
     out += '\n';
   }
+  for (const DegradationEvent& d : degradations) {
+    out += d.phase;
+    out += ": degraded to ";
+    out += d.action;
+    out += " (";
+    out += status_code_name(d.trigger);
+    out += " avoided)";
+    if (!d.detail.empty()) {
+      out += ": ";
+      out += d.detail;
+    }
+    out += '\n';
+  }
   for (const exec::PhaseTiming& t : phase_timings) {
     out += t.phase;
     out += ": ";

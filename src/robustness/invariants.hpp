@@ -68,9 +68,24 @@ struct Curtailment {
   double acceptance = 0.0;
 };
 
+/// One graceful-degradation decision: the run KEPT GOING in a reduced mode
+/// instead of tripping a budget abort. Curtailment's sibling — curtailments
+/// record work cut short, degradations record work re-routed (the memory
+/// ceiling's spill-and-continue path: "edge generation" re-routed to disk,
+/// "swaps" skipped because the graph never materializes in memory).
+/// Informational like curtailments: never a failed check, never an abort,
+/// and never an exit-code change — the run report is where they surface.
+struct DegradationEvent {
+  std::string phase;   // phase that degraded
+  std::string action;  // what it did instead, e.g. "spill-to-disk"
+  StatusCode trigger = StatusCode::kOk;  // budget that WOULD have tripped
+  std::string detail;  // specifics for the report (dir, shard count, ...)
+};
+
 struct PipelineReport {
   std::vector<PhaseCheck> checks;
   std::vector<Curtailment> curtailments;
+  std::vector<DegradationEvent> degradations;
   /// Per-phase execution records from the exec layer: wall time, chunk
   /// counts, and how many chunks governance skipped. Aggregated by phase
   /// name (see exec/phase_timing.hpp).

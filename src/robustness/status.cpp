@@ -25,6 +25,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kOverloaded: return "kOverloaded";
     case StatusCode::kJobEvicted: return "kJobEvicted";
     case StatusCode::kClientProtocol: return "kClientProtocol";
+    case StatusCode::kShardCorrupt: return "kShardCorrupt";
   }
   return "kUnknown";
 }
@@ -52,6 +53,7 @@ int status_exit_code(StatusCode code) noexcept {
     case StatusCode::kOverloaded: return 18;
     case StatusCode::kJobEvicted: return 19;
     case StatusCode::kClientProtocol: return 20;
+    case StatusCode::kShardCorrupt: return 21;
   }
   return 2;
 }

@@ -38,6 +38,7 @@ enum class [[nodiscard]] StatusCode : int {
   kOverloaded,             // service admission control rejected the job
   kJobEvicted,             // queued/in-flight job dropped by daemon lifecycle
   kClientProtocol,         // malformed/slow client traffic on the wire
+  kShardCorrupt,           // spill shard failed CRC/framing checks (fsck/resume)
 };
 
 /// Short stable identifier, e.g. "kNotGraphical".

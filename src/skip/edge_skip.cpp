@@ -6,90 +6,19 @@
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "skip/pair_space.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace nullgraph {
 
+using skip_detail::PairSpace;
+using skip_detail::make_space;
+using skip_detail::pair_to_classes;
+using skip_detail::task_seed;
+using skip_detail::traverse;
+
 namespace {
-
-/// Stateless task seed: decorrelates (seed, pair, chunk) triples.
-std::uint64_t task_seed(std::uint64_t seed, std::uint64_t pair,
-                        std::uint64_t chunk) {
-  std::uint64_t state = seed ^ (pair * 0x9e3779b97f4a7c15ULL) ^
-                        (chunk * 0xbf58476d1ce4e5b9ULL);
-  splitmix64_next(state);
-  return splitmix64_next(state);
-}
-
-/// Pair space between two distinct classes (hi class index > lo class
-/// index) or within one class (hi == lo).
-struct PairSpace {
-  std::uint64_t size = 0;      // number of candidate pairs
-  std::uint64_t lo_count = 0;  // N(j): row stride for the decode
-  std::uint64_t hi_offset = 0; // first vertex id of the hi class
-  std::uint64_t lo_offset = 0; // first vertex id of the lo class
-  bool diagonal = false;
-
-  /// Decodes pair index t (0-based) into a concrete edge.
-  Edge decode(std::uint64_t t) const noexcept {
-    if (!diagonal) {
-      const std::uint64_t u = t / lo_count;
-      const std::uint64_t v = t % lo_count;
-      return {static_cast<VertexId>(hi_offset + u),
-              static_cast<VertexId>(lo_offset + v)};
-    }
-    // Triangular decode: t = u(u-1)/2 + v with 0 <= v < u. The float sqrt
-    // gets us within one of the right row; integer correction makes the
-    // decode exact for any t < 2^63.
-    std::uint64_t u = static_cast<std::uint64_t>(
-        (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(t))) / 2.0);
-    while (u >= 1 && u * (u - 1) / 2 > t) --u;
-    while ((u + 1) * u / 2 <= t) ++u;
-    const std::uint64_t v = t - u * (u - 1) / 2;
-    return {static_cast<VertexId>(hi_offset + u),
-            static_cast<VertexId>(lo_offset + v)};
-  }
-};
-
-PairSpace make_space(const DegreeDistribution& dist, std::size_t hi,
-                     std::size_t lo) {
-  PairSpace space;
-  const std::uint64_t n_hi = dist.count_of_class(hi);
-  const std::uint64_t n_lo = dist.count_of_class(lo);
-  space.lo_count = n_lo;
-  space.hi_offset = dist.class_offset(hi);
-  space.lo_offset = dist.class_offset(lo);
-  space.diagonal = hi == lo;
-  space.size = space.diagonal ? n_hi * (n_hi - 1) / 2 : n_hi * n_lo;
-  return space;
-}
-
-/// Geometric-skip traversal of [begin, end) with per-pair probability p;
-/// calls emit(t) for each selected index. The heart of Algorithm IV.2.
-template <typename EmitFn>
-void traverse(double p, std::uint64_t begin, std::uint64_t end,
-              Xoshiro256ss& rng, EmitFn&& emit) {
-  // !(p > 0) rather than p <= 0: a NaN probability (corrupted matrix) must
-  // fall through to the early return, not reach the log-skip arithmetic
-  // where it would drive `t` through undefined float->int conversion.
-  if (!(p > 0.0) || begin >= end) return;
-  if (p >= 1.0) {
-    for (std::uint64_t t = begin; t < end; ++t) emit(t);
-    return;
-  }
-  const double log_1mp = std::log1p(-p);
-  std::uint64_t t = begin;
-  while (true) {
-    const double r = rng.uniform_open();
-    const double skip = std::floor(std::log(r) / log_1mp);
-    if (skip >= static_cast<double>(end - t)) return;
-    t += static_cast<std::uint64_t>(skip);
-    if (t >= end) return;
-    emit(t);
-    if (++t >= end) return;
-  }
-}
 
 struct Task {
   std::uint64_t pair_index = 0;
@@ -138,16 +67,14 @@ EdgeList edge_skip_generate(const ProbabilityMatrix& P,
   // Small spaces: one task per class pair. Per-chunk buffers concatenated
   // in chunk order make the output order thread-count-invariant; the edges
   // themselves come from the stateless (seed, pair, chunk) streams, so the
-  // full list is bit-identical at any thread count.
+  // full list is bit-identical at any thread count. (sharded_skip.hpp
+  // relies on this exact order — small pairs ascending, then big-task
+  // chunks ascending — to make shard concatenation reproduce it.)
   EdgeList edges = exec::collect<Edge>(
       ctx, num_pairs, 64, [&](const exec::Chunk& chunk, EdgeList& mine) {
         for (std::uint64_t pair = chunk.begin; pair < chunk.end; ++pair) {
-          // Invert pair -> (k, j), k >= j, pair = k(k+1)/2 + j.
-          std::uint64_t k = static_cast<std::uint64_t>(
-              (std::sqrt(8.0 * static_cast<double>(pair) + 1.0) - 1.0) / 2.0);
-          while (k * (k + 1) / 2 > pair) --k;
-          while ((k + 1) * (k + 2) / 2 <= pair) ++k;
-          const std::uint64_t j = pair - k * (k + 1) / 2;
+          std::uint64_t k = 0, j = 0;
+          pair_to_classes(pair, k, j);
           const double p = P.at(k, j);
           if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
           const PairSpace space = make_space(dist, k, j);

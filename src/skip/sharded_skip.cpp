@@ -1,0 +1,144 @@
+#include "skip/sharded_skip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/exec.hpp"
+#include "skip/pair_space.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph {
+
+using skip_detail::PairSpace;
+using skip_detail::make_space;
+using skip_detail::pair_to_classes;
+using skip_detail::task_seed;
+using skip_detail::traverse;
+
+SkipShardPlan plan_edge_skip(const ProbabilityMatrix& P,
+                             const DegreeDistribution& dist,
+                             const EdgeSkipConfig& config) {
+  SkipShardPlan plan;
+  plan.seed = config.seed;
+  plan.edges_per_task = config.edges_per_task;
+  // Yields accumulate per kind during the single pass, then concatenate in
+  // canonical unit order (all small pairs before all big chunks).
+  std::vector<double> small_yields, chunk_yields;
+  const std::size_t nc = dist.num_classes();
+  for (std::uint64_t k = 0, pair = 0; k < nc; ++k) {
+    for (std::uint64_t j = 0; j <= k; ++j, ++pair) {
+      const double p = P.at(k, j);
+      if (!(p > 0.0)) continue;  // also skips NaN (see traverse)
+      const PairSpace space = make_space(dist, k, j);
+      // Same float arithmetic as edge_skip_generate's classification — the
+      // <= comparison must agree bit-for-bit on the boundary.
+      const double p_eff = std::min(p, 1.0);
+      const double expected = p_eff * static_cast<double>(space.size);
+      plan.expected_edges += expected;
+      if (expected <= static_cast<double>(config.edges_per_task)) {
+        plan.small_pairs.push_back(pair);
+        small_yields.push_back(expected);
+        continue;
+      }
+      const std::uint64_t chunks = static_cast<std::uint64_t>(
+          expected / static_cast<double>(config.edges_per_task)) + 1;
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] =
+            block_range(static_cast<int>(c), static_cast<int>(chunks),
+                        space.size);
+        plan.big_chunks.push_back({pair, c, begin, end});
+        chunk_yields.push_back(p_eff * static_cast<double>(end - begin));
+      }
+    }
+  }
+  plan.unit_yields = std::move(small_yields);
+  plan.unit_yields.insert(plan.unit_yields.end(), chunk_yields.begin(),
+                          chunk_yields.end());
+  return plan;
+}
+
+std::pair<std::uint64_t, std::uint64_t> shard_unit_range(
+    const SkipShardPlan& plan, std::uint64_t shard_index,
+    std::uint64_t shard_count) {
+  const std::uint64_t units = plan.unit_count();
+  if (shard_count == 0) return {0, units};
+  if (!(plan.expected_edges > 0.0) || plan.unit_yields.size() != units) {
+    const auto [begin, end] =
+        block_range(static_cast<int>(shard_index),
+                    static_cast<int>(shard_count), units);
+    return {begin, end};
+  }
+  // Cut s sits at the first unit whose (exclusive) prefix yield reaches
+  // total * s / shard_count. One sequential scan — the prefix sum must
+  // accumulate in the same order on every call or adjacent shards computed
+  // in different processes (generate vs. resume) would stop tiling.
+  const double total = plan.expected_edges;
+  const double lo = total * static_cast<double>(shard_index) /
+                    static_cast<double>(shard_count);
+  const double hi = total * static_cast<double>(shard_index + 1) /
+                    static_cast<double>(shard_count);
+  std::uint64_t begin = units;
+  std::uint64_t end = units;
+  double prefix = 0.0;
+  for (std::uint64_t u = 0; u < units; ++u) {
+    if (begin == units && prefix >= lo) begin = u;
+    if (begin != units && prefix >= hi) {
+      end = u;
+      break;
+    }
+    prefix += plan.unit_yields[u];
+  }
+  if (shard_index + 1 == shard_count) end = units;  // absorb float residue
+  if (end < begin) end = begin;
+  return {begin, end};
+}
+
+EdgeList edge_skip_generate_shard(const ProbabilityMatrix& P,
+                                  const DegreeDistribution& dist,
+                                  const SkipShardPlan& plan,
+                                  const EdgeSkipConfig& config,
+                                  std::uint64_t shard_index,
+                                  std::uint64_t shard_count) {
+  const auto [unit_begin, unit_end] =
+      shard_unit_range(plan, shard_index, shard_count);
+
+  exec::ParallelContext ctx;
+  ctx.seed = config.seed;
+  ctx.governor = config.governor;
+  ctx.timings = config.timings;
+  ctx.phase = "edge generation (shard)";
+
+  const std::uint64_t num_small = plan.small_pairs.size();
+  // Grain 1: per-unit buffers concatenated in unit order. The grain only
+  // shapes parallel efficiency — output order is unit-ascending either
+  // way, which is what makes shard concatenation == in-core output.
+  return exec::collect<Edge>(
+      ctx, unit_end - unit_begin, 1,
+      [&, unit_begin = unit_begin](const exec::Chunk& chunk, EdgeList& mine) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const std::uint64_t unit = unit_begin + i;
+          std::uint64_t pair = 0, rng_chunk = 0, begin = 0, end = 0;
+          if (unit < num_small) {
+            pair = plan.small_pairs[unit];
+          } else {
+            const SkipShardPlan::BigChunk& bc =
+                plan.big_chunks[unit - num_small];
+            pair = bc.pair;
+            rng_chunk = bc.chunk;
+            begin = bc.begin;
+            end = bc.end;
+          }
+          std::uint64_t k = 0, j = 0;
+          pair_to_classes(pair, k, j);
+          const double p = P.at(k, j);
+          const PairSpace space = make_space(dist, k, j);
+          if (unit < num_small) end = space.size;
+          Xoshiro256ss rng(task_seed(plan.seed, pair, rng_chunk));
+          traverse(p, begin, end, rng,
+                   [&](std::uint64_t t) { mine.push_back(space.decode(t)); });
+        }
+      });
+}
+
+}  // namespace nullgraph

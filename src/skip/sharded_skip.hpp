@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic sharding of the edge-skip Bernoulli space, the generation
+// half of out-of-core mode (DESIGN.md §10).
+//
+// edge_skip_generate emits edges in a canonical order: all "small" class
+// pairs ascending (one independently-seeded stream per pair), then all
+// pre-split big-space chunks ascending. This file names that order — a
+// flat list of UNITS — and slices it into `shard_count` contiguous ranges
+// at yield-balanced cut points (shard_unit_range). Because every unit's
+// RNG stream is stateless in (seed, pair, chunk):
+//
+//   * shards generate independently, in any order, on any thread count;
+//   * concatenating shards 0..S-1 is BIT-IDENTICAL to the in-core output;
+//   * a lost or corrupt shard regenerates alone, bit-identically — the
+//     property shard-granular resume (--resume <spill-dir>) is built on;
+//   * units never straddle shards, so shards partition the candidate-pair
+//     space: an edge can only ever appear in one shard, which is why the
+//     shard-local dedup census (ds/shard_census.hpp) is sound without any
+//     cross-shard structure.
+//
+// Memory: shard boundaries are chosen so each shard's EXPECTED yield is
+// ~expected_edges / shard_count (up to one unit's yield, itself bounded
+// by edges_per_task for big chunks) — not so each shard holds the same
+// number of units. Powerlaw class structure concentrates most edges in a
+// few early class pairs; a count-balanced slice would leave shard 0
+// holding nearly everything and defeat the memory bound out-of-core mode
+// exists to provide.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ds/degree_distribution.hpp"
+#include "ds/edge_list.hpp"
+#include "prob/probability_matrix.hpp"
+#include "skip/edge_skip.hpp"
+
+namespace nullgraph {
+
+/// The canonical unit list for one (P, dist, seed, edges_per_task). Built
+/// once per run; O(num class pairs) memory, no per-unit PairSpace stored
+/// (spaces are recomputed on demand — the plan must stay small even when
+/// the graph does not fit in memory).
+struct SkipShardPlan {
+  std::uint64_t seed = 0;
+  std::uint64_t edges_per_task = 0;
+
+  /// Class-pair ids whose whole space is one unit, ascending.
+  std::vector<std::uint64_t> small_pairs;
+
+  /// Pre-split chunk of a big space; (pair, chunk) ascending.
+  struct BigChunk {
+    std::uint64_t pair = 0;
+    std::uint64_t chunk = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<BigChunk> big_chunks;
+
+  /// Expected edges over all units (== P.expected_edges(dist) restricted
+  /// to positive entries).
+  double expected_edges = 0.0;
+
+  /// Expected yield of each unit in canonical order (small pairs then big
+  /// chunks); prefix sums of this drive shard_unit_range's cut points.
+  std::vector<double> unit_yields;
+
+  [[nodiscard]] std::uint64_t unit_count() const noexcept {
+    return small_pairs.size() + big_chunks.size();
+  }
+};
+
+/// Enumerates units in canonical order. Uses config.{seed, edges_per_task}
+/// with EXACTLY edge_skip_generate's small/big classification arithmetic —
+/// the two must never diverge, or shard concatenation stops matching the
+/// in-core output.
+SkipShardPlan plan_edge_skip(const ProbabilityMatrix& P,
+                             const DegreeDistribution& dist,
+                             const EdgeSkipConfig& config = {});
+
+/// Contiguous unit range [begin, end) of shard `shard_index` under the
+/// yield-balanced partition: cut s sits at the first unit whose prefix
+/// yield reaches expected_edges * s / shard_count. A pure, deterministic
+/// function of (plan, shard_count) — resume and fsck rebuild the plan
+/// from the manifest and recover byte-identical boundaries. Adjacent
+/// shards tile exactly (shard s's end == shard s+1's begin); falls back
+/// to the count-balanced block_range when yields are absent or all zero.
+std::pair<std::uint64_t, std::uint64_t> shard_unit_range(
+    const SkipShardPlan& plan, std::uint64_t shard_index,
+    std::uint64_t shard_count);
+
+/// Generates shard `shard_index` of `shard_count`: the units in
+/// shard_unit_range(plan, shard_index, shard_count). Parallel inside the
+/// shard (exec::collect, governed via config.governor); the returned
+/// list's order is the canonical unit order restricted to this shard.
+/// Precondition: plan built from the same (P, dist, config).
+EdgeList edge_skip_generate_shard(const ProbabilityMatrix& P,
+                                  const DegreeDistribution& dist,
+                                  const SkipShardPlan& plan,
+                                  const EdgeSkipConfig& config,
+                                  std::uint64_t shard_index,
+                                  std::uint64_t shard_count);
+
+}  // namespace nullgraph

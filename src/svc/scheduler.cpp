@@ -10,6 +10,7 @@
 #include "core/null_model.hpp"
 #include "io/checkpoint.hpp"
 #include "io/graph_io.hpp"
+#include "io/shard_merge.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "svc/wire.hpp"
@@ -156,9 +157,17 @@ void Scheduler::run_job(Job job) {
   JobExecution ex;
   Status final_status = execute(job, lease.threads(), ex);
 
-  if (final_status.ok() && !job.spec.out_path.empty())
-    final_status = write_edge_list_file_atomic(job.spec.out_path,
-                                               ex.result.edges);
+  if (final_status.ok() && !job.spec.out_path.empty()) {
+    // A spilled job's graph lives in shard files under the spool; stream
+    // them into the output with bounded memory instead of materializing.
+    if (ex.result.spill.spilled)
+      final_status = concat_shards_to_text_file(ex.result.spill.dir,
+                                                ex.result.spill.shard_count,
+                                                job.spec.out_path);
+    else
+      final_status = write_edge_list_file_atomic(job.spec.out_path,
+                                                 ex.result.edges);
+  }
 
   if (!config_.report_dir.empty()) {
     obs::RunReportInputs inputs;
@@ -186,8 +195,11 @@ void Scheduler::run_job(Job job) {
     const Status sent = write_control(
         job.client_fd,
         render_result(job.id, final_status, ex.curtailed,
-                      ex.result.edges.size(), ex.report_path,
-                      job.spec.out_path));
+                      ex.result.spill.spilled
+                          ? static_cast<std::size_t>(
+                                ex.result.spill.edges_on_disk)
+                          : ex.result.edges.size(),
+                      ex.report_path, job.spec.out_path));
     if ((!client_alive || !sent.ok()) && config_.metrics != nullptr)
       config_.metrics->counter("serve.client_gone")->add();
     close_fd(job.client_fd);
@@ -233,6 +245,17 @@ Status Scheduler::execute(const Job& job, int granted_threads,
     cfg.governance.budget.max_memory_bytes =
         config_.memory_ceiling_bytes / static_cast<std::size_t>(config_.slots);
   cfg.governance.cancel = job.cancel;
+  if (spec.op == JobSpec::Op::kGenerate && !spec.out_path.empty() &&
+      !config_.spool_dir.empty()) {
+    // Out-of-core degradation for daemon jobs: a generate whose projected
+    // footprint would cross its slot's memory share spills under the spool
+    // (and the delivery path streams shards -> out_path) instead of
+    // aborting with kMemoryBudget. Client-streamed jobs stay in-core —
+    // their reply protocol sends edges from memory.
+    cfg.spill.enabled = true;
+    cfg.spill.dir =
+        config_.spool_dir + "/job-" + std::to_string(job.id) + "-spill";
+  }
   if (spec.checkpoint_every > 0 && !config_.spool_dir.empty()) {
     cfg.governance.checkpoint_every = spec.checkpoint_every;
     cfg.governance.checkpoint_path =

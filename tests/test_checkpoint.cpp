@@ -204,11 +204,11 @@ TEST(Checkpoint, LyingEdgeCountIsRejectedBeforeAllocation) {
 
 // ------------------------------------------------------------ write retry
 
-TEST(CheckpointRetry, SingleInjectedFailureIsRetriedAway) {
-  // One transient ENOSPC/EIO-class failure is absorbed by the policy's
-  // single retry: the write succeeds and the snapshot is valid.
+TEST(CheckpointRetry, TransientFailuresAreRetriedAway) {
+  // Transient ENOSPC/EIO-class failures up to attempts-1 are absorbed by
+  // the bounded-backoff policy: the write succeeds, snapshot valid.
   const std::string path = temp_path("ckpt_retry_once.bin");
-  std::size_t failures = 1;
+  std::size_t failures = 2;
   CheckpointRetryPolicy policy;
   policy.backoff_ms = 1;
   policy.inject_io_failures = &failures;
@@ -223,11 +223,12 @@ TEST(CheckpointRetry, SingleInjectedFailureIsRetriedAway) {
 }
 
 TEST(CheckpointRetry, PersistentFailureSurfacesTypedIoError) {
-  // Two consecutive failures exhaust the one-retry policy; the caller
-  // gets a typed kIoError for its report, never an abort.
+  // Failures on every attempt exhaust the bounded policy (3 attempts by
+  // default); the caller gets a typed kIoError for its report, never an
+  // abort.
   const std::string path = temp_path("ckpt_retry_twice.bin");
   std::remove(path.c_str());
-  std::size_t failures = 2;
+  std::size_t failures = 3;
   CheckpointRetryPolicy policy;
   policy.backoff_ms = 1;
   policy.inject_io_failures = &failures;

@@ -254,7 +254,11 @@ TEST(RunReport, GoldenConfigOnlySchema) {
       "\"probability_entries_sanitized\":0},"
       "\"faults_injected\":{\"edges_dropped\":0,\"edges_duplicated\":0,"
       "\"self_loops_added\":0,\"prob_entries_corrupted\":0},"
-      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}";
+      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]},"
+      "\"degradations\":[],"
+      "\"spill\":{\"spilled\":false,\"dir\":\"\",\"shard_count\":0,"
+      "\"edges_on_disk\":0,\"shards_written\":0,\"shards_reused\":0,"
+      "\"max_shard_edges\":0}}";
   EXPECT_EQ(render_run_report(inputs), expected);
 }
 

@@ -28,9 +28,29 @@
 //   --resume FILE            continue a checkpointed swap chain; with the
 //                            same thread count the result is bit-identical
 //                            to the uninterrupted run
+//   --resume DIR             continue a SPILLED run from its shard
+//                            directory: CRC-complete shards are trusted,
+//                            missing/torn ones regenerate bit-identically
 //   SIGINT / SIGTERM         cooperative cancellation: the current run
 //                            drains, writes its best-so-far graph, and
 //                            exits 13 (kCancelled)
+//
+// Out-of-core generation (generate; DESIGN.md §10):
+//   --spill-dir DIR      arm spill mode: when the projected generation
+//                        footprint crosses --max-memory-mb the run
+//                        DEGRADES to CRC-framed shard files under DIR
+//                        (and still exits 0) instead of aborting; --out
+//                        streams the shards back out with bounded memory
+//   --spill-shards N     explicit shard count (default: auto-sized so one
+//                        shard stays within a quarter of the ceiling)
+//   --force-spill        spill even when the projection fits (drills,
+//                        bit-identity tests)
+//   --inject-spill-fail N  fail the next N shard commits (testing hook)
+//   nullgraph fsck --dir DIR [--repair] [--deep]
+//                        verify every shard's CRC framing; --repair
+//                        regenerates damaged shards from the manifest,
+//                        --deep adds the external-merge simplicity census.
+//                        Exit 21 (kShardCorrupt) when damage remains.
 //
 // Telemetry (generate / shuffle / resume / lfr):
 //   --report-json FILE   versioned machine-readable run report: config
@@ -59,8 +79,10 @@
 // 7 kNonSimpleOutput, 8 kDegreeMismatch, 9 kSwapStagnation,
 // 10 kConnectivityExhausted, 11 kRepairIncomplete, 12 kDeadlineExceeded,
 // 13 kCancelled, 14 kSwapStalled, 15 kCapacityExhausted, 16 kMemoryBudget,
-// 17 kCheckpointInvalid, 18 kOverloaded, 19 kJobEvicted, 20 kClientProtocol.
+// 17 kCheckpointInvalid, 18 kOverloaded, 19 kJobEvicted, 20 kClientProtocol,
+// 21 kShardCorrupt.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -78,13 +100,17 @@
 #include "analysis/gini.hpp"
 #include "analysis/metrics.hpp"
 #include "core/null_model.hpp"
+#include "core/out_of_core.hpp"
 #include "ds/csr_graph.hpp"
 #include "analysis/motifs.hpp"
 #include "gen/powerlaw.hpp"
 #include "io/checkpoint.hpp"
 #include "io/graph_io.hpp"
+#include "io/shard_merge.hpp"
+#include "io/spill.hpp"
 #include "lfr/lfr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/json_writer.hpp"
@@ -145,14 +171,18 @@ void usage() {
                "  lfr      [--n N --mu MU --dmin D --dmax D --cmin C --cmax "
                "C --seed S --out FILE --communities FILE]\n"
                "  dist     --in FILE [--out FILE]\n"
+               "  fsck     --dir DIR [--repair --deep]    (spill directory "
+               "check; exit 21 on damage)\n"
                "guardrails (generate/shuffle): --strict | --repair "
                "[--max-retries K]\n"
                "governance (generate/shuffle/lfr): --deadline-ms N "
                "--max-swap-iterations N --max-memory-mb N\n"
-               "  --checkpoint FILE --checkpoint-every N --resume FILE\n"
+               "  --checkpoint FILE --checkpoint-every N --resume FILE|DIR\n"
+               "out-of-core (generate): --spill-dir DIR [--spill-shards N "
+               "--force-spill]\n"
                "fault injection (testing): --inject-drop N --inject-dup N "
                "--inject-loop N --inject-prob N --inject-stall "
-               "--inject-slow-ms N --inject-seed S\n"
+               "--inject-slow-ms N --inject-spill-fail N --inject-seed S\n"
                "telemetry (generate/shuffle/lfr): --report-json FILE "
                "--trace-out FILE\n"
                "service mode:\n"
@@ -249,8 +279,30 @@ GuardrailConfig guardrails_from(const Args& args) {
   guard.faults.force_swap_stall = args.has("inject-stall");
   guard.faults.slow_phase_ms = args.get_u64("inject-slow-ms", 0);
   guard.faults.fail_checkpoint_writes = args.get_u64("inject-ckpt-fail", 0);
+  guard.faults.fail_spill_writes = args.get_u64("inject-spill-fail", 0);
   guard.faults.seed = args.get_u64("inject-seed", guard.faults.seed);
   return guard;
+}
+
+SpillConfig spill_from(const Args& args) {
+  SpillConfig spill;
+  if (const auto dir = args.get("spill-dir")) {
+    spill.enabled = true;
+    spill.dir = *dir;
+  }
+  spill.shard_count = args.get_u64("spill-shards", 0);
+  spill.force = args.has("force-spill");
+  if ((spill.force || spill.shard_count != 0) && !spill.enabled) {
+    std::fprintf(stderr,
+                 "--force-spill/--spill-shards need --spill-dir DIR\n");
+    std::exit(1);
+  }
+  return spill;
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 GovernanceConfig governance_from(const Args& args) {
@@ -308,6 +360,10 @@ struct Telemetry {
   int finish(const std::string& command, std::uint64_t seed,
              std::size_t swap_iterations, const GenerateResult* result,
              const LfrGraph* lfr, int code) {
+    // Final resident/peak-memory sample lands in the report next to the
+    // spill counters — the kernel's own proof that a spilled run stayed
+    // within its ceiling.
+    obs::record_process_memory(metrics.get());
     Status failed = Status::Ok();
     if (trace != nullptr) {
       const Status status = trace->write(trace_path);
@@ -381,7 +437,45 @@ void print_graph_stats(const EdgeList& edges) {
 /// callers can distinguish "done" from "cut short" without parsing stderr.
 int emit_result(const Args& args, const GenerateResult& result,
                 RecoveryPolicy policy) {
-  if (const auto out = args.get("out")) {
+  if (result.spill.spilled) {
+    const SpillSummary& spill = result.spill;
+    std::fprintf(stderr,
+                 "spilled: %llu edges across %llu shards in %s "
+                 "(%llu written, %llu reused)\n",
+                 static_cast<unsigned long long>(spill.edges_on_disk),
+                 static_cast<unsigned long long>(spill.shard_count),
+                 spill.dir.c_str(),
+                 static_cast<unsigned long long>(spill.shards_written),
+                 static_cast<unsigned long long>(spill.shards_reused));
+    const bool complete =
+        spill.shards_written + spill.shards_reused == spill.shard_count;
+    if (!complete) {
+      std::fprintf(stderr,
+                   "spill incomplete; continue with --resume %s\n",
+                   spill.dir.c_str());
+      // A curtailed spill keeps the curtailment's typed code (below), but
+      // an incomplete spill with a hard error (a shard write that
+      // exhausted its retries) is a missing-output failure: typed even in
+      // record-only mode, because the shard IS the data.
+      const Status err = result.report.first_error();
+      if (!err.ok() && result.report.curtailed_by() == StatusCode::kOk) {
+        std::fprintf(stderr, "error: %s\n", err.to_string().c_str());
+        return status_exit_code(err.code());
+      }
+    } else if (const auto out = args.get("out")) {
+      // Bounded-memory exit path: shards stream straight into the output
+      // file, in canonical order, without materializing the edge list.
+      std::uint64_t merged = 0;
+      const Status status = concat_shards_to_text_file(
+          spill.dir, spill.shard_count, *out, &merged);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+        return status_exit_code(status.code());
+      }
+      std::fprintf(stderr, "merged %llu edges -> %s\n",
+                   static_cast<unsigned long long>(merged), out->c_str());
+    }
+  } else if (const auto out = args.get("out")) {
     write_edge_list_file(*out, result.edges);
   } else {
     print_graph_stats(result.edges);
@@ -397,11 +491,40 @@ int emit_result(const Args& args, const GenerateResult& result,
   return 0;
 }
 
+/// `--resume DIR` where DIR is a spill directory: shard-granular resume.
+/// The manifest carries the distribution, seed, and shard plan, so no
+/// other inputs are needed; CRC-complete shards are trusted, the rest
+/// regenerate bit-identically.
+int cmd_resume_spill(const Args& args, Telemetry& telem,
+                     const std::string& dir) {
+  GenerateConfig config;
+  config.guardrails = guardrails_from(args);
+  config.governance = governance_from(args);
+  config.obs = telem.context();
+  config.spill.enabled = true;
+  config.spill.dir = dir;
+  const Result<GenerateResult> resumed = resume_from_spill(dir, config);
+  if (!resumed.ok()) {
+    std::fprintf(stderr, "error: %s\n", resumed.status().to_string().c_str());
+    return status_exit_code(resumed.status().code());
+  }
+  const GenerateResult& result = resumed.value();
+  std::fprintf(stderr,
+               "resumed spill %s: %llu shards reused, %llu regenerated\n",
+               dir.c_str(),
+               static_cast<unsigned long long>(result.spill.shards_reused),
+               static_cast<unsigned long long>(result.spill.shards_written));
+  const int code = emit_result(args, result, config.guardrails.policy);
+  return telem.finish("resume", 0, 0, &result, nullptr, code);
+}
+
 /// `--resume FILE`: load the snapshot and finish its swap chain. Reachable
 /// from both generate and shuffle (the checkpoint carries everything the
-/// remaining phase needs, so the two commands converge here).
+/// remaining phase needs, so the two commands converge here). A directory
+/// argument means a spill directory instead of a checkpoint file.
 int cmd_resume(const Args& args, Telemetry& telem) {
   const std::string path = *args.get("resume");
+  if (is_directory(path)) return cmd_resume_spill(args, telem, path);
   Result<Checkpoint> loaded = try_read_checkpoint(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
@@ -449,16 +572,20 @@ int cmd_generate(const Args& args, Telemetry& telem) {
   config.swap_iterations = args.get_u64("swaps", 10);
   config.guardrails = guardrails_from(args);
   config.governance = governance_from(args);
+  config.spill = spill_from(args);
   config.obs = telem.context();
   const GenerateResult result = generate_null_graph(dist, config);
-  const QualityErrors errors = quality_errors(dist, result.edges);
-  std::fprintf(stderr,
-               "generated %zu edges (target %llu); err: edges %.2f%% dmax "
-               "%.2f%%; %.3f s\n",
-               result.edges.size(),
-               static_cast<unsigned long long>(dist.num_edges()),
-               100 * errors.edge_count, 100 * errors.max_degree,
-               result.timing.total_seconds());
+  if (!result.spill.spilled) {
+    // A spilled run's edges live on disk; emit_result prints its summary.
+    const QualityErrors errors = quality_errors(dist, result.edges);
+    std::fprintf(stderr,
+                 "generated %zu edges (target %llu); err: edges %.2f%% dmax "
+                 "%.2f%%; %.3f s\n",
+                 result.edges.size(),
+                 static_cast<unsigned long long>(dist.num_edges()),
+                 100 * errors.edge_count, 100 * errors.max_degree,
+                 result.timing.total_seconds());
+  }
   const int code = emit_result(args, result, config.guardrails.policy);
   return telem.finish("generate", config.seed, config.swap_iterations,
                       &result, nullptr, code);
@@ -517,14 +644,14 @@ int cmd_lfr(const Args& args, Telemetry& telem) {
   if (const auto out = args.get("out")) {
     write_edge_list_file(*out, graph.edges);
     if (const auto comm = args.get("communities")) {
-      std::FILE* f = std::fopen(comm->c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", comm->c_str());
-        code = 2;
-      } else {
-        for (std::size_t v = 0; v < graph.community.size(); ++v)
-          std::fprintf(f, "%zu %u\n", v, graph.community[v]);
-        std::fclose(f);
+      std::string body;
+      for (std::size_t v = 0; v < graph.community.size(); ++v)
+        body += std::to_string(v) + ' ' + std::to_string(graph.community[v]) +
+                '\n';
+      if (const Status s = write_text_file_atomic(*comm, body); !s.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", comm->c_str(),
+                     s.to_string().c_str());
+        code = status_exit_code(s.code());
       }
     }
   } else {
@@ -610,15 +737,61 @@ int cmd_serve(const Args& args) {
     for (const auto& c : metrics.snapshot().counters) w.kv(c.name, c.value);
     w.end_object();
     w.end_object();
-    std::FILE* f = std::fopen(path->c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "serve: cannot write %s\n", path->c_str());
-      return status_exit_code(StatusCode::kIoError);
+    if (const Status s = write_text_file_atomic(*path, std::move(w).str());
+        !s.ok()) {
+      std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+      return status_exit_code(s.code());
     }
-    std::fputs(w.str().c_str(), f);
-    std::fclose(f);
   }
   return 0;
+}
+
+/// `nullgraph fsck`: verify (and optionally repair) a spill directory.
+/// Per-shard verdicts go to stdout; exit 0 only when every shard is
+/// healthy (and, under --deep, the merged census is simple) — damage that
+/// remains maps to exit 21 (kShardCorrupt).
+int cmd_fsck(const Args& args) {
+  const auto dir = args.get("dir");
+  if (!dir || dir->empty()) {
+    std::fprintf(stderr, "fsck: need --dir DIR\n");
+    return 1;
+  }
+  FsckOptions options;
+  options.repair = args.has("repair");
+  options.deep = args.has("deep");
+  const Result<FsckReport> checked = fsck_spill_dir(*dir, options);
+  if (!checked.ok()) {
+    std::fprintf(stderr, "fsck: %s\n", checked.status().to_string().c_str());
+    return status_exit_code(checked.status().code());
+  }
+  const FsckReport& report = checked.value();
+  std::uint64_t healthy = 0;
+  for (const ShardVerdict& v : report.shards) {
+    const char* state = "ok";
+    switch (v.state) {
+      case ShardState::kOk: state = "ok"; break;
+      case ShardState::kMissing: state = "MISSING"; break;
+      case ShardState::kCorrupt: state = "CORRUPT"; break;
+      case ShardState::kRepaired: state = "repaired"; break;
+      case ShardState::kUnrepairable: state = "UNREPAIRABLE"; break;
+    }
+    std::printf("shard %06llu: %s (%llu edges)%s%s\n",
+                static_cast<unsigned long long>(v.shard), state,
+                static_cast<unsigned long long>(v.edges),
+                v.detail.empty() ? "" : " — ", v.detail.c_str());
+    if (v.healthy()) ++healthy;
+  }
+  std::printf("fsck: %llu/%llu shards healthy, %llu edges",
+              static_cast<unsigned long long>(healthy),
+              static_cast<unsigned long long>(report.shard_count),
+              static_cast<unsigned long long>(report.total_edges));
+  if (report.deep_ran)
+    std::printf("; deep census: %s",
+                report.deep_census.simple()
+                    ? "simple"
+                    : check_simple(report.deep_census).message().c_str());
+  std::printf("\n");
+  return report.ok() ? 0 : status_exit_code(StatusCode::kShardCorrupt);
 }
 
 /// `nullgraph submit`: one round-trip to a running daemon. Exit code is
@@ -756,6 +929,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "lfr") return cmd_lfr(args, telem);
     if (command == "dist") return cmd_dist(args);
+    if (command == "fsck") return cmd_fsck(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "submit") return cmd_submit(args);
   } catch (const StatusError& error) {
