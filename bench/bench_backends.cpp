@@ -1,0 +1,122 @@
+// Registry dispatch overhead: the same generation through the direct
+// library call vs model::run_model (lookup + capability validation +
+// sampling-space census + model-block fill).
+//
+// The acceptance bar is <3% registry overhead on the null-model pair:
+// its pipeline verifies its own space (space_verified = true), so the
+// driver adds only lookup/validation/bookkeeping — strictly O(1) against
+// an O(m) generation. The chung-lu and rmat pairs additionally price the
+// driver's output census (one O(m) pass over the edges), which IS the
+// registry path for backends without structural guarantees — reported so
+// a census regression is visible, not gated at 3%.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "core/null_model.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/powerlaw.hpp"
+#include "model/driver.hpp"
+
+namespace {
+
+using namespace nullgraph;
+
+PowerlawParams bench_powerlaw() {
+  return {.n = 100000, .gamma = 2.5, .dmin = 2, .dmax = 300};
+}
+
+model::ModelSpec bench_spec(std::string backend, std::uint64_t seed) {
+  model::ModelSpec spec;
+  spec.backend = std::move(backend);
+  spec.seed = seed;
+  spec.params = {{"powerlaw", ""}, {"n", "100000"},
+                 {"dmin", "2"}, {"dmax", "300"}};
+  return spec;
+}
+
+void record_edges(benchmark::State& state, std::size_t edges) {
+  state.counters["edges"] = benchmark::Counter(static_cast<double>(edges));
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(edges), benchmark::Counter::kIsRate);
+}
+
+// --------------------------------------------------- null-model (the bar)
+
+void BM_NullModelDirect(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    // Mirror the pre-registry cmd_generate body per run: build the
+    // distribution, generate, compute the quality-error summary. The
+    // registry pair must not get to amortize work the old path repeated.
+    const DegreeDistribution dist = powerlaw_distribution(bench_powerlaw());
+    GenerateConfig config;
+    config.seed = seed++;
+    config.swap_iterations = 2;
+    GenerateResult result = generate_null_graph(dist, config);
+    const QualityErrors errors = quality_errors(dist, result.edges);
+    benchmark::DoNotOptimize(errors.edge_count);
+    benchmark::DoNotOptimize(result.edges.data());
+    record_edges(state, result.edges.size());
+  }
+}
+BENCHMARK(BM_NullModelDirect)->Unit(benchmark::kMillisecond);
+
+void BM_NullModelRegistry(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    model::ModelSpec spec = bench_spec("null-model", seed++);
+    spec.swap_iterations = 2;
+    Result<model::ModelRun> run = model::run_model(spec, {});
+    benchmark::DoNotOptimize(run.value().output.result.edges.data());
+    record_edges(state, run.value().output.result.edges.size());
+  }
+}
+BENCHMARK(BM_NullModelRegistry)->Unit(benchmark::kMillisecond);
+
+// ----------------------------- chung-lu (registry path adds the census)
+
+void BM_ChungLuDirect(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const DegreeDistribution dist = powerlaw_distribution(bench_powerlaw());
+    ChungLuConfig config;
+    config.seed = seed++;
+    EdgeList edges = chung_lu_multigraph(dist, config);
+    benchmark::DoNotOptimize(edges.data());
+    record_edges(state, edges.size());
+  }
+}
+BENCHMARK(BM_ChungLuDirect)->Unit(benchmark::kMillisecond);
+
+void BM_ChungLuRegistry(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Result<model::ModelRun> run =
+        model::run_model(bench_spec("chung-lu", seed++), {});
+    benchmark::DoNotOptimize(run.value().output.result.edges.data());
+    record_edges(state, run.value().output.result.edges.size());
+  }
+}
+BENCHMARK(BM_ChungLuRegistry)->Unit(benchmark::kMillisecond);
+
+// --------------------------------- rmat (new backend, registry-only door)
+
+void BM_RmatRegistry(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    model::ModelSpec spec;
+    spec.backend = "rmat";
+    spec.seed = seed++;
+    spec.params = {{"scale", "16"}, {"edge-factor", "8"}};
+    Result<model::ModelRun> run = model::run_model(spec, {});
+    benchmark::DoNotOptimize(run.value().output.result.edges.data());
+    record_edges(state, run.value().output.result.edges.size());
+  }
+}
+BENCHMARK(BM_RmatRegistry)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -9,7 +9,9 @@
 #      tree also compiles with -Werror=thread-safety, proving every
 #      NG_GUARDED_BY contract. Compile-only — no tests run here.
 #   3. default build + ctest, telemetry smoke through the real binary,
-#      the serve_smoke chaos drill (scripts/chaos_serve.sh), the
+#      the backend_smoke tier (every registered backend end-to-end with a
+#      validated `model` report block), the
+#      serve_smoke chaos drill (scripts/chaos_serve.sh), the
 #      spill_smoke chaos drill (scripts/chaos_spill.sh), and a
 #      non-fatal benchmark drift report against bench/baselines/.
 #   4. sanitizers: ASan/UBSan full suite, then TSan over the
@@ -99,6 +101,34 @@ python3 -m json.tool "$TELEM_DIR/trace.json" >/dev/null
 python3 scripts/compare_reports.py \
   "$TELEM_DIR/report.json" "$TELEM_DIR/report.json" >/dev/null
 
+echo "== backend smoke: every registered backend end-to-end =="
+# One shared command line covers every backend the registry lists: the CLI
+# forwards only the parameters a backend declares, so --scale reaches rmat
+# while the degree-distribution backends see --powerlaw/--n/--dmax (and
+# lfr its own --n). Each run must produce a graph plus a report whose
+# `model` block names the backend and its sampling space.
+BACKEND_DIR=build/backend-smoke
+mkdir -p "$BACKEND_DIR"
+for backend in $(build/tools/nullgraph backends --names); do
+  build/tools/nullgraph generate --backend "$backend" \
+    --powerlaw --n 2000 --dmax 50 --scale 10 --seed 7 \
+    --out "$BACKEND_DIR/$backend.txt" \
+    --report-json "$BACKEND_DIR/$backend.json"
+  test -s "$BACKEND_DIR/$backend.txt"
+  python3 - "$BACKEND_DIR/$backend.json" "$backend" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+model = report["model"]
+assert model["backend"] == sys.argv[2], model
+space = model["sampling_space"]
+for key in ("name", "self_loops", "multi_edges", "labeling"):
+    assert key in space, (sys.argv[2], space)
+assert isinstance(model["capabilities"], list), model
+assert isinstance(model["space_verified"], bool), model
+PY
+done
+
 echo "== serve smoke: chaos drill over the service daemon =="
 # Deterministic end-to-end drill (scripts/chaos_serve.sh): admission storm
 # with an exact completed/kOverloaded split, SIGKILL mid-job + restart
@@ -127,6 +157,9 @@ if [[ -f bench/baselines/BENCH_fig5.json && -x build/bench/bench_fig5_endtoend ]
     || echo "   (drift noted above is informational, not a failure)"
   python3 scripts/compare_reports.py --bench \
     bench/baselines/BENCH_spill.json "$DRIFT_DIR/BENCH_spill.json" \
+    || echo "   (drift noted above is informational, not a failure)"
+  python3 scripts/compare_reports.py --bench \
+    bench/baselines/BENCH_backends.json "$DRIFT_DIR/BENCH_backends.json" \
     || echo "   (drift noted above is informational, not a failure)"
 else
   echo "   (bench binaries or baselines absent; skipping)"

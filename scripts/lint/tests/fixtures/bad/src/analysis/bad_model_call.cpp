@@ -1,0 +1,10 @@
+// Fixture: direct generator pipeline calls outside the model layer.
+#include "core/null_model.hpp"
+#include "lfr/lfr.hpp"
+
+void bypass_the_registry() {
+  auto graph = generate_null_graph(dist, config);       // line 6: banned
+  auto layers = generate_lfr(params);                   // line 7: banned
+  auto arcs = generate_directed_null_graph(ddist, 1, 5);  // line 8: banned
+  auto cl = chung_lu_multigraph(dist);                  // line 9: banned
+}

@@ -1,0 +1,9 @@
+// Fixture: an unsanctioned directory that stays clean — the registry door,
+// wrapper lookalikes, and prose about generate_null_graph( must not fire.
+#include "model/driver.hpp"
+
+void dispatch_properly() {
+  auto run = nullgraph::model::run_model(spec, ctx);  // the sanctioned door
+  auto cached = my_generate_lfr_cached(params);       // wrapper lookalike
+  log("generate_null_graph( is banned here");         // string literal
+}

@@ -81,7 +81,8 @@ class DriverTest(unittest.TestCase):
         result = run_driver("--list")
         self.assertEqual(result.returncode, 0)
         for name in ("omp-confinement", "svc-confinement", "io-confinement",
-                     "determinism", "atomics", "include-hygiene"):
+                     "determinism", "atomics", "include-hygiene",
+                     "model-confinement"):
             self.assertIn(name, result.stdout)
 
 
@@ -136,6 +137,21 @@ class RuleDiagnosticsTest(unittest.TestCase):
         # none may fire.
         result = run_driver("--root", str(FIXTURES / "clean"),
                             "--rules", "io-confinement")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_model_confinement_flags_each_direct_generator_call(self):
+        for line in (6, 7, 8, 9):  # null graph, lfr, directed, chung-lu
+            self.assertIn(
+                f"src/analysis/bad_model_call.cpp:{line}: "
+                "[model-confinement] direct generator call outside the "
+                "model layer", self.out)
+
+    def test_model_confinement_ignores_registry_door_and_lookalikes(self):
+        # The clean fixture dispatches via model::run_model, calls a
+        # my_generate_lfr_cached() lookalike, and mentions a banned name in
+        # a string literal; none may fire.
+        result = run_driver("--root", str(FIXTURES / "clean"),
+                            "--rules", "model-confinement")
         self.assertEqual(result.returncode, 0, result.stdout)
 
     def test_atomics_flags_volatile(self):

@@ -154,8 +154,8 @@ ArcList gale_ryser_realization(
 }
 
 ArcList bipartite_null_graph(const BipartiteDistribution& dist,
-                             std::uint64_t seed,
-                             std::size_t swap_iterations) {
+                             std::uint64_t seed, std::size_t swap_iterations,
+                             const RunGovernor* governor) {
   // Directed classes sort by (out, in) ascending: all right classes (out=0)
   // first, in-degree ascending, then the left classes, out-degree
   // ascending. Both match the bipartite id convention (ascending degree
@@ -180,7 +180,8 @@ ArcList bipartite_null_graph(const BipartiteDistribution& dist,
     classes.push_back({c.degree, 0, c.count});
   const DirectedDegreeDistribution directed(std::move(classes));
 
-  ArcList arcs = generate_directed_null_graph(directed, seed, swap_iterations);
+  ArcList arcs =
+      generate_directed_null_graph(directed, seed, swap_iterations, governor);
 
   std::uint64_t nonzero_right = 0;
   for (const DegreeClass& c : right) nonzero_right += c.count;

@@ -21,6 +21,7 @@
 
 #include "directed/directed_distribution.hpp"
 #include "ds/degree_distribution.hpp"
+#include "robustness/governance.hpp"
 
 namespace nullgraph {
 
@@ -75,10 +76,13 @@ ArcList gale_ryser_realization(
     const std::vector<std::uint64_t>& right_degrees);
 
 /// Uniformly random simple bipartite graph matching `dist` in expectation
-/// (probability solver -> edge-skipping -> checkerboard swaps).
+/// (probability solver -> edge-skipping -> checkerboard swaps). A non-null
+/// `governor` is polled by the underlying directed pipeline; a stop
+/// returns the best graph so far.
 ArcList bipartite_null_graph(const BipartiteDistribution& dist,
                              std::uint64_t seed = 1,
-                             std::size_t swap_iterations = 10);
+                             std::size_t swap_iterations = 10,
+                             const RunGovernor* governor = nullptr);
 
 /// Degree-preserving bipartite ("checkerboard") swaps on an existing
 /// bipartite edge list; both sides' degrees are invariant, simplicity is

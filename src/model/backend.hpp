@@ -1,0 +1,109 @@
+#pragma once
+// GeneratorBackend: the one interface every graph model implements.
+//
+// A backend turns (ModelSpec, PipelineContext) into a GenerateOutput; the
+// registry driver (model/driver.hpp) owns everything around that call —
+// request validation against the backend's declared capabilities, the
+// sampling-space census, the report's `model` block, and graph write-out.
+// Adding a model to the whole toolchain (CLI flags, serve jobs, report
+// schema, smoke tier) is: implement this interface, register it, done.
+//
+// Backends receive the governance/guardrail/spill/telemetry wiring through
+// PipelineContext and are expected to honor what they declare: a backend
+// with `capabilities().swaps == false` never sees spec.swap_iterations
+// (the driver rejects it first), one with `spill == false` never sees an
+// enabled SpillConfig.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/null_model.hpp"
+#include "lfr/lfr.hpp"
+#include "model/model_spec.hpp"
+#include "model/sampling_space.hpp"
+
+namespace nullgraph::model {
+
+/// One declared backend parameter; `key` is both the CLI flag (--key) and
+/// the job-spec params key. Empty `value_hint` marks a boolean flag.
+struct BackendParam {
+  std::string key;
+  std::string value_hint;
+  std::string help;
+};
+
+struct BackendCapabilities {
+  bool swaps = false;        // honors spec.swap_iterations
+  bool spill = false;        // honors SpillConfig (out-of-core degradation)
+  bool checkpoint = false;   // honors governance.checkpoint_every/_path
+  bool directed = false;     // output edges are ordered arcs
+  bool bipartite = false;    // output edges are (left, right) pairs
+  bool communities = false;  // output carries a community partition
+  bool degree_input = false; // consumes a target degree distribution
+
+  /// The set bits as stable kebab-case names (report + `backends` text).
+  std::vector<std::string> names() const;
+};
+
+/// The substrate handles a backend inherits: guardrail policy + fault
+/// injection, run governance (deadline/cancel/memory/checkpoint), spill
+/// config, and borrowed telemetry sinks. Front ends build it once.
+struct PipelineContext {
+  GuardrailConfig guardrails;
+  GovernanceConfig governance;
+  SpillConfig spill;
+  obs::ObsContext obs;
+};
+
+struct GenerateOutput {
+  /// Edges, timings, report, spill summary — the same shape the null-model
+  /// pipeline has always produced; backends without a native report fill
+  /// in what they have (curtailments, phase timings).
+  GenerateResult result;
+  /// The space actually sampled this run (after any spec.space override).
+  SamplingSpace space;
+  /// True when the pipeline structurally guarantees `space` (e.g. the
+  /// null-model census + swap invariants); the driver then skips its own
+  /// output census.
+  bool space_verified = false;
+  /// Edges are ordered arcs (u -> v); {u,v} and {v,u} are distinct.
+  bool directed = false;
+  /// Edges are (left, right) with both sides independently numbered from
+  /// 0; numeric id collisions across sides are not loops.
+  bool bipartite = false;
+  std::uint64_t bipartite_left = 0;
+  /// Community partition (LFR); empty for partition-free models.
+  std::vector<std::uint32_t> community;
+  /// LFR layer scalars for the report's `lfr` block; `edges`/`community`
+  /// inside it are left empty — the canonical copies live above.
+  std::optional<LfrGraph> lfr;
+  /// Human-facing stderr lines the CLI prints verbatim, in order (e.g. the
+  /// null model's quality-error line).
+  std::vector<std::string> notes;
+};
+
+class GeneratorBackend {
+ public:
+  virtual ~GeneratorBackend() = default;
+
+  /// Stable registry key (kebab-case): "null-model", "chung-lu", ...
+  virtual std::string_view name() const noexcept = 0;
+  /// One-line human description for usage text and `nullgraph backends`.
+  virtual std::string_view summary() const noexcept = 0;
+  virtual BackendCapabilities capabilities() const = 0;
+  virtual SamplingSpace default_space() const = 0;
+  virtual std::vector<SamplingSpace> supported_spaces() const = 0;
+  virtual std::vector<BackendParam> params() const = 0;
+  virtual std::size_t default_swap_iterations() const { return 10; }
+
+  /// Runs the model. The spec has already been validated against the
+  /// declared capabilities/spaces/params; implementations still own
+  /// value-level validation (a malformed --gamma is theirs to reject).
+  virtual Result<GenerateOutput> generate(const ModelSpec& spec,
+                                          const PipelineContext& ctx) const = 0;
+};
+
+}  // namespace nullgraph::model

@@ -1,0 +1,208 @@
+#include "model/driver.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "io/graph_io.hpp"
+#include "io/shard_merge.hpp"
+#include "model/registry.hpp"
+
+namespace nullgraph::model {
+namespace {
+
+std::string note_printf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string note_printf(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+Status invalid(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+/// Pre-flight: the spec may only ask for what the backend declares.
+Status validate_spec(const ModelSpec& spec, const GeneratorBackend& backend,
+                     const PipelineContext& ctx) {
+  const BackendCapabilities caps = backend.capabilities();
+  if (spec.swap_iterations.has_value() && !caps.swaps)
+    return invalid("backend '" + spec.backend +
+                   "' does not support --swaps");
+  if (ctx.spill.enabled && !caps.spill)
+    return invalid("backend '" + spec.backend +
+                   "' does not support --spill-dir");
+  if (ctx.governance.checkpoint_every > 0 && !caps.checkpoint)
+    return invalid("backend '" + spec.backend +
+                   "' does not support --checkpoint-every");
+  if (spec.space.has_value()) {
+    const auto supported = backend.supported_spaces();
+    if (std::find(supported.begin(), supported.end(), *spec.space) ==
+        supported.end()) {
+      std::string joined;
+      for (const SamplingSpace& space : supported) {
+        if (!joined.empty()) joined += ", ";
+        joined += space_description(space);
+      }
+      return invalid("backend '" + spec.backend +
+                     "' does not sample the " +
+                     space_description(*spec.space) + " space (supported: " +
+                     joined + ")");
+    }
+  }
+  const auto declared = backend.params();
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    const bool known =
+        std::any_of(declared.begin(), declared.end(),
+                    [&](const BackendParam& p) { return p.key == key; });
+    if (!known)
+      return invalid("unknown parameter '" + key + "' for backend '" +
+                     spec.backend + "' (see `nullgraph backends`)");
+  }
+  return Status::Ok();
+}
+
+/// Output census against the declared space. Undirected output uses the
+/// canonical-key census; directed output sorts ordered keys (antiparallel
+/// arcs are NOT multi-edges); bipartite output skips the loop check (left
+/// and right ids overlap numerically) and counts duplicate pairs.
+void verify_space(GenerateOutput& out) {
+  const SamplingSpace& space = out.space;
+  std::size_t loops = 0;
+  std::size_t multis = 0;
+  if (out.directed || out.bipartite) {
+    std::vector<EdgeKey> keys;
+    keys.reserve(out.result.edges.size());
+    for (const Edge& edge : out.result.edges) {
+      if (!out.bipartite && edge.is_loop()) ++loops;
+      keys.push_back((static_cast<EdgeKey>(edge.u) << 32) |
+                     static_cast<EdgeKey>(edge.v));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 1; i < keys.size(); ++i)
+      if (keys[i] == keys[i - 1]) ++multis;
+  } else {
+    const SimplicityCensus counts = census(out.result.edges);
+    loops = counts.self_loops;
+    multis = counts.multi_edges;
+  }
+  Status status = Status::Ok();
+  const bool loop_violation = !space.self_loops && loops > 0;
+  const bool multi_violation = !space.multi_edges && multis > 0;
+  if (loop_violation || multi_violation) {
+    status = Status(
+        StatusCode::kNonSimpleOutput,
+        note_printf("declared '%s' space violated: %zu self-loops, %zu "
+                    "multi-edges",
+                    space_name(space), loops, multis));
+  }
+  out.result.report.checks.push_back({"sampling space", status, false});
+}
+
+/// Artifact emission — the write-out half of the old CLI emit_result,
+/// expressed as notes + a hard emit_error instead of direct prints/exits.
+void emit_artifacts(const ModelRunOptions& options, ModelRun& run) {
+  GenerateOutput& out = run.output;
+  const GenerateResult& result = out.result;
+  if (result.spill.spilled) {
+    const SpillSummary& spill = result.spill;
+    run.wrote_output = true;
+    run.notes.push_back(note_printf(
+        "spilled: %llu edges across %llu shards in %s "
+        "(%llu written, %llu reused)",
+        static_cast<unsigned long long>(spill.edges_on_disk),
+        static_cast<unsigned long long>(spill.shard_count), spill.dir.c_str(),
+        static_cast<unsigned long long>(spill.shards_written),
+        static_cast<unsigned long long>(spill.shards_reused)));
+    const bool complete =
+        spill.shards_written + spill.shards_reused == spill.shard_count;
+    if (!complete) {
+      run.notes.push_back(note_printf(
+          "spill incomplete; continue with --resume %s", spill.dir.c_str()));
+      // A curtailed spill keeps the curtailment's typed code (the caller
+      // maps it), but an incomplete spill with a hard error — a shard
+      // write that exhausted its retries — is a missing-output failure:
+      // typed even in record-only mode, because the shard IS the data.
+      const Status err = result.report.first_error();
+      if (!err.ok() && result.report.curtailed_by() == StatusCode::kOk)
+        run.emit_error = err;
+      return;
+    }
+    if (!options.out_path.empty()) {
+      std::uint64_t merged = 0;
+      const Status status = concat_shards_to_text_file(
+          spill.dir, spill.shard_count, options.out_path, &merged);
+      if (!status.ok()) {
+        run.emit_error = status;
+        return;
+      }
+      run.edges_written = merged;
+      run.notes.push_back(note_printf("merged %llu edges -> %s",
+                                      static_cast<unsigned long long>(merged),
+                                      options.out_path.c_str()));
+    }
+  } else if (!options.out_path.empty()) {
+    const Status status =
+        write_edge_list_file_atomic(options.out_path, result.edges);
+    if (!status.ok()) {
+      run.emit_error = status;
+      return;
+    }
+    run.edges_written = result.edges.size();
+    run.wrote_output = true;
+  }
+  if (!options.communities_path.empty() && !out.community.empty()) {
+    std::string body;
+    for (std::size_t v = 0; v < out.community.size(); ++v)
+      body += std::to_string(v) + ' ' + std::to_string(out.community[v]) +
+              '\n';
+    const Status status =
+        write_text_file_atomic(options.communities_path, body);
+    if (!status.ok()) run.emit_error = status;
+  }
+}
+
+}  // namespace
+
+Result<ModelRun> run_model(const ModelSpec& spec, const PipelineContext& ctx,
+                           const ModelRunOptions& options) {
+  const GeneratorBackend* backend = find_backend(spec.backend);
+  if (backend == nullptr)
+    return invalid("unknown backend '" + spec.backend + "' (known: " +
+                   known_backend_names() + ")");
+  if (const Status status = validate_spec(spec, *backend, ctx); !status.ok())
+    return status;
+
+  Result<GenerateOutput> generated = backend->generate(spec, ctx);
+  if (!generated.ok()) return generated.status();
+
+  ModelRun run;
+  run.output = std::move(generated).value();
+  run.notes = std::move(run.output.notes);
+  run.output.notes.clear();
+
+  // The census needs the edges in memory; spilled runs already carried
+  // their census through the shard pipeline's guardrails.
+  if (!run.output.space_verified && !run.output.result.spill.spilled)
+    verify_space(run.output);
+
+  const BackendCapabilities caps = backend->capabilities();
+  run.model.backend = std::string(backend->name());
+  run.model.space = space_name(run.output.space);
+  run.model.self_loops = run.output.space.self_loops;
+  run.model.multi_edges = run.output.space.multi_edges;
+  run.model.labeling = labeling_name(run.output.space.labeling);
+  run.model.capabilities = caps.names();
+  run.model.space_verified = run.output.space_verified;
+
+  emit_artifacts(options, run);
+  return run;
+}
+
+}  // namespace nullgraph::model

@@ -1,0 +1,57 @@
+#pragma once
+// run_model: the one pipeline tail every backend shares. What the five
+// generator commands used to copy by hand — request validation, the
+// sampling-space census, graph/community write-out (in-core atomic write
+// or spill-shard merge), and the report's `model` block — happens here,
+// once, for whichever backend the spec names.
+//
+// Front ends translate their surface (argv, job JSON) into a ModelSpec,
+// call run_model, print run.notes, and map run.emit_error / the report's
+// curtailment to an exit code. Nothing else.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/backend.hpp"
+#include "obs/report.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph::model {
+
+struct ModelRunOptions {
+  /// Edge-list output path; empty = leave edges in memory (the caller
+  /// prints stats or streams them itself). Spilled runs merge their
+  /// shards here with bounded memory.
+  std::string out_path;
+  /// Community-partition output ("vertex community" lines); written when
+  /// non-empty and the backend produced a partition.
+  std::string communities_path;
+};
+
+struct ModelRun {
+  GenerateOutput output;
+  /// The report's `model` block, filled for every run (hand to
+  /// RunReportInputs::model).
+  obs::ModelBlock model;
+  /// Human-facing stderr lines in print order: backend notes first, then
+  /// write-out notes (spill summary, merge confirmation, resume hint).
+  std::vector<std::string> notes;
+  /// Hard artifact failure (output write, shard merge, or a spill that
+  /// exhausted its write retries): typed even under record-only guardrail
+  /// policy, because the artifact IS the product.
+  Status emit_error = Status::Ok();
+  std::uint64_t edges_written = 0;
+  /// True when --out / the spill directory consumed the edges (callers
+  /// then skip their in-memory stats printout).
+  bool wrote_output = false;
+};
+
+/// Validates `spec` against the backend's declared capabilities, runs it,
+/// verifies the sampling space, emits artifacts. kInvalidArgument for
+/// unknown backend / undeclared parameter / unsupported space / swaps or
+/// spill on a backend without them; backend errors pass through typed.
+Result<ModelRun> run_model(const ModelSpec& spec, const PipelineContext& ctx,
+                           const ModelRunOptions& options = {});
+
+}  // namespace nullgraph::model

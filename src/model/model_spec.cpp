@@ -1,0 +1,53 @@
+#include "model/model_spec.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace nullgraph::model {
+
+namespace {
+
+Status bad_param(const std::string& key, const std::string& value,
+                 const char* kind) {
+  return Status(StatusCode::kInvalidArgument,
+                "invalid " + std::string(kind) + " for parameter '" + key +
+                    "': '" + value + "'");
+}
+
+}  // namespace
+
+std::optional<std::string> ModelSpec::param(const std::string& key) const {
+  for (const auto& [k, v] : params)
+    if (k == key) return v;
+  return std::nullopt;
+}
+
+Result<std::uint64_t> ModelSpec::param_u64(const std::string& key,
+                                           std::uint64_t fallback) const {
+  const auto value = param(key);
+  if (!value) return fallback;
+  if (value->empty() ||
+      value->find_first_not_of("0123456789") != std::string::npos)
+    return bad_param(key, *value, "integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  if (errno == ERANGE || end != value->c_str() + value->size())
+    return bad_param(key, *value, "integer");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+Result<double> ModelSpec::param_double(const std::string& key,
+                                       double fallback) const {
+  const auto value = param(key);
+  if (!value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (value->empty() || end != value->c_str() + value->size() ||
+      errno == ERANGE)
+    return bad_param(key, *value, "number");
+  return parsed;
+}
+
+}  // namespace nullgraph::model

@@ -1,0 +1,45 @@
+#pragma once
+// ModelSpec: one parsed generation request — which backend, which seed,
+// which sampling space, and the backend-specific parameters as declared
+// key/value strings. Every front end (cmd_generate, cmd_lfr, the serve
+// job path) lowers its surface syntax into this one struct and hands it
+// to model::run_model; nothing below the driver ever sees argv or JSON.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/sampling_space.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph::model {
+
+struct ModelSpec {
+  std::string backend = "null-model";
+  std::uint64_t seed = 1;
+  /// Unset = the backend's default_swap_iterations(). Setting it on a
+  /// backend without swap support is a driver-level kInvalidArgument.
+  std::optional<std::size_t> swap_iterations;
+  /// Unset = the backend's default_space(). Must be one of the backend's
+  /// supported_spaces() when set.
+  std::optional<SamplingSpace> space;
+  /// Backend parameters in request order; keys are the BackendParam keys
+  /// the backend declares, values are verbatim request strings. Undeclared
+  /// keys are a driver-level kInvalidArgument, never silently ignored.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value for `key`, if present.
+  std::optional<std::string> param(const std::string& key) const;
+  bool has_param(const std::string& key) const {
+    return param(key).has_value();
+  }
+  /// Strict parses (whole token must be consumed): kInvalidArgument names
+  /// the offending key, the fallback applies only when the key is absent.
+  Result<std::uint64_t> param_u64(const std::string& key,
+                                  std::uint64_t fallback) const;
+  Result<double> param_double(const std::string& key, double fallback) const;
+};
+
+}  // namespace nullgraph::model

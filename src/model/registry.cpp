@@ -1,0 +1,152 @@
+#include "model/registry.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace nullgraph::model {
+
+std::vector<std::string> BackendCapabilities::names() const {
+  std::vector<std::string> out;
+  if (swaps) out.push_back("swaps");
+  if (spill) out.push_back("spill");
+  if (checkpoint) out.push_back("checkpoint");
+  if (directed) out.push_back("directed");
+  if (bipartite) out.push_back("bipartite");
+  if (communities) out.push_back("communities");
+  if (degree_input) out.push_back("degree-input");
+  return out;
+}
+
+namespace detail {
+/// Defined in backends.cpp. The hard symbol reference from here is what
+/// keeps the built-in backends linked in: self-registering static
+/// initializers in a member of a static library would be dropped by the
+/// linker, so registration is an explicit call instead.
+void register_builtin_backends();
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  Mutex mutex;
+  std::vector<std::unique_ptr<GeneratorBackend>> backends
+      NG_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] { detail::register_builtin_backends(); });
+}
+
+}  // namespace
+
+void register_backend(std::unique_ptr<GeneratorBackend> backend) {
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  for (auto& existing : r.backends) {
+    if (existing->name() == backend->name()) {
+      existing = std::move(backend);
+      return;
+    }
+  }
+  r.backends.push_back(std::move(backend));
+}
+
+const GeneratorBackend* find_backend(std::string_view name) {
+  ensure_builtins();
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  for (const auto& backend : r.backends)
+    if (backend->name() == name) return backend.get();
+  return nullptr;
+}
+
+std::vector<const GeneratorBackend*> all_backends() {
+  ensure_builtins();
+  Registry& r = registry();
+  MutexLock lock(r.mutex);
+  std::vector<const GeneratorBackend*> out;
+  out.reserve(r.backends.size());
+  for (const auto& backend : r.backends) out.push_back(backend.get());
+  return out;
+}
+
+std::string known_backend_names() {
+  std::string joined;
+  for (const GeneratorBackend* backend : all_backends()) {
+    if (!joined.empty()) joined += ", ";
+    joined += backend->name();
+  }
+  return joined;
+}
+
+std::string registry_usage_text() {
+  std::string out =
+      "backends (generate --backend NAME; `nullgraph backends` for "
+      "parameters):\n";
+  for (const GeneratorBackend* backend : all_backends()) {
+    std::string line = "  ";
+    line += backend->name();
+    while (line.size() < 14) line += ' ';
+    line += backend->summary();
+    line += '\n';
+    out += line;
+  }
+  return out;
+}
+
+std::string describe_backends() {
+  std::string out;
+  for (const GeneratorBackend* backend : all_backends()) {
+    const BackendCapabilities caps = backend->capabilities();
+    out += backend->name();
+    out += " — ";
+    out += backend->summary();
+    out += '\n';
+    out += "  capabilities:  ";
+    std::string joined;
+    for (const std::string& cap : caps.names()) {
+      if (!joined.empty()) joined += ' ';
+      joined += cap;
+    }
+    out += joined.empty() ? "(none)" : joined;
+    out += '\n';
+    out += "  default space: " + space_description(backend->default_space());
+    out += '\n';
+    const auto spaces = backend->supported_spaces();
+    if (spaces.size() > 1) {
+      out += "  spaces:        ";
+      joined.clear();
+      for (const SamplingSpace& space : spaces) {
+        if (!joined.empty()) joined += ", ";
+        joined += space_description(space);
+      }
+      out += joined + '\n';
+    }
+    if (caps.swaps) {
+      out += "  default swaps: " +
+             std::to_string(backend->default_swap_iterations()) + '\n';
+    }
+    const auto params = backend->params();
+    if (!params.empty()) {
+      out += "  params:\n";
+      for (const BackendParam& param : params) {
+        std::string line = "    --" + param.key;
+        if (!param.value_hint.empty()) line += ' ' + param.value_hint;
+        while (line.size() < 22) line += ' ';
+        out += line + param.help + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nullgraph::model

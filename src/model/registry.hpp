@@ -1,0 +1,41 @@
+#pragma once
+// The backend registry: name -> GeneratorBackend, process-wide.
+//
+// Built-in backends self-register lazily on first lookup (an explicit
+// call into backends.cpp, NOT static initializers — those get dead-
+// stripped out of static libraries). Tests may register additional
+// backends; registering an existing name replaces it.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/backend.hpp"
+
+namespace nullgraph::model {
+
+/// Registers (or replaces, by name) a backend. Thread-safe. Replacement
+/// invalidates pointers previously returned for that name — a tests-only
+/// concern; production code registers once at startup.
+void register_backend(std::unique_ptr<GeneratorBackend> backend);
+
+/// Looks up a backend; nullptr when unknown. The pointer stays valid for
+/// the process lifetime (unless a test replaces that name).
+const GeneratorBackend* find_backend(std::string_view name);
+
+/// Every registered backend, in registration order (built-ins first).
+std::vector<const GeneratorBackend*> all_backends();
+
+/// Registered names joined with ", " — for error messages.
+std::string known_backend_names();
+
+/// The CLI usage section generated from the registry, so help text cannot
+/// drift from what is actually registered.
+std::string registry_usage_text();
+
+/// The `nullgraph backends` body: per backend, its summary, capabilities,
+/// sampling spaces, and declared parameters.
+std::string describe_backends();
+
+}  // namespace nullgraph::model

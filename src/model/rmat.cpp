@@ -1,0 +1,109 @@
+#include "model/rmat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "exec/exec.hpp"
+
+namespace nullgraph::model {
+
+QuadrantAliasTable::QuadrantAliasTable(double a, double b, double c,
+                                       std::uint32_t depth)
+    : depth_(depth) {
+  if (depth == 0 || depth > 15)
+    throw std::invalid_argument("QuadrantAliasTable: depth must be in 1..15");
+  const double d = 1.0 - a - b - c;
+  const double quadrant[4] = {a, b, c, d};
+  const std::size_t size = std::size_t{1} << (2 * depth);
+  std::vector<double> prob(size);
+  bits_.resize(size);
+  for (std::size_t path = 0; path < size; ++path) {
+    double p = 1.0;
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    // Most-significant base-4 digit = coarsest recursion level; quadrant
+    // code q contributes its high bit to u, low bit to v.
+    for (std::uint32_t level = 0; level < depth; ++level) {
+      const std::uint32_t shift = 2 * (depth - 1 - level);
+      const std::uint32_t q = (path >> shift) & 3u;
+      p *= quadrant[q];
+      u = (u << 1) | (q >> 1);
+      v = (v << 1) | (q & 1u);
+    }
+    prob[path] = p;
+    bits_[path] = {u, v};
+  }
+
+  // Vose's alias construction: scale to mean 1, split into small/large,
+  // pair each deficit slot with a surplus donor.
+  threshold_.assign(size, 1.0);
+  alias_.assign(size, 0);
+  std::vector<std::uint32_t> small, large;
+  std::vector<double> scaled(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    scaled[i] = prob[i] * static_cast<double>(size);
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    threshold_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Float residue: leftovers are within rounding of 1.0 — accept directly.
+  for (const std::uint32_t i : large) threshold_[i] = 1.0;
+  for (const std::uint32_t i : small) threshold_[i] = 1.0;
+}
+
+EdgeList rmat_edges(const RmatParams& params,
+                    const exec::ParallelContext& ctx) {
+  const std::uint32_t scale = params.scale;
+  const std::uint64_t m = params.edges_per_vertex << scale;
+  // Table depth caps at 8 (4^8 = 65536 paths, ~1.5 MiB of table) or the
+  // full scale when smaller; the remainder levels get a second, shallower
+  // table instead of per-level draws.
+  const std::uint32_t full_depth = std::min<std::uint32_t>(scale, 8);
+  const QuadrantAliasTable full(params.a, params.b, params.c, full_depth);
+  const std::uint32_t full_draws = scale / full_depth;
+  const std::uint32_t rem_depth = scale % full_depth;
+  const QuadrantAliasTable* tail = nullptr;
+  QuadrantAliasTable tail_storage =
+      rem_depth > 0 ? QuadrantAliasTable(params.a, params.b, params.c,
+                                         rem_depth)
+                    : QuadrantAliasTable(params.a, params.b, params.c, 1);
+  if (rem_depth > 0) tail = &tail_storage;
+
+  return exec::collect<Edge>(
+      ctx, static_cast<std::size_t>(m), std::size_t{1} << 16,
+      [&](const exec::Chunk& chunk, std::vector<Edge>& out) {
+        Xoshiro256ss rng = chunk.rng();
+        out.reserve(chunk.size());
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          std::uint64_t u = 0;
+          std::uint64_t v = 0;
+          for (std::uint32_t draw = 0; draw < full_draws; ++draw) {
+            const auto bits = full.sample(rng);
+            u = (u << full_depth) | bits.u;
+            v = (v << full_depth) | bits.v;
+          }
+          if (tail != nullptr) {
+            const auto bits = tail->sample(rng);
+            u = (u << rem_depth) | bits.u;
+            v = (v << rem_depth) | bits.v;
+          }
+          Edge edge{static_cast<VertexId>(std::min(u, v)),
+                    static_cast<VertexId>(std::max(u, v))};
+          out.push_back(edge);
+        }
+      });
+}
+
+}  // namespace nullgraph::model

@@ -1,0 +1,68 @@
+#pragma once
+// R-MAT edge sampling, linear-work formulation (Hübschle-Schneider &
+// Sanders, arXiv:1905.03525).
+//
+// Classic R-MAT descends `scale` levels per edge, drawing one quadrant
+// (a/b/c/d) per level — O(scale) branchy work per edge. The linear-work
+// trick: enumerate every length-k quadrant PATH once (4^k of them, each a
+// (u-bits, v-bits) pair with a known probability), put the path
+// distribution behind a Walker alias table, and compose each edge from
+// floor(scale/k) table draws plus one shallower draw for the remainder
+// bits — O(1) expected work per level-batch, one multiply-shift and one
+// compare per draw.
+//
+// Determinism: edges are drawn through exec::collect with chunk-seeded
+// streams, so output is bit-identical at any thread count, and a governed
+// stop truncates at chunk granularity (fewer edges, never padding).
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/edge_list.hpp"
+#include "exec/parallel_context.hpp"
+#include "util/rng.hpp"
+
+namespace nullgraph::model {
+
+struct RmatParams {
+  std::uint32_t scale = 16;            // n = 2^scale vertices
+  std::uint64_t edges_per_vertex = 8;  // m = edges_per_vertex * n
+  /// Quadrant probabilities; d = 1 - a - b - c is implied.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+/// Walker alias table over all 4^depth quadrant paths; one sample() draws
+/// `depth` R-MAT levels at once. Exposed for tests.
+class QuadrantAliasTable {
+ public:
+  struct PathBits {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+  };
+
+  QuadrantAliasTable(double a, double b, double c, std::uint32_t depth);
+
+  std::uint32_t depth() const noexcept { return depth_; }
+  std::size_t size() const noexcept { return bits_.size(); }
+
+  PathBits sample(Xoshiro256ss& rng) const noexcept {
+    const std::size_t k = rng.bounded(bits_.size());
+    return rng.uniform() < threshold_[k] ? bits_[k] : bits_[alias_[k]];
+  }
+
+ private:
+  std::uint32_t depth_;
+  std::vector<double> threshold_;   // Vose acceptance probability per slot
+  std::vector<std::uint32_t> alias_;
+  std::vector<PathBits> bits_;      // unpacked (u, v) bits per path
+};
+
+/// Draws m = edges_per_vertex << scale R-MAT edges. Endpoints are emitted
+/// in canonical (min, max) order — the undirected convention of the rest
+/// of the pipeline — making the output a vertex-labeled loopy multigraph.
+EdgeList rmat_edges(const RmatParams& params, const exec::ParallelContext& ctx);
+
+}  // namespace nullgraph::model

@@ -1,0 +1,47 @@
+#include "model/sampling_space.hpp"
+
+namespace nullgraph::model {
+
+const char* labeling_name(Labeling labeling) noexcept {
+  return labeling == Labeling::kStub ? "stub" : "vertex";
+}
+
+const char* space_name(const SamplingSpace& space) noexcept {
+  if (space.self_loops && space.multi_edges) return "loopy-multi";
+  if (space.self_loops) return "loopy";
+  if (space.multi_edges) return "multi";
+  return "simple";
+}
+
+std::string space_description(const SamplingSpace& space) {
+  return std::string(space_name(space)) + " (" +
+         labeling_name(space.labeling) + "-labeled)";
+}
+
+Result<SamplingSpace> parse_space(const std::string& name) {
+  SamplingSpace space;
+  if (name == "simple") {
+    // defaults
+  } else if (name == "loopy") {
+    space.self_loops = true;
+  } else if (name == "multi") {
+    space.multi_edges = true;
+  } else if (name == "loopy-multi") {
+    space.self_loops = true;
+    space.multi_edges = true;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown sampling space '" + name +
+                      "' (simple|loopy|multi|loopy-multi)");
+  }
+  return space;
+}
+
+Result<Labeling> parse_labeling(const std::string& name) {
+  if (name == "stub") return Labeling::kStub;
+  if (name == "vertex") return Labeling::kVertex;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown labeling '" + name + "' (stub|vertex)");
+}
+
+}  // namespace nullgraph::model

@@ -1,0 +1,48 @@
+#pragma once
+// SamplingSpace: WHICH graph space a generator samples from, made explicit.
+//
+// Dutta, Fosdick & Clauset (arXiv:2105.12120) show that "a random graph
+// with this degree sequence" is underdetermined: whether self-loops and
+// multi-edges are allowed, and whether graphs are weighted by their
+// stub-labelings or counted once per vertex-labeled graph, are four
+// independent modeling choices — and conclusions drawn in one space do not
+// transfer to another. Every backend therefore declares its space up
+// front, the report's `model` block records it, and the driver censuses
+// the output against it instead of leaving the choice implicit.
+
+#include <string>
+
+#include "robustness/status.hpp"
+
+namespace nullgraph::model {
+
+/// Stub-labeled spaces weight each graph by the number of stub matchings
+/// realizing it (the natural output of configuration-model constructions);
+/// vertex-labeled spaces count each graph once.
+enum class Labeling { kStub, kVertex };
+
+struct SamplingSpace {
+  bool self_loops = false;
+  bool multi_edges = false;
+  Labeling labeling = Labeling::kVertex;
+
+  friend bool operator==(const SamplingSpace&,
+                         const SamplingSpace&) noexcept = default;
+};
+
+/// "stub" | "vertex".
+const char* labeling_name(Labeling labeling) noexcept;
+
+/// The loops/multis dimension as the CLI spells it:
+/// "simple" | "loopy" | "multi" | "loopy-multi".
+const char* space_name(const SamplingSpace& space) noexcept;
+
+/// Both dimensions, e.g. "simple (vertex-labeled)" — for human surfaces.
+std::string space_description(const SamplingSpace& space);
+
+/// Parses a space_name into the loops/multis flags (labeling untouched by
+/// the caller); kInvalidArgument on anything else.
+Result<SamplingSpace> parse_space(const std::string& name);
+Result<Labeling> parse_labeling(const std::string& name);
+
+}  // namespace nullgraph::model

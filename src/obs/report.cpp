@@ -237,7 +237,11 @@ std::string render_run_report(const RunReportInputs& inputs) {
 
   if (inputs.lfr != nullptr) {
     json.key("lfr").begin_object();
-    json.kv("edges", inputs.lfr->edges.size());
+    // Registry-driven runs move the LFR edges into the shared
+    // GenerateResult; fall back to it when the LfrGraph was drained.
+    json.kv("edges", inputs.lfr->edges.empty() && inputs.result != nullptr
+                         ? inputs.result->edges.size()
+                         : inputs.lfr->edges.size());
     json.kv("num_communities", inputs.lfr->num_communities);
     json.kv("communities_completed", inputs.lfr->communities_completed);
     json.kv("achieved_mu", inputs.lfr->achieved_mu);
@@ -278,6 +282,23 @@ std::string render_run_report(const RunReportInputs& inputs) {
     json.kv("max_shard_edges", spill.max_shard_edges);
   }
   json.end_object();
+
+  if (inputs.model != nullptr) {
+    json.key("model").begin_object();
+    json.kv("backend", inputs.model->backend);
+    json.key("sampling_space").begin_object();
+    json.kv("name", inputs.model->space);
+    json.kv("self_loops", inputs.model->self_loops);
+    json.kv("multi_edges", inputs.model->multi_edges);
+    json.kv("labeling", inputs.model->labeling);
+    json.end_object();
+    json.key("capabilities").begin_array();
+    for (const std::string& cap : inputs.model->capabilities)
+      json.value(cap);
+    json.end_array();
+    json.kv("space_verified", inputs.model->space_verified);
+    json.end_object();
+  }
 
   json.end_object();
   return std::move(json).str();

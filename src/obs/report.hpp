@@ -4,7 +4,7 @@
 //
 //   report_version, tool, command, config, phase_seconds, exec_phases,
 //   checks, curtailments, recovery, faults_injected, swap_chain?, lfr?,
-//   metrics, degradations, spill
+//   metrics, degradations, spill, model?
 //
 // The schema is append-only: new keys may be added, existing keys keep
 // their meaning, and report_version bumps on any breaking change so
@@ -35,6 +35,22 @@ inline constexpr int kReportVersion = 1;
 /// stall watchdog's default window so the two diagnostics line up).
 inline constexpr std::size_t kAcceptanceWindow = 8;
 
+/// The report's `model` block: which registered backend produced the run
+/// and the sampling space it declared (model/driver.cpp fills one per
+/// registry-driven run). Plain strings so obs stays below src/model/ in
+/// the layer DAG.
+struct ModelBlock {
+  std::string backend;
+  std::string space;      // "simple" | "loopy" | "multi" | "loopy-multi"
+  bool self_loops = false;
+  bool multi_edges = false;
+  std::string labeling;   // "stub" | "vertex"
+  std::vector<std::string> capabilities;
+  /// True when the space is structurally guaranteed by the pipeline; false
+  /// means the driver censused the output (verdict in `checks`).
+  bool space_verified = false;
+};
+
 struct RunReportInputs {
   std::string command;             // "generate", "shuffle", "resume", "lfr"
   std::vector<std::string> argv;   // config fingerprint: the full CLI line
@@ -46,6 +62,8 @@ struct RunReportInputs {
   const nullgraph::GenerateResult* result = nullptr;
   const nullgraph::LfrGraph* lfr = nullptr;
   const MetricsRegistry* metrics = nullptr;
+  /// Registry-driven runs only; null keeps the `model` key out entirely.
+  const ModelBlock* model = nullptr;
 };
 
 /// The report as a compact JSON string.

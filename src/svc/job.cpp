@@ -1,5 +1,7 @@
 #include "svc/job.hpp"
 
+#include "model/registry.hpp"
+#include "model/sampling_space.hpp"
 #include "obs/json_writer.hpp"
 
 namespace nullgraph::svc {
@@ -34,8 +36,33 @@ Result<JobSpec> parse_job_spec(const JsonObject& request) {
   spec.inject_slow_ms = get_u64(request, "inject_slow_ms", 0);
 
   if (spec.op == JobSpec::Op::kGenerate) {
+    spec.backend = get_string(request, "backend");
+    if (!spec.backend.empty() &&
+        model::find_backend(spec.backend) == nullptr)
+      return bad_field("backend",
+                       ("names no registered backend (known: " +
+                        model::known_backend_names() + ")")
+                           .c_str());
+    spec.space = get_string(request, "space");
+    if (!spec.space.empty() && !model::parse_space(spec.space).ok())
+      return bad_field("space", "must be simple|loopy|multi|loopy-multi");
+    spec.labeling = get_string(request, "labeling");
+    if (!spec.labeling.empty() && !model::parse_labeling(spec.labeling).ok())
+      return bad_field("labeling", "must be stub|vertex");
+    if (const JsonValue* params = find(request, "params")) {
+      if (!params->is_object())
+        return bad_field("params", "must be an object of string values");
+      for (const auto& [key, value] : params->as_object()) {
+        if (value.kind() != JsonValue::Kind::kString)
+          return bad_field("params", "must be an object of string values");
+        spec.params.emplace_back(key, value.as_string());
+      }
+    }
     spec.dist_path = get_string(request, "dist");
-    if (spec.dist_path.empty()) {
+    // Per-backend parameter validation belongs to the registry driver; the
+    // legacy power-law fields keep their hostile checks here because the
+    // legacy protocol has no declared-parameter list to defer to.
+    if (spec.backend.empty() && spec.dist_path.empty()) {
       spec.powerlaw.n = get_u64(request, "n", spec.powerlaw.n);
       if (spec.powerlaw.n == 0) return bad_field("n", "must be positive");
       spec.powerlaw.gamma = get_double(request, "gamma", spec.powerlaw.gamma);
@@ -62,9 +89,17 @@ std::string serialize_job_spec(const JobSpec& spec) {
   w.begin_object();
   w.kv("op", spec.op_name());
   if (spec.op == JobSpec::Op::kGenerate) {
+    if (!spec.backend.empty()) w.kv("backend", spec.backend);
+    if (!spec.space.empty()) w.kv("space", spec.space);
+    if (!spec.labeling.empty()) w.kv("labeling", spec.labeling);
+    if (!spec.params.empty()) {
+      w.key("params").begin_object();
+      for (const auto& [key, value] : spec.params) w.kv(key, value);
+      w.end_object();
+    }
     if (!spec.dist_path.empty()) {
       w.kv("dist", spec.dist_path);
-    } else {
+    } else if (spec.backend.empty()) {
       w.kv("n", spec.powerlaw.n);
       w.kv("gamma", spec.powerlaw.gamma);
       w.kv("dmin", spec.powerlaw.dmin);

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ds/edge_list.hpp"
 #include "gen/powerlaw.hpp"
@@ -23,8 +25,21 @@ struct JobSpec {
   enum class Op { kGenerate, kShuffle };
   Op op = Op::kGenerate;
 
-  /// Generate: synthetic power-law input (default), or a server-side
-  /// degree-distribution file when `dist_path` is set.
+  /// Generate: which registered model backend runs the job. Empty = the
+  /// legacy protocol, mapped to "null-model" with the power-law fields
+  /// below; set = a registry name (validated at parse time) whose inputs
+  /// travel in `params`.
+  std::string backend;
+  /// Backend parameters, verbatim key/value strings (the keys each backend
+  /// declares; `nullgraph backends` lists them).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Sampling-space request: "" keeps the backend default. Validated
+  /// spellings: simple|loopy|multi|loopy-multi and stub|vertex.
+  std::string space;
+  std::string labeling;
+
+  /// Generate (legacy protocol): synthetic power-law input (default), or a
+  /// server-side degree-distribution file when `dist_path` is set.
   PowerlawParams powerlaw;
   std::string dist_path;
 

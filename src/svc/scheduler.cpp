@@ -11,6 +11,8 @@
 #include "io/checkpoint.hpp"
 #include "io/graph_io.hpp"
 #include "io/shard_merge.hpp"
+#include "model/driver.hpp"
+#include "model/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "svc/wire.hpp"
@@ -44,6 +46,10 @@ struct JobExecution {
   StatusCode curtailed = StatusCode::kOk;
   std::string report_path;
   obs::MetricsRegistry metrics;
+  /// The report's `model` block (generate jobs run through the registry
+  /// driver; shuffle jobs have no model).
+  obs::ModelBlock model;
+  bool has_model = false;
 };
 
 Scheduler::Scheduler(SchedulerConfig config)
@@ -179,6 +185,7 @@ void Scheduler::run_job(Job job) {
     inputs.swap_iterations_requested = job.spec.swaps;
     inputs.result = &ex.result;
     inputs.metrics = &ex.metrics;
+    if (ex.has_model) inputs.model = &ex.model;
     const std::string path =
         config_.report_dir + "/job-" + std::to_string(job.id) + ".json";
     if (obs::write_run_report(path, inputs).ok()) {
@@ -234,6 +241,19 @@ Status Scheduler::execute(const Job& job, int granted_threads,
   (void)granted_threads;  // reason: installed thread-locally by the lease;
                           // kept in the signature for report plumbing.
   const JobSpec& spec = job.spec;
+  // Generate jobs dispatch through the model-backend registry; the
+  // capability descriptor gates which substrate features get armed. The
+  // backend name was validated at parse time, so a null lookup here means
+  // a legacy spec ("" -> null-model) or a test replaced the registry.
+  const model::GeneratorBackend* backend =
+      spec.op == JobSpec::Op::kGenerate
+          ? model::find_backend(spec.backend.empty() ? "null-model"
+                                                     : spec.backend)
+          : nullptr;
+  const model::BackendCapabilities caps =
+      backend != nullptr ? backend->capabilities()
+                         : model::BackendCapabilities{};
+
   GenerateConfig cfg;
   cfg.seed = spec.seed;
   cfg.swap_iterations = spec.swaps;
@@ -245,8 +265,8 @@ Status Scheduler::execute(const Job& job, int granted_threads,
     cfg.governance.budget.max_memory_bytes =
         config_.memory_ceiling_bytes / static_cast<std::size_t>(config_.slots);
   cfg.governance.cancel = job.cancel;
-  if (spec.op == JobSpec::Op::kGenerate && !spec.out_path.empty() &&
-      !config_.spool_dir.empty()) {
+  if (spec.op == JobSpec::Op::kGenerate && caps.spill &&
+      !spec.out_path.empty() && !config_.spool_dir.empty()) {
     // Out-of-core degradation for daemon jobs: a generate whose projected
     // footprint would cross its slot's memory share spills under the spool
     // (and the delivery path streams shards -> out_path) instead of
@@ -256,7 +276,10 @@ Status Scheduler::execute(const Job& job, int granted_threads,
     cfg.spill.dir =
         config_.spool_dir + "/job-" + std::to_string(job.id) + "-spill";
   }
-  if (spec.checkpoint_every > 0 && !config_.spool_dir.empty()) {
+  const bool checkpoint_ok =
+      spec.op == JobSpec::Op::kShuffle || caps.checkpoint;
+  if (spec.checkpoint_every > 0 && checkpoint_ok &&
+      !config_.spool_dir.empty()) {
     cfg.governance.checkpoint_every = spec.checkpoint_every;
     cfg.governance.checkpoint_path =
         config_.spool_dir + "/job-" + std::to_string(job.id) + ".ckpt";
@@ -278,17 +301,62 @@ Status Scheduler::execute(const Job& job, int granted_threads,
   // Fault isolation: NOTHING a job does may take down the slot. Typed
   // failures flow back as Status; stray exceptions become kInternal.
   try {
-    Result<GenerateResult> run = [&]() -> Result<GenerateResult> {
-      if (spec.op == JobSpec::Op::kGenerate) {
-        if (!spec.dist_path.empty()) {
-          Result<DegreeDistribution> dist =
-              try_read_degree_distribution_file(spec.dist_path);
-          if (!dist.ok()) return dist.status();
-          return generate_null_graph_checked(dist.value(), cfg);
+    if (spec.op == JobSpec::Op::kGenerate) {
+      model::ModelSpec mspec;
+      mspec.backend = spec.backend.empty() ? "null-model" : spec.backend;
+      mspec.seed = spec.seed;
+      if (caps.swaps) mspec.swap_iterations = spec.swaps;
+      if (!spec.space.empty() || !spec.labeling.empty()) {
+        model::SamplingSpace space = backend != nullptr
+                                         ? backend->default_space()
+                                         : model::SamplingSpace{};
+        if (!spec.space.empty()) {
+          const Result<model::SamplingSpace> parsed =
+              model::parse_space(spec.space);
+          if (!parsed.ok()) return parsed.status();
+          space.self_loops = parsed.value().self_loops;
+          space.multi_edges = parsed.value().multi_edges;
         }
-        return generate_null_graph_checked(powerlaw_distribution(spec.powerlaw),
-                                           cfg);
+        if (!spec.labeling.empty()) {
+          const Result<model::Labeling> parsed =
+              model::parse_labeling(spec.labeling);
+          if (!parsed.ok()) return parsed.status();
+          space.labeling = parsed.value();
+        }
+        mspec.space = space;
       }
+      if (!spec.backend.empty()) {
+        mspec.params = spec.params;
+        if (!spec.dist_path.empty() && !mspec.has_param("dist"))
+          mspec.params.emplace_back("dist", spec.dist_path);
+      } else if (!spec.dist_path.empty()) {
+        mspec.params.emplace_back("dist", spec.dist_path);
+      } else {
+        // Legacy power-law protocol -> declared null-model parameters.
+        char gamma[32];
+        std::snprintf(gamma, sizeof gamma, "%.17g", spec.powerlaw.gamma);
+        mspec.params = {{"powerlaw", ""},
+                        {"n", std::to_string(spec.powerlaw.n)},
+                        {"gamma", gamma},
+                        {"dmin", std::to_string(spec.powerlaw.dmin)},
+                        {"dmax", std::to_string(spec.powerlaw.dmax)}};
+      }
+      model::PipelineContext mctx;
+      mctx.guardrails = cfg.guardrails;
+      mctx.governance = cfg.governance;
+      mctx.spill = cfg.spill;
+      mctx.obs = cfg.obs;
+      // Delivery (shard concat / atomic write / edge frames) stays in
+      // run_job, so the driver gets no out_path.
+      Result<model::ModelRun> run = model::run_model(mspec, mctx);
+      if (!run.ok()) return run.status();
+      ex.result = std::move(run.value().output.result);
+      ex.model = std::move(run.value().model);
+      ex.has_model = true;
+      ex.curtailed = ex.result.report.curtailed_by();
+      return ex.result.report.first_error();
+    }
+    Result<GenerateResult> run = [&]() -> Result<GenerateResult> {
       if (!spec.in_path.empty()) {
         Result<EdgeList> edges = try_read_edge_list_file(spec.in_path);
         if (!edges.ok()) return edges.status();

@@ -1,11 +1,22 @@
 // nullgraph — command-line front end for the library.
 //
-//   nullgraph generate --dist FILE [--seed S] [--swaps K] [--out FILE]
-//   nullgraph generate --powerlaw N GAMMA DMIN DMAX [...]
+//   nullgraph generate [--backend NAME] [--seed S] [--swaps K] [--out FILE]
+//                      [--space simple|loopy|multi|loopy-multi]
+//                      [--labeling stub|vertex] [backend params...]
+//   nullgraph backends [--names]       (registered models + their params)
 //   nullgraph shuffle  --in FILE [--seed S] [--swaps K] [--out FILE]
 //   nullgraph stats    --in FILE
 //   nullgraph lfr      --n N --mu MU [--seed S] [--out FILE]
 //   nullgraph dist     --in FILE [--out FILE]     (edge list -> distribution)
+//
+// generate and lfr both dispatch through the model-backend registry
+// (src/model/): --backend picks the generator (null-model, chung-lu,
+// directed, bipartite, lfr, rmat, ...), per-backend parameters are the
+// flags each backend declares (`nullgraph backends` lists them), and
+// --space/--labeling select the sampling space per Dutta-Fosdick-Clauset.
+// The registry driver owns the shared pipeline tail: capability
+// validation, the sampling-space census, write-out, the report's `model`
+// block.
 //
 // Pipeline guardrails (generate / shuffle):
 //   --strict          abort on the first invariant violation, exit with the
@@ -109,6 +120,8 @@
 #include "io/shard_merge.hpp"
 #include "io/spill.hpp"
 #include "lfr/lfr.hpp"
+#include "model/driver.hpp"
+#include "model/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process_stats.hpp"
 #include "obs/report.hpp"
@@ -164,8 +177,12 @@ void install_signal_handlers() {
 void usage() {
   std::fprintf(stderr,
                "usage: nullgraph <command> [options]\n"
-               "  generate --dist FILE | --powerlaw [--n N --gamma G --dmin "
-               "D --dmax D]  [--seed S --swaps K --out FILE]\n"
+               "  generate [--backend NAME] [backend params] [--seed S "
+               "--swaps K --out FILE]\n"
+               "           [--space simple|loopy|multi|loopy-multi "
+               "--labeling stub|vertex]\n"
+               "  backends [--names]     (registered backends, capabilities, "
+               "parameters)\n"
                "  shuffle  --in FILE [--seed S --swaps K --out FILE]\n"
                "  stats    --in FILE\n"
                "  lfr      [--n N --mu MU --dmin D --dmax D --cmin C --cmax "
@@ -193,13 +210,17 @@ void usage() {
                "          --inject-accept-fail N --inject-slow-client-ms N"
                " --inject-ckpt-fail N]\n"
                "  submit --socket PATH [--ping | --stats | --shutdown |\n"
-               "          job: (--powerlaw ... | --dist FILE | --in FILE |"
+               "          job: (--backend NAME [--param K=V ...] [--space S"
+               " --labeling L] |\n"
+               "                --powerlaw ... | --dist FILE | --in FILE |"
                " --upload FILE)\n"
                "          --seed S --swaps K --deadline-ms N --threads N\n"
                "          --checkpoint-every N --out FILE --save FILE"
                " --timeout-ms N]\n"
                "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
                "(see README)\n");
+  // Generated from the registry so help cannot drift from what's linked in.
+  std::fputs(model::registry_usage_text().c_str(), stderr);
 }
 
 [[noreturn]] void die_usage(const std::string& key, const std::string& value,
@@ -359,7 +380,8 @@ struct Telemetry {
 
   int finish(const std::string& command, std::uint64_t seed,
              std::size_t swap_iterations, const GenerateResult* result,
-             const LfrGraph* lfr, int code) {
+             const LfrGraph* lfr, int code,
+             const obs::ModelBlock* model = nullptr) {
     // Final resident/peak-memory sample lands in the report next to the
     // spill counters — the kernel's own proof that a spilled run stayed
     // within its ceiling.
@@ -379,6 +401,7 @@ struct Telemetry {
       inputs.result = result;
       inputs.lfr = lfr;
       inputs.metrics = metrics.get();
+      inputs.model = model;
       const Status status = obs::write_run_report(report_path, inputs);
       if (!status.ok()) failed = status;
     }
@@ -551,44 +574,131 @@ int cmd_resume(const Args& args, Telemetry& telem) {
                       nullptr, code);
 }
 
+/// Stats printout for in-memory model output. Undirected graphs get the
+/// full analysis block; directed/bipartite edges are ordered pairs, so the
+/// undirected census and clustering would mislead — print the compact form.
+void print_model_stats(const model::GenerateOutput& out) {
+  if (out.directed) {
+    std::printf("vertices:      %zu\n", vertex_count(out.result.edges));
+    std::printf("arcs:          %zu\n", out.result.edges.size());
+    return;
+  }
+  if (out.bipartite) {
+    std::uint64_t right = 0;
+    for (const Edge& edge : out.result.edges)
+      right = std::max<std::uint64_t>(right, edge.v + 1);
+    std::printf("left vertices:  %llu\n",
+                static_cast<unsigned long long>(out.bipartite_left));
+    std::printf("right vertices: %llu\n",
+                static_cast<unsigned long long>(right));
+    std::printf("edges:          %zu\n", out.result.edges.size());
+    return;
+  }
+  print_graph_stats(out.result.edges);
+}
+
+/// Shared front end for every registry-driven command: lower argv into a
+/// ModelSpec, run the driver, print its notes, and map the outcome to the
+/// same exit-code contract emit_result implements for shuffle/resume.
+int run_model_command(const std::string& command, const Args& args,
+                      Telemetry& telem, const char* default_backend) {
+  model::ModelSpec spec;
+  spec.backend = args.get("backend").value_or(default_backend);
+  spec.seed = args.get_u64("seed", 1);
+  if (args.has("swaps")) spec.swap_iterations = args.get_u64("swaps", 10);
+  // An unknown backend falls through to run_model, whose error names the
+  // registered set.
+  const model::GeneratorBackend* backend = model::find_backend(spec.backend);
+  if (const auto name = args.get("space")) {
+    const Result<model::SamplingSpace> parsed = model::parse_space(*name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().to_string().c_str());
+      return status_exit_code(parsed.status().code());
+    }
+    model::SamplingSpace space = parsed.value();
+    // --space alone keeps the backend's natural labeling; --labeling
+    // overrides it below.
+    if (backend != nullptr) space.labeling = backend->default_space().labeling;
+    spec.space = space;
+  }
+  if (const auto name = args.get("labeling")) {
+    const Result<model::Labeling> parsed = model::parse_labeling(*name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().to_string().c_str());
+      return status_exit_code(parsed.status().code());
+    }
+    model::SamplingSpace space = spec.space.value_or(
+        backend != nullptr ? backend->default_space()
+                           : model::SamplingSpace{});
+    space.labeling = parsed.value();
+    spec.space = space;
+  }
+  if (backend != nullptr) {
+    for (const model::BackendParam& param : backend->params())
+      if (const auto value = args.get(param.key))
+        spec.params.emplace_back(param.key, *value);
+  }
+
+  model::PipelineContext ctx;
+  ctx.guardrails = guardrails_from(args);
+  ctx.governance = governance_from(args);
+  ctx.spill = spill_from(args);
+  ctx.obs = telem.context();
+
+  model::ModelRunOptions options;
+  if (const auto out = args.get("out")) options.out_path = *out;
+  if (const auto comm = args.get("communities"))
+    options.communities_path = *comm;
+
+  Result<model::ModelRun> ran = model::run_model(spec, ctx, options);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "error: %s\n", ran.status().to_string().c_str());
+    return status_exit_code(ran.status().code());
+  }
+  model::ModelRun& run = ran.value();
+  for (const std::string& note : run.notes)
+    std::fprintf(stderr, "%s\n", note.c_str());
+  if (!run.wrote_output) print_model_stats(run.output);
+
+  int code = 0;
+  if (!run.emit_error.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.emit_error.to_string().c_str());
+    code = status_exit_code(run.emit_error.code());
+  }
+  const PipelineReport& report = run.output.result.report;
+  if (code == 0) code = finish_with_report(report, ctx.guardrails.policy);
+  if (code == 0) {
+    const StatusCode curtailed = report.curtailed_by();
+    if (curtailed != StatusCode::kOk) {
+      std::fprintf(stderr, "run curtailed: %s (best-so-far graph written)\n",
+                   status_code_name(curtailed));
+      code = status_exit_code(curtailed);
+    }
+  }
+  const std::size_t swaps = spec.swap_iterations.value_or(
+      backend != nullptr ? backend->default_swap_iterations() : 0);
+  return telem.finish(command, spec.seed, swaps, &run.output.result,
+                      run.output.lfr ? &*run.output.lfr : nullptr, code,
+                      &run.model);
+}
+
 int cmd_generate(const Args& args, Telemetry& telem) {
   if (args.has("resume")) return cmd_resume(args, telem);
-  DegreeDistribution dist;
-  if (const auto file = args.get("dist")) {
-    dist = read_degree_distribution_file(*file);
-  } else if (args.get("powerlaw")) {
-    PowerlawParams params;
-    params.n = args.get_u64("n", 100000);
-    params.gamma = args.get_double("gamma", 2.5);
-    params.dmin = args.get_u64("dmin", 1);
-    params.dmax = args.get_u64("dmax", 1000);
-    dist = powerlaw_distribution(params);
-  } else {
-    std::fprintf(stderr, "generate: need --dist FILE or --powerlaw\n");
-    return 1;
+  return run_model_command("generate", args, telem, "null-model");
+}
+
+/// `nullgraph backends`: the registry, printed. --names is the machine
+/// form (one backend name per line) the smoke tier iterates over.
+int cmd_backends(const Args& args) {
+  if (args.has("names")) {
+    for (const model::GeneratorBackend* backend : model::all_backends())
+      std::printf("%s\n", std::string(backend->name()).c_str());
+    return 0;
   }
-  GenerateConfig config;
-  config.seed = args.get_u64("seed", 1);
-  config.swap_iterations = args.get_u64("swaps", 10);
-  config.guardrails = guardrails_from(args);
-  config.governance = governance_from(args);
-  config.spill = spill_from(args);
-  config.obs = telem.context();
-  const GenerateResult result = generate_null_graph(dist, config);
-  if (!result.spill.spilled) {
-    // A spilled run's edges live on disk; emit_result prints its summary.
-    const QualityErrors errors = quality_errors(dist, result.edges);
-    std::fprintf(stderr,
-                 "generated %zu edges (target %llu); err: edges %.2f%% dmax "
-                 "%.2f%%; %.3f s\n",
-                 result.edges.size(),
-                 static_cast<unsigned long long>(dist.num_edges()),
-                 100 * errors.edge_count, 100 * errors.max_degree,
-                 result.timing.total_seconds());
-  }
-  const int code = emit_result(args, result, config.guardrails.policy);
-  return telem.finish("generate", config.seed, config.swap_iterations,
-                      &result, nullptr, code);
+  std::fputs(model::describe_backends().c_str(), stdout);
+  return 0;
 }
 
 int cmd_shuffle(const Args& args, Telemetry& telem) {
@@ -625,49 +735,9 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_lfr(const Args& args, Telemetry& telem) {
-  LfrParams params;
-  params.n = args.get_u64("n", 10000);
-  params.mu = args.get_double("mu", 0.3);
-  params.dmin = args.get_u64("dmin", 4);
-  params.dmax = args.get_u64("dmax", 100);
-  params.cmin = args.get_u64("cmin", 32);
-  params.cmax = args.get_u64("cmax", 512);
-  params.seed = args.get_u64("seed", 1);
-  // One governor spans every layer: --deadline-ms (and Ctrl-C) curtail the
-  // whole multi-layer run, not just a single generate call.
-  params.governance = governance_from(args);
-  params.obs = telem.context();
-  const LfrGraph graph = generate_lfr(params);
-  std::fprintf(stderr, "lfr: %zu edges, %zu communities, achieved mu %.4f\n",
-               graph.edges.size(), graph.num_communities, graph.achieved_mu);
-  int code = 0;
-  if (const auto out = args.get("out")) {
-    write_edge_list_file(*out, graph.edges);
-    if (const auto comm = args.get("communities")) {
-      std::string body;
-      for (std::size_t v = 0; v < graph.community.size(); ++v)
-        body += std::to_string(v) + ' ' + std::to_string(graph.community[v]) +
-                '\n';
-      if (const Status s = write_text_file_atomic(*comm, body); !s.ok()) {
-        std::fprintf(stderr, "cannot write %s: %s\n", comm->c_str(),
-                     s.to_string().c_str());
-        code = status_exit_code(s.code());
-      }
-    }
-  } else {
-    print_graph_stats(graph.edges);
-  }
-  // Like emit_result: the best-so-far graph goes out first, then a typed
-  // exit code tells callers the run was cut short.
-  if (code == 0 && graph.curtailed != StatusCode::kOk) {
-    std::fprintf(stderr,
-                 "run curtailed: %s (%zu/%zu community layers completed)\n",
-                 status_code_name(graph.curtailed),
-                 graph.communities_completed, graph.num_communities);
-    code = status_exit_code(graph.curtailed);
-  }
-  return telem.finish("lfr", params.seed, params.swap_iterations, nullptr,
-                      &graph, code);
+  // The lfr command is an alias for `generate --backend lfr`; both reach
+  // the registry driver, one governor spanning every community layer.
+  return run_model_command("lfr", args, telem, "lfr");
 }
 
 /// `nullgraph serve`: the daemon. Blocks until a termination signal or a
@@ -837,6 +907,24 @@ int cmd_submit(const Args& args) {
     spec.op = svc::JobSpec::Op::kShuffle;
     spec.edges_follow = true;
     spec.edges = read_edge_list_file(*upload);
+  } else if (const auto backend = args.get("backend")) {
+    // Registry-backend job: --param K=V pairs (repeatable) travel verbatim
+    // to the daemon's model driver; --space/--labeling pick the sampling
+    // space. Validation happens server-side against the declared set.
+    spec.op = svc::JobSpec::Op::kGenerate;
+    spec.backend = *backend;
+    for (const auto& [key, value] : args.options) {
+      if (key != "param") continue;
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos)
+        spec.params.emplace_back(value, "");
+      else
+        spec.params.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    }
+    if (const auto space = args.get("space")) spec.space = *space;
+    if (const auto labeling = args.get("labeling"))
+      spec.labeling = *labeling;
+    if (const auto dist = args.get("dist")) spec.dist_path = *dist;
   } else if (const auto dist = args.get("dist")) {
     spec.op = svc::JobSpec::Op::kGenerate;
     spec.dist_path = *dist;
@@ -925,6 +1013,7 @@ int main(int argc, char** argv) {
   install_signal_handlers();
   try {
     if (command == "generate") return cmd_generate(args, telem);
+    if (command == "backends") return cmd_backends(args);
     if (command == "shuffle") return cmd_shuffle(args, telem);
     if (command == "stats") return cmd_stats(args);
     if (command == "lfr") return cmd_lfr(args, telem);
