@@ -14,64 +14,118 @@
 // fetch_add per counter bump, one binary search + two fetch_adds per
 // hash-set probe) is visible as the Off->Metrics delta.
 //
-// BM_CounterAdd / BM_HistogramRecord microbenches pin down the per-op
-// instrument costs that the end-to-end numbers aggregate.
+// The live-operations plane (DESIGN.md §12) adds three more sinks, each
+// with its own off/quiet/busy story:
+//   - BM_ObsEventsQuiet: an EventLog on a real file, fed only the pipeline's
+//     natural phase-boundary events (a handful per run) — the steady-state
+//     cost an operator pays for `--events-out`;
+//   - BM_ObsEventsBusy: every sink at once — metrics, tracing, the event
+//     log, AND a flight-recorder mirror — the worst-case fully-instrumented
+//     configuration, still expected within a few percent of BM_ObsOff
+//     because every emission site sits on a cold control-flow edge.
+//
+// BM_CounterAdd / BM_HistogramRecord / BM_EventEmit / BM_FlightRecord /
+// BM_PrometheusRender microbenches pin down the per-op instrument costs
+// that the end-to-end numbers aggregate.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "core/null_model.hpp"
 #include "gen/powerlaw.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 using namespace nullgraph;
 
-void run_generation(benchmark::State& state, bool metrics, bool trace) {
+// A real file target for the event-log benches; bytes land on disk like an
+// operator's --events-out would (std::tmpnam would trip lint; a fixed name
+// under /tmp is fine for a benchmark process).
+std::string bench_events_path() {
+  return "/tmp/nullgraph_bench_events.jsonl";
+}
+
+struct Sinks {
+  bool metrics = false;
+  bool trace = false;
+  bool events = false;
+  bool flight = false;
+};
+
+void run_generation(benchmark::State& state, Sinks sinks) {
   const DegreeDistribution dist = powerlaw_distribution(
       {.n = 200000, .gamma = 2.5, .dmin = 2, .dmax = 300});
   std::uint64_t seed = 1;
   for (auto _ : state) {
     obs::MetricsRegistry registry;
     obs::TraceSink sink;
+    obs::EventLog events;
+    obs::FlightRecorder flight;
     GenerateConfig config;
     config.seed = seed++;
     config.swap_iterations = 2;
-    if (metrics) config.obs.metrics = &registry;
-    if (trace) config.obs.trace = &sink;
+    if (sinks.metrics) config.obs.metrics = &registry;
+    if (sinks.trace) config.obs.trace = &sink;
+    if (sinks.events) {
+      if (!events.open(bench_events_path()).ok()) {
+        state.SkipWithError("cannot open bench event log");
+        return;
+      }
+      if (sinks.flight) events.attach_flight_recorder(&flight);
+      config.obs.events = &events;
+    }
     GenerateResult result = generate_null_graph(dist, config);
     benchmark::DoNotOptimize(result.edges.data());
     state.counters["edges"] =
         benchmark::Counter(static_cast<double>(result.edges.size()));
     state.counters["edges/s"] = benchmark::Counter(
         static_cast<double>(result.edges.size()), benchmark::Counter::kIsRate);
-    if (trace)
+    if (sinks.trace)
       state.counters["trace_events"] =
           benchmark::Counter(static_cast<double>(sink.event_count()));
+    if (sinks.events)
+      state.counters["events"] =
+          benchmark::Counter(static_cast<double>(events.emitted()));
   }
+  if (sinks.events) std::remove(bench_events_path().c_str());
 }
 
 // Null handles everywhere: the <3% compiled-in-but-disabled bar.
-void BM_ObsOff(benchmark::State& state) {
-  run_generation(state, /*metrics=*/false, /*trace=*/false);
-}
+void BM_ObsOff(benchmark::State& state) { run_generation(state, {}); }
 void BM_ObsMetrics(benchmark::State& state) {
-  run_generation(state, /*metrics=*/true, /*trace=*/false);
+  run_generation(state, {.metrics = true});
 }
 void BM_ObsTrace(benchmark::State& state) {
-  run_generation(state, /*metrics=*/false, /*trace=*/true);
+  run_generation(state, {.trace = true});
 }
 void BM_ObsFull(benchmark::State& state) {
-  run_generation(state, /*metrics=*/true, /*trace=*/true);
+  run_generation(state, {.metrics = true, .trace = true});
+}
+// Event log on a file, phase-boundary traffic only.
+void BM_ObsEventsQuiet(benchmark::State& state) {
+  run_generation(state, {.events = true});
+}
+// Every sink live at once, flight ring mirroring each event line.
+void BM_ObsEventsBusy(benchmark::State& state) {
+  run_generation(state,
+                 {.metrics = true, .trace = true, .events = true,
+                  .flight = true});
 }
 
 BENCHMARK(BM_ObsOff)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_ObsMetrics)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_ObsTrace)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(BM_ObsFull)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_ObsEventsQuiet)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_ObsEventsBusy)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_CounterAdd(benchmark::State& state) {
   obs::Counter counter("bench");
@@ -89,7 +143,59 @@ void BM_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// One structured event end-to-end: JSONL formatting + flight-ring mirror
+// (file-less sink, so the fwrite cost of the quiet/busy end-to-end benches
+// is excluded and the formatting itself is visible).
+void BM_EventEmit(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  obs::EventLog log;
+  log.attach_flight_recorder(&flight);
+  std::uint64_t value = 0;
+  for (auto _ : state)
+    log.emit({obs::EventKind::kShardCommit, 7, 1234567, "edge generation",
+              ++value, "bench shard"});
+  benchmark::DoNotOptimize(log.emitted());
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The seqlock ring alone: the floor for black-box-only (--flight-out) mode.
+void BM_FlightRecord(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  const std::string line =
+      "{\"ts_us\":17000000000,\"event\":\"shard_commit\",\"job\":7,"
+      "\"value\":42,\"detail\":\"bench shard\"}";
+  for (auto _ : state) flight.record(line);
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Rendering a realistically sized registry into the exposition format —
+// the per-scrape cost of the daemon `metrics` verb and of each
+// --metrics-out snapshot tick.
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 24; ++i)
+    registry.counter("bench.counter_" + std::to_string(i))
+        ->add(static_cast<std::uint64_t>(i) * 977);
+  for (int i = 0; i < 8; ++i)
+    registry.gauge("bench.gauge_" + std::to_string(i))->set(i * 31);
+  obs::Histogram* hist = registry.histogram(
+      "bench.latency", 1, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  for (std::int64_t v = 0; v < 512; ++v) hist->record(v);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = render_prometheus(registry.snapshot());
+    bytes = body.size();
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.counters["body_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  state.SetItemsProcessed(state.iterations());
+}
+
 BENCHMARK(BM_CounterAdd);
 BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_EventEmit);
+BENCHMARK(BM_FlightRecord);
+BENCHMARK(BM_PrometheusRender);
 
 }  // namespace

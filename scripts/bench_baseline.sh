@@ -40,6 +40,8 @@ run_suite bench_fig5_endtoend BENCH_fig5.json
 run_suite bench_ablation_sampling BENCH_sampling.json
 run_suite bench_spill BENCH_spill.json
 run_suite bench_backends BENCH_backends.json
+run_suite bench_obs_overhead BENCH_obs.json
 
 echo "bench_baseline: wrote $OUT/BENCH_fig5.json, $OUT/BENCH_sampling.json,"
-echo "  $OUT/BENCH_spill.json, and $OUT/BENCH_backends.json"
+echo "  $OUT/BENCH_spill.json, $OUT/BENCH_backends.json, and"
+echo "  $OUT/BENCH_obs.json"

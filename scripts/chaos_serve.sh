@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Deterministic chaos drill for `nullgraph serve` (DESIGN.md §9).
+# Deterministic chaos drill for `nullgraph serve` (DESIGN.md §9, §12).
 #
-# Three phases, every expectation exact:
+# Four phases, every expectation exact:
 #
 #   1. admission storm — 8 concurrent submits against slots=2 queue=2 with
 #      slot-holding jobs: exactly 4 complete (exit 0) and exactly 4 are
@@ -16,6 +16,11 @@
 #      connections on the floor; clients must fail typed (not hang), and
 #      the daemon must keep serving afterwards even with a slow-client
 #      injection active.
+#   4. flight recorder black box — a deadline-curtailed job must dump the
+#      event ring to flight.jsonl (typed client exit 12), then a SIGKILL
+#      mid-job leaves both black-box artifacts behind: flight.jsonl intact
+#      (it was committed atomically at the curtailment) and events.jsonl a
+#      valid, schema-clean prefix (each line is flushed whole).
 #
 # Used by scripts/check.sh as the serve_smoke tier; also runnable
 # standalone: scripts/chaos_serve.sh [workdir]
@@ -171,5 +176,49 @@ assert r["counters"].get("serve.chaos_accept_drops") == 1, r
 assert r["completed"] == 1, r
 PY
 echo "   ok: dropped connection failed typed, daemon kept serving"
+
+# ---------------------------------------------------------------- phase 4
+echo "== chaos_serve phase 4: flight recorder black box =="
+SOCK=$WORK/flight.sock
+"$BIN" serve --socket "$SOCK" --slots 1 \
+  --events-out "$WORK/flight_events.jsonl" --flight-out "$WORK/flight.jsonl" \
+  >"$WORK/flight_daemon.log" 2>&1 &
+FLIGHT_PID=$!
+wait_for_ping "$SOCK"
+
+# A job whose 100 ms deadline expires mid-swap-chain: the client must exit
+# with the typed deadline code (12), and the scheduler must dump the event
+# ring to flight.jsonl at the curtailment — while the daemon keeps running.
+rc=0
+"$BIN" submit --socket "$SOCK" --n 100000 --dmax 500 --swaps 5000 \
+  --deadline-ms 100 --out "$WORK/curtailed.txt" >/dev/null 2>&1 || rc=$?
+[[ "$rc" == 12 ]] || fail "expected typed deadline exit 12, got $rc"
+[[ -s "$WORK/flight.jsonl" ]] || fail "curtailment did not dump the flight ring"
+python3 scripts/validate_events.py --allow-partial "$WORK/flight.jsonl" \
+  >/dev/null || fail "flight.jsonl dump is not schema-clean"
+grep -q '"event":"curtailment"' "$WORK/flight.jsonl" \
+  || fail "flight.jsonl does not contain the triggering curtailment"
+cp "$WORK/flight.jsonl" "$WORK/flight.jsonl.before"
+
+# SIGKILL the daemon mid-job: no handler runs, no flush happens. The
+# already-committed flight dump must survive byte-for-byte, and the event
+# stream must still be a valid prefix (line-granular flushing is the
+# contract that makes the stream useful for post-mortems at all).
+"$BIN" submit --socket "$SOCK" --n 100000 --dmax 500 --swaps 3000 \
+  --out "$WORK/doomed.txt" >/dev/null 2>&1 &
+DOOMED_PID=$!
+sleep 0.3  # let the job admit and start emitting phase events
+kill -9 "$FLIGHT_PID"
+wait "$DOOMED_PID" 2>/dev/null || true  # client dies with the daemon
+wait "$FLIGHT_PID" 2>/dev/null || true
+
+cmp -s "$WORK/flight.jsonl" "$WORK/flight.jsonl.before" \
+  || fail "SIGKILL corrupted the committed flight dump"
+python3 scripts/validate_events.py --allow-partial --min-events 3 \
+  "$WORK/flight_events.jsonl" >/dev/null \
+  || fail "surviving events.jsonl is not a valid prefix"
+grep -q '"event":"job_admitted"' "$WORK/flight_events.jsonl" \
+  || fail "surviving events.jsonl lost the job lifecycle"
+echo "   ok: curtailment dumped the ring, SIGKILL left valid black-box artifacts"
 
 echo "chaos_serve: all phases passed"

@@ -86,20 +86,70 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== telemetry smoke: --report-json / --trace-out =="
-# End-to-end through the real binary: both artifacts must be valid JSON
-# and a report must diff clean against itself (also exercises
-# compare_reports.py's parsing of every section it knows about).
+echo "== telemetry smoke: --report-json / --trace-out / --events-out / --metrics-out =="
+# End-to-end through the real binary: every artifact must be valid (JSON,
+# event-schema, Prometheus exposition) and a report must diff clean against
+# itself (also exercises compare_reports.py's parsing of every section it
+# knows about). --metrics-every-ms 50 forces at least one periodic snapshot
+# on top of the final flush, so the exporter thread path is exercised too.
 TELEM_DIR=build/telemetry-smoke
 mkdir -p "$TELEM_DIR"
 build/tools/nullgraph generate --powerlaw --n 5000 --dmax 100 --swaps 3 \
   --seed 9 --out "$TELEM_DIR/graph.txt" \
   --report-json "$TELEM_DIR/report.json" \
-  --trace-out "$TELEM_DIR/trace.json"
+  --trace-out "$TELEM_DIR/trace.json" \
+  --events-out "$TELEM_DIR/events.jsonl" \
+  --metrics-out "$TELEM_DIR/metrics.prom" --metrics-every-ms 50
 python3 -m json.tool "$TELEM_DIR/report.json" >/dev/null
 python3 -m json.tool "$TELEM_DIR/trace.json" >/dev/null
 python3 scripts/compare_reports.py \
   "$TELEM_DIR/report.json" "$TELEM_DIR/report.json" >/dev/null
+# The event stream must pass the full schema/ordering contract (no
+# --allow-partial: a clean exit leaves no torn lines or unclosed phases)
+# and contain at least the generation phases.
+python3 scripts/validate_events.py --min-events 2 "$TELEM_DIR/events.jsonl"
+python3 scripts/obs_tail.py --kind phase_end "$TELEM_DIR/events.jsonl" >/dev/null
+grep -q '^# TYPE nullgraph_' "$TELEM_DIR/metrics.prom" \
+  || { echo "metrics.prom has no Prometheus TYPE lines" >&2; exit 1; }
+
+echo "== serve observability: metrics verb, event stream, cross-process trace =="
+# A short live session: one traced submit plus the `metrics` control verb.
+# The daemon-wide event stream must validate end-to-end, the scraped
+# exposition must carry serve counters, and the merged trace must contain
+# spans from BOTH processes (pid 1 client, pid 2 daemon) on one timeline.
+OBS_DIR=build/obs-serve-smoke
+rm -rf "$OBS_DIR"
+mkdir -p "$OBS_DIR"
+build/tools/nullgraph serve --socket "$OBS_DIR/obs.sock" --slots 2 \
+  --events-out "$OBS_DIR/events.jsonl" >"$OBS_DIR/daemon.log" 2>&1 &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+  build/tools/nullgraph submit --socket "$OBS_DIR/obs.sock" --ping \
+    >/dev/null 2>&1 && break
+  sleep 0.1
+done
+build/tools/nullgraph submit --socket "$OBS_DIR/obs.sock" \
+  --n 2000 --dmax 50 --swaps 1 --seed 3 \
+  --out "$OBS_DIR/graph.txt" --trace-out "$OBS_DIR/trace.json"
+build/tools/nullgraph submit --socket "$OBS_DIR/obs.sock" --metrics \
+  >"$OBS_DIR/metrics.prom"
+build/tools/nullgraph submit --socket "$OBS_DIR/obs.sock" --shutdown
+wait "$OBS_PID"
+python3 scripts/validate_events.py --min-events 3 "$OBS_DIR/events.jsonl"
+grep -q '^nullgraph_serve_jobs_completed 1$' "$OBS_DIR/metrics.prom" \
+  || { echo "metrics verb missing serve_jobs_completed" >&2; exit 1; }
+grep -q '^nullgraph_serve_uptime_ms ' "$OBS_DIR/metrics.prom" \
+  || { echo "metrics verb missing serve_uptime_ms gauge" >&2; exit 1; }
+python3 - "$OBS_DIR/trace.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events if e.get("ph") == "X"}
+assert pids == {1, 2}, f"expected client+daemon spans, got pids {pids}"
+names = {e["name"] for e in events if e.get("ph") == "X"}
+assert "await result" in names, names   # client side
+assert "queue wait" in names, names     # daemon side
+PY
 
 echo "== backend smoke: every registered backend end-to-end =="
 # One shared command line covers every backend the registry lists: the CLI
@@ -160,6 +210,9 @@ if [[ -f bench/baselines/BENCH_fig5.json && -x build/bench/bench_fig5_endtoend ]
     || echo "   (drift noted above is informational, not a failure)"
   python3 scripts/compare_reports.py --bench \
     bench/baselines/BENCH_backends.json "$DRIFT_DIR/BENCH_backends.json" \
+    || echo "   (drift noted above is informational, not a failure)"
+  python3 scripts/compare_reports.py --bench \
+    bench/baselines/BENCH_obs.json "$DRIFT_DIR/BENCH_obs.json" \
     || echo "   (drift noted above is informational, not a failure)"
 else
   echo "   (bench binaries or baselines absent; skipping)"

@@ -1,0 +1,52 @@
+"""Structured-event emission confinement.
+
+Structured events (obs/event_log.hpp) record the COLD control-flow edges
+of a run — phase boundaries, shard commits, governance verdicts, job
+lifecycle. The emit path formats a JSON line and serializes on a mutex for
+the fwrite: microseconds, invisible at phase granularity, catastrophic
+inside a per-edge or per-pair inner loop. This rule keeps the emission API
+(``emit_event``, ``PhaseEventScope``, ``EventLog``, and including
+``obs/event_log.hpp`` at all) out of the hot kernel directories. Kernels
+carry their ``ObsContext`` through untouched (obs_context.hpp is forward-
+declaration-only and stays legal); the orchestration layers above them —
+core, model, svc, the CLI — own the emission sites.
+"""
+
+import re
+
+from . import base
+
+NAME = "obs-confinement"
+DESCRIPTION = ("structured-event emission (obs/event_log.hpp) confined to "
+               "orchestration layers, banned in hot kernel dirs")
+
+#: Per-element kernel layers: nothing here may format or emit events.
+HOT_DIRS = ("src/gen/", "src/skip/", "src/permute/", "src/prob/",
+            "src/ds/", "src/exec/", "src/util/")
+
+_EMISSION = re.compile(
+    r"(?<![A-Za-z0-9_])(?:obs::)?(?:emit_event\s*\(|PhaseEventScope\b|"
+    r"EventLog\b)")
+_INCLUDE = re.compile(r'#\s*include\s*"obs/event_log\.hpp"')
+
+_MESSAGE = ("event emission in a hot kernel dir — structured events are "
+            "per-phase/per-shard, never per-element; move the emit to the "
+            "orchestrating layer (core/model/svc) and pass the ObsContext "
+            "through untouched")
+
+
+def check(tree: base.SourceTree):
+    diags = []
+    for f in tree.files:
+        if not f.path.startswith(HOT_DIRS):
+            continue
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if _EMISSION.search(line):
+                diags.append(base.Diagnostic(f.path, lineno, NAME, _MESSAGE))
+        # The include path lives inside a string literal, which the code
+        # view blanks — match it on the raw line, include directives only.
+        for lineno, line in enumerate(f.raw_lines, start=1):
+            if _INCLUDE.search(line):
+                diags.append(base.Diagnostic(f.path, lineno, NAME, _MESSAGE))
+    diags.sort(key=lambda d: (d.path, d.line))
+    return diags

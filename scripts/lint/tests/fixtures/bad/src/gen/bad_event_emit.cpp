@@ -1,0 +1,10 @@
+#include "obs/event_log.hpp"
+
+namespace nullgraph {
+void hot_kernel(const obs::ObsContext& obs, int n) {
+  for (int i = 0; i < n; ++i) {
+    obs::emit_event(obs, obs::EventKind::kShardCommit, "inner");
+    obs::PhaseEventScope scope(obs, "per-element");
+  }
+}
+}  // namespace nullgraph

@@ -1,0 +1,13 @@
+// A kernel may CARRY an ObsContext (forward-declaration-only header) and
+// mention emit_event( or EventLog in prose/comments without tripping the
+// rule; only real emission API use in a hot dir fires.
+#include "obs/obs_context.hpp"
+
+namespace nullgraph {
+void kernel(const obs::ObsContext& obs, int n) {
+  const char* note = "emit_event( stays upstairs";
+  (void)note;
+  (void)obs;
+  (void)n;
+}
+}  // namespace nullgraph

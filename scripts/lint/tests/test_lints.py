@@ -82,7 +82,7 @@ class DriverTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0)
         for name in ("omp-confinement", "svc-confinement", "io-confinement",
                      "determinism", "atomics", "include-hygiene",
-                     "model-confinement"):
+                     "model-confinement", "obs-confinement"):
             self.assertIn(name, result.stdout)
 
 
@@ -152,6 +152,21 @@ class RuleDiagnosticsTest(unittest.TestCase):
         # a string literal; none may fire.
         result = run_driver("--root", str(FIXTURES / "clean"),
                             "--rules", "model-confinement")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_obs_confinement_flags_include_emit_and_scope(self):
+        # The event_log.hpp include, the emit_event call, and the RAII
+        # phase scope in a hot kernel dir.
+        for line in (1, 6, 7):
+            self.assertIn(
+                f"src/gen/bad_event_emit.cpp:{line}: [obs-confinement] "
+                "event emission in a hot kernel dir", self.out)
+
+    def test_obs_confinement_allows_context_passthrough(self):
+        # Carrying an ObsContext (obs_context.hpp) through a kernel and
+        # mentioning emit_event( in comments/strings must not fire.
+        result = run_driver("--root", str(FIXTURES / "clean"),
+                            "--rules", "obs-confinement")
         self.assertEqual(result.returncode, 0, result.stdout)
 
     def test_atomics_flags_volatile(self):

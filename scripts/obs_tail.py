@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Pretty-print / filter a nullgraph structured event stream (JSONL).
+
+The stream comes from `--events-out FILE` on a batch run or a serve
+daemon (see DESIGN.md section 12). Each line is one event:
+
+    {"ts_us":N,"event":"<kind>","job":N,"trace":N,"phase":"...",
+     "value":N,"detail":"..."}
+
+Usage:
+    scripts/obs_tail.py events.jsonl                  # whole stream
+    scripts/obs_tail.py --job 3 events.jsonl          # one job only
+    scripts/obs_tail.py --kind curtailment,shard_commit events.jsonl
+    scripts/obs_tail.py --follow events.jsonl         # live tail -f
+    nullgraph serve ... --events-out /dev/stdout | scripts/obs_tail.py -
+
+Timestamps are absolute CLOCK_MONOTONIC microseconds; the printout rebases
+them to the first displayed event so columns read as elapsed seconds.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+KNOWN_KINDS = (
+    "job_admitted", "job_evicted", "job_completed", "phase_start",
+    "phase_end", "curtailment", "degradation", "shard_commit", "checkpoint",
+)
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(
+        description="filter and pretty-print a nullgraph event stream")
+    parser.add_argument("path", help="events JSONL file, or - for stdin")
+    parser.add_argument("--job", type=int, default=None,
+                        help="only events for this serve job id")
+    parser.add_argument("--trace", type=int, default=None,
+                        help="only events for this trace id")
+    parser.add_argument("--kind", default=None,
+                        help="comma-separated event kinds to keep "
+                             f"(known: {', '.join(KNOWN_KINDS)})")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep reading as the file grows (tail -f)")
+    parser.add_argument("--raw", action="store_true",
+                        help="print matching lines verbatim instead of "
+                             "the aligned form")
+    return parser.parse_args()
+
+
+def wanted(event, args, kinds):
+    if args.job is not None and event.get("job", 0) != args.job:
+        return False
+    if args.trace is not None and event.get("trace", 0) != args.trace:
+        return False
+    if kinds is not None and event.get("event") not in kinds:
+        return False
+    return True
+
+
+def render(event, origin_us):
+    ts = event.get("ts_us", 0)
+    rel_s = (ts - origin_us) / 1e6 if origin_us is not None else 0.0
+    parts = [f"{rel_s:10.6f}s", f"{event.get('event', '?'):<14}"]
+    if event.get("job"):
+        parts.append(f"job={event['job']}")
+    if event.get("trace"):
+        parts.append(f"trace={event['trace']}")
+    if event.get("phase"):
+        parts.append(f"phase={event['phase']!r}")
+    if event.get("value"):
+        parts.append(f"value={event['value']}")
+    if event.get("detail"):
+        parts.append(f"— {event['detail']}")
+    return " ".join(parts)
+
+
+def lines_from(stream, follow):
+    """Yields complete lines; under --follow, polls for growth forever."""
+    while True:
+        line = stream.readline()
+        if line:
+            if line.endswith("\n"):
+                yield line
+            elif not follow:
+                return  # torn final line of a crashed writer: stop cleanly
+            # torn line under --follow: wait for the writer's flush
+        elif follow:
+            time.sleep(0.2)
+        else:
+            return
+
+
+def main():
+    args = parse_args()
+    kinds = None
+    if args.kind is not None:
+        kinds = {k.strip() for k in args.kind.split(",") if k.strip()}
+        unknown = kinds - set(KNOWN_KINDS)
+        if unknown:
+            sys.stderr.write(
+                f"obs_tail: unknown kind(s): {', '.join(sorted(unknown))}\n")
+            return 2
+
+    stream = sys.stdin if args.path == "-" else open(
+        args.path, "r", encoding="utf-8")
+    origin_us = None
+    shown = 0
+    try:
+        for line in lines_from(stream, args.follow):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                sys.stderr.write(f"obs_tail: skipping malformed line: "
+                                 f"{line[:80]}\n")
+                continue
+            if not wanted(event, args, kinds):
+                continue
+            if origin_us is None:
+                origin_us = event.get("ts_us", 0)
+            shown += 1
+            print(line if args.raw else render(event, origin_us), flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if not args.follow:
+        sys.stderr.write(f"obs_tail: {shown} event(s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema and ordering validator for a nullgraph structured event stream.
+
+Checks every JSONL line from `--events-out` (batch or serve) against the
+schema contract in DESIGN.md section 12:
+
+  - each line parses as a JSON object;
+  - keys come from the fixed schema set, `ts_us` and `event` present;
+  - `event` is a known kind; integer fields are non-negative integers;
+  - `ts_us` never decreases (monotonic clock, single writer);
+  - per serve job: job_admitted precedes every other event of that job,
+    and nothing follows its job_completed/job_evicted;
+  - phase_start/phase_end bracket per (job, phase): no end without a
+    start, no unclosed start at end-of-stream (batch phases nest-free).
+
+Exit 0 when the stream is valid, 1 with one diagnostic per line otherwise.
+--allow-partial accepts a torn final line and unclosed phases/jobs — the
+expected shape of a SIGKILLed writer's surviving prefix (each line is
+flushed whole, so ONLY the final line may be torn).
+
+Used by the telemetry tier of scripts/check.sh and the serve chaos drill.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_KINDS = {
+    "job_admitted", "job_evicted", "job_completed", "phase_start",
+    "phase_end", "curtailment", "degradation", "shard_commit", "checkpoint",
+}
+SCHEMA_KEYS = ("ts_us", "event", "job", "trace", "phase", "value", "detail")
+INT_KEYS = ("ts_us", "job", "trace", "value")
+TERMINAL_KINDS = ("job_completed", "job_evicted")
+
+
+def validate(stream, allow_partial):
+    errors = []
+    last_ts = None
+    admitted = set()
+    finished = {}  # job id -> kind that closed it
+    open_phases = {}  # (job, phase) -> line number of the phase_start
+    lines = stream.read().split("\n")
+    torn = lines and lines[-1] != ""
+    if torn and not allow_partial:
+        errors.append(f"line {len(lines)}: torn final line (no newline); "
+                      "rerun with --allow-partial for crash prefixes")
+    body = lines[:-1] if lines else []
+
+    for lineno, line in enumerate(body, start=1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            errors.append(f"line {lineno}: not valid JSON: {err}")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+
+        extra = set(event) - set(SCHEMA_KEYS)
+        if extra:
+            errors.append(f"line {lineno}: unknown key(s) "
+                          f"{', '.join(sorted(extra))}")
+        for key in ("ts_us", "event"):
+            if key not in event:
+                errors.append(f"line {lineno}: missing required '{key}'")
+        for key in INT_KEYS:
+            if key in event and (not isinstance(event[key], int)
+                                 or isinstance(event[key], bool)
+                                 or event[key] < 0):
+                errors.append(f"line {lineno}: '{key}' must be a "
+                              "non-negative integer")
+        kind = event.get("event")
+        if kind is not None and kind not in KNOWN_KINDS:
+            errors.append(f"line {lineno}: unknown event kind {kind!r}")
+
+        ts = event.get("ts_us")
+        if isinstance(ts, int):
+            if last_ts is not None and ts < last_ts:
+                errors.append(f"line {lineno}: ts_us went backwards "
+                              f"({ts} < {last_ts})")
+            last_ts = ts
+
+        job = event.get("job", 0)
+        if isinstance(job, int) and job > 0:
+            if kind == "job_admitted":
+                if job in admitted:
+                    errors.append(f"line {lineno}: job {job} admitted twice")
+                admitted.add(job)
+            else:
+                if job not in admitted:
+                    errors.append(f"line {lineno}: job {job} event "
+                                  f"'{kind}' before its job_admitted")
+                if job in finished:
+                    errors.append(f"line {lineno}: job {job} event "
+                                  f"'{kind}' after its {finished[job]}")
+            if kind in TERMINAL_KINDS:
+                finished[job] = kind
+
+        if kind == "phase_start":
+            key = (job, event.get("phase", ""))
+            if key in open_phases:
+                errors.append(f"line {lineno}: phase {key[1]!r} "
+                              f"(job {job}) started twice without an end")
+            open_phases[key] = lineno
+        elif kind == "phase_end":
+            key = (job, event.get("phase", ""))
+            if key not in open_phases:
+                errors.append(f"line {lineno}: phase_end {key[1]!r} "
+                              f"(job {job}) without a phase_start")
+            else:
+                del open_phases[key]
+
+    if not allow_partial:
+        for (job, phase), lineno in sorted(open_phases.items()):
+            errors.append(f"line {lineno}: phase {phase!r} (job {job}) "
+                          "never ended")
+    return errors, len(body)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate a nullgraph structured event stream")
+    parser.add_argument("path", help="events JSONL file, or - for stdin")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="accept a torn final line and unclosed "
+                             "phases/jobs (a crashed writer's prefix)")
+    parser.add_argument("--min-events", type=int, default=0,
+                        help="fail unless at least N valid lines were seen")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.path == "-" else open(
+        args.path, "r", encoding="utf-8")
+    try:
+        errors, count = validate(stream, args.allow_partial)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+
+    if count < args.min_events:
+        errors.append(f"stream has {count} event line(s), expected at "
+                      f"least {args.min_events}")
+    for error in errors:
+        sys.stderr.write(f"validate_events: {error}\n")
+    if errors:
+        sys.stderr.write(f"validate_events: {args.path}: "
+                         f"{len(errors)} problem(s) in {count} line(s)\n")
+        return 1
+    print(f"validate_events: {args.path}: {count} event(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

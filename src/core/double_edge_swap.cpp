@@ -84,11 +84,14 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
   obs::Counter* c_committed = nullptr;
   obs::Counter* c_rej_existing = nullptr;
   obs::Counter* c_rej_loop = nullptr;
+  obs::Gauge* g_acceptance = nullptr;
   if (config.obs.metrics != nullptr) {
     c_attempted = config.obs.metrics->counter("swaps.attempted");
     c_committed = config.obs.metrics->counter("swaps.committed");
     c_rej_existing = config.obs.metrics->counter("swaps.rejected_existing");
     c_rej_loop = config.obs.metrics->counter("swaps.rejected_loop");
+    g_acceptance =
+        config.obs.metrics->gauge("swaps.windowed_acceptance_permille");
   }
   std::vector<std::uint8_t> ever_swapped;
   if (config.track_swapped_edges) ever_swapped.assign(m, 0);
@@ -225,6 +228,11 @@ SwapStats swap_edges(EdgeList& edges, const SwapConfig& config) {
       c_rej_existing->add(counts.rejected_existing);
       c_rej_loop->add(counts.rejected_loop);
     }
+    // Windowed (this iteration only) acceptance, as permille: the cumulative
+    // committed/attempted counters above hide a stalling chain's tail.
+    if (g_acceptance != nullptr && pairs > 0)
+      g_acceptance->set(
+          static_cast<std::int64_t>(1000 * counts.swapped / pairs));
 
     if (gov != nullptr) {
       watchdog.record(it_stats.attempted, it_stats.swapped);

@@ -9,6 +9,7 @@
 #include "core/out_of_core.hpp"
 #include "exec/exec.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prob/heuristics.hpp"
@@ -42,11 +43,14 @@ void mark_repaired(PipelineReport& report, StatusCode code) {
 /// Curtailments are informational (the best-so-far graph is still
 /// returned), so they never throw, even under kStrict.
 void record_curtailment(PipelineReport& report, const RunGovernor* gov,
-                        const char* phase, std::size_t completed,
-                        std::size_t requested, double acceptance = 0.0) {
+                        const obs::ObsContext& obs, const char* phase,
+                        std::size_t completed, std::size_t requested,
+                        double acceptance = 0.0) {
   if (gov == nullptr || !gov->stopped()) return;
   report.curtailments.push_back(
       {phase, gov->stop_reason(), completed, requested, acceptance});
+  obs::emit_event(obs, obs::EventKind::kCurtailment, phase, completed,
+                  status_code_name(gov->stop_reason()));
 }
 
 /// Estimated swap-phase buffer footprint (edge list + hash table +
@@ -107,6 +111,9 @@ void wire_swap_governance(SwapConfig& swap_config, const RunGovernor* gov,
     } else if (obs.metrics != nullptr) {
       obs.metrics->counter("checkpoint.writes")->add(1);
     }
+    obs::emit_event(obs, obs::EventKind::kCheckpoint, "swaps",
+                    static_cast<std::uint64_t>(p.completed_iterations),
+                    status.ok() ? "written" : "write failed");
   };
 }
 
@@ -310,11 +317,12 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   ProbabilityMatrix P;
   {
     obs::TraceSpan span(config.obs.trace, "probabilities");
+    obs::PhaseEventScope events(config.obs, "probabilities");
     P = generate_probabilities(dist, config.probability_method,
                                config.refine_iterations, gov, &sink);
   }
   result.timing.stop();
-  record_curtailment(result.report, gov, "probabilities", 0,
+  record_curtailment(result.report, gov, config.obs, "probabilities", 0,
                      dist.num_classes());
   if (guard.faults.corrupt_prob_entries > 0)
     result.report.prob_entries_corrupted =
@@ -350,6 +358,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   result.timing.start("edge generation");
   {
     obs::TraceSpan span(config.obs.trace, "edge generation");
+    obs::PhaseEventScope events(config.obs, "edge generation");
     EdgeSkipConfig skip_config;
     skip_config.seed = splitmix64_next(seed_chain);
     skip_config.governor = gov;
@@ -357,7 +366,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     result.edges = edge_skip_generate(P, dist, skip_config);
   }
   result.timing.stop();
-  record_curtailment(result.report, gov, "edge generation",
+  record_curtailment(result.report, gov, config.obs, "edge generation",
                      result.edges.size(), 0);
 
   // Snapshot of the clean generation, taken before faults can damage it:
@@ -377,6 +386,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
   result.timing.start("swaps");
   {
     obs::TraceSpan span(config.obs.trace, "swaps");
+    obs::PhaseEventScope events(config.obs, "swaps");
     SwapConfig swap_config;
     swap_config.iterations = config.swap_iterations;
     swap_config.seed = splitmix64_next(seed_chain);
@@ -400,7 +410,7 @@ GenerateResult generate_null_graph(const DegreeDistribution& dist,
     }
   }
   result.timing.stop();
-  record_curtailment(result.report, gov, "swaps",
+  record_curtailment(result.report, gov, config.obs, "swaps",
                      result.swap_stats.iterations.size(),
                      config.swap_iterations, result.swap_stats.acceptance());
   result.report.phase_timings = sink.snapshot();
@@ -436,6 +446,7 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
   result.timing.start("swaps");
   {
     obs::TraceSpan span(config.obs.trace, "swaps");
+    obs::PhaseEventScope events(config.obs, "swaps");
     SwapConfig swap_config;
     swap_config.iterations = config.swap_iterations;
     swap_config.seed = splitmix64_next(seed_chain);
@@ -456,7 +467,7 @@ GenerateResult shuffle_graph(EdgeList edges, const GenerateConfig& config) {
     }
   }
   result.timing.stop();
-  record_curtailment(result.report, gov, "swaps",
+  record_curtailment(result.report, gov, config.obs, "swaps",
                      result.swap_stats.iterations.size(),
                      config.swap_iterations, result.swap_stats.acceptance());
   result.report.phase_timings = sink.snapshot();
@@ -504,10 +515,11 @@ GenerateResult resume_null_graph(const Checkpoint& checkpoint,
     (void)gov->memory_exceeded(swap_footprint_bytes(result.edges.size()));
   {
     obs::TraceSpan span(config.obs.trace, "swaps");
+    obs::PhaseEventScope events(config.obs, "swaps");
     result.swap_stats = swap_edges(result.edges, swap_config);
   }
   result.timing.stop();
-  record_curtailment(result.report, gov, "swaps",
+  record_curtailment(result.report, gov, config.obs, "swaps",
                      result.swap_stats.iterations.size(),
                      swap_config.iterations - swap_config.start_iteration,
                      result.swap_stats.acceptance());

@@ -8,6 +8,7 @@
 
 #include "ds/shard_census.hpp"
 #include "io/shard_merge.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "skip/sharded_skip.hpp"
@@ -118,11 +119,13 @@ const RunGovernor* resolve_governor(const GovernanceConfig& governance,
 }
 
 void record_curtailment(PipelineReport& report, const RunGovernor* gov,
-                        const char* phase, std::size_t completed,
-                        std::size_t requested) {
+                        const obs::ObsContext& obs, const char* phase,
+                        std::size_t completed, std::size_t requested) {
   if (gov == nullptr || !gov->stopped()) return;
   report.curtailments.push_back(
       {phase, gov->stop_reason(), completed, requested, 0.0});
+  obs::emit_event(obs, obs::EventKind::kCurtailment, phase, completed,
+                  status_code_name(gov->stop_reason()));
 }
 
 /// The swap phase cannot run against a graph that never materializes in
@@ -208,6 +211,8 @@ GenerateResult generate_null_graph_spilled(
                                    : " (forced)") +
                      "; " + std::to_string(shard_count) + " shards -> " +
                      config.spill.dir;
+      obs::emit_event(config.obs, obs::EventKind::kDegradation,
+                      "edge generation", shard_count, event.detail);
       result.report.degradations.push_back(std::move(event));
     }
     if (config.obs.trace != nullptr)
@@ -273,12 +278,19 @@ GenerateResult generate_null_graph_spilled(
       if (ins.edges_spilled != nullptr) ins.edges_spilled->add(shard.size());
       if (ins.bytes_written != nullptr)
         ins.bytes_written->add(wstats.bytes_written);
+      if (config.obs.events != nullptr) {
+        // Per committed SHARD (not per edge): firmly outside the hot loop.
+        const std::string detail =
+            "shard " + std::to_string(s) + "/" + std::to_string(shard_count);
+        obs::emit_event(config.obs, obs::EventKind::kShardCommit,
+                        "edge generation", shard.size(), detail);
+      }
     }
     if (ins.max_shard_edges != nullptr)
       ins.max_shard_edges->set(
           static_cast<std::int64_t>(result.spill.max_shard_edges));
 
-    record_curtailment(result.report, gov, "edge generation",
+    record_curtailment(result.report, gov, config.obs, "edge generation",
                        result.spill.shards_written, shard_count);
     if (!write_status.ok()) {
       // Unlike a checkpoint, the shard IS the data: a commit that failed
@@ -401,6 +413,13 @@ Result<GenerateResult> resume_from_spill(const std::string& dir,
             ins.edges_spilled->add(shard.size());
           if (ins.bytes_written != nullptr)
             ins.bytes_written->add(wstats.bytes_written);
+          if (config.obs.events != nullptr) {
+            const std::string detail = "shard " + std::to_string(s) + "/" +
+                                       std::to_string(shard_count) +
+                                       " regenerated";
+            obs::emit_event(config.obs, obs::EventKind::kShardCommit,
+                            "edge generation", shard.size(), detail);
+          }
         } else {
           ++result.spill.shards_reused;
           if (ins.shards_reused != nullptr) ins.shards_reused->add(1);
@@ -415,8 +434,8 @@ Result<GenerateResult> resume_from_spill(const std::string& dir,
 
       const std::uint64_t visited =
           result.spill.shards_written + result.spill.shards_reused;
-      record_curtailment(result.report, gov, "edge generation", visited,
-                         shard_count);
+      record_curtailment(result.report, gov, config.obs, "edge generation",
+                         visited, shard_count);
       if (!write_status.ok()) {
         if (ins.write_failures != nullptr) ins.write_failures->add(1);
         record(result.report, guard.policy, "spill", std::move(write_status));
@@ -426,6 +445,9 @@ Result<GenerateResult> resume_from_spill(const std::string& dir,
              std::to_string(result.spill.shards_reused) + " shards reused, " +
                  std::to_string(result.spill.shards_written) +
                  " regenerated -> " + dir});
+        obs::emit_event(config.obs, obs::EventKind::kDegradation,
+                        "edge generation", visited,
+                        result.report.degradations.back().detail);
         if (checking) {
           record(result.report,
                  guard.policy == RecoveryPolicy::kRepair

@@ -23,6 +23,7 @@
 #include "lfr/lfr.hpp"
 #include "model/registry.hpp"
 #include "model/rmat.hpp"
+#include "obs/event_log.hpp"
 
 namespace nullgraph::model {
 namespace {
@@ -63,11 +64,13 @@ class GovernorScope {
 /// and the CLI's typed exit code see it — same contract the null-model
 /// pipeline implements internally.
 void record_curtailment(PipelineReport& report, const RunGovernor* governor,
-                        const char* phase, std::size_t completed,
-                        std::size_t requested) {
+                        const obs::ObsContext& obs, const char* phase,
+                        std::size_t completed, std::size_t requested) {
   if (governor == nullptr || !governor->stopped()) return;
   report.curtailments.push_back(
       {phase, governor->stop_reason(), completed, requested, 0.0});
+  obs::emit_event(obs, obs::EventKind::kCurtailment, phase, completed,
+                  status_code_name(governor->stop_reason()));
 }
 
 /// Shared degree-distribution input: --dist FILE wins, otherwise the
@@ -255,7 +258,7 @@ class ChungLuBackend final : public GeneratorBackend {
       out.result.edges = erased_chung_lu(dist.value(), config);
     }
     out.result.timing.stop();
-    record_curtailment(out.result.report, governor.get(), "chung-lu",
+    record_curtailment(out.result.report, governor.get(), ctx.obs, "chung-lu",
                        out.result.edges.size(),
                        static_cast<std::size_t>(dist.value().num_edges()));
     out.result.report.phase_timings = sink.snapshot();
@@ -319,7 +322,7 @@ class DirectedBackend final : public GeneratorBackend {
     out.result.timing.stop();
     out.result.edges.reserve(arcs.size());
     for (const Arc& arc : arcs) out.result.edges.push_back({arc.from, arc.to});
-    record_curtailment(out.result.report, governor.get(), "directed",
+    record_curtailment(out.result.report, governor.get(), ctx.obs, "directed",
                        out.result.edges.size(),
                        static_cast<std::size_t>(directed.num_arcs()));
     out.space = default_space();
@@ -379,7 +382,7 @@ class BipartiteBackend final : public GeneratorBackend {
     out.result.timing.stop();
     out.result.edges.reserve(arcs.size());
     for (const Arc& arc : arcs) out.result.edges.push_back({arc.from, arc.to});
-    record_curtailment(out.result.report, governor.get(), "bipartite",
+    record_curtailment(out.result.report, governor.get(), ctx.obs, "bipartite",
                        out.result.edges.size(),
                        static_cast<std::size_t>(bipartite.num_edges()));
     out.space = default_space();
@@ -572,7 +575,7 @@ class RmatBackend final : public GeneratorBackend {
       out.result.timing.stop();
     }
     record_curtailment(
-        out.result.report, governor.get(), "rmat", drawn,
+        out.result.report, governor.get(), ctx.obs, "rmat", drawn,
         static_cast<std::size_t>(params.edges_per_vertex << params.scale));
     out.result.report.phase_timings = sink.snapshot();
     out.space = space;

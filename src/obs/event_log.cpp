@@ -1,0 +1,86 @@
+#include "obs/event_log.hpp"
+
+#include "obs/flight_recorder.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/trace.hpp"
+
+namespace nullgraph::obs {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kJobAdmitted: return "job_admitted";
+    case EventKind::kJobEvicted: return "job_evicted";
+    case EventKind::kJobCompleted: return "job_completed";
+    case EventKind::kPhaseStart: return "phase_start";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kCurtailment: return "curtailment";
+    case EventKind::kDegradation: return "degradation";
+    case EventKind::kShardCommit: return "shard_commit";
+    case EventKind::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+EventLog::~EventLog() {
+  MutexLock lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+Status EventLog::open(const std::string& path) {
+  // obs sits below io in the layer DAG (calling up would cycle); this is a
+  // per-line-flushed append stream whose value IS its crash-surviving
+  // prefix, so the io layer's temp-write-rename commit would defeat it.
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr)
+    return Status(StatusCode::kIoError, "cannot open event log " + path);
+  MutexLock lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  // relaxed: lone fast-path flag; emit() re-checks file_ under the mutex.
+  has_file_.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void EventLog::emit(const Event& event) {
+  if (!active()) return;
+  JsonWriter json;
+  json.begin_object();
+  json.kv("ts_us", monotonic_us());
+  json.kv("event", event_kind_name(event.kind));
+  if (event.job_id != 0) json.kv("job", event.job_id);
+  if (event.trace_id != 0) json.kv("trace", event.trace_id);
+  if (!event.phase.empty()) json.kv("phase", event.phase);
+  if (event.value != 0) json.kv("value", event.value);
+  if (!event.detail.empty()) json.kv("detail", event.detail);
+  json.end_object();
+  std::string line = std::move(json).str();
+  line += '\n';
+  if (recorder_ != nullptr) recorder_->record(line);
+  // relaxed: statistics counter and a fast-path flag; the mutex below is
+  // the synchronization point for the file handle itself.
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!has_file_.load(std::memory_order_relaxed)) return;
+  MutexLock lock(mutex_);
+  if (file_ == nullptr) return;
+  // Flush per line: a tail -f reader sees events live, and a crash — even
+  // SIGKILL — leaves a valid JSONL prefix, never a torn line (stdio only
+  // passes whole buffers to write(2), and each line is one buffer).
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+PhaseEventScope::PhaseEventScope(const ObsContext& obs,
+                                 std::string_view phase) noexcept
+    : obs_(obs), phase_(phase) {
+  if (obs_.events == nullptr) return;
+  begin_us_ = monotonic_us();
+  emit_event(obs_, EventKind::kPhaseStart, phase_);
+}
+
+PhaseEventScope::~PhaseEventScope() {
+  if (obs_.events == nullptr) return;
+  emit_event(obs_, EventKind::kPhaseEnd, phase_, monotonic_us() - begin_us_);
+}
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,129 @@
+#pragma once
+// Structured event log: a JSONL sink for the operationally meaningful state
+// transitions of a run or a serve daemon — job admitted/evicted/completed,
+// phase start/end, curtailment, degradation, shard commit, checkpoint.
+//
+// One line per event, flushed per line, so the stream is tail -f-able live
+// and any crash (even SIGKILL) leaves a valid-JSONL prefix on disk. Line
+// schema (keys in this fixed order; zero/empty fields omitted):
+//
+//   {"ts_us":<abs monotonic µs>,"event":"<kind>","job":N,"trace":N,
+//    "phase":"...","value":N,"detail":"..."}
+//
+// ts_us is monotonic_us() (see obs/trace.hpp): absolute CLOCK_MONOTONIC,
+// machine-wide comparable across the client, daemon, and worker processes,
+// and deterministically sourced (the determinism lint bans the wall clock).
+//
+// Emission sites are the COLD control-flow edges of the pipeline — phase
+// boundaries, per-shard commits, governance verdicts — never per-element
+// inner loops; the obs-confinement lint enforces that boundary. The sink
+// mirrors every line into an optional FlightRecorder ring, so the crash
+// flight recorder sees exactly the event stream, no separate plumbing.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/obs_context.hpp"
+#include "robustness/status.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nullgraph::obs {
+
+class FlightRecorder;
+
+enum class EventKind : int {
+  kJobAdmitted = 0,
+  kJobEvicted,
+  kJobCompleted,
+  kPhaseStart,
+  kPhaseEnd,
+  kCurtailment,
+  kDegradation,
+  kShardCommit,
+  kCheckpoint,
+};
+
+/// Stable wire name ("job_admitted", "phase_start", ...). These strings are
+/// the schema contract with scripts/validate_events.py and obs_tail.py.
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One event, all fields optional except the kind. string_views are
+/// borrowed for the duration of the emit() call only.
+struct Event {
+  EventKind kind = EventKind::kPhaseStart;
+  std::uint64_t job_id = 0;    // serve job id; 0 (batch) omitted
+  std::uint64_t trace_id = 0;  // trace correlation id; 0 omitted
+  std::string_view phase;      // pipeline phase name; empty omitted
+  std::uint64_t value = 0;     // kind-specific scalar; 0 omitted
+  std::string_view detail;     // free-form annotation; empty omitted
+};
+
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens `path` for append. A log can also run file-less with only a
+  /// flight recorder attached (the daemon's black-box-only mode).
+  Status open(const std::string& path) NG_EXCLUDES(mutex_);
+
+  /// Mirrors every subsequent line into `recorder`'s ring. Call before
+  /// sharing the log across threads; the pointer is borrowed.
+  void attach_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  /// True when emit() goes anywhere (file or ring).
+  bool active() const noexcept {
+    // relaxed: fast-path hint only; emit() revalidates under the mutex.
+    return has_file_.load(std::memory_order_relaxed) || recorder_ != nullptr;
+  }
+
+  /// Formats and writes one JSONL line. Thread-safe; the line is built
+  /// outside the lock, the ring is lock-free, only the fwrite serializes.
+  void emit(const Event& event) NG_EXCLUDES(mutex_);
+
+  std::uint64_t emitted() const noexcept {
+    // relaxed: statistics counter read.
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::FILE* file_ NG_GUARDED_BY(mutex_) = nullptr;
+  std::atomic<bool> has_file_{false};
+  FlightRecorder* recorder_ = nullptr;
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+/// The one-branch guarded emit used at instrumentation sites: stamps the
+/// context's job/trace ids onto the event and forwards to the sink (or does
+/// nothing when no sink is attached).
+inline void emit_event(const ObsContext& obs, EventKind kind,
+                       std::string_view phase, std::uint64_t value = 0,
+                       std::string_view detail = {}) {
+  if (obs.events == nullptr) return;
+  obs.events->emit({kind, obs.job_id, obs.trace_id, phase, value, detail});
+}
+
+/// RAII phase bracket: kPhaseStart at construction, kPhaseEnd with
+/// value = elapsed µs at destruction. Null-sink cost is two branches.
+class PhaseEventScope {
+ public:
+  PhaseEventScope(const ObsContext& obs, std::string_view phase) noexcept;
+  ~PhaseEventScope();
+  PhaseEventScope(const PhaseEventScope&) = delete;
+  PhaseEventScope& operator=(const PhaseEventScope&) = delete;
+
+ private:
+  const ObsContext& obs_;
+  std::string_view phase_;
+  std::uint64_t begin_us_ = 0;
+};
+
+}  // namespace nullgraph::obs

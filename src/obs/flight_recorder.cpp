@@ -1,0 +1,70 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace nullgraph::obs {
+
+void FlightRecorder::record(std::string_view line) noexcept {
+  // relaxed: the ticket only orders THIS slot's ownership; the per-slot
+  // seq release below publishes the line bytes.
+  const std::uint64_t ticket =
+      next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(ticket - 1) % kSlots];
+  // Claim: readers seeing 0 (or a stale ticket) skip the slot.
+  slot.seq.store(0, std::memory_order_relaxed);
+  std::size_t n = line.size();
+  if (n > kLineBytes - 1) n = kLineBytes - 1;
+  std::memcpy(slot.line, line.data(), n);
+  if (n == 0 || slot.line[n - 1] != '\n') slot.line[n++] = '\n';
+  slot.len = static_cast<std::uint32_t>(n);
+  // release: publishes line/len to any dump() that acquires this ticket.
+  slot.seq.store(ticket, std::memory_order_release);
+}
+
+bool FlightRecorder::dump(const char* path) const noexcept {
+  // Everything below is async-signal-safe: fixed buffers, no allocation,
+  // no locks, only open/write/fsync/close/rename.
+  char tmp[512];
+  const std::size_t path_len = std::strlen(path);
+  if (path_len + 5 >= sizeof tmp) return false;
+  std::memcpy(tmp, path, path_len);
+  std::memcpy(tmp + path_len, ".tmp", 5);
+
+  const int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  // relaxed: a handler may interrupt a record() mid-copy; the per-slot
+  // acquire below decides per line whether the bytes are trustworthy.
+  const std::uint64_t issued = next_.load(std::memory_order_relaxed);
+  const std::uint64_t first = issued > kSlots ? issued - kSlots + 1 : 1;
+  bool ok = true;
+  for (std::uint64_t ticket = first; ticket <= issued && ok; ++ticket) {
+    const Slot& slot = slots_[(ticket - 1) % kSlots];
+    // acquire: pairs with record()'s release; an exact ticket match means
+    // the copy for THIS generation finished and was not yet lapped.
+    if (slot.seq.load(std::memory_order_acquire) != ticket) continue;
+    std::size_t off = 0;
+    while (off < slot.len) {
+      const ::ssize_t w = ::write(fd, slot.line + off, slot.len - off);
+      if (w <= 0) { ok = false; break; }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  if (::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && ::rename(tmp, path) != 0) ok = false;
+  return ok;
+}
+
+Status FlightRecorder::dump_to(const std::string& path) const {
+  if (!dump(path.c_str()))
+    return Status(StatusCode::kIoError,
+                  "flight recorder dump to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace nullgraph::obs

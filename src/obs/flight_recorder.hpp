@@ -1,0 +1,73 @@
+#pragma once
+// Crash flight recorder: a fixed-size lock-free ring of the most recent
+// event-log lines, dumped atomically to a `flight.jsonl` when something
+// goes badly wrong — a fatal signal, kShardCorrupt, curtailment, or a
+// watchdog stall. It is the black box the chaos drills inspect after
+// killing a daemon: the last kSlots events survive on disk even when the
+// process never got to write a report.
+//
+// Concurrency: record() claims a monotonically increasing ticket with one
+// relaxed fetch_add and owns slot (ticket-1) % kSlots. Each slot carries a
+// seqlock-style sequence word: writers store 0 (claim), copy the line, then
+// store the ticket with release; dump() accepts a slot only when its
+// sequence equals the exact ticket that slot should hold, so lapped or
+// mid-copy slots are silently skipped instead of emitting torn lines.
+//
+// Signal-safety: dump() is async-signal-safe — fixed-size buffers, no
+// allocation, no locks, only open/write/fsync/close/rename syscalls — so
+// the CLI's fatal-signal handler can call it directly. The write goes to
+// "<path>.tmp" then renames, so an observer never reads a partial dump.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "robustness/status.hpp"
+
+namespace nullgraph::obs {
+
+class FlightRecorder {
+ public:
+  /// Ring capacity (events) and per-event byte budget. 256 × 256 B = 64 KiB
+  /// resident — cheap enough to always arm when any event sink is on.
+  static constexpr std::size_t kSlots = 256;
+  static constexpr std::size_t kLineBytes = 256;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one line (a complete JSONL record, trailing '\n' included) to
+  /// the ring, truncating to kLineBytes-1 and forcing the newline back on.
+  /// Wait-free; never blocks the emitting thread.
+  void record(std::string_view line) noexcept;
+
+  /// Lines recorded since construction (lapped lines included).
+  std::uint64_t recorded() const noexcept {
+    // relaxed: statistics read.
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Async-signal-safe dump of the surviving ring contents, oldest first,
+  /// via <path>.tmp + rename. Returns false on any syscall failure or when
+  /// `path` (+ ".tmp") exceeds the fixed internal buffer. Safe to call
+  /// from a signal handler AND concurrently with record().
+  bool dump(const char* path) const noexcept;
+
+  /// Typed wrapper for normal-path (non-signal) callers.
+  [[nodiscard]] Status dump_to(const std::string& path) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty/claimed, else ticket
+    std::uint32_t len = 0;
+    char line[kLineBytes];
+  };
+
+  std::atomic<std::uint64_t> next_{0};  // tickets issued (1-based contents)
+  Slot slots_[kSlots];
+};
+
+}  // namespace nullgraph::obs

@@ -1,25 +1,36 @@
 #pragma once
-// ObsContext: the two-pointer telemetry handle threaded through configs and
-// exec::ParallelContext. Both pointers are borrowed (the CLI or test owns
-// the registry/sink) and both default to null, which is the documented
-// "no sink attached" fast path: every instrumentation site guards on the
-// pointer and pays one predictable branch.
+// ObsContext: the borrowed-pointer telemetry handle threaded through configs
+// and exec::ParallelContext. All pointers are borrowed (the CLI, daemon, or
+// test owns the registry/sink/log) and all default to null, which is the
+// documented "no sink attached" fast path: every instrumentation site guards
+// on the pointer and pays one predictable branch.
+//
+// job_id / trace_id are plain correlation values (not pointers): they stamp
+// every structured event and exported trace span so one serve daemon's
+// interleaved jobs can be teased apart downstream. Zero means "batch run /
+// no trace requested" and is omitted from serialized output.
 //
 // Forward declarations only — code that merely carries an ObsContext does
-// not pull in the metrics/trace headers; instrumentation sites include
-// obs/metrics.hpp and obs/trace.hpp themselves.
+// not pull in the metrics/trace/event headers; instrumentation sites include
+// obs/metrics.hpp, obs/trace.hpp, or obs/event_log.hpp themselves.
+
+#include <cstdint>
 
 namespace nullgraph::obs {
 
 class MetricsRegistry;
 class TraceSink;
+class EventLog;
 
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  EventLog* events = nullptr;
+  std::uint64_t job_id = 0;    // serve job id; 0 = batch run
+  std::uint64_t trace_id = 0;  // client-chosen trace correlation id; 0 = none
 
   bool active() const noexcept {
-    return metrics != nullptr || trace != nullptr;
+    return metrics != nullptr || trace != nullptr || events != nullptr;
   }
 };
 

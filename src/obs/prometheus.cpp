@@ -1,0 +1,173 @@
+#include "obs/prometheus.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace nullgraph::obs {
+namespace {
+
+void append_name(std::string& out, std::string_view name) {
+  out += "nullgraph_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+}
+
+// Label VALUES keep their raw bytes but escape per the exposition format:
+// backslash, double-quote, and newline.
+void append_label_value(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_type_line(std::string& out, std::string_view name,
+                      const char* type) {
+  out += "# TYPE ";
+  append_name(out, name);
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  append_name(out, name);
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    append_type_line(out, c.name, "counter");
+    append_name(out, c.name);
+    out += ' ';
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    append_type_line(out, g.name, "gauge");
+    append_name(out, g.name);
+    out += ' ';
+    append_i64(out, g.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    append_type_line(out, h.name, "histogram");
+    // Cumulative le buckets: underflow observations are <= the first edge
+    // too, so they fold into every bucket; overflow only reaches +Inf.
+    std::uint64_t cumulative = h.underflow;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      cumulative += h.counts[i];
+      append_name(out, h.name);
+      out += "_bucket{le=\"";
+      std::string edge;
+      append_i64(edge, h.edges[i]);
+      append_label_value(out, edge);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    append_name(out, h.name);
+    out += "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    append_name(out, h.name);
+    out += "_sum ";
+    append_i64(out, h.sum);
+    out += '\n';
+    append_name(out, h.name);
+    out += "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+Status MetricsExporter::start(const MetricsRegistry* registry,
+                              std::string path, std::uint64_t every_ms) {
+  if (registry == nullptr)
+    return Status(StatusCode::kInvalidArgument,
+                  "metrics exporter needs a registry");
+  if (worker_.joinable())
+    return Status(StatusCode::kInvalidArgument,
+                  "metrics exporter already started");
+  registry_ = registry;
+  path_ = std::move(path);
+  every_ms_ = every_ms == 0 ? 1 : every_ms;
+  // relaxed: lone stop flag polled by the worker; thread creation below
+  // publishes everything it needs to see.
+  stop_.store(false, std::memory_order_relaxed);
+  // First snapshot synchronously, so `path` exists (possibly as an empty
+  // exposition) the moment start() returns and scrapers never race file
+  // creation. Its Status also vets the path before the thread spawns.
+  Status first = write_snapshot();
+  if (!first.ok()) return first;
+  worker_ = std::thread([this] {
+    using namespace std::chrono;
+    auto next = steady_clock::now() + milliseconds(every_ms_);
+    // relaxed: plain stop flag; join() below synchronizes the final state.
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (steady_clock::now() >= next) {
+        (void)write_snapshot();  // transient write failure: retry next tick
+        next += milliseconds(every_ms_);
+      }
+      std::this_thread::sleep_for(
+          milliseconds(every_ms_ < 50 ? every_ms_ : 50));
+    }
+  });
+  return Status::Ok();
+}
+
+void MetricsExporter::stop_and_flush() {
+  if (!worker_.joinable()) return;
+  // relaxed: see the worker loop.
+  stop_.store(true, std::memory_order_relaxed);
+  worker_.join();
+  (void)write_snapshot();
+}
+
+Status MetricsExporter::write_snapshot() const {
+  const std::string body = render_prometheus(registry_->snapshot());
+  // obs sits below io in the layer DAG (calling up would cycle), so the
+  // temp-write-rename commit is done with raw stdio here; the artifact is
+  // a diagnostics exposition, but scrapers still must never see half a
+  // file, hence the same atomic-replace discipline the io layer uses.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr)
+    return Status(StatusCode::kIoError, "cannot open " + tmp);
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (n != body.size() || !closed)
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    return Status(StatusCode::kIoError, "cannot rename " + tmp);
+  // relaxed: statistics counter read by tests, no dependent data.
+  written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace nullgraph::obs

@@ -1,0 +1,71 @@
+#pragma once
+// Prometheus text-format exposition (version 0.0.4) over MetricsSnapshot.
+//
+// The registry's instrument names use dotted paths ("serve.queue_depth");
+// render_prometheus sanitizes them into the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* by mapping every other byte to '_' and prefixing
+// "nullgraph_", so "serve.queue_depth" exposes as
+// nullgraph_serve_queue_depth. Histograms render in the cumulative
+// le-labeled bucket form Prometheus expects: each bucket counts ALL
+// observations <= its edge (the registry's underflow bucket folds into the
+// first edge, overflow only into +Inf), plus _sum and _count series.
+//
+// Two consumers share the renderer: the daemon's `metrics` control verb
+// (body wrapped in the JSON reply envelope — control frames are
+// contractually JSON) and batch runs' --metrics-out periodic snapshots,
+// written by MetricsExporter below.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "robustness/status.hpp"
+
+namespace nullgraph::obs {
+
+/// "serve.queue_depth" -> "nullgraph_serve_queue_depth".
+std::string prometheus_name(std::string_view name);
+
+/// Full exposition: counters, gauges, histograms, each with a # TYPE line,
+/// instruments in snapshot (name-sorted) order. Empty snapshot -> "".
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Background writer for --metrics-out: every `every_ms` it renders the
+/// registry and atomically replaces `path` (write temp, flush, rename), so
+/// a scraper or `watch cat` never sees a torn exposition. stop_and_flush()
+/// joins the thread and writes one final snapshot — callers get an
+/// end-of-run exposition even when the run outpaces the period.
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter() { stop_and_flush(); }
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Spawns the writer thread. `registry` must outlive the exporter.
+  Status start(const MetricsRegistry* registry, std::string path,
+               std::uint64_t every_ms);
+
+  /// Idempotent; safe to call without start().
+  void stop_and_flush();
+
+  /// Snapshots written so far (including the final flush).
+  std::uint64_t snapshots_written() const noexcept {
+    // relaxed: statistics counter read, no ordering implied.
+    return written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status write_snapshot() const;
+
+  const MetricsRegistry* registry_ = nullptr;
+  std::string path_;
+  std::uint64_t every_ms_ = 0;
+  std::thread worker_;
+  std::atomic<bool> stop_{false};
+  mutable std::atomic<std::uint64_t> written_{0};
+};
+
+}  // namespace nullgraph::obs

@@ -14,6 +14,16 @@ void TraceSink::complete(std::string name, std::uint64_t begin_us) {
   events_.push_back({std::move(name), 'X', begin_us, dur, thread_id()});
 }
 
+void TraceSink::complete_between(std::string name, std::uint64_t begin_abs_us,
+                                 std::uint64_t end_abs_us) {
+  const std::uint64_t origin = origin_us();
+  const std::uint64_t ts = begin_abs_us > origin ? begin_abs_us - origin : 0;
+  const std::uint64_t dur =
+      end_abs_us > begin_abs_us ? end_abs_us - begin_abs_us : 0;
+  MutexLock lock(mutex_);
+  events_.push_back({std::move(name), 'X', ts, dur, thread_id()});
+}
+
 void TraceSink::instant(std::string name) {
   const std::uint64_t ts = now_us();
   MutexLock lock(mutex_);
@@ -23,6 +33,20 @@ void TraceSink::instant(std::string name) {
 std::size_t TraceSink::event_count() const {
   MutexLock lock(mutex_);
   return events_.size();
+}
+
+std::vector<TraceEventView> TraceSink::export_events() const {
+  const std::uint64_t origin = origin_us();
+  std::vector<Event> events;
+  {
+    MutexLock lock(mutex_);
+    events = events_;
+  }
+  std::vector<TraceEventView> out;
+  out.reserve(events.size());
+  for (Event& e : events)
+    out.push_back({std::move(e.name), e.phase, origin + e.ts, e.dur, e.tid});
+  return out;
 }
 
 std::string TraceSink::to_json() const {

@@ -21,6 +21,29 @@
 
 namespace nullgraph::obs {
 
+/// Absolute monotonic microseconds (CLOCK_MONOTONIC's epoch — boot time on
+/// Linux). The epoch is machine-wide, so values taken in different processes
+/// on the same host are directly comparable; this is what lets a client and
+/// the serve daemon stamp spans of ONE merged trace without touching the
+/// (lint-banned, non-deterministic) wall clock.
+inline std::uint64_t monotonic_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One exported trace event with an ABSOLUTE monotonic timestamp (see
+/// monotonic_us). This is the cross-process exchange form: the daemon ships
+/// these in the result frame and the client merges them with its own spans.
+struct TraceEventView {
+  std::string name;
+  char phase = 'X';          // 'X' complete, 'i' instant
+  std::uint64_t ts_us = 0;   // absolute monotonic µs
+  std::uint64_t dur_us = 0;  // 'X' only
+  int tid = 0;
+};
+
 class TraceSink {
  public:
   TraceSink() : start_(std::chrono::steady_clock::now()) {}
@@ -35,13 +58,33 @@ class TraceSink {
             .count());
   }
 
+  /// Absolute monotonic µs of sink construction (the value now_us() is
+  /// relative to).
+  std::uint64_t origin_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start_.time_since_epoch())
+            .count());
+  }
+
   /// One complete ("X") event spanning [begin_us, now]. Thread-safe.
   void complete(std::string name, std::uint64_t begin_us) NG_EXCLUDES(mutex_);
+
+  /// One complete event over an absolute monotonic interval — for spans
+  /// that begin before the sink exists (a serve job's queue wait starts at
+  /// admission, but the per-job sink is built at dequeue). Timestamps
+  /// before the sink's origin clamp to 0. Thread-safe.
+  void complete_between(std::string name, std::uint64_t begin_abs_us,
+                        std::uint64_t end_abs_us) NG_EXCLUDES(mutex_);
 
   /// One instant ("i") event at the current time. Thread-safe.
   void instant(std::string name) NG_EXCLUDES(mutex_);
 
   std::size_t event_count() const NG_EXCLUDES(mutex_);
+
+  /// All buffered events rebased to ABSOLUTE monotonic µs, in emission
+  /// order — the wire/export form (see TraceEventView). Thread-safe.
+  std::vector<TraceEventView> export_events() const NG_EXCLUDES(mutex_);
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — Perfetto-loadable.
   std::string to_json() const NG_EXCLUDES(mutex_);

@@ -53,20 +53,27 @@ Result<JsonObject> read_control_object(int fd, int timeout_ms) {
 
 Result<SubmitOutcome> submit_job(const SubmitOptions& options,
                                  const JobSpec& spec) {
+  obs::TraceSink* trace = options.trace;
+  std::uint64_t begin_us = trace != nullptr ? trace->now_us() : 0;
   Result<Connection> conn = Connection::open(options.socket_path);
   if (!conn.ok()) return conn.status();
+  if (trace != nullptr) trace->complete("connect", begin_us);
   const int fd = conn.value().fd();
 
+  if (trace != nullptr) begin_us = trace->now_us();
   if (Status s = write_control(fd, serialize_job_spec(spec)); !s.ok())
     return s;
   if (spec.edges_follow) {
     if (Status s = write_edge_frames(fd, spec.edges); !s.ok()) return s;
     if (Status s = write_control(fd, "{\"end\":true}"); !s.ok()) return s;
   }
+  if (trace != nullptr) trace->complete("send request", begin_us);
 
   SubmitOutcome outcome;
+  if (trace != nullptr) begin_us = trace->now_us();
   Result<JsonObject> admission =
       read_control_object(fd, options.reply_timeout_ms);
+  if (trace != nullptr) trace->complete("await admission", begin_us);
   if (!admission.ok()) return admission.status();
   if (!get_bool(admission.value(), "ok", false)) {
     outcome.admission = status_from_reply(admission.value());
@@ -76,6 +83,7 @@ Result<SubmitOutcome> submit_job(const SubmitOptions& options,
   outcome.job_id = get_u64(admission.value(), "job_id", 0);
 
   // Result stream: zero or more edge frames, then the final verdict.
+  if (trace != nullptr) begin_us = trace->now_us();
   while (true) {
     Result<Frame> frame = read_frame(fd, options.reply_timeout_ms);
     if (!frame.ok()) return frame.status();
@@ -98,6 +106,22 @@ Result<SubmitOutcome> submit_job(const SubmitOptions& options,
     outcome.edge_count = get_u64(reply, "edges", 0);
     outcome.report_path = get_string(reply, "report");
     outcome.out_path = get_string(reply, "out");
+    if (const JsonValue* spans = find(reply, "spans");
+        spans != nullptr && spans->kind() == JsonValue::Kind::kArray) {
+      for (const JsonValue& entry : spans->as_array()) {
+        if (!entry.is_object()) continue;
+        const JsonObject& span = entry.as_object();
+        obs::TraceEventView view;
+        view.name = get_string(span, "name");
+        const std::string ph = get_string(span, "ph");
+        view.phase = ph.empty() ? 'X' : ph[0];
+        view.ts_us = get_u64(span, "ts_us", 0);
+        view.dur_us = get_u64(span, "dur_us", 0);
+        view.tid = static_cast<int>(get_u64(span, "tid", 0));
+        outcome.daemon_spans.push_back(std::move(view));
+      }
+    }
+    if (trace != nullptr) trace->complete("await result", begin_us);
     return outcome;
   }
 }
@@ -107,9 +131,42 @@ Result<std::string> request_stats(const SubmitOptions& options) {
   if (!conn.ok()) return conn.status();
   const int fd = conn.value().fd();
   if (Status s = write_control(fd, "{\"op\":\"stats\"}"); !s.ok()) return s;
+  // Validate before returning: a malformed daemon frame must surface as a
+  // typed error here, not as a raw pass-through every caller would have to
+  // re-parse defensively.
   Result<Frame> frame = read_frame(fd, options.reply_timeout_ms);
   if (!frame.ok()) return frame.status();
-  return frame.value().text();
+  if (frame.value().type != FrameType::kControl)
+    return Status(StatusCode::kClientProtocol,
+                  "daemon stats reply is not a control frame");
+  std::string text = frame.value().text();
+  Result<JsonValue> doc = parse_json(text);
+  if (!doc.ok())
+    return Status(StatusCode::kClientProtocol,
+                  "daemon stats reply is not valid JSON: " +
+                      doc.status().message());
+  if (!doc.value().is_object())
+    return Status(StatusCode::kClientProtocol,
+                  "daemon stats reply is not a JSON object");
+  if (!get_bool(doc.value().as_object(), "ok", false))
+    return status_from_reply(doc.value().as_object());
+  return text;
+}
+
+Result<std::string> request_metrics(const SubmitOptions& options) {
+  Result<Connection> conn = Connection::open(options.socket_path);
+  if (!conn.ok()) return conn.status();
+  const int fd = conn.value().fd();
+  if (Status s = write_control(fd, "{\"op\":\"metrics\"}"); !s.ok()) return s;
+  Result<JsonObject> reply = read_control_object(fd, options.reply_timeout_ms);
+  if (!reply.ok()) return reply.status();
+  if (!get_bool(reply.value(), "ok", false))
+    return status_from_reply(reply.value());
+  const JsonValue* body = find(reply.value(), "body");
+  if (body == nullptr || body->kind() != JsonValue::Kind::kString)
+    return Status(StatusCode::kClientProtocol,
+                  "daemon metrics reply has no \"body\" string");
+  return body->as_string();
 }
 
 Status request_shutdown(const SubmitOptions& options) {

@@ -6,8 +6,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ds/edge_list.hpp"
+#include "obs/trace.hpp"
 #include "robustness/status.hpp"
 #include "svc/job.hpp"
 
@@ -17,6 +19,11 @@ struct SubmitOptions {
   std::string socket_path;
   /// Deadline for each reply frame (0 = wait however long the job takes).
   int reply_timeout_ms = 0;
+  /// Borrowed client-side trace sink: when set, submit_job records its own
+  /// protocol spans (connect, send request, await admission, await result)
+  /// here, so the CLI can merge them with the daemon's returned spans into
+  /// one cross-process trace.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SubmitOutcome {
@@ -38,6 +45,9 @@ struct SubmitOutcome {
   EdgeList edges;
   std::string report_path;
   std::string out_path;
+  /// Worker-side spans from the result frame (absolute monotonic µs; only
+  /// populated when the spec carried a trace_id and the daemon traced).
+  std::vector<obs::TraceEventView> daemon_spans;
 
   /// The status a CLI should exit with: admission failure first, then the
   /// job's own outcome.
@@ -53,8 +63,16 @@ struct SubmitOutcome {
 Result<SubmitOutcome> submit_job(const SubmitOptions& options,
                                  const JobSpec& spec);
 
-/// {"op":"stats"} round-trip; returns the daemon's raw JSON reply.
+/// {"op":"stats"} round-trip. Returns the daemon's JSON reply only after
+/// validating it IS a well-formed ok-reply: a malformed frame (wrong type,
+/// broken JSON, non-object) surfaces as a typed kClientProtocol and an
+/// {"ok":false,...} reply as its embedded status — never a raw
+/// pass-through the caller would have to re-parse defensively.
 Result<std::string> request_stats(const SubmitOptions& options);
+
+/// {"op":"metrics"} round-trip; returns the Prometheus text exposition
+/// unwrapped from the daemon's JSON envelope.
+Result<std::string> request_metrics(const SubmitOptions& options);
 
 /// {"op":"shutdown"} — asks the daemon to stop (queued jobs are evicted,
 /// running jobs drain).

@@ -7,6 +7,7 @@
 
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "svc/wire.hpp"
 
 namespace nullgraph::svc {
@@ -26,6 +27,31 @@ std::string render_stats(const SchedulerStats& stats, const DaemonConfig& cfg) {
   w.kv("recovered", stats.recovered);
   w.kv("slots", cfg.scheduler.slots);
   w.kv("queue_capacity", cfg.scheduler.queue_capacity);
+  w.kv("uptime_ms", stats.uptime_ms);
+  w.kv("spool_replayed", stats.spool_replayed);
+  w.key("exit_codes").begin_object();
+  for (const auto& [code, count] : stats.jobs_by_exit_code)
+    w.kv(std::to_string(code), count);
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+/// The `metrics` verb's reply. Control frames are contractually JSON, so
+/// the Prometheus exposition travels as a string body inside the envelope;
+/// the CLI's `submit --metrics` unwraps and prints it verbatim.
+std::string render_metrics_reply(Scheduler& scheduler,
+                                 obs::MetricsRegistry* metrics) {
+  std::string body;
+  if (metrics != nullptr) {
+    scheduler.publish_metrics();
+    body = obs::render_prometheus(metrics->snapshot());
+  }
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("content_type", "text/plain; version=0.0.4");
+  w.kv("body", body);
   w.end_object();
   return std::move(w).str();
 }
@@ -81,6 +107,13 @@ ConnectionVerdict handle_connection(int fd, const DaemonConfig& config,
   }
   if (op == "stats") {
     (void)write_control(fd, render_stats(scheduler.stats(), config));
+    // reason: same best-effort reply as ping.
+    close_fd(fd);
+    return verdict;
+  }
+  if (op == "metrics") {
+    (void)write_control(
+        fd, render_metrics_reply(scheduler, config.scheduler.metrics));
     // reason: same best-effort reply as ping.
     close_fd(fd);
     return verdict;

@@ -34,6 +34,8 @@ Result<JobSpec> parse_job_spec(const JsonObject& request) {
       static_cast<std::size_t>(get_u64(request, "checkpoint_every", 0));
   spec.out_path = get_string(request, "out");
   spec.inject_slow_ms = get_u64(request, "inject_slow_ms", 0);
+  spec.trace_id = get_u64(request, "trace_id", 0);
+  spec.parent_span = get_u64(request, "parent_span", 0);
 
   if (spec.op == JobSpec::Op::kGenerate) {
     spec.backend = get_string(request, "backend");
@@ -117,6 +119,8 @@ std::string serialize_job_spec(const JobSpec& spec) {
     w.kv("checkpoint_every", spec.checkpoint_every);
   if (!spec.out_path.empty()) w.kv("out", spec.out_path);
   if (spec.inject_slow_ms > 0) w.kv("inject_slow_ms", spec.inject_slow_ms);
+  if (spec.trace_id != 0) w.kv("trace_id", spec.trace_id);
+  if (spec.parent_span != 0) w.kv("parent_span", spec.parent_span);
   w.end_object();
   return std::move(w).str();
 }
@@ -160,7 +164,8 @@ std::string render_reject(const Status& status, std::uint64_t retry_after_ms) {
 std::string render_result(std::uint64_t job_id, const Status& final_status,
                           StatusCode curtailed, std::size_t edge_count,
                           const std::string& report_path,
-                          const std::string& out_path) {
+                          const std::string& out_path,
+                          const std::vector<obs::TraceEventView>* spans) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("done", true);
@@ -174,6 +179,19 @@ std::string render_result(std::uint64_t job_id, const Status& final_status,
   w.kv("edges", edge_count);
   if (!report_path.empty()) w.kv("report", report_path);
   if (!out_path.empty()) w.kv("out", out_path);
+  if (spans != nullptr && !spans->empty()) {
+    w.key("spans").begin_array();
+    for (const obs::TraceEventView& e : *spans) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("ph", std::string_view(&e.phase, 1));
+      w.kv("ts_us", e.ts_us);
+      w.kv("dur_us", e.dur_us);
+      w.kv("tid", e.tid);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return std::move(w).str();
 }

@@ -16,6 +16,7 @@
 
 #include "ds/edge_list.hpp"
 #include "gen/powerlaw.hpp"
+#include "obs/trace.hpp"
 #include "robustness/status.hpp"
 #include "svc/json.hpp"
 
@@ -68,6 +69,14 @@ struct JobSpec {
   /// Test hook: sleep this long inside the job slot before running, so
   /// chaos drills can hold slots busy deterministically.
   std::uint64_t inject_slow_ms = 0;
+  /// Trace propagation (DESIGN.md §12): when nonzero, the daemon builds a
+  /// per-job TraceSink whose spans (queue wait, arbitration, phases) come
+  /// back in the result frame's "spans" array, stamped with this
+  /// correlation id, so the client can merge them with its own spans into
+  /// ONE Perfetto trace. parent_span names the client-side span the
+  /// daemon's work nests under (0 = root).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   const char* op_name() const noexcept {
     return op == Op::kGenerate ? "generate" : "shuffle";
@@ -93,9 +102,13 @@ StatusCode status_code_from_id(std::uint64_t id) noexcept;
 /// humans and logs) and numeric id + process exit code (for programs).
 std::string render_admission_ok(std::uint64_t job_id);
 std::string render_reject(const Status& status, std::uint64_t retry_after_ms);
+/// `spans`: the job's exported trace events (absolute monotonic µs), sent
+/// only when the client asked for tracing; null/empty omits the array.
 std::string render_result(std::uint64_t job_id, const Status& final_status,
                           StatusCode curtailed, std::size_t edge_count,
                           const std::string& report_path,
-                          const std::string& out_path);
+                          const std::string& out_path,
+                          const std::vector<obs::TraceEventView>* spans =
+                              nullptr);
 
 }  // namespace nullgraph::svc

@@ -13,8 +13,12 @@
 #include "io/shard_merge.hpp"
 #include "model/driver.hpp"
 #include "model/registry.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "svc/wire.hpp"
 
 namespace nullgraph::svc {
@@ -46,6 +50,9 @@ struct JobExecution {
   StatusCode curtailed = StatusCode::kOk;
   std::string report_path;
   obs::MetricsRegistry metrics;
+  /// Borrowed per-job sink (run_job's stack) when the client asked for
+  /// trace propagation; null otherwise.
+  obs::TraceSink* trace = nullptr;
   /// The report's `model` block (generate jobs run through the registry
   /// driver; shuffle jobs have no model).
   obs::ModelBlock model;
@@ -68,6 +75,9 @@ Scheduler::~Scheduler() { shutdown(true); }
 
 Status Scheduler::submit(JobSpec spec, int client_fd) {
   const std::size_t bytes = spec.edges.size() * sizeof(Edge);
+  const std::uint64_t trace_id = spec.trace_id;
+  const char* const op_name = spec.op_name();
+  std::uint64_t admitted_id = 0;
   Job job;
   {
     MutexLock lock(mutex_);
@@ -94,6 +104,8 @@ Status Scheduler::submit(JobSpec spec, int client_fd) {
     job.id = next_id_++;
     job.spec = std::move(spec);
     job.client_fd = client_fd;
+    job.admitted_us = obs::monotonic_us();
+    admitted_id = job.id;
     // The accepted reply goes out BEFORE the job is visible to a worker,
     // so it can never interleave with the worker's result frames. The
     // write happens under the mutex, which is safe because admission is
@@ -110,6 +122,9 @@ Status Scheduler::submit(JobSpec spec, int client_fd) {
           ->set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
+  if (config_.events != nullptr)
+    config_.events->emit({obs::EventKind::kJobAdmitted, admitted_id, trace_id,
+                          {}, 0, op_name});
   return Status::Ok();
 }
 
@@ -119,11 +134,42 @@ std::uint64_t Scheduler::retry_after_ms() const {
 }
 
 SchedulerStats Scheduler::stats() const {
+  const std::uint64_t uptime = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
   MutexLock lock(mutex_);
   SchedulerStats s = tallies_;
   s.running = running_;
   s.queued = queue_.size();
+  s.uptime_ms = uptime;
+  s.spool_replayed = spool_replayed_;
+  s.jobs_by_exit_code.assign(by_exit_code_.begin(), by_exit_code_.end());
   return s;
+}
+
+void Scheduler::publish_metrics() {
+  obs::MetricsRegistry* m = config_.metrics;
+  if (m == nullptr) return;
+  const SchedulerStats s = stats();
+  m->gauge("serve.uptime_ms")->set(static_cast<std::int64_t>(s.uptime_ms));
+  m->gauge("serve.active_slots")->set(static_cast<std::int64_t>(s.running));
+  m->gauge("serve.queue_depth")->set(static_cast<std::int64_t>(s.queued));
+  m->gauge("serve.spool_replayed")
+      ->set(static_cast<std::int64_t>(s.spool_replayed));
+  m->gauge("serve.memory_ceiling_bytes")
+      ->set(static_cast<std::int64_t>(config_.memory_ceiling_bytes));
+  {
+    MutexLock lock(mutex_);
+    m->gauge("serve.tracked_bytes")
+        ->set(static_cast<std::int64_t>(tracked_bytes_));
+  }
+  for (const auto& [code, count] : s.jobs_by_exit_code)
+    m->gauge("serve.jobs_exit_" + std::to_string(code))
+        ->set(static_cast<std::int64_t>(count));
+  // "Governor memory" for operators: the process's live RSS / peak RSS
+  // gauges, refreshed at every publish (scrape) point.
+  record_process_memory(m);
 }
 
 void Scheduler::worker_loop() {
@@ -153,14 +199,25 @@ void Scheduler::worker_loop() {
 
 void Scheduler::run_job(Job job) {
   const auto start = std::chrono::steady_clock::now();
+  // Per-job trace sink, built only when the client propagated a trace id;
+  // its spans return in the result frame so the client can merge them into
+  // one cross-process Perfetto trace. The queue-wait span is retroactive:
+  // it began at admission, before this sink existed.
+  const bool traced = job.spec.trace_id != 0;
+  obs::TraceSink trace;
+  if (traced)
+    trace.complete_between("queue wait", job.admitted_us, obs::monotonic_us());
   if (job.spec.inject_slow_ms > 0)
     std::this_thread::sleep_for(
         std::chrono::milliseconds(job.spec.inject_slow_ms));
 
   // The lease IS the multi-tenancy: every ParallelContext constructed
   // anywhere below inherits this slot's thread share.
+  const std::uint64_t arbitration_begin_us = traced ? trace.now_us() : 0;
   exec::ThreadBudgetLease lease(arbiter_, job.spec.threads);
+  if (traced) trace.complete("arbitration", arbitration_begin_us);
   JobExecution ex;
+  ex.trace = traced ? &trace : nullptr;
   Status final_status = execute(job, lease.threads(), ex);
 
   if (final_status.ok() && !job.spec.out_path.empty()) {
@@ -195,6 +252,22 @@ void Scheduler::run_job(Job job) {
     }
   }
 
+  std::vector<obs::TraceEventView> spans;
+  if (traced) spans = trace.export_events();
+
+  // Black-box triggers (DESIGN.md §12): curtailment and shard corruption
+  // are exactly the "something went wrong mid-flight" moments whose recent
+  // event history an operator wants preserved before it laps out of the
+  // ring. The dump commits BEFORE the client is answered, so a typed
+  // curtailment exit at the client guarantees flight.jsonl is on disk.
+  if (config_.flight != nullptr && !config_.flight_path.empty() &&
+      (ex.curtailed != StatusCode::kOk ||
+       final_status.code() == StatusCode::kShardCorrupt)) {
+    if (!config_.flight->dump_to(config_.flight_path).ok() &&
+        config_.metrics != nullptr)
+      config_.metrics->counter("serve.flight_dump_failures")->add();
+  }
+
   if (job.client_fd >= 0) {
     bool client_alive = true;
     if (final_status.ok() && job.spec.out_path.empty())
@@ -206,7 +279,8 @@ void Scheduler::run_job(Job job) {
                           ? static_cast<std::size_t>(
                                 ex.result.spill.edges_on_disk)
                           : ex.result.edges.size(),
-                      ex.report_path, job.spec.out_path));
+                      ex.report_path, job.spec.out_path,
+                      spans.empty() ? nullptr : &spans));
     if ((!client_alive || !sent.ok()) && config_.metrics != nullptr)
       config_.metrics->counter("serve.client_gone")->add();
     close_fd(job.client_fd);
@@ -217,13 +291,25 @@ void Scheduler::run_job(Job job) {
   const auto latency = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+  // The decisive code mirrors the client's exit-status contract: a clean
+  // run that was curtailed still counts under the curtailment's code.
+  const StatusCode decisive = final_status.ok() && ex.curtailed != StatusCode::kOk
+                                  ? ex.curtailed
+                                  : final_status.code();
+  const int exit_code = status_exit_code(decisive);
   {
     MutexLock lock(mutex_);
     if (final_status.ok())
       ++tallies_.completed;
     else
       ++tallies_.failed;
+    ++by_exit_code_[exit_code];
   }
+  if (config_.events != nullptr)
+    config_.events->emit({obs::EventKind::kJobCompleted, job.id,
+                          job.spec.trace_id, {},
+                          static_cast<std::uint64_t>(exit_code),
+                          status_code_name(decisive)});
   if (config_.metrics != nullptr) {
     config_.metrics
         ->counter(final_status.ok() ? "serve.jobs_completed"
@@ -297,6 +383,10 @@ Status Scheduler::execute(const Job& job, int granted_threads,
     }
   }
   cfg.obs.metrics = &ex.metrics;
+  cfg.obs.trace = ex.trace;
+  cfg.obs.events = config_.events;
+  cfg.obs.job_id = job.id;
+  cfg.obs.trace_id = spec.trace_id;
 
   // Fault isolation: NOTHING a job does may take down the slot. Typed
   // failures flow back as Status; stray exceptions become kInternal.
@@ -406,6 +496,9 @@ void Scheduler::shutdown(bool evict_queued) {
   const Status evicted(StatusCode::kJobEvicted,
                        "daemon shutting down before the job could run");
   for (Job& job : evictees) {
+    if (config_.events != nullptr)
+      config_.events->emit({obs::EventKind::kJobEvicted, job.id,
+                            job.spec.trace_id, {}, 0, "daemon shutdown"});
     if (job.client_fd >= 0) {
       (void)write_control(job.client_fd,
                           render_result(job.id, evicted, StatusCode::kOk, 0,
@@ -475,7 +568,14 @@ std::size_t Scheduler::recover_spool() {
     // reason: the spool entry is consumed whatever the outcome.
     (void)std::remove(ckpt_path.c_str());
     // reason: same.
+    if (config_.events != nullptr)
+      config_.events->emit(
+          {obs::EventKind::kJobCompleted, 0, 0, {},
+           static_cast<std::uint64_t>(status_exit_code(final_status.code())),
+           "spool replay"});
     MutexLock lock(mutex_);
+    ++spool_replayed_;
+    ++by_exit_code_[status_exit_code(final_status.code())];
     if (final_status.ok()) {
       ++recovered;
       ++tallies_.recovered;

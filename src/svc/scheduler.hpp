@@ -24,10 +24,13 @@
 // commits its output atomically; a torn/corrupt one is a cleanly-failed
 // job (kCheckpointInvalid), counted and removed, never UB.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "exec/thread_budget.hpp"
@@ -39,6 +42,8 @@
 
 namespace nullgraph::obs {
 class MetricsRegistry;
+class EventLog;
+class FlightRecorder;
 }
 
 namespace nullgraph::svc {
@@ -61,6 +66,15 @@ struct SchedulerConfig {
   int total_threads = 0;
   /// Borrowed daemon-level registry for queue/admission/latency metrics.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Borrowed serve-wide structured event log (job lifecycle + pipeline
+  /// events from every slot interleave here, keyed by job id).
+  obs::EventLog* events = nullptr;
+  /// Borrowed crash flight recorder; when `flight_path` is also set, the
+  /// scheduler dumps the ring there whenever a job curtails or fails with
+  /// kShardCorrupt (the daemon-side black-box triggers; fatal signals are
+  /// the CLI's trigger).
+  obs::FlightRecorder* flight = nullptr;
+  std::string flight_path;
   /// Chaos: forwarded to each job's guardrails (fail_checkpoint_writes).
   FaultPlan faults;
 };
@@ -73,6 +87,15 @@ struct SchedulerStats {
   std::uint64_t evicted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t recovered = 0;
+  /// Milliseconds since the scheduler was constructed.
+  std::uint64_t uptime_ms = 0;
+  /// Spool entries consumed at startup recovery (successful AND failed
+  /// replays; `recovered` counts only the successes).
+  std::uint64_t spool_replayed = 0;
+  /// Finished jobs bucketed by the process exit code their final Status
+  /// maps to, ascending by code. The `stats` verb and the `metrics` verb
+  /// both render from this one tally.
+  std::vector<std::pair<int, std::uint64_t>> jobs_by_exit_code;
 };
 
 class Scheduler {
@@ -95,6 +118,13 @@ class Scheduler {
 
   SchedulerStats stats() const NG_EXCLUDES(mutex_);
 
+  /// Pushes the current stats() into the config's MetricsRegistry as
+  /// serve.* gauges (uptime, active slots, queue depth, tracked bytes,
+  /// per-exit-code tallies) plus process memory — the daemon calls this
+  /// before rendering the `metrics` verb so scrapes and `stats` replies
+  /// derive from the same source of truth. No-op without a registry.
+  void publish_metrics() NG_EXCLUDES(mutex_);
+
   /// Stops admission; with `evict_queued` every waiting job is answered
   /// kJobEvicted and dropped, otherwise the queue drains. Running jobs
   /// always finish. Idempotent; joins the workers.
@@ -110,6 +140,9 @@ class Scheduler {
     JobSpec spec;
     int client_fd = -1;
     CancelToken cancel;
+    /// Absolute monotonic µs at admission; the traced "queue wait" span
+    /// runs from here to dequeue.
+    std::uint64_t admitted_us = 0;
   };
 
   void worker_loop();
@@ -130,6 +163,10 @@ class Scheduler {
   std::size_t running_ NG_GUARDED_BY(mutex_) = 0;
   std::size_t tracked_bytes_ NG_GUARDED_BY(mutex_) = 0;
   SchedulerStats tallies_ NG_GUARDED_BY(mutex_);
+  std::map<int, std::uint64_t> by_exit_code_ NG_GUARDED_BY(mutex_);
+  std::uint64_t spool_replayed_ NG_GUARDED_BY(mutex_) = 0;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   bool joined_ = false;  // touched only by shutdown/destructor
 };
 

@@ -15,7 +15,10 @@
 #include "core/null_model.hpp"
 #include "exec/phase_timing.hpp"
 #include "lfr/lfr.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -366,6 +369,213 @@ TEST(RunReport, WriteRoundTripsAndFlagsBadPath) {
 
   const Status bad = write_run_report("/nonexistent-dir/report.json", inputs);
   EXPECT_EQ(bad.code(), StatusCode::kIoError);
+}
+
+// ----------------------------------------------------------- prometheus
+
+// The renderer goldens ARE the exposition-format contract the daemon's
+// `metrics` verb and --metrics-out snapshots serve to scrapers: TYPE line
+// per family, nullgraph_ prefix, sanitized names, cumulative le buckets.
+
+TEST(Prometheus, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_prometheus(registry.snapshot()), "");
+}
+
+TEST(Prometheus, NameSanitizationMapsNonAlphanumericsToUnderscore) {
+  EXPECT_EQ(prometheus_name("serve.queue_depth"),
+            "nullgraph_serve_queue_depth");
+  EXPECT_EQ(prometheus_name("swaps.windowed-acceptance permille"),
+            "nullgraph_swaps_windowed_acceptance_permille");
+  EXPECT_EQ(prometheus_name("already:legal_name9"),
+            "nullgraph_already:legal_name9");
+}
+
+TEST(Prometheus, CounterAndGaugeGolden) {
+  MetricsRegistry registry;
+  registry.counter("serve.jobs_completed")->add(4);
+  registry.gauge("governor.memory_bytes")->set(-12);
+  EXPECT_EQ(render_prometheus(registry.snapshot()),
+            "# TYPE nullgraph_serve_jobs_completed counter\n"
+            "nullgraph_serve_jobs_completed 4\n"
+            "# TYPE nullgraph_governor_memory_bytes gauge\n"
+            "nullgraph_governor_memory_bytes -12\n");
+}
+
+TEST(Prometheus, HistogramGoldenWithCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("probe.len", /*lower=*/1, {2, 4});
+  h->record(0);  // underflow: folds into every le bucket
+  h->record(2);
+  h->record(3);
+  h->record(9);  // overflow: only reaches +Inf
+  EXPECT_EQ(render_prometheus(registry.snapshot()),
+            "# TYPE nullgraph_probe_len histogram\n"
+            "nullgraph_probe_len_bucket{le=\"2\"} 2\n"
+            "nullgraph_probe_len_bucket{le=\"4\"} 3\n"
+            "nullgraph_probe_len_bucket{le=\"+Inf\"} 4\n"
+            "nullgraph_probe_len_sum 14\n"
+            "nullgraph_probe_len_count 4\n");
+}
+
+// ------------------------------------------------------------ event log
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string body(1 << 16, '\0');
+  body.resize(std::fread(body.data(), 1, body.size(), f));
+  std::fclose(f);
+  return body;
+}
+
+TEST(EventLog, WritesFixedKeyOrderAndOmitsZeroFields) {
+  const std::string path = testing::TempDir() + "/nullgraph_test_events.jsonl";
+  EventLog log;
+  ASSERT_TRUE(log.open(path).ok());
+  log.emit({EventKind::kShardCommit, /*job_id=*/7, /*trace_id=*/9,
+            "edge generation", /*value=*/3, "shard 1/4"});
+  log.emit({EventKind::kCheckpoint});  // everything optional omitted
+  const std::string body = read_file(path);
+  std::remove(path.c_str());
+
+  // ts_us is live; everything after it is deterministic and ordered.
+  const std::size_t first_break = body.find(",\"event\"");
+  ASSERT_NE(first_break, std::string::npos);
+  EXPECT_EQ(body.substr(0, 9), "{\"ts_us\":");
+  const std::size_t eol = body.find('\n');
+  EXPECT_EQ(body.substr(first_break, eol - first_break),
+            ",\"event\":\"shard_commit\",\"job\":7,\"trace\":9,"
+            "\"phase\":\"edge generation\",\"value\":3,"
+            "\"detail\":\"shard 1/4\"}");
+  const std::string second = body.substr(eol + 1);
+  EXPECT_NE(second.find(",\"event\":\"checkpoint\"}\n"), std::string::npos);
+  EXPECT_EQ(log.emitted(), 2u);
+}
+
+TEST(EventLog, EscapesDetailAndPhaseStrings) {
+  const std::string path = testing::TempDir() + "/nullgraph_test_escape.jsonl";
+  EventLog log;
+  ASSERT_TRUE(log.open(path).ok());
+  log.emit({EventKind::kDegradation, 0, 0, "pha\"se", 0,
+            std::string_view("back\\slash\nnewline\ttab", 22)});
+  const std::string body = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_NE(body.find("\"phase\":\"pha\\\"se\""), std::string::npos) << body;
+  EXPECT_NE(body.find("back\\\\slash\\nnewline\\ttab"), std::string::npos)
+      << body;
+}
+
+TEST(EventLog, InactiveWithoutSinksAndActiveWithRingOnly) {
+  EventLog log;
+  EXPECT_FALSE(log.active());
+  log.emit({EventKind::kCheckpoint});  // no sink: dropped, not a crash
+  EXPECT_EQ(log.emitted(), 0u);
+
+  FlightRecorder ring;
+  log.attach_flight_recorder(&ring);
+  EXPECT_TRUE(log.active());  // black-box-only mode (--flight-out alone)
+  log.emit({EventKind::kCheckpoint, 0, 0, {}, 5});
+  EXPECT_EQ(log.emitted(), 1u);
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, DumpPreservesRecentLinesInOrder) {
+  FlightRecorder ring;
+  for (int i = 0; i < 10; ++i)
+    ring.record("{\"line\":" + std::to_string(i) + "}\n");
+  const std::string path = testing::TempDir() + "/nullgraph_test_flight.jsonl";
+  ASSERT_TRUE(ring.dump_to(path).ok());
+  const std::string body = read_file(path);
+  std::remove(path.c_str());
+  std::string expected;
+  for (int i = 0; i < 10; ++i)
+    expected += "{\"line\":" + std::to_string(i) + "}\n";
+  EXPECT_EQ(body, expected);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastKSlots) {
+  FlightRecorder ring;
+  const int total = static_cast<int>(FlightRecorder::kSlots) + 44;
+  for (int i = 0; i < total; ++i)
+    ring.record("{\"line\":" + std::to_string(i) + "}\n");
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(total));
+  const std::string path = testing::TempDir() + "/nullgraph_test_wrap.jsonl";
+  ASSERT_TRUE(ring.dump_to(path).ok());
+  const std::string body = read_file(path);
+  std::remove(path.c_str());
+  // Oldest survivor is exactly `total - kSlots`; line 0 has lapped out.
+  EXPECT_EQ(body.substr(0, body.find('\n') + 1),
+            "{\"line\":44}\n");
+  EXPECT_NE(body.rfind("{\"line\":" + std::to_string(total - 1) + "}\n"),
+            std::string::npos);
+  EXPECT_EQ(body.find("{\"line\":0}\n"), std::string::npos);
+}
+
+TEST(FlightRecorder, OversizedLinesAreTruncatedWithNewlineRestored) {
+  FlightRecorder ring;
+  ring.record(std::string(FlightRecorder::kLineBytes * 2, 'x') + "\n");
+  const std::string path = testing::TempDir() + "/nullgraph_test_trunc.jsonl";
+  ASSERT_TRUE(ring.dump_to(path).ok());
+  const std::string body = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(body.size(), FlightRecorder::kLineBytes);
+  EXPECT_EQ(body.back(), '\n');
+}
+
+TEST(FlightRecorder, EmptyRingDumpsAnEmptyFile) {
+  FlightRecorder ring;
+  const std::string path = testing::TempDir() + "/nullgraph_test_empty.jsonl";
+  ASSERT_TRUE(ring.dump_to(path).ok());
+  EXPECT_EQ(read_file(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpToBadPathIsTypedIoError) {
+  FlightRecorder ring;
+  ring.record("{\"line\":1}\n");
+  const Status s = ring.dump_to("/nonexistent-dir/flight.jsonl");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------ metrics exporter
+
+TEST(MetricsExporter, FirstSnapshotIsSynchronousAndStopFlushesTheLast) {
+  MetricsRegistry registry;
+  registry.counter("test.ticks")->add(1);
+  const std::string path = testing::TempDir() + "/nullgraph_test_metrics.prom";
+  MetricsExporter exporter;
+  // A long period: only the synchronous first snapshot and the final
+  // stop_and_flush write, making the assertion timing-independent.
+  ASSERT_TRUE(exporter.start(&registry, path, /*every_ms=*/60'000).ok());
+  EXPECT_NE(read_file(path).find("nullgraph_test_ticks 1\n"),
+            std::string::npos);
+  registry.counter("test.ticks")->add(41);
+  exporter.stop_and_flush();
+  EXPECT_NE(read_file(path).find("nullgraph_test_ticks 42\n"),
+            std::string::npos);
+  EXPECT_GE(exporter.snapshots_written(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExporter, UnwritablePathFailsStartTyped) {
+  MetricsRegistry registry;
+  MetricsExporter exporter;
+  const Status s =
+      exporter.start(&registry, "/nonexistent-dir/metrics.prom", 1000);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  exporter.stop_and_flush();  // no-op on a never-started exporter
+}
+
+TEST(MetricsExporter, NullRegistryIsInvalidArgument) {
+  MetricsExporter exporter;
+  EXPECT_EQ(exporter.start(nullptr, "x.prom", 1000).code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -715,6 +715,159 @@ TEST_F(DaemonTest, ZeroCapacityDaemonShedsEverySubmitWithRetryAfter) {
   EXPECT_GT(outcome.value().retry_after_ms, 0u);
 }
 
+// ------------------------------------------------- stats verb hardening
+
+/// One-shot fake daemon: accepts a single connection, reads one control
+/// frame, answers with `reply` verbatim, and closes. Exists to feed
+/// request_stats() byte sequences a real daemon would never send.
+class FakeStatsServer {
+ public:
+  explicit FakeStatsServer(std::string reply)
+      : socket_path_(temp_path("svc_fake_stats.sock")),
+        reply_(std::move(reply)) {
+    const Result<int> listener = listen_unix(socket_path_);
+    EXPECT_TRUE(listener.ok()) << listener.status().to_string();
+    listen_fd_ = listener.value();
+    thread_ = std::thread([this] {
+      const Result<int> client = accept_with_timeout(listen_fd_, 5000);
+      if (!client.ok() || client.value() < 0) return;
+      (void)read_frame(client.value(), 5000);  // the {"op":"stats"} request
+      (void)write_control(client.value(), reply_);
+      close_fd(client.value());
+    });
+  }
+
+  ~FakeStatsServer() {
+    if (thread_.joinable()) thread_.join();
+    close_fd(listen_fd_);
+    std::remove(socket_path_.c_str());
+  }
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  std::string reply_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+TEST(SvcClient, MalformedStatsReplyIsTypedClientProtocol) {
+  // Regression: request_stats used to pass the daemon's frame through raw,
+  // leaving every caller to re-parse defensively. Broken JSON must now
+  // surface as a typed kClientProtocol, never as a "successful" string.
+  FakeStatsServer server("{not a json object");
+  const Result<std::string> stats =
+      request_stats(SubmitOptions{server.socket_path(), 5000});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcClient, NonObjectStatsReplyIsTypedClientProtocol) {
+  FakeStatsServer server("[1,2,3]");
+  const Result<std::string> stats =
+      request_stats(SubmitOptions{server.socket_path(), 5000});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kClientProtocol);
+}
+
+TEST(SvcClient, ErrorStatsReplySurfacesTheEmbeddedStatus) {
+  // The wire carries the numeric code_id (job.cpp render_reject), which the
+  // client maps back through status_code_from_id.
+  FakeStatsServer server(
+      "{\"ok\":false,\"code\":\"kOverloaded\",\"code_id\":" +
+      std::to_string(static_cast<int>(StatusCode::kOverloaded)) +
+      ",\"message\":\"drowning\"}");
+  const Result<std::string> stats =
+      request_stats(SubmitOptions{server.socket_path(), 5000});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(stats.status().message().find("drowning"), std::string::npos);
+}
+
+// -------------------------------------------------- observability plumbing
+
+TEST(SvcJobSpec, TraceIdRoundTripsThroughSerialize) {
+  JobSpec spec = quick_generate_spec();
+  spec.trace_id = 0x1122334455667788ULL;
+  const Result<JsonValue> doc = parse_json(serialize_job_spec(spec));
+  ASSERT_TRUE(doc.ok());
+  const Result<JobSpec> back = parse_job_spec(doc.value().as_object());
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().trace_id, spec.trace_id);
+
+  // trace_id 0 (untraced) must be omitted from the wire, not sent as 0.
+  spec.trace_id = 0;
+  EXPECT_EQ(serialize_job_spec(spec).find("trace_id"), std::string::npos);
+}
+
+TEST(SvcScheduler, StatsCarryUptimeAndTheExitCodeTally) {
+  SchedulerConfig config;
+  config.slots = 2;
+  Scheduler scheduler(config);
+  ASSERT_TRUE(scheduler.submit(quick_generate_spec(), -1).ok());
+  JobSpec doomed;
+  doomed.op = JobSpec::Op::kShuffle;
+  doomed.in_path = temp_path("no_such_stats_input.txt");
+  ASSERT_TRUE(scheduler.submit(doomed, -1).ok());
+  ASSERT_TRUE(wait_until([&] {
+    const SchedulerStats s = scheduler.stats();
+    return s.completed + s.failed == 2;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.uptime_ms, 1u);
+  EXPECT_EQ(stats.spool_replayed, 0u);  // no spool configured, none replayed
+  // One job per exit-code bucket: the success under 0, the failure under
+  // its typed nonzero code; the buckets arrive sorted ascending.
+  std::uint64_t total = 0;
+  for (const auto& [code, count] : stats.jobs_by_exit_code) total += count;
+  EXPECT_EQ(total, 2u);
+  ASSERT_FALSE(stats.jobs_by_exit_code.empty());
+  EXPECT_EQ(stats.jobs_by_exit_code.front().first, 0);
+  EXPECT_EQ(stats.jobs_by_exit_code.front().second, 1u);
+  EXPECT_GT(stats.jobs_by_exit_code.back().first, 0);
+  scheduler.shutdown(true);
+}
+
+TEST_F(DaemonTest, TracedSubmitReturnsDaemonSpansAndRecordsClientSpans) {
+  DaemonConfig config;
+  config.scheduler.slots = 1;
+  start(config);
+  obs::TraceSink client_sink;
+  SubmitOptions options{socket_path_, 30000};
+  options.trace = &client_sink;
+  JobSpec spec = quick_generate_spec();
+  spec.trace_id = 0x77;
+
+  const Result<SubmitOutcome> outcome = submit_job(options, spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  ASSERT_TRUE(outcome.value().final_status.ok())
+      << outcome.value().final_status.to_string();
+
+  // Daemon-side spans ride back in the result frame with absolute
+  // monotonic timestamps: queue wait and the pipeline phases, at minimum.
+  const std::vector<obs::TraceEventView>& spans =
+      outcome.value().daemon_spans;
+  ASSERT_FALSE(spans.empty());
+  bool saw_queue_wait = false;
+  for (const obs::TraceEventView& span : spans) {
+    EXPECT_GT(span.ts_us, 0u);
+    if (span.name == "queue wait") saw_queue_wait = true;
+  }
+  EXPECT_TRUE(saw_queue_wait);
+  // The client recorded its own protocol spans into the borrowed sink.
+  EXPECT_GT(client_sink.event_count(), 0u);
+}
+
+TEST_F(DaemonTest, UntracedSubmitCarriesNoSpans) {
+  start(DaemonConfig{});
+  const Result<SubmitOutcome> outcome = submit_job(
+      SubmitOptions{socket_path_, 30000}, quick_generate_spec());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_TRUE(outcome.value().daemon_spans.empty());
+}
+
 TEST_F(DaemonTest, InlineUploadShuffleStreamsBackAPermutation) {
   start(DaemonConfig{});
   SubmitOptions options{socket_path_, 30000};

@@ -72,6 +72,25 @@
 //   --trace-out FILE     Chrome-trace-event JSON (load in Perfetto or
 //                        chrome://tracing): one span per pipeline phase,
 //                        exec loop, swap iteration, and LFR layer
+//   --events-out FILE    structured JSONL event stream (DESIGN.md §12):
+//                        one line per operational state transition (phase
+//                        start/end, shard commit, checkpoint, curtailment,
+//                        degradation), flushed per line so a crash leaves
+//                        a valid prefix; scripts/obs_tail.py pretty-prints
+//   --flight-out FILE    crash flight recorder: the last 256 event lines,
+//                        dumped atomically on a fatal signal or any typed
+//                        failure exit — the black box for post-mortems
+//   --metrics-out FILE   periodic Prometheus text exposition snapshots
+//                        (atomic tmp+rename every --metrics-every-ms,
+//                        default 1000); point a node_exporter textfile
+//                        collector or a test harness at it
+//
+//   serve accepts --events-out/--flight-out for a daemon-wide stream (job
+//   admitted/evicted/completed + every worker's phase events, stamped with
+//   job and trace ids); `submit --metrics` fetches a live Prometheus
+//   exposition over the socket, and `submit --trace-out FILE` merges the
+//   client's protocol spans with the daemon's worker spans into ONE
+//   cross-process Perfetto timeline (queue wait and arbitration included).
 //
 // Service mode (DESIGN.md §9):
 //   nullgraph serve  --socket PATH [--slots N --queue N --max-memory-mb N
@@ -122,8 +141,11 @@
 #include "lfr/lfr.hpp"
 #include "model/driver.hpp"
 #include "model/registry.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process_stats.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/json_writer.hpp"
@@ -174,6 +196,46 @@ void install_signal_handlers() {
   std::signal(SIGTERM, on_termination_signal);
 }
 
+/// Flight-recorder hookup for fatal signals. The pointer and path live in
+/// fixed storage set BEFORE the handlers are armed, so the handler itself
+/// touches nothing that allocates.
+std::atomic<obs::FlightRecorder*>& global_flight() {
+  static std::atomic<obs::FlightRecorder*> recorder{nullptr};
+  return recorder;
+}
+char g_flight_path[256] = {0};
+
+extern "C" void on_fatal_signal(int signo) {
+  // dump() is async-signal-safe by contract (fixed buffers, raw syscalls,
+  // tmp+rename); after the dump the default disposition re-raises so the
+  // exit status still reflects the crash.
+  // relaxed: lone pointer stored before the handler was armed; a fatal
+  // signal cannot race the arm (signal() itself is the ordering point).
+  obs::FlightRecorder* recorder =
+      global_flight().load(std::memory_order_relaxed);
+  if (recorder != nullptr) (void)recorder->dump(g_flight_path);
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+void arm_fatal_flight_dump(obs::FlightRecorder* recorder,
+                           const std::string& path) {
+  if (path.size() >= sizeof g_flight_path) {
+    std::fprintf(stderr, "--flight-out path too long (max %zu)\n",
+                 sizeof g_flight_path - 1);
+    std::exit(1);
+  }
+  std::memcpy(g_flight_path, path.c_str(), path.size() + 1);
+  // relaxed: stored before any fatal handler is installed below, so the
+  // handler can never observe the pointer without the path already set.
+  global_flight().store(recorder, std::memory_order_relaxed);
+  std::signal(SIGSEGV, on_fatal_signal);
+  std::signal(SIGABRT, on_fatal_signal);
+  std::signal(SIGBUS, on_fatal_signal);
+  std::signal(SIGFPE, on_fatal_signal);
+  std::signal(SIGILL, on_fatal_signal);
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: nullgraph <command> [options]\n"
@@ -202,21 +264,27 @@ void usage() {
                "--inject-slow-ms N --inject-spill-fail N --inject-seed S\n"
                "telemetry (generate/shuffle/lfr): --report-json FILE "
                "--trace-out FILE\n"
+               "  --events-out FILE (JSONL event stream) --flight-out FILE "
+               "(crash flight recorder)\n"
+               "  --metrics-out FILE [--metrics-every-ms N] (periodic "
+               "Prometheus snapshots)\n"
                "service mode:\n"
                "  serve  --socket PATH [--slots N --queue N --max-memory-mb N"
                " --spool DIR\n"
                "          --report-dir DIR --threads N --read-timeout-ms N"
                " --report-json FILE\n"
+               "          --events-out FILE --flight-out FILE\n"
                "          --inject-accept-fail N --inject-slow-client-ms N"
                " --inject-ckpt-fail N]\n"
-               "  submit --socket PATH [--ping | --stats | --shutdown |\n"
+               "  submit --socket PATH [--ping | --stats | --metrics |"
+               " --shutdown |\n"
                "          job: (--backend NAME [--param K=V ...] [--space S"
                " --labeling L] |\n"
                "                --powerlaw ... | --dist FILE | --in FILE |"
                " --upload FILE)\n"
                "          --seed S --swaps K --deadline-ms N --threads N\n"
                "          --checkpoint-every N --out FILE --save FILE"
-               " --timeout-ms N]\n"
+               " --timeout-ms N --trace-out FILE]\n"
                "exit codes: 0 ok, 1 usage, 2 runtime, 3+ typed error class "
                "(see README)\n");
   // Generated from the registry so help cannot drift from what's linked in.
@@ -356,8 +424,12 @@ GovernanceConfig governance_from(const Args& args) {
 struct Telemetry {
   std::string report_path;
   std::string trace_path;
+  std::string flight_path;
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::EventLog> events;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::MetricsExporter> exporter;
   std::vector<std::string> argv;  // config fingerprint for the report
 
   static Telemetry from(const Args& args, int argc, char** argv) {
@@ -371,11 +443,48 @@ struct Telemetry {
       telem.trace_path = *path;
       telem.trace = std::make_unique<obs::TraceSink>();
     }
+    if (const auto path = args.get("events-out")) {
+      telem.events = std::make_unique<obs::EventLog>();
+      if (const Status s = telem.events->open(*path); !s.ok()) {
+        std::fprintf(stderr, "telemetry: %s\n", s.to_string().c_str());
+        std::exit(status_exit_code(s.code()));
+      }
+    }
+    if (const auto path = args.get("flight-out")) {
+      telem.flight_path = *path;
+      telem.flight = std::make_unique<obs::FlightRecorder>();
+      // Black-box-only mode: with no --events-out the log runs file-less
+      // and still mirrors every line into the ring.
+      if (telem.events == nullptr)
+        telem.events = std::make_unique<obs::EventLog>();
+      telem.events->attach_flight_recorder(telem.flight.get());
+      arm_fatal_flight_dump(telem.flight.get(), telem.flight_path);
+    }
+    if (const auto path = args.get("metrics-out")) {
+      if (telem.metrics == nullptr)
+        telem.metrics = std::make_unique<obs::MetricsRegistry>();
+      const std::uint64_t every =
+          args.get_u64("metrics-every-ms", 1000);
+      telem.exporter = std::make_unique<obs::MetricsExporter>();
+      if (const Status s =
+              telem.exporter->start(telem.metrics.get(), *path, every);
+          !s.ok()) {
+        std::fprintf(stderr, "telemetry: %s\n", s.to_string().c_str());
+        std::exit(status_exit_code(s.code()));
+      }
+    } else if (args.has("metrics-every-ms")) {
+      std::fprintf(stderr, "--metrics-every-ms needs --metrics-out FILE\n");
+      std::exit(1);
+    }
     return telem;
   }
 
   obs::ObsContext context() const noexcept {
-    return {metrics.get(), trace.get()};
+    obs::ObsContext obs;
+    obs.metrics = metrics.get();
+    obs.trace = trace.get();
+    obs.events = events.get();
+    return obs;
   }
 
   int finish(const std::string& command, std::uint64_t seed,
@@ -386,6 +495,20 @@ struct Telemetry {
     // spill counters — the kernel's own proof that a spilled run stayed
     // within its ceiling.
     obs::record_process_memory(metrics.get());
+    // The periodic exporter's last snapshot is taken AFTER the memory
+    // sample above so the final file reflects the run's end state.
+    if (exporter != nullptr) exporter->stop_and_flush();
+    // Typed failures (curtailment, shard corruption, I/O, ...) dump the
+    // flight ring: the last events before things went wrong, on disk even
+    // though the run is over. Usage errors (1) and clean exits don't.
+    if (flight != nullptr && code >= 2) {
+      if (const Status s = flight->dump_to(flight_path); !s.ok())
+        std::fprintf(stderr, "telemetry: flight dump failed: %s\n",
+                     s.to_string().c_str());
+      else
+        std::fprintf(stderr, "flight recorder dumped -> %s\n",
+                     flight_path.c_str());
+    }
     Status failed = Status::Ok();
     if (trace != nullptr) {
       const Status status = trace->write(trace_path);
@@ -770,6 +893,26 @@ int cmd_serve(const Args& args) {
   config.faults.slow_client_ms = args.get_u64("inject-slow-client-ms", 0);
   config.stop_signal = &global_signal_flag();
 
+  // Serve-wide observability: one event log and one flight ring span every
+  // job the daemon runs. The ring mirrors the event stream, so arming
+  // --flight-out alone still captures a black box with no events file.
+  obs::EventLog events;
+  obs::FlightRecorder flight;
+  if (const auto path = args.get("events-out")) {
+    if (const Status s = events.open(*path); !s.ok()) {
+      std::fprintf(stderr, "serve: %s\n", s.to_string().c_str());
+      return status_exit_code(s.code());
+    }
+    config.scheduler.events = &events;
+  }
+  if (const auto path = args.get("flight-out")) {
+    events.attach_flight_recorder(&flight);
+    config.scheduler.events = &events;
+    config.scheduler.flight = &flight;
+    config.scheduler.flight_path = *path;
+    arm_fatal_flight_dump(&flight, *path);
+  }
+
   std::fprintf(stderr, "serve: listening on %s (slots=%d queue=%zu)\n",
                config.socket_path.c_str(), config.scheduler.slots,
                config.scheduler.queue_capacity);
@@ -864,6 +1007,54 @@ int cmd_fsck(const Args& args) {
   return report.ok() ? 0 : status_exit_code(StatusCode::kShardCorrupt);
 }
 
+/// Merges the client's protocol spans with the daemon's worker spans into
+/// ONE Chrome-trace JSON: pid 1 = client, pid 2 = daemon. Both sides stamp
+/// absolute CLOCK_MONOTONIC µs (machine-wide epoch), so a plain rebase to
+/// the earliest timestamp puts queue wait, arbitration, and per-phase
+/// execution on a single Perfetto timeline.
+Status write_merged_trace(const std::string& path,
+                          const obs::TraceSink& client,
+                          const std::vector<obs::TraceEventView>& daemon) {
+  std::vector<obs::TraceEventView> client_spans = client.export_events();
+  std::uint64_t origin = UINT64_MAX;
+  for (const obs::TraceEventView& e : client_spans)
+    origin = std::min(origin, e.ts_us);
+  for (const obs::TraceEventView& e : daemon)
+    origin = std::min(origin, e.ts_us);
+  if (origin == UINT64_MAX) origin = 0;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  const auto emit_process_name = [&w](int pid, const char* name) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", 0);
+    w.key("args").begin_object().kv("name", name).end_object();
+    w.end_object();
+  };
+  emit_process_name(1, "submit client");
+  emit_process_name(2, "serve daemon");
+  const auto emit_span = [&w, origin](const obs::TraceEventView& e, int pid) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", std::string(1, e.phase));
+    w.kv("ts", e.ts_us - origin);
+    if (e.phase == 'X') w.kv("dur", e.dur_us);
+    w.kv("pid", pid);
+    w.kv("tid", e.tid);
+    w.end_object();
+  };
+  for (const obs::TraceEventView& e : client_spans) emit_span(e, 1);
+  for (const obs::TraceEventView& e : daemon) emit_span(e, 2);
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return write_text_file_atomic(path, std::move(w).str());
+}
+
 /// `nullgraph submit`: one round-trip to a running daemon. Exit code is
 /// the decisive status's typed code — admission rejects map to 18/19/20,
 /// a curtailed-but-delivered job to the curtailment's code, clean runs
@@ -891,6 +1082,15 @@ int cmd_submit(const Args& args) {
       return status_exit_code(s.status().code());
     }
     std::printf("%s\n", s.value().c_str());
+    return 0;
+  }
+  if (args.has("metrics")) {
+    Result<std::string> m = svc::request_metrics(options);
+    if (!m.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", m.status().to_string().c_str());
+      return status_exit_code(m.status().code());
+    }
+    std::fputs(m.value().c_str(), stdout);
     return 0;
   }
   if (args.has("shutdown")) {
@@ -943,6 +1143,19 @@ int cmd_submit(const Args& args) {
   if (const auto out = args.get("out")) spec.out_path = *out;
   spec.inject_slow_ms = args.get_u64("inject-job-slow-ms", 0);
 
+  // --trace-out on submit means a CROSS-PROCESS trace: the client sink
+  // records the protocol legs here, the trace id rides the job spec so the
+  // daemon builds a per-job sink, and the returned spans merge below. The
+  // id only needs to be unique per daemon lifetime; monotonic µs is.
+  std::unique_ptr<obs::TraceSink> client_trace;
+  std::string trace_path;
+  if (const auto path = args.get("trace-out")) {
+    trace_path = *path;
+    client_trace = std::make_unique<obs::TraceSink>();
+    options.trace = client_trace.get();
+    spec.trace_id = obs::monotonic_us() | 1;
+  }
+
   Result<svc::SubmitOutcome> sent = svc::submit_job(options, spec);
   if (!sent.ok()) {
     std::fprintf(stderr, "submit: %s\n", sent.status().to_string().c_str());
@@ -965,6 +1178,16 @@ int cmd_submit(const Args& args) {
   if (!outcome.final_status.ok())
     std::fprintf(stderr, "submit: %s\n",
                  outcome.final_status.to_string().c_str());
+  if (client_trace != nullptr) {
+    if (const Status s = write_merged_trace(trace_path, *client_trace,
+                                            outcome.daemon_spans);
+        !s.ok()) {
+      std::fprintf(stderr, "submit: %s\n", s.to_string().c_str());
+      return status_exit_code(s.code());
+    }
+    std::fprintf(stderr, "submit: merged trace (%zu daemon spans) -> %s\n",
+                 outcome.daemon_spans.size(), trace_path.c_str());
+  }
   if (const auto save = args.get("save")) {
     if (Status s = write_edge_list_file_atomic(*save, outcome.edges);
         !s.ok()) {
@@ -1009,18 +1232,21 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args = parse(argc, argv);
-  Telemetry telem = Telemetry::from(args, argc, argv);
   install_signal_handlers();
   try {
-    if (command == "generate") return cmd_generate(args, telem);
-    if (command == "backends") return cmd_backends(args);
-    if (command == "shuffle") return cmd_shuffle(args, telem);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "lfr") return cmd_lfr(args, telem);
-    if (command == "dist") return cmd_dist(args);
-    if (command == "fsck") return cmd_fsck(args);
+    // serve/submit own their observability wiring (serve-wide event log,
+    // cross-process trace merge) — the batch Telemetry below must not also
+    // claim the same sink files.
     if (command == "serve") return cmd_serve(args);
     if (command == "submit") return cmd_submit(args);
+    if (command == "backends") return cmd_backends(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "dist") return cmd_dist(args);
+    if (command == "fsck") return cmd_fsck(args);
+    Telemetry telem = Telemetry::from(args, argc, argv);
+    if (command == "generate") return cmd_generate(args, telem);
+    if (command == "shuffle") return cmd_shuffle(args, telem);
+    if (command == "lfr") return cmd_lfr(args, telem);
   } catch (const StatusError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return status_exit_code(error.code());
