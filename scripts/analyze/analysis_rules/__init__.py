@@ -1,0 +1,21 @@
+"""Rule registry for the nullgraph semantic-analysis driver.
+
+An analysis rule is a module exposing:
+    NAME: str          stable kebab-case identifier (used in output and --rules)
+    DESCRIPTION: str   one-liner for --list
+    check(ctx) -> list[base.Diagnostic]
+
+Unlike the line lints (scripts/lint/), these rules see a cross-TU call
+graph (analysis_rules/callgraph.py) and prove reachability/dataflow
+properties: what a signal handler can transitively touch, what a chunk
+callback can block on, where an RNG engine's seed flows from, and whether
+the three encodings of the exit-code contract agree. See DESIGN.md
+section 13 for the policy each rule encodes.
+
+To add a rule: create a module in this package, implement the three
+symbols, and append it to ALL_RULES below (order = output grouping order).
+"""
+
+from . import exec_purity, exit_contract, rng_dataflow, signal_safety
+
+ALL_RULES = [signal_safety, exec_purity, rng_dataflow, exit_contract]

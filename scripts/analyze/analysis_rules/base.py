@@ -1,0 +1,67 @@
+"""Shared infrastructure for the semantic-analysis rules.
+
+An analysis rule is a module exposing::
+
+    NAME: str          stable kebab-case identifier
+    DESCRIPTION: str   one-liner for --list
+    check(ctx) -> list[Diagnostic]
+
+where ``ctx`` is an :class:`AnalysisContext`: the scanned source tree, the
+cross-TU call graph (from whichever frontend was available), and the repo
+root for rules that read non-C++ contract files (README.md).
+
+Sanctions. A rule exception is justified *at the site*: the raw line (or
+the line above) must carry ``analyzer-ok(<rule>): <reason>`` with a
+non-empty reason. Bare sanctions are themselves diagnosed, mirroring the
+atomics lint's 'relaxed:' discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from checklib import (Diagnostic, SourceFile, SourceTree,  # noqa: E402,F401
+                      diagnostics_to_json, strip_comments_and_strings,
+                      tokenize)
+
+_SANCTION = re.compile(r"analyzer-ok\((?P<rule>[a-z-]+)\):\s*(?P<reason>\S.*)?")
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    root: pathlib.Path
+    tree: SourceTree
+    graph: object  # callgraph.CallGraph (internal or libclang frontend)
+
+    def __post_init__(self):
+        self.files_by_path = {f.path: f for f in self.tree.files}
+
+    def sanctioned(self, path: str, line: int, rule: str) -> bool:
+        """True when `path:line` (or the line above) carries a justified
+        ``analyzer-ok(rule): reason`` sanction comment."""
+        f = self.files_by_path.get(path)
+        if f is None:
+            return False
+        for lineno in (line, line - 1):
+            if 1 <= lineno <= len(f.raw_lines):
+                m = _SANCTION.search(f.raw_lines[lineno - 1])
+                if m and m.group("rule") == rule and m.group("reason"):
+                    return True
+        return False
+
+    def read_root_file(self, rel_path: str):
+        """Raw text of a root-relative non-C++ contract file, or None."""
+        path = self.root / rel_path
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8", errors="replace")
+
+
+def chain_str(chain) -> str:
+    """Render a call chain deterministically: `a → b → c`."""
+    return " → ".join(chain)

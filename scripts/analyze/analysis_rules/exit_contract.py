@@ -1,0 +1,173 @@
+"""Exit-code contract: enum, CLI mapping, and README table agree exactly.
+
+The StatusCode taxonomy is a documented external contract: every failure
+mode maps to exactly one stable process exit status, and operators script
+against the README table. Three artifacts encode it independently —
+
+  - the ``StatusCode`` enum (src/robustness/status.hpp),
+  - the ``status_exit_code`` / ``status_code_name`` switches
+    (src/robustness/status.cpp),
+  - the README "Exit | Status | Meaning" table —
+
+and nothing used to force them to agree; a new code added to the enum but
+not the README (or a renumbered row) shipped silently. This rule
+cross-checks all three: switch totality, exit-number uniqueness,
+name-string fidelity, and byte-level README row agreement. It also flags
+hardcoded ``exit(N)`` / ``_exit(N)`` literals with N > 1 in the CLI:
+those bypass ``status_exit_code`` and invent undocumented exit statuses.
+
+Each artifact is checked only when present, so reduced fixture trees (and
+libraries embedding the analyzer) stay usable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import base
+
+NAME = "exit-contract"
+DESCRIPTION = ("StatusCode enum, status_exit_code/status_code_name switches, "
+               "and the README exit-code table must agree exactly")
+
+_ENUM_RE = re.compile(
+    r"enum\s+class\s*(?:\[\[[^\]]*\]\]\s*)?StatusCode\s*(?::\s*\w+\s*)?\{"
+    r"(?P<body>[^}]*)\}", re.DOTALL)
+_ENUMERATOR_RE = re.compile(r"\b(k\w+)\b(?:\s*=\s*(\d+))?")
+_EXIT_CASE_RE = re.compile(
+    r"case\s+StatusCode::(k\w+)\s*:\s*return\s+(\d+)\s*;")
+_NAME_CASE_RE = re.compile(
+    r'case\s+StatusCode::(k\w+)\s*:\s*return\s+"(k?\w*)"\s*;')
+_README_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*`?(k\w+)`?\s*\|")
+_EXIT_LITERAL_RE = re.compile(r"\b(_?exit)\s*\(\s*(\d+)\s*\)")
+
+
+def _find_file(ctx, suffix):
+    for f in ctx.tree.files:
+        if f.path.endswith(suffix):
+            return f
+    return None
+
+
+def _line_of(f, needle, fallback=1):
+    for i, raw in enumerate(f.raw_lines, 1):
+        if needle in raw:
+            return i
+    return fallback
+
+
+def _parse_enum(f):
+    """Ordered {name: value} from the StatusCode enum, or None."""
+    m = _ENUM_RE.search(f.stripped_text)
+    if m is None:
+        return None
+    values = {}
+    nxt = 0
+    for em in _ENUMERATOR_RE.finditer(m.group("body")):
+        name, explicit = em.groups()
+        nxt = int(explicit) if explicit is not None else nxt
+        values[name] = nxt
+        nxt += 1
+    return values
+
+
+def check(ctx):
+    diags = []
+
+    def emit(path, line, message):
+        diags.append(base.Diagnostic(path, line, NAME, message))
+
+    hpp = _find_file(ctx, "robustness/status.hpp")
+    cpp = _find_file(ctx, "robustness/status.cpp")
+    enum = _parse_enum(hpp) if hpp is not None else None
+
+    exit_map = {}
+    if cpp is not None:
+        # Strings are blanked in stripped text, so the name switch is
+        # parsed from raw lines; the exit switch from stripped lines.
+        for i, line in enumerate(cpp.code_lines, 1):
+            for m in _EXIT_CASE_RE.finditer(line):
+                exit_map[m.group(1)] = (int(m.group(2)), i)
+        name_map = {}
+        for i, line in enumerate(cpp.raw_lines, 1):
+            for m in _NAME_CASE_RE.finditer(line):
+                name_map[m.group(1)] = (m.group(2), i)
+
+        if enum is not None:
+            for name in enum:
+                if name not in exit_map:
+                    emit(cpp.path, _line_of(cpp, "status_exit_code"),
+                         f"status_exit_code has no case for "
+                         f"StatusCode::{name} — it falls to the default "
+                         "return and aliases kInternal's exit status")
+                if name_map and name not in name_map:
+                    emit(cpp.path, _line_of(cpp, "status_code_name"),
+                         f"status_code_name has no case for "
+                         f"StatusCode::{name}")
+            for name, (_, line) in sorted(exit_map.items(),
+                                          key=lambda kv: kv[1][1]):
+                if name not in enum:
+                    emit(cpp.path, line,
+                         f"status_exit_code names StatusCode::{name}, which "
+                         "is not in the enum")
+        by_exit = {}
+        for name, (code, line) in sorted(exit_map.items(),
+                                         key=lambda kv: kv[1][1]):
+            if code in by_exit:
+                emit(cpp.path, line,
+                     f"exit status {code} is mapped by both "
+                     f"{by_exit[code]} and {name} — exit numbers must be "
+                     "unique per status code")
+            else:
+                by_exit[code] = name
+        for name, (string, line) in sorted(name_map.items(),
+                                           key=lambda kv: kv[1][1]):
+            if string != name:
+                emit(cpp.path, line,
+                     f"status_code_name returns \"{string}\" for "
+                     f"StatusCode::{name} — the string must equal the "
+                     "enumerator name")
+
+    readme = ctx.read_root_file("README.md")
+    if readme is not None and exit_map:
+        rows = {}
+        for i, line in enumerate(readme.splitlines(), 1):
+            m = _README_ROW_RE.match(line.strip())
+            if m:
+                rows[m.group(2)] = (int(m.group(1)), i)
+        if rows:
+            table_line = min(line for _, line in rows.values())
+            for name, (code, _) in sorted(exit_map.items(),
+                                          key=lambda kv: kv[1][0]):
+                if name not in rows:
+                    emit("README.md", table_line,
+                         f"exit-code table has no row for {name} "
+                         f"(exit {code}) — every StatusCode is documented")
+                elif rows[name][0] != code:
+                    emit("README.md", rows[name][1],
+                         f"exit-code table says {name} = exit "
+                         f"{rows[name][0]}, but status_exit_code returns "
+                         f"{code} — the table drifted from the code")
+            for name, (code, line) in sorted(rows.items(),
+                                             key=lambda kv: kv[1][1]):
+                if name not in exit_map:
+                    emit("README.md", line,
+                         f"exit-code table documents {name} (exit {code}), "
+                         "which status_exit_code does not map")
+
+    for f in ctx.tree.files:
+        if not f.in_dir("tools/"):
+            continue
+        for i, line in enumerate(f.code_lines, 1):
+            for m in _EXIT_LITERAL_RE.finditer(line):
+                n = int(m.group(2))
+                if n <= 1:
+                    continue  # 0/1 are the blessed ok/usage statuses
+                if ctx.sanctioned(f.path, i, NAME):
+                    continue
+                emit(f.path, i,
+                     f"hardcoded {m.group(1)}({n}) bypasses "
+                     "status_exit_code and invents an undocumented exit "
+                     "status — map a StatusCode instead (or sanction with "
+                     "'analyzer-ok(exit-contract): <why>')")
+    return diags

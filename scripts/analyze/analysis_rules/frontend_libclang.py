@@ -1,0 +1,188 @@
+"""libclang frontend: the precise call-graph builder, used when available.
+
+Parses real ASTs via the clang Python bindings (``clang.cindex``) and a
+``compile_commands.json``, producing the same :class:`callgraph.CallGraph`
+the internal frontend builds — exact overload resolution and template
+instantiation instead of token heuristics. Every import/load failure
+raises :class:`FrontendUnavailable`; the driver catches it, prints a
+notice, and falls back to the internal frontend, so this module is never
+a hard dependency.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .callgraph import (CallGraph, CallRef, ConstructRef, EXEC_PRIMITIVES,
+                        ExecCallSite, FunctionDef, LambdaBody)
+
+
+class FrontendUnavailable(RuntimeError):
+    """libclang (bindings or shared library) is not usable on this host."""
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError as exc:
+        raise FrontendUnavailable(
+            f"clang Python bindings not importable ({exc})") from exc
+    try:
+        cindex.Index.create()
+    except Exception as exc:  # cindex raises LibclangError and worse
+        raise FrontendUnavailable(
+            f"libclang shared library not loadable ({exc})") from exc
+    return cindex
+
+
+def _qname(cursor) -> str:
+    parts = []
+    cur = cursor
+    while cur is not None and cur.spelling:
+        kind = cur.kind.name
+        if kind == "TRANSLATION_UNIT":
+            break
+        parts.append(cur.spelling)
+        cur = cur.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _rel_path(cursor, root: pathlib.Path):
+    loc = cursor.location
+    if loc.file is None:
+        return None
+    try:
+        return pathlib.Path(loc.file.name).resolve() \
+            .relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return None
+
+
+def _arg_idents(cindex, node):
+    idents = []
+    for child in node.walk_preorder():
+        if child.kind in (cindex.CursorKind.DECL_REF_EXPR,
+                          cindex.CursorKind.MEMBER_REF_EXPR):
+            if child.spelling:
+                idents.append(child.spelling)
+    return tuple(idents)
+
+
+def _harvest(cindex, node, sink, root, tree_files):
+    """Record calls/constructs/lambdas under `node` into `sink`."""
+    for child in node.get_children():
+        kind = child.kind
+        if kind == cindex.CursorKind.LAMBDA_EXPR:
+            path = _rel_path(child, root)
+            lam = LambdaBody(file=path or sink.file,
+                             line=child.location.line)
+            params = [c.spelling for c in child.get_children()
+                      if c.kind == cindex.CursorKind.PARM_DECL]
+            if params:
+                lam.first_param = params[0]
+            body = next((c for c in child.get_children()
+                         if c.kind == cindex.CursorKind.COMPOUND_STMT), None)
+            if body is not None:
+                _harvest(cindex, body, lam, root, tree_files)
+            sink.lambdas.append(lam)
+            # Flatten, mirroring the internal frontend's contract.
+            sink.calls.extend(lam.calls)
+            sink.constructs.extend(lam.constructs)
+            continue
+        if kind == cindex.CursorKind.CALL_EXPR and child.spelling:
+            ref = child.referenced
+            name = _qname(ref) if ref is not None else child.spelling
+            args = tuple(a for arg in child.get_arguments()
+                         for a in _arg_idents(cindex, arg))
+            sink.calls.append(CallRef(name or child.spelling,
+                                      child.location.line, "call", args))
+        elif kind == cindex.CursorKind.CXX_NEW_EXPR:
+            sink.constructs.append(ConstructRef("new", child.location.line))
+        elif kind == cindex.CursorKind.CXX_THROW_EXPR:
+            sink.constructs.append(ConstructRef("throw",
+                                                child.location.line))
+        elif kind == cindex.CursorKind.VAR_DECL:
+            type_name = child.type.spelling.split("<")[0].strip()
+            is_static = child.storage_class == cindex.StorageClass.STATIC
+            if type_name:
+                sink.constructs.append(
+                    ConstructRef(type_name, child.location.line,
+                                 _arg_idents(cindex, child), is_static))
+        _harvest(cindex, child, sink, root, tree_files)
+
+
+_FN_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+             "FUNCTION_TEMPLATE")
+
+
+def build_call_graph(tree, compile_commands=None) -> CallGraph:
+    """Parse every TU named in compile_commands.json that lies inside the
+    scanned tree; raise FrontendUnavailable when libclang cannot run."""
+    cindex = _load_cindex()
+    root = tree.root
+    cc_path = pathlib.Path(compile_commands) if compile_commands else \
+        root / "compile_commands.json"
+    if cc_path.is_dir():
+        cc_path = cc_path / "compile_commands.json"
+    if not cc_path.is_file():
+        raise FrontendUnavailable(
+            f"no compile_commands.json at {cc_path} (configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(cc_path.parent))
+    except Exception as exc:
+        raise FrontendUnavailable(
+            f"compilation database unreadable ({exc})") from exc
+
+    graph = CallGraph()
+    graph.frontend = "libclang"
+    index = cindex.Index.create()
+    tree_paths = {f.path for f in tree.files}
+    seen_files = set()
+    for cmd in db.getAllCompileCommands():
+        src = pathlib.Path(cmd.filename)
+        if not src.is_absolute():
+            src = pathlib.Path(cmd.directory) / src
+        try:
+            rel = src.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+        if rel not in tree_paths or rel in seen_files:
+            continue
+        seen_files.add(rel)
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in (str(cmd.filename), "-c", "-o")]
+        # Drop the object-file operand that follows -o (filtered above).
+        args = [a for a in args if not a.endswith((".o", ".obj"))]
+        try:
+            tu = index.parse(str(src), args=args)
+        except Exception:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind.name not in _FN_KINDS:
+                continue
+            if not cursor.is_definition():
+                continue
+            path = _rel_path(cursor, root)
+            if path is None or path not in tree_paths:
+                continue
+            fn = FunctionDef(qname=_qname(cursor), file=path,
+                             line=cursor.location.line)
+            body = next((c for c in cursor.get_children()
+                         if c.kind == cindex.CursorKind.COMPOUND_STMT),
+                        None)
+            if body is not None:
+                _harvest(cindex, body, fn, root, tree_paths)
+            graph.add(fn)
+            for call in fn.calls:
+                if call.last in EXEC_PRIMITIVES and fn.lambdas:
+                    site = ExecCallSite(file=fn.file, line=call.line,
+                                        primitive=call.last)
+                    site.lambdas = [lam for lam in fn.lambdas
+                                    if lam.line >= call.line]
+                    if site.lambdas:
+                        graph.exec_callsites.append(site)
+    if not graph.functions:
+        raise FrontendUnavailable(
+            "libclang parsed no project functions (broken toolchain?)")
+    return graph

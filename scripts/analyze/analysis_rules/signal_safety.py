@@ -1,0 +1,201 @@
+"""Signal-safety proof: from every fatal-signal-handler root and the
+flight-recorder dump path, only async-signal-safe operations are reachable.
+
+The regex lints cannot see that ``on_fatal_signal`` calls
+``FlightRecorder::dump`` which calls ``::write`` — this rule walks the
+cross-TU call graph from the handler roots and proves the whole cone:
+
+  - every reachable *external* call must be on the POSIX
+    async-signal-safe allowlist (open/write/fsync/rename/_exit/...,
+    the string.h functions POSIX.1-2008 added, and lock-free
+    ``std::atomic`` member operations);
+  - every reachable *project* call is traversed recursively;
+  - allocation (``new``, ``std::string``/container construction),
+    ``throw``, stdio, and mutex acquisition anywhere in the cone are
+    diagnosed with the full call chain;
+  - function-local ``static``s of class type are diagnosed (their lazy
+    initializer acquires a C++ init guard) unless the type is
+    constant-initializable (``std::atomic``) or the site carries an
+    ``analyzer-ok(signal-safety): <reason>`` sanction, e.g. "constructed
+    before the handler is installed".
+
+Roots are discovered, not configured: any function passed to
+``std::signal``/``sigaction`` plus any definition annotated with an
+``analyzer: signal-safe-root`` marker comment (the flight-recorder dump
+path carries one — its safety claim is now checked, not asserted).
+"""
+
+from __future__ import annotations
+
+from . import base
+
+NAME = "signal-safety"
+DESCRIPTION = ("call-graph proof that signal handlers and the "
+               "flight-recorder dump path reach only async-signal-safe code")
+
+ROOT_MARKER = "analyzer: signal-safe-root"
+
+#: POSIX.1-2008 async-signal-safe functions the project may plausibly
+#: reach, plus the std:: spellings of the same, plus lock-free
+#: std::atomic member operations (sanctioned engineering judgment: they
+#: compile to plain loads/stores/RMWs, no locks on any supported target).
+SAFE_CALLS = frozenset({
+    # syscalls / unistd
+    "open", "openat", "close", "read", "write", "pread", "pwrite", "fsync",
+    "fdatasync", "rename", "renameat", "unlink", "unlinkat", "link",
+    "mkdir", "rmdir", "lseek", "dup", "dup2", "pipe", "fcntl", "stat",
+    "fstat", "lstat", "umask", "getpid", "getppid", "kill", "raise",
+    "alarm", "chdir", "_exit", "_Exit", "abort", "clock_gettime",
+    "sigaction", "signal", "sigemptyset", "sigfillset", "sigaddset",
+    "sigdelset", "sigprocmask", "pthread_sigmask", "sysconf",
+    # string.h / memory primitives (on the POSIX.1-2008 list)
+    "memcpy", "memmove", "memset", "memcmp", "memchr", "strlen", "strcpy",
+    "strncpy", "strcat", "strncat", "strcmp", "strncmp", "strchr",
+    "strrchr", "strnlen",
+    # lock-free std::atomic member operations
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "test_and_set", "clear",
+    # value helpers that cannot allocate
+    "min", "max", "size", "data", "begin", "end",
+})
+
+#: Known-unsafe by name, with the reason baked into the diagnostic.
+UNSAFE_CALLS = {
+    "malloc": "allocates", "calloc": "allocates", "realloc": "allocates",
+    "free": "frees heap memory", "printf": "stdio buffers/locks",
+    "fprintf": "stdio buffers/locks", "sprintf": "stdio formatting",
+    "snprintf": "may allocate for floating-point conversion (not on the "
+                "POSIX async-signal-safe list)",
+    "vsnprintf": "stdio formatting", "puts": "stdio buffers/locks",
+    "fputs": "stdio buffers/locks", "fwrite": "stdio buffers/locks",
+    "fread": "stdio buffers/locks", "fopen": "allocates a FILE",
+    "fclose": "stdio buffers/locks", "fflush": "stdio locks",
+    "exit": "runs atexit handlers and flushes stdio (use _exit)",
+    "syslog": "may allocate/lock", "pthread_mutex_lock": "blocks on a lock",
+    "lock": "acquires a lock", "unlock": "releases a lock it may not hold",
+    "push_back": "may reallocate", "emplace_back": "may reallocate",
+    "insert": "may allocate", "resize": "may reallocate",
+    "append": "may reallocate", "c_str": "std::string access implies "
+                                         "std::string construction upstream",
+}
+
+#: Constructions that allocate: flagged anywhere in a signal cone.
+ALLOC_TYPE_LASTS = frozenset({
+    "string", "vector", "map", "unordered_map", "set", "unordered_set",
+    "deque", "list", "ostringstream", "istringstream", "stringstream",
+    "function", "shared_ptr", "unique_ptr",
+})
+
+#: Lock-RAII types: acquisition, not allocation, but equally fatal.
+LOCK_TYPE_LASTS = frozenset({
+    "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+})
+
+#: Types whose function-local statics are constant-initialized (no init
+#: guard at runtime), hence safe to touch from a handler.
+SAFE_STATIC_LASTS = frozenset({"atomic", "sig_atomic_t", "atomic_flag"})
+
+
+def _marker_roots(ctx):
+    """Functions annotated `analyzer: signal-safe-root` within the four
+    raw lines above (or on) their definition line."""
+    roots = []
+    for fn in ctx.graph.functions:
+        f = ctx.files_by_path.get(fn.file)
+        if f is None:
+            continue
+        lo = max(0, fn.line - 5)
+        if any(ROOT_MARKER in raw for raw in f.raw_lines[lo:fn.line]):
+            roots.append(fn)
+    return roots
+
+
+def _handler_roots(ctx):
+    """Functions installed via std::signal / sigaction anywhere."""
+    roots = []
+    for fn in ctx.graph.functions:
+        for call in fn.calls:
+            if call.last not in ("signal", "sigaction"):
+                continue
+            for ident in call.arg_idents:
+                if ident.startswith("SIG"):
+                    continue
+                for target in ctx.graph.resolve(ident):
+                    roots.append(target)
+    return roots
+
+
+def check(ctx):
+    graph = ctx.graph
+    roots = {id(fn): fn for fn in _handler_roots(ctx) + _marker_roots(ctx)}
+    diags = []
+    seen = set()
+
+    def emit(path, line, message):
+        key = (path, line, message)
+        if key not in seen:
+            seen.add(key)
+            diags.append(base.Diagnostic(path, line, NAME, message))
+
+    def walk(fn, chain, root_name, visited):
+        if id(fn) in visited:
+            return
+        visited.add(id(fn))
+        here = chain + (fn.name,)
+        via = base.chain_str(here)
+        for con in sorted(fn.constructs, key=lambda c: c.line):
+            if ctx.sanctioned(fn.file, con.line, NAME):
+                continue
+            if con.type_name == "new":
+                emit(fn.file, con.line,
+                     f"operator new in the signal cone of '{root_name}' "
+                     f"(via {via}) — allocation is not async-signal-safe")
+            elif con.type_name == "throw":
+                emit(fn.file, con.line,
+                     f"throw in the signal cone of '{root_name}' (via "
+                     f"{via}) — unwinding from a handler is undefined")
+            elif con.is_static and con.last not in SAFE_STATIC_LASTS:
+                emit(fn.file, con.line,
+                     f"function-local static '{con.type_name}' in the "
+                     f"signal cone of '{root_name}' (via {via}) — its lazy "
+                     "initializer acquires a C++ init guard; pre-construct "
+                     "it before installing the handler and sanction the "
+                     "line with 'analyzer-ok(signal-safety): <why>'")
+            elif con.last in ALLOC_TYPE_LASTS:
+                emit(fn.file, con.line,
+                     f"'{con.type_name}' constructed in the signal cone of "
+                     f"'{root_name}' (via {via}) — allocates")
+            elif con.last in LOCK_TYPE_LASTS:
+                emit(fn.file, con.line,
+                     f"lock '{con.type_name}' acquired in the signal cone "
+                     f"of '{root_name}' (via {via}) — a handler that "
+                     "interrupts the holder deadlocks")
+        for call in sorted(fn.calls, key=lambda c: (c.line, c.name)):
+            if ctx.sanctioned(fn.file, call.line, NAME):
+                continue
+            last = call.last
+            if last in UNSAFE_CALLS:
+                emit(fn.file, call.line,
+                     f"'{call.name}' reached from signal root "
+                     f"'{root_name}' (via {via}) — {UNSAFE_CALLS[last]}")
+                continue
+            if last in SAFE_CALLS:
+                continue
+            targets = graph.resolve(call.name)
+            if targets:
+                for target in sorted(targets, key=lambda t: (t.file,
+                                                             t.line)):
+                    walk(target, here, root_name, visited)
+            else:
+                emit(fn.file, call.line,
+                     f"cannot prove '{call.name}' async-signal-safe "
+                     f"(reached from '{root_name}' via {via}) — not on the "
+                     "POSIX allowlist and no project definition found; "
+                     "replace it with an allowlisted primitive or sanction "
+                     "the call site with 'analyzer-ok(signal-safety): "
+                     "<why>'")
+
+    for fn in sorted(roots.values(), key=lambda f: (f.file, f.line)):
+        walk(fn, (), fn.name, set())
+    return diags

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""nullgraph semantic-analysis driver.
+
+Builds a cross-TU call graph over the source trees and runs the semantic
+rules (scripts/analyze/analysis_rules/): signal-safety reachability,
+exec-kernel purity, RNG-seed dataflow, and the exit-code contract.
+Diagnostics use the lint driver's format and ordering:
+
+    path:line: [rule-name] message
+
+sorted by (path, line, rule) — deterministic and golden-testable. Exit
+status: 0 when clean, 1 when any rule fired, 2 on usage errors. --json
+swaps the human format for one machine-readable document on stdout.
+
+Frontends. --frontend=libclang parses real ASTs via the clang Python
+bindings + compile_commands.json; --frontend=internal uses the built-in
+token-level parser (no dependencies); --frontend=auto (default) tries
+libclang and degrades to internal with a notice on stderr — the analysis
+always runs, the precise frontend is an upgrade, never a requirement.
+
+    usage: run_analysis.py [--root DIR] [--rules name,name] [--list]
+                           [--json] [--frontend auto|libclang|internal]
+                           [--compile-commands PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+import analysis_rules  # noqa: E402
+from analysis_rules import base, callgraph, frontend_libclang  # noqa: E402
+
+
+def _build_graph(tree, frontend: str, compile_commands):
+    """Returns (graph, notice-or-None). Raises only on --frontend=libclang
+    when libclang is genuinely unusable (explicit request, hard failure)."""
+    if frontend == "internal":
+        return callgraph.build_call_graph(tree), None
+    try:
+        return frontend_libclang.build_call_graph(
+            tree, compile_commands=compile_commands), None
+    except frontend_libclang.FrontendUnavailable as exc:
+        if frontend == "libclang":
+            raise
+        notice = (f"analysis: note: libclang frontend unavailable ({exc}); "
+                  "falling back to the internal frontend")
+        return callgraph.build_call_graph(tree), notice
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=None,
+        help="directory to scan (default: the repository root)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all)")
+    parser.add_argument(
+        "--list", action="store_true", help="list rules and exit")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of lines")
+    parser.add_argument(
+        "--frontend", choices=("auto", "libclang", "internal"),
+        default="auto",
+        help="call-graph frontend (default: auto = libclang when usable, "
+             "else internal)")
+    parser.add_argument(
+        "--compile-commands", default=None, metavar="PATH",
+        help="compile_commands.json (or its directory) for the libclang "
+             "frontend (default: <root>/compile_commands.json)")
+    args = parser.parse_args(argv)
+
+    rules = analysis_rules.ALL_RULES
+    if args.rules is not None:
+        wanted = [name.strip() for name in args.rules.split(",")
+                  if name.strip()]
+        by_name = {rule.NAME: rule for rule in rules}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"unknown rule(s): {', '.join(unknown)} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        rules = [by_name[name] for name in wanted]
+
+    if args.list:
+        for rule in rules:
+            print(f"{rule.NAME}: {rule.DESCRIPTION}")
+        return 0
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+
+    tree = base.SourceTree(root)
+    try:
+        graph, notice = _build_graph(tree, args.frontend,
+                                     args.compile_commands)
+    except frontend_libclang.FrontendUnavailable as exc:
+        print(f"analysis: libclang frontend unavailable: {exc}",
+              file=sys.stderr)
+        return 2
+    if notice:
+        print(notice, file=sys.stderr)
+
+    ctx = base.AnalysisContext(root=root, tree=tree, graph=graph)
+    diagnostics = []
+    for rule in rules:
+        diagnostics.extend(rule.check(ctx))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+
+    if args.json:
+        payload = base.diagnostics_to_json(
+            "analysis", diagnostics, rules=[rule.NAME for rule in rules],
+            files_scanned=len(tree.files),
+            extra={"frontend": graph.frontend,
+                   "functions": len(graph.functions),
+                   "exec_callsites": len(graph.exec_callsites)})
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 1 if diagnostics else 0
+
+    for diag in diagnostics:
+        print(diag.format())
+    names = ", ".join(rule.NAME for rule in rules)
+    if diagnostics:
+        print(f"analysis: {len(diagnostics)} issue(s) found "
+              f"({len(tree.files)} files scanned; frontend: "
+              f"{graph.frontend}; rules: {names})")
+        return 1
+    print(f"analysis: clean ({len(tree.files)} files scanned; frontend: "
+          f"{graph.frontend}; rules: {names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

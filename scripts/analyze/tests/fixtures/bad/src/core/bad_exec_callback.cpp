@@ -1,0 +1,34 @@
+// Fixture: chunk callbacks that block — a lock acquired directly, file
+// I/O reached transitively through a helper, and a stream construction.
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "exec/exec.hpp"
+
+namespace {
+
+std::mutex g_mu;
+
+void append_row(int value) {
+  std::FILE* f = std::fopen("rows.txt", "a");  // blocking I/O, two deep
+  if (f != nullptr) {
+    std::fprintf(f, "%d\n", value);
+    std::fclose(f);
+  }
+}
+
+void run(const exec::ParallelContext& ctx) {
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    std::lock_guard<std::mutex> hold(g_mu);  // lock inside the kernel
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      append_row(static_cast<int>(i));
+    }
+  });
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    std::ofstream out("chunk.log");  // opening a file per chunk
+    out << chunk.begin;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Fixture: RNG engines inside chunk callbacks seeded outside the
+// chunk-stream discipline — a shared run seed reused by every chunk
+// (streams collide) and a thread-id seed (output depends on thread
+// count).
+#include <omp.h>
+
+#include <random>
+
+#include "exec/exec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Config {
+  unsigned long long seed = 42;
+};
+
+void run(const exec::ParallelContext& ctx, const Config& config) {
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    nullgraph::Xoshiro256ss rng(config.seed);  // same stream in every chunk
+    (void)chunk;
+    (void)rng;
+  });
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    std::mt19937 gen(omp_get_thread_num());  // thread identity as seed
+    (void)chunk;
+    (void)gen;
+  });
+}
+
+}  // namespace

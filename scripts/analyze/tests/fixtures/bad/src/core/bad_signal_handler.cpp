@@ -1,0 +1,40 @@
+// Fixture: a fatal-signal handler whose cone violates async-signal-safety
+// in every way the rule distinguishes: direct stdio, transitive
+// allocation via a helper, a guarded function-local static, and a call
+// the analyzer cannot prove safe.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct Panic {
+  int code = 0;
+};
+
+Panic& panic_state() {
+  static Panic state;  // lazy init guard inside the cone
+  return state;
+}
+
+void format_report(int signo) {
+  std::string text = "signal";  // allocates
+  char* scratch = new char[64];  // operator new
+  (void)text;
+  (void)scratch;
+  (void)signo;
+}
+
+void vendor_hook();  // declared, never defined: unprovable
+
+void on_crash(int signo) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "sig %d", signo);  // not signal-safe
+  format_report(signo);
+  panic_state().code = signo;
+  vendor_hook();
+}
+
+}  // namespace
+
+void install_crash_handler() { std::signal(SIGSEGV, on_crash); }

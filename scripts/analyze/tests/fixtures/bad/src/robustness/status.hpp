@@ -1,0 +1,19 @@
+#pragma once
+// Fixture: a reduced StatusCode taxonomy whose three encodings disagree —
+// kStale has no status_exit_code case, kIoError's name string is wrong,
+// and the README table drifts (see fixture README.md).
+
+namespace nullgraph {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kInternal,
+  kIoError,
+  kStale,
+};
+
+const char* status_code_name(StatusCode code) noexcept;
+int status_exit_code(StatusCode code) noexcept;
+
+}  // namespace nullgraph

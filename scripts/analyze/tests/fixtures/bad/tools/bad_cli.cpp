@@ -1,0 +1,8 @@
+// Fixture: a CLI inventing exit statuses instead of mapping StatusCode.
+#include <cstdlib>
+
+#include "robustness/status.hpp"
+
+int main() {
+  std::exit(7);  // undocumented exit status
+}

@@ -1,0 +1,28 @@
+// Fixture: pure chunk callbacks — CPU work only, plus one deliberate,
+// sanctioned exception proving the escape hatch works.
+#include <cstdio>
+
+#include "exec/exec.hpp"
+
+namespace {
+
+int weight(std::size_t i) { return static_cast<int>(i % 7); }
+
+void run(const exec::ParallelContext& ctx) {
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    int acc = 0;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) acc += weight(i);
+    (void)acc;
+  });
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    // analyzer-ok(exec-purity): debug tracing behind a compile-time flag
+    std::FILE* f = std::fopen("trace.log", "a");
+    if (f != nullptr) {
+      // analyzer-ok(exec-purity): debug tracing behind a compile-time flag
+      std::fclose(f);
+    }
+    (void)chunk;
+  });
+}
+
+}  // namespace

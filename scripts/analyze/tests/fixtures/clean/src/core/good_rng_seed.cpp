@@ -1,0 +1,19 @@
+// Fixture: the two sanctioned chunk-stream idioms — a task_seed
+// derivation and a copy of the chunk's own pre-seeded stream.
+#include "exec/exec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void run(const exec::ParallelContext& ctx, unsigned long long seed) {
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    nullgraph::Xoshiro256ss rng(nullgraph::task_seed(seed, 0, chunk.index));
+    (void)rng;
+  });
+  exec::for_chunks(ctx, 1024, 64, [&](const exec::Chunk& chunk) {
+    nullgraph::Xoshiro256ss rng(chunk.rng());
+    (void)rng;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+#include "robustness/status.hpp"
+
+namespace nullgraph {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kIoError: return "kIoError";
+  }
+  return "kUnknown";
+}
+
+int status_exit_code(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kInternal: return 2;
+    case StatusCode::kIoError: return 3;
+  }
+  return 2;
+}
+
+}  // namespace nullgraph

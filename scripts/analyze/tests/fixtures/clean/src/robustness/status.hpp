@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: a reduced StatusCode taxonomy whose three encodings agree.
+
+namespace nullgraph {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kInternal,
+  kIoError,
+};
+
+const char* status_code_name(StatusCode code) noexcept;
+int status_exit_code(StatusCode code) noexcept;
+
+}  // namespace nullgraph

@@ -8,6 +8,13 @@
 #      Status/Result is a build error; when clang++ is on PATH the same
 #      tree also compiles with -Werror=thread-safety, proving every
 #      NG_GUARDED_BY contract. Compile-only — no tests run here.
+#   2b. semantic analysis (scripts/analyze/run_analysis.py): cross-TU
+#      call-graph proofs — signal handlers and the flight-recorder dump
+#      path reach only async-signal-safe code, exec chunk callbacks never
+#      block, RNG engines in chunk callbacks are chunk-seeded, and the
+#      StatusCode enum / exit mapping / README table agree. Uses the
+#      libclang frontend when installed, else the built-in parser (a
+#      stderr notice says which) — the tier runs either way.
 #   3. default build + ctest, telemetry smoke through the real binary,
 #      the backend_smoke tier (every registered backend end-to-end with a
 #      validated `model` report block), the
@@ -41,11 +48,24 @@ done
 
 # Opt-in stages fail fast, before any build time is spent, when their
 # toolchain is missing — not mid-run with a confusing cmake error.
-if [[ "$RUN_TIDY" == 1 ]] && ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "check.sh: --tidy requested but clang-tidy is not on PATH." >&2
-  echo "Install clang-tidy (LLVM) or drop --tidy; every other stage runs" >&2
-  echo "without it." >&2
-  exit 1
+# Distros ship LLVM tools under versioned names (clang-tidy-18) without a
+# bare alias, so probe the versioned binaries too, newest first.
+CLANG_TIDY=""
+RUN_CLANG_TIDY=""
+if [[ "$RUN_TIDY" == 1 ]]; then
+  for cand in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "$cand" >/dev/null 2>&1; then CLANG_TIDY="$cand"; break; fi
+  done
+  for cand in run-clang-tidy run-clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "$cand" >/dev/null 2>&1; then RUN_CLANG_TIDY="$cand"; break; fi
+  done
+  if [[ -z "$CLANG_TIDY" ]]; then
+    echo "check.sh: --tidy requested but clang-tidy is not on PATH" >&2
+    echo "(probed clang-tidy and clang-tidy-21..14)." >&2
+    echo "Install clang-tidy (LLVM) or drop --tidy; every other stage runs" >&2
+    echo "without it." >&2
+    exit 1
+  fi
 fi
 
 echo "== lint: scripts/lint/run_lints.py =="
@@ -68,16 +88,25 @@ cmake -B build-analysis -S . \
   -DNULLGRAPH_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-analysis -j"$JOBS"
 
+echo "== semantic analysis: call-graph contracts (scripts/analyze) =="
+# Runs after the analysis build so build-analysis/compile_commands.json
+# exists for the libclang frontend; when libclang is absent the driver
+# prints a notice and proves the same contracts with its internal parser.
+python3 scripts/analyze/run_analysis.py \
+  --compile-commands build-analysis/compile_commands.json
+
 if [[ "$RUN_TIDY" == 1 ]]; then
-  echo "== clang-tidy (opt-in) over compile_commands.json =="
+  echo "== clang-tidy (opt-in, $CLANG_TIDY) over compile_commands.json =="
   # The analysis tree exports compile_commands.json (on by default in the
   # top-level CMakeLists); run the committed .clang-tidy profile over the
   # library and tools sources.
-  if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p build-analysis -quiet "src/.*\.cpp" "tools/.*\.cpp"
+  if [[ -n "$RUN_CLANG_TIDY" ]]; then
+    "$RUN_CLANG_TIDY" -p build-analysis -quiet \
+      -clang-tidy-binary "$(command -v "$CLANG_TIDY")" \
+      "src/.*\.cpp" "tools/.*\.cpp"
   else
     git ls-files 'src/*.cpp' 'tools/*.cpp' \
-      | xargs -P "$JOBS" -n 8 clang-tidy -p build-analysis --quiet
+      | xargs -P "$JOBS" -n 8 "$CLANG_TIDY" -p build-analysis --quiet
   fi
 fi
 

@@ -1,0 +1,25 @@
+"""checklib: the shared base of the project's Python static-check tools.
+
+Two consumers sit on top of this package:
+
+  - scripts/lint/      line-level regex lints (PR 5) — fast, per-line,
+                       confinement/discipline rules;
+  - scripts/analyze/   the semantic analyzer (call-graph proofs over
+                       whole-program properties: signal-safety, exec-kernel
+                       purity, RNG determinism dataflow, the exit-code
+                       contract).
+
+Both emit the same `Diagnostic` shape, scan the same `SourceTree`, and
+share one C++ lexer (`strip_comments_and_strings` / `tokenize`), so a
+lexer fix or a new source-tree extension lands in every tool at once.
+"""
+
+from .cxx import (CXX_EXTENSIONS, SOURCE_TREES, SourceFile, SourceTree,
+                  Token, strip_comments_and_strings, tokenize)
+from .diagnostics import Diagnostic, diagnostics_to_json
+
+__all__ = [
+    "CXX_EXTENSIONS", "SOURCE_TREES", "SourceFile", "SourceTree", "Token",
+    "strip_comments_and_strings", "tokenize", "Diagnostic",
+    "diagnostics_to_json",
+]

@@ -1,0 +1,240 @@
+"""C++ source handling shared by the lint and analysis drivers: the
+comment/string stripper, a line-preserving tokenizer, and the scanned
+source tree.
+
+Rules match against *stripped* lines (comments and string-literal contents
+blanked, line structure preserved) so prose about a banned construct never
+trips a rule, while justification/sanction checks look at the *raw* lines
+where the comments live.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+#: Every C++ translation-unit / header extension the project uses or could
+#: grow. The old shell lint only matched .cpp/.hpp; .h/.cc/.cxx are covered
+#: so a renamed file cannot silently escape confinement.
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+#: Top-level directories scanned relative to the repo root.
+SOURCE_TREES = ("src", "tests", "bench", "examples", "tools")
+
+#: Valid raw-string encoding prefixes: R"..." itself plus u8R/uR/UR/LR.
+_RAW_PREFIXES = ("", "u8", "u", "U", "L")
+
+_IDENT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def _is_raw_string_opener(text: str, i: int) -> bool:
+    """True when text[i] == 'R' and text[i+1] == '"' open a raw string.
+
+    An ``R"`` pair is a raw-string opener only when the ``R`` is the whole
+    identifier-like run, or completes one of the encoding prefixes
+    ``u8R``/``uR``/``UR``/``LR``. An identifier merely *ending* in R before
+    a string literal (``FOUR"..."`` under macro concatenation, ``BAR"x"``)
+    is ordinary code followed by an ordinary string — treating it as raw
+    used to corrupt stripping for the rest of the file.
+    """
+    # Walk back over the maximal identifier run ending at (and including)
+    # the 'R', then require the run minus the trailing R to be a valid
+    # encoding prefix.
+    start = i
+    while start > 0 and text[start - 1] in _IDENT_CHARS:
+        start -= 1
+    return text[start:i] in _RAW_PREFIXES
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comment bodies and string/char literal contents.
+
+    Newlines are preserved (including inside block comments and raw
+    strings) so line numbers in the stripped text match the original.
+    Replaced characters become spaces.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"' and _is_raw_string_opener(text, i):
+                # Raw string literal: [u8|u|U|L]R"delim( ... )delim". The
+                # encoding prefix (if any) was already emitted as code,
+                # which is fine: only the quoted contents need blanking.
+                close = text.find("(", i + 2)
+                if close != -1:
+                    raw_delim = ")" + text[i + 2 : close] + '"'
+                    state = "raw_string"
+                    out.append(" " * (close - i + 1))
+                    i = close + 1
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token from *stripped* source.
+
+    kind: 'ident' (identifiers, possibly ::-qualified), 'number', 'punct'
+    (operators/punctuation, multi-char operators kept whole), or 'pp'
+    (a whole preprocessor directive line, value = directive name).
+    """
+
+    kind: str
+    value: str
+    line: int
+
+
+# Qualified identifiers are lexed as ONE token ("std::memcpy",
+# "exec::for_chunks", "::open", "obs::FlightRecorder") so call-name
+# resolution never has to reassemble them. Template arguments are NOT part
+# of the token; the parser skips <...> runs where needed.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<pp>     ^[ \t]*\#[^\n]*)
+    | (?P<ident>  (?:::)?[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*)
+    | (?P<number> \.?\d(?:[\w.]|[eEpP][+-])*)
+    | (?P<punct>  ->\*|->|\+\+|--|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||
+                  \+=|-=|\*=|/=|%=|&=|\|=|\^=|::|\.\.\.|\.\*
+                  |[{}()\[\];,<>=+\-*/%!&|^~?:.])
+    """,
+    re.VERBOSE | re.MULTILINE)
+
+
+def tokenize(stripped: str) -> list[Token]:
+    """Tokenize stripped C++ text, tagging each token with its 1-based line.
+
+    Works on the output of :func:`strip_comments_and_strings`: string/char
+    literal *contents* are already blanked, so the surviving quote pairs
+    lex as punctuation-free gaps; comments are gone entirely.
+    """
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    for match in _TOKEN_RE.finditer(stripped):
+        line += stripped.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "pp":
+            directive = value.lstrip()[1:].strip().split(None, 1)
+            tokens.append(Token("pp", directive[0] if directive else "",
+                                line))
+        else:
+            tokens.append(Token(kind, value, line))
+    return tokens
+
+
+class SourceFile:
+    """One scanned file: repo-relative path plus raw and stripped lines."""
+
+    def __init__(self, rel_path: str, text: str):
+        self.path = rel_path
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.stripped_text = strip_comments_and_strings(text)
+        self.code_lines = self.stripped_text.splitlines()
+        self._tokens: list[Token] | None = None
+
+    def tokens(self) -> list[Token]:
+        """Token stream of the stripped text, lexed on first use."""
+        if self._tokens is None:
+            self._tokens = tokenize(self.stripped_text)
+        return self._tokens
+
+    def in_dir(self, prefix: str) -> bool:
+        return self.path.startswith(prefix)
+
+    def is_header(self) -> bool:
+        return self.path.endswith((".hpp", ".h"))
+
+
+class SourceTree:
+    """All C++ files under the scanned trees of one root directory."""
+
+    def __init__(self, root: pathlib.Path, trees=SOURCE_TREES):
+        self.root = root
+        self.files: list[SourceFile] = []
+        for tree in trees:
+            base = root / tree
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CXX_EXTENSIONS and path.is_file():
+                    rel = path.relative_to(root).as_posix()
+                    text = path.read_text(encoding="utf-8", errors="replace")
+                    self.files.append(SourceFile(rel, text))

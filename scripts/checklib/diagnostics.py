@@ -1,0 +1,53 @@
+"""Diagnostic record shared by the lint driver and the semantic analyzer.
+
+Both tools print one diagnostic per line in the same format::
+
+    path:line: [rule-name] message
+
+sorted by (path, line, rule, message) so output is deterministic and
+golden-testable, and both offer ``--json`` machine-readable output built
+from the same records via :func:`diagnostics_to_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a repo-relative path, 1-based line, rule name, message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def sort_diagnostics(diagnostics):
+    """Canonical deterministic order used by both drivers."""
+    return sorted(diagnostics,
+                  key=lambda d: (d.path, d.line, d.rule, d.message))
+
+
+def diagnostics_to_json(tool, diagnostics, *, rules, files_scanned,
+                        extra=None):
+    """The shared ``--json`` payload. ``extra`` merges tool-specific keys
+    (e.g. the analyzer's frontend name) into the top level."""
+    payload = {
+        "tool": tool,
+        "clean": not diagnostics,
+        "files_scanned": files_scanned,
+        "rules": list(rules),
+        "diagnostics": [
+            {"path": d.path, "line": d.line, "rule": d.rule,
+             "message": d.message}
+            for d in sort_diagnostics(diagnostics)
+        ],
+    }
+    if extra:
+        payload.update(extra)
+    return payload

@@ -1,6 +1,12 @@
 """Shared infrastructure for lint rules: diagnostics, the scanned source
 tree, and C++ comment/string stripping.
 
+Since the semantic analyzer (scripts/analyze/) landed, the implementation
+lives in the shared ``scripts/checklib`` package — one Diagnostic shape,
+one SourceTree, one C++ lexer for every Python static-check tool. This
+module re-exports it under the names the lint rules have always used, so
+rules keep importing ``from . import base`` and nothing else changes.
+
 Rules match against *stripped* lines (comments and string-literal contents
 blanked, line structure preserved) so prose about a banned construct never
 trips a rule, while justification checks (the atomics rule) look at the
@@ -9,153 +15,18 @@ trips a rule, while justification checks (the atomics rule) look at the
 
 from __future__ import annotations
 
-import dataclasses
 import pathlib
+import sys
 
-#: Every C++ translation-unit / header extension the project uses or could
-#: grow. The old shell lint only matched .cpp/.hpp; .h/.cc/.cxx are covered
-#: so a renamed file cannot silently escape confinement.
-CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+# scripts/ is the import root for the shared checklib package.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
 
-#: Top-level directories scanned relative to the repo root.
-SOURCE_TREES = ("src", "tests", "bench", "examples", "tools")
+from checklib import (CXX_EXTENSIONS, SOURCE_TREES, Diagnostic,  # noqa: E402,F401
+                      SourceFile, SourceTree, Token, diagnostics_to_json,
+                      strip_comments_and_strings, tokenize)
 
-
-@dataclasses.dataclass(frozen=True)
-class Diagnostic:
-    """One finding: a repo-relative path, 1-based line, rule name, message."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comment bodies and string/char literal contents.
-
-    Newlines are preserved (including inside block comments and raw
-    strings) so line numbers in the stripped text match the original.
-    Replaced characters become spaces.
-    """
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw_string
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "R" and nxt == '"':
-                # Raw string literal: R"delim( ... )delim"
-                close = text.find("(", i + 2)
-                if close != -1:
-                    raw_delim = ")" + text[i + 2 : close] + '"'
-                    state = "raw_string"
-                    out.append(" " * (close - i + 1))
-                    i = close + 1
-                    continue
-            if c == '"':
-                state = "string"
-                out.append(c)
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-            i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "string":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "code"
-                out.append(c)
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "char":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == "'":
-                state = "code"
-                out.append(c)
-                i += 1
-            else:
-                out.append(" ")
-                i += 1
-        elif state == "raw_string":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                out.append(" " * len(raw_delim))
-                i += len(raw_delim)
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-class SourceFile:
-    """One scanned file: repo-relative path plus raw and stripped lines."""
-
-    def __init__(self, rel_path: str, text: str):
-        self.path = rel_path
-        self.raw_lines = text.splitlines()
-        self.code_lines = strip_comments_and_strings(text).splitlines()
-
-    def in_dir(self, prefix: str) -> bool:
-        return self.path.startswith(prefix)
-
-    def is_header(self) -> bool:
-        return self.path.endswith((".hpp", ".h"))
-
-
-class SourceTree:
-    """All C++ files under the scanned trees of one root directory."""
-
-    def __init__(self, root: pathlib.Path, trees=SOURCE_TREES):
-        self.root = root
-        self.files: list[SourceFile] = []
-        for tree in trees:
-            base = root / tree
-            if not base.is_dir():
-                continue
-            for path in sorted(base.rglob("*")):
-                if path.suffix in CXX_EXTENSIONS and path.is_file():
-                    rel = path.relative_to(root).as_posix()
-                    text = path.read_text(encoding="utf-8", errors="replace")
-                    self.files.append(SourceFile(rel, text))
+__all__ = [
+    "CXX_EXTENSIONS", "SOURCE_TREES", "Diagnostic", "SourceFile",
+    "SourceTree", "Token", "diagnostics_to_json",
+    "strip_comments_and_strings", "tokenize",
+]

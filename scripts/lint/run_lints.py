@@ -8,14 +8,16 @@ source trees and prints one diagnostic per line:
 
 Diagnostics are sorted by (path, line, rule) so output is deterministic and
 golden-testable. Exit status: 0 when clean, 1 when any rule fired, 2 on
-usage errors.
+usage errors. --json swaps the human format for one machine-readable
+document on stdout (same exit-status contract).
 
-    usage: run_lints.py [--root DIR] [--rules name,name] [--list]
+    usage: run_lints.py [--root DIR] [--rules name,name] [--list] [--json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -35,6 +37,9 @@ def main(argv=None) -> int:
         help="comma-separated rule names to run (default: all)")
     parser.add_argument(
         "--list", action="store_true", help="list rules and exit")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of lines")
     args = parser.parse_args(argv)
 
     rules = lint_rules.ALL_RULES
@@ -65,6 +70,14 @@ def main(argv=None) -> int:
     for rule in rules:
         diagnostics.extend(rule.check(tree))
     diagnostics.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+
+    if args.json:
+        payload = base.diagnostics_to_json(
+            "lint", diagnostics, rules=[rule.NAME for rule in rules],
+            files_scanned=len(tree.files))
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 1 if diagnostics else 0
 
     for diag in diagnostics:
         print(diag.format())

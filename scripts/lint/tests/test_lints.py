@@ -276,5 +276,63 @@ class AnalysisTierTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stderr)
 
 
+class LexerTest(unittest.TestCase):
+    """Unit tests for checklib's comment/string stripper — in particular
+    the raw-string opener decision: an identifier merely ENDING in R
+    before a string literal is not a raw string, while every real
+    encoding-prefix form (R, u8R, uR, UR, LR) is."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(LINT_DIR.parent))
+        from checklib import strip_comments_and_strings
+        cls.strip = staticmethod(strip_comments_and_strings)
+
+    def test_identifier_ending_in_r_is_not_a_raw_string(self):
+        # FOUR"..." (macro concatenation) used to open raw-string mode and
+        # corrupt the rest of the file: the closing )" delimiter never
+        # appears, so everything after — here a real fopen call — stayed
+        # "inside the string" and vanished from the stripped text.
+        src = 'auto s = FOUR"abc";\nstd::fopen("x", "r");\n'
+        out = self.strip(src)
+        self.assertIn("FOUR", out)
+        self.assertIn("fopen", out)
+        self.assertNotIn("abc", out)
+
+    def test_single_r_macro_is_not_a_raw_string(self):
+        out = self.strip('auto s = BAR"(not raw)";\nint after = 1;\n')
+        self.assertIn("after", out)
+        self.assertNotIn("not raw", out)
+
+    def test_plain_raw_string_contents_are_blanked(self):
+        out = self.strip('auto s = R"(fopen("x"))";\nint after = 1;\n')
+        self.assertNotIn("fopen", out)
+        self.assertIn("after", out)
+
+    def test_encoding_prefixed_raw_strings_are_recognized(self):
+        for prefix in ("u8", "u", "U", "L"):
+            src = f'auto s = {prefix}R"(socket(1))";\nint after = 1;\n'
+            out = self.strip(src)
+            self.assertNotIn("socket", out, f"prefix {prefix}R leaked")
+            self.assertIn("after", out, f"prefix {prefix}R ate the file")
+
+    def test_delimited_raw_string(self):
+        out = self.strip('auto s = R"ng(fork() )" )ng";\nint after = 1;\n')
+        self.assertNotIn("fork", out)
+        self.assertIn("after", out)
+
+    def test_line_numbers_preserved_through_raw_strings(self):
+        src = 'int a;\nauto s = R"(x\ny\nz)";\nint b;\n'
+        out = self.strip(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertEqual(out.splitlines()[4].strip(), "int b;")
+
+    def test_line_numbers_preserved_through_block_comments(self):
+        src = "int a;\n/* one\ntwo */ int b;\n"
+        out = self.strip(src)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertIn("int b;", out.splitlines()[2])
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)

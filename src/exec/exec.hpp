@@ -22,6 +22,14 @@
 // its identity value) and the loop drains in one pass over the chunk
 // indices. Per-chunk, never per-element: default-on governance stays off
 // the critical path.
+//
+// Purity contract (machine-checked). Callbacks passed to these primitives
+// are pure CPU work: the semantic analyzer (scripts/analyze/, rules
+// exec-purity and rng-determinism) walks each callback's call cone and
+// fails the check tier if it can reach blocking I/O, sleeping, or lock
+// acquisition, or constructs an RNG engine whose seed does not flow from
+// chunk.rng()/chunk_seed()/task_seed(). Deliberate exceptions carry an
+// `analyzer-ok(<rule>): <reason>` comment at the call site.
 
 #include <omp.h>
 

@@ -25,9 +25,11 @@ void FlightRecorder::record(std::string_view line) noexcept {
   slot.seq.store(ticket, std::memory_order_release);
 }
 
+// analyzer: signal-safe-root — the semantic analyzer (scripts/analyze/,
+// signal-safety rule) walks the call graph from here and proves the whole
+// cone async-signal-safe: fixed buffers, no allocation, no locks, only
+// open/write/fsync/close/rename.
 bool FlightRecorder::dump(const char* path) const noexcept {
-  // Everything below is async-signal-safe: fixed buffers, no allocation,
-  // no locks, only open/write/fsync/close/rename.
   char tmp[512];
   const std::size_t path_len = std::strlen(path);
   if (path_len + 5 >= sizeof tmp) return false;

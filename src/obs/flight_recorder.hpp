@@ -17,6 +17,10 @@
 // allocation, no locks, only open/write/fsync/close/rename syscalls — so
 // the CLI's fatal-signal handler can call it directly. The write goes to
 // "<path>.tmp" then renames, so an observer never reads a partial dump.
+// This is no longer just asserted: dump() is a registered signal-safe
+// root of the semantic analyzer (scripts/analyze/run_analysis.py), which
+// walks its call cone and fails the check tier if anything outside the
+// POSIX async-signal-safe allowlist becomes reachable.
 
 #include <atomic>
 #include <cstddef>

@@ -15,7 +15,11 @@ namespace nullgraph {
 
 /// Stable error taxonomy. Codes are append-only: their numeric values and
 /// the CLI exit statuses derived from them are a documented contract
-/// (README "Error handling & recovery").
+/// (README "Error handling & recovery"). The contract is machine-checked:
+/// the semantic analyzer's exit-contract rule (scripts/analyze/) verifies
+/// on every check run that this enum, the status_exit_code /
+/// status_code_name switches, and the README exit-code table agree — add
+/// a code here and the check tier fails until all three are updated.
 enum class [[nodiscard]] StatusCode : int {
   kOk = 0,
   kInvalidArgument,        // caller passed something unusable (usage level)

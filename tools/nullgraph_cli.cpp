@@ -164,6 +164,9 @@ using namespace nullgraph;
 /// allocation, so it is async-signal-safe. Constructed before the handler
 /// is installed (install_signal_handlers calls this first).
 CancelToken& global_cancel() {
+  // The init guard is settled before a signal can arrive:
+  // install_signal_handlers() calls this first.
+  // analyzer-ok(signal-safety): constructed before the handler is installed
   static CancelToken token;
   return token;
 }
